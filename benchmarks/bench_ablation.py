@@ -1,0 +1,81 @@
+"""ABL — ablation of the proof constants (12·log ℓ, 21·log ℓ).
+
+Lemma 2.3 fixes sample_factor=12 and cutoff_factor=21.  The governing
+quantity is the ratio cutoff/sample: the threshold r sits at sample
+quantile cutoff/(k·sample), so the expected survivor count is
+≈ (cutoff/sample)·ℓ regardless of k.  The bench sweeps the cutoff
+through the failure regime (ratio ≤ 1 ⇒ pruning cuts into the true
+answer and safe mode must re-run) and past the paper's 21/12 = 1.75,
+measuring fallback rate, survivor bloat, and the round cost of
+recovery.  A prune=False arm quantifies what sampling buys at all.
+Report: ``benchmarks/results/ablation.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import AblationConfig, run_ablation
+
+CFG = AblationConfig(
+    pairs=((12, 3), (12, 6), (12, 12), (12, 21), (12, 36), (2, 4)),
+    k=32,
+    l=512,
+    points_per_machine=2**11,
+    repetitions=25,
+    seed=31,
+)
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_ablation(CFG)
+
+
+def test_ablation_sweep(benchmark, ablation, save_report):
+    small = AblationConfig(pairs=((12, 21),), k=8, l=64,
+                           points_per_machine=256, repetitions=2)
+    benchmark.pedantic(lambda: run_ablation(small), rounds=3, iterations=1)
+    save_report("ablation", ablation.report() + "\n\n" + ablation.csv())
+
+
+def test_paper_constants_never_fall_back(ablation):
+    paper = ablation.arm_for(12, 21)
+    assert paper.fallback_rate == 0.0
+    assert paper.survivors_over_l.max <= 11.0
+
+
+def test_fallback_rate_decreases_with_cutoff(ablation):
+    """Fallback rate falls as the cutoff (hence the survivor quota)
+    rises at fixed sample factor."""
+    rates = [ablation.arm_for(12, c).fallback_rate for c in (3, 6, 12, 21, 36)]
+    # Non-strict monotone down (sampling noise), ends at zero.
+    assert all(a >= b - 0.08 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] == 0.0
+    # The ratio<=1 regime must actually exhibit the failure mode,
+    # otherwise this ablation tests nothing.
+    assert rates[0] > 0.5
+
+
+def test_survivors_track_cutoff_over_sample_ratio(ablation):
+    """Mean survivors/l ≈ cutoff/sample for the safe arms."""
+    for cutoff in (21, 36):
+        arm = ablation.arm_for(12, cutoff)
+        ratio = cutoff / 12
+        assert 0.5 * ratio <= arm.survivors_over_l.mean <= 1.6 * ratio
+
+
+def test_safe_mode_recovery_costs_rounds(ablation):
+    """Arms that fall back pay the unpruned re-run on top of the
+    wasted sampling phase; their rounds exceed the paper arm's."""
+    aggressive = ablation.arm_for(12, 3)
+    paper = ablation.arm_for(12, 21)
+    assert aggressive.fallback_rate > 0.5
+    assert aggressive.rounds.mean > paper.rounds.mean
+
+
+def test_low_sample_arm_spends_fewer_messages(ablation):
+    """sample_factor=2 sends 6x fewer samples than the paper arm."""
+    cheap = ablation.arm_for(2, 4)
+    paper = ablation.arm_for(12, 21)
+    assert cheap.messages.mean < paper.messages.mean

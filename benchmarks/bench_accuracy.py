@@ -1,0 +1,53 @@
+"""ACC — the §1 application layer: classification/regression quality.
+
+The paper's opening use-case: assign a label to the query by majority
+vote over the ℓ nearest neighbors (or the mean for regression).  The
+protocol being exact, the distributed classifier must match the
+sequential one prediction-for-prediction at every machine count, with
+accuracy unchanged and a communication bill per prediction that the
+table reports.  Report: ``benchmarks/results/accuracy.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import AccuracyConfig, run_accuracy
+
+CFG = AccuracyConfig(k_values=(2, 8, 32), n_train=1500, n_test=40, l=9, seed=40)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_accuracy(CFG)
+
+
+def test_accuracy_sweep(benchmark, sweep, save_report):
+    small = AccuracyConfig(k_values=(4,), n_train=300, n_test=5)
+    benchmark.pedantic(lambda: run_accuracy(small), rounds=3, iterations=1)
+    save_report("accuracy", sweep.report() + "\n\n" + sweep.csv())
+
+
+def test_distributed_matches_sequential_everywhere(sweep):
+    for cell in sweep.cells:
+        assert cell.matches_sequential == cell.n_test, f"k={cell.k}"
+
+
+def test_accuracy_independent_of_k(sweep):
+    accs = {c.k: c.accuracy for c in sweep.cells}
+    assert len(set(accs.values())) == 1, "exactness means identical predictions"
+
+
+def test_accuracy_is_good_on_separable_blobs(sweep):
+    for cell in sweep.cells:
+        assert cell.accuracy >= 0.8
+
+
+def test_regression_rmse_small(sweep):
+    for cell in sweep.cells:
+        assert cell.regression_rmse < 0.2
+
+
+def test_communication_grows_with_k_not_accuracy(sweep):
+    msgs = {c.k: c.messages_per_prediction for c in sweep.cells}
+    assert msgs[32] > msgs[2]  # messages scale with k

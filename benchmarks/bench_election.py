@@ -1,0 +1,66 @@
+"""ELECT — leader election ([9]): agreement and message scaling.
+
+Algorithm 1 line 1 elects a leader "in a constant number of rounds
+and O(√k·log^{3/2} k) messages" (Kutten et al. [9]).  The bench
+measures both provided elections across k: the deterministic all-to-
+all (Θ(k²) messages) and the referee-based randomized scheme, whose
+message bill must cross below the deterministic one as k grows and
+stay within a constant factor of the √k·log^{3/2} k reference curve.
+Report: ``benchmarks/results/election.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ElectionConfig, run_election
+
+CFG = ElectionConfig(
+    methods=("min_id", "sublinear"),
+    k_values=(4, 16, 64, 256),
+    repetitions=10,
+    seed=9,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_election(CFG)
+
+
+def test_election_sweep(benchmark, sweep, save_report):
+    small = ElectionConfig(k_values=(64,), repetitions=2)
+    benchmark.pedantic(lambda: run_election(small), rounds=3, iterations=1)
+    save_report("election", sweep.report() + "\n\n" + sweep.csv())
+
+    # Agreement on every single run, both methods, all k.
+    for cell in sweep.cells:
+        assert cell.agreements == cell.trials, (cell.method, cell.k)
+
+
+def test_min_id_costs_exactly_k_squared(sweep):
+    for k in CFG.k_values:
+        cell = sweep.cell("min_id", k)
+        assert cell.messages.mean == k * (k - 1)
+        assert cell.rounds.mean == 1
+
+
+def test_sublinear_beats_all_to_all_at_scale(sweep):
+    for k in (64, 256):
+        sub = sweep.cell("sublinear", k).messages.mean
+        allall = sweep.cell("min_id", k).messages.mean
+        assert sub < allall / 3, f"k={k}: {sub} vs {allall}"
+
+
+def test_sublinear_rounds_constant(sweep):
+    """O(1) rounds: the round count must not grow with k."""
+    rounds = [sweep.cell("sublinear", k).rounds.mean for k in CFG.k_values]
+    assert max(rounds) <= min(rounds) + 4
+
+
+def test_sublinear_tracks_reference_curve(sweep):
+    """Messages stay within a constant factor of √k·log^{3/2} k
+    (+ the k−1 announcement documented in the module docstring)."""
+    for k in (64, 256):
+        cell = sweep.cell("sublinear", k)
+        assert cell.messages.mean < 12 * (cell.sqrt_bound + k)

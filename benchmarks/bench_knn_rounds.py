@@ -1,0 +1,67 @@
+"""T2.4 — Theorem 2.4: Algorithm 2 in O(log ℓ) rounds, O(k log ℓ) msgs.
+
+Sweeps ℓ and k on the paper's uniform-integer workload, fits
+``rounds ≈ a + b·log₂ ℓ``, and checks independence from k (the
+theorem's headline: the bound holds *regardless of the number of
+machines*).  Report: ``benchmarks/results/knn_rounds.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import growth_ratio
+from repro.experiments import KNNRoundsConfig, run_knn_rounds
+
+CFG = KNNRoundsConfig(
+    l_values=(4, 16, 64, 256, 1024, 4096),
+    k_values=(4, 16, 64),
+    points_per_machine=2**12,
+    repetitions=5,
+    seed=24,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_knn_rounds(CFG)
+
+
+def test_knn_rounds_sweep(benchmark, sweep, save_report):
+    single = KNNRoundsConfig(l_values=(256,), k_values=(16,),
+                             points_per_machine=2**12, repetitions=1)
+    benchmark.pedantic(lambda: run_knn_rounds(single), rounds=3, iterations=1)
+    save_report(
+        "knn_rounds",
+        sweep.report("Theorem 2.4: Algorithm 2 rounds vs l") + "\n\n" + sweep.csv(),
+    )
+
+    for k in CFG.k_values:
+        cells = sorted((c.x, c.rounds.mean) for c in sweep.cells if c.k == k)
+        ls, rounds = zip(*cells)
+        # 1024x larger l, rounds grow sub-linearly by a wide margin.
+        assert growth_ratio(ls, rounds) < 0.05, f"k={k}"
+        fit = sweep.fit_for_k(k)
+        assert fit.b >= 0
+
+
+def test_rounds_independent_of_k(sweep):
+    assert sweep.k_independence() < 0.5
+
+
+def test_messages_k_log_l(sweep):
+    """Messages per machine track log ℓ: growing ℓ by 1024x should
+    multiply messages/k by far less than 1024 (log-ish growth)."""
+    for k in CFG.k_values:
+        cells = sorted((c.x, c.messages_per_k) for c in sweep.cells if c.k == k)
+        ls, mpk = zip(*cells)
+        assert growth_ratio(ls, mpk) < 0.05
+        assert mpk[-1] > mpk[0]  # but it does grow (the log factor)
+
+
+def test_rounds_beat_simple_asymptotically(sweep):
+    """At the largest l the measured rounds are way below Θ(l)."""
+    biggest = max(c.x for c in sweep.cells)
+    for c in sweep.cells:
+        if c.x == biggest:
+            assert c.rounds.mean < biggest / 4

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the per-machine local kernels.
+
+The k-machine model treats local computation as free, but Figure 2's
+wall-clock story rests on how the *local* work differs between
+protocols: the distance scan + top-ℓ (both protocols), the leader
+merge of kℓ keys (simple method only), and the leader sort of
+12k·log ℓ samples (Algorithm 2 only).  These benches time the real
+kernels at the Figure 2 bench scale so the cost-model inputs are
+inspectable, and double as performance regression guards for the
+vectorized implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knn import local_candidates
+from repro.points.dataset import Shard
+from repro.points.ids import keyed_array
+from repro.points.metrics import get_metric
+from repro.sequential.kdtree import KDTree
+from repro.sequential.selection import smallest_l
+
+PPM = 2**16
+L = 1024
+K = 128
+
+
+@pytest.fixture(scope="module")
+def shard(rng_factory=None):
+    rng = np.random.default_rng(99)
+    points = rng.uniform(0, 2**32, PPM)
+    ids = np.arange(1, PPM + 1)
+    return Shard(points=points, ids=ids)
+
+
+def test_bench_distance_scan_topl(benchmark, shard):
+    """Stage 2 of both protocols: scan + local top-l on one machine."""
+    metric = get_metric("euclidean")
+    query = np.array([2.0**31])
+    out = benchmark(lambda: local_candidates(shard, query, L, metric))
+    assert len(out) == L
+
+
+def test_bench_simple_leader_merge(benchmark):
+    """The simple method's leader: select l among k*l keys."""
+    rng = np.random.default_rng(7)
+    merged = keyed_array(rng.uniform(0, 2**32, K * L), np.arange(1, K * L + 1))
+    out = benchmark(lambda: smallest_l(merged, L))
+    assert len(out) == L
+
+
+def test_bench_alg2_leader_sample_sort(benchmark):
+    """Algorithm 2's leader: sort the 12k·log l sampled keys."""
+    rng = np.random.default_rng(8)
+    n_samples = 12 * 10 * K  # 12 log2(1024) per machine
+    samples = rng.uniform(0, 2**32, n_samples)
+    out = benchmark(lambda: np.sort(samples))
+    assert len(out) == n_samples
+
+
+def test_bench_range_count(benchmark, shard):
+    """One worker count reply: |{x : lo < x <= p}| via searchsorted."""
+    from repro.core.selection import _count_in
+    from repro.points.ids import Keyed
+
+    metric = get_metric("euclidean")
+    keys = local_candidates(shard, np.array([2.0**31]), PPM, metric)
+    lo = Keyed(float(keys["value"][100]), int(keys["id"][100]))
+    hi = Keyed(float(keys["value"][-100]), int(keys["id"][-100]))
+    count = benchmark(lambda: _count_in(keys, lo, hi))
+    assert count > 0
+
+
+def test_bench_kdtree_build_and_query(benchmark):
+    """The related-work sequential engine at laptop scale."""
+    rng = np.random.default_rng(9)
+    points = rng.uniform(0, 1, (2**14, 8))
+    tree = KDTree(points)
+
+    def query():
+        return tree.query(rng.uniform(0, 1, 8), 32)
+
+    ids, dists = benchmark(query)
+    assert len(ids) == 32
+
+
+def test_bench_leader_merge_beats_scaling(benchmark):
+    """Sanity: the simple-method leader merge at k=128 costs much more
+    than Algorithm 2's sample sort — the wall-clock asymmetry that
+    drives Figure 2."""
+    rng = np.random.default_rng(10)
+    merged = keyed_array(rng.uniform(0, 2**32, K * L), np.arange(1, K * L + 1))
+    samples = rng.uniform(0, 2**32, 12 * 10 * K)
+
+    import time
+
+    t0 = time.perf_counter()
+    for _ in range(5):
+        smallest_l(merged, L)
+    merge_t = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(5):
+        np.sort(samples)
+    sort_t = time.perf_counter() - t0
+    benchmark(lambda: smallest_l(merged, L))
+    assert merge_t > sort_t

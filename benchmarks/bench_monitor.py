@@ -1,0 +1,113 @@
+"""MON — continuous ℓ-NN monitoring (related work [18, 19]).
+
+Quantifies the triangle-inequality threshold-reuse extension: a
+drifting query keeps its answer fresh by carrying the previous
+boundary as a pruning radius, skipping Algorithm 2's sampling stage.
+The bench drives a smooth trajectory plus teleports, verifies every
+tick is exact, and reports the per-tick communication against fresh
+queries.  Report: ``benchmarks/results/monitor.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.driver import distributed_knn
+from repro.core.monitor import MovingKNNMonitor
+from repro.points.dataset import make_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+K = 8
+N = 6000
+L = 16
+TICKS = 15
+SEED = 55
+
+
+@pytest.fixture(scope="module")
+def run():
+    rng = np.random.default_rng(SEED)
+    corpus = make_dataset(rng.uniform(0, 1, (N, 2)), seed=SEED)
+    monitor = MovingKNNMonitor(corpus, l=L, k=K, seed=SEED)
+    fresh_msgs = []
+    exact = 0
+    q = np.array([0.3, 0.3])
+    for tick in range(TICKS):
+        if tick == 10:
+            q = np.array([0.9, 0.1])  # teleport
+        result = monitor.refresh(q)
+        if set(int(i) for i in result.ids) == brute_force_knn_ids(corpus, q, L):
+            exact += 1
+        fresh = distributed_knn(corpus, q, L, K, seed=SEED + tick)
+        fresh_msgs.append(fresh.metrics.messages)
+        q = q + rng.normal(0, 0.002, 2)
+    return monitor, fresh_msgs, exact
+
+
+def test_monitor_trajectory(benchmark, run, save_report):
+    monitor, fresh_msgs, exact = run
+
+    def one_refresh():
+        rng = np.random.default_rng(1)
+        corpus = make_dataset(rng.uniform(0, 1, (1000, 2)), seed=1)
+        m = MovingKNNMonitor(corpus, l=8, k=4, seed=1)
+        m.refresh(np.array([0.5, 0.5]))
+        return m.refresh(np.array([0.501, 0.5]))
+
+    benchmark.pedantic(one_refresh, rounds=3, iterations=1)
+
+    rows = [
+        [
+            i,
+            "yes" if r.used_carried_threshold else "no",
+            r.survivors,
+            r.metrics.rounds,
+            r.metrics.messages,
+            fresh_msgs[i],
+        ]
+        for i, r in enumerate(monitor.history)
+    ]
+    total = monitor.total_metrics()
+    table = render_table(
+        ["tick", "carried", "survivors", "rounds", "msgs", "fresh_msgs"],
+        rows,
+        title=f"Moving-query monitor (k={K}, n={N}, l={L}; teleport at tick 10)",
+    )
+    save_report(
+        "monitor",
+        table
+        + f"\n\nmonitor total msgs: {total.messages}  "
+        f"fresh total: {sum(fresh_msgs)}  "
+        f"savings: {1 - total.messages / sum(fresh_msgs):.0%}",
+    )
+    assert exact == TICKS  # exact at every tick, teleport included
+
+
+def test_carried_ticks_save_half_the_messages(run):
+    monitor, fresh_msgs, _ = run
+    carried = [
+        (r.metrics.messages, fresh_msgs[i])
+        for i, r in enumerate(monitor.history)
+        if r.used_carried_threshold and (r.survivors or 0) <= 4 * L
+    ]
+    assert carried, "drift ticks must use the carried threshold"
+    for monitor_msgs, fresh in carried:
+        assert monitor_msgs < fresh
+
+
+def test_overall_savings_positive(run):
+    monitor, fresh_msgs, _ = run
+    assert monitor.total_metrics().messages < sum(fresh_msgs)
+
+
+def test_survivors_near_l_during_drift(run):
+    monitor, _, _ = run
+    drift_survivors = [
+        r.survivors
+        for i, r in enumerate(monitor.history)
+        if r.used_carried_threshold and i not in (10,)
+    ]
+    assert drift_survivors
+    assert float(np.median(drift_survivors)) <= 4 * L

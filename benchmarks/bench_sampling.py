@@ -1,0 +1,64 @@
+"""FIG1/L2.3 — Lemma 2.3: sampling prunes to ≤ 11ℓ candidates w.h.p.
+
+Figure 1's block decomposition underlies the claim: the broadcast
+threshold r (the 21·log ℓ-th smallest sample) lands in blocks B₂…B₁₁
+with probability ≥ 1 − 2/ℓ², so (a) all true neighbors survive and
+(b) at most 11ℓ candidates do.  The bench measures survivor counts
+and failure rates across a (k, ℓ) grid and checks them against the
+bound.  Report: ``benchmarks/results/sampling.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import lemma23_failure_bound
+from repro.experiments import SamplingConfig, run_sampling
+
+CFG = SamplingConfig(
+    k_values=(8, 32, 128),
+    l_values=(64, 256, 1024),
+    points_per_machine=2**11,
+    repetitions=30,
+    seed=23,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_sampling(CFG)
+
+
+def test_sampling_grid(benchmark, grid, save_report):
+    single = SamplingConfig(k_values=(32,), l_values=(256,),
+                            points_per_machine=2**11, repetitions=2)
+    benchmark.pedantic(lambda: run_sampling(single), rounds=3, iterations=1)
+    save_report("sampling", grid.report() + "\n\n" + grid.csv())
+
+    for cell in grid.cells:
+        # Lemma 2.3's two failure modes, measured:
+        assert cell.max_survivors_over_l <= 11.0, (
+            f"k={cell.k} l={cell.l}: {cell.max_survivors_over_l:.1f}l survivors"
+        )
+        # Failure rate within generous sampling slack of the bound
+        # (30 trials can't resolve 2/l^2, but must not be grossly off).
+        assert cell.failure_rate <= max(5 * cell.bound, 0.15)
+
+
+def test_survivors_far_below_bound_in_practice(grid):
+    """The analysis is loose: mean survivors land near 2l, not 11l."""
+    big = [c for c in grid.cells if c.l >= 256]
+    assert big, "grid must include l >= 256"
+    for cell in big:
+        assert cell.survivors_over_l < 4.0
+
+
+def test_no_prune_failures_at_paper_constants(grid):
+    total_failures = sum(c.prune_failures for c in grid.cells)
+    total_trials = sum(c.trials for c in grid.cells)
+    assert total_failures <= max(1, total_trials // 50)
+
+
+def test_bound_column_matches_formula(grid):
+    for cell in grid.cells:
+        assert cell.bound == lemma23_failure_bound(cell.l)

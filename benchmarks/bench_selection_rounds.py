@@ -1,0 +1,68 @@
+"""T2.2 — Theorem 2.2: Algorithm 1 in O(log n) rounds, O(k log n) messages.
+
+Sweeps n (median selection, the hardest instance) and k, fits
+``rounds ≈ a + b·log₂ n``, and checks (a) logarithmic growth, (b)
+round-count independence from k, (c) messages ≈ Θ(k) per iteration.
+Report: ``benchmarks/results/selection_rounds.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import growth_ratio
+from repro.experiments import SelectionRoundsConfig, run_selection_rounds
+
+CFG = SelectionRoundsConfig(
+    n_values=(2**10, 2**12, 2**14, 2**16, 2**18),
+    k_values=(4, 16, 64),
+    repetitions=7,
+    seed=22,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_selection_rounds(CFG)
+
+
+def test_selection_rounds_sweep(benchmark, sweep, save_report):
+    """Time one mid-grid point; assert the theorem's shape on the sweep."""
+    single = SelectionRoundsConfig(n_values=(2**14,), k_values=(16,), repetitions=1)
+    benchmark.pedantic(lambda: run_selection_rounds(single), rounds=3, iterations=1)
+    save_report(
+        "selection_rounds",
+        sweep.report("Theorem 2.2: Algorithm 1 rounds vs n") + "\n\n" + sweep.csv(),
+    )
+
+    for k in CFG.k_values:
+        cells = sorted((c.x, c.rounds.mean) for c in sweep.cells if c.k == k)
+        ns, rounds = zip(*cells)
+        # Logarithmic, not linear: 256x data, < 3% of 256x rounds.
+        assert growth_ratio(ns, rounds) < 0.03, f"k={k} grows too fast"
+        # And genuinely growing (it is not O(1)).
+        assert rounds[-1] > rounds[0]
+        fit = sweep.fit_for_k(k)
+        assert fit.b > 0
+
+
+def test_round_count_independent_of_k(sweep):
+    """The paper: 'regardless of the number of machines k'."""
+    assert sweep.k_independence() < 0.5
+
+
+def test_messages_scale_linearly_with_k(sweep):
+    n_max = max(CFG.n_values)
+    per_k = {
+        c.k: c.messages.mean for c in sweep.cells if c.x == n_max
+    }
+    ratio = per_k[64] / per_k[4]
+    assert 8 < ratio < 32, f"messages grew {ratio:.1f}x for 16x machines"
+
+
+def test_iterations_match_rounds(sweep):
+    """Rounds per iteration stay bounded (2-4 plus O(1) overhead)."""
+    for c in sweep.cells:
+        if c.iterations.mean > 0:
+            per_iter = c.rounds.mean / c.iterations.mean
+            assert per_iter < 6.0

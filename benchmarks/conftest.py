@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md's
+per-experiment index), asserts the qualitative claims, and writes the
+full report to ``benchmarks/results/<name>.txt`` so the numbers are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run (and
+are the source material for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmark reports are persisted."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Callable writing a named report file and echoing it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[report saved to {path}]\n{text}")
+
+    return _save

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Near-duplicate image search over a sharded descriptor corpus.
+
+The related work motivates distributed ℓ-NN with web-scale image
+collections (Liu et al. [10]: "clustering billions of images with
+large scale nearest neighbor search").  This example mimics that
+pipeline at laptop scale:
+
+* a corpus of synthetic 64-d image descriptors lives sharded across
+  ``k`` storage nodes (some images exist in several lightly-corrupted
+  near-duplicate copies — re-uploads, crops, re-encodes);
+* given a query image, Algorithm 2 retrieves the ℓ closest
+  descriptors across all shards in O(log ℓ) rounds;
+* because descriptors never travel (only random IDs + distances, §2
+  of the paper), the bandwidth bill is independent of the 64-d
+  payload size — which this script demonstrates by doubling the
+  descriptor dimension and re-measuring.
+
+Run:  python examples/image_dedup.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import distributed_knn
+from repro.points import make_dataset
+
+SEED = 99
+K_NODES = 12
+N_BASE = 3000          # distinct source images
+DUP_RATE = 0.15        # fraction with near-duplicate copies
+DIM = 64
+L = 12
+
+
+def build_corpus(rng: np.random.Generator, dim: int):
+    """Base descriptors plus jittered near-duplicates; returns
+    (descriptors, origin) where origin[i] is the source-image index."""
+    base = rng.normal(0, 1.0, (N_BASE, dim))
+    descriptors = [base]
+    origins = [np.arange(N_BASE)]
+    dup_sources = rng.choice(N_BASE, size=int(N_BASE * DUP_RATE), replace=False)
+    for noise in (0.02, 0.05):
+        jitter = base[dup_sources] + rng.normal(0, noise, (len(dup_sources), dim))
+        descriptors.append(jitter)
+        origins.append(dup_sources)
+    return np.concatenate(descriptors), np.concatenate(origins)
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    descriptors, origins = build_corpus(rng, DIM)
+    dataset = make_dataset(descriptors, labels=origins, rng=rng)
+    print(
+        f"corpus: {len(descriptors)} descriptors "
+        f"({N_BASE} sources, near-duplicates included), dim={DIM}, "
+        f"sharded over k={K_NODES} nodes\n"
+    )
+
+    # Query with a fresh corrupted copy of a known image.
+    target = int(rng.integers(0, N_BASE))
+    query = descriptors[target] + rng.normal(0, 0.03, DIM)
+
+    result = distributed_knn(dataset, query, l=L, k=K_NODES, seed=SEED)
+    hit_sources = [int(s) for s in result.labels]
+    print(f"query: corrupted copy of source image #{target}")
+    print(f"top-{L} matches come from sources: {hit_sources}")
+    dup_hits = sum(1 for s in hit_sources if s == target)
+    print(f"copies of the true source retrieved: {dup_hits}")
+    assert hit_sources[0] == target, "nearest match must be the source"
+
+    print("\ncommunication (64-d corpus):")
+    print(f"  rounds={result.metrics.rounds} messages={result.metrics.messages} "
+          f"bits={result.metrics.bits:,}")
+
+    # --- the payload-independence claim ------------------------------
+    fat, fat_origins = build_corpus(np.random.default_rng(SEED), DIM * 4)
+    fat_ds = make_dataset(fat, labels=fat_origins, rng=np.random.default_rng(SEED))
+    fat_query = fat[target] + np.random.default_rng(1).normal(0, 0.03, DIM * 4)
+    fat_result = distributed_knn(fat_ds, fat_query, l=L, k=K_NODES, seed=SEED)
+    print(f"\ncommunication ({DIM * 4}-d corpus, 4x fatter descriptors):")
+    print(f"  rounds={fat_result.metrics.rounds} "
+          f"messages={fat_result.metrics.messages} bits={fat_result.metrics.bits:,}")
+    ratio = fat_result.metrics.bits / result.metrics.bits
+    print(f"  traffic ratio vs 64-d run: {ratio:.2f}x "
+          "(descriptors never cross the wire)")
+    assert ratio < 2.0, "traffic must not scale with descriptor size"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Analysis utilities: statistics, complexity fits, tables, charts."""
+
+from .complexity import LogFit, fit_log, growth_ratio, relative_spread
+from .figures import ascii_chart
+from .stats import (
+    Summary,
+    chernoff_lower,
+    chernoff_upper,
+    chi_square_uniform,
+    lemma23_failure_bound,
+    summarize,
+)
+from .tables import render_table, to_csv, write_csv
+from .theory import (
+    expected_selection_iterations_bound,
+    expected_survivors,
+    knn_message_bound,
+    knn_sample_messages,
+    max_good_events,
+    selection_message_bound,
+    simple_method_rounds,
+)
+
+__all__ = [
+    "LogFit",
+    "Summary",
+    "ascii_chart",
+    "chernoff_lower",
+    "chernoff_upper",
+    "chi_square_uniform",
+    "expected_selection_iterations_bound",
+    "expected_survivors",
+    "fit_log",
+    "growth_ratio",
+    "knn_message_bound",
+    "knn_sample_messages",
+    "lemma23_failure_bound",
+    "max_good_events",
+    "relative_spread",
+    "render_table",
+    "selection_message_bound",
+    "simple_method_rounds",
+    "summarize",
+    "to_csv",
+    "write_csv",
+]

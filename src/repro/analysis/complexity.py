@@ -1,0 +1,86 @@
+"""Complexity-curve fitting for the theorem-validation experiments.
+
+Theorems 2.2 and 2.4 predict *logarithmic* growth (rounds vs n,
+rounds vs ℓ) and *independence* (rounds vs k).  These helpers fit the
+measured series to ``y = a + b·log₂ x`` by least squares, report R²,
+and quantify independence as the relative spread across a swept
+variable — the numbers EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LogFit", "fit_log", "relative_spread", "growth_ratio"]
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """Least-squares fit of ``y ≈ a + b·log₂(x)``."""
+
+    a: float
+    b: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the fitted curve."""
+        return self.a + self.b * np.log2(x)
+
+    def __str__(self) -> str:
+        return f"y = {self.a:.2f} + {self.b:.3f}·log2(x)  (R²={self.r_squared:.4f})"
+
+
+def fit_log(xs: Sequence[float], ys: Sequence[float]) -> LogFit:
+    """Fit ``y = a + b log₂ x`` over paired observations.
+
+    A high R² with small residual curvature is the experimental
+    signature of an O(log x) algorithm; the rounds benchmarks assert
+    R² thresholds on exactly this fit.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need >= 2 paired observations")
+    if (x <= 0).any():
+        raise ValueError("x values must be positive for a log fit")
+    design = np.stack([np.ones_like(x), np.log2(x)], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    a, b = float(coeffs[0]), float(coeffs[1])
+    residuals = y - (a + b * np.log2(x))
+    ss_res = float((residuals**2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LogFit(a=a, b=b, r_squared=r2)
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """``(max − min) / mean`` — the independence measure.
+
+    Theorem 2.4 says Algorithm 2's round count does not depend on k;
+    experimentally we sweep k at fixed ℓ and require the relative
+    spread of mean rounds to stay small.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values")
+    mean = float(arr.mean())
+    if mean == 0:
+        return 0.0
+    return float((arr.max() - arr.min()) / mean)
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """``(y_last / y_first) / (x_last / x_first)`` — linear-vs-log probe.
+
+    For a Θ(x) algorithm this ratio approaches 1 as the sweep widens;
+    for a Θ(log x) algorithm it approaches 0.  Used to contrast the
+    simple method with Algorithm 2 on the same sweep.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size < 2 or x[0] <= 0 or y[0] <= 0:
+        raise ValueError("need >= 2 positive-endpoint observations")
+    return float((y[-1] / y[0]) / (x[-1] / x[0]))

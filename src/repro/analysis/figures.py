@@ -1,0 +1,74 @@
+"""Terminal line charts for experiment series (no plotting deps).
+
+The paper's Figure 2 is a multi-series line chart (speedup ratio vs
+ℓ, one series per k).  The benchmark environment has no matplotlib,
+so :func:`ascii_chart` renders series onto a character canvas — good
+enough to eyeball the reproduction's shape directly in the bench log,
+with CSV (see :mod:`repro.analysis.tables`) for real plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Each series gets a marker character; axes are annotated with data
+    ranges.  ``logx``/``logy`` plot on log₂ scales (points must then
+    be positive).
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("nothing to plot")
+
+    def tx(x: float) -> float:
+        return math.log2(x) if logx else x
+
+    def ty(y: float) -> float:
+        return math.log2(y) if logy else y
+
+    xs = [tx(x) for pts in series.values() for x, _ in pts]
+    ys = [ty(y) for pts in series.values() for _, y in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = xmax - xmin or 1.0
+    yspan = ymax - ymin or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            col = int(round((tx(x) - xmin) / xspan * (width - 1)))
+            row = int(round((ty(y) - ymin) / yspan * (height - 1)))
+            canvas[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    raw_ymax = max(y for pts in series.values() for _, y in pts)
+    raw_ymin = min(y for pts in series.values() for _, y in pts)
+    raw_xmax = max(x for pts in series.values() for x, _ in pts)
+    raw_xmin = min(x for pts in series.values() for x, _ in pts)
+    lines.append(f"y: {raw_ymin:.3g} .. {raw_ymax:.3g}" + ("  (log2)" if logy else ""))
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {raw_xmin:.3g} .. {raw_xmax:.3g}" + ("  (log2)" if logx else ""))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Statistical helpers for the experiment harness.
+
+Small, dependency-light (NumPy only; SciPy used lazily where an exact
+test adds value) implementations of what the experiments need:
+summaries with confidence intervals, a chi-square uniformity test for
+Lemma 2.1, and the Chernoff-bound calculators that let EXPERIMENTS.md
+print the paper's predicted failure probabilities next to measured
+rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "chi_square_uniform",
+    "chernoff_upper",
+    "chernoff_lower",
+    "lemma23_failure_bound",
+]
+
+#: Two-sided 95% normal quantile, good enough for the repetition
+#: counts the benchmarks run (we report it as an approximate CI).
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with spread for one measured quantity."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float
+    min: float
+    max: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    """Mean, sample std, and a normal-approximation 95% CI half-width."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize zero observations")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        ci95=_Z95 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+def chi_square_uniform(counts: Sequence[int] | np.ndarray) -> tuple[float, float]:
+    """Chi-square goodness-of-fit statistic + p-value against uniform.
+
+    ``counts`` are observed bin occupancies.  Uses
+    :func:`scipy.stats.chi2.sf` when SciPy is present, otherwise the
+    Wilson–Hilferty normal approximation — accurate to a few percent
+    for the degrees of freedom the pivot experiment uses.
+    """
+    obs = np.asarray(counts, dtype=np.float64)
+    if obs.size < 2:
+        raise ValueError("need at least 2 bins")
+    expected = obs.sum() / obs.size
+    if expected <= 0:
+        raise ValueError("no observations")
+    stat = float(((obs - expected) ** 2 / expected).sum())
+    dof = obs.size - 1
+    try:
+        from scipy.stats import chi2  # noqa: PLC0415 - optional dependency
+
+        pvalue = float(chi2.sf(stat, dof))
+    except ImportError:  # pragma: no cover - scipy present in dev env
+        # Wilson–Hilferty: (X/d)^(1/3) approx normal.
+        z = ((stat / dof) ** (1.0 / 3.0) - (1 - 2.0 / (9 * dof))) / math.sqrt(
+            2.0 / (9 * dof)
+        )
+        pvalue = 0.5 * math.erfc(z / math.sqrt(2))
+    return stat, pvalue
+
+
+def chernoff_upper(mu: float, delta: float) -> float:
+    """Chernoff bound ``P[X >= (1+δ)μ] <= exp(−δ²μ/3)`` (paper's form)."""
+    if mu < 0 or delta < 0:
+        raise ValueError("mu and delta must be non-negative")
+    return math.exp(-(delta**2) * mu / 3.0)
+
+
+def chernoff_lower(mu: float, delta: float) -> float:
+    """Chernoff bound ``P[X <= (1−δ)μ] <= exp(−δ²μ/2)`` (paper's form)."""
+    if mu < 0 or not 0 <= delta <= 1:
+        raise ValueError("mu must be >= 0 and delta in [0, 1]")
+    return math.exp(-(delta**2) * mu / 2.0)
+
+
+def lemma23_failure_bound(l: int) -> float:
+    """The paper's Lemma 2.3 failure probability bound ``2/ℓ²``.
+
+    Probability that the sampling threshold ``r`` falls outside blocks
+    ``B₂ … B₁₁`` — i.e. that pruning either cuts true neighbors or
+    leaves more than ``11ℓ`` candidates.
+    """
+    if l < 1:
+        raise ValueError("l must be >= 1")
+    return min(1.0, 2.0 / (l * l))

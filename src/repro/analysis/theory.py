@@ -1,0 +1,117 @@
+"""The paper's analytical bounds, as executable predictions.
+
+Every bound the paper proves is restated here as a function, so
+experiment reports can print *predicted vs measured* side by side and
+tests can assert that measurements respect the theory:
+
+* Theorem 2.2's iteration bound — the proof counts "good" pivot events
+  (middle-third pivots, probability 1/3 each, shrink factor ≥ 2/3):
+  at most ``log_{3/2} n`` good events exhaust the input, so the
+  expected iteration count is at most ``3·log_{3/2} n``.
+* Theorem 2.2/2.4 message budgets — per-iteration message counts from
+  the protocol structure (≤ 2k per iteration plus the init/finish
+  overhead).
+* Lemma 2.3's constants — sample counts, the expected threshold rank,
+  and the 2/ℓ² failure bound (see also
+  :func:`repro.analysis.stats.lemma23_failure_bound`).
+
+These are *upper bounds* (the proofs are not tight); experiments
+verify measured ≤ predicted, and the looseness factor is itself an
+interesting number the reports can show.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "max_good_events",
+    "expected_selection_iterations_bound",
+    "selection_message_bound",
+    "knn_sample_messages",
+    "knn_message_bound",
+    "expected_survivors",
+    "simple_method_rounds",
+]
+
+
+def max_good_events(n: int) -> float:
+    """``log_{3/2} n`` — good pivots needed to exhaust n elements.
+
+    A "good" pivot lands in the middle third of the active range and
+    discards at least a third of it; after ``log_{3/2} n`` such events
+    at most one element remains.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return 0.0
+    return math.log(n, 1.5)
+
+
+def expected_selection_iterations_bound(n: int) -> float:
+    """Theorem 2.2's expected-iteration bound: ``3·log_{3/2} n``.
+
+    Good events occur with probability 1/3 per iteration, so in
+    expectation three iterations buy one good event.
+    """
+    return 3.0 * max_good_events(n)
+
+
+def selection_message_bound(n: int, k: int) -> float:
+    """Messages for one Algorithm 1 run, via the protocol structure.
+
+    init (2(k−1)) + per iteration ≤ 2k (pivot round-trip 2 + count
+    broadcast/gather 2(k−1)) + finished (k−1), with the iteration
+    count at its Theorem 2.2 expectation bound.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return 0.0
+    return 2 * (k - 1) + expected_selection_iterations_bound(n) * 2 * k + (k - 1)
+
+
+def knn_sample_messages(l: int, k: int, sample_factor: int = 12) -> int:
+    """Stage-3 sampling messages: ``(k−1)·sample_factor·⌈log₂ ℓ⌉``."""
+    if l < 1 or k < 1:
+        raise ValueError("l and k must be >= 1")
+    log_l = max(1, math.ceil(math.log2(l))) if l > 1 else 1
+    return (k - 1) * sample_factor * log_l
+
+
+def knn_message_bound(l: int, k: int, sample_factor: int = 12) -> float:
+    """Theorem 2.4's total message budget for one query.
+
+    Sampling + threshold broadcast + Algorithm 1 on ≤ 11ℓ survivors.
+    """
+    return (
+        knn_sample_messages(l, k, sample_factor)
+        + (k - 1)
+        + selection_message_bound(max(2, 11 * l), k)
+    )
+
+
+def expected_survivors(l: int, sample_factor: int = 12, cutoff_factor: int = 21) -> float:
+    """Expected candidate count below the threshold r.
+
+    r sits at sample quantile ``cutoff/(k·sample)`` of ``k·ℓ``
+    candidates, i.e. ≈ ``(cutoff/sample)·ℓ`` survivors — 1.75ℓ at the
+    paper's constants, comfortably under Lemma 2.3's 11ℓ.
+    """
+    if l < 1:
+        raise ValueError("l must be >= 1")
+    return (cutoff_factor / sample_factor) * l
+
+
+def simple_method_rounds(l: int, bandwidth_bits: int, pair_bits: int = 144) -> float:
+    """Transfer rounds of the simple method under bandwidth B.
+
+    Each machine ships ℓ (id, distance) pairs over its single link to
+    the leader; links run in parallel so the transfer takes
+    ``⌈ℓ·pair_bits / B⌉`` rounds — Θ(ℓ) for any fixed B, the §1.3
+    separation.
+    """
+    if l < 1 or bandwidth_bits < 1:
+        raise ValueError("l and bandwidth_bits must be >= 1")
+    return math.ceil(l * pair_bits / bandwidth_bits)

@@ -1,0 +1,192 @@
+"""Distributed order-statistics on top of Algorithm 1.
+
+The paper closes with "we believe that our algorithm can be used as a
+subroutine for many other problems".  This module packages the most
+immediate ones — the aggregate queries a fleet operator actually asks
+of data that lives where it was produced — as one-call functions, all
+running the real selection protocol on the simulator:
+
+* :func:`distributed_quantile` / :func:`distributed_median` — the
+  q-quantile is the ``⌈q·n⌉``-th smallest value: one selection run,
+  O(log n) rounds.
+* :func:`distributed_top_k` — the k largest values (selection on the
+  negated values).
+* :func:`distributed_range_count` — ``|{x : lo <= x <= hi}|`` via the
+  protocol's own counting primitive: one broadcast + gather, 2 rounds.
+* :func:`distributed_extrema` — global (min, max) in 2 rounds.
+
+Each returns its answer plus the run's :class:`Metrics`, so callers
+can budget communication the same way the experiments do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..kmachine.collectives import broadcast, gather
+from ..kmachine.machine import FunctionProgram, MachineContext
+from ..kmachine.metrics import Metrics
+from ..kmachine.simulator import Simulator
+from ..points.dataset import make_dataset
+from ..points.partition import shard_dataset
+from .driver import DEFAULT_BANDWIDTH_BITS, distributed_select
+
+__all__ = [
+    "distributed_quantile",
+    "distributed_median",
+    "distributed_top_k",
+    "distributed_range_count",
+    "distributed_extrema",
+]
+
+
+def distributed_quantile(
+    values: Sequence[float] | np.ndarray,
+    q: float,
+    k: int,
+    *,
+    seed: int | None = None,
+    bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+    partitioner: str = "random",
+) -> tuple[float, Metrics]:
+    """The q-quantile (inverted-CDF convention) of sharded values.
+
+    Equals ``numpy.quantile(values, q, method="inverted_cdf")``; one
+    Algorithm 1 run with ``l = ⌈q·n⌉``.
+
+    >>> import numpy as np
+    >>> value, metrics = distributed_quantile(np.arange(100.0), 0.5, k=4, seed=1)
+    >>> value
+    49.0
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot take a quantile of no values")
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    l = max(1, int(math.ceil(q * arr.size)))
+    result = distributed_select(
+        arr, l=l, k=k, seed=seed, bandwidth_bits=bandwidth_bits,
+        partitioner=partitioner,
+    )
+    return float(result.values[-1]), result.metrics
+
+
+def distributed_median(
+    values: Sequence[float] | np.ndarray,
+    k: int,
+    *,
+    seed: int | None = None,
+    bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+) -> tuple[float, Metrics]:
+    """The lower median — the classic instance ([15]'s lower bound is
+    about exactly this problem, which is why Algorithm 1 is optimal."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot take the median of no values")
+    q = math.ceil(arr.size / 2) / arr.size
+    return distributed_quantile(arr, q, k, seed=seed, bandwidth_bits=bandwidth_bits)
+
+
+def distributed_top_k(
+    values: Sequence[float] | np.ndarray,
+    top: int,
+    k: int,
+    *,
+    seed: int | None = None,
+    bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+) -> tuple[np.ndarray, Metrics]:
+    """The ``top`` largest values, descending (selection on negations)."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if not 0 <= top <= arr.size:
+        raise ValueError(f"top={top} outside [0, {arr.size}]")
+    result = distributed_select(
+        -arr, l=top, k=k, seed=seed, bandwidth_bits=bandwidth_bits
+    )
+    return -result.values, result.metrics
+
+
+def _count_program(lo: float, hi: float):
+    def prog(ctx: MachineContext):
+        local = ctx.local
+        count = int(((local >= lo) & (local <= hi)).sum()) if local is not None else 0
+        counts = yield from gather(ctx, 0, "rc", count)
+        total = sum(counts) if ctx.rank == 0 else None
+        total = yield from broadcast(ctx, 0, "rt", total)
+        return total
+
+    return FunctionProgram(prog, name="range-count")
+
+
+def distributed_range_count(
+    values: Sequence[float] | np.ndarray,
+    lo: float,
+    hi: float,
+    k: int,
+    *,
+    seed: int | None = None,
+    bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+) -> tuple[int, Metrics]:
+    """``|{x : lo <= x <= hi}|`` over sharded values in 2 rounds."""
+    if hi < lo:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    shards = _shard_values(arr, k, seed)
+    sim = Simulator(
+        k=k, program=_count_program(lo, hi), inputs=shards, seed=seed,
+        bandwidth_bits=bandwidth_bits,
+    )
+    res = sim.run()
+    return int(res.outputs[0]), res.metrics
+
+
+def _extrema_program():
+    def prog(ctx: MachineContext):
+        local = ctx.local
+        if local is not None and len(local):
+            pair = (float(local.min()), float(local.max()))
+        else:
+            pair = (math.inf, -math.inf)
+        pairs = yield from gather(ctx, 0, "ex", pair)
+        if ctx.rank == 0:
+            lo = min(p[0] for p in pairs)
+            hi = max(p[1] for p in pairs)
+            out = (lo, hi)
+        else:
+            out = None
+        out = yield from broadcast(ctx, 0, "exb", out)
+        return out
+
+    return FunctionProgram(prog, name="extrema")
+
+
+def distributed_extrema(
+    values: Sequence[float] | np.ndarray,
+    k: int,
+    *,
+    seed: int | None = None,
+    bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+) -> tuple[tuple[float, float], Metrics]:
+    """Global ``(min, max)`` in 2 rounds — Algorithm 1's init step,
+    exposed (the paper: "the leader can get this global minimum and
+    maximum point by asking all the machines ... in 2 rounds")."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("no values")
+    shards = _shard_values(arr, k, seed)
+    sim = Simulator(
+        k=k, program=_extrema_program(), inputs=shards, seed=seed,
+        bandwidth_bits=bandwidth_bits,
+    )
+    res = sim.run()
+    return tuple(res.outputs[0]), res.metrics
+
+
+def _shard_values(arr: np.ndarray, k: int, seed: int | None) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    dataset = make_dataset(arr, rng=rng)
+    shards = shard_dataset(dataset, k, rng, "random")
+    return [s.points[:, 0] for s in shards]

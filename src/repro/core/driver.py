@@ -1,0 +1,266 @@
+"""One-call user API: distributed selection and ℓ-NN on simulated machines.
+
+These helpers wrap the full pipeline — dataset wrapping, partitioning
+onto ``k`` machines, simulator construction with a paper-faithful
+bandwidth, protocol execution, and result assembly — behind two
+functions:
+
+>>> import numpy as np
+>>> from repro.core.driver import distributed_select, distributed_knn
+>>> rng = np.random.default_rng(0)
+>>> values = rng.uniform(0, 100, 10_000)
+>>> result = distributed_select(values, l=10, k=8, seed=1)
+>>> len(result.values)
+10
+>>> pts = rng.uniform(0, 1, (5_000, 8))
+>>> res = distributed_knn(pts, query=pts[0], l=5, k=8, seed=1)
+>>> res.ids.shape
+(5,)
+
+Bandwidth default: the model says ``B = Θ(log n)`` bits — i.e. a
+constant number of (value, id)-sized words per round.  We default to
+:data:`DEFAULT_BANDWIDTH_BITS`, sized so that exactly one protocol
+query message (opcode + two keys) fits per link per round; this is
+the tightest setting under which all protocols here advance one
+protocol step per round, and it is what makes the simple method's
+Θ(ℓ)-round transfer visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..kmachine.metrics import Metrics
+from ..kmachine.simulator import SimulationResult, Simulator
+from ..kmachine.timing import CostModel
+from ..points.dataset import Dataset, make_dataset
+from ..points.ids import Keyed
+from ..points.metrics import Metric, get_metric
+from ..points.partition import shard_dataset
+from .binary_search import BinarySearchKNNProgram
+from .knn import KNNOutput, KNNProgram
+from .saukas_song import SaukasSongKNNProgram
+from .selection import SelectionProgram, SelectionStats
+from .simple import SimpleKNNProgram
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_BITS",
+    "SelectResult",
+    "KNNResult",
+    "distributed_select",
+    "distributed_knn",
+    "knn_program_for",
+    "ALGORITHMS",
+]
+
+#: One Algorithm-1 query message — an opcode string plus two (value,
+#: id) keys plus the header — rounded up to a power of two.
+DEFAULT_BANDWIDTH_BITS = 512
+
+#: Protocol registry for :func:`distributed_knn`'s ``algorithm=`` knob.
+ALGORITHMS = ("sampled", "unpruned", "simple", "saukas_song", "binary_search")
+
+
+@dataclass
+class SelectResult:
+    """Assembled output of :func:`distributed_select`.
+
+    ``values``/``ids`` are the globally ℓ smallest, ascending by
+    (value, id); ``metrics`` is the run's round/message accounting;
+    ``stats`` the leader's iteration statistics.
+    """
+
+    values: np.ndarray
+    ids: np.ndarray
+    boundary: Keyed
+    metrics: Metrics
+    stats: SelectionStats
+    raw: SimulationResult
+
+
+@dataclass
+class KNNResult:
+    """Assembled output of :func:`distributed_knn`.
+
+    ``ids``/``distances``/``points``/``labels`` are the global ℓ-NN
+    answer gathered from all machines, ascending by (distance, id).
+    ``leader_output`` retains the leader's :class:`KNNOutput` (with
+    sampling statistics); ``metrics`` the communication accounting.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    points: np.ndarray
+    labels: np.ndarray | None
+    boundary: Keyed
+    metrics: Metrics
+    leader_output: KNNOutput
+    raw: SimulationResult
+
+
+def distributed_select(
+    values: Sequence[float] | np.ndarray,
+    l: int,
+    k: int,
+    *,
+    seed: int | None = None,
+    bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+    election: str = "fixed",
+    partitioner: str = "random",
+    measure_compute: bool = False,
+    cost_model: CostModel | None = None,
+    slack: float = 0.0,
+) -> SelectResult:
+    """Find the ℓ smallest of ``values`` with Algorithm 1 on k machines.
+
+    ``values`` is any 1-D numeric array; IDs are assigned internally
+    (ties broken the paper's way).  ``partitioner`` picks the
+    adversary (see :mod:`repro.points.partition`).  ``slack > 0``
+    switches to the approximate early-stopping variant (see
+    :func:`repro.core.selection.selection_subroutine`): the result
+    then contains all ℓ true smallest plus up to ``slack·ℓ`` extras.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if not 0 <= l <= arr.size:
+        raise ValueError(f"l={l} outside [0, {arr.size}]")
+    rng = np.random.default_rng(seed)
+    dataset = make_dataset(arr, rng=rng)
+    shards = shard_dataset(dataset, k, rng, partitioner)
+    inputs = []
+    for shard in shards:
+        keys = np.empty(len(shard), dtype=[("value", "f8"), ("id", "i8")])
+        keys["value"] = shard.points[:, 0]
+        keys["id"] = shard.ids
+        keys.sort(order=("value", "id"))
+        inputs.append(keys)
+    sim = Simulator(
+        k=k,
+        program=SelectionProgram(l, election=election, slack=slack),
+        inputs=inputs,
+        seed=None if seed is None else seed + 1,
+        bandwidth_bits=bandwidth_bits,
+        measure_compute=measure_compute,
+        cost_model=cost_model,
+    )
+    result = sim.run()
+    merged = np.concatenate([out.selected for out in result.outputs])
+    merged.sort(order=("value", "id"))
+    leader_out = next(out for out in result.outputs if out.is_leader)
+    return SelectResult(
+        values=merged["value"].copy(),
+        ids=merged["id"].copy(),
+        boundary=leader_out.boundary,
+        metrics=result.metrics,
+        stats=leader_out.stats,
+        raw=result,
+    )
+
+
+def knn_program_for(
+    algorithm: str,
+    query: np.ndarray,
+    l: int,
+    metric: Metric | str,
+    election: str = "fixed",
+    **knobs,
+):
+    """Construct the KNN protocol program named by ``algorithm``.
+
+    ``sampled`` is the paper's Algorithm 2; ``unpruned`` is Algorithm 2
+    without the sampling stage (the O(log ℓ + log k) variant);
+    ``simple``, ``saukas_song`` and ``binary_search`` are the
+    baselines.  Extra ``knobs`` (``sample_factor``, ``cutoff_factor``,
+    ``safe_mode``) only apply to the sampled variants.
+    """
+    if algorithm == "sampled":
+        return KNNProgram(query, l, metric, election, **knobs)
+    if algorithm == "unpruned":
+        return KNNProgram(query, l, metric, election, prune=False, **knobs)
+    if algorithm == "simple":
+        return SimpleKNNProgram(query, l, metric, election)
+    if algorithm == "saukas_song":
+        return SaukasSongKNNProgram(query, l, metric, election)
+    if algorithm == "binary_search":
+        return BinarySearchKNNProgram(query, l, metric, election)
+    raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+
+
+def distributed_knn(
+    points: np.ndarray | Dataset,
+    query: np.ndarray | float,
+    l: int,
+    k: int,
+    *,
+    labels: np.ndarray | None = None,
+    metric: Metric | str = "euclidean",
+    algorithm: str = "sampled",
+    seed: int | None = None,
+    bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+    election: str = "fixed",
+    partitioner: str = "random",
+    measure_compute: bool = False,
+    cost_model: CostModel | None = None,
+    **knobs,
+) -> KNNResult:
+    """Answer one ℓ-NN query over ``points`` sharded onto k machines.
+
+    The primary public entry point.  ``points`` may be a raw array
+    (IDs assigned internally, optional ``labels``) or a prepared
+    :class:`~repro.points.dataset.Dataset`.
+    """
+    rng = np.random.default_rng(seed)
+    dataset = (
+        points
+        if isinstance(points, Dataset)
+        else make_dataset(np.asarray(points), labels=labels, rng=rng)
+    )
+    if not 1 <= l <= len(dataset):
+        raise ValueError(f"l={l} outside [1, {len(dataset)}]")
+    metric_obj = get_metric(metric)
+    query_arr = np.atleast_1d(np.asarray(query, dtype=np.float64))
+    shards = shard_dataset(
+        dataset, k, rng, partitioner, metric=metric_obj, query=query_arr
+    )
+    program = knn_program_for(algorithm, query_arr, l, metric_obj, election, **knobs)
+    sim = Simulator(
+        k=k,
+        program=program,
+        inputs=shards,
+        seed=None if seed is None else seed + 1,
+        bandwidth_bits=bandwidth_bits,
+        measure_compute=measure_compute,
+        cost_model=cost_model,
+    )
+    result = sim.run()
+    outputs: list[KNNOutput] = result.outputs
+    table = np.empty(
+        sum(len(o.ids) for o in outputs), dtype=[("value", "f8"), ("id", "i8")]
+    )
+    offset = 0
+    rows = []
+    labels_parts = []
+    for out in outputs:
+        n = len(out.ids)
+        table["value"][offset : offset + n] = out.distances
+        table["id"][offset : offset + n] = out.ids
+        rows.append(out.points)
+        if out.labels is not None:
+            labels_parts.append(out.labels)
+        offset += n
+    order = np.argsort(table, order=("value", "id"))
+    all_points = np.concatenate(rows) if rows else np.empty((0, dataset.dim))
+    all_labels = np.concatenate(labels_parts) if labels_parts else None
+    leader_out = next(out for out in outputs if out.is_leader)
+    return KNNResult(
+        ids=table["id"][order].copy(),
+        distances=table["value"][order].copy(),
+        points=all_points[order],
+        labels=None if all_labels is None else all_labels[order],
+        boundary=leader_out.boundary,
+        metrics=result.metrics,
+        leader_output=leader_out,
+        raw=result,
+    )

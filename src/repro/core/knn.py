@@ -1,0 +1,375 @@
+"""Algorithm 2 — distributed ℓ-nearest neighbors in O(log ℓ) rounds.
+
+Given a query ``q`` known to every machine, Algorithm 2 computes the
+ℓ-NN of ``q`` over the union of the machines' point sets in
+``O(log ℓ)`` rounds and ``O(k log ℓ)`` messages w.h.p. (Theorem 2.4)
+— independent of both the number of machines ``k`` and the global
+point count ``n``.  The stages, following the paper's pseudocode:
+
+1. *Leader election* (pluggable; the model's "known leader" default).
+2. *Local pruning*: machine ``i`` keeps only its ``ℓ`` closest points
+   ``S_i`` (a single machine could hold all the answers, so nothing
+   farther can matter).  Distances become ``(value, id)`` keys.
+3. *Sampling*: each machine draws ``12·log₂ ℓ`` random points of
+   ``S_i`` and sends them — one key per message, so the message
+   metric counts the paper's ``O(k log ℓ)`` and the bandwidth queue
+   charges ``O(log ℓ)`` rounds per (parallel) link.  Machines with
+   fewer candidates than the sample size pad with sentinel messages
+   so the leader's gather is exact.
+4. *Threshold*: the leader sorts the sampled keys and broadcasts
+   ``r``, the key at index ``21·log₂ ℓ``.  By Lemma 2.3 at most
+   ``11ℓ`` candidates survive below ``r`` w.h.p., and w.h.p. every
+   true neighbor does.
+5. *Pruning*: each machine discards keys above ``r``.
+6. *Selection*: Algorithm 1 on the survivors finds the ℓ smallest
+   distance keys; machines output the corresponding points.
+
+The sampling constants (12 and 21) are the proof's choices; both are
+constructor parameters so the ablation benchmarks can probe how much
+slack the analysis leaves.
+
+Failure handling: with probability ≤ 2/ℓ² the threshold ``r`` cuts
+below the true ℓ-th neighbor and the output would be short.  With
+``safe_mode=True`` the leader counts survivors before selecting (one
+extra gather/broadcast pair) and, if fewer than ℓ survive, re-runs on
+the unpruned ``S_i`` sets — turning the Monte Carlo guarantee into a
+Las Vegas one for two extra rounds.  Benchmarks use
+``safe_mode=False`` to measure the paper-faithful protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from ..kmachine.machine import MachineContext, Program
+from ..points.dataset import Shard
+from ..points.ids import Keyed
+from ..points.metrics import Metric, get_metric
+from .leader import elect
+from .messages import decode_key, encode_key, log2_ceil, tag
+from .selection import SelectionStats, _rank_leq, selection_subroutine
+
+__all__ = ["KNNOutput", "KNNProgram", "knn_subroutine", "local_candidates"]
+
+_KEY_DTYPE = [("value", "f8"), ("id", "i8")]
+
+
+@dataclass
+class KNNOutput:
+    """Per-machine result of one distributed ℓ-NN query.
+
+    The union over machines of ``ids`` is exactly the ℓ-NN ID set (the
+    paper's output convention: "each machine outputs the points
+    corresponding to the output of Algorithm 1").
+
+    Attributes
+    ----------
+    ids / distances:
+        This machine's locally-held answer points (ascending by
+        (distance, id) within the machine).
+    points / labels:
+        The corresponding rows of the local shard (labels ``None`` for
+        unlabelled data).
+    boundary:
+        Global (distance, id) acceptance threshold; identical on all
+        machines.
+    is_leader:
+        Whether this machine ran the leader role.
+    survivors:
+        Global candidate count that entered the selection stage
+        (leader only; the Lemma 2.3 quantity, ≤ 11ℓ w.h.p.).
+    sampled:
+        Number of sampled keys the leader based the threshold on
+        (leader only).
+    threshold:
+        The broadcast pruning key ``r`` (leader only; ``None`` when
+        pruning was disabled).
+    fallback:
+        True when safe mode detected an over-aggressive threshold and
+        re-ran without pruning (leader only; w.h.p. False).
+    selection_stats:
+        Algorithm 1 statistics for the final stage (leader only).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    points: np.ndarray
+    labels: np.ndarray | None
+    boundary: Keyed
+    is_leader: bool
+    survivors: int | None = None
+    sampled: int | None = None
+    threshold: Keyed | None = None
+    fallback: bool = False
+    selection_stats: SelectionStats | None = None
+
+
+def local_candidates(
+    shard: Shard, query: np.ndarray, l: int, metric: Metric
+) -> np.ndarray:
+    """Stage-2 local pruning: the shard's ℓ closest points as sorted keys.
+
+    Vectorized per the HPC guides: one distance-kernel call, one
+    ``np.argpartition``, one sort of the ℓ-prefix.  Returns a
+    structured ``(value, id)`` array ascending by (value, id).
+    """
+    if len(shard) == 0:
+        return np.empty(0, dtype=_KEY_DTYPE)
+    dists = metric.distances(shard.points, query)
+    keep = np.arange(len(dists))
+    if 0 < l < len(dists):
+        # Partition by distance, then resolve the tie block straddling
+        # the l-th position by smallest ID — the global (value, id)
+        # order must never be violated by local pruning.
+        part = np.argpartition(dists, l - 1)
+        v_star = dists[part[l - 1]]
+        less = np.nonzero(dists < v_star)[0]
+        ties = np.nonzero(dists == v_star)[0]
+        need = l - len(less)
+        tie_take = ties[np.argsort(shard.ids[ties], kind="stable")[:need]]
+        keep = np.concatenate([less, tie_take])
+    out = np.empty(len(keep), dtype=_KEY_DTYPE)
+    out["value"] = dists[keep]
+    out["id"] = shard.ids[keep]
+    out.sort(order=("value", "id"))
+    return out
+
+
+def knn_subroutine(
+    ctx: MachineContext,
+    leader: int,
+    shard: Shard,
+    query: np.ndarray,
+    l: int,
+    metric: Metric,
+    *,
+    sample_factor: int = 12,
+    cutoff_factor: int = 21,
+    safe_mode: bool = True,
+    prune: bool = True,
+    threshold: Keyed | None = None,
+    pace_samples: bool = False,
+    prefix: str = "knn",
+) -> Generator[None, None, KNNOutput]:
+    """Run Algorithm 2 as an embeddable subroutine (see module docs).
+
+    ``prune=False`` skips stages 3–5 entirely and runs Algorithm 1
+    directly on the ``S_i`` sets — the ``O(log ℓ + log k)``-round
+    variant the paper mentions before introducing sampling; kept as an
+    ablation arm.
+
+    ``threshold`` (a distance key every machine already knows, e.g. a
+    triangle-inequality bound carried over from a previous query by
+    :class:`repro.core.monitor.MovingKNNMonitor`) replaces the
+    sampling stages entirely: machines prune to keys ≤ ``threshold``
+    and selection runs on the survivors.  The caller is responsible
+    for the threshold being *safe* (at least ℓ global keys below it);
+    ``safe_mode`` still verifies and repairs if it is not.
+
+    ``pace_samples=True`` sends one sample per link per round instead
+    of bursting them into the link queue — the literal reading of the
+    paper's "step 4 takes O(log ℓ) rounds", and the mode that runs
+    under the simulator's ``strict`` bandwidth policy (each link then
+    carries exactly one O(log n)-bit message per round).  Rounds and
+    messages are asymptotically identical either way; bursting simply
+    lets a wider ``B`` pack several samples per round.
+    """
+    if l < 1:
+        raise ValueError(f"l must be >= 1, got {l}")
+    if sample_factor < 1 or cutoff_factor < 1:
+        raise ValueError("sample_factor and cutoff_factor must be >= 1")
+    query = np.atleast_1d(np.asarray(query, dtype=np.float64))
+
+    # Stage 2: local pruning to the l closest points (free, local).
+    candidates = local_candidates(shard, query, l, metric)
+    working = candidates
+    external_threshold = threshold
+    threshold = None  # the threshold actually applied (reported in output)
+    sampled_total: int | None = None
+    fallback = False
+    is_leader = ctx.rank == leader
+
+    if external_threshold is not None and ctx.k > 1:
+        # Externally supplied pruning bound: skip sampling entirely.
+        threshold = external_threshold
+        working = candidates[: _rank_leq(candidates, threshold)]
+        if safe_mode:
+            t_scount = tag(prefix, "scount")
+            t_go = tag(prefix, "go")
+            if is_leader:
+                msgs = yield from ctx.recv(t_scount, ctx.k - 1)
+                survivors = len(working) + sum(m.payload for m in msgs)
+                fallback = survivors < l
+                ctx.broadcast(t_go, fallback)
+                yield
+            else:
+                ctx.send(leader, t_scount, len(working))
+                msg = yield from ctx.recv_one(t_go, src=leader)
+                fallback = bool(msg.payload)
+            if fallback:
+                working = candidates
+    elif prune and ctx.k > 1:
+        log_l = max(1, log2_ceil(l))
+        n_samples = sample_factor * log_l
+        cutoff = cutoff_factor * log_l
+        t_sample = tag(prefix, "sample")
+        t_thresh = tag(prefix, "thresh")
+
+        # Stage 3: every machine emits exactly `n_samples` messages
+        # (sample keys, padded with None sentinels), so the leader's
+        # receive count is deterministic.
+        if len(candidates) > n_samples:
+            idx = ctx.rng.choice(len(candidates), size=n_samples, replace=False)
+            my_samples = candidates[np.sort(idx)]
+        else:
+            my_samples = candidates
+        if not is_leader:
+            for row in my_samples:
+                ctx.send(leader, t_sample, encode_key(Keyed(row["value"], row["id"])))
+                if pace_samples:
+                    yield
+            for _ in range(n_samples - len(my_samples)):
+                ctx.send(leader, t_sample, None)
+                if pace_samples:
+                    yield
+
+        # Stage 4: leader picks the threshold r.
+        if is_leader:
+            msgs = yield from ctx.recv(t_sample, (ctx.k - 1) * n_samples)
+            pool = [decode_key(m.payload) for m in msgs if m.payload is not None]
+            pool.extend(Keyed(row["value"], row["id"]) for row in my_samples)
+            pool.sort()
+            sampled_total = len(pool)
+            if not pool:
+                raise ValueError("no machine holds any point; cannot answer query")
+            threshold = pool[min(cutoff, len(pool)) - 1]
+            ctx.broadcast(t_thresh, encode_key(threshold))
+            yield
+        else:
+            msg = yield from ctx.recv_one(t_thresh, src=leader)
+            threshold = decode_key(msg.payload)
+
+        # Stage 5: prune everything above r.
+        working = candidates[: _rank_leq(candidates, threshold)]
+
+        # Safe mode: verify >= l candidates survived before selecting.
+        if safe_mode:
+            t_scount = tag(prefix, "scount")
+            t_go = tag(prefix, "go")
+            if is_leader:
+                msgs = yield from ctx.recv(t_scount, ctx.k - 1)
+                survivors = len(working) + sum(m.payload for m in msgs)
+                fallback = survivors < l
+                ctx.broadcast(t_go, fallback)
+                yield
+            else:
+                ctx.send(leader, t_scount, len(working))
+                msg = yield from ctx.recv_one(t_go, src=leader)
+                fallback = bool(msg.payload)
+            if fallback:
+                working = candidates
+
+    # Stage 6: Algorithm 1 on the surviving distance keys.
+    sel = yield from selection_subroutine(
+        ctx, leader, working, l, prefix=tag(prefix, "sel")
+    )
+
+    # Map selected distance keys back to the shard's points.
+    ids = sel.selected["id"].copy()
+    distances = sel.selected["value"].copy()
+    order = np.argsort(shard.ids, kind="stable")
+    pos = order[np.searchsorted(shard.ids[order], ids)] if len(ids) else np.empty(0, np.int64)
+    points = shard.points[pos]
+    labels = None if shard.labels is None else shard.labels[pos]
+
+    return KNNOutput(
+        ids=ids,
+        distances=distances,
+        points=points,
+        labels=labels,
+        boundary=sel.boundary,
+        is_leader=is_leader,
+        survivors=sel.stats.initial_count if sel.stats is not None else None,
+        sampled=sampled_total,
+        threshold=threshold,
+        fallback=fallback,
+        selection_stats=sel.stats,
+    )
+
+
+class KNNProgram(Program):
+    """Standalone SPMD wrapper for Algorithm 2.
+
+    Machine-local input (``ctx.local``) is a
+    :class:`~repro.points.dataset.Shard`; the query, ℓ and metric are
+    program configuration because the paper gives the query to all
+    machines up front.  Per-machine output is a :class:`KNNOutput`.
+
+    Parameters
+    ----------
+    query:
+        The query point (scalar or length-d vector).
+    l:
+        Number of neighbors.
+    metric:
+        Metric name or instance (default Euclidean).
+    election:
+        Leader-election strategy (``fixed``/``min_id``/``sublinear``).
+    sample_factor / cutoff_factor / safe_mode / prune:
+        Passed to :func:`knn_subroutine`.
+    """
+
+    name = "algorithm2-knn"
+
+    def __init__(
+        self,
+        query: np.ndarray | float,
+        l: int,
+        metric: Metric | str = "euclidean",
+        election: str = "fixed",
+        *,
+        sample_factor: int = 12,
+        cutoff_factor: int = 21,
+        safe_mode: bool = True,
+        prune: bool = True,
+        threshold: Keyed | None = None,
+        pace_samples: bool = False,
+    ) -> None:
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        if sample_factor < 1 or cutoff_factor < 1:
+            raise ValueError("sample_factor and cutoff_factor must be >= 1")
+        self.query = np.atleast_1d(np.asarray(query, dtype=np.float64))
+        self.l = l
+        self.metric = get_metric(metric)
+        self.election = election
+        self.sample_factor = sample_factor
+        self.cutoff_factor = cutoff_factor
+        self.safe_mode = safe_mode
+        self.prune = prune
+        self.threshold = threshold
+        self.pace_samples = pace_samples
+
+    def run(self, ctx: MachineContext) -> Generator[None, None, KNNOutput]:
+        leader = yield from elect(ctx, method=self.election)
+        shard: Shard = ctx.local
+        if shard is None:
+            shard = Shard(points=np.empty((0, len(self.query))), ids=np.empty(0, np.int64))
+        output = yield from knn_subroutine(
+            ctx,
+            leader,
+            shard,
+            self.query,
+            self.l,
+            self.metric,
+            sample_factor=self.sample_factor,
+            cutoff_factor=self.cutoff_factor,
+            safe_mode=self.safe_mode,
+            prune=self.prune,
+            threshold=self.threshold,
+            pace_samples=self.pace_samples,
+        )
+        return output

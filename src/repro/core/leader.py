@@ -1,0 +1,163 @@
+"""Leader election on the k-machine clique.
+
+Both of the paper's algorithms start with "elect a leader machine
+(among the k machines)", citing the sublinear-message randomized
+election of Kutten, Pandurangan, Peleg, Robinson and Trehan [9]
+(O(1) rounds, O(√k·log^{3/2} k) messages on a clique).  Three
+strategies are provided, all as ``yield from``-able subroutines that
+every machine calls and that return the agreed leader rank:
+
+:func:`fixed_leader`
+    The "known leader" case the paper's Algorithm 1 line 1 allows;
+    zero rounds, zero messages.  Default for the KNN driver, since in
+    the k-machine model machine identities are public.
+:func:`elect_min_id`
+    Every machine broadcasts its random unique ID; the minimum wins.
+    One round, ``k(k−1)`` messages — the simple deterministic
+    benchmark the sublinear algorithm is measured against.
+:func:`elect_sublinear`
+    A faithful-in-spirit implementation of [9]'s referee scheme:
+    machines self-nominate with probability ``min(1, 2 ln k / k)``;
+    each candidate sends its ID to ``⌈√k·log₂ k⌉`` random referees;
+    referees answer with the smallest candidate ID they heard; the
+    candidate that hears no smaller ID wins and announces itself.
+    Any two candidates share a referee w.h.p. (birthday bound), so
+    the winner is unique w.h.p.; empty epochs (no self-nomination)
+    are retried on a fixed 3-round schedule.  Expected O(1) epochs;
+    O(√k·log^{3/2} k) messages w.h.p. plus the k−1 announcement
+    messages (a documented deviation: downstream protocols need every
+    machine to know the leader, whereas [9] only requires the leader
+    to know itself).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from ..kmachine.machine import MachineContext
+from .messages import tag
+
+__all__ = ["fixed_leader", "elect_min_id", "elect_sublinear", "elect"]
+
+#: Safety bound on election epochs before declaring failure.
+_MAX_EPOCHS = 64
+
+
+def fixed_leader(ctx: MachineContext, leader: int = 0) -> Generator[None, None, int]:
+    """The degenerate election: everyone already knows the leader.
+
+    Matches Algorithm 1 line 1's "if there is not a known leader" —
+    here there is one.  Kept generator-shaped so callers can swap
+    strategies without changing their ``yield from`` call sites.
+    """
+    if not 0 <= leader < ctx.k:
+        raise ValueError(f"leader {leader} outside [0, {ctx.k})")
+    return leader
+    yield  # pragma: no cover - makes this a generator
+
+
+def elect_min_id(ctx: MachineContext, prefix: str = "elect") -> Generator[None, None, int]:
+    """All-to-all ID exchange; smallest machine ID wins.
+
+    One round and ``k(k−1)`` messages; deterministic given the random
+    unique machine IDs.  With ``k = 1`` returns rank 0 immediately.
+    """
+    if ctx.k == 1:
+        return 0
+    t = tag(prefix, "id")
+    ctx.broadcast(t, ctx.machine_id)
+    msgs = yield from ctx.recv(t, ctx.k - 1)
+    best_id, best_rank = ctx.machine_id, ctx.rank
+    for msg in msgs:
+        if (msg.payload, msg.src) < (best_id, best_rank):
+            best_id, best_rank = msg.payload, msg.src
+    return best_rank
+
+
+def elect_sublinear(
+    ctx: MachineContext, prefix: str = "elect"
+) -> Generator[None, None, int]:
+    """Referee-based randomized election (Kutten et al. [9] style).
+
+    Epoch schedule (3 rounds, identical on every machine so the
+    protocol stays synchronous even when nobody nominates):
+
+    1. each machine nominates itself with probability
+       ``min(1, 2 ln k / k)``; candidates send ``(epoch, id)`` to
+       ``⌈√k·log₂ k⌉`` referees sampled without replacement;
+    2. every machine (as referee) replies to each candidate that
+       contacted it with the minimum candidate ID it heard this epoch;
+    3. a candidate whose referees all report its own ID (or smaller
+       only its own) declares victory and broadcasts ``winner``; every
+       machine that hears a winner stops.  Ties (two candidates with
+       no common referee — w.h.p. impossible) resolve next epoch:
+       victory requires hearing *no smaller* ID, and the smallest-ID
+       candidate always qualifies, so at least one machine wins in any
+       epoch with a candidate; if several win simultaneously, all
+       machines pick the smallest announced ID, restoring agreement.
+    """
+    if ctx.k == 1:
+        return 0
+    k = ctx.k
+    p_candidate = min(1.0, 2.0 * math.log(k) / k)
+    n_referees = min(k - 1, int(math.ceil(math.sqrt(k) * max(1.0, math.log2(k)))))
+
+    for epoch in range(_MAX_EPOCHS):
+        t_bid = tag(prefix, epoch, "bid")
+        t_ref = tag(prefix, epoch, "ref")
+        t_win = tag(prefix, epoch, "win")
+
+        # Round 1: candidates contact referees.
+        is_candidate = bool(ctx.rng.random() < p_candidate)
+        referees: list[int] = []
+        if is_candidate:
+            others = [r for r in range(k) if r != ctx.rank]
+            pick = ctx.rng.choice(len(others), size=n_referees, replace=False)
+            referees = [others[int(i)] for i in pick]
+            for ref in referees:
+                ctx.send(ref, t_bid, ctx.machine_id)
+        yield
+
+        # Round 2: referees answer every bidder with the min ID heard.
+        bids = ctx.take(t_bid)
+        if bids:
+            min_heard = min(msg.payload for msg in bids)
+            for msg in bids:
+                ctx.send(msg.src, t_ref, min_heard)
+        yield
+
+        # Round 3: candidates evaluate; winners announce.
+        won = False
+        if is_candidate:
+            answers = ctx.take(t_ref)
+            heard = [msg.payload for msg in answers]
+            if len(heard) == len(referees) and all(h >= ctx.machine_id for h in heard):
+                ctx.broadcast(t_win, ctx.machine_id)
+                won = True
+        yield
+
+        # Round 4: everyone (winners included) settles on the smallest
+        # announced ID, so simultaneous winners still reach agreement.
+        announced = [(msg.payload, msg.src) for msg in ctx.take(t_win)]
+        if won:
+            announced.append((ctx.machine_id, ctx.rank))
+        if announced:
+            return min(announced)[1]
+        # No winner this epoch (nobody nominated, or every candidate
+        # heard a smaller rival via a shared referee): try again.
+
+    raise RuntimeError(f"leader election failed to converge in {_MAX_EPOCHS} epochs")
+
+
+def elect(
+    ctx: MachineContext, method: str = "fixed", prefix: str = "elect", leader: int = 0
+) -> Generator[None, None, int]:
+    """Dispatch on election ``method``: ``fixed``/``min_id``/``sublinear``."""
+    if method == "fixed":
+        return (yield from fixed_leader(ctx, leader))
+    if method == "min_id":
+        return (yield from elect_min_id(ctx, prefix))
+    if method == "sublinear":
+        return (yield from elect_sublinear(ctx, prefix))
+    raise ValueError(f"unknown election method {method!r}")

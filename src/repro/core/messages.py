@@ -1,0 +1,76 @@
+"""Wire vocabulary shared by the core protocols.
+
+Every protocol in :mod:`repro.core` speaks in terms of *keys* — the
+paper's ``(distance value, unique point ID)`` pairs — and flat tuples
+of scalars, so the sizing policy charges exactly the O(log n)-bit
+words the model allows.  This module centralises:
+
+* key encode/decode between :class:`~repro.points.ids.Keyed` and the
+  two-scalar wire form;
+* tag construction (``phase('sel', 'q')`` style) so concurrently
+  composed sub-protocols never collide on tags;
+* the query/reply opcodes of Algorithm 1's leader loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..points.ids import Keyed
+
+__all__ = [
+    "encode_key",
+    "decode_key",
+    "tag",
+    "OP_INIT",
+    "OP_PICK",
+    "OP_COUNT",
+    "OP_FINISHED",
+    "key_from_row",
+    "log2_ceil",
+]
+
+#: Leader query opcodes for the selection protocol.
+OP_INIT = "init"        # -> reply (n_i, min_key, max_key)
+OP_PICK = "pick"        # -> reply pivot key drawn uniformly in range
+OP_COUNT = "count"      # -> reply |{x : lo < x <= p}|
+OP_FINISHED = "done"    # terminal broadcast carrying the boundary key
+
+
+def tag(*parts: str | int) -> str:
+    """Join tag components: ``tag('knn', 'sample') == 'knn/sample'``.
+
+    Protocol phases use distinct tags so a machine's pending buffer
+    demultiplexes cleanly even when phases overlap in flight.
+    """
+    return "/".join(str(p) for p in parts)
+
+
+def encode_key(key: Keyed) -> tuple[float, int]:
+    """Key → two-scalar wire tuple (one word each under sizing)."""
+    return (key.value, key.id)
+
+
+def decode_key(wire: tuple[float, int]) -> Keyed:
+    """Wire tuple → key."""
+    value, id_ = wire
+    return Keyed(float(value), int(id_))
+
+
+def key_from_row(row: np.void) -> Keyed:
+    """Structured-array row (``value``, ``id``) → key."""
+    return Keyed(float(row["value"]), int(row["id"]))
+
+
+def log2_ceil(x: int | float) -> int:
+    """``ceil(log2 x)`` for x >= 1 (0 for x <= 1); used for sample sizes.
+
+    The paper's sample count ``12 log ℓ`` and cutoff index ``21 log ℓ``
+    are stated without a base; we follow the convention of its Chernoff
+    arguments and use base 2, rounding up so counts are integers.
+    """
+    if x <= 1:
+        return 0
+    return int(math.ceil(math.log2(x)))

@@ -1,0 +1,388 @@
+"""Algorithm 1 — distributed randomized selection in the k-machine model.
+
+Finds the ℓ smallest of n values distributed arbitrarily over k
+machines, in O(log n) rounds and O(k log n) messages w.h.p.
+(Theorem 2.2).  The values are the paper's ``(value, id)`` keys, so
+duplicate values are handled by ID tie-breaking exactly as §2 says.
+
+Protocol (leader loop, one iteration = at most 4 rounds):
+
+1. *pivot*: the leader picks machine ``i`` with probability
+   ``n_i / s`` (``n_i`` = machine ``i``'s points in the active range,
+   ``s = Σ n_i``) and asks it for a uniform random in-range point;
+   machine ``i`` replies with the pivot ``p``.  By Lemma 2.1 the
+   composition is uniform over all in-range points.  When the leader
+   draws itself, the pivot is local and the two rounds are saved.
+2. *count*: the leader broadcasts ``getSize(lo, p)``; every machine
+   replies with its count in ``(lo, p]``.
+3. *update*: with ``s' = Σ counts``: if ``s' = ℓ`` the boundary is
+   ``p``; if ``s' < ℓ`` then ``ℓ ← ℓ − s'`` and ``lo ← p``; else
+   ``hi ← p``.  Counts are updated arithmetically (new range is
+   either the reported counts or old − reported), so no extra rounds
+   are spent re-counting.
+
+Deviation from the paper's pseudocode (documented in DESIGN.md): the
+active range is half-open ``(lo, hi]`` rather than closed
+``[min, max]``.  The paper's ``min ← p`` with a closed interval would
+re-count the pivot it just subtracted; exclusive lower bounds make the
+invariant *accepted ⊎ active ⊎ rejected* exact and guarantee strict
+progress.
+
+The module exposes the protocol in two forms:
+
+* :func:`selection_subroutine` — a ``yield from``-able generator so
+  Algorithm 2 (and any other protocol) can embed it;
+* :class:`SelectionProgram` — a standalone SPMD
+  :class:`~repro.kmachine.machine.Program` whose per-machine output is
+  the locally-held selected keys plus leader statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from ..kmachine.machine import MachineContext, Program
+from ..points.ids import MINUS_INF_KEY, PLUS_INF_KEY, Keyed
+from .leader import elect
+from .messages import OP_COUNT, OP_FINISHED, OP_INIT, OP_PICK, decode_key, encode_key, tag
+
+__all__ = ["SelectionStats", "SelectionOutput", "selection_subroutine", "SelectionProgram"]
+
+
+@dataclass
+class SelectionStats:
+    """Leader-side statistics for one selection run.
+
+    ``iterations`` is the number of pivot/count loop iterations — the
+    quantity Theorem 2.2 bounds by O(log n) w.h.p.  ``pivot_history``
+    records ``(pivot, s_before, s_after)`` per iteration for the
+    Lemma 2.1 uniformity experiment.
+    """
+
+    iterations: int = 0
+    initial_count: int = 0
+    self_pivots: int = 0
+    pivot_history: list[tuple[Keyed, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class SelectionOutput:
+    """Per-machine result of a selection run.
+
+    Attributes
+    ----------
+    selected:
+        Structured ``(value, id)`` array of this machine's locally
+        held selected keys (ascending).  The union over machines is
+        exactly the ℓ smallest keys.
+    boundary:
+        The global boundary key: a key is selected iff ``key <=
+        boundary``.  Identical on every machine.
+    is_leader:
+        Whether this machine ran the leader role.
+    stats:
+        Populated on the leader only (``None`` elsewhere).
+    """
+
+    selected: np.ndarray
+    boundary: Keyed
+    is_leader: bool
+    stats: SelectionStats | None = None
+
+
+def _local_extremes(keys: np.ndarray) -> tuple[int, Keyed, Keyed]:
+    """Count plus (min, max) keys of a structured array, with sentinels."""
+    n = len(keys)
+    if n == 0:
+        return 0, PLUS_INF_KEY, MINUS_INF_KEY
+    first, last = keys[0], keys[-1]
+    return n, Keyed(float(first["value"]), int(first["id"])), Keyed(
+        float(last["value"]), int(last["id"])
+    )
+
+
+def _count_in(keys: np.ndarray, lo: Keyed, hi: Keyed) -> int:
+    """|{x : lo < x <= hi}| on a sorted structured array, vectorized.
+
+    Lexicographic (value, id) comparison via searchsorted on the value
+    column refined by an ID scan only at the boundary values, so the
+    common case is two binary searches.
+    """
+    return _rank_leq(keys, hi) - _rank_leq(keys, lo)
+
+
+def _rank_leq(keys: np.ndarray, bound: Keyed) -> int:
+    """|{x : x <= bound}| on a sorted structured array."""
+    if len(keys) == 0:
+        return 0
+    if bound.value == np.inf:
+        return len(keys)
+    if bound.value == -np.inf:
+        return 0
+    values = keys["value"]
+    # All rows with value < bound.value are <= bound.
+    left = int(np.searchsorted(values, bound.value, side="left"))
+    right = int(np.searchsorted(values, bound.value, side="right"))
+    if left == right:
+        return left
+    # Rows with value == bound.value: include those with id <= bound.id.
+    ids = keys["id"][left:right]
+    return left + int(np.searchsorted(np.sort(ids), bound.id, side="right"))
+
+
+def _uniform_in_range(
+    keys: np.ndarray, lo: Keyed, hi: Keyed, rng: np.random.Generator
+) -> Keyed:
+    """A uniform random key strictly above ``lo`` and at most ``hi``."""
+    start = _rank_leq(keys, lo)
+    stop = _rank_leq(keys, hi)
+    if stop <= start:
+        raise ValueError("no points in range; leader accounting is wrong")
+    # keys is sorted by (value, id) except ties on value are unsorted by
+    # id within the value block; ranks are still consistent because the
+    # block membership is what matters for uniformity.
+    idx = start + int(rng.integers(0, stop - start))
+    block = keys[start:stop]
+    row = block[idx - start]
+    return Keyed(float(row["value"]), int(row["id"]))
+
+
+def selection_subroutine(
+    ctx: MachineContext,
+    leader: int,
+    keys: np.ndarray,
+    l: int,
+    prefix: str = "sel",
+    slack: float = 0.0,
+) -> Generator[None, None, SelectionOutput]:
+    """Run Algorithm 1 as an embeddable subroutine.
+
+    Parameters
+    ----------
+    ctx:
+        The machine context (every machine calls this with the same
+        ``leader``, ``l`` and ``prefix``).
+    leader:
+        Rank of the (already elected / known) leader.
+    keys:
+        This machine's local keys as a structured ``(value, id)``
+        array sorted by ``(value, id)`` — use
+        :func:`repro.points.ids.keyed_array`.
+    l:
+        How many globally smallest keys to select (``0 <= l``; if
+        ``l`` is at least the global count, everything is selected).
+    prefix:
+        Tag namespace, so nested invocations do not collide.
+    slack:
+        Approximation knob (an extension; the paper's algorithm is
+        ``slack=0``).  With ``slack = δ > 0`` the leader stops as soon
+        as the active range holds at most ``(1 + δ)·remaining`` keys
+        and accepts the whole range: the output then contains *all* of
+        the true ℓ smallest keys plus at most ``δ·ℓ`` extras, in
+        correspondingly fewer pivot iterations.  Useful when the
+        caller post-filters anyway (e.g. a classifier voting over the
+        neighbor set tolerates a few extras).
+
+    Returns
+    -------
+    :class:`SelectionOutput` for this machine.
+    """
+    if l < 0:
+        raise ValueError(f"l must be >= 0, got {l}")
+    if slack < 0:
+        raise ValueError(f"slack must be >= 0, got {slack}")
+    keys = np.sort(np.asarray(keys), order=("value", "id"))
+    t_query = tag(prefix, "q")
+    t_reply = tag(prefix, "r")
+
+    if ctx.rank == leader:
+        output = yield from _leader_role(ctx, keys, l, t_query, t_reply, slack)
+    else:
+        output = yield from _worker_role(ctx, leader, keys, t_query, t_reply)
+    return output
+
+
+def _leader_role(
+    ctx: MachineContext,
+    keys: np.ndarray,
+    l: int,
+    t_query: str,
+    t_reply: str,
+    slack: float = 0.0,
+) -> Generator[None, None, SelectionOutput]:
+    k = ctx.k
+    stats = SelectionStats()
+
+    # --- init: learn (n_i, min_i, max_i) from every machine ----------
+    if k > 1:
+        ctx.broadcast(t_query, (OP_INIT,))
+        replies = yield from ctx.recv(t_reply, k - 1)
+    else:
+        replies = []
+    counts = np.zeros(k, dtype=np.int64)
+    lo, hi = PLUS_INF_KEY, MINUS_INF_KEY
+    n_self, min_self, max_self = _local_extremes(keys)
+    counts[ctx.rank] = n_self
+    lo = min(lo, min_self)
+    hi = max(hi, max_self)
+    for msg in replies:
+        _, n_i, min_wire, max_wire = msg.payload
+        counts[msg.src] = n_i
+        if n_i > 0:
+            lo = min(lo, decode_key(min_wire))
+            hi = max(hi, decode_key(max_wire))
+    s = int(counts.sum())
+    stats.initial_count = s
+    remaining = l
+
+    if s <= remaining * (1.0 + slack) or s == 0:
+        boundary = hi if s > 0 else MINUS_INF_KEY
+        return (yield from _finish_leader(ctx, keys, boundary, t_query, stats))
+
+    # Active range is (active_lo, active_hi]; everything <= active_lo is
+    # already accepted (and subtracted from `remaining`).
+    active_lo = MINUS_INF_KEY
+    active_hi = hi
+    boundary: Keyed | None = None
+    if remaining == 0:
+        boundary = MINUS_INF_KEY
+
+    while boundary is None:
+        stats.iterations += 1
+        # --- pivot selection: machine i w.p. counts[i] / s ------------
+        choice = int(ctx.rng.choice(k, p=counts / s))
+        if choice == ctx.rank:
+            pivot = _uniform_in_range(keys, active_lo, active_hi, ctx.rng)
+            stats.self_pivots += 1
+        else:
+            ctx.send(
+                choice,
+                t_query,
+                (OP_PICK, encode_key(active_lo), encode_key(active_hi)),
+            )
+            msg = yield from ctx.recv_one(t_reply, src=choice)
+            pivot = decode_key(msg.payload[1])
+
+        # --- count |{x : active_lo < x <= pivot}| ----------------------
+        if k > 1:
+            ctx.broadcast(t_query, (OP_COUNT, encode_key(active_lo), encode_key(pivot)))
+        below = np.zeros(k, dtype=np.int64)
+        below[ctx.rank] = _count_in(keys, active_lo, pivot)
+        if k > 1:
+            replies = yield from ctx.recv(t_reply, k - 1)
+            for msg in replies:
+                below[msg.src] = msg.payload[1]
+        s_below = int(below.sum())
+        stats.pivot_history.append((pivot, s, s_below))
+
+        # --- range update ---------------------------------------------
+        if s_below == remaining:
+            boundary = pivot
+        elif s_below < remaining:
+            remaining -= s_below
+            active_lo = pivot
+            counts = counts - below
+            s = int(counts.sum())
+        else:
+            active_hi = pivot
+            counts = below
+            s = s_below
+        if boundary is None and s <= remaining * (1.0 + slack):
+            # Every point left in the active range is accepted (with
+            # slack = 0 this is the paper's exact s == remaining stop;
+            # otherwise up to slack*l extras ride along).
+            boundary = active_hi
+
+    return (yield from _finish_leader(ctx, keys, boundary, t_query, stats))
+
+
+def _finish_leader(
+    ctx: MachineContext,
+    keys: np.ndarray,
+    boundary: Keyed,
+    t_query: str,
+    stats: SelectionStats,
+) -> Generator[None, None, SelectionOutput]:
+    if ctx.k > 1:
+        ctx.broadcast(t_query, (OP_FINISHED, encode_key(boundary)))
+        yield  # the broadcast's round
+    selected = keys[: _rank_leq(keys, boundary)]
+    return SelectionOutput(
+        selected=selected, boundary=boundary, is_leader=True, stats=stats
+    )
+
+
+def _worker_role(
+    ctx: MachineContext,
+    leader: int,
+    keys: np.ndarray,
+    t_query: str,
+    t_reply: str,
+) -> Generator[None, None, SelectionOutput]:
+    n, kmin, kmax = _local_extremes(keys)
+    while True:
+        msg = yield from ctx.recv_one(t_query, src=leader)
+        op = msg.payload[0]
+        if op == OP_INIT:
+            ctx.send(leader, t_reply, (OP_INIT, n, encode_key(kmin), encode_key(kmax)))
+        elif op == OP_PICK:
+            lo = decode_key(msg.payload[1])
+            hi = decode_key(msg.payload[2])
+            pivot = _uniform_in_range(keys, lo, hi, ctx.rng)
+            ctx.send(leader, t_reply, (OP_PICK, encode_key(pivot)))
+        elif op == OP_COUNT:
+            lo = decode_key(msg.payload[1])
+            p = decode_key(msg.payload[2])
+            ctx.send(leader, t_reply, (OP_COUNT, _count_in(keys, lo, p)))
+        elif op == OP_FINISHED:
+            boundary = decode_key(msg.payload[1])
+            selected = keys[: _rank_leq(keys, boundary)]
+            return SelectionOutput(
+                selected=selected, boundary=boundary, is_leader=False, stats=None
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"worker {ctx.rank} got unknown op {op!r}")
+
+
+class SelectionProgram(Program):
+    """Standalone SPMD wrapper: elect (or fix) a leader, then select.
+
+    Machine-local input (``ctx.local``) must be a structured
+    ``(value, id)`` array (see :func:`repro.points.ids.keyed_array`).
+    Per-machine output is a :class:`SelectionOutput`.
+
+    Parameters
+    ----------
+    l:
+        Number of globally smallest keys to select.
+    election:
+        ``"fixed"`` (leader = rank 0; the model's known-leader case),
+        ``"min_id"`` or ``"sublinear"``.
+    slack:
+        Approximate-selection knob (see
+        :func:`selection_subroutine`); ``0`` is the paper's exact
+        algorithm.
+    """
+
+    name = "algorithm1-selection"
+
+    def __init__(self, l: int, election: str = "fixed", slack: float = 0.0) -> None:
+        if l < 0:
+            raise ValueError(f"l must be >= 0, got {l}")
+        self.l = l
+        self.election = election
+        self.slack = slack
+
+    def run(self, ctx: MachineContext) -> Generator[None, None, SelectionOutput]:
+        """Per-machine program body (see the class docstring)."""
+        leader = yield from elect(ctx, method=self.election)
+        keys = ctx.local if ctx.local is not None else np.empty(
+            0, dtype=[("value", "f8"), ("id", "i8")]
+        )
+        output = yield from selection_subroutine(
+            ctx, leader, keys, self.l, slack=self.slack
+        )
+        return output

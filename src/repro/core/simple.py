@@ -1,0 +1,175 @@
+"""The "simple method" baseline the paper compares against (§3).
+
+Each machine finds its local ℓ-nearest points to the query and ships
+*all of them* to the leader — ``kℓ`` (id, distance) pairs in total —
+and the leader selects the final ℓ among them.  This is the algorithm
+"used in practice" (it is essentially how Spark/MLlib-style systems
+answer distributed KNN queries) and it is correct, but under the
+k-machine bandwidth constraint each machine's ℓ pairs share one link
+to the leader, so the transfer costs ``Θ(ℓ)`` rounds — exponentially
+worse than Algorithm 2's ``O(log ℓ)``.
+
+The leader's merge is also the wall-clock bottleneck at scale: it
+sorts/selects over ``kℓ`` keys while Algorithm 2's leader only ever
+touches ``O(k log ℓ)`` samples; that asymmetry is what Figure 2's
+speedup ratio measures.
+
+Output format matches :class:`repro.core.knn.KNNOutput` so drivers,
+experiments and the classifier can swap protocols freely.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..kmachine.machine import MachineContext, Program
+from ..points.dataset import Shard
+from ..points.ids import MINUS_INF_KEY, Keyed
+from ..points.metrics import Metric, get_metric
+from .knn import KNNOutput, local_candidates
+from .leader import elect
+from .messages import decode_key, encode_key, tag
+from .selection import _rank_leq
+
+__all__ = ["SimpleKNNProgram", "simple_knn_subroutine"]
+
+_KEY_DTYPE = [("value", "f8"), ("id", "i8")]
+
+
+def simple_knn_subroutine(
+    ctx: MachineContext,
+    leader: int,
+    shard: Shard,
+    query: np.ndarray,
+    l: int,
+    metric: Metric,
+    prefix: str = "simple",
+) -> Generator[None, None, KNNOutput]:
+    """Run the simple method as an embeddable subroutine.
+
+    Every machine sends exactly ``min(ℓ, |D_i|)`` candidate messages
+    plus one terminating count message, so the leader's gather is
+    exact without assuming balanced shards.
+    """
+    if l < 1:
+        raise ValueError(f"l must be >= 1, got {l}")
+    query = np.atleast_1d(np.asarray(query, dtype=np.float64))
+    candidates = local_candidates(shard, query, l, metric)
+    is_leader = ctx.rank == leader
+    t_count = tag(prefix, "n")
+    t_cand = tag(prefix, "cand")
+    t_done = tag(prefix, "done")
+
+    if ctx.k == 1:
+        boundary = (
+            Keyed(candidates[l - 1]["value"], candidates[l - 1]["id"])
+            if len(candidates) >= l
+            else (
+                Keyed(candidates[-1]["value"], candidates[-1]["id"])
+                if len(candidates)
+                else MINUS_INF_KEY
+            )
+        )
+        head = candidates[: min(l, len(candidates))]
+        return _build_output(shard, head, boundary, True, len(candidates))
+
+    if not is_leader:
+        # Announce how many pairs follow, then stream them.  The count
+        # message and the pairs share the machine->leader link, so the
+        # bandwidth queue charges the paper's Θ(l) rounds mechanically.
+        ctx.send(leader, t_count, len(candidates))
+        for row in candidates:
+            ctx.send(leader, t_cand, encode_key(Keyed(row["value"], row["id"])))
+        msg = yield from ctx.recv_one(t_done, src=leader)
+        boundary = decode_key(msg.payload)
+        local = candidates[: _rank_leq(candidates, boundary)]
+        return _build_output(shard, local, boundary, False, None)
+
+    # Leader: gather counts, then the announced number of candidates.
+    count_msgs = yield from ctx.recv(t_count, ctx.k - 1)
+    expected = sum(m.payload for m in count_msgs)
+    cand_msgs = yield from ctx.recv(t_cand, expected)
+    merged = np.empty(expected + len(candidates), dtype=_KEY_DTYPE)
+    for i, m in enumerate(cand_msgs):
+        merged[i] = m.payload
+    merged[expected:] = candidates
+    # The leader-side merge: select the l smallest of the k*l keys.
+    # This O(kl) scan + partial sort is the simple method's local
+    # bottleneck, deliberately kept on the leader's clock.
+    merged.sort(order=("value", "id"))
+    top = merged[: min(l, len(merged))]
+    boundary = (
+        Keyed(float(top[-1]["value"]), int(top[-1]["id"])) if len(top) else MINUS_INF_KEY
+    )
+    ctx.broadcast(t_done, encode_key(boundary))
+    yield
+    local = candidates[: _rank_leq(candidates, boundary)]
+    return _build_output(shard, local, boundary, True, len(merged))
+
+
+def _build_output(
+    shard: Shard,
+    selected: np.ndarray,
+    boundary: Keyed,
+    is_leader: bool,
+    survivors: int | None,
+) -> KNNOutput:
+    ids = selected["id"].copy()
+    distances = selected["value"].copy()
+    order = np.argsort(shard.ids, kind="stable")
+    pos = (
+        order[np.searchsorted(shard.ids[order], ids)]
+        if len(ids)
+        else np.empty(0, np.int64)
+    )
+    return KNNOutput(
+        ids=ids,
+        distances=distances,
+        points=shard.points[pos],
+        labels=None if shard.labels is None else shard.labels[pos],
+        boundary=boundary,
+        is_leader=is_leader,
+        survivors=survivors,
+        sampled=None,
+        threshold=None,
+        fallback=False,
+        selection_stats=None,
+    )
+
+
+class SimpleKNNProgram(Program):
+    """Standalone SPMD wrapper for the simple method.
+
+    Same construction interface as :class:`repro.core.knn.KNNProgram`
+    (minus the sampling knobs), so experiments swap the two protocols
+    by changing one class name.
+    """
+
+    name = "simple-knn"
+
+    def __init__(
+        self,
+        query: np.ndarray | float,
+        l: int,
+        metric: Metric | str = "euclidean",
+        election: str = "fixed",
+    ) -> None:
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        self.query = np.atleast_1d(np.asarray(query, dtype=np.float64))
+        self.l = l
+        self.metric = get_metric(metric)
+        self.election = election
+
+    def run(self, ctx: MachineContext) -> Generator[None, None, KNNOutput]:
+        """Per-machine program body (see the class docstring)."""
+        leader = yield from elect(ctx, method=self.election)
+        shard: Shard = ctx.local
+        if shard is None:
+            shard = Shard(points=np.empty((0, len(self.query))), ids=np.empty(0, np.int64))
+        output = yield from simple_knn_subroutine(
+            ctx, leader, shard, self.query, self.l, self.metric
+        )
+        return output

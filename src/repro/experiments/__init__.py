@@ -1,0 +1,90 @@
+"""Experiment harness: one module per paper artifact.
+
+| id        | paper artifact            | module                          |
+|-----------|---------------------------|---------------------------------|
+| FIG2      | Figure 2 speedup ratios   | :mod:`repro.experiments.figure2`|
+| FIG1/L2.3 | sampling/pruning lemma    | :mod:`repro.experiments.sampling`|
+| T2.2      | Algorithm 1 complexity    | :mod:`repro.experiments.rounds` |
+| T2.4      | Algorithm 2 complexity    | :mod:`repro.experiments.rounds` |
+| L2.1      | pivot uniformity          | :mod:`repro.experiments.pivot`  |
+| CMP       | protocol comparison       | :mod:`repro.experiments.comparison`|
+| ABL       | constant ablation         | :mod:`repro.experiments.ablation`|
+
+Run any of them from the shell with ``repro-knn`` (see
+:mod:`repro.experiments.runner`).
+"""
+
+from .ablation import AblationArm, AblationResult, run_ablation
+from .accuracy import AccuracyCell, AccuracyConfig, AccuracyResult, run_accuracy
+from .comparison import ComparisonCell, ComparisonResult, run_comparison
+from .election import ElectionCell, ElectionConfig, ElectionResult, run_election
+from .config import (
+    AblationConfig,
+    ComparisonConfig,
+    Figure2Config,
+    KNNRoundsConfig,
+    PivotConfig,
+    SamplingConfig,
+    SelectionRoundsConfig,
+)
+from .figure2 import Figure2Cell, Figure2Result, run_figure2, run_figure2_multiprocess
+from .pivot import PivotResult, run_pivot_uniformity
+from .rounds import (
+    KNNRoundsResult,
+    RoundsCell,
+    SelectionRoundsResult,
+    run_knn_rounds,
+    run_selection_rounds,
+)
+from .runner import build_parser, main
+from .sampling import SamplingCell, SamplingResult, run_sampling
+from .sensitivity import (
+    SensitivityCell,
+    SensitivityConfig,
+    SensitivityResult,
+    run_sensitivity,
+)
+
+__all__ = [
+    "AblationArm",
+    "AblationConfig",
+    "AblationResult",
+    "AccuracyCell",
+    "AccuracyConfig",
+    "AccuracyResult",
+    "ComparisonCell",
+    "ComparisonConfig",
+    "ComparisonResult",
+    "ElectionCell",
+    "ElectionConfig",
+    "ElectionResult",
+    "Figure2Cell",
+    "Figure2Config",
+    "Figure2Result",
+    "KNNRoundsConfig",
+    "KNNRoundsResult",
+    "PivotConfig",
+    "PivotResult",
+    "RoundsCell",
+    "SamplingCell",
+    "SamplingConfig",
+    "SamplingResult",
+    "SelectionRoundsConfig",
+    "SelectionRoundsResult",
+    "SensitivityCell",
+    "SensitivityConfig",
+    "SensitivityResult",
+    "build_parser",
+    "main",
+    "run_ablation",
+    "run_accuracy",
+    "run_comparison",
+    "run_election",
+    "run_figure2",
+    "run_figure2_multiprocess",
+    "run_knn_rounds",
+    "run_pivot_uniformity",
+    "run_sampling",
+    "run_selection_rounds",
+    "run_sensitivity",
+]

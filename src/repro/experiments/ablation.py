@@ -1,0 +1,178 @@
+"""ABL experiment: how much slack do the proof constants leave?
+
+Algorithm 2's analysis fixes two constants: every machine samples
+``12·log₂ ℓ`` candidates and the leader cuts at sample index
+``21·log₂ ℓ``.  Lemma 2.3 shows this pair gives ≤ ``11ℓ`` survivors
+and failure probability ≤ ``2/ℓ²``.  The ablation sweeps scaled-down
+(and one scaled-up) pairs and measures, per arm:
+
+* the *fallback rate*: fraction of safe-mode runs where fewer than ℓ
+  candidates survived pruning and the protocol re-ran unpruned —
+  the practical cost of an under-provisioned constant;
+* survivor statistics (mean/max over ℓ) — the benefit side;
+* total rounds, showing what the re-runs cost end to end.
+
+A second arm compares ``prune=True`` vs ``prune=False`` wholesale,
+quantifying what the sampling stage buys over the direct
+O(log ℓ + log k) algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.stats import Summary, summarize
+from ..analysis.tables import render_table, to_csv
+from ..core.driver import distributed_knn
+from .config import AblationConfig
+
+__all__ = ["AblationArm", "AblationResult", "run_ablation"]
+
+
+@dataclass
+class AblationArm:
+    """Measurements for one (sample_factor, cutoff_factor) pair."""
+
+    sample_factor: int
+    cutoff_factor: int
+    fallbacks: int
+    trials: int
+    survivors_over_l: Summary
+    rounds: Summary
+    messages: Summary
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of runs that needed the safe-mode re-run."""
+        return self.fallbacks / self.trials
+
+
+@dataclass
+class AblationResult:
+    """All arms plus the pruning on/off comparison."""
+
+    config: AblationConfig
+    arms: list[AblationArm] = field(default_factory=list)
+    unpruned_rounds: Summary | None = None
+    unpruned_messages: Summary | None = None
+
+    HEADERS = (
+        "sample_factor",
+        "cutoff_factor",
+        "fallback_rate",
+        "survivors/l",
+        "max_survivors/l",
+        "rounds",
+        "messages",
+    )
+
+    def rows(self) -> list[list]:
+        """Tabular form of the constant sweep."""
+        return [
+            [
+                a.sample_factor,
+                a.cutoff_factor,
+                a.fallback_rate,
+                a.survivors_over_l.mean,
+                a.survivors_over_l.max,
+                a.rounds.mean,
+                a.messages.mean,
+            ]
+            for a in self.arms
+        ]
+
+    def report(self) -> str:
+        """Table plus the prune-off reference line."""
+        out = render_table(
+            self.HEADERS,
+            self.rows(),
+            title=f"Ablation of sampling constants (paper uses 12/21), k={self.config.k}, l={self.config.l}",
+        )
+        if self.unpruned_rounds is not None:
+            out += (
+                f"\nprune=False reference: rounds {self.unpruned_rounds}, "
+                f"messages {self.unpruned_messages}"
+            )
+        return out
+
+    def csv(self) -> str:
+        """CSV of :meth:`rows`."""
+        return to_csv(self.HEADERS, self.rows())
+
+    def arm_for(self, sample_factor: int, cutoff_factor: int) -> AblationArm:
+        """Lookup one arm (bench assertions)."""
+        for arm in self.arms:
+            if (arm.sample_factor, arm.cutoff_factor) == (sample_factor, cutoff_factor):
+                return arm
+        raise KeyError((sample_factor, cutoff_factor))
+
+
+def run_ablation(config: AblationConfig | None = None) -> AblationResult:
+    """Sweep the constant pairs plus the prune-off arm."""
+    cfg = config or AblationConfig()
+    result = AblationResult(config=cfg)
+    rng = np.random.default_rng(cfg.seed)
+    n = cfg.k * cfg.points_per_machine
+
+    # Pre-draw the workloads so all arms see identical inputs.
+    workloads = []
+    for rep in range(cfg.repetitions):
+        workloads.append(
+            (
+                rng.uniform(0, 2**32, n),
+                float(rng.uniform(0, 2**32)),
+                int(rng.integers(0, 2**31)),
+            )
+        )
+
+    for sample_factor, cutoff_factor in cfg.pairs:
+        fallbacks = 0
+        surv_ratio, rounds, msgs = [], [], []
+        for points, query, seed in workloads:
+            res = distributed_knn(
+                points,
+                query,
+                l=cfg.l,
+                k=cfg.k,
+                seed=seed,
+                algorithm="sampled",
+                safe_mode=True,
+                sample_factor=sample_factor,
+                cutoff_factor=cutoff_factor,
+            )
+            if res.leader_output.fallback:
+                fallbacks += 1
+            surv = res.leader_output.survivors or 0
+            surv_ratio.append(surv / cfg.l)
+            rounds.append(res.metrics.rounds)
+            msgs.append(res.metrics.messages)
+        result.arms.append(
+            AblationArm(
+                sample_factor=sample_factor,
+                cutoff_factor=cutoff_factor,
+                fallbacks=fallbacks,
+                trials=cfg.repetitions,
+                survivors_over_l=summarize(surv_ratio),
+                rounds=summarize(rounds),
+                messages=summarize(msgs),
+            )
+        )
+
+    rounds, msgs = [], []
+    for points, query, seed in workloads:
+        res = distributed_knn(
+            points,
+            query,
+            l=cfg.l,
+            k=cfg.k,
+            seed=seed,
+            algorithm="unpruned",
+            safe_mode=False,
+        )
+        rounds.append(res.metrics.rounds)
+        msgs.append(res.metrics.messages)
+    result.unpruned_rounds = summarize(rounds)
+    result.unpruned_messages = summarize(msgs)
+    return result

@@ -1,0 +1,156 @@
+"""ACC experiment: the §1 application — classification & regression quality.
+
+The paper motivates distributed ℓ-NN by its machine-learning use:
+majority-vote classification and neighbor-mean regression.  Because
+the distributed protocol is *exact*, its predictions must equal the
+sequential classifier's prediction-for-prediction; this experiment
+measures both (a) that equality and (b) the resulting accuracy /
+regression error on standard synthetic workloads across machine
+counts, alongside the communication bill per prediction — the
+quantities a practitioner adopting the library would ask for first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.tables import render_table, to_csv
+from ..core.classifier import DistributedKNNClassifier, DistributedKNNRegressor
+from ..points.dataset import make_dataset
+from ..points.generators import gaussian_blobs
+from ..sequential.knn import SequentialKNN
+
+__all__ = ["AccuracyConfig", "AccuracyCell", "AccuracyResult", "run_accuracy"]
+
+
+@dataclass
+class AccuracyConfig:
+    """Sweep configuration for the quality experiment."""
+
+    k_values: Sequence[int] = (2, 8, 32)
+    l: int = 9
+    n_train: int = 1500
+    n_test: int = 60
+    dim: int = 4
+    n_classes: int = 4
+    spread: float = 0.05
+    seed: int = 40
+
+
+@dataclass
+class AccuracyCell:
+    """One machine-count row."""
+
+    k: int
+    accuracy: float
+    sequential_accuracy: float
+    matches_sequential: int
+    n_test: int
+    regression_rmse: float
+    messages_per_prediction: float
+    rounds_per_prediction: float
+
+
+@dataclass
+class AccuracyResult:
+    """All rows plus rendering."""
+
+    config: AccuracyConfig
+    cells: list[AccuracyCell] = field(default_factory=list)
+
+    HEADERS = (
+        "k",
+        "accuracy",
+        "seq_accuracy",
+        "pred_match",
+        "reg_rmse",
+        "msgs/query",
+        "rounds/query",
+    )
+
+    def rows(self) -> list[list]:
+        """Tabular form."""
+        return [
+            [
+                c.k,
+                c.accuracy,
+                c.sequential_accuracy,
+                f"{c.matches_sequential}/{c.n_test}",
+                c.regression_rmse,
+                c.messages_per_prediction,
+                c.rounds_per_prediction,
+            ]
+            for c in self.cells
+        ]
+
+    def report(self) -> str:
+        """Aligned table."""
+        return render_table(
+            self.HEADERS, self.rows(),
+            title="Classification/regression quality (distributed == sequential)",
+        )
+
+    def csv(self) -> str:
+        """CSV of :meth:`rows`."""
+        return to_csv(self.HEADERS, self.rows())
+
+
+def run_accuracy(config: AccuracyConfig | None = None) -> AccuracyResult:
+    """Run the quality sweep."""
+    cfg = config or AccuracyConfig()
+    result = AccuracyResult(config=cfg)
+    rng = np.random.default_rng(cfg.seed)
+
+    # One draw, then split: train and test must share the blob centres.
+    pool = gaussian_blobs(rng, cfg.n_train + cfg.n_test, cfg.dim,
+                          n_classes=cfg.n_classes, spread=cfg.spread)
+    perm = rng.permutation(len(pool))
+    train_idx, test_idx = perm[: cfg.n_train], perm[cfg.n_train :]
+    train_X, train_y = pool.points[train_idx], pool.labels[train_idx]
+    test_X, test_y = pool.points[test_idx], pool.labels[test_idx]
+    train = make_dataset(train_X, labels=train_y,
+                         rng=np.random.default_rng(cfg.seed))
+    # Regression target: distance from the origin (a smooth function).
+    reg_y = np.linalg.norm(train_X, axis=1)
+
+    seq = SequentialKNN(l=cfg.l).fit(train)
+    seq_preds = [seq.predict(q) for q in test_X]
+    seq_acc = float(np.mean([p == t for p, t in zip(seq_preds, test_y)]))
+
+    for k in cfg.k_values:
+        clf = DistributedKNNClassifier(l=cfg.l, k=k, seed=cfg.seed).fit(
+            train_X, train_y
+        )
+        # Identical tie-breaking requires identical IDs; rebuild the
+        # sequential reference on the classifier's own dataset.
+        seq_same = SequentialKNN(l=cfg.l).fit(clf._state.dataset)  # noqa: SLF001
+        dist_preds = [clf.predict(q) for q in test_X]
+        matches = sum(
+            dp == seq_same.predict(q) for dp, q in zip(dist_preds, test_X)
+        )
+        acc = float(np.mean([p == t for p, t in zip(dist_preds, test_y)]))
+
+        reg = DistributedKNNRegressor(l=cfg.l, k=k, seed=cfg.seed).fit(
+            train_X, reg_y
+        )
+        reg_preds = np.array([reg.predict(q) for q in test_X], dtype=np.float64)
+        truth = np.linalg.norm(test_X, axis=1)
+        rmse = float(np.sqrt(np.mean((reg_preds - truth) ** 2)))
+
+        total = clf.total_metrics()
+        result.cells.append(
+            AccuracyCell(
+                k=k,
+                accuracy=acc,
+                sequential_accuracy=seq_acc,
+                matches_sequential=matches,
+                n_test=cfg.n_test,
+                regression_rmse=rmse,
+                messages_per_prediction=total.messages / len(clf.history),
+                rounds_per_prediction=total.rounds / len(clf.history),
+            )
+        )
+    return result

@@ -1,0 +1,139 @@
+"""CMP experiment: every protocol on the same queries (§1.3/§1.4).
+
+Rounds, messages and bits for the paper's Algorithm 2 (``sampled``),
+its no-sampling variant (``unpruned``, the O(log ℓ + log k) algorithm
+§2.2 mentions first), the practical baseline (``simple``, Θ(ℓ)
+rounds), Saukas–Song [16] and binary search over distances [3, 18] —
+all answering identical queries on identical shards, with correctness
+cross-checked against the brute-force oracle on every run.
+
+This is the quantitative version of the paper's §1.3/§1.4 comparison
+table; the bench asserts the orderings the paper claims (Algorithm 2
+beats the simple method on rounds for large ℓ, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.stats import Summary, summarize
+from ..analysis.tables import render_table, to_csv
+from ..core.driver import distributed_knn
+from ..points.dataset import make_dataset
+from ..sequential.brute import brute_force_knn_ids
+from .config import ComparisonConfig
+
+__all__ = ["ComparisonCell", "ComparisonResult", "run_comparison"]
+
+
+@dataclass
+class ComparisonCell:
+    """One (algorithm, k, ℓ) cell."""
+
+    algorithm: str
+    k: int
+    l: int
+    rounds: Summary
+    messages: Summary
+    bits: Summary
+    correct: int
+    trials: int
+
+
+@dataclass
+class ComparisonResult:
+    """All cells plus rendering."""
+
+    config: ComparisonConfig
+    cells: list[ComparisonCell] = field(default_factory=list)
+
+    HEADERS = ("algorithm", "k", "l", "rounds", "messages", "kbits", "correct")
+
+    def rows(self) -> list[list]:
+        """Tabular form, grouped by (k, ℓ) then algorithm."""
+        ordered = sorted(self.cells, key=lambda c: (c.k, c.l, c.algorithm))
+        return [
+            [
+                c.algorithm,
+                c.k,
+                c.l,
+                c.rounds.mean,
+                c.messages.mean,
+                c.bits.mean / 1000.0,
+                f"{c.correct}/{c.trials}",
+            ]
+            for c in ordered
+        ]
+
+    def report(self) -> str:
+        """Aligned comparison table."""
+        return render_table(
+            self.HEADERS, self.rows(), title="Protocol comparison (same shards, same queries)"
+        )
+
+    def csv(self) -> str:
+        """CSV of :meth:`rows`."""
+        return to_csv(self.HEADERS, self.rows())
+
+    def mean_rounds(self, algorithm: str, k: int, l: int) -> float:
+        """Convenience lookup used by bench assertions."""
+        for c in self.cells:
+            if (c.algorithm, c.k, c.l) == (algorithm, k, l):
+                return c.rounds.mean
+        raise KeyError((algorithm, k, l))
+
+
+def run_comparison(config: ComparisonConfig | None = None) -> ComparisonResult:
+    """Run the full protocol × (k, ℓ) grid."""
+    cfg = config or ComparisonConfig()
+    result = ComparisonResult(config=cfg)
+    rng = np.random.default_rng(cfg.seed)
+    for k in cfg.k_values:
+        n = k * cfg.points_per_machine
+        for l in cfg.l_values:
+            if l > n:
+                continue
+            per_algo: dict[str, dict[str, list]] = {
+                a: {"rounds": [], "messages": [], "bits": [], "correct": 0}
+                for a in cfg.algorithms
+            }
+            for rep in range(cfg.repetitions):
+                points = rng.uniform(0, 2**32, n)
+                query = float(rng.uniform(0, 2**32))
+                dataset = make_dataset(points, rng=rng)
+                truth = brute_force_knn_ids(dataset, np.array([query]), l)
+                run_seed = int(rng.integers(0, 2**31))
+                for algo in cfg.algorithms:
+                    knobs = {"safe_mode": False} if algo in ("sampled", "unpruned") else {}
+                    res = distributed_knn(
+                        dataset,
+                        query,
+                        l=l,
+                        k=k,
+                        seed=run_seed,
+                        bandwidth_bits=cfg.bandwidth_bits,
+                        algorithm=algo,
+                        **knobs,
+                    )
+                    bucket = per_algo[algo]
+                    bucket["rounds"].append(res.metrics.rounds)
+                    bucket["messages"].append(res.metrics.messages)
+                    bucket["bits"].append(res.metrics.bits)
+                    if set(int(i) for i in res.ids) == truth:
+                        bucket["correct"] += 1
+            for algo, bucket in per_algo.items():
+                result.cells.append(
+                    ComparisonCell(
+                        algorithm=algo,
+                        k=k,
+                        l=l,
+                        rounds=summarize(bucket["rounds"]),
+                        messages=summarize(bucket["messages"]),
+                        bits=summarize(bucket["bits"]),
+                        correct=bucket["correct"],
+                        trials=cfg.repetitions,
+                    )
+                )
+    return result

@@ -1,0 +1,145 @@
+"""Shared configuration objects for the experiment harness.
+
+Each experiment module consumes one config dataclass and produces one
+result dataclass with ``rows()`` (tabular data) and ``report()``
+(human-readable text).  Defaults are laptop-sized; every knob scales
+up to the paper's setting (``points_per_machine = 2**22``,
+``k`` up to 128) from the CLI (:mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..kmachine.timing import DEFAULT_COST_MODEL, CostModel
+
+__all__ = [
+    "Figure2Config",
+    "SelectionRoundsConfig",
+    "KNNRoundsConfig",
+    "SamplingConfig",
+    "PivotConfig",
+    "ComparisonConfig",
+    "AblationConfig",
+]
+
+
+@dataclass
+class Figure2Config:
+    """Configuration of the Figure 2 reproduction.
+
+    The paper: k from 2 to 128 processing units, 2^22 uniform random
+    integers in [0, 2^32) per process, query drawn uniformly, each
+    point averaged over repeated runs; y-axis is (simple method time)
+    / (Algorithm 2 time).
+    """
+
+    k_values: Sequence[int] = (2, 8, 32, 128)
+    l_values: Sequence[int] = (16, 64, 256, 1024)
+    points_per_machine: int = 2**14
+    repetitions: int = 3
+    seed: int = 2020
+    bandwidth_bits: int = 512
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+
+
+@dataclass
+class SelectionRoundsConfig:
+    """Theorem 2.2 validation: Algorithm 1 rounds/messages vs n and k.
+
+    ``l = None`` selects the median (``l = n // 2``), the hardest and
+    cleanest-scaling instance; a fixed ``l`` exercises the
+    find-ℓ-smallest regime instead.
+    """
+
+    n_values: Sequence[int] = (2**10, 2**12, 2**14, 2**16, 2**18)
+    k_values: Sequence[int] = (4, 16, 64)
+    l: int | None = None
+    repetitions: int = 7
+    seed: int = 22
+    bandwidth_bits: int = 512
+
+
+@dataclass
+class KNNRoundsConfig:
+    """Theorem 2.4 validation: Algorithm 2 rounds/messages vs ℓ and k."""
+
+    l_values: Sequence[int] = (4, 16, 64, 256, 1024, 4096)
+    k_values: Sequence[int] = (4, 16, 64)
+    points_per_machine: int = 2**12
+    repetitions: int = 5
+    seed: int = 24
+    bandwidth_bits: int = 512
+
+
+@dataclass
+class SamplingConfig:
+    """Lemma 2.3 validation: survivor counts and pruning failures."""
+
+    k_values: Sequence[int] = (8, 32, 128)
+    l_values: Sequence[int] = (64, 256, 1024)
+    points_per_machine: int = 2**12
+    repetitions: int = 40
+    seed: int = 23
+    sample_factor: int = 12
+    cutoff_factor: int = 21
+
+
+@dataclass
+class PivotConfig:
+    """Lemma 2.1 validation: first-pivot uniformity under adversaries."""
+
+    n: int = 4096
+    k: int = 16
+    l: int = 64
+    runs: int = 2000
+    bins: int = 16
+    seed: int = 21
+    partitioner: str = "sorted"
+
+
+@dataclass
+class ComparisonConfig:
+    """CMP: rounds/messages of all protocols on the same queries."""
+
+    algorithms: Sequence[str] = (
+        "sampled",
+        "unpruned",
+        "simple",
+        "saukas_song",
+        "binary_search",
+    )
+    k_values: Sequence[int] = (8, 32)
+    l_values: Sequence[int] = (16, 128, 1024)
+    points_per_machine: int = 2**12
+    repetitions: int = 3
+    seed: int = 30
+    bandwidth_bits: int = 512
+
+
+@dataclass
+class AblationConfig:
+    """ABL: stress the proof constants (12·log ℓ samples, 21·log ℓ cut).
+
+    ``pairs`` are (sample_factor, cutoff_factor) arms; the paper's is
+    (12, 21).  The expected survivor count is ≈ (cutoff/sample)·ℓ
+    (independent of k), so arms with cutoff/sample ≤ 1 prune into the
+    true answer and trigger the safe-mode fallback, while ratios ≥ 1.5
+    are safe but keep more candidates.  The default arms sweep that
+    ratio through the failure regime at the paper's sample factor.
+    """
+
+    pairs: Sequence[tuple[int, int]] = (
+        (12, 3),
+        (12, 6),
+        (12, 12),
+        (12, 21),
+        (12, 36),
+        (2, 4),
+    )
+    k: int = 32
+    l: int = 256
+    points_per_machine: int = 2**12
+    repetitions: int = 30
+    seed: int = 31

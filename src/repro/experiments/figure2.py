@@ -1,0 +1,228 @@
+"""Figure 2 reproduction: speedup of Algorithm 2 over the simple method.
+
+The paper's only results figure plots, for k from 2 to 128 machines,
+the ratio (simple-method wall time) / (Algorithm 2 wall time) against
+ℓ, on a fixed uniform random dataset with fresh random queries per
+run; at 128 cores it reports ≈80× speedup at the largest ℓ.
+
+Here both protocols run on the simulator with ``measure_compute=True``
+and the α–β cost model (see DESIGN.md's substitution table): simulated
+wall time = Σ_rounds (max per-machine measured compute) + α per busy
+round + max-link-bits/β.  The qualitative drivers are exactly the
+paper's: the simple method ships ℓ pairs per machine over one link
+(Θ(ℓ) rounds of latency) and merges kℓ keys at the leader (the
+leader-side compute spike), while Algorithm 2 ships O(k log ℓ) samples
+and runs O(log ℓ) constant-size rounds.
+
+:func:`run_figure2_multiprocess` cross-checks the model at small k
+with genuinely parallel OS processes and real pipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.figures import ascii_chart
+from ..analysis.stats import Summary, summarize
+from ..analysis.tables import render_table, to_csv
+from ..kmachine.simulator import Simulator
+from ..points.generators import PAPER_VALUE_HIGH, uniform_ints
+from ..points.partition import shard_dataset
+from ..points.metrics import get_metric
+from ..core.knn import KNNProgram
+from ..core.simple import SimpleKNNProgram
+from ..runtime.multiprocess import MultiprocessSimulator
+from .config import Figure2Config
+
+__all__ = ["Figure2Cell", "Figure2Result", "run_figure2", "run_figure2_multiprocess"]
+
+
+@dataclass
+class Figure2Cell:
+    """One (k, ℓ) grid point of the Figure 2 reproduction."""
+
+    k: int
+    l: int
+    ratio: Summary
+    simple_seconds: Summary
+    sampled_seconds: Summary
+    simple_rounds: float
+    sampled_rounds: float
+    simple_messages: float
+    sampled_messages: float
+
+
+@dataclass
+class Figure2Result:
+    """The full reproduced figure."""
+
+    config: Figure2Config
+    cells: list[Figure2Cell] = field(default_factory=list)
+
+    HEADERS = (
+        "k",
+        "l",
+        "ratio",
+        "ratio_ci95",
+        "simple_s",
+        "alg2_s",
+        "simple_rounds",
+        "alg2_rounds",
+        "simple_msgs",
+        "alg2_msgs",
+    )
+
+    def rows(self) -> list[list]:
+        """Tabular form of the grid (one row per (k, ℓ) cell)."""
+        return [
+            [
+                c.k,
+                c.l,
+                c.ratio.mean,
+                c.ratio.ci95,
+                c.simple_seconds.mean,
+                c.sampled_seconds.mean,
+                c.simple_rounds,
+                c.sampled_rounds,
+                c.simple_messages,
+                c.sampled_messages,
+            ]
+            for c in self.cells
+        ]
+
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Figure 2's series: per k, (ℓ, mean ratio) points."""
+        out: dict[str, list[tuple[float, float]]] = {}
+        for cell in self.cells:
+            out.setdefault(f"k={cell.k}", []).append((cell.l, cell.ratio.mean))
+        return out
+
+    def report(self) -> str:
+        """Table + ASCII chart, the benchmark-log rendition of Figure 2."""
+        parts = [
+            render_table(
+                self.HEADERS, self.rows(), title="Figure 2: simple / Algorithm 2 time ratio"
+            ),
+            "",
+            ascii_chart(
+                self.series(),
+                title="speedup ratio vs l (higher = Algorithm 2 wins bigger)",
+                logx=True,
+            ),
+        ]
+        return "\n".join(parts)
+
+    def csv(self) -> str:
+        """CSV of :meth:`rows` for external plotting."""
+        return to_csv(self.HEADERS, self.rows())
+
+    def max_ratio(self) -> float:
+        """The headline number (paper: ≈80 at k = 128)."""
+        return max(c.ratio.mean for c in self.cells)
+
+
+def run_figure2(config: Figure2Config | None = None) -> Figure2Result:
+    """Run the Figure 2 grid on the simulator and collect ratios.
+
+    For each ``k``: one fixed dataset (paper: "a fixed data set and
+    different q query values"), ``repetitions`` random queries; for
+    each query both protocols run on identical shards and seeds.
+    """
+    cfg = config or Figure2Config()
+    result = Figure2Result(config=cfg)
+    root = np.random.SeedSequence(cfg.seed)
+    for k in cfg.k_values:
+        k_seed = np.random.default_rng(root.spawn(1)[0])
+        data = uniform_ints(k_seed, n=k * cfg.points_per_machine)
+        shards = shard_dataset(data, k, k_seed, "random")
+        metric = get_metric("euclidean")
+        for l in cfg.l_values:
+            ratios, t_simple, t_sampled = [], [], []
+            r_simple, r_sampled, m_simple, m_sampled = [], [], [], []
+            for rep in range(cfg.repetitions):
+                query = np.array([float(k_seed.integers(0, PAPER_VALUE_HIGH))])
+                sim_seed = int(k_seed.integers(0, 2**31))
+                runs = {}
+                for name, program in (
+                    ("simple", SimpleKNNProgram(query, l, metric)),
+                    ("sampled", KNNProgram(query, l, metric, safe_mode=False)),
+                ):
+                    sim = Simulator(
+                        k=k,
+                        program=program,
+                        inputs=shards,
+                        seed=sim_seed,
+                        bandwidth_bits=cfg.bandwidth_bits,
+                        measure_compute=True,
+                        cost_model=cfg.cost_model,
+                    )
+                    runs[name] = sim.run().metrics
+                t_s = runs["simple"].simulated_seconds
+                t_a = runs["sampled"].simulated_seconds
+                ratios.append(t_s / t_a if t_a > 0 else float("nan"))
+                t_simple.append(t_s)
+                t_sampled.append(t_a)
+                r_simple.append(runs["simple"].rounds)
+                r_sampled.append(runs["sampled"].rounds)
+                m_simple.append(runs["simple"].messages)
+                m_sampled.append(runs["sampled"].messages)
+            result.cells.append(
+                Figure2Cell(
+                    k=k,
+                    l=l,
+                    ratio=summarize(ratios),
+                    simple_seconds=summarize(t_simple),
+                    sampled_seconds=summarize(t_sampled),
+                    simple_rounds=float(np.mean(r_simple)),
+                    sampled_rounds=float(np.mean(r_sampled)),
+                    simple_messages=float(np.mean(m_simple)),
+                    sampled_messages=float(np.mean(m_sampled)),
+                )
+            )
+    return result
+
+
+def run_figure2_multiprocess(
+    k: int = 4,
+    l_values: tuple[int, ...] = (64, 512, 4096),
+    points_per_machine: int = 2**16,
+    repetitions: int = 3,
+    seed: int = 2020,
+) -> list[dict]:
+    """Small-scale Figure 2 cross-check with real OS-process parallelism.
+
+    Returns one dict per ℓ with measured wall-second means for both
+    protocols and their ratio.  No bandwidth model here — pipes are
+    fast — so the ratio reflects compute + IPC volume only; expect the
+    same ordering as the simulator but flatter growth.
+    """
+    rng = np.random.default_rng(seed)
+    data = uniform_ints(rng, n=k * points_per_machine)
+    shards = shard_dataset(data, k, rng, "random")
+    metric = get_metric("euclidean")
+    rows = []
+    for l in l_values:
+        walls = {"simple": [], "sampled": []}
+        for rep in range(repetitions):
+            query = np.array([float(rng.integers(0, PAPER_VALUE_HIGH))])
+            mp_seed = int(rng.integers(0, 2**31))
+            for name, program in (
+                ("simple", SimpleKNNProgram(query, l, metric)),
+                ("sampled", KNNProgram(query, l, metric, safe_mode=False)),
+            ):
+                res = MultiprocessSimulator(k, program, shards, seed=mp_seed).run()
+                walls[name].append(res.wall_seconds)
+        simple_mean = float(np.mean(walls["simple"]))
+        sampled_mean = float(np.mean(walls["sampled"]))
+        rows.append(
+            {
+                "k": k,
+                "l": l,
+                "simple_wall_s": simple_mean,
+                "sampled_wall_s": sampled_mean,
+                "ratio": simple_mean / sampled_mean if sampled_mean > 0 else float("nan"),
+            }
+        )
+    return rows

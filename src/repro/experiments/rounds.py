@@ -1,0 +1,187 @@
+"""Round/message-complexity experiments (Theorems 2.2 and 2.4).
+
+Theorem 2.2: Algorithm 1 selects the ℓ smallest of n values in
+O(log n) rounds and O(k log n) messages w.h.p. — independent of k.
+Theorem 2.4: Algorithm 2 answers an ℓ-NN query in O(log ℓ) rounds and
+O(k log ℓ) messages w.h.p. — independent of k *and* n.
+
+The experiments sweep the relevant variable, average over seeds, fit
+``a + b log₂ x`` (see :mod:`repro.analysis.complexity`), and measure
+k-independence as the relative spread of mean rounds across k at the
+largest swept value.  The benchmarks assert the fits' R² and the
+spreads, so a regression that broke the complexity would fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.complexity import LogFit, fit_log, relative_spread
+from ..analysis.stats import Summary, summarize
+from ..analysis.tables import render_table, to_csv
+from ..core.driver import distributed_knn, distributed_select
+from .config import KNNRoundsConfig, SelectionRoundsConfig
+
+__all__ = [
+    "RoundsCell",
+    "SelectionRoundsResult",
+    "KNNRoundsResult",
+    "run_selection_rounds",
+    "run_knn_rounds",
+]
+
+
+@dataclass
+class RoundsCell:
+    """One (k, x) grid point (x = n for T2.2, x = ℓ for T2.4)."""
+
+    k: int
+    x: int
+    rounds: Summary
+    messages: Summary
+    iterations: Summary
+    messages_per_k: float
+
+
+@dataclass
+class _RoundsResultBase:
+    cells: list[RoundsCell] = field(default_factory=list)
+    x_name: str = "x"
+
+    HEADERS_TEMPLATE = ("k", "{x}", "rounds", "rounds_ci95", "iterations", "messages", "msgs_per_k")
+
+    def headers(self) -> tuple[str, ...]:
+        """Column names with the sweep variable substituted in."""
+        return tuple(h.format(x=self.x_name) for h in self.HEADERS_TEMPLATE)
+
+    def rows(self) -> list[list]:
+        """Tabular form of the sweep."""
+        return [
+            [
+                c.k,
+                c.x,
+                c.rounds.mean,
+                c.rounds.ci95,
+                c.iterations.mean,
+                c.messages.mean,
+                c.messages_per_k,
+            ]
+            for c in self.cells
+        ]
+
+    def fit_for_k(self, k: int) -> LogFit:
+        """``rounds ≈ a + b log₂(x)`` fit for one machine count."""
+        pts = [(c.x, c.rounds.mean) for c in self.cells if c.k == k]
+        xs, ys = zip(*sorted(pts))
+        return fit_log(xs, ys)
+
+    def k_independence(self) -> float:
+        """Relative spread of mean rounds across k at the largest x."""
+        xmax = max(c.x for c in self.cells)
+        vals = [c.rounds.mean for c in self.cells if c.x == xmax]
+        return relative_spread(vals)
+
+    def report(self, title: str) -> str:
+        """Table plus per-k log fits and the k-independence number."""
+        lines = [render_table(self.headers(), self.rows(), title=title), ""]
+        for k in sorted({c.k for c in self.cells}):
+            lines.append(f"k={k}: rounds fit {self.fit_for_k(k)}")
+        lines.append(
+            f"k-independence (relative spread of rounds at max {self.x_name}): "
+            f"{self.k_independence():.3f}"
+        )
+        return "\n".join(lines)
+
+    def csv(self) -> str:
+        """CSV of :meth:`rows`."""
+        return to_csv(self.headers(), self.rows())
+
+
+@dataclass
+class SelectionRoundsResult(_RoundsResultBase):
+    """Theorem 2.2 sweep result (x = n)."""
+
+    x_name: str = "n"
+
+
+@dataclass
+class KNNRoundsResult(_RoundsResultBase):
+    """Theorem 2.4 sweep result (x = ℓ)."""
+
+    x_name: str = "l"
+
+
+def run_selection_rounds(config: SelectionRoundsConfig | None = None) -> SelectionRoundsResult:
+    """Sweep n and k for Algorithm 1 (T2.2)."""
+    cfg = config or SelectionRoundsConfig()
+    result = SelectionRoundsResult(x_name="n")
+    rng = np.random.default_rng(cfg.seed)
+    for k in cfg.k_values:
+        for n in cfg.n_values:
+            l = n // 2 if cfg.l is None else min(cfg.l, n)
+            rounds, msgs, iters = [], [], []
+            for rep in range(cfg.repetitions):
+                values = rng.uniform(0, 1, n)
+                sel = distributed_select(
+                    values,
+                    l=l,
+                    k=k,
+                    seed=int(rng.integers(0, 2**31)),
+                    bandwidth_bits=cfg.bandwidth_bits,
+                )
+                rounds.append(sel.metrics.rounds)
+                msgs.append(sel.metrics.messages)
+                iters.append(sel.stats.iterations)
+            cell = RoundsCell(
+                k=k,
+                x=n,
+                rounds=summarize(rounds),
+                messages=summarize(msgs),
+                iterations=summarize(iters),
+                messages_per_k=float(np.mean(msgs)) / k,
+            )
+            result.cells.append(cell)
+    return result
+
+
+def run_knn_rounds(config: KNNRoundsConfig | None = None) -> KNNRoundsResult:
+    """Sweep ℓ and k for Algorithm 2 (T2.4)."""
+    cfg = config or KNNRoundsConfig()
+    result = KNNRoundsResult(x_name="l")
+    rng = np.random.default_rng(cfg.seed)
+    for k in cfg.k_values:
+        n = k * cfg.points_per_machine
+        for l in cfg.l_values:
+            if l > n:
+                continue
+            rounds, msgs, iters = [], [], []
+            for rep in range(cfg.repetitions):
+                points = rng.uniform(0, 2**32, n)
+                query = float(rng.uniform(0, 2**32))
+                res = distributed_knn(
+                    points,
+                    query,
+                    l=l,
+                    k=k,
+                    seed=int(rng.integers(0, 2**31)),
+                    bandwidth_bits=cfg.bandwidth_bits,
+                    algorithm="sampled",
+                    safe_mode=False,
+                )
+                rounds.append(res.metrics.rounds)
+                msgs.append(res.metrics.messages)
+                stats = res.leader_output.selection_stats
+                iters.append(stats.iterations if stats else 0)
+            result.cells.append(
+                RoundsCell(
+                    k=k,
+                    x=l,
+                    rounds=summarize(rounds),
+                    messages=summarize(msgs),
+                    iterations=summarize(iters),
+                    messages_per_k=float(np.mean(msgs)) / k,
+                )
+            )
+    return result

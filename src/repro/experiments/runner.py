@@ -1,0 +1,212 @@
+"""Command-line entry point: ``repro-knn <experiment> [options]``.
+
+Runs any paper experiment from the shell and prints its report (and
+optionally CSV).  Examples::
+
+    repro-knn figure2 --k 2,8,32,128 --l 16,64,256,1024 --reps 3
+    repro-knn figure2 --points-per-machine 4194304   # paper scale
+    repro-knn selection-rounds
+    repro-knn knn-rounds --k 4,16,64 --l 4,16,64,256,1024
+    repro-knn sampling --reps 100
+    repro-knn pivot --runs 5000
+    repro-knn comparison
+    repro-knn ablation
+    repro-knn figure2-mp --k 4          # multiprocessing cross-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .ablation import run_ablation
+from .accuracy import AccuracyConfig, run_accuracy
+from .comparison import run_comparison
+from .election import ElectionConfig, run_election
+from .config import (
+    AblationConfig,
+    ComparisonConfig,
+    Figure2Config,
+    KNNRoundsConfig,
+    PivotConfig,
+    SamplingConfig,
+    SelectionRoundsConfig,
+)
+from .figure2 import run_figure2, run_figure2_multiprocess
+from .pivot import run_pivot_uniformity
+from .rounds import run_knn_rounds, run_selection_rounds
+from .sampling import run_sampling
+from .sensitivity import SensitivityConfig, run_sensitivity
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-knn`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-knn",
+        description="Reproduce the experiments of 'Efficient Distributed "
+        "Algorithms for the K-Nearest Neighbors Problem' (SPAA 2020).",
+    )
+    parser.add_argument("--csv", action="store_true", help="emit CSV after the report")
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    fig2 = sub.add_parser("figure2", help="Figure 2 speedup-ratio grid")
+    fig2.add_argument("--k", type=_int_list, default=None, help="comma-separated machine counts")
+    fig2.add_argument("--l", type=_int_list, default=None, help="comma-separated neighbor counts")
+    fig2.add_argument("--points-per-machine", type=int, default=None)
+    fig2.add_argument("--reps", type=int, default=None)
+    fig2.add_argument("--seed", type=int, default=None)
+
+    fig2mp = sub.add_parser("figure2-mp", help="multiprocess Figure 2 cross-check")
+    fig2mp.add_argument("--k", type=int, default=4)
+    fig2mp.add_argument("--l", type=_int_list, default=[64, 512, 4096])
+    fig2mp.add_argument("--points-per-machine", type=int, default=2**16)
+    fig2mp.add_argument("--reps", type=int, default=3)
+    fig2mp.add_argument("--seed", type=int, default=2020)
+
+    selr = sub.add_parser("selection-rounds", help="Theorem 2.2 round/message sweep")
+    selr.add_argument("--n", type=_int_list, default=None)
+    selr.add_argument("--k", type=_int_list, default=None)
+    selr.add_argument("--reps", type=int, default=None)
+
+    knnr = sub.add_parser("knn-rounds", help="Theorem 2.4 round/message sweep")
+    knnr.add_argument("--l", type=_int_list, default=None)
+    knnr.add_argument("--k", type=_int_list, default=None)
+    knnr.add_argument("--points-per-machine", type=int, default=None)
+    knnr.add_argument("--reps", type=int, default=None)
+
+    samp = sub.add_parser("sampling", help="Lemma 2.3 pruning statistics")
+    samp.add_argument("--k", type=_int_list, default=None)
+    samp.add_argument("--l", type=_int_list, default=None)
+    samp.add_argument("--reps", type=int, default=None)
+
+    piv = sub.add_parser("pivot", help="Lemma 2.1 pivot-uniformity test")
+    piv.add_argument("--runs", type=int, default=None)
+    piv.add_argument("--n", type=int, default=None)
+    piv.add_argument("--k", type=int, default=None)
+    piv.add_argument("--partitioner", type=str, default=None)
+
+    sub.add_parser("comparison", help="all protocols on the same queries")
+    sub.add_parser("ablation", help="sampling-constant sweep")
+
+    ele = sub.add_parser("election", help="leader-election cost sweep")
+    ele.add_argument("--k", type=_int_list, default=None)
+    ele.add_argument("--reps", type=int, default=None)
+
+    acc = sub.add_parser("accuracy", help="classifier/regressor quality sweep")
+    acc.add_argument("--k", type=_int_list, default=None)
+    acc.add_argument("--l", type=int, default=None)
+
+    sens = sub.add_parser("sensitivity", help="Figure 2 cost-model sensitivity")
+    sens.add_argument("--k", type=int, default=None)
+    sens.add_argument("--l", type=int, default=None)
+    sens.add_argument("--points-per-machine", type=int, default=None)
+    sens.add_argument("--reps", type=int, default=None)
+    return parser
+
+
+def _override(config, **kwargs):
+    for name, value in kwargs.items():
+        if value is not None:
+            setattr(config, name, value)
+    return config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    exp = args.experiment
+    result = None
+
+    if exp == "figure2":
+        cfg = _override(
+            Figure2Config(),
+            k_values=args.k,
+            l_values=args.l,
+            points_per_machine=args.points_per_machine,
+            repetitions=args.reps,
+            seed=args.seed,
+        )
+        result = run_figure2(cfg)
+        print(result.report())
+    elif exp == "figure2-mp":
+        rows = run_figure2_multiprocess(
+            k=args.k,
+            l_values=tuple(args.l),
+            points_per_machine=args.points_per_machine,
+            repetitions=args.reps,
+            seed=args.seed,
+        )
+        for row in rows:
+            print(
+                f"k={row['k']} l={row['l']}: simple {row['simple_wall_s']:.4f}s, "
+                f"alg2 {row['sampled_wall_s']:.4f}s, ratio {row['ratio']:.2f}"
+            )
+        return 0
+    elif exp == "selection-rounds":
+        cfg = _override(
+            SelectionRoundsConfig(), n_values=args.n, k_values=args.k, repetitions=args.reps
+        )
+        result = run_selection_rounds(cfg)
+        print(result.report("Theorem 2.2: Algorithm 1 rounds vs n"))
+    elif exp == "knn-rounds":
+        cfg = _override(
+            KNNRoundsConfig(),
+            l_values=args.l,
+            k_values=args.k,
+            points_per_machine=args.points_per_machine,
+            repetitions=args.reps,
+        )
+        result = run_knn_rounds(cfg)
+        print(result.report("Theorem 2.4: Algorithm 2 rounds vs l"))
+    elif exp == "sampling":
+        cfg = _override(
+            SamplingConfig(), k_values=args.k, l_values=args.l, repetitions=args.reps
+        )
+        result = run_sampling(cfg)
+        print(result.report())
+    elif exp == "pivot":
+        cfg = _override(
+            PivotConfig(), runs=args.runs, n=args.n, k=args.k, partitioner=args.partitioner
+        )
+        result = run_pivot_uniformity(cfg)
+        print(result.report())
+    elif exp == "comparison":
+        result = run_comparison(ComparisonConfig())
+        print(result.report())
+    elif exp == "ablation":
+        result = run_ablation(AblationConfig())
+        print(result.report())
+    elif exp == "election":
+        cfg = _override(ElectionConfig(), k_values=args.k, repetitions=args.reps)
+        result = run_election(cfg)
+        print(result.report())
+    elif exp == "accuracy":
+        cfg = _override(AccuracyConfig(), k_values=args.k, l=args.l)
+        result = run_accuracy(cfg)
+        print(result.report())
+    elif exp == "sensitivity":
+        cfg = _override(
+            SensitivityConfig(),
+            k=args.k,
+            l=args.l,
+            points_per_machine=args.points_per_machine,
+            repetitions=args.reps,
+        )
+        result = run_sensitivity(cfg)
+        print(result.report())
+
+    if args.csv and result is not None and hasattr(result, "csv"):
+        print()
+        print(result.csv())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

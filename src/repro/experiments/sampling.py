@@ -1,0 +1,158 @@
+"""Lemma 2.3 / Figure 1 experiment: how well does sampling prune?
+
+Lemma 2.3: after the leader broadcasts the threshold ``r`` (the
+``21 log ℓ``-th smallest of the ``12k log ℓ`` sampled distances), the
+surviving candidate set has size at most ``11ℓ`` with probability at
+least ``1 − 2/ℓ²`` — and in particular contains all true ℓ nearest
+neighbors (``r`` does not fall inside block B₁ of Figure 1).
+
+The experiment runs Algorithm 2 (paper-faithful, ``safe_mode=False``)
+many times per (k, ℓ) cell and records:
+
+* the survivor count ``|{x ≤ r}|`` (the leader's selection-stage
+  input size), its mean/max, and the ratio to ℓ;
+* the *prune-failure* rate: runs where fewer than ℓ candidates
+  survive, i.e. the threshold cut into B₁ and the answer would be
+  short — compared against the ``2/ℓ²`` bound;
+* the *over-size* rate: runs with more than ``11ℓ`` survivors —
+  also covered by the same bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.stats import Summary, lemma23_failure_bound, summarize
+from ..analysis.tables import render_table, to_csv
+from ..core.driver import distributed_knn
+from .config import SamplingConfig
+
+__all__ = ["SamplingCell", "SamplingResult", "run_sampling"]
+
+
+@dataclass
+class SamplingCell:
+    """One (k, ℓ) cell of the Lemma 2.3 experiment."""
+
+    k: int
+    l: int
+    survivors: Summary
+    survivors_over_l: float
+    max_survivors_over_l: float
+    prune_failures: int
+    oversize_failures: int
+    trials: int
+    bound: float
+
+    @property
+    def failure_rate(self) -> float:
+        """Measured probability that Lemma 2.3's event fails."""
+        return (self.prune_failures + self.oversize_failures) / self.trials
+
+
+@dataclass
+class SamplingResult:
+    """All cells plus report/CSV rendering."""
+
+    config: SamplingConfig
+    cells: list[SamplingCell] = field(default_factory=list)
+
+    HEADERS = (
+        "k",
+        "l",
+        "survivors_mean",
+        "survivors_over_l",
+        "max_over_l",
+        "prune_fail",
+        "oversize_fail",
+        "trials",
+        "measured_rate",
+        "bound_2/l^2",
+    )
+
+    def rows(self) -> list[list]:
+        """Tabular form."""
+        return [
+            [
+                c.k,
+                c.l,
+                c.survivors.mean,
+                c.survivors_over_l,
+                c.max_survivors_over_l,
+                c.prune_failures,
+                c.oversize_failures,
+                c.trials,
+                c.failure_rate,
+                c.bound,
+            ]
+            for c in self.cells
+        ]
+
+    def report(self) -> str:
+        """Aligned table with the paper's bound alongside measurements."""
+        return render_table(
+            self.HEADERS,
+            self.rows(),
+            title="Lemma 2.3: sampled pruning (survivors should be <= 11*l w.h.p.)",
+        )
+
+    def csv(self) -> str:
+        """CSV of :meth:`rows`."""
+        return to_csv(self.HEADERS, self.rows())
+
+    def worst_ratio(self) -> float:
+        """Largest observed survivors/ℓ across the grid (bound: 11)."""
+        return max(c.max_survivors_over_l for c in self.cells)
+
+
+def run_sampling(config: SamplingConfig | None = None) -> SamplingResult:
+    """Run the Lemma 2.3 grid."""
+    cfg = config or SamplingConfig()
+    result = SamplingResult(config=cfg)
+    rng = np.random.default_rng(cfg.seed)
+    for k in cfg.k_values:
+        n = k * cfg.points_per_machine
+        for l in cfg.l_values:
+            if l > cfg.points_per_machine:
+                # keep |S_i| = l meaningful: need at least l points/machine
+                continue
+            survivors: list[int] = []
+            prune_failures = 0
+            oversize = 0
+            for rep in range(cfg.repetitions):
+                points = rng.uniform(0, 2**32, n)
+                query = float(rng.uniform(0, 2**32))
+                res = distributed_knn(
+                    points,
+                    query,
+                    l=l,
+                    k=k,
+                    seed=int(rng.integers(0, 2**31)),
+                    algorithm="sampled",
+                    safe_mode=False,
+                    sample_factor=cfg.sample_factor,
+                    cutoff_factor=cfg.cutoff_factor,
+                )
+                surv = res.leader_output.survivors or 0
+                survivors.append(surv)
+                if surv < l:
+                    prune_failures += 1
+                if surv > 11 * l:
+                    oversize += 1
+            summary = summarize(survivors)
+            result.cells.append(
+                SamplingCell(
+                    k=k,
+                    l=l,
+                    survivors=summary,
+                    survivors_over_l=summary.mean / l,
+                    max_survivors_over_l=summary.max / l,
+                    prune_failures=prune_failures,
+                    oversize_failures=oversize,
+                    trials=cfg.repetitions,
+                    bound=lemma23_failure_bound(l),
+                )
+            )
+    return result

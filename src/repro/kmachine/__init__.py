@@ -1,0 +1,81 @@
+"""The k-machine model simulator (Klauck, Nanongkai, Pandurangan, Robinson).
+
+This package is the substrate the paper's algorithms run on: ``k``
+machines on a complete network of bandwidth-``B`` links, computing in
+synchronous rounds, with rounds and messages as the cost measures.
+
+Public surface
+--------------
+* :class:`Simulator` / :func:`run_program` — execute a program.
+* :class:`Program` / :class:`FunctionProgram` — protocol base classes.
+* :class:`MachineContext` — per-machine rank/RNG/messaging API.
+* :mod:`repro.kmachine.collectives` — broadcast/gather/reduce helpers.
+* :class:`Network` — bandwidth-constrained clique (rarely used directly).
+* :class:`Metrics` — rounds/messages/bits accounting.
+* :class:`CostModel` — α–β model for simulated wall-clock.
+"""
+
+from .collectives import (
+    all_gather,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+    tree_broadcast,
+    tree_reduce,
+)
+from .errors import (
+    AddressError,
+    BandwidthExceededError,
+    DeadlockError,
+    KMachineError,
+    ProtocolError,
+)
+from .machine import FunctionProgram, MachineContext, Program
+from .message import Message
+from .metrics import Metrics, RoundRecord
+from .network import LinkStats, Network
+from .rng import spawn_named_stream, spawn_streams
+from .simulator import SimulationResult, Simulator, run_program
+from .sizing import DEFAULT_POLICY, SizingPolicy, payload_bits
+from .timing import DEFAULT_COST_MODEL, ZERO_COST_MODEL, CostModel
+from .tracing import NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "AddressError",
+    "BandwidthExceededError",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_POLICY",
+    "DeadlockError",
+    "FunctionProgram",
+    "KMachineError",
+    "LinkStats",
+    "MachineContext",
+    "Message",
+    "Metrics",
+    "Network",
+    "NullTracer",
+    "Program",
+    "ProtocolError",
+    "RoundRecord",
+    "SimulationResult",
+    "Simulator",
+    "SizingPolicy",
+    "TraceEvent",
+    "Tracer",
+    "ZERO_COST_MODEL",
+    "all_gather",
+    "barrier",
+    "broadcast",
+    "gather",
+    "payload_bits",
+    "reduce",
+    "run_program",
+    "scatter",
+    "spawn_named_stream",
+    "spawn_streams",
+    "tree_broadcast",
+    "tree_reduce",
+]

@@ -1,0 +1,52 @@
+"""Exception types raised by the k-machine model simulator.
+
+All simulator errors derive from :class:`KMachineError` so callers can
+catch simulator failures without masking ordinary Python bugs inside
+protocol code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KMachineError",
+    "BandwidthExceededError",
+    "DeadlockError",
+    "ProtocolError",
+    "AddressError",
+]
+
+
+class KMachineError(Exception):
+    """Base class for all errors raised by :mod:`repro.kmachine`."""
+
+
+class BandwidthExceededError(KMachineError):
+    """A message was submitted that violates the link bandwidth policy.
+
+    Raised only under the ``strict`` bandwidth policy, where a protocol
+    is required never to enqueue more than ``B`` bits on a link in a
+    single round.  Under the default ``queue`` policy, excess traffic is
+    queued and drained at ``B`` bits per round instead (which is how the
+    paper's Θ(ℓ)-round cost of the simple method arises mechanically).
+    """
+
+
+class DeadlockError(KMachineError):
+    """The simulation exceeded ``max_rounds`` without terminating.
+
+    This almost always means a protocol is waiting for a message that
+    is never sent (e.g. mismatched tags or a miscounted gather).
+    """
+
+
+class ProtocolError(KMachineError):
+    """A protocol violated an invariant of the k-machine model.
+
+    Examples: a machine addressed a message to itself, a program
+    produced no generator, or a program left the simulation while
+    peers still expect replies from it.
+    """
+
+
+class AddressError(KMachineError):
+    """A message was addressed to a machine rank outside ``[0, k)``."""

@@ -1,0 +1,57 @@
+"""Message envelope used on the simulated network.
+
+A :class:`Message` is what travels over a link: an immutable envelope
+carrying the source and destination ranks, a string *tag* identifying
+the protocol step it belongs to, an arbitrary payload, and the bit size
+charged against the link bandwidth.
+
+Tags are how protocols demultiplex traffic: a machine's context keeps a
+pending buffer of delivered messages and :meth:`repro.kmachine.machine.
+MachineContext.take` pops only the ones matching a tag.  This makes it
+safe to compose sub-protocols (leader election followed by selection)
+without messages from one phase being swallowed by the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message in flight on the k-machine network.
+
+    Attributes
+    ----------
+    src:
+        Rank of the sending machine, in ``[0, k)``.
+    dst:
+        Rank of the receiving machine, in ``[0, k)``.
+    tag:
+        Protocol-step identifier (e.g. ``"count"``, ``"pivot"``).
+    payload:
+        Arbitrary Python object.  Protocols in this repo only send
+        scalars, small tuples and small NumPy arrays, consistent with
+        the paper's O(log n)-bit message discipline.
+    bits:
+        Size charged against link bandwidth, computed at send time by
+        the active :class:`repro.kmachine.sizing.SizingPolicy`.
+    sent_round:
+        Round index at which the message entered the network.
+    """
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    bits: int
+    sent_round: int = field(default=-1, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.src}->{self.dst}, tag={self.tag!r}, "
+            f"bits={self.bits}, round={self.sent_round}, payload={self.payload!r})"
+        )

@@ -1,0 +1,116 @@
+"""Round, message and bit accounting for simulations.
+
+These are the two quantities the paper's theorems bound — *round
+complexity* (Theorems 2.2 and 2.4) and *message complexity* — plus a
+modelled wall-clock built from measured local-compute time and the
+α–β communication model in :mod:`repro.kmachine.timing`.  Every
+experiment in :mod:`repro.experiments` reads its numbers from a
+:class:`Metrics` snapshot, so the benchmarks report exactly what the
+simulator enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundRecord", "Metrics"]
+
+
+@dataclass
+class RoundRecord:
+    """Per-round accounting, kept when ``timeline=True``."""
+
+    round: int
+    messages_sent: int
+    bits_sent: int
+    messages_delivered: int
+    max_link_bits: int
+    compute_seconds: float
+    comm_seconds: float
+    active_machines: int
+
+
+@dataclass
+class Metrics:
+    """Cumulative accounting for one simulation run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous communication rounds elapsed until every
+        machine halted and all link queues drained.
+    messages:
+        Total messages accepted by the network.
+    bits:
+        Total payload+header bits accepted by the network.
+    per_tag_messages / per_tag_bits:
+        Breakdown by message tag, useful to attribute cost to protocol
+        phases (election vs sampling vs selection iterations).
+    compute_seconds:
+        Modelled parallel compute time: the sum over rounds of the
+        *maximum* per-machine local computation time in that round
+        (machines compute concurrently in the model).
+    comm_seconds:
+        Modelled communication time under the α–β cost model.
+    simulated_seconds:
+        ``compute_seconds + comm_seconds`` — the modelled wall-clock
+        used by the Figure 2 reproduction.
+    timeline:
+        Optional per-round records (populated when the simulator is
+        constructed with ``timeline=True``).
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    per_tag_messages: dict[str, int] = field(default_factory=dict)
+    per_tag_bits: dict[str, int] = field(default_factory=dict)
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    max_link_queue_bits: int = 0
+    dropped_messages: int = 0
+    timeline: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Modelled wall-clock: parallel compute plus communication."""
+        return self.compute_seconds + self.comm_seconds
+
+    def record_send(self, tag: str, bits: int) -> None:
+        """Account one message entering the network."""
+        self.messages += 1
+        self.bits += bits
+        self.per_tag_messages[tag] = self.per_tag_messages.get(tag, 0) + 1
+        self.per_tag_bits[tag] = self.per_tag_bits.get(tag, 0) + bits
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Return a new snapshot summing this run with ``other``.
+
+        Used by drivers that run multi-phase protocols as separate
+        simulations (e.g. classifier fit + many queries) and want a
+        combined budget.
+        """
+        merged = Metrics(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            bits=self.bits + other.bits,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+            comm_seconds=self.comm_seconds + other.comm_seconds,
+            max_link_queue_bits=max(self.max_link_queue_bits, other.max_link_queue_bits),
+            dropped_messages=self.dropped_messages + other.dropped_messages,
+        )
+        for tag_map_name in ("per_tag_messages", "per_tag_bits"):
+            merged_map = dict(getattr(self, tag_map_name))
+            for tag, count in getattr(other, tag_map_name).items():
+                merged_map[tag] = merged_map.get(tag, 0) + count
+            setattr(merged, tag_map_name, merged_map)
+        merged.timeline = list(self.timeline) + list(other.timeline)
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"rounds={self.rounds} messages={self.messages} bits={self.bits} "
+            f"sim_time={self.simulated_seconds:.6f}s "
+            f"(compute={self.compute_seconds:.6f}s comm={self.comm_seconds:.6f}s)"
+        )

@@ -1,0 +1,198 @@
+"""Bandwidth-constrained complete network for the k-machine model.
+
+The model's topology is a clique: every pair of machines shares a
+bidirectional link of bandwidth ``B`` bits per round.  We model each
+direction of a link as an independent FIFO queue drained at ``B`` bits
+per round, which makes the cost of bulk transfers *mechanical*: a
+protocol that ships ``ℓ`` (id, distance) pairs from one machine to the
+leader pays ``Θ(ℓ)`` rounds on that link — exactly the separation the
+paper draws between the simple method and Algorithm 2.
+
+Three bandwidth policies are supported:
+
+``queue`` (default)
+    Excess traffic waits in the link FIFO; rounds keep elapsing while
+    queues drain.  This is the paper's model.
+``strict``
+    Enqueueing more than ``B`` bits on a link in one round raises
+    :class:`~repro.kmachine.errors.BandwidthExceededError`.  Useful to
+    *prove* a protocol respects the per-round budget.
+``unbounded``
+    No bandwidth constraint (every message arrives next round).  Useful
+    for isolating algorithmic round complexity from transfer cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from .errors import BandwidthExceededError
+from .message import Message
+
+__all__ = ["Network", "LinkStats", "BandwidthPolicy"]
+
+BandwidthPolicy = Literal["queue", "strict", "unbounded"]
+
+
+@dataclass
+class LinkStats:
+    """Cumulative statistics for one directed link."""
+
+    messages: int = 0
+    bits: int = 0
+    max_queue_messages: int = 0
+    max_queue_bits: int = 0
+    busy_rounds: int = 0
+
+
+@dataclass
+class _QueuedMessage:
+    message: Message
+    remaining_bits: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.remaining_bits == 0:
+            self.remaining_bits = self.message.bits
+
+
+class Network:
+    """The k-machine clique with per-link FIFO queues.
+
+    Parameters
+    ----------
+    k:
+        Number of machines.
+    bandwidth_bits:
+        Link capacity ``B`` in bits per round, or ``None`` for the
+        ``unbounded`` policy.  The paper's default is ``B = Θ(log n)``;
+        helpers in :mod:`repro.core.driver` choose a concrete value
+        sized so one (id, distance) pair fits in a round.
+    policy:
+        One of ``"queue"``, ``"strict"``, ``"unbounded"``.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        bandwidth_bits: int | None = None,
+        policy: BandwidthPolicy = "queue",
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if policy not in ("queue", "strict", "unbounded"):
+            raise ValueError(f"unknown bandwidth policy {policy!r}")
+        if policy != "unbounded" and bandwidth_bits is not None and bandwidth_bits <= 0:
+            raise ValueError("bandwidth_bits must be positive")
+        if bandwidth_bits is None:
+            policy = "unbounded"
+        self.k = k
+        self.bandwidth_bits = bandwidth_bits
+        self.policy: BandwidthPolicy = policy
+        self._queues: dict[tuple[int, int], deque[_QueuedMessage]] = {}
+        self._submitted_this_round: dict[tuple[int, int], int] = {}
+        self.link_stats: dict[tuple[int, int], LinkStats] = {}
+        self.total_messages = 0
+        self.total_bits = 0
+        #: bits delivered on the busiest link in the most recent step
+        self.last_step_max_link_bits = 0
+        self.last_step_delivered = 0
+        #: messages landed at the busiest receiver in the most recent step
+        self.last_step_max_dst_messages = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, msg: Message) -> None:
+        """Accept a message sent during the current round.
+
+        Under ``strict`` policy, raises if the sender has already used
+        the link's per-round budget.
+        """
+        key = (msg.src, msg.dst)
+        if self.policy == "strict":
+            used = self._submitted_this_round.get(key, 0)
+            if used + msg.bits > self.bandwidth_bits:  # type: ignore[operator]
+                raise BandwidthExceededError(
+                    f"link {msg.src}->{msg.dst}: {used} + {msg.bits} bits exceeds "
+                    f"B={self.bandwidth_bits} in one round (tag={msg.tag!r})"
+                )
+            self._submitted_this_round[key] = used + msg.bits
+        queue = self._queues.setdefault(key, deque())
+        queue.append(_QueuedMessage(msg))
+        stats = self.link_stats.setdefault(key, LinkStats())
+        stats.messages += 1
+        stats.bits += msg.bits
+        stats.max_queue_messages = max(stats.max_queue_messages, len(queue))
+        stats.max_queue_bits = max(
+            stats.max_queue_bits, sum(q.remaining_bits for q in queue)
+        )
+        self.total_messages += 1
+        self.total_bits += msg.bits
+
+    def step(self) -> dict[int, list[Message]]:
+        """Advance one round: drain every link and return deliveries.
+
+        Returns a mapping ``dst rank -> messages arriving at the start
+        of the next round``, in FIFO order per link and ascending
+        source order across links (deterministic delivery order).
+        """
+        self._submitted_this_round.clear()
+        deliveries: dict[int, list[Message]] = {}
+        max_link_bits = 0
+        delivered = 0
+        for key in sorted(self._queues):
+            queue = self._queues[key]
+            if not queue:
+                continue
+            stats = self.link_stats[key]
+            stats.busy_rounds += 1
+            budget = self.bandwidth_bits if self.policy != "unbounded" else None
+            link_bits = 0
+            while queue:
+                head = queue[0]
+                if budget is None:
+                    take = head.remaining_bits
+                else:
+                    if budget <= 0:
+                        break
+                    take = min(budget, head.remaining_bits)
+                    budget -= take
+                head.remaining_bits -= take
+                link_bits += take
+                if head.remaining_bits == 0:
+                    queue.popleft()
+                    deliveries.setdefault(head.message.dst, []).append(head.message)
+                    delivered += 1
+                else:
+                    break  # head still partially transmitted; link saturated
+            max_link_bits = max(max_link_bits, link_bits)
+        self.last_step_max_link_bits = max_link_bits
+        self.last_step_delivered = delivered
+        self.last_step_max_dst_messages = max(
+            (len(msgs) for msgs in deliveries.values()), default=0
+        )
+        return deliveries
+
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Number of messages still queued on some link."""
+        return sum(len(q) for q in self._queues.values())
+
+    def queued_bits(self) -> int:
+        """Total remaining bits queued across all links."""
+        return sum(q.remaining_bits for queue in self._queues.values() for q in queue)
+
+    def busiest_links(self, top: int = 5) -> list[tuple[tuple[int, int], LinkStats]]:
+        """The ``top`` links by cumulative bits (debugging/benchmark aid)."""
+        ranked = sorted(
+            self.link_stats.items(), key=lambda kv: kv[1].bits, reverse=True
+        )
+        return ranked[:top]
+
+    def drop_all(self) -> Iterable[Message]:
+        """Discard all queued messages (used on abnormal termination)."""
+        dropped: list[Message] = []
+        for queue in self._queues.values():
+            dropped.extend(q.message for q in queue)
+            queue.clear()
+        return dropped

@@ -1,0 +1,321 @@
+"""Round-synchronous simulator for the k-machine model.
+
+The :class:`Simulator` owns ``k`` machine contexts, the bandwidth-
+constrained :class:`~repro.kmachine.network.Network`, and the round
+loop.  One loop iteration is one synchronous round:
+
+1. messages that finished transmission last round are delivered to
+   destination buffers;
+2. every still-running machine's program generator is resumed once
+   (its local computation for the round, optionally timed);
+3. messages queued by :meth:`MachineContext.send` are submitted to the
+   network, which drains each link at ``B`` bits per round.
+
+The loop ends when every program has returned and all link queues are
+empty.  :class:`Metrics` then reports the paper's two cost measures —
+rounds and messages — plus a modelled wall-clock.
+
+Example
+-------
+>>> from repro.kmachine import Simulator, FunctionProgram
+>>> def hello(ctx):
+...     if ctx.rank == 0:
+...         ctx.broadcast("hi", ctx.rank)
+...         yield
+...         return "sent"
+...     msg = yield from ctx.recv_one("hi")
+...     return msg.payload
+>>> result = Simulator(k=3, program=FunctionProgram(hello)).run()
+>>> result.outputs
+['sent', 0, 0]
+>>> result.metrics.messages
+2
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from .errors import DeadlockError, ProtocolError
+from .machine import MachineContext, Program
+from .message import Message
+from .metrics import Metrics, RoundRecord
+from .network import BandwidthPolicy, Network
+from .rng import spawn_streams
+from .sizing import SizingPolicy
+from .timing import CostModel, ZERO_COST_MODEL
+from .tracing import NullTracer, Tracer
+
+__all__ = ["Simulator", "SimulationResult", "run_program"]
+
+#: Default ceiling on rounds before declaring deadlock.
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything a completed simulation produced.
+
+    Attributes
+    ----------
+    outputs:
+        The per-machine return values of the program generators,
+        indexed by rank.
+    metrics:
+        Round/message/bit accounting (see :class:`Metrics`).
+    contexts:
+        The machine contexts, retained so tests and drivers can
+        inspect per-machine state (e.g. each machine's output point
+        set after an ℓ-NN run).
+    tracer:
+        The tracer used (a :class:`NullTracer` unless tracing was on).
+    """
+
+    outputs: list[Any]
+    metrics: Metrics
+    contexts: list[MachineContext]
+    tracer: Tracer | NullTracer
+
+
+class Simulator:
+    """Synchronous executor for a :class:`Program` over ``k`` machines.
+
+    Parameters
+    ----------
+    k:
+        Number of machines (``>= 1``; the KNN protocols need ``>= 2``).
+    program:
+        The SPMD program every machine runs.
+    inputs:
+        Per-machine local inputs: a sequence of length ``k``, a
+        callable ``rank -> input``, or ``None``.
+    seed:
+        Root seed for all machine RNG streams and machine-ID draws.
+    bandwidth_bits:
+        Link bandwidth ``B`` in bits/round; ``None`` = unbounded.
+    policy:
+        Bandwidth policy (``queue``/``strict``/``unbounded``).
+    cost_model:
+        α–β model for the communication component of simulated time.
+    measure_compute:
+        If true, time every generator resume and charge the per-round
+        maximum to :attr:`Metrics.compute_seconds`.  Off by default to
+        keep complexity experiments overhead-free.
+    max_rounds:
+        Deadlock guard; exceeded ⇒ :class:`DeadlockError`.
+    timeline:
+        Keep a per-round :class:`RoundRecord` list.
+    trace:
+        Record send/deliver/halt events on a :class:`Tracer`.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        program: Program,
+        inputs: Sequence[Any] | Callable[[int], Any] | None = None,
+        seed: int | None = None,
+        bandwidth_bits: int | None = None,
+        policy: BandwidthPolicy = "queue",
+        cost_model: CostModel | None = None,
+        measure_compute: bool = False,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        timeline: bool = False,
+        trace: bool = False,
+        sizing: SizingPolicy | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if inputs is not None and not callable(inputs) and len(inputs) != k:
+            raise ValueError(f"inputs has length {len(inputs)}, expected k={k}")
+        self.k = k
+        self.program = program
+        self.cost_model = cost_model or ZERO_COST_MODEL
+        self.measure_compute = measure_compute
+        self.max_rounds = max_rounds
+        self.timeline = timeline
+        self.sizing = sizing or SizingPolicy()
+        self.network = Network(k, bandwidth_bits=bandwidth_bits, policy=policy)
+        self.tracer: Tracer | NullTracer = Tracer() if trace else NullTracer()
+
+        machine_rngs = spawn_streams(seed, k + 1)
+        sim_rng = machine_rngs.pop()
+        machine_ids = _draw_unique_ids(sim_rng, k)
+        self.contexts = [
+            MachineContext(
+                rank=rank,
+                k=k,
+                rng=machine_rngs[rank],
+                local=_resolve_input(inputs, rank),
+                machine_id=machine_ids[rank],
+                sizing=self.sizing,
+            )
+            for rank in range(k)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the program to completion and return the result."""
+        generators: list[Generator | None] = [
+            self.program.instantiate(ctx) for ctx in self.contexts
+        ]
+        outputs: list[Any] = [None] * self.k
+        metrics = Metrics()
+        deliveries: dict[int, list[Message]] = {}
+        alive = self.k
+        round_idx = 0
+        active_rounds = 0
+
+        while True:
+            if round_idx >= self.max_rounds:
+                stuck = [r for r, g in enumerate(generators) if g is not None]
+                raise DeadlockError(
+                    f"protocol {self.program.name!r} exceeded max_rounds="
+                    f"{self.max_rounds}; machines still running: {stuck}"
+                )
+
+            # 1. deliver messages that completed transmission last round
+            delivered_count = 0
+            for dst, msgs in deliveries.items():
+                if generators[dst] is None:
+                    metrics.dropped_messages += len(msgs)
+                    for m in msgs:
+                        self.tracer.record(round_idx, "drop", machine=dst, tag=m.tag)
+                    continue
+                self.contexts[dst].deliver(msgs)
+                delivered_count += len(msgs)
+                if self.tracer.enabled:
+                    for m in msgs:
+                        self.tracer.record(
+                            round_idx, "deliver", machine=dst, src=m.src, tag=m.tag
+                        )
+
+            # 2. step every running machine once (logically concurrent)
+            compute_max = 0.0
+            for rank, gen in enumerate(generators):
+                if gen is None:
+                    continue
+                ctx = self.contexts[rank]
+                ctx.round = round_idx
+                started = time.perf_counter() if self.measure_compute else 0.0
+                try:
+                    next(gen)
+                except StopIteration as stop:
+                    outputs[rank] = stop.value
+                    if stop.value is not None:
+                        ctx.result = stop.value
+                    generators[rank] = None
+                    alive -= 1
+                    self.tracer.record(round_idx, "halt", machine=rank)
+                except Exception as exc:
+                    raise ProtocolError(
+                        f"machine {rank} raised {type(exc).__name__} in round "
+                        f"{round_idx} running {self.program.name!r}: {exc}"
+                    ) from exc
+                if self.measure_compute:
+                    compute_max = max(compute_max, time.perf_counter() - started)
+
+            # 3. submit this round's sends to the network
+            sent_msgs = 0
+            sent_bits = 0
+            for ctx in self.contexts:
+                for msg in ctx.drain_outbox():
+                    self.network.submit(msg)
+                    metrics.record_send(msg.tag, msg.bits)
+                    sent_msgs += 1
+                    sent_bits += msg.bits
+                    if self.tracer.enabled:
+                        self.tracer.record(
+                            round_idx, "send", machine=msg.src, dst=msg.dst, tag=msg.tag
+                        )
+
+            queued_before_step = self.network.in_flight() > 0
+            deliveries = self.network.step()
+            metrics.max_link_queue_bits = max(
+                metrics.max_link_queue_bits, self.network.queued_bits()
+            )
+
+            any_traffic = sent_msgs > 0 or queued_before_step
+            comm_cost = self.cost_model.round_cost(
+                self.network.last_step_max_link_bits,
+                any_traffic,
+                self.network.last_step_max_dst_messages,
+            )
+            metrics.compute_seconds += compute_max
+            metrics.comm_seconds += comm_cost
+            if any_traffic or alive > 0:
+                # A round "counts" if communication happened or could
+                # still happen; trailing all-halted empty rounds do not.
+                if any_traffic or deliveries:
+                    active_rounds = round_idx + 1
+
+            if self.timeline:
+                metrics.timeline.append(
+                    RoundRecord(
+                        round=round_idx,
+                        messages_sent=sent_msgs,
+                        bits_sent=sent_bits,
+                        messages_delivered=delivered_count,
+                        max_link_bits=self.network.last_step_max_link_bits,
+                        compute_seconds=compute_max,
+                        comm_seconds=comm_cost,
+                        active_machines=alive,
+                    )
+                )
+
+            round_idx += 1
+            if alive == 0:
+                if deliveries or self.network.in_flight() > 0:
+                    # all machines halted with traffic still in flight:
+                    # deliver-to-nobody; count drops and stop.
+                    for msgs in deliveries.values():
+                        metrics.dropped_messages += len(msgs)
+                    metrics.dropped_messages += len(list(self.network.drop_all()))
+                break
+
+        metrics.rounds = active_rounds
+        return SimulationResult(
+            outputs=outputs,
+            metrics=metrics,
+            contexts=self.contexts,
+            tracer=self.tracer,
+        )
+
+
+def _resolve_input(
+    inputs: Sequence[Any] | Callable[[int], Any] | None, rank: int
+) -> Any:
+    if inputs is None:
+        return None
+    if callable(inputs):
+        return inputs(rank)
+    return inputs[rank]
+
+
+def _draw_unique_ids(rng: np.random.Generator, k: int) -> list[int]:
+    """Draw k distinct random machine IDs from [1, max(k^3, 64)].
+
+    Mirrors the paper's random-unique-ID trick; redraws on the (low
+    probability) collision until all IDs are distinct.
+    """
+    hi = max(k**3, 64)
+    for _ in range(64):
+        ids = rng.integers(1, hi + 1, size=k)
+        if len(set(int(i) for i in ids)) == k:
+            return [int(i) for i in ids]
+    # Fall back to a permutation — distinct by construction.
+    return [int(i) + 1 for i in rng.permutation(hi)[:k]]
+
+
+def run_program(
+    program: Program,
+    k: int,
+    inputs: Sequence[Any] | Callable[[int], Any] | None = None,
+    **kwargs: Any,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    return Simulator(k=k, program=program, inputs=inputs, **kwargs).run()

@@ -1,0 +1,85 @@
+"""α–β communication cost model for simulated wall-clock time.
+
+The paper's Figure 2 reports *wall-clock* ratios measured on a real
+cluster.  We reproduce its shape on one machine by combining
+
+* **measured local compute**: the simulator times each machine's
+  generator resume with ``perf_counter`` and charges the per-round
+  *maximum* (machines run concurrently in the model), and
+* **modelled communication**: an α–β–γ (LogGP-style) model.  A round
+  in which any traffic moves costs ``alpha`` seconds of latency, plus
+  ``max_link_bits / beta`` seconds of transmission on the busiest
+  link (links operate in parallel), plus ``gamma`` seconds of
+  *receiver overhead* per message at the busiest receiver — the
+  software cost of landing a message, which serialises at a hot spot
+  (the leader) even when its inbound links are physically parallel.
+  The γ term is what separates a leader ingesting ``kℓ`` baseline
+  messages from one ingesting ``O(k log ℓ)`` samples.
+
+Defaults are calibrated to commodity-cluster Ethernet (~50 µs round
+latency, ~1 Gbit/s per link, ~2 µs per-message receive overhead),
+the same class of interconnect as the paper's Crill cluster.
+Experiments report sensitivity to the constants via
+:mod:`repro.experiments.figure2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "ZERO_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Communication time model for one synchronous round.
+
+    Parameters
+    ----------
+    alpha_seconds:
+        Fixed latency charged per round in which at least one message
+        is in flight (synchronisation + propagation).
+    beta_bits_per_second:
+        Per-link bandwidth for the transmission term.  ``0`` disables
+        the bandwidth term (pure latency model).
+    gamma_seconds_per_message:
+        Receiver software overhead per delivered message, charged for
+        the busiest *destination* of the round (receivers handle their
+        inbound traffic serially; distinct receivers in parallel).
+    idle_round_seconds:
+        Cost charged for a round with no traffic at all (barrier cost
+        of an idle synchronous round); usually 0 in analysis mode.
+    """
+
+    alpha_seconds: float = 50e-6
+    beta_bits_per_second: float = 1e9
+    gamma_seconds_per_message: float = 2e-6
+    idle_round_seconds: float = 0.0
+
+    def round_cost(
+        self, max_link_bits: int, any_traffic: bool, max_dst_messages: int = 0
+    ) -> float:
+        """Communication seconds for one round.
+
+        ``max_link_bits`` is the largest number of bits any single link
+        transmitted this round; ``max_dst_messages`` the largest number
+        of messages any single machine received; ``any_traffic`` is
+        whether any link was busy.
+        """
+        if not any_traffic:
+            return self.idle_round_seconds
+        transmit = (
+            max_link_bits / self.beta_bits_per_second
+            if self.beta_bits_per_second > 0
+            else 0.0
+        )
+        ingress = self.gamma_seconds_per_message * max_dst_messages
+        return self.alpha_seconds + transmit + ingress
+
+
+#: Commodity-cluster defaults (see module docstring).
+DEFAULT_COST_MODEL = CostModel()
+
+#: Ignore communication time entirely (rounds/messages analysis only).
+ZERO_COST_MODEL = CostModel(alpha_seconds=0.0, beta_bits_per_second=0.0,
+                            gamma_seconds_per_message=0.0, idle_round_seconds=0.0)

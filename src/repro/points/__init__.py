@@ -1,0 +1,82 @@
+"""Point, metric and workload substrate for the KNN reproduction.
+
+Provides distance metrics (vectorized), datasets with the paper's
+random-unique-ID scheme, partitioners covering benign through
+adversarial placements, synthetic workload generators (including the
+paper's Figure 2 workload), and the O(log n)-bit distance quantizer
+of footnote 4.
+"""
+
+from .dataset import Dataset, Shard, make_dataset
+from .generators import (
+    PAPER_VALUE_HIGH,
+    concentric_shells,
+    duplicate_heavy,
+    gaussian_blobs,
+    paper_workload,
+    uniform_ints,
+    uniform_points,
+)
+from .ids import (
+    MINUS_INF_KEY,
+    PLUS_INF_KEY,
+    Keyed,
+    draw_unique_ids,
+    id_space,
+    keyed_array,
+)
+from .metrics import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    HammingMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    SquaredEuclideanMetric,
+    get_metric,
+)
+from .partition import (
+    get_partitioner,
+    partition_contiguous,
+    partition_random,
+    partition_skewed,
+    partition_sorted_adversarial,
+    shard_dataset,
+)
+from .scaling import Quantizer, quantization_error_bound, quantize
+
+__all__ = [
+    "ChebyshevMetric",
+    "Dataset",
+    "EuclideanMetric",
+    "HammingMetric",
+    "Keyed",
+    "MINUS_INF_KEY",
+    "ManhattanMetric",
+    "Metric",
+    "MinkowskiMetric",
+    "PAPER_VALUE_HIGH",
+    "PLUS_INF_KEY",
+    "Quantizer",
+    "Shard",
+    "SquaredEuclideanMetric",
+    "concentric_shells",
+    "draw_unique_ids",
+    "duplicate_heavy",
+    "gaussian_blobs",
+    "get_metric",
+    "get_partitioner",
+    "id_space",
+    "keyed_array",
+    "make_dataset",
+    "paper_workload",
+    "partition_contiguous",
+    "partition_random",
+    "partition_skewed",
+    "partition_sorted_adversarial",
+    "quantization_error_bound",
+    "quantize",
+    "shard_dataset",
+    "uniform_ints",
+    "uniform_points",
+]

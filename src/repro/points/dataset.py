@@ -1,0 +1,143 @@
+"""Datasets and per-machine shards.
+
+A :class:`Dataset` is the global (training) set: an ``(n, d)`` point
+array with optional labels and the random unique IDs of
+:mod:`repro.points.ids`.  A :class:`Shard` is what one machine holds
+after partitioning — the model's "each machine has O(n/k) points,
+adversarially distributed".  Shards carry the same arrays restricted
+to the machine's rows, so the global point with ID ``i`` is
+recoverable from whichever machine owns it once a protocol outputs IDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .ids import draw_unique_ids
+
+__all__ = ["Dataset", "Shard", "make_dataset"]
+
+
+@dataclass
+class Dataset:
+    """The global labelled point set.
+
+    Attributes
+    ----------
+    points:
+        ``float64`` array of shape ``(n, d)`` (1-D inputs are stored
+        as ``(n, 1)``).
+    ids:
+        Distinct ``int64`` identifiers, one per point (paper §2:
+        random IDs from ``[1, n^3]``).
+    labels:
+        Optional per-point labels (any 1-D array) for the
+        classification / regression application layer.
+    """
+
+    points: np.ndarray
+    ids: np.ndarray
+    labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim == 1:
+            self.points = self.points[:, None]
+        if self.points.ndim != 2:
+            raise ValueError(f"points must be 1-D or 2-D, got shape {self.points.shape}")
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        if self.ids.shape != (len(self.points),):
+            raise ValueError(
+                f"ids shape {self.ids.shape} does not match {len(self.points)} points"
+            )
+        if np.unique(self.ids).size != self.ids.size:
+            raise ValueError("point ids must be distinct")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels)
+            if len(self.labels) != len(self.points):
+                raise ValueError(
+                    f"{len(self.labels)} labels for {len(self.points)} points"
+                )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        """Point dimensionality ``d``."""
+        return self.points.shape[1]
+
+    def take(self, indices: np.ndarray) -> "Shard":
+        """Build a shard from row ``indices`` (no copy of untouched rows)."""
+        return Shard(
+            points=self.points[indices],
+            ids=self.ids[indices],
+            labels=None if self.labels is None else self.labels[indices],
+        )
+
+    def label_of(self, point_id: int) -> object:
+        """Label of the point with identifier ``point_id``.
+
+        O(n) lookup intended for verification in tests; the protocols
+        themselves never need a global reverse index.
+        """
+        if self.labels is None:
+            raise ValueError("dataset has no labels")
+        pos = np.nonzero(self.ids == point_id)[0]
+        if pos.size == 0:
+            raise KeyError(f"no point with id {point_id}")
+        return self.labels[pos[0]]
+
+
+@dataclass
+class Shard:
+    """One machine's local slice of a :class:`Dataset`.
+
+    The protocols treat a shard as read-only input; derived candidate
+    sets are fresh arrays.
+    """
+
+    points: np.ndarray
+    ids: np.ndarray
+    labels: np.ndarray | None = None
+    #: scratch attribute letting experiments attach metadata
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim == 1:
+            self.points = self.points[:, None]
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        if self.ids.shape != (len(self.points),):
+            raise ValueError("shard ids/points length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        """Point dimensionality ``d``."""
+        return self.points.shape[1]
+
+
+def make_dataset(
+    points: np.ndarray | Sequence[float],
+    labels: np.ndarray | Sequence | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> Dataset:
+    """Wrap raw points (and optional labels) into a :class:`Dataset`.
+
+    Assigns the paper's random unique IDs using ``rng`` (or a fresh
+    generator from ``seed``).
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    ids = draw_unique_ids(generator, len(arr), n_total=len(arr))
+    return Dataset(points=arr, ids=ids,
+                   labels=None if labels is None else np.asarray(labels))

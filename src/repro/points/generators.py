@@ -1,0 +1,158 @@
+"""Synthetic workload generators.
+
+The paper's experiment uses one workload — "each process generated
+2^22 random points independently between 0 and 2^32 − 1" — which
+:func:`uniform_ints` reproduces.  The other generators provide the
+workloads the introduction motivates (pattern-recognition style
+labelled clusters, high-dimensional image descriptors, duplicate-heavy
+sets that stress tie-breaking) so the examples and the test suite can
+exercise the protocols beyond the happy path.
+
+Every generator takes an explicit :class:`numpy.random.Generator`;
+nothing in this module touches global random state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .ids import draw_unique_ids
+
+__all__ = [
+    "uniform_ints",
+    "uniform_points",
+    "gaussian_blobs",
+    "duplicate_heavy",
+    "concentric_shells",
+    "paper_workload",
+]
+
+#: The paper's value range: integers in [0, 2^32).
+PAPER_VALUE_HIGH = 2**32
+
+
+def _finish(points: np.ndarray, rng: np.random.Generator,
+            labels: np.ndarray | None = None) -> Dataset:
+    ids = draw_unique_ids(rng, len(points), n_total=len(points))
+    return Dataset(points=points, ids=ids, labels=labels)
+
+
+def uniform_ints(
+    rng: np.random.Generator,
+    n: int,
+    low: int = 0,
+    high: int = PAPER_VALUE_HIGH,
+) -> Dataset:
+    """The paper's workload: 1-D uniform integers in ``[low, high)``.
+
+    Values are stored as ``float64`` (exact for the paper's 32-bit
+    range) because the distance kernels are float-based.
+    """
+    values = rng.integers(low, high, size=n, dtype=np.int64).astype(np.float64)
+    return _finish(values[:, None], rng)
+
+
+def uniform_points(
+    rng: np.random.Generator,
+    n: int,
+    dim: int,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> Dataset:
+    """Uniform points in the ``dim``-dimensional box ``[low, high)^dim``."""
+    pts = rng.uniform(low, high, size=(n, dim))
+    return _finish(pts, rng)
+
+
+def gaussian_blobs(
+    rng: np.random.Generator,
+    n: int,
+    dim: int,
+    n_classes: int = 3,
+    spread: float = 0.08,
+    box: float = 1.0,
+) -> Dataset:
+    """Labelled Gaussian clusters — the classification workload.
+
+    ``n_classes`` centres are placed uniformly in ``[0, box)^dim`` and
+    each point is a Gaussian perturbation of a uniformly chosen centre;
+    its label is the centre index.  This is the standard KNN
+    classification benchmark shape (majority vote should recover the
+    generating class when ``spread`` is small relative to centre
+    separation).
+    """
+    if n_classes < 1:
+        raise ValueError("n_classes must be >= 1")
+    centers = rng.uniform(0, box, size=(n_classes, dim))
+    labels = rng.integers(0, n_classes, size=n)
+    pts = centers[labels] + rng.normal(0.0, spread, size=(n, dim))
+    return _finish(pts, rng, labels=labels)
+
+
+def duplicate_heavy(
+    rng: np.random.Generator,
+    n: int,
+    n_distinct: int = 8,
+    dim: int = 1,
+    box: float = 1.0,
+) -> Dataset:
+    """Only ``n_distinct`` distinct locations among ``n`` points.
+
+    Designed to hammer the (distance, id) tie-breaking path: with few
+    distinct values, almost every comparison in the selection protocol
+    is an exact distance tie and correctness rests entirely on the ID
+    order.
+    """
+    if n_distinct < 1:
+        raise ValueError("n_distinct must be >= 1")
+    sites = rng.uniform(0, box, size=(n_distinct, dim))
+    choice = rng.integers(0, n_distinct, size=n)
+    return _finish(sites[choice], rng)
+
+
+def concentric_shells(
+    rng: np.random.Generator,
+    n: int,
+    dim: int,
+    n_shells: int = 4,
+    center: np.ndarray | None = None,
+) -> Dataset:
+    """Points on concentric shells around ``center``, labelled by shell.
+
+    A regression-friendly workload: the label equals the shell radius,
+    so an ℓ-NN *regression* at the centre should return (approximately)
+    the innermost radius.  Also useful for metric tests because the
+    distance distribution is strongly multi-modal.
+    """
+    if n_shells < 1:
+        raise ValueError("n_shells must be >= 1")
+    c = np.zeros(dim) if center is None else np.asarray(center, dtype=np.float64)
+    radii = np.arange(1, n_shells + 1, dtype=np.float64)
+    which = rng.integers(0, n_shells, size=n)
+    directions = rng.normal(size=(n, dim))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    pts = c + directions / norms * radii[which][:, None]
+    return _finish(pts, rng, labels=radii[which])
+
+
+def paper_workload(
+    rng: np.random.Generator,
+    k: int,
+    points_per_machine: int = 2**18,
+) -> tuple[Dataset, float]:
+    """The Figure 2 workload plus a paper-style random query.
+
+    The paper generates ``2^22`` integers per process in ``[0, 2^32)``
+    and draws the query uniformly from the same range.  The default
+    per-machine count is scaled down to laptop size; pass
+    ``points_per_machine=2**22`` for full paper scale.
+
+    Returns ``(dataset, query_value)``; partitioning into k shards is
+    the caller's choice (the paper's per-process generation is
+    equivalent to a random balanced partition of the union).
+    """
+    dataset = uniform_ints(rng, n=k * points_per_machine)
+    query = float(rng.integers(0, PAPER_VALUE_HIGH))
+    return dataset, query

@@ -1,0 +1,97 @@
+"""Distance quantization to O(log n)-bit words (paper footnote 4).
+
+The model transmits ``B = Θ(log n)`` bits per link per round, so a
+distance must fit in one word.  The paper notes that when distances
+are very large "one can use scaling to work with approximate distances
+which will be accurate with good approximation".  This module makes
+that concrete: map a real interval ``[lo, hi]`` onto the integer grid
+``{0, …, 2^bits − 1}`` with a *monotone* (order-preserving up to
+grid resolution) quantizer, and bound the error introduced.
+
+Quantization is optional in this library (the simulator happily ships
+float64 distances as one 64-bit word); it exists so experiments can
+demonstrate the footnote's claim and tests can verify the comparison-
+based protocols behave identically under any monotone transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Quantizer", "quantize", "quantization_error_bound"]
+
+
+@dataclass(frozen=True)
+class Quantizer:
+    """Monotone quantizer of ``[lo, hi]`` onto ``bits``-bit integers.
+
+    ``encode`` maps reals to grid indices; ``decode`` maps a grid
+    index back to the midpoint of its cell, so round-trip error is at
+    most half a cell (:func:`quantization_error_bound`).
+    """
+
+    lo: float
+    hi: float
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.lo) or not np.isfinite(self.hi):
+            raise ValueError("quantizer bounds must be finite")
+        if self.hi <= self.lo:
+            raise ValueError(f"need hi > lo, got [{self.lo}, {self.hi}]")
+        if not 1 <= self.bits <= 62:
+            raise ValueError(f"bits must be in [1, 62], got {self.bits}")
+
+    @property
+    def levels(self) -> int:
+        """Number of grid cells, ``2^bits``."""
+        return 1 << self.bits
+
+    @property
+    def cell_width(self) -> float:
+        """Width of one quantization cell."""
+        return (self.hi - self.lo) / self.levels
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map values (clipped to ``[lo, hi]``) to ``int64`` grid indices.
+
+        Monotone: ``a <= b`` implies ``encode(a) <= encode(b)``.
+        """
+        arr = np.clip(np.asarray(values, dtype=np.float64), self.lo, self.hi)
+        idx = np.floor((arr - self.lo) / self.cell_width).astype(np.int64)
+        return np.minimum(idx, self.levels - 1)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map grid indices back to their cell midpoints."""
+        codes_arr = np.asarray(codes, dtype=np.int64)
+        if codes_arr.size and (codes_arr.min() < 0 or codes_arr.max() >= self.levels):
+            raise ValueError("codes outside quantizer range")
+        return self.lo + (codes_arr.astype(np.float64) + 0.5) * self.cell_width
+
+
+def quantize(values: np.ndarray, bits: int,
+             lo: float | None = None, hi: float | None = None) -> tuple[np.ndarray, Quantizer]:
+    """Quantize ``values`` to ``bits`` bits over their (or given) range.
+
+    Returns ``(codes, quantizer)``.  Degenerate all-equal inputs get a
+    unit-width range so the quantizer is still well formed.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    vlo = float(arr.min()) if lo is None else lo
+    vhi = float(arr.max()) if hi is None else hi
+    if vhi <= vlo:
+        vhi = vlo + 1.0
+    q = Quantizer(vlo, vhi, bits)
+    return q.encode(arr), q
+
+
+def quantization_error_bound(q: Quantizer) -> float:
+    """Worst-case |decode(encode(x)) − x| for x in ``[lo, hi]``.
+
+    Equals half a cell width: ``(hi − lo) / 2^(bits+1)``.  With
+    ``bits = Θ(log n)`` and polynomially bounded distances this is the
+    paper's "accurate with good approximation".
+    """
+    return q.cell_width / 2.0

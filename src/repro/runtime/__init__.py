@@ -1,0 +1,19 @@
+"""Real-parallelism execution backend (one OS process per machine).
+
+Use :class:`MultiprocessSimulator` to run any k-machine
+:class:`~repro.kmachine.machine.Program` with genuine concurrency and
+real IPC; use the in-process :class:`~repro.kmachine.Simulator` for
+the paper's round/message metrics and bandwidth enforcement.
+"""
+
+from .multiprocess import MultiprocessResult, MultiprocessSimulator
+from .transport import RoundDown, RoundUp, WorkerDone, WorkerFailed
+
+__all__ = [
+    "MultiprocessResult",
+    "MultiprocessSimulator",
+    "RoundDown",
+    "RoundUp",
+    "WorkerDone",
+    "WorkerFailed",
+]

@@ -1,0 +1,63 @@
+"""Pipe-based transport between the coordinator and machine processes.
+
+The multiprocessing backend keeps the same synchronous-round contract
+as the in-process simulator: a worker steps its program generator once
+per round, ships its outbox to the coordinator over an OS pipe, and
+blocks until the coordinator returns its inbox for the next round.
+This module defines the small wire protocol those pipes speak.
+
+Everything sent is a plain picklable tuple; the heavyweight payloads
+(shards) travel once at startup, while per-round traffic is the same
+O(log n)-bit material the model allows, so IPC costs stay
+proportional to the protocol's real communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["RoundUp", "RoundDown", "WorkerDone", "WorkerFailed"]
+
+
+@dataclass
+class RoundUp:
+    """Worker → coordinator: one round's outbox (and whether we halted).
+
+    ``messages`` is a list of ``(dst, tag, payload)`` triples;
+    ``halted`` signals the program generator returned this round, with
+    ``result`` carrying its return value.
+    """
+
+    rank: int
+    messages: list[tuple[int, str, Any]]
+    halted: bool = False
+    result: Any = None
+
+
+@dataclass
+class RoundDown:
+    """Coordinator → worker: the messages arriving at round start.
+
+    ``messages`` is a list of ``(src, tag, payload)`` triples.  ``stop``
+    tells a still-running worker to abort (used on coordinator errors
+    so processes never linger).
+    """
+
+    messages: list[tuple[int, str, Any]]
+    stop: bool = False
+
+
+@dataclass
+class WorkerDone:
+    """Terminal acknowledgement (reserved for future use)."""
+
+    rank: int
+
+
+@dataclass
+class WorkerFailed:
+    """Worker → coordinator: the program raised; carries the repr."""
+
+    rank: int
+    error: str

@@ -1,0 +1,42 @@
+"""Sequential reference algorithms: selection, brute-force ℓ-NN, k-d tree.
+
+These are the single-machine algorithms the paper's §1.2 and related
+work cite.  They serve three roles in the repo: correctness oracles
+for the distributed protocols, fast local kernels inside machines, and
+comparators for the related-work benchmarks.
+"""
+
+from .brute import brute_force_knn, brute_force_knn_ids, distances_with_ids
+from .kdtree import KDNode, KDTree
+from .knn import (
+    SequentialKNN,
+    majority_label,
+    mean_label,
+    weighted_majority_label,
+    weighted_mean_label,
+)
+from .selection import (
+    heap_select,
+    median_of_medians_select,
+    partition_leq,
+    quickselect,
+    smallest_l,
+)
+
+__all__ = [
+    "KDNode",
+    "KDTree",
+    "SequentialKNN",
+    "brute_force_knn",
+    "brute_force_knn_ids",
+    "distances_with_ids",
+    "heap_select",
+    "majority_label",
+    "mean_label",
+    "median_of_medians_select",
+    "partition_leq",
+    "quickselect",
+    "smallest_l",
+    "weighted_majority_label",
+    "weighted_mean_label",
+]

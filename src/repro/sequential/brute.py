@@ -1,0 +1,58 @@
+"""Brute-force sequential ℓ-NN — the correctness oracle.
+
+Computes all n distances and takes the ℓ smallest with the paper's
+(distance, id) tie order.  Every distributed result in the test suite
+is compared against this oracle, so it is deliberately simple and
+fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..points.dataset import Dataset, Shard
+from ..points.metrics import Metric, get_metric
+
+__all__ = ["brute_force_knn", "brute_force_knn_ids", "distances_with_ids"]
+
+
+def distances_with_ids(
+    dataset: Dataset | Shard, query: np.ndarray, metric: Metric | str = "euclidean"
+) -> np.ndarray:
+    """Structured array of ``(value, id)`` rows, sorted by the tie order."""
+    m = get_metric(metric)
+    dists = m.distances(dataset.points, np.atleast_1d(np.asarray(query, dtype=np.float64)))
+    out = np.empty(len(dists), dtype=[("value", "f8"), ("id", "i8")])
+    out["value"] = dists
+    out["id"] = dataset.ids
+    out.sort(order=("value", "id"))
+    return out
+
+
+def brute_force_knn(
+    dataset: Dataset | Shard,
+    query: np.ndarray,
+    l: int,
+    metric: Metric | str = "euclidean",
+) -> tuple[np.ndarray, np.ndarray]:
+    """The exact ℓ-NN of ``query``: ``(ids, distances)`` ascending.
+
+    Ties in distance are broken by point ID, exactly as the
+    distributed protocols do, so outputs are comparable element-wise.
+    """
+    if not 0 <= l <= len(dataset.points):
+        raise ValueError(f"l={l} outside [0, {len(dataset.points)}]")
+    table = distances_with_ids(dataset, query, metric)
+    head = table[:l]
+    return head["id"].copy(), head["value"].copy()
+
+
+def brute_force_knn_ids(
+    dataset: Dataset | Shard,
+    query: np.ndarray,
+    l: int,
+    metric: Metric | str = "euclidean",
+) -> set[int]:
+    """The exact ℓ-NN ID set (the form protocol outputs are checked in)."""
+    ids, _ = brute_force_knn(dataset, query, l, metric)
+    return {int(i) for i in ids}

@@ -1,0 +1,181 @@
+"""Sequential KNN classifier / regressor (single-machine reference).
+
+The paper's §1 application: classify a query by the majority label of
+its ℓ nearest neighbors, or regress by averaging their values.  This
+sequential version defines the *semantics* the distributed classifier
+in :mod:`repro.core.classifier` must match — the two are compared
+prediction-for-prediction in the integration tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..points.dataset import Dataset
+from ..points.metrics import Metric, get_metric
+from .brute import brute_force_knn
+from .kdtree import KDTree
+
+__all__ = [
+    "majority_label",
+    "mean_label",
+    "weighted_majority_label",
+    "weighted_mean_label",
+    "SequentialKNN",
+]
+
+
+def majority_label(labels: np.ndarray, ids: np.ndarray) -> object:
+    """Majority vote with deterministic tie-breaking.
+
+    Ties between equally frequent labels are broken by the smallest
+    *minimum point ID* voting for the label, which is well defined for
+    any label type and independent of input order — the distributed
+    classifier applies the identical rule so predictions match.
+    """
+    if len(labels) == 0:
+        raise ValueError("cannot vote over zero neighbors")
+    counts = Counter(labels.tolist())
+    best = max(
+        counts.items(),
+        key=lambda kv: (kv[1], -min(int(i) for lab, i in zip(labels, ids) if lab == kv[0])),
+    )
+    return best[0]
+
+
+def mean_label(labels: np.ndarray) -> float:
+    """Regression rule: the mean of neighbor labels."""
+    if len(labels) == 0:
+        raise ValueError("cannot average zero neighbors")
+    return float(np.mean(np.asarray(labels, dtype=np.float64)))
+
+
+def _inverse_distance_weights(distances: np.ndarray) -> np.ndarray:
+    """1/d weights with the standard exact-hit convention.
+
+    If any neighbor sits exactly on the query (d = 0), those
+    neighbors carry all the weight (uniformly among themselves).
+    """
+    d = np.asarray(distances, dtype=np.float64)
+    if len(d) == 0:
+        raise ValueError("cannot weight zero neighbors")
+    zero = d == 0.0
+    if zero.any():
+        w = np.zeros_like(d)
+        w[zero] = 1.0
+        return w
+    return 1.0 / d
+
+
+def weighted_majority_label(
+    labels: np.ndarray, ids: np.ndarray, distances: np.ndarray
+) -> object:
+    """Inverse-distance-weighted vote with deterministic tie-breaking.
+
+    Each neighbor votes with weight ``1/distance`` (exact hits take
+    all the weight); weight ties between labels are broken like
+    :func:`majority_label`, by the smallest voting point ID.
+    """
+    if len(labels) == 0:
+        raise ValueError("cannot vote over zero neighbors")
+    weights = _inverse_distance_weights(distances)
+    totals: dict[object, float] = {}
+    min_id: dict[object, int] = {}
+    for lab, pid, w in zip(labels.tolist(), ids, weights):
+        totals[lab] = totals.get(lab, 0.0) + float(w)
+        min_id[lab] = min(min_id.get(lab, int(pid)), int(pid))
+    return max(totals, key=lambda lab: (totals[lab], -min_id[lab]))
+
+
+def weighted_mean_label(labels: np.ndarray, distances: np.ndarray) -> float:
+    """Inverse-distance-weighted regression mean."""
+    if len(labels) == 0:
+        raise ValueError("cannot average zero neighbors")
+    weights = _inverse_distance_weights(distances)
+    values = np.asarray(labels, dtype=np.float64)
+    return float(np.average(values, weights=weights))
+
+
+class SequentialKNN:
+    """Exact single-machine ℓ-NN classifier/regressor.
+
+    Parameters
+    ----------
+    l:
+        Number of neighbors.
+    metric:
+        Metric name or instance (default Euclidean).
+    engine:
+        ``"brute"`` (any metric) or ``"kdtree"`` (Euclidean only,
+        logarithmic expected query time — the sequential speedup the
+        related work discusses).
+    weights:
+        ``"uniform"`` (the paper's majority/mean) or ``"distance"``
+        (inverse-distance weighting, the common practical variant).
+    """
+
+    def __init__(
+        self,
+        l: int,
+        metric: Metric | str = "euclidean",
+        engine: str = "brute",
+        weights: str = "uniform",
+    ) -> None:
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        if engine not in ("brute", "kdtree"):
+            raise ValueError(f"engine must be 'brute' or 'kdtree', got {engine!r}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        self.l = l
+        self.metric = get_metric(metric)
+        self.engine = engine
+        self.weights = weights
+        self._dataset: Dataset | None = None
+        self._tree: KDTree | None = None
+
+    def fit(self, dataset: Dataset) -> "SequentialKNN":
+        """Store the training set (and build the tree if requested)."""
+        if dataset.labels is None:
+            raise ValueError("dataset must be labelled for classification")
+        if self.l > len(dataset):
+            raise ValueError(f"l={self.l} exceeds dataset size {len(dataset)}")
+        self._dataset = dataset
+        if self.engine == "kdtree":
+            if self.metric.name not in ("euclidean", "sqeuclidean"):
+                raise ValueError("kdtree engine supports Euclidean metrics only")
+            self._tree = KDTree.from_dataset(dataset)
+        return self
+
+    def neighbors(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """IDs and distances of the ℓ nearest training points."""
+        if self._dataset is None:
+            raise RuntimeError("call fit() before querying")
+        if self._tree is not None:
+            return self._tree.query(query, self.l)
+        return brute_force_knn(self._dataset, query, self.l, self.metric)
+
+    def _neighbor_labels(
+        self, query: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ids, dists = self.neighbors(query)
+        assert self._dataset is not None
+        order = {int(pid): pos for pos, pid in enumerate(self._dataset.ids)}
+        rows = np.array([order[int(i)] for i in ids], dtype=np.int64)
+        return self._dataset.labels[rows], ids, dists  # type: ignore[index]
+
+    def predict(self, query: np.ndarray) -> object:
+        """Classification: (weighted) majority label of the ℓ-NN."""
+        labels, ids, dists = self._neighbor_labels(query)
+        if self.weights == "distance":
+            return weighted_majority_label(labels, ids, dists)
+        return majority_label(labels, ids)
+
+    def predict_value(self, query: np.ndarray) -> float:
+        """Regression: (weighted) mean label of the ℓ-NN."""
+        labels, _, dists = self._neighbor_labels(query)
+        if self.weights == "distance":
+            return weighted_mean_label(labels, dists)
+        return mean_label(labels)

@@ -1,0 +1,142 @@
+"""Sequential selection algorithms (the paper's §1.2 reference point).
+
+The ℓ-nearest-neighbors problem "really boils down to the selection
+problem": find the ℓ-th smallest of n values.  This module provides
+the classical sequential solutions the paper cites —
+
+* :func:`quickselect` — the simple randomized algorithm (expected
+  linear time), the direct sequential analogue of Algorithm 1;
+* :func:`median_of_medians_select` — the deterministic worst-case
+  linear algorithm of Blum–Floyd–Pratt–Rivest–Tarjan, as presented in
+  CLRS [5];
+* :func:`heap_select` — an O(n log ℓ) bounded-heap selection, the
+  building block of the "simple method" baseline's local step;
+* :func:`partition_leq` / :func:`smallest_l` — vectorized utilities
+  used as ground truth throughout the test suite.
+
+All functions treat elements as totally ordered; callers needing the
+paper's tie-breaking pass ``(value, id)`` tuples or structured arrays.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "quickselect",
+    "median_of_medians_select",
+    "heap_select",
+    "smallest_l",
+    "partition_leq",
+]
+
+
+def smallest_l(values: np.ndarray, l: int) -> np.ndarray:
+    """The ℓ smallest entries of ``values``, ascending (ground truth).
+
+    Uses ``np.partition`` (introselect) then sorts the prefix; O(n +
+    ℓ log ℓ).  This is also the vectorized local-top-ℓ kernel the
+    distributed protocols run on each machine.
+    """
+    arr = np.asarray(values)
+    if not 0 <= l <= arr.shape[0]:
+        raise ValueError(f"l={l} outside [0, {arr.shape[0]}]")
+    if l == 0:
+        return arr[:0]
+    if l == arr.shape[0]:
+        return np.sort(arr, kind="stable")
+    part = np.partition(arr, l - 1)[:l]
+    part.sort(kind="stable")
+    return part
+
+
+def partition_leq(values: np.ndarray, threshold) -> np.ndarray:
+    """All entries ``<= threshold`` (unordered); vectorized."""
+    arr = np.asarray(values)
+    return arr[arr <= threshold]
+
+
+def quickselect(
+    values: Sequence | np.ndarray, l: int, rng: np.random.Generator | None = None
+) -> object:
+    """The ℓ-th smallest element (1-indexed) by randomized selection.
+
+    Expected O(n) comparisons; this is the sequential algorithm whose
+    distributed implementation is the paper's Algorithm 1, so tests
+    cross-check the two on identical inputs.
+    """
+    arr = list(values)
+    n = len(arr)
+    if not 1 <= l <= n:
+        raise ValueError(f"l={l} outside [1, {n}]")
+    generator = rng if rng is not None else np.random.default_rng()
+    remaining = arr
+    target = l
+    while True:
+        if len(remaining) == 1:
+            return remaining[0]
+        pivot = remaining[int(generator.integers(0, len(remaining)))]
+        below = [x for x in remaining if x < pivot]
+        equal = [x for x in remaining if x == pivot]
+        above = [x for x in remaining if pivot < x]
+        if target <= len(below):
+            remaining = below
+        elif target <= len(below) + len(equal):
+            return pivot
+        else:
+            target -= len(below) + len(equal)
+            remaining = above
+
+
+def median_of_medians_select(values: Sequence | np.ndarray, l: int) -> object:
+    """Deterministic worst-case linear-time selection (CLRS [5]).
+
+    Groups of five, median of the group medians as pivot.  Provided as
+    the deterministic reference the paper cites for the sequential
+    setting; it also seeds the Saukas–Song distributed comparator.
+    """
+    arr = list(values)
+    n = len(arr)
+    if not 1 <= l <= n:
+        raise ValueError(f"l={l} outside [1, {n}]")
+    return _mom_select(arr, l)
+
+
+def _median_of_five(group: list) -> object:
+    return sorted(group)[len(group) // 2]
+
+
+def _mom_select(arr: list, target: int) -> object:
+    while True:
+        n = len(arr)
+        if n <= 10:
+            return sorted(arr)[target - 1]
+        medians = [_median_of_five(arr[i : i + 5]) for i in range(0, n, 5)]
+        pivot = _mom_select(medians, (len(medians) + 1) // 2)
+        below = [x for x in arr if x < pivot]
+        equal = [x for x in arr if x == pivot]
+        if target <= len(below):
+            arr = below
+        elif target <= len(below) + len(equal):
+            return pivot
+        else:
+            target -= len(below) + len(equal)
+            arr = [x for x in arr if pivot < x]
+
+
+def heap_select(values: Sequence | np.ndarray, l: int) -> list:
+    """The ℓ smallest elements via a bounded max-heap, ascending.
+
+    O(n log ℓ) time, O(ℓ) extra space — the streaming-friendly local
+    step of the simple method when data does not fit the
+    ``np.partition`` fast path (e.g. arbitrary Python objects).
+    """
+    it = list(values)
+    if not 0 <= l <= len(it):
+        raise ValueError(f"l={l} outside [0, {len(it)}]")
+    if l == 0:
+        return []
+    return heapq.nsmallest(l, it)

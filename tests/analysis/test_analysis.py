@@ -1,0 +1,195 @@
+"""Unit tests for the analysis utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import fit_log, growth_ratio, relative_spread
+from repro.analysis.figures import ascii_chart
+from repro.analysis.stats import (
+    chernoff_lower,
+    chernoff_upper,
+    chi_square_uniform,
+    lemma23_failure_bound,
+    summarize,
+)
+from repro.analysis.tables import render_table, to_csv, write_csv
+
+
+class TestSummarize:
+    def test_mean_std_ci(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.n == 4
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert s.ci95 == pytest.approx(1.96 * s.std / 2, rel=1e-3)
+        assert (s.min, s.max) == (1.0, 4.0)
+
+    def test_single_observation(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0 and s.std == 0.0 and s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_mean(self):
+        assert "2.5" in str(summarize([2.5, 2.5]))
+
+
+class TestChiSquare:
+    def test_uniform_counts_high_pvalue(self):
+        counts = np.random.default_rng(1234).multinomial(10000, [1 / 20] * 20)
+        _, p = chi_square_uniform(counts)
+        assert p > 0.01
+
+    def test_skewed_counts_low_pvalue(self):
+        counts = [1000] + [10] * 19
+        _, p = chi_square_uniform(counts)
+        assert p < 1e-6
+
+    def test_stat_zero_for_perfectly_uniform(self):
+        stat, p = chi_square_uniform([50, 50, 50, 50])
+        assert stat == 0.0
+        assert p == pytest.approx(1.0)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([5])
+        with pytest.raises(ValueError):
+            chi_square_uniform([0, 0])
+
+
+class TestChernoff:
+    def test_upper_matches_formula(self):
+        assert chernoff_upper(12.0, 0.5) == pytest.approx(math.exp(-0.25 * 12 / 3))
+
+    def test_lower_matches_formula(self):
+        assert chernoff_lower(12.0, 0.5) == pytest.approx(math.exp(-0.25 * 12 / 2))
+
+    def test_bounds_shrink_with_mu(self):
+        assert chernoff_upper(100, 0.5) < chernoff_upper(10, 0.5)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            chernoff_upper(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower(1, 2.0)
+
+    def test_lemma23_bound(self):
+        assert lemma23_failure_bound(10) == pytest.approx(0.02)
+        assert lemma23_failure_bound(1) == 1.0
+        with pytest.raises(ValueError):
+            lemma23_failure_bound(0)
+
+
+class TestFitLog:
+    def test_recovers_exact_log_curve(self):
+        xs = [2**i for i in range(4, 14)]
+        ys = [3.0 + 2.5 * math.log2(x) for x in xs]
+        fit = fit_log(xs, ys)
+        assert fit.a == pytest.approx(3.0)
+        assert fit.b == pytest.approx(2.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_log_curve_high_r2(self, rng):
+        xs = np.array([2**i for i in range(4, 16)], dtype=float)
+        ys = 5 + 3 * np.log2(xs) + rng.normal(0, 0.3, len(xs))
+        assert fit_log(xs, ys).r_squared > 0.95
+
+    def test_linear_data_fits_log_poorly_at_scale(self, rng):
+        xs = np.array([2**i for i in range(4, 16)], dtype=float)
+        ys = xs.astype(float)  # linear growth
+        fit = fit_log(xs, ys)
+        assert fit.r_squared < 0.8
+
+    def test_predict(self):
+        fit = fit_log([2, 4, 8], [1, 2, 3])
+        assert fit.predict(16) == pytest.approx(4.0)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            fit_log([1], [1])
+        with pytest.raises(ValueError):
+            fit_log([0, 1], [1, 2])
+
+    def test_str_form(self):
+        assert "log2" in str(fit_log([2, 4], [1, 2]))
+
+
+class TestSpreadAndGrowth:
+    def test_relative_spread(self):
+        assert relative_spread([10, 10, 10]) == 0.0
+        assert relative_spread([8, 12]) == pytest.approx(0.4)
+
+    def test_growth_ratio_linear_is_one(self):
+        assert growth_ratio([1, 10], [5, 50]) == pytest.approx(1.0)
+
+    def test_growth_ratio_log_is_small(self):
+        xs = [2**4, 2**16]
+        ys = [4, 16]
+        assert growth_ratio(xs, ys) < 0.01
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            relative_spread([])
+        with pytest.raises(ValueError):
+            growth_ratio([1], [1])
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["k", "rounds"], [[2, 10], [16, 7]])
+        lines = text.splitlines()
+        assert lines[0].startswith("k")
+        assert "16" in lines[3]
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.000001234], [123456.7], [1.5]])
+        assert "1.234e-06" in text
+        assert "1.235e+05" in text
+        assert "1.5" in text
+
+    def test_to_csv(self):
+        csv_text = to_csv(["a", "b"], [[1, "x"], [2, "y"]])
+        assert csv_text.splitlines() == ["a,b", "1,x", "2,y"]
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ["a"], [[1], [2]])
+        assert path.read_text().splitlines() == ["a", "1", "2"]
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart({"s1": [(1, 1), (2, 2)], "s2": [(1, 2), (2, 1)]})
+        assert "o" in text and "x" in text
+        assert "legend: o=s1   x=s2" in text
+
+    def test_log_axes_annotated(self):
+        text = ascii_chart({"s": [(1, 1), (1024, 10)]}, logx=True)
+        assert "(log2)" in text
+
+    def test_title(self):
+        assert ascii_chart({"s": [(0, 0)]}, title="T").splitlines()[0] == "T"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_degenerate_single_point(self):
+        text = ascii_chart({"s": [(5, 5)]})
+        assert "o" in text

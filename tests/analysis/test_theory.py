@@ -1,0 +1,113 @@
+"""Tests for the analytical-bounds module, including measured-vs-bound."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    expected_selection_iterations_bound,
+    expected_survivors,
+    knn_message_bound,
+    knn_sample_messages,
+    max_good_events,
+    selection_message_bound,
+    simple_method_rounds,
+)
+from repro.core.driver import distributed_knn, distributed_select
+
+
+class TestFormulae:
+    def test_good_events_log_base(self):
+        assert max_good_events(1) == 0.0
+        assert max_good_events(int(1.5**10)) == pytest.approx(
+            math.log(int(1.5**10), 1.5)
+        )
+
+    def test_iteration_bound_is_three_x(self):
+        assert expected_selection_iterations_bound(1000) == pytest.approx(
+            3 * math.log(1000, 1.5)
+        )
+
+    def test_selection_messages_k1_free(self):
+        assert selection_message_bound(100, 1) == 0.0
+
+    def test_sample_message_formula(self):
+        assert knn_sample_messages(1024, 8) == 7 * 12 * 10
+
+    def test_expected_survivors_paper_constants(self):
+        assert expected_survivors(512) == pytest.approx(1.75 * 512)
+
+    def test_simple_rounds_theta_l(self):
+        assert simple_method_rounds(1024, 144) == 1024
+        assert simple_method_rounds(1024, 512) == math.ceil(1024 * 144 / 512)
+
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (max_good_events, (0,)),
+            (selection_message_bound, (10, 0)),
+            (knn_sample_messages, (0, 4)),
+            (expected_survivors, (0,)),
+            (simple_method_rounds, (0, 100)),
+        ],
+    )
+    def test_validations(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)
+
+
+class TestMeasuredWithinBounds:
+    """The proofs are upper bounds: measurements must respect them."""
+
+    def test_selection_iterations_within_bound(self, rng):
+        n, k = 4096, 8
+        values = rng.uniform(0, 1, n)
+        over = 0
+        for seed in range(10):
+            res = distributed_select(values, l=n // 2, k=k, seed=seed)
+            if res.stats.iterations > expected_selection_iterations_bound(n):
+                over += 1
+        # The bound is on the expectation; single runs exceed it rarely.
+        assert over <= 2
+
+    def test_selection_messages_within_bound_on_average(self, rng):
+        n, k = 2048, 8
+        values = rng.uniform(0, 1, n)
+        msgs = [
+            distributed_select(values, l=n // 2, k=k, seed=s).metrics.messages
+            for s in range(8)
+        ]
+        assert np.mean(msgs) <= selection_message_bound(n, k)
+
+    def test_knn_messages_within_bound(self, rng):
+        k, l = 8, 256
+        points = rng.uniform(0, 2**32, k * 1024)
+        msgs = [
+            distributed_knn(points, 2.0**31, l=l, k=k, seed=s,
+                            safe_mode=False).metrics.messages
+            for s in range(5)
+        ]
+        assert np.mean(msgs) <= knn_message_bound(l, k)
+
+    def test_survivors_near_prediction(self, rng):
+        k, l = 8, 512
+        points = rng.uniform(0, 2**32, k * 1024)
+        survivors = []
+        for s in range(8):
+            res = distributed_knn(points, 2.0**31, l=l, k=k, seed=s,
+                                  safe_mode=False)
+            survivors.append(res.leader_output.survivors)
+        predicted = expected_survivors(l)
+        assert abs(np.mean(survivors) - predicted) < 0.4 * predicted
+
+    def test_simple_rounds_match_formula(self, rng):
+        k, l, B = 4, 512, 512
+        points = rng.uniform(0, 2**32, k * 1024)
+        res = distributed_knn(points, 2.0**31, l=l, k=k, seed=1,
+                              algorithm="simple", bandwidth_bits=B)
+        predicted = simple_method_rounds(l, B)
+        # Transfer dominates; protocol overhead adds a few rounds.
+        assert predicted <= res.metrics.rounds <= predicted + 20

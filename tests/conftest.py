@@ -1,0 +1,34 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Simulator-backed property tests run whole protocols per example;
+# the default 200 ms deadline and example counts are tuned down so the
+# suite stays fast while still exploring the space.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent seeded generators inside one test."""
+
+    def make(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

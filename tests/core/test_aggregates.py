@@ -1,0 +1,101 @@
+"""Tests for the distributed order-statistics layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import (
+    distributed_extrema,
+    distributed_median,
+    distributed_quantile,
+    distributed_range_count,
+    distributed_top_k,
+)
+
+
+class TestQuantile:
+    @pytest.mark.parametrize("q", [0.01, 0.25, 0.5, 0.9, 0.99, 1.0])
+    def test_matches_numpy_inverted_cdf(self, rng, q):
+        values = rng.uniform(0, 1000, 997)
+        got, _ = distributed_quantile(values, q, k=8, seed=1)
+        expected = float(np.quantile(values, q, method="inverted_cdf"))
+        assert got == pytest.approx(expected)
+
+    def test_duplicates(self, rng):
+        values = rng.integers(0, 5, 200).astype(float)
+        got, _ = distributed_quantile(values, 0.5, k=4, seed=2)
+        assert got == float(np.quantile(values, 0.5, method="inverted_cdf"))
+
+    def test_rounds_logarithmic(self, rng):
+        small = rng.uniform(0, 1, 2**8)
+        big = rng.uniform(0, 1, 2**16)
+        _, m_small = distributed_quantile(small, 0.5, k=4, seed=3)
+        _, m_big = distributed_quantile(big, 0.5, k=4, seed=3)
+        assert m_big.rounds < 4 * max(m_small.rounds, 1)
+
+    def test_validations(self, rng):
+        with pytest.raises(ValueError):
+            distributed_quantile(np.array([]), 0.5, k=2)
+        with pytest.raises(ValueError):
+            distributed_quantile(np.ones(5), 0.0, k=2)
+        with pytest.raises(ValueError):
+            distributed_quantile(np.ones(5), 1.5, k=2)
+
+
+class TestMedian:
+    @pytest.mark.parametrize("n", [1, 2, 101, 500])
+    def test_lower_median(self, rng, n):
+        values = rng.uniform(0, 100, n)
+        got, _ = distributed_median(values, k=4, seed=4)
+        expected = float(np.sort(values)[(n - 1) // 2])
+        assert got == pytest.approx(expected)
+
+
+class TestTopK:
+    def test_descending_largest(self, rng):
+        values = rng.normal(size=300)
+        got, _ = distributed_top_k(values, 7, k=4, seed=5)
+        np.testing.assert_allclose(got, np.sort(values)[::-1][:7])
+
+    def test_top_zero(self, rng):
+        got, _ = distributed_top_k(rng.normal(size=10), 0, k=2, seed=6)
+        assert got.size == 0
+
+    def test_bounds(self, rng):
+        with pytest.raises(ValueError):
+            distributed_top_k(np.ones(5), 6, k=2)
+
+
+class TestRangeCount:
+    def test_matches_direct_count(self, rng):
+        values = rng.uniform(0, 100, 500)
+        got, metrics = distributed_range_count(values, 25.0, 75.0, k=8, seed=7)
+        assert got == int(((values >= 25) & (values <= 75)).sum())
+        assert metrics.rounds <= 3  # gather + broadcast
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            distributed_range_count(np.ones(5), 2.0, 1.0, k=2)
+
+    def test_point_range(self, rng):
+        values = np.array([1.0, 2.0, 2.0, 3.0])
+        got, _ = distributed_range_count(values, 2.0, 2.0, k=2, seed=8)
+        assert got == 2
+
+
+class TestExtrema:
+    def test_matches_min_max(self, rng):
+        values = rng.normal(size=400)
+        (lo, hi), metrics = distributed_extrema(values, k=8, seed=9)
+        assert lo == values.min()
+        assert hi == values.max()
+        assert metrics.rounds <= 3
+
+    def test_single_value(self):
+        (lo, hi), _ = distributed_extrema(np.array([5.0]), k=4, seed=10)
+        assert lo == hi == 5.0
+
+    def test_no_values(self):
+        with pytest.raises(ValueError):
+            distributed_extrema(np.array([]), k=2)

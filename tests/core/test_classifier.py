@@ -1,0 +1,120 @@
+"""Unit tests for the distributed KNN classifier and regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import DistributedKNNClassifier, DistributedKNNRegressor
+from repro.points.dataset import make_dataset
+from repro.sequential.knn import SequentialKNN
+
+
+def two_blobs(rng, n_per=60, d=2):
+    X = np.concatenate(
+        [rng.normal(0, 0.08, (n_per, d)), rng.normal(1, 0.08, (n_per, d))]
+    )
+    y = np.array([0] * n_per + [1] * n_per)
+    return X, y
+
+
+class TestClassifier:
+    def test_separable_blobs(self, rng):
+        X, y = two_blobs(rng)
+        clf = DistributedKNNClassifier(l=5, k=4, seed=1).fit(X, y)
+        preds = clf.predict(np.array([[0.0, 0.0], [1.0, 1.0], [0.05, -0.02]]))
+        assert preds.tolist() == [0, 1, 0]
+
+    def test_single_query_vector(self, rng):
+        X, y = two_blobs(rng)
+        clf = DistributedKNNClassifier(l=3, k=4, seed=2).fit(X, y)
+        assert clf.predict(np.array([1.0, 1.0])) == 1  # 1-D => single query
+
+    def test_1d_training_data(self, rng):
+        X = np.concatenate([rng.normal(0, 0.1, 50), rng.normal(10, 0.1, 50)])
+        y = np.array([0] * 50 + [1] * 50)
+        clf = DistributedKNNClassifier(l=3, k=4, seed=3).fit(X, y)
+        preds = clf.predict(np.array([0.2, 9.8]))
+        assert preds.tolist() == [0, 1]
+
+    def test_history_and_total_metrics(self, rng):
+        X, y = two_blobs(rng)
+        clf = DistributedKNNClassifier(l=3, k=4, seed=4).fit(X, y)
+        clf.predict(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert len(clf.history) == 2
+        total = clf.total_metrics()
+        assert total.rounds == sum(r.metrics.rounds for r in clf.history)
+        assert all(len(r.neighbor_ids) == 3 for r in clf.history)
+
+    def test_matches_sequential_knn(self, rng):
+        """Prediction-for-prediction equality with the sequential oracle."""
+        X, y = two_blobs(rng, n_per=40)
+        seed = 11
+        clf = DistributedKNNClassifier(l=7, k=4, seed=seed).fit(X, y)
+        ds = make_dataset(X, labels=y, rng=np.random.default_rng(seed))
+        seq = SequentialKNN(l=7).fit(ds)
+        for q in rng.uniform(-0.3, 1.3, (10, 2)):
+            assert clf.predict(q) == seq.predict(q)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DistributedKNNClassifier(l=1, k=2).predict(np.zeros(2))
+
+    def test_fit_validations(self, rng):
+        clf = DistributedKNNClassifier(l=10, k=2)
+        with pytest.raises(ValueError, match="exceeds"):
+            clf.fit(rng.normal(size=(5, 2)), np.zeros(5))
+        with pytest.raises(ValueError, match="labels"):
+            clf.fit(rng.normal(size=(5, 2)), np.zeros(3))
+
+    def test_constructor_validations(self):
+        with pytest.raises(ValueError):
+            DistributedKNNClassifier(l=0, k=2)
+        with pytest.raises(ValueError):
+            DistributedKNNClassifier(l=1, k=0)
+
+    def test_dim_mismatch(self, rng):
+        X, y = two_blobs(rng)
+        clf = DistributedKNNClassifier(l=3, k=2, seed=1).fit(X, y)
+        with pytest.raises(ValueError, match="dim"):
+            clf.predict(np.ones((1, 5)))
+
+    def test_is_fitted_flag(self, rng):
+        clf = DistributedKNNClassifier(l=1, k=2, seed=0)
+        assert not clf.is_fitted
+        X, y = two_blobs(rng, n_per=5)
+        clf.fit(X, y)
+        assert clf.is_fitted
+
+    @pytest.mark.parametrize("algorithm", ["sampled", "simple", "saukas_song"])
+    def test_algorithm_choices_agree(self, rng, algorithm):
+        X, y = two_blobs(rng, n_per=30)
+        clf = DistributedKNNClassifier(l=5, k=4, seed=5, algorithm=algorithm).fit(X, y)
+        assert clf.predict(np.array([0.0, 0.0])) == 0
+
+    def test_string_labels(self, rng):
+        X, _ = two_blobs(rng, n_per=30)
+        y = np.array(["cold"] * 30 + ["hot"] * 30)
+        clf = DistributedKNNClassifier(l=3, k=4, seed=6).fit(X, y)
+        assert clf.predict(np.array([1.0, 1.0])) == "hot"
+
+
+class TestRegressor:
+    def test_recovers_smooth_function(self, rng):
+        X = rng.uniform(0, 10, 400)
+        y = 3.0 * X + 1.0
+        reg = DistributedKNNRegressor(l=5, k=4, seed=7).fit(X, y)
+        pred = reg.predict(np.array([5.0]))[0]
+        assert pred == pytest.approx(16.0, abs=0.5)
+
+    def test_exact_mean_of_neighbors(self, rng):
+        X = np.array([[0.0], [0.1], [0.2], [50.0]])
+        y = np.array([1.0, 2.0, 3.0, 1000.0])
+        reg = DistributedKNNRegressor(l=3, k=2, seed=8).fit(X, y)
+        assert reg.predict(np.array([0.1]))[0] == pytest.approx(2.0)
+
+    def test_scalar_query(self, rng):
+        X = rng.uniform(0, 1, 50)
+        reg = DistributedKNNRegressor(l=3, k=2, seed=9).fit(X, X * 2)
+        out = reg.predict(np.array(0.5))
+        assert np.isscalar(out) or out.shape == ()

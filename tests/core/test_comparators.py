@@ -1,0 +1,173 @@
+"""Unit tests for the Saukas–Song and binary-search comparators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.binary_search import (
+    BinarySearchKNNProgram,
+    BinarySearchSelectionProgram,
+)
+from repro.core.saukas_song import (
+    SaukasSongKNNProgram,
+    SaukasSongSelectionProgram,
+    _weighted_median,
+)
+from repro.kmachine import Simulator
+from repro.points.dataset import make_dataset
+from repro.points.generators import gaussian_blobs
+from repro.points.ids import Keyed, keyed_array
+from repro.points.partition import shard_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+
+def run_selection(program_cls, values, ids, k, l, seed=0, **kwargs):
+    values = np.asarray(values, dtype=np.float64)
+    ids = np.asarray(ids, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    chunks = np.array_split(rng.permutation(len(values)), k)
+    inputs = [keyed_array(values[c], ids[c]) for c in chunks]
+    sim = Simulator(k=k, program=program_cls(l, **kwargs), inputs=inputs,
+                    seed=seed, bandwidth_bits=512)
+    return sim.run()
+
+
+def selected_pairs(result):
+    return sorted(
+        (float(v), int(i))
+        for out in result.outputs
+        for v, i in zip(out.selected["value"], out.selected["id"])
+    )
+
+
+class TestWeightedMedian:
+    def test_simple(self):
+        medians = [(Keyed(1.0, 1), 1), (Keyed(5.0, 2), 1), (Keyed(9.0, 3), 1)]
+        assert _weighted_median(medians) == Keyed(5.0, 2)
+
+    def test_weights_shift_median(self):
+        medians = [(Keyed(1.0, 1), 10), (Keyed(5.0, 2), 1), (Keyed(9.0, 3), 1)]
+        assert _weighted_median(medians) == Keyed(1.0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _weighted_median([])
+
+
+class TestSaukasSongSelection:
+    @pytest.mark.parametrize("l", [1, 13, 150, 300])
+    def test_matches_sorted_prefix(self, rng, l):
+        values = rng.uniform(0, 100, 300)
+        ids = np.arange(1, 301)
+        result = run_selection(SaukasSongSelectionProgram, values, ids, 8, l, seed=l)
+        assert selected_pairs(result) == sorted(zip(values.tolist(), ids.tolist()))[:l]
+
+    def test_duplicates(self, rng):
+        values = rng.integers(0, 4, 200).astype(float)
+        ids = np.arange(1, 201)
+        result = run_selection(SaukasSongSelectionProgram, values, ids, 4, 77)
+        assert selected_pairs(result) == sorted(zip(values.tolist(), ids.tolist()))[:77]
+
+    def test_deterministic_iterations(self, rng):
+        """Same input, different simulator seeds: identical iteration
+        count (the algorithm is deterministic modulo partitioning)."""
+        values = rng.uniform(0, 1, 400)
+        ids = np.arange(1, 401)
+        iters = set()
+        for seed in range(3):
+            result = run_selection(
+                SaukasSongSelectionProgram, values, ids, 4, 100, seed=0
+            )
+            stats = next(o.stats for o in result.outputs if o.is_leader)
+            iters.add(stats.iterations)
+        assert len(iters) == 1
+
+    def test_quarter_discard_guarantee(self, rng):
+        """Every iteration shrinks the active set by >= 1/4."""
+        values = rng.uniform(0, 1, 1024)
+        ids = np.arange(1, 1025)
+        result = run_selection(SaukasSongSelectionProgram, values, ids, 8, 512)
+        stats = next(o.stats for o in result.outputs if o.is_leader)
+        sizes = stats.sizes
+        for before, after in zip(sizes, sizes[1:]):
+            assert after <= before * 0.75 + 1
+
+    def test_l_zero_and_l_all(self, rng):
+        values = rng.uniform(0, 1, 64)
+        ids = np.arange(1, 65)
+        empty = run_selection(SaukasSongSelectionProgram, values, ids, 4, 0)
+        assert selected_pairs(empty) == []
+        full = run_selection(SaukasSongSelectionProgram, values, ids, 4, 64)
+        assert len(selected_pairs(full)) == 64
+
+
+class TestBinarySearchSelection:
+    @pytest.mark.parametrize("l", [1, 13, 150, 300])
+    def test_matches_sorted_prefix(self, rng, l):
+        values = rng.uniform(0, 100, 300)
+        ids = np.arange(1, 301)
+        result = run_selection(BinarySearchSelectionProgram, values, ids, 8, l, seed=l)
+        assert selected_pairs(result) == sorted(zip(values.tolist(), ids.tolist()))[:l]
+
+    def test_integer_values_fast_convergence(self, rng):
+        values = rng.integers(0, 2**16, 500).astype(float)
+        ids = np.arange(1, 501)
+        result = run_selection(BinarySearchSelectionProgram, values, ids, 4, 100)
+        stats = next(o.stats for o in result.outputs if o.is_leader)
+        assert stats.value_iterations <= 40
+
+    def test_heavy_ties_resolved_by_id_search(self, rng):
+        values = np.full(200, 3.0)
+        values[:10] = 1.0
+        ids = rng.permutation(np.arange(1, 201))
+        result = run_selection(BinarySearchSelectionProgram, values, ids, 4, 50)
+        expected = sorted(zip(values.tolist(), ids.tolist()))[:50]
+        assert selected_pairs(result) == expected
+        stats = next(o.stats for o in result.outputs if o.is_leader)
+        assert stats.id_iterations > 1  # the tie phase actually ran
+
+    def test_all_values_equal(self, rng):
+        values = np.full(64, 5.0)
+        ids = np.arange(1, 65)
+        result = run_selection(BinarySearchSelectionProgram, values, ids, 4, 20)
+        assert selected_pairs(result) == [(5.0, i) for i in range(1, 21)]
+
+    def test_l_zero_and_l_all(self, rng):
+        values = rng.uniform(0, 1, 64)
+        ids = np.arange(1, 65)
+        assert selected_pairs(
+            run_selection(BinarySearchSelectionProgram, values, ids, 4, 0)
+        ) == []
+        assert len(selected_pairs(
+            run_selection(BinarySearchSelectionProgram, values, ids, 4, 64)
+        )) == 64
+
+
+class TestComparatorKNNPrograms:
+    @pytest.mark.parametrize(
+        "program_cls", [SaukasSongKNNProgram, BinarySearchKNNProgram]
+    )
+    def test_knn_matches_brute(self, rng, program_cls):
+        ds = gaussian_blobs(rng, 900, 3)
+        q = rng.uniform(0, 1, 3)
+        shards = shard_dataset(ds, 8, rng)
+        sim = Simulator(8, program_cls(q, 40), shards, seed=2, bandwidth_bits=512)
+        result = sim.run()
+        got = set(int(i) for out in result.outputs for i in out.ids)
+        assert got == brute_force_knn_ids(ds, q, 40)
+
+    def test_saukas_song_rounds_grow_with_kl(self, rng):
+        """[16] runs O(log(kl)) iterations: more machines => more
+        candidates => (weakly) more iterations at fixed l."""
+        q = np.array([0.5, 0.5])
+        iters = {}
+        for k in [2, 32]:
+            ds = gaussian_blobs(rng, k * 128, 2)
+            shards = shard_dataset(ds, k, rng)
+            sim = Simulator(k, SaukasSongKNNProgram(q, 64), shards, seed=1,
+                            bandwidth_bits=512)
+            result = sim.run()
+            leader = next(o for o in result.outputs if o.is_leader)
+            iters[k] = leader.survivors
+        assert iters[32] > iters[2]  # candidate pool grew with k

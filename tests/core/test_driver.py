@@ -1,0 +1,139 @@
+"""Unit tests for the one-call driver API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import (
+    ALGORITHMS,
+    distributed_knn,
+    distributed_select,
+    knn_program_for,
+)
+from repro.points.dataset import make_dataset
+from repro.sequential.brute import brute_force_knn, brute_force_knn_ids
+
+
+class TestDistributedSelect:
+    def test_values_sorted_prefix(self, rng):
+        values = rng.uniform(0, 100, 2000)
+        result = distributed_select(values, l=25, k=8, seed=1)
+        np.testing.assert_allclose(result.values, np.sort(values)[:25])
+
+    def test_ascending_and_consistent(self, rng):
+        result = distributed_select(rng.normal(size=500), l=50, k=4, seed=2)
+        assert (np.diff(result.values) >= 0).all()
+        assert len(result.ids) == 50
+
+    def test_metrics_and_stats_populated(self, rng):
+        result = distributed_select(rng.normal(size=500), l=50, k=4, seed=3)
+        assert result.metrics.rounds > 0
+        assert result.stats.iterations > 0
+        assert result.stats.initial_count == 500
+
+    def test_l_bounds(self, rng):
+        with pytest.raises(ValueError):
+            distributed_select(rng.normal(size=10), l=11, k=2)
+
+    def test_2d_input_flattened(self, rng):
+        values = rng.normal(size=(10, 2))
+        result = distributed_select(values, l=5, k=2, seed=1)
+        assert len(result.values) == 5
+
+    def test_adversarial_partitioner(self, rng):
+        values = rng.normal(size=500)
+        result = distributed_select(values, l=30, k=8, seed=4, partitioner="sorted")
+        np.testing.assert_allclose(result.values, np.sort(values)[:30])
+
+    def test_deterministic(self, rng):
+        values = rng.normal(size=300)
+        a = distributed_select(values, l=10, k=4, seed=7)
+        b = distributed_select(values, l=10, k=4, seed=7)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert a.metrics.rounds == b.metrics.rounds
+
+
+class TestDistributedKnn:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms_exact(self, rng, algorithm):
+        pts = rng.uniform(0, 1, (1000, 4))
+        ds = make_dataset(pts, seed=0)
+        q = pts[3]
+        result = distributed_knn(ds, q, l=15, k=8, seed=5, algorithm=algorithm)
+        assert set(int(i) for i in result.ids) == brute_force_knn_ids(ds, q, 15)
+
+    def test_results_globally_sorted(self, rng):
+        pts = rng.uniform(0, 1, (500, 3))
+        result = distributed_knn(pts, pts[0], l=20, k=4, seed=1)
+        assert (np.diff(result.distances) >= 0).all()
+        assert len(result.ids) == 20
+        assert result.distances[0] == 0.0
+
+    def test_points_and_distances_consistent(self, rng):
+        pts = rng.uniform(0, 1, (500, 3))
+        q = rng.uniform(0, 1, 3)
+        result = distributed_knn(pts, q, l=10, k=4, seed=2)
+        recomputed = np.linalg.norm(result.points - q, axis=1)
+        np.testing.assert_allclose(recomputed, result.distances)
+
+    def test_matches_brute_distances(self, rng):
+        pts = rng.uniform(0, 1, (800, 2))
+        ds = make_dataset(pts, seed=3)
+        q = rng.uniform(0, 1, 2)
+        result = distributed_knn(ds, q, l=12, k=8, seed=3)
+        b_ids, b_dists = brute_force_knn(ds, q, 12)
+        np.testing.assert_array_equal(result.ids, b_ids)
+        np.testing.assert_allclose(result.distances, b_dists)
+
+    def test_labels_returned(self, rng):
+        pts = rng.uniform(0, 1, (200, 2))
+        labels = rng.integers(0, 3, 200)
+        result = distributed_knn(pts, pts[0], l=5, k=4, labels=labels, seed=4)
+        assert result.labels is not None and len(result.labels) == 5
+
+    def test_scalar_query_1d_data(self, rng):
+        values = rng.uniform(0, 100, 300)
+        result = distributed_knn(values, 50.0, l=7, k=4, seed=5)
+        assert len(result.ids) == 7
+
+    def test_unknown_algorithm(self, rng):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            distributed_knn(rng.normal(size=(50, 2)), np.zeros(2), l=3, k=2,
+                            algorithm="magic")
+
+    def test_l_bounds(self, rng):
+        with pytest.raises(ValueError):
+            distributed_knn(rng.normal(size=(10, 2)), np.zeros(2), l=0, k=2)
+        with pytest.raises(ValueError):
+            distributed_knn(rng.normal(size=(10, 2)), np.zeros(2), l=11, k=2)
+
+    def test_leader_output_retained(self, rng):
+        result = distributed_knn(rng.normal(size=(500, 2)), np.zeros(2), l=9, k=4,
+                                 seed=6)
+        assert result.leader_output.is_leader
+
+    def test_measure_compute_populates_time(self, rng):
+        from repro.kmachine.timing import DEFAULT_COST_MODEL
+
+        result = distributed_knn(
+            rng.normal(size=(2000, 2)), np.zeros(2), l=9, k=4, seed=7,
+            measure_compute=True, cost_model=DEFAULT_COST_MODEL,
+        )
+        assert result.metrics.compute_seconds > 0
+        assert result.metrics.comm_seconds > 0
+
+
+class TestKnnProgramFactory:
+    def test_each_name_constructs(self):
+        for name in ALGORITHMS:
+            prog = knn_program_for(name, np.zeros(2), 5, "euclidean")
+            assert prog.l == 5
+
+    def test_knobs_reach_sampled(self):
+        prog = knn_program_for("sampled", np.zeros(2), 5, "euclidean",
+                               sample_factor=3, cutoff_factor=5, safe_mode=False)
+        assert prog.sample_factor == 3 and not prog.safe_mode
+
+    def test_unpruned_sets_prune_false(self):
+        assert knn_program_for("unpruned", np.zeros(2), 5, "euclidean").prune is False

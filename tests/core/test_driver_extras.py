@@ -1,0 +1,56 @@
+"""Driver-level tests for the extension knobs (slack, pacing, models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import distributed_knn, distributed_select
+from repro.kmachine.timing import CostModel
+from repro.points.dataset import make_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+
+class TestSlackThroughDriver:
+    def test_slack_superset(self, rng):
+        values = rng.uniform(0, 1, 600)
+        exact = distributed_select(values, l=80, k=8, seed=1)
+        loose = distributed_select(values, l=80, k=8, seed=1, slack=0.5)
+        assert set(exact.ids.tolist()) <= set(loose.ids.tolist())
+        assert 80 <= len(loose.ids) <= 121
+
+    def test_zero_slack_default_exact(self, rng):
+        values = rng.uniform(0, 1, 200)
+        result = distributed_select(values, l=50, k=4, seed=2)
+        assert len(result.ids) == 50
+
+
+class TestPacingThroughDriver:
+    def test_pace_samples_knob_reaches_protocol(self, rng):
+        corpus = make_dataset(rng.uniform(0, 1, (800, 2)), seed=0)
+        q = np.array([0.5, 0.5])
+        truth = brute_force_knn_ids(corpus, q, 32)
+        paced = distributed_knn(corpus, q, l=32, k=4, seed=3, pace_samples=True)
+        burst = distributed_knn(corpus, q, l=32, k=4, seed=3, pace_samples=False)
+        assert set(int(i) for i in paced.ids) == truth
+        assert paced.metrics.messages == burst.metrics.messages
+        # Paced sampling serializes one sample per round.
+        assert paced.metrics.rounds >= burst.metrics.rounds
+
+
+class TestCostModelPlumbing:
+    def test_custom_model_prices_comm(self, rng):
+        corpus = make_dataset(rng.uniform(0, 1, (500, 2)), seed=1)
+        model = CostModel(alpha_seconds=1.0, beta_bits_per_second=0.0,
+                          gamma_seconds_per_message=0.0)
+        res = distributed_knn(corpus, np.zeros(2), l=5, k=4, seed=4,
+                              cost_model=model)
+        # Every busy round costs exactly 1 simulated second.
+        assert res.metrics.comm_seconds == pytest.approx(res.metrics.rounds)
+
+    def test_select_cost_model(self, rng):
+        model = CostModel(alpha_seconds=0.5, beta_bits_per_second=0.0,
+                          gamma_seconds_per_message=0.0)
+        res = distributed_select(rng.uniform(0, 1, 200), l=10, k=4, seed=5,
+                                 cost_model=model)
+        assert res.metrics.comm_seconds == pytest.approx(0.5 * res.metrics.rounds)

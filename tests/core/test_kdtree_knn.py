@@ -1,0 +1,159 @@
+"""Unit tests for the distributed k-d tree comparator (Patwary [14] style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kdtree_knn import (
+    KDTreeKNNQueryProgram,
+    KDTreePartitionProgram,
+    box_lower_bound,
+    build_partition,
+    query_partition,
+)
+from repro.points.dataset import Shard
+from repro.points.generators import duplicate_heavy, gaussian_blobs, uniform_points
+from repro.points.partition import shard_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(11)
+    ds = gaussian_blobs(rng, 2000, 3, n_classes=4)
+    shards = shard_dataset(ds, 8, rng)
+    inputs, metrics = build_partition(shards, dim=3, seed=1)
+    return ds, inputs, metrics
+
+
+class TestBoxLowerBound:
+    def test_zero_inside(self):
+        lb = box_lower_bound(np.zeros(2), np.ones(2), np.array([0.5, 0.5]))
+        assert lb == 0.0
+
+    def test_outside_axis_distance(self):
+        lb = box_lower_bound(np.zeros(2), np.ones(2), np.array([3.0, 0.5]))
+        assert lb == pytest.approx(2.0)
+
+    def test_corner_distance(self):
+        lb = box_lower_bound(np.zeros(2), np.ones(2), np.array([2.0, 2.0]))
+        assert lb == pytest.approx(np.sqrt(2))
+
+    def test_infinite_box(self):
+        lb = box_lower_bound(np.full(2, -np.inf), np.full(2, np.inf), np.zeros(2))
+        assert lb == 0.0
+
+
+class TestConstruction:
+    def test_conserves_points(self, built):
+        ds, inputs, _ = built
+        total = sum(len(shard) for shard, _, _ in inputs)
+        assert total == len(ds)
+        all_ids = np.sort(np.concatenate([shard.ids for shard, _, _ in inputs]))
+        np.testing.assert_array_equal(all_ids, np.sort(ds.ids))
+
+    def test_points_inside_their_boxes(self, built):
+        _, inputs, _ = built
+        for shard, lo, hi in inputs:
+            eps = 1e-9
+            assert np.all(shard.points >= np.asarray(lo) - eps)
+            assert np.all(shard.points <= np.asarray(hi) + eps)
+
+    def test_boxes_tile_space_disjointly(self, built):
+        """No point can belong to two boxes: strict interiors disjoint."""
+        _, inputs, _ = built
+        rng = np.random.default_rng(0)
+        probes = rng.uniform(0, 1, (200, 3))
+        for p in probes:
+            owners = [
+                i
+                for i, (_, lo, hi) in enumerate(inputs)
+                if np.all(p > np.asarray(lo)) and np.all(p <= np.asarray(hi))
+            ]
+            assert len(owners) == 1, f"probe {p} owned by {owners}"
+
+    def test_balanced_within_factor(self, built):
+        _, inputs, _ = built
+        sizes = [len(shard) for shard, _, _ in inputs]
+        assert max(sizes) < 3 * max(1, min(sizes))
+
+    def test_construction_is_expensive(self, built):
+        """The related-work claim: construction moves O(n) points."""
+        ds, _, metrics = built
+        assert metrics.messages > len(ds)  # one message per moved point+
+        assert metrics.rounds > 50
+
+    def test_labels_travel_with_points(self):
+        rng = np.random.default_rng(3)
+        ds = gaussian_blobs(rng, 400, 2, n_classes=3)
+        shards = shard_dataset(ds, 4, rng)
+        inputs, _ = build_partition(shards, dim=2, seed=2)
+        label_of = {int(i): l for i, l in zip(ds.ids, ds.labels)}
+        for shard, _, _ in inputs:
+            assert shard.labels is not None
+            for pid, lab in zip(shard.ids, shard.labels):
+                assert lab == label_of[int(pid)]
+
+    def test_requires_power_of_two_k(self):
+        rng = np.random.default_rng(4)
+        ds = gaussian_blobs(rng, 60, 2)
+        shards = shard_dataset(ds, 3, rng)
+        with pytest.raises(Exception, match="power of two"):
+            build_partition(shards, dim=2, seed=1)
+
+    def test_k1_trivial(self):
+        rng = np.random.default_rng(5)
+        ds = gaussian_blobs(rng, 50, 2)
+        shards = shard_dataset(ds, 1, rng)
+        inputs, metrics = build_partition(shards, dim=2, seed=1)
+        assert len(inputs[0][0]) == 50
+        assert metrics.messages == 0
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            KDTreePartitionProgram(0)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("l", [1, 7, 60])
+    def test_exact_answers(self, built, l):
+        ds, inputs, _ = built
+        rng = np.random.default_rng(l)
+        for _ in range(3):
+            q = rng.uniform(0, 1, 3)
+            ids, _ = query_partition(inputs, q, l, seed=l)
+            assert ids == sorted(brute_force_knn_ids(ds, q, l))
+
+    def test_duplicates_exact(self):
+        rng = np.random.default_rng(6)
+        ds = duplicate_heavy(rng, 500, n_distinct=4, dim=2)
+        shards = shard_dataset(ds, 4, rng)
+        inputs, _ = build_partition(shards, dim=2, seed=3)
+        q = rng.uniform(0, 1, 2)
+        ids, _ = query_partition(inputs, q, 40, seed=4)
+        assert ids == sorted(brute_force_knn_ids(ds, q, 40))
+
+    def test_query_far_outside_all_boxes(self, built):
+        ds, inputs, _ = built
+        q = np.array([50.0, 50.0, 50.0])
+        ids, _ = query_partition(inputs, q, 5, seed=9)
+        assert ids == sorted(brute_force_knn_ids(ds, q, 5))
+
+    def test_queries_much_cheaper_than_construction(self, built):
+        ds, inputs, build_metrics = built
+        _, qm = query_partition(inputs, np.full(3, 0.5), 20, seed=10)
+        assert qm.rounds < build_metrics.rounds / 10
+        assert qm.messages < build_metrics.messages / 10
+
+    def test_l_exceeding_any_single_machine(self, built):
+        """r0 falls back to a finite bound from some machine or inf."""
+        ds, inputs, _ = built
+        l = min(len(s) for s, _, _ in inputs) + 5
+        q = np.full(3, 0.5)
+        ids, _ = query_partition(inputs, q, l, seed=11)
+        assert ids == sorted(brute_force_knn_ids(ds, q, l))
+
+    def test_l_validation(self):
+        with pytest.raises(ValueError):
+            KDTreeKNNQueryProgram(np.zeros(2), 0)

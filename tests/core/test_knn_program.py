@@ -1,0 +1,210 @@
+"""Unit tests for Algorithm 2 (distributed ℓ-NN with sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knn import KNNProgram, local_candidates
+from repro.kmachine import Simulator
+from repro.points.dataset import Shard, make_dataset
+from repro.points.generators import duplicate_heavy, gaussian_blobs, uniform_ints
+from repro.points.metrics import get_metric
+from repro.points.partition import shard_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+
+def run_knn(dataset, query, k, l, seed=0, partitioner="random", **prog_kwargs):
+    rng = np.random.default_rng(seed)
+    shards = shard_dataset(dataset, k, rng, partitioner,
+                           metric=get_metric("euclidean"), query=np.atleast_1d(query))
+    sim = Simulator(
+        k=k,
+        program=KNNProgram(query, l, **prog_kwargs),
+        inputs=shards,
+        seed=seed + 1,
+        bandwidth_bits=512,
+    )
+    return sim.run()
+
+
+def answer_ids(result):
+    return set(int(i) for out in result.outputs for i in out.ids)
+
+
+class TestLocalCandidates:
+    def test_keeps_l_closest(self, rng):
+        ds = make_dataset(rng.normal(size=(50, 2)), rng=rng)
+        shard = ds.take(np.arange(50))
+        cand = local_candidates(shard, np.zeros(2), 5, get_metric("euclidean"))
+        assert len(cand) == 5
+        assert (np.diff(cand["value"]) >= 0).all()
+        dists = np.linalg.norm(shard.points, axis=1)
+        np.testing.assert_allclose(np.sort(dists)[:5], cand["value"])
+
+    def test_small_shard_keeps_everything(self, rng):
+        ds = make_dataset(rng.normal(size=(3, 2)), rng=rng)
+        cand = local_candidates(ds.take(np.arange(3)), np.zeros(2), 10,
+                                get_metric("euclidean"))
+        assert len(cand) == 3
+
+    def test_empty_shard(self):
+        shard = Shard(points=np.empty((0, 2)), ids=np.empty(0, np.int64))
+        cand = local_candidates(shard, np.zeros(2), 5, get_metric("euclidean"))
+        assert len(cand) == 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k,l", [(2, 1), (4, 8), (8, 64), (16, 100)])
+    def test_matches_brute_force(self, rng, k, l):
+        ds = gaussian_blobs(rng, 1200, 3)
+        q = rng.uniform(0, 1, 3)
+        result = run_knn(ds, q, k, l, seed=k * 10 + l)
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, l)
+
+    def test_safe_mode_false_usually_correct(self, rng):
+        ds = uniform_ints(rng, 4000)
+        q = np.array([float(rng.integers(0, 2**32))])
+        result = run_knn(ds, q, 8, 128, safe_mode=False)
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 128)
+
+    def test_duplicate_distances(self, rng):
+        ds = duplicate_heavy(rng, 600, n_distinct=4, dim=2)
+        q = rng.uniform(0, 1, 2)
+        result = run_knn(ds, q, 4, 50)
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 50)
+
+    def test_adversarial_sorted_shards(self, rng):
+        ds = gaussian_blobs(rng, 800, 2)
+        q = rng.uniform(0, 1, 2)
+        result = run_knn(ds, q, 8, 31, partitioner="sorted")
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 31)
+
+    def test_skewed_shards(self, rng):
+        ds = gaussian_blobs(rng, 800, 2)
+        q = rng.uniform(0, 1, 2)
+        result = run_knn(ds, q, 8, 31, partitioner="skewed")
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 31)
+
+    def test_non_euclidean_metric(self, rng):
+        ds = gaussian_blobs(rng, 500, 3)
+        q = rng.uniform(0, 1, 3)
+        result = run_knn(ds, q, 4, 20, metric="manhattan")
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 20, metric="manhattan")
+
+    def test_prune_disabled_variant(self, rng):
+        ds = gaussian_blobs(rng, 500, 2)
+        q = rng.uniform(0, 1, 2)
+        result = run_knn(ds, q, 8, 25, prune=False)
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 25)
+        assert all(out.threshold is None for out in result.outputs)
+
+    def test_k1_local(self, rng):
+        ds = gaussian_blobs(rng, 100, 2)
+        q = rng.uniform(0, 1, 2)
+        result = run_knn(ds, q, 1, 9)
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 9)
+
+    def test_l_one(self, rng):
+        ds = gaussian_blobs(rng, 300, 2)
+        q = rng.uniform(0, 1, 2)
+        result = run_knn(ds, q, 8, 1)
+        assert answer_ids(result) == brute_force_knn_ids(ds, q, 1)
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            KNNProgram(np.zeros(1), 0)
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValueError):
+            KNNProgram(np.zeros(1), 5, sample_factor=0)
+
+
+class TestOutputsAndStats:
+    def test_boundary_and_leader_unique(self, rng):
+        ds = gaussian_blobs(rng, 400, 2)
+        result = run_knn(ds, rng.uniform(0, 1, 2), 8, 16)
+        assert len({out.boundary for out in result.outputs}) == 1
+        assert sum(out.is_leader for out in result.outputs) == 1
+
+    def test_leader_records_sampling_stats(self, rng):
+        ds = gaussian_blobs(rng, 2000, 2)
+        result = run_knn(ds, rng.uniform(0, 1, 2), 8, 200, safe_mode=False)
+        leader = next(o for o in result.outputs if o.is_leader)
+        assert leader.sampled is not None and leader.sampled > 0
+        assert leader.threshold is not None
+        assert leader.survivors is not None
+        assert leader.survivors >= 200  # pruning kept enough (w.h.p.)
+        assert leader.selection_stats is not None
+
+    def test_workers_have_no_leader_stats(self, rng):
+        ds = gaussian_blobs(rng, 400, 2)
+        result = run_knn(ds, rng.uniform(0, 1, 2), 4, 16)
+        for out in result.outputs:
+            if not out.is_leader:
+                assert out.sampled is None
+
+    def test_local_points_match_ids(self, rng):
+        """Each machine's output rows are its own points for its ids."""
+        ds = gaussian_blobs(rng, 500, 3)
+        q = rng.uniform(0, 1, 3)
+        result = run_knn(ds, q, 4, 40)
+        id_to_point = {int(i): p for i, p in zip(ds.ids, ds.points)}
+        for out in result.outputs:
+            for pid, point, dist in zip(out.ids, out.points, out.distances):
+                np.testing.assert_allclose(point, id_to_point[int(pid)])
+                assert dist == pytest.approx(np.linalg.norm(point - q))
+
+    def test_labels_travel_with_points(self, rng):
+        ds = gaussian_blobs(rng, 400, 2, n_classes=3)
+        result = run_knn(ds, rng.uniform(0, 1, 2), 4, 12)
+        label_of = {int(i): l for i, l in zip(ds.ids, ds.labels)}
+        for out in result.outputs:
+            assert out.labels is not None
+            for pid, lab in zip(out.ids, out.labels):
+                assert lab == label_of[int(pid)]
+
+    def test_survivors_bounded_by_11l_typically(self, rng):
+        ds = uniform_ints(rng, 16 * 512)
+        q = np.array([float(rng.integers(0, 2**32))])
+        result = run_knn(ds, q, 16, 256, safe_mode=False)
+        leader = next(o for o in result.outputs if o.is_leader)
+        assert leader.survivors <= 11 * 256
+
+
+class TestSafeModeFallback:
+    def test_aggressive_cutoff_triggers_fallback_and_stays_correct(self, rng):
+        """cutoff_factor=1 makes r tiny: safe mode must repair it."""
+        ds = gaussian_blobs(rng, 2000, 2)
+        q = rng.uniform(0, 1, 2)
+        l = 500
+        fallbacks = 0
+        for seed in range(5):
+            result = run_knn(ds, q, 8, l, seed=seed, sample_factor=1, cutoff_factor=1,
+                             safe_mode=True)
+            assert answer_ids(result) == brute_force_knn_ids(ds, q, l)
+            leader = next(o for o in result.outputs if o.is_leader)
+            fallbacks += leader.fallback
+        assert fallbacks > 0  # the stress setting actually stressed it
+
+    def test_unsafe_aggressive_cutoff_can_return_short(self, rng):
+        """Without safe mode the same stress may lose neighbors —
+        that's the documented Monte Carlo behavior."""
+        ds = gaussian_blobs(rng, 2000, 2)
+        q = rng.uniform(0, 1, 2)
+        l = 500
+        short = 0
+        for seed in range(5):
+            result = run_knn(ds, q, 8, l, seed=seed, sample_factor=1, cutoff_factor=1,
+                             safe_mode=False)
+            if len(answer_ids(result)) < l:
+                short += 1
+        assert short > 0
+
+    def test_paper_constants_rarely_fall_back(self, rng):
+        ds = uniform_ints(rng, 8 * 1024)
+        q = np.array([float(rng.integers(0, 2**32))])
+        for seed in range(5):
+            result = run_knn(ds, q, 8, 128, seed=seed, safe_mode=True)
+            leader = next(o for o in result.outputs if o.is_leader)
+            assert not leader.fallback

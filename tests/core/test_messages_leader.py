@@ -1,0 +1,126 @@
+"""Unit tests for the wire vocabulary and leader election."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.leader import elect, elect_min_id, elect_sublinear, fixed_leader
+from repro.core.messages import decode_key, encode_key, log2_ceil, tag
+from repro.kmachine import FunctionProgram, run_program
+from repro.points.ids import Keyed
+
+
+class TestTagAndKeys:
+    def test_tag_joins_parts(self):
+        assert tag("knn", "sel", 3) == "knn/sel/3"
+
+    def test_key_round_trip(self):
+        key = Keyed(3.25, 17)
+        assert decode_key(encode_key(key)) == key
+
+    def test_encode_is_two_scalars(self):
+        assert encode_key(Keyed(1.5, 2)) == (1.5, 2)
+
+    @pytest.mark.parametrize(
+        "x,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (1024, 10), (1025, 11), (0.5, 0)]
+    )
+    def test_log2_ceil(self, x, expected):
+        assert log2_ceil(x) == expected
+
+
+def _election_program(method):
+    def prog(ctx):
+        leader = yield from elect(ctx, method=method)
+        return leader
+
+    return FunctionProgram(prog, name=f"elect-{method}")
+
+
+class TestFixedLeader:
+    def test_zero_cost(self):
+        result = run_program(_election_program("fixed"), k=8, seed=1)
+        assert result.outputs == [0] * 8
+        assert result.metrics.messages == 0
+        assert result.metrics.rounds == 0
+
+    def test_custom_leader_rank(self):
+        def prog(ctx):
+            return (yield from fixed_leader(ctx, leader=3))
+
+        result = run_program(FunctionProgram(prog), k=5)
+        assert result.outputs == [3] * 5
+
+    def test_leader_rank_validated(self):
+        def prog(ctx):
+            return (yield from fixed_leader(ctx, leader=9))
+
+        with pytest.raises(Exception, match="outside"):
+            run_program(FunctionProgram(prog), k=4)
+
+
+class TestMinIdElection:
+    @pytest.mark.parametrize("k", [2, 3, 8, 32])
+    def test_agreement(self, k):
+        result = run_program(_election_program("min_id"), k=k, seed=k)
+        assert len(set(result.outputs)) == 1
+
+    def test_winner_has_min_machine_id(self):
+        result = run_program(_election_program("min_id"), k=16, seed=5)
+        leader = result.outputs[0]
+        ids = [c.machine_id for c in result.contexts]
+        assert ids[leader] == min(ids)
+
+    def test_one_round_k_squared_messages(self):
+        result = run_program(_election_program("min_id"), k=10, seed=2)
+        assert result.metrics.rounds == 1
+        assert result.metrics.messages == 10 * 9
+
+    def test_k1(self):
+        result = run_program(_election_program("min_id"), k=1, seed=0)
+        assert result.outputs == [0]
+
+
+class TestSublinearElection:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_across_seeds(self, seed):
+        result = run_program(_election_program("sublinear"), k=12, seed=seed)
+        assert len(set(result.outputs)) == 1
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 16, 48])
+    def test_agreement_across_k(self, k):
+        result = run_program(_election_program("sublinear"), k=k, seed=99)
+        assert len(set(result.outputs)) == 1
+
+    def test_k1(self):
+        result = run_program(_election_program("sublinear"), k=1, seed=0)
+        assert result.outputs == [0]
+
+    def test_messages_sublinear_in_k_squared(self):
+        """The referee scheme should beat all-to-all for biggish k."""
+        k = 64
+        sub = run_program(_election_program("sublinear"), k=k, seed=4)
+        allall = run_program(_election_program("min_id"), k=k, seed=4)
+        assert sub.metrics.messages < allall.metrics.messages
+
+    def test_composes_with_later_traffic(self):
+        """Election traffic must not leak into subsequent protocol tags."""
+
+        def prog(ctx):
+            leader = yield from elect(ctx, method="sublinear")
+            if ctx.rank == leader:
+                ctx.broadcast("after", "go")
+                yield
+                return "led"
+            msg = yield from ctx.recv_one("after")
+            return msg.payload
+
+        result = run_program(FunctionProgram(prog), k=8, seed=11)
+        assert sorted(result.outputs).count("go") == 7
+
+    def test_unknown_method(self):
+        def prog(ctx):
+            yield from elect(ctx, method="quantum")
+
+        with pytest.raises(Exception, match="unknown election"):
+            run_program(FunctionProgram(prog), k=2)

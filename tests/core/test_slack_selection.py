@@ -1,0 +1,75 @@
+"""Tests for the approximate (slack) selection extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection import SelectionProgram
+from repro.kmachine import Simulator
+from repro.points.ids import keyed_array
+
+
+def run(values, l, k=8, slack=0.0, seed=0):
+    values = np.asarray(values, dtype=np.float64)
+    ids = np.arange(1, len(values) + 1)
+    rng = np.random.default_rng(1)
+    chunks = np.array_split(rng.permutation(len(values)), k)
+    inputs = [keyed_array(values[c], ids[c]) for c in chunks]
+    sim = Simulator(k=k, program=SelectionProgram(l, slack=slack), inputs=inputs,
+                    seed=seed, bandwidth_bits=512)
+    res = sim.run()
+    selected = sorted(
+        (float(v), int(i))
+        for out in res.outputs
+        for v, i in zip(out.selected["value"], out.selected["id"])
+    )
+    stats = next(o.stats for o in res.outputs if o.is_leader)
+    return selected, stats, res.metrics
+
+
+class TestSlackSemantics:
+    def test_zero_slack_is_exact(self, rng):
+        values = rng.uniform(0, 1, 500)
+        selected, _, _ = run(values, 60, slack=0.0)
+        assert len(selected) == 60
+
+    @pytest.mark.parametrize("slack", [0.1, 0.5, 2.0])
+    def test_output_is_superset_within_budget(self, rng, slack):
+        values = rng.uniform(0, 1, 800)
+        l = 100
+        selected, _, _ = run(values, l, slack=slack, seed=3)
+        truth = sorted(zip(values.tolist(), range(1, 801)))[:l]
+        # Superset of the true l smallest...
+        got_pairs = set(selected)
+        assert all(pair in got_pairs for pair in truth)
+        # ...by at most slack*l extras.
+        assert l <= len(selected) <= int(l * (1 + slack)) + 1
+
+    def test_output_is_a_prefix_of_the_sorted_order(self, rng):
+        """Whatever size it returns, it is the smallest |S| keys."""
+        values = rng.uniform(0, 1, 400)
+        selected, _, _ = run(values, 50, slack=1.0, seed=4)
+        truth = sorted(zip(values.tolist(), range(1, 401)))
+        assert selected == truth[: len(selected)]
+
+    def test_slack_saves_iterations(self, rng):
+        values = rng.uniform(0, 1, 4096)
+        exact_iters, loose_iters = [], []
+        for seed in range(8):
+            _, stats_exact, _ = run(values, 512, slack=0.0, seed=seed)
+            _, stats_loose, _ = run(values, 512, slack=1.0, seed=seed)
+            exact_iters.append(stats_exact.iterations)
+            loose_iters.append(stats_loose.iterations)
+        assert np.mean(loose_iters) < np.mean(exact_iters)
+
+    def test_negative_slack_rejected(self, rng):
+        values = rng.uniform(0, 1, 10)
+        with pytest.raises(Exception, match="slack"):
+            run(values, 2, slack=-0.5)
+
+    def test_huge_slack_accepts_everything_immediately(self, rng):
+        values = rng.uniform(0, 1, 200)
+        selected, stats, _ = run(values, 100, slack=10.0, seed=5)
+        assert len(selected) == 200  # 200 <= 100*(1+10)
+        assert stats.iterations == 0

@@ -1,0 +1,112 @@
+"""Tests for distance-weighted voting (classification and regression)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import DistributedKNNClassifier, DistributedKNNRegressor
+from repro.points.dataset import make_dataset
+from repro.sequential.knn import (
+    SequentialKNN,
+    weighted_majority_label,
+    weighted_mean_label,
+)
+
+
+class TestWeightedMajority:
+    def test_close_minority_beats_far_majority(self):
+        labels = np.array([1, 0, 0])
+        ids = np.array([1, 2, 3])
+        dists = np.array([0.1, 10.0, 10.0])
+        # weight(1) = 10, weight(0) = 0.2 -> label 1 wins 1-vs-2.
+        assert weighted_majority_label(labels, ids, dists) == 1
+
+    def test_exact_hit_takes_all(self):
+        labels = np.array(["a", "b", "b", "b"])
+        ids = np.array([1, 2, 3, 4])
+        dists = np.array([0.0, 0.01, 0.01, 0.01])
+        assert weighted_majority_label(labels, ids, dists) == "a"
+
+    def test_multiple_exact_hits_vote_among_themselves(self):
+        labels = np.array(["a", "b", "b"])
+        ids = np.array([1, 2, 3])
+        dists = np.array([0.0, 0.0, 0.0])
+        assert weighted_majority_label(labels, ids, dists) == "b"
+
+    def test_weight_tie_broken_by_min_id(self):
+        labels = np.array([0, 1])
+        ids = np.array([9, 4])
+        dists = np.array([1.0, 1.0])
+        assert weighted_majority_label(labels, ids, dists) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_majority_label(np.array([]), np.array([]), np.array([]))
+
+
+class TestWeightedMean:
+    def test_pulls_toward_close_neighbor(self):
+        labels = np.array([10.0, 0.0])
+        dists = np.array([0.1, 10.0])
+        value = weighted_mean_label(labels, dists)
+        assert value > 9.0
+
+    def test_exact_hit_returns_its_value(self):
+        labels = np.array([7.0, 100.0])
+        dists = np.array([0.0, 1.0])
+        assert weighted_mean_label(labels, dists) == 7.0
+
+    def test_equal_distances_reduce_to_mean(self):
+        labels = np.array([2.0, 4.0])
+        dists = np.array([3.0, 3.0])
+        assert weighted_mean_label(labels, dists) == pytest.approx(3.0)
+
+
+class TestWeightedSequentialKNN:
+    def test_weighted_flips_a_boundary_case(self, rng):
+        # One very close label-1 point vs two slightly farther label-0.
+        pts = np.array([[0.01], [0.5], [0.55]])
+        ds = make_dataset(pts, labels=np.array([1, 0, 0]), rng=rng)
+        uniform = SequentialKNN(l=3).fit(ds)
+        weighted = SequentialKNN(l=3, weights="distance").fit(ds)
+        q = np.array([0.0])
+        assert uniform.predict(q) == 0
+        assert weighted.predict(q) == 1
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            SequentialKNN(l=1, weights="gaussian")
+
+
+class TestWeightedDistributed:
+    def test_matches_sequential_weighted(self, rng):
+        X = rng.uniform(0, 1, (300, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        seed = 17
+        clf = DistributedKNNClassifier(l=7, k=4, seed=seed, weights="distance").fit(X, y)
+        seq = SequentialKNN(l=7, weights="distance").fit(clf._state.dataset)  # noqa: SLF001
+        for q in rng.uniform(0, 1, (10, 2)):
+            assert clf.predict(q) == seq.predict(q)
+
+    def test_weighted_regressor_interpolates(self, rng):
+        X = rng.uniform(0, 10, 500)
+        y = 2.0 * X
+        reg = DistributedKNNRegressor(l=4, k=4, seed=3, weights="distance").fit(X, y)
+        pred = reg.predict(np.array([5.0]))[0]
+        assert pred == pytest.approx(10.0, abs=0.2)
+
+    def test_weighted_regressor_matches_sequential(self, rng):
+        X = rng.uniform(0, 10, (200, 1))
+        y = X[:, 0] ** 2
+        seed = 19
+        reg = DistributedKNNRegressor(l=5, k=4, seed=seed, weights="distance").fit(X, y)
+        seq = SequentialKNN(l=5, weights="distance").fit(reg._state.dataset)  # noqa: SLF001
+        for q in rng.uniform(0, 10, 5):
+            assert reg.predict(np.array([q]))[0] == pytest.approx(
+                seq.predict_value(np.array([q]))
+            )
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedKNNClassifier(l=1, k=2, weights="cosine")

@@ -1,0 +1,80 @@
+"""Tests for the repro-knn CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_int_list_parsing(self):
+        args = build_parser().parse_args(["figure2", "--k", "2,4,8"])
+        assert args.k == [2, 4, 8]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_csv_flag(self):
+        args = build_parser().parse_args(["--csv", "comparison"])
+        assert args.csv is True
+
+
+class TestMainSmallRuns:
+    def test_figure2(self, capsys):
+        code = main(
+            [
+                "figure2",
+                "--k", "2",
+                "--l", "8",
+                "--points-per-machine", "64",
+                "--reps", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_figure2_csv(self, capsys):
+        main(
+            ["--csv", "figure2", "--k", "2", "--l", "8",
+             "--points-per-machine", "64", "--reps", "2"]
+        )
+        out = capsys.readouterr().out
+        assert "k,l,ratio" in out
+
+    def test_selection_rounds(self, capsys):
+        code = main(["selection-rounds", "--n", "256,512", "--k", "2", "--reps", "2"])
+        assert code == 0
+        assert "Theorem 2.2" in capsys.readouterr().out
+
+    def test_knn_rounds(self, capsys):
+        code = main(
+            ["knn-rounds", "--l", "8,16", "--k", "2",
+             "--points-per-machine", "64", "--reps", "2"]
+        )
+        assert code == 0
+        assert "Theorem 2.4" in capsys.readouterr().out
+
+    def test_sampling(self, capsys):
+        code = main(["sampling", "--k", "4", "--l", "16", "--reps", "3"])
+        assert code == 0
+        assert "Lemma 2.3" in capsys.readouterr().out
+
+    def test_pivot(self, capsys):
+        code = main(["pivot", "--runs", "40", "--n", "128", "--k", "4"])
+        assert code == 0
+        assert "chi2" in capsys.readouterr().out
+
+    def test_figure2_mp(self, capsys):
+        code = main(
+            ["figure2-mp", "--k", "2", "--l", "16",
+             "--points-per-machine", "256", "--reps", "1"]
+        )
+        assert code == 0
+        assert "ratio" in capsys.readouterr().out

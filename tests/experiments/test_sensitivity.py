@@ -1,0 +1,56 @@
+"""Tests for the cost-model sensitivity experiment and its CLI path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SensitivityConfig, run_sensitivity
+from repro.experiments.runner import main
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sensitivity(
+        SensitivityConfig(
+            k=8,
+            l=256,
+            points_per_machine=2**10,
+            repetitions=2,
+            alpha_values=(10e-6, 100e-6),
+            gamma_values=(0.0, 10e-6),
+        )
+    )
+
+
+class TestSensitivity:
+    def test_grid_complete(self, sweep):
+        assert len(sweep.cells) == 4
+        assert {(c.alpha, c.gamma) for c in sweep.cells} == {
+            (10e-6, 0.0), (10e-6, 10e-6), (100e-6, 0.0), (100e-6, 10e-6)
+        }
+
+    def test_times_positive(self, sweep):
+        for cell in sweep.cells:
+            assert cell.simple_seconds > 0
+            assert cell.sampled_seconds > 0
+            assert cell.ratio > 0
+
+    def test_gamma_raises_ratio(self, sweep):
+        for alpha in (10e-6, 100e-6):
+            assert sweep.ratio_at(alpha, 10e-6) > sweep.ratio_at(alpha, 0.0)
+
+    def test_lookup_missing(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.ratio_at(1.0, 1.0)
+
+    def test_report_and_csv(self, sweep):
+        assert "sensitivity" in sweep.report()
+        assert sweep.csv().startswith("alpha_us")
+
+    def test_cli(self, capsys):
+        code = main(
+            ["sensitivity", "--k", "4", "--l", "64",
+             "--points-per-machine", "256", "--reps", "1"]
+        )
+        assert code == 0
+        assert "sensitivity" in capsys.readouterr().out

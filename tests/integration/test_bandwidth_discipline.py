@@ -1,0 +1,149 @@
+"""Integration: the O(log n)-bit message discipline, enforced mechanically.
+
+The model grants ``B = Θ(log n)`` bits per link per round.  Under the
+simulator's ``strict`` policy a protocol that ever enqueues more than
+``B`` bits on one link in one round *crashes* — so running the paper's
+protocols to completion under strict policy is a machine-checked proof
+that every message respects the budget and no step needs more than one
+message per link per round.
+
+The simple method, by contrast, fundamentally wants to push ℓ pairs
+down one link at once; under strict policy it must die, which is the
+mechanical form of the paper's Θ(ℓ)-round separation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knn import KNNProgram
+from repro.core.selection import SelectionProgram
+from repro.core.simple import SimpleKNNProgram
+from repro.kmachine import BandwidthExceededError, ProtocolError, Simulator
+from repro.points.generators import uniform_ints
+from repro.points.ids import keyed_array
+from repro.points.partition import shard_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+#: One protocol query message: opcode str + two (value, id) keys + header.
+STRICT_B = 512
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(44)
+    ds = uniform_ints(rng, 8 * 512)
+    shards = shard_dataset(ds, 8, rng)
+    query = np.array([float(rng.integers(0, 2**32))])
+    return ds, shards, query
+
+
+class TestStrictDiscipline:
+    def test_algorithm1_survives_strict_bandwidth(self, rng):
+        """Every selection message fits in one B-bit round."""
+        n, k, l = 1000, 8, 137
+        values = rng.uniform(0, 2**32, n)
+        ids = np.arange(1, n + 1)
+        chunks = np.array_split(rng.permutation(n), k)
+        inputs = [keyed_array(values[c], ids[c]) for c in chunks]
+        sim = Simulator(k=k, program=SelectionProgram(l), inputs=inputs, seed=1,
+                        bandwidth_bits=STRICT_B, policy="strict")
+        res = sim.run()
+        got = sorted(
+            (float(v), int(i))
+            for o in res.outputs
+            for v, i in zip(o.selected["value"], o.selected["id"])
+        )
+        assert got == sorted(zip(values.tolist(), ids.tolist()))[:l]
+
+    def test_algorithm2_burst_sampling_violates_strict(self, workload):
+        """Default (burst) sampling enqueues 12·log l samples at once;
+        strict mode rejects that — the link queue is what absorbs it."""
+        ds, shards, query = workload
+        sim = Simulator(8, KNNProgram(query, 64, safe_mode=False), shards, seed=2,
+                        bandwidth_bits=STRICT_B, policy="strict")
+        with pytest.raises((BandwidthExceededError, ProtocolError)):
+            sim.run()
+
+    def test_algorithm2_paced_sampling_survives_strict(self, workload):
+        """With pace_samples=True every link carries exactly one
+        O(log n)-bit message per round — the paper's discipline,
+        machine-checked end to end."""
+        ds, shards, query = workload
+        truth = brute_force_knn_ids(ds, query, 64)
+        sim = Simulator(
+            8,
+            KNNProgram(query, 64, safe_mode=True, pace_samples=True),
+            shards,
+            seed=2,
+            bandwidth_bits=STRICT_B,
+            policy="strict",
+        )
+        res = sim.run()
+        got = set(int(i) for o in res.outputs for i in o.ids)
+        assert got == truth
+
+    def test_paced_and_burst_same_messages(self, workload):
+        """Pacing changes round pacing only, never the message count."""
+        ds, shards, query = workload
+        runs = {}
+        for paced in (False, True):
+            sim = Simulator(
+                8,
+                KNNProgram(query, 64, safe_mode=False, pace_samples=paced),
+                shards,
+                seed=6,
+                bandwidth_bits=STRICT_B if paced else 4096,
+                policy="strict" if paced else "queue",
+            )
+            runs[paced] = sim.run().metrics.messages
+        assert runs[True] == runs[False]
+
+    def test_simple_method_violates_strict_bandwidth(self, workload):
+        """The baseline needs l pairs on one link at once: strict says no."""
+        ds, shards, query = workload
+        sim = Simulator(8, SimpleKNNProgram(query, 64), shards, seed=3,
+                        bandwidth_bits=STRICT_B, policy="strict")
+        with pytest.raises((BandwidthExceededError, ProtocolError)):
+            sim.run()
+
+    def test_queueing_equals_strict_for_algorithm1(self, rng):
+        """Where both run, queueing and strict agree on everything."""
+        n, k, l = 500, 4, 60
+        values = rng.uniform(0, 1, n)
+        ids = np.arange(1, n + 1)
+        chunks = np.array_split(rng.permutation(n), k)
+        inputs = [keyed_array(values[c], ids[c]) for c in chunks]
+        runs = {}
+        for policy in ("queue", "strict"):
+            sim = Simulator(k=k, program=SelectionProgram(l), inputs=inputs, seed=9,
+                            bandwidth_bits=STRICT_B, policy=policy)
+            res = sim.run()
+            runs[policy] = (res.metrics.rounds, res.metrics.messages)
+        assert runs["queue"] == runs["strict"]
+
+
+class TestBandwidthScaling:
+    def test_tighter_bandwidth_only_stretches_transfers(self, workload):
+        """Halving B cannot change correctness, only rounds."""
+        ds, shards, query = workload
+        truth = brute_force_knn_ids(ds, query, 64)
+        rounds = {}
+        for B in (160, 512, 4096):
+            sim = Simulator(8, KNNProgram(query, 64, safe_mode=False), shards,
+                            seed=4, bandwidth_bits=B)
+            res = sim.run()
+            got = set(int(i) for o in res.outputs for i in o.ids)
+            assert got == truth
+            rounds[B] = res.metrics.rounds
+        assert rounds[160] >= rounds[512] >= rounds[4096]
+
+    def test_simple_method_rounds_scale_inversely_with_b(self, workload):
+        ds, shards, query = workload
+        rounds = {}
+        for B in (160, 1280):
+            sim = Simulator(8, SimpleKNNProgram(query, 256), shards, seed=5,
+                            bandwidth_bits=B)
+            rounds[B] = sim.run().metrics.rounds
+        assert rounds[160] > 4 * rounds[1280]

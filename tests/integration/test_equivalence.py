@@ -1,0 +1,123 @@
+"""Integration: distributed protocols vs sequential oracles, end to end.
+
+These tests cross the whole stack — generators → partitioners →
+simulator → protocols → result assembly — and check exact agreement
+with the single-machine reference implementations under varied
+metrics, adversaries, duplicate regimes and machine counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import ALGORITHMS, distributed_knn, distributed_select
+from repro.points.dataset import make_dataset
+from repro.points.generators import (
+    concentric_shells,
+    duplicate_heavy,
+    gaussian_blobs,
+    uniform_ints,
+)
+from repro.sequential.brute import brute_force_knn, brute_force_knn_ids
+from repro.sequential.kdtree import KDTree
+from repro.sequential.selection import quickselect, smallest_l
+
+
+class TestSelectionEquivalence:
+    @pytest.mark.parametrize("k", [2, 5, 16])
+    @pytest.mark.parametrize("partitioner", ["random", "contiguous", "sorted", "skewed"])
+    def test_matches_numpy_under_all_adversaries(self, rng, k, partitioner):
+        values = rng.normal(size=700)
+        result = distributed_select(values, l=70, k=k, seed=3, partitioner=partitioner)
+        np.testing.assert_allclose(result.values, smallest_l(values, 70))
+
+    def test_matches_quickselect_boundary(self, rng):
+        values = rng.uniform(0, 1, 300)
+        result = distributed_select(values, l=45, k=8, seed=1)
+        assert result.values[-1] == pytest.approx(
+            quickselect(values.tolist(), 45, rng)
+        )
+
+    def test_paper_workload_integers(self, rng):
+        ds = uniform_ints(rng, 5000)
+        values = ds.points[:, 0]
+        result = distributed_select(values, l=123, k=16, seed=2)
+        np.testing.assert_allclose(result.values, smallest_l(values, 123))
+
+
+class TestKnnEquivalence:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize(
+        "generator", [gaussian_blobs, duplicate_heavy],
+        ids=["blobs", "duplicates"],
+    )
+    def test_every_algorithm_every_workload(self, rng, algorithm, generator):
+        if generator is duplicate_heavy:
+            ds = generator(rng, 800, n_distinct=6, dim=3)
+        else:
+            ds = generator(rng, 800, 3)
+        q = rng.uniform(0, 1, 3)
+        result = distributed_knn(ds, q, l=33, k=8, seed=4, algorithm=algorithm)
+        assert set(int(i) for i in result.ids) == brute_force_knn_ids(ds, q, 33)
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+    def test_metric_plumbed_through(self, rng, metric):
+        ds = gaussian_blobs(rng, 600, 4)
+        q = rng.uniform(0, 1, 4)
+        result = distributed_knn(ds, q, l=21, k=4, seed=5, metric=metric)
+        b_ids, b_dists = brute_force_knn(ds, q, 21, metric=metric)
+        np.testing.assert_array_equal(result.ids, b_ids)
+        np.testing.assert_allclose(result.distances, b_dists)
+
+    def test_agrees_with_kdtree(self, rng):
+        ds = gaussian_blobs(rng, 1000, 3)
+        q = rng.uniform(0, 1, 3)
+        tree = KDTree.from_dataset(ds)
+        result = distributed_knn(ds, q, l=17, k=8, seed=6)
+        t_ids, t_dists = tree.query(q, 17)
+        np.testing.assert_array_equal(result.ids, t_ids)
+        np.testing.assert_allclose(result.distances, t_dists)
+
+    def test_shell_workload_regression_shape(self, rng):
+        """Neighbors of the center must come from the innermost shell."""
+        ds = concentric_shells(rng, 900, 3, n_shells=3)
+        result = distributed_knn(ds, np.zeros(3), l=25, k=8, seed=7)
+        assert result.labels is not None
+        assert (result.labels == 1.0).all()
+
+    def test_many_seeds_no_flakiness(self, rng):
+        """safe_mode=True must be exact on every seed, not just w.h.p."""
+        ds = gaussian_blobs(rng, 500, 2)
+        q = rng.uniform(0, 1, 2)
+        truth = brute_force_knn_ids(ds, q, 40)
+        for seed in range(15):
+            result = distributed_knn(ds, q, l=40, k=8, seed=seed, safe_mode=True)
+            assert set(int(i) for i in result.ids) == truth
+
+    def test_high_dimensional_points(self, rng):
+        ds = make_dataset(rng.normal(size=(400, 64)), seed=1)
+        q = rng.normal(size=64)
+        result = distributed_knn(ds, q, l=9, k=4, seed=8)
+        assert set(int(i) for i in result.ids) == brute_force_knn_ids(ds, q, 9)
+
+
+class TestCommunicationFrugality:
+    def test_high_dim_points_never_cross_the_wire(self, rng):
+        """The paper's §2 point: only IDs and distances travel, so the
+        protocol's total traffic must be tiny compared to the raw data."""
+        d = 256
+        ds = make_dataset(rng.normal(size=(2000, d)), seed=2)
+        q = rng.normal(size=d)
+        result = distributed_knn(ds, q, l=10, k=8, seed=9)
+        raw_bits = 2000 * d * 64
+        assert result.metrics.bits < raw_bits / 50
+
+    def test_traffic_independent_of_dimension(self, rng):
+        bits = {}
+        for d in [2, 128]:
+            ds = make_dataset(rng.normal(size=(1000, d)), seed=3)
+            q = np.zeros(d)
+            result = distributed_knn(ds, q, l=12, k=4, seed=10)
+            bits[d] = result.metrics.bits
+        assert bits[128] < bits[2] * 3  # same order of magnitude

@@ -1,0 +1,142 @@
+"""Unit tests for broadcast/gather/reduce/barrier/scatter collectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kmachine import (
+    FunctionProgram,
+    all_gather,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    run_program,
+    scatter,
+)
+
+
+def run(fn, k=4, **kwargs):
+    return run_program(FunctionProgram(fn), k=k, **kwargs)
+
+
+class TestBroadcast:
+    def test_everyone_gets_root_payload(self):
+        def prog(ctx):
+            value = yield from broadcast(ctx, 1, "b", ctx.rank * 100)
+            return value
+
+        result = run(prog)
+        assert result.outputs == [100] * 4
+
+    def test_costs_k_minus_1_messages_one_round(self):
+        def prog(ctx):
+            yield from broadcast(ctx, 0, "b", "x")
+            return None
+
+        result = run(prog)
+        assert result.metrics.messages == 3
+        assert result.metrics.rounds == 1
+
+
+class TestGather:
+    def test_root_gets_rank_indexed_values(self):
+        def prog(ctx):
+            values = yield from gather(ctx, 2, "g", ctx.rank * 10)
+            return values
+
+        result = run(prog)
+        assert result.outputs[2] == [0, 10, 20, 30]
+        assert result.outputs[0] is None
+
+    def test_message_count(self):
+        def prog(ctx):
+            yield from gather(ctx, 0, "g", 1)
+            return None
+
+        result = run(prog)
+        assert result.metrics.messages == 3
+
+
+class TestAllGather:
+    def test_everyone_gets_all_values(self):
+        def prog(ctx):
+            values = yield from all_gather(ctx, "ag", ctx.rank + 1)
+            return values
+
+        result = run(prog)
+        assert result.outputs == [[1, 2, 3, 4]] * 4
+
+
+class TestReduce:
+    def test_sum_reduction(self):
+        def prog(ctx):
+            total = yield from reduce(ctx, 0, "r", ctx.rank + 1, lambda a, b: a + b)
+            return total
+
+        result = run(prog)
+        assert result.outputs[0] == 10
+        assert result.outputs[1] is None
+
+    def test_noncommutative_op_is_rank_ordered(self):
+        def prog(ctx):
+            out = yield from reduce(ctx, 0, "r", str(ctx.rank), lambda a, b: a + b)
+            return out
+
+        result = run(prog)
+        assert result.outputs[0] == "0123"
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        def prog(ctx):
+            # Rank 0 would race ahead without the barrier.
+            if ctx.rank != 0:
+                for _ in range(3):
+                    yield  # simulate slow machines
+            yield from barrier(ctx, "sync")
+            return ctx.round
+
+        result = run(prog)
+        # After the barrier everyone is within one round of each other
+        # (the release broadcast lands on all at once).
+        assert max(result.outputs) - min(result.outputs) == 0
+
+
+class TestScatter:
+    def test_each_machine_gets_its_slice(self):
+        def prog(ctx):
+            value = yield from scatter(
+                ctx, 0, "s", [f"part{i}" for i in range(ctx.k)] if ctx.rank == 0 else None
+            )
+            return value
+
+        result = run(prog)
+        assert result.outputs == ["part0", "part1", "part2", "part3"]
+
+    def test_scatter_requires_k_values_at_root(self):
+        def prog(ctx):
+            yield from scatter(ctx, 0, "s", [1] if ctx.rank == 0 else None)
+
+        with pytest.raises(Exception, match="k=4"):
+            run(prog)
+
+
+class TestComposition:
+    def test_sequential_collectives_do_not_cross_talk(self):
+        def prog(ctx):
+            first = yield from all_gather(ctx, "one", ctx.rank)
+            second = yield from all_gather(ctx, "two", ctx.rank * 2)
+            return (first, second)
+
+        result = run(prog, k=3)
+        assert result.outputs[0] == ([0, 1, 2], [0, 2, 4])
+
+    def test_k1_degenerate(self):
+        def prog(ctx):
+            v = yield from broadcast(ctx, 0, "b", 5)
+            g = yield from gather(ctx, 0, "g", 7)
+            return (v, g)
+
+        result = run(prog, k=1)
+        assert result.outputs == [(5, [7])]

@@ -1,0 +1,174 @@
+"""Unit tests for MachineContext and the Program abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmachine.errors import AddressError, ProtocolError
+from repro.kmachine.machine import FunctionProgram, MachineContext, Program
+from repro.kmachine.message import Message
+
+
+def ctx_pair(k=3):
+    rngs = [np.random.default_rng(i) for i in range(k)]
+    return [MachineContext(rank=i, k=k, rng=rngs[i]) for i in range(k)]
+
+
+def incoming(dst_ctx, src, tag, payload=None):
+    dst_ctx.deliver(
+        [Message(src=src, dst=dst_ctx.rank, tag=tag, payload=payload, bits=64)]
+    )
+
+
+class TestSending:
+    def test_send_queues_message_with_size(self):
+        ctx = ctx_pair()[0]
+        ctx.send(1, "x", 1.5)
+        [msg] = ctx.drain_outbox()
+        assert (msg.src, msg.dst, msg.tag, msg.payload) == (0, 1, "x", 1.5)
+        assert msg.bits == 64 + 16  # one word + header
+
+    def test_self_send_is_protocol_error(self):
+        ctx = ctx_pair()[0]
+        with pytest.raises(ProtocolError):
+            ctx.send(0, "x")
+
+    def test_out_of_range_destination(self):
+        ctx = ctx_pair()[0]
+        with pytest.raises(AddressError):
+            ctx.send(7, "x")
+
+    def test_broadcast_hits_everyone_else(self):
+        ctx = ctx_pair(k=5)[2]
+        ctx.broadcast("b", 9)
+        msgs = ctx.drain_outbox()
+        assert sorted(m.dst for m in msgs) == [0, 1, 3, 4]
+        assert all(m.payload == 9 for m in msgs)
+
+    def test_send_to_many(self):
+        ctx = ctx_pair(k=5)[0]
+        ctx.send_to_many([1, 3], "m", "hi")
+        assert sorted(m.dst for m in ctx.drain_outbox()) == [1, 3]
+
+    def test_sent_counters(self):
+        ctx = ctx_pair()[0]
+        ctx.send(1, "x", 1)
+        ctx.send(2, "x", 2)
+        assert ctx.sent_messages == 2
+        assert ctx.sent_bits == 2 * 80
+
+    def test_drain_outbox_empties(self):
+        ctx = ctx_pair()[0]
+        ctx.send(1, "x")
+        ctx.drain_outbox()
+        assert ctx.drain_outbox() == []
+
+
+class TestReceiving:
+    def test_take_filters_by_tag(self):
+        ctx = ctx_pair()[0]
+        incoming(ctx, 1, "a", 1)
+        incoming(ctx, 2, "b", 2)
+        got = ctx.take("a")
+        assert [m.payload for m in got] == [1]
+        assert ctx.pending_count() == 1  # "b" still buffered
+
+    def test_take_filters_by_src(self):
+        ctx = ctx_pair()[0]
+        incoming(ctx, 1, "a", 1)
+        incoming(ctx, 2, "a", 2)
+        got = ctx.take("a", src=2)
+        assert [m.payload for m in got] == [2]
+
+    def test_take_none_matches_everything(self):
+        ctx = ctx_pair()[0]
+        incoming(ctx, 1, "a")
+        incoming(ctx, 2, "b")
+        assert len(ctx.take()) == 2
+
+    def test_peek_does_not_consume(self):
+        ctx = ctx_pair()[0]
+        incoming(ctx, 1, "a")
+        assert len(ctx.peek_pending()) == 1
+        assert len(ctx.peek_pending()) == 1
+
+    def test_recv_generator_waits_for_count(self):
+        ctx = ctx_pair()[0]
+        gen = ctx.recv("r", 2)
+        next(gen)  # not enough yet -> yields
+        incoming(ctx, 1, "r", "first")
+        next(gen)
+        incoming(ctx, 2, "r", "second")
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert sorted(m.payload for m in stop.value.value) == ["first", "second"]
+
+    def test_recv_returns_immediately_if_buffered(self):
+        ctx = ctx_pair()[0]
+        incoming(ctx, 1, "r", 1)
+        gen = ctx.recv("r", 1)
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value[0].payload == 1
+
+    def test_recv_overflow_is_protocol_error(self):
+        ctx = ctx_pair()[0]
+        incoming(ctx, 1, "r", 1)
+        incoming(ctx, 2, "r", 2)
+        gen = ctx.recv("r", 1)
+        with pytest.raises(ProtocolError):
+            next(gen)
+
+    def test_recv_max_rounds_guard(self):
+        ctx = ctx_pair()[0]
+        gen = ctx.recv("r", 1, max_rounds=2)
+        next(gen)
+        next(gen)
+        with pytest.raises(ProtocolError):
+            next(gen)
+
+    def test_recv_one_returns_single_message(self):
+        ctx = ctx_pair()[0]
+        incoming(ctx, 2, "r", "only")
+        gen = ctx.recv_one("r")
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value.payload == "only"
+
+
+class TestContextValidation:
+    def test_rank_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            MachineContext(rank=3, k=3, rng=np.random.default_rng())
+
+    def test_default_machine_id(self):
+        ctx = MachineContext(rank=2, k=4, rng=np.random.default_rng())
+        assert ctx.machine_id == 3
+
+
+class TestProgram:
+    def test_run_must_be_generator(self):
+        class Bad(Program):
+            def run(self, ctx):
+                return 42
+
+        with pytest.raises(ProtocolError, match="generator"):
+            Bad().instantiate(ctx_pair()[0])
+
+    def test_function_program_wraps_and_names(self):
+        def my_proto(ctx):
+            yield
+
+        prog = FunctionProgram(my_proto)
+        assert prog.name == "my_proto"
+        gen = prog.instantiate(ctx_pair()[0])
+        next(gen)
+
+    def test_function_program_custom_name(self):
+        prog = FunctionProgram(lambda ctx: iter(()), name="custom")
+        assert prog.name == "custom"
+
+    def test_base_program_run_raises(self):
+        with pytest.raises(NotImplementedError):
+            Program().run(ctx_pair()[0])

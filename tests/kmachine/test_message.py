@@ -1,0 +1,33 @@
+"""Unit tests for the Message envelope."""
+
+from __future__ import annotations
+
+from repro.kmachine.message import Message
+
+
+class TestMessage:
+    def test_fields(self):
+        msg = Message(src=0, dst=1, tag="x", payload=(1, 2), bits=144, sent_round=3)
+        assert (msg.src, msg.dst, msg.tag, msg.payload, msg.bits) == (
+            0, 1, "x", (1, 2), 144
+        )
+        assert msg.sent_round == 3
+
+    def test_immutable(self):
+        msg = Message(src=0, dst=1, tag="x", payload=None, bits=1)
+        try:
+            msg.bits = 99
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
+
+    def test_equality_ignores_sent_round(self):
+        a = Message(src=0, dst=1, tag="x", payload=5, bits=80, sent_round=1)
+        b = Message(src=0, dst=1, tag="x", payload=5, bits=80, sent_round=9)
+        assert a == b
+
+    def test_repr_mentions_route_and_tag(self):
+        msg = Message(src=2, dst=5, tag="pivot", payload=1.5, bits=80)
+        text = repr(msg)
+        assert "2->5" in text and "pivot" in text

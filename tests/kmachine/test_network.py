@@ -1,0 +1,159 @@
+"""Unit tests for the bandwidth-constrained network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kmachine.errors import BandwidthExceededError
+from repro.kmachine.message import Message
+from repro.kmachine.network import Network
+
+
+def msg(src=0, dst=1, tag="t", payload=None, bits=64):
+    return Message(src=src, dst=dst, tag=tag, payload=payload, bits=bits)
+
+
+class TestDelivery:
+    def test_single_message_delivered_next_step(self):
+        net = Network(k=2, bandwidth_bits=128)
+        net.submit(msg(bits=64))
+        out = net.step()
+        assert len(out[1]) == 1
+        assert out[1][0].tag == "t"
+
+    def test_delivery_order_fifo_per_link(self):
+        net = Network(k=2, bandwidth_bits=1024)
+        for i in range(5):
+            net.submit(msg(payload=i, bits=64))
+        out = net.step()
+        assert [m.payload for m in out[1]] == [0, 1, 2, 3, 4]
+
+    def test_cross_link_order_by_source_rank(self):
+        net = Network(k=3, bandwidth_bits=1024)
+        net.submit(msg(src=2, dst=0, payload="late"))
+        net.submit(msg(src=1, dst=0, payload="early"))
+        out = net.step()
+        assert [m.payload for m in out[0]] == ["early", "late"]
+
+    def test_no_messages_no_deliveries(self):
+        net = Network(k=2, bandwidth_bits=64)
+        assert net.step() == {}
+
+
+class TestBandwidthQueueing:
+    def test_excess_traffic_queues_across_rounds(self):
+        net = Network(k=2, bandwidth_bits=64)
+        for i in range(3):
+            net.submit(msg(payload=i, bits=64))
+        assert len(net.step().get(1, [])) == 1
+        assert len(net.step().get(1, [])) == 1
+        assert len(net.step().get(1, [])) == 1
+        assert net.step() == {}
+
+    def test_large_message_takes_multiple_rounds(self):
+        net = Network(k=2, bandwidth_bits=64)
+        net.submit(msg(bits=200))
+        assert net.step() == {}  # 64 of 200 bits sent
+        assert net.step() == {}  # 128
+        assert net.step() == {}  # 192
+        out = net.step()         # 200 complete
+        assert len(out[1]) == 1
+
+    def test_small_messages_pack_into_one_round(self):
+        net = Network(k=2, bandwidth_bits=256)
+        for i in range(4):
+            net.submit(msg(payload=i, bits=64))
+        assert len(net.step()[1]) == 4
+
+    def test_links_drain_in_parallel(self):
+        net = Network(k=3, bandwidth_bits=64)
+        net.submit(msg(src=0, dst=2, bits=64))
+        net.submit(msg(src=1, dst=2, bits=64))
+        out = net.step()
+        assert len(out[2]) == 2  # distinct links: both deliver
+
+    def test_in_flight_and_queued_bits(self):
+        net = Network(k=2, bandwidth_bits=64)
+        net.submit(msg(bits=100))
+        assert net.in_flight() == 1
+        assert net.queued_bits() == 100
+        net.step()
+        assert net.queued_bits() == 36
+
+
+class TestStrictPolicy:
+    def test_strict_rejects_over_budget_round(self):
+        net = Network(k=2, bandwidth_bits=100, policy="strict")
+        net.submit(msg(bits=60))
+        with pytest.raises(BandwidthExceededError):
+            net.submit(msg(bits=60))
+
+    def test_strict_budget_resets_each_round(self):
+        net = Network(k=2, bandwidth_bits=100, policy="strict")
+        net.submit(msg(bits=80))
+        net.step()
+        net.submit(msg(bits=80))  # new round: fine
+
+    def test_strict_budget_is_per_link(self):
+        net = Network(k=3, bandwidth_bits=100, policy="strict")
+        net.submit(msg(src=0, dst=1, bits=80))
+        net.submit(msg(src=0, dst=2, bits=80))  # different link
+
+
+class TestUnboundedPolicy:
+    def test_none_bandwidth_is_unbounded(self):
+        net = Network(k=2, bandwidth_bits=None)
+        assert net.policy == "unbounded"
+        for i in range(100):
+            net.submit(msg(payload=i, bits=10**9))
+        assert len(net.step()[1]) == 100
+
+
+class TestStatsAndValidation:
+    def test_totals_accumulate(self):
+        net = Network(k=2, bandwidth_bits=64)
+        net.submit(msg(bits=64))
+        net.submit(msg(bits=64))
+        assert net.total_messages == 2
+        assert net.total_bits == 128
+
+    def test_link_stats_track_queue_high_water(self):
+        net = Network(k=2, bandwidth_bits=64)
+        for _ in range(5):
+            net.submit(msg(bits=64))
+        assert net.link_stats[(0, 1)].max_queue_messages == 5
+
+    def test_busiest_links(self):
+        net = Network(k=3, bandwidth_bits=None)
+        net.submit(msg(src=0, dst=1, bits=100))
+        net.submit(msg(src=0, dst=2, bits=10))
+        (top_key, top_stats), *_ = net.busiest_links(top=1)
+        assert top_key == (0, 1)
+        assert top_stats.bits == 100
+
+    def test_drop_all_clears_queues(self):
+        net = Network(k=2, bandwidth_bits=64)
+        net.submit(msg())
+        dropped = list(net.drop_all())
+        assert len(dropped) == 1
+        assert net.in_flight() == 0
+
+    def test_last_step_max_link_bits(self):
+        net = Network(k=3, bandwidth_bits=None)
+        net.submit(msg(src=0, dst=1, bits=100))
+        net.submit(msg(src=2, dst=1, bits=30))
+        net.step()
+        assert net.last_step_max_link_bits == 100
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_nonpositive_bandwidth(self, bad):
+        with pytest.raises(ValueError):
+            Network(k=2, bandwidth_bits=bad)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            Network(k=2, bandwidth_bits=64, policy="nope")
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            Network(k=0)

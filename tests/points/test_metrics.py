@@ -1,0 +1,154 @@
+"""Unit tests for distance metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.points.metrics import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    HammingMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    SquaredEuclideanMetric,
+    get_metric,
+)
+
+ALL_METRICS = [
+    EuclideanMetric(),
+    SquaredEuclideanMetric(),
+    ManhattanMetric(),
+    ChebyshevMetric(),
+    MinkowskiMetric(3),
+    HammingMetric(),
+]
+
+
+class TestKnownValues:
+    def test_euclidean_345(self):
+        pts = np.array([[3.0, 4.0]])
+        assert EuclideanMetric().distances(pts, np.zeros(2))[0] == pytest.approx(5.0)
+
+    def test_squared_euclidean(self):
+        pts = np.array([[3.0, 4.0]])
+        assert SquaredEuclideanMetric().distances(pts, np.zeros(2))[0] == pytest.approx(25.0)
+
+    def test_manhattan(self):
+        pts = np.array([[1.0, -2.0, 3.0]])
+        assert ManhattanMetric().distances(pts, np.zeros(3))[0] == pytest.approx(6.0)
+
+    def test_chebyshev(self):
+        pts = np.array([[1.0, -7.0, 3.0]])
+        assert ChebyshevMetric().distances(pts, np.zeros(3))[0] == pytest.approx(7.0)
+
+    def test_minkowski_p2_equals_euclidean(self, rng):
+        pts = rng.normal(size=(50, 4))
+        q = rng.normal(size=4)
+        np.testing.assert_allclose(
+            MinkowskiMetric(2).distances(pts, q), EuclideanMetric().distances(pts, q)
+        )
+
+    def test_minkowski_p1_equals_manhattan(self, rng):
+        pts = rng.normal(size=(50, 4))
+        q = rng.normal(size=4)
+        np.testing.assert_allclose(
+            MinkowskiMetric(1).distances(pts, q), ManhattanMetric().distances(pts, q)
+        )
+
+    def test_hamming_counts_mismatches(self):
+        pts = np.array([[1.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+        q = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(HammingMetric().distances(pts, q), [1.0, 3.0])
+
+
+class TestMetricProperties:
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    def test_identity(self, metric, rng):
+        pts = rng.normal(size=(10, 3))
+        dists = metric.distances(pts, pts[4])
+        assert dists[4] == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    def test_non_negativity(self, metric, rng):
+        pts = rng.normal(size=(100, 5))
+        assert (metric.distances(pts, rng.normal(size=5)) >= 0).all()
+
+    @pytest.mark.parametrize(
+        "metric", [m for m in ALL_METRICS if m.name != "sqeuclidean"],
+        ids=lambda m: m.name,
+    )
+    def test_symmetry(self, metric, rng):
+        a, b = rng.normal(size=(2, 6))
+        d_ab = metric.distances(a[None, :], b)[0]
+        d_ba = metric.distances(b[None, :], a)[0]
+        assert d_ab == pytest.approx(d_ba)
+
+    @pytest.mark.parametrize(
+        "metric",
+        [EuclideanMetric(), ManhattanMetric(), ChebyshevMetric(), MinkowskiMetric(3)],
+        ids=lambda m: m.name,
+    )
+    def test_triangle_inequality(self, metric, rng):
+        pts = rng.normal(size=(30, 4))
+        a, b, c = pts[0], pts[1], pts[2]
+        ab = metric.distances(a[None], b)[0]
+        bc = metric.distances(b[None], c)[0]
+        ac = metric.distances(a[None], c)[0]
+        assert ac <= ab + bc + 1e-9
+
+    def test_sqeuclidean_is_order_equivalent(self, rng):
+        pts = rng.normal(size=(50, 3))
+        q = rng.normal(size=3)
+        order_a = np.argsort(EuclideanMetric().distances(pts, q))
+        order_b = np.argsort(SquaredEuclideanMetric().distances(pts, q))
+        np.testing.assert_array_equal(order_a, order_b)
+
+
+class TestInputHandling:
+    def test_1d_points_treated_as_column(self):
+        d = EuclideanMetric().distances(np.array([1.0, 4.0]), np.array([0.0]))
+        np.testing.assert_allclose(d, [1.0, 4.0])
+
+    def test_scalar_query_for_1d(self):
+        d = EuclideanMetric().distances(np.array([3.0]), np.array(1.0))
+        assert d[0] == pytest.approx(2.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="query"):
+            EuclideanMetric().distances(np.ones((3, 2)), np.ones(5))
+
+    def test_3d_points_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric().distances(np.ones((2, 2, 2)), np.ones(2))
+
+    def test_pairwise_matrix(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(5, 3))
+        mat = EuclideanMetric().pairwise(a, b)
+        assert mat.shape == (4, 5)
+        assert mat[1, 2] == pytest.approx(np.linalg.norm(a[1] - b[2]))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["euclidean", "sqeuclidean", "manhattan", "chebyshev", "hamming"]
+    )
+    def test_lookup_by_name(self, name):
+        assert get_metric(name).name == name
+
+    def test_minkowski_with_p(self):
+        assert get_metric("minkowski", p=4).p == 4.0
+
+    def test_instance_passthrough(self):
+        m = EuclideanMetric()
+        assert get_metric(m) is m
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("cosine")
+
+    def test_minkowski_requires_p_geq_1(self):
+        with pytest.raises(ValueError):
+            MinkowskiMetric(0.5)

@@ -1,0 +1,103 @@
+"""Property-based tests for the extension modules.
+
+Covers the distributed k-d tree partition (conservation + box
+containment under arbitrary point clouds), the batch driver (every
+answer equals the oracle), and the moving-query monitor (exactness
+along arbitrary trajectories).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import distributed_knn_batch
+from repro.core.kdtree_knn import build_partition, query_partition
+from repro.core.monitor import MovingKNNMonitor
+from repro.points.dataset import make_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def point_clouds(draw, min_points=4, max_points=40, max_dim=3):
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    if draw(st.booleans()):
+        sites = [[draw(coords) for _ in range(dim)]
+                 for _ in range(draw(st.integers(1, 4)))]
+        rows = [sites[draw(st.integers(0, len(sites) - 1))] for _ in range(n)]
+    else:
+        rows = [[draw(coords) for _ in range(dim)] for _ in range(n)]
+    return np.array(rows, dtype=np.float64), dim
+
+
+class TestKDTreePartitionProperties:
+    @given(point_clouds(), st.sampled_from([1, 2, 4, 8]), st.integers(0, 2**16))
+    @settings(max_examples=20)
+    def test_conservation_and_containment(self, cloud, k, seed):
+        points, dim = cloud
+        ds = make_dataset(points, seed=seed)
+        rng = np.random.default_rng(seed)
+        from repro.points.partition import shard_dataset
+
+        shards = shard_dataset(ds, k, rng)
+        inputs, _ = build_partition(shards, dim=dim, seed=seed)
+        all_ids = np.sort(np.concatenate([s.ids for s, _, _ in inputs]))
+        np.testing.assert_array_equal(all_ids, np.sort(ds.ids))
+        for shard, lo, hi in inputs:
+            if len(shard):
+                assert np.all(shard.points >= np.asarray(lo) - 1e-9)
+                assert np.all(shard.points <= np.asarray(hi) + 1e-9)
+
+    @given(point_clouds(min_points=6), st.sampled_from([2, 4]),
+           st.integers(1, 6), st.integers(0, 2**16))
+    @settings(max_examples=20)
+    def test_queries_exact_over_any_partition(self, cloud, k, l, seed):
+        points, dim = cloud
+        l = min(l, len(points))
+        ds = make_dataset(points, seed=seed)
+        rng = np.random.default_rng(seed)
+        from repro.points.partition import shard_dataset
+
+        shards = shard_dataset(ds, k, rng)
+        inputs, _ = build_partition(shards, dim=dim, seed=seed)
+        q = points[0] + 0.1
+        ids, _ = query_partition(inputs, q, l, seed=seed)
+        assert ids == sorted(brute_force_knn_ids(ds, q, l))
+
+
+class TestBatchProperties:
+    @given(point_clouds(min_points=5), st.integers(1, 4), st.integers(1, 4),
+           st.integers(0, 2**16))
+    @settings(max_examples=20)
+    def test_batch_answers_equal_oracle(self, cloud, n_queries, k, seed):
+        points, dim = cloud
+        ds = make_dataset(points, seed=seed)
+        rng = np.random.default_rng(seed)
+        queries = rng.uniform(points.min() - 1, points.max() + 1, (n_queries, dim))
+        l = min(3, len(points))
+        result = distributed_knn_batch(ds, queries, l=l, k=k, seed=seed)
+        for q, ans in zip(queries, result.answers):
+            assert set(int(i) for i in ans.ids) == brute_force_knn_ids(ds, q, l)
+
+
+class TestMonitorProperties:
+    @given(
+        st.lists(
+            st.tuples(coords, coords), min_size=3, max_size=8
+        ),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=15)
+    def test_exact_along_arbitrary_trajectories(self, waypoints, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-50, 50, (200, 2))
+        ds = make_dataset(points, seed=seed)
+        monitor = MovingKNNMonitor(ds, l=5, k=4, seed=seed)
+        for wx, wy in waypoints:
+            q = np.array([wx, wy])
+            result = monitor.refresh(q)
+            assert set(int(i) for i in result.ids) == brute_force_knn_ids(ds, q, 5)

@@ -1,0 +1,74 @@
+"""Property-based tests: distributed ℓ-NN == brute force, always.
+
+Hypothesis drives point clouds (dimension, duplicates, scale), the
+query position, ℓ, k, the protocol variant, and the partitioning —
+checking the end-to-end answer set against the oracle every time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.driver import distributed_knn
+from repro.points.dataset import make_dataset
+from repro.sequential.brute import brute_force_knn_ids
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def knn_instances(draw):
+    dim = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=50))
+    # Duplicate pressure: draw from a small site pool sometimes.
+    if draw(st.booleans()):
+        n_sites = draw(st.integers(min_value=1, max_value=5))
+        sites = [[draw(coords) for _ in range(dim)] for _ in range(n_sites)]
+        rows = [sites[draw(st.integers(0, n_sites - 1))] for _ in range(n)]
+    else:
+        rows = [[draw(coords) for _ in range(dim)] for _ in range(n)]
+    query = [draw(coords) for _ in range(dim)]
+    l = draw(st.integers(min_value=1, max_value=n))
+    k = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    algorithm = draw(
+        st.sampled_from(["sampled", "unpruned", "simple", "saukas_song",
+                         "binary_search"])
+    )
+    return np.array(rows), np.array(query), l, k, seed, algorithm
+
+
+class TestKnnProperties:
+    @given(knn_instances())
+    def test_answer_set_matches_oracle(self, instance):
+        points, query, l, k, seed, algorithm = instance
+        ds = make_dataset(points, seed=seed)
+        knobs = {"safe_mode": True} if algorithm in ("sampled", "unpruned") else {}
+        result = distributed_knn(ds, query, l=l, k=k, seed=seed,
+                                 algorithm=algorithm, **knobs)
+        assert set(int(i) for i in result.ids) == brute_force_knn_ids(ds, query, l)
+
+    @given(knn_instances())
+    def test_distances_sorted_and_consistent(self, instance):
+        points, query, l, k, seed, algorithm = instance
+        ds = make_dataset(points, seed=seed)
+        knobs = {"safe_mode": True} if algorithm in ("sampled", "unpruned") else {}
+        result = distributed_knn(ds, query, l=l, k=k, seed=seed,
+                                 algorithm=algorithm, **knobs)
+        assert (np.diff(result.distances) >= 0).all()
+        recomputed = np.linalg.norm(result.points - query, axis=1)
+        np.testing.assert_allclose(recomputed, result.distances, atol=1e-9)
+
+    @given(knn_instances())
+    def test_boundary_dominates_answers(self, instance):
+        """Every returned key is <= the boundary; the boundary equals
+        the largest returned key."""
+        points, query, l, k, seed, algorithm = instance
+        ds = make_dataset(points, seed=seed)
+        knobs = {"safe_mode": True} if algorithm in ("sampled", "unpruned") else {}
+        result = distributed_knn(ds, query, l=l, k=k, seed=seed,
+                                 algorithm=algorithm, **knobs)
+        last = (float(result.distances[-1]), int(result.ids[-1]))
+        assert last <= result.boundary.as_tuple()

@@ -1,0 +1,100 @@
+"""Property-based tests: distributed selection == sorted prefix, always.
+
+Hypothesis drives value distributions (including heavy duplicates,
+negatives, extreme magnitudes), arbitrary machine counts, ℓ at every
+boundary, and the placement of values onto machines — the full
+adversary space the k-machine model allows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_search import BinarySearchSelectionProgram
+from repro.core.saukas_song import SaukasSongSelectionProgram
+from repro.core.selection import SelectionProgram
+from repro.kmachine import Simulator
+from repro.points.ids import keyed_array
+
+finite_floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+# Values with deliberate tie pressure: small integer pool or floats.
+value_lists = st.one_of(
+    st.lists(st.integers(min_value=0, max_value=9).map(float), min_size=1, max_size=60),
+    st.lists(finite_floats, min_size=1, max_size=60),
+)
+
+
+@st.composite
+def selection_instances(draw):
+    values = draw(value_lists)
+    n = len(values)
+    k = draw(st.integers(min_value=1, max_value=min(8, n + 2)))
+    l = draw(st.integers(min_value=0, max_value=n))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    # Adversarial placement: hypothesis picks each value's machine.
+    owners = draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n))
+    return values, k, l, seed, owners
+
+
+def run_instance(program_cls, values, k, l, seed, owners):
+    values_arr = np.asarray(values)
+    ids = np.arange(1, len(values) + 1)
+    inputs = []
+    for machine in range(k):
+        mask = np.asarray(owners) == machine
+        inputs.append(keyed_array(values_arr[mask], ids[mask]))
+    sim = Simulator(k=k, program=program_cls(l), inputs=inputs, seed=seed,
+                    bandwidth_bits=512)
+    result = sim.run()
+    got = sorted(
+        (float(v), int(i))
+        for out in result.outputs
+        for v, i in zip(out.selected["value"], out.selected["id"])
+    )
+    expected = sorted(zip([float(v) for v in values], ids.tolist()))[:l]
+    return got, expected, result
+
+
+class TestAlgorithm1Properties:
+    @given(selection_instances())
+    def test_selected_is_exactly_sorted_prefix(self, instance):
+        got, expected, _ = run_instance(SelectionProgram, *instance)
+        assert got == expected
+
+    @given(selection_instances())
+    def test_boundary_identical_on_all_machines(self, instance):
+        _, _, result = run_instance(SelectionProgram, *instance)
+        assert len({out.boundary for out in result.outputs}) == 1
+
+    @given(selection_instances())
+    def test_messages_stay_linear_in_k_per_iteration(self, instance):
+        values, k, l, seed, owners = instance
+        _, _, result = run_instance(SelectionProgram, *instance)
+        stats = next(o.stats for o in result.outputs if o.is_leader)
+        # init (2(k-1)) + per-iteration <= 2k + finished (k-1)
+        budget = 2 * (k - 1) + stats.iterations * 2 * k + (k - 1)
+        assert result.metrics.messages <= budget
+
+
+class TestComparatorProperties:
+    @given(selection_instances())
+    def test_saukas_song_matches_prefix(self, instance):
+        got, expected, _ = run_instance(SaukasSongSelectionProgram, *instance)
+        assert got == expected
+
+    @given(selection_instances())
+    def test_binary_search_matches_prefix(self, instance):
+        got, expected, _ = run_instance(BinarySearchSelectionProgram, *instance)
+        assert got == expected
+
+    @given(selection_instances())
+    def test_all_three_agree_with_each_other(self, instance):
+        a, _, _ = run_instance(SelectionProgram, *instance)
+        b, _, _ = run_instance(SaukasSongSelectionProgram, *instance)
+        c, _, _ = run_instance(BinarySearchSelectionProgram, *instance)
+        assert a == b == c

@@ -1,0 +1,133 @@
+"""Property-based tests on the substrates: network, k-d tree, quantizer,
+sequential selection, sizing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kmachine.message import Message
+from repro.kmachine.network import Network
+from repro.points.scaling import quantization_error_bound, quantize
+from repro.sequential.kdtree import KDTree
+from repro.sequential.selection import heap_select, median_of_medians_select, quickselect
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestNetworkConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),  # src
+                st.integers(0, 3),  # dst
+                st.integers(1, 400),  # bits
+            ).filter(lambda t: t[0] != t[1]),
+            max_size=40,
+        ),
+        st.integers(min_value=8, max_value=512),
+    )
+    def test_everything_submitted_is_eventually_delivered(self, sends, bandwidth):
+        net = Network(k=4, bandwidth_bits=bandwidth)
+        for i, (src, dst, bits) in enumerate(sends):
+            net.submit(Message(src=src, dst=dst, tag="t", payload=i, bits=bits))
+        delivered = []
+        for _ in range(10000):
+            step = net.step()
+            for msgs in step.values():
+                delivered.extend(msgs)
+            if net.in_flight() == 0:
+                break
+        assert len(delivered) == len(sends)
+        assert net.in_flight() == 0
+
+    @given(
+        st.lists(st.integers(1, 200), min_size=1, max_size=20),
+        st.integers(min_value=8, max_value=256),
+    )
+    def test_per_link_fifo_order(self, sizes, bandwidth):
+        net = Network(k=2, bandwidth_bits=bandwidth)
+        for i, bits in enumerate(sizes):
+            net.submit(Message(src=0, dst=1, tag="t", payload=i, bits=bits))
+        seen = []
+        while net.in_flight():
+            for msgs in net.step().values():
+                seen.extend(m.payload for m in msgs)
+        assert seen == list(range(len(sizes)))
+
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=15),
+        st.integers(min_value=10, max_value=100),
+    )
+    def test_rounds_needed_at_least_total_bits_over_bandwidth(self, sizes, bandwidth):
+        net = Network(k=2, bandwidth_bits=bandwidth)
+        for bits in sizes:
+            net.submit(Message(src=0, dst=1, tag="t", payload=0, bits=bits))
+        rounds = 0
+        while net.in_flight():
+            net.step()
+            rounds += 1
+        assert rounds >= int(np.ceil(sum(sizes) / bandwidth))
+
+
+class TestKDTreeProperties:
+    @given(
+        st.lists(
+            st.tuples(finite, finite), min_size=1, max_size=80
+        ),
+        st.tuples(finite, finite),
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_brute_force(self, rows, query, l, leaf_size):
+        pts = np.array(rows, dtype=np.float64)
+        l = min(l, len(pts))
+        q = np.array(query)
+        tree = KDTree(pts, ids=np.arange(1, len(pts) + 1), leaf_size=leaf_size)
+        t_ids, t_dists = tree.query(q, l)
+        dists = np.linalg.norm(pts - q, axis=1)
+        table = sorted(zip(dists.tolist(), range(1, len(pts) + 1)))
+        expected_ids = [i for _, i in table[:l]]
+        assert t_ids.tolist() == expected_ids
+
+    @given(
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=50),
+        st.tuples(finite, finite),
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    )
+    def test_count_within_matches_direct_count(self, rows, query, radius):
+        pts = np.array(rows, dtype=np.float64)
+        q = np.array(query)
+        tree = KDTree(pts)
+        direct = int((np.linalg.norm(pts - q, axis=1) <= radius).sum())
+        assert tree.count_within(q, radius) == direct
+
+
+class TestQuantizerProperties:
+    @given(st.lists(finite, min_size=2, max_size=200), st.integers(2, 30))
+    def test_monotone_under_any_input(self, values, bits):
+        arr = np.sort(np.array(values))
+        codes, _ = quantize(arr, bits)
+        assert (np.diff(codes) >= 0).all()
+
+    @given(st.lists(finite, min_size=1, max_size=200), st.integers(2, 30))
+    def test_round_trip_within_bound(self, values, bits):
+        arr = np.array(values)
+        codes, q = quantize(arr, bits)
+        bound = quantization_error_bound(q)
+        err = np.abs(q.decode(codes) - np.clip(arr, q.lo, q.hi))
+        assert (err <= bound + 1e-9 * max(1.0, abs(q.hi), abs(q.lo))).all()
+
+
+class TestSequentialSelectionProperties:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=120), st.integers(0, 2**20))
+    def test_three_algorithms_agree(self, values, l, seed):
+        l = min(l, len(values))
+        expected = sorted(values)[l - 1]
+        rng = np.random.default_rng(seed)
+        assert quickselect(values, l, rng) == expected
+        assert median_of_medians_select(values, l) == expected
+        assert heap_select(values, l)[-1] == expected

@@ -1,0 +1,125 @@
+"""Unit tests for the brute-force oracle and the k-d tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.points.dataset import make_dataset
+from repro.points.generators import duplicate_heavy, gaussian_blobs, uniform_points
+from repro.sequential.brute import brute_force_knn, brute_force_knn_ids, distances_with_ids
+from repro.sequential.kdtree import KDTree
+
+
+class TestBruteForce:
+    def test_distances_sorted_with_tiebreak(self, rng):
+        ds = duplicate_heavy(rng, 100, n_distinct=3, dim=2)
+        table = distances_with_ids(ds, np.zeros(2))
+        keys = list(zip(table["value"].tolist(), table["id"].tolist()))
+        assert keys == sorted(keys)
+
+    def test_knn_returns_l_ascending(self, rng):
+        ds = make_dataset(rng.normal(size=(50, 3)), rng=rng)
+        ids, dists = brute_force_knn(ds, rng.normal(size=3), 7)
+        assert len(ids) == len(dists) == 7
+        assert (np.diff(dists) >= 0).all()
+
+    def test_query_point_is_own_nearest(self, rng):
+        ds = make_dataset(rng.normal(size=(50, 3)), rng=rng)
+        ids, dists = brute_force_knn(ds, ds.points[13], 1)
+        assert ids[0] == ds.ids[13]
+        assert dists[0] == 0.0
+
+    def test_l_bounds(self, rng):
+        ds = make_dataset(rng.normal(size=(5, 1)), rng=rng)
+        with pytest.raises(ValueError):
+            brute_force_knn(ds, np.zeros(1), 6)
+
+    def test_id_set_form(self, rng):
+        ds = make_dataset(rng.normal(size=(30, 2)), rng=rng)
+        ids, _ = brute_force_knn(ds, np.zeros(2), 5)
+        assert brute_force_knn_ids(ds, np.zeros(2), 5) == set(int(i) for i in ids)
+
+    def test_metric_parameter(self, rng):
+        ds = make_dataset(np.array([[1.0, 1.0], [1.5, 0.0]]), rng=rng)
+        # Manhattan: |1|+|1|=2 vs 1.5 ; Euclidean: sqrt(2)≈1.41 vs 1.5
+        ids_m, _ = brute_force_knn(ds, np.zeros(2), 1, metric="manhattan")
+        ids_e, _ = brute_force_knn(ds, np.zeros(2), 1, metric="euclidean")
+        assert ids_m[0] == ds.ids[1]
+        assert ids_e[0] == ds.ids[0]
+
+
+class TestKDTreeConstruction:
+    def test_empty_tree(self):
+        tree = KDTree(np.empty((0, 2)))
+        ids, dists = tree.query(np.zeros(2), 0)
+        assert ids.size == 0
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(ValueError):
+            KDTree(np.ones((3, 1)), leaf_size=0)
+
+    def test_ids_length_validation(self):
+        with pytest.raises(ValueError):
+            KDTree(np.ones((3, 1)), ids=np.array([1, 2]))
+
+    def test_depth_is_logarithmic(self, rng):
+        tree = KDTree(rng.uniform(0, 1, (4096, 3)), leaf_size=16)
+        # Perfectly balanced would be log2(4096/16) = 8; allow slack.
+        assert tree.depth() <= 14
+
+    def test_all_identical_points(self):
+        tree = KDTree(np.ones((40, 2)), ids=np.arange(1, 41))
+        ids, dists = tree.query(np.ones(2), 5)
+        assert (dists == 0).all()
+        assert ids.tolist() == [1, 2, 3, 4, 5]  # id order breaks ties
+
+    def test_1d_input(self, rng):
+        tree = KDTree(rng.normal(size=100))
+        ids, dists = tree.query(np.array([0.0]), 3)
+        assert len(ids) == 3
+
+
+class TestKDTreeQueries:
+    @pytest.mark.parametrize("n,d,l", [(100, 2, 5), (500, 5, 17), (64, 1, 64)])
+    def test_matches_brute_force(self, rng, n, d, l):
+        ds = make_dataset(rng.normal(size=(n, d)), rng=rng)
+        tree = KDTree.from_dataset(ds)
+        q = rng.normal(size=d)
+        b_ids, b_dists = brute_force_knn(ds, q, l)
+        t_ids, t_dists = tree.query(q, l)
+        np.testing.assert_array_equal(b_ids, t_ids)
+        np.testing.assert_allclose(b_dists, t_dists)
+
+    def test_matches_brute_on_duplicates(self, rng):
+        ds = duplicate_heavy(rng, 200, n_distinct=4, dim=3)
+        tree = KDTree.from_dataset(ds)
+        q = rng.uniform(0, 1, 3)
+        b_ids, _ = brute_force_knn(ds, q, 60)
+        t_ids, _ = tree.query(q, 60)
+        np.testing.assert_array_equal(b_ids, t_ids)
+
+    def test_matches_brute_on_clusters(self, rng):
+        ds = gaussian_blobs(rng, 300, 4)
+        tree = KDTree.from_dataset(ds)
+        for _ in range(5):
+            q = rng.uniform(0, 1, 4)
+            assert set(tree.query(q, 11)[0]) == brute_force_knn_ids(ds, q, 11)
+
+    def test_query_dim_validation(self, rng):
+        tree = KDTree(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(2), 1)
+
+    def test_l_bounds(self, rng):
+        tree = KDTree(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(2), 11)
+
+    def test_count_within_matches_brute(self, rng):
+        ds = uniform_points(rng, 300, 2)
+        tree = KDTree.from_dataset(ds)
+        q = np.array([0.5, 0.5])
+        for radius in [0.0, 0.1, 0.3, 2.0]:
+            dists = np.linalg.norm(ds.points - q, axis=1)
+            assert tree.count_within(q, radius) == int((dists <= radius).sum())

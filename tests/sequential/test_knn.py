@@ -1,0 +1,97 @@
+"""Unit tests for the sequential KNN classifier/regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.points.dataset import make_dataset
+from repro.points.generators import gaussian_blobs
+from repro.sequential.knn import SequentialKNN, majority_label, mean_label
+
+
+class TestMajorityLabel:
+    def test_simple_majority(self):
+        labels = np.array([1, 1, 0])
+        ids = np.array([10, 11, 12])
+        assert majority_label(labels, ids) == 1
+
+    def test_tie_broken_by_min_voting_id(self):
+        labels = np.array([0, 1])
+        ids = np.array([20, 5])
+        # label 1's smallest voter id (5) beats label 0's (20)
+        assert majority_label(labels, ids) == 1
+
+    def test_tie_break_is_order_independent(self):
+        labels = np.array([1, 0])
+        ids = np.array([5, 20])
+        assert majority_label(labels, ids) == 1
+
+    def test_string_labels(self):
+        labels = np.array(["cat", "dog", "cat"])
+        ids = np.array([1, 2, 3])
+        assert majority_label(labels, ids) == "cat"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_label(np.array([]), np.array([]))
+
+
+class TestMeanLabel:
+    def test_mean(self):
+        assert mean_label(np.array([1.0, 2.0, 6.0])) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_label(np.array([]))
+
+
+class TestSequentialKNN:
+    def test_recovers_cluster_labels(self, rng):
+        ds = gaussian_blobs(rng, 400, 2, n_classes=3, spread=0.02)
+        clf = SequentialKNN(l=7).fit(ds)
+        # Points near a training point should get that point's label.
+        for idx in [3, 100, 250]:
+            assert clf.predict(ds.points[idx]) == ds.labels[idx]
+
+    def test_brute_and_kdtree_agree(self, rng):
+        ds = gaussian_blobs(rng, 300, 3, n_classes=4)
+        brute = SequentialKNN(l=9, engine="brute").fit(ds)
+        tree = SequentialKNN(l=9, engine="kdtree").fit(ds)
+        for _ in range(10):
+            q = rng.uniform(0, 1, 3)
+            assert brute.predict(q) == tree.predict(q)
+            assert brute.predict_value(q) == pytest.approx(tree.predict_value(q))
+
+    def test_regression_averages(self, rng):
+        pts = np.array([[0.0], [0.1], [10.0]])
+        ds = make_dataset(pts, labels=np.array([1.0, 3.0, 100.0]), rng=rng)
+        reg = SequentialKNN(l=2).fit(ds)
+        assert reg.predict_value(np.array([0.05])) == pytest.approx(2.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            SequentialKNN(l=1).predict(np.zeros(2))
+
+    def test_requires_labels(self, rng):
+        ds = make_dataset(rng.normal(size=(10, 2)), rng=rng)
+        with pytest.raises(ValueError, match="label"):
+            SequentialKNN(l=1).fit(ds)
+
+    def test_l_exceeds_dataset(self, rng):
+        ds = gaussian_blobs(rng, 5, 2)
+        with pytest.raises(ValueError):
+            SequentialKNN(l=6).fit(ds)
+
+    def test_kdtree_rejects_non_euclidean(self, rng):
+        ds = gaussian_blobs(rng, 10, 2)
+        with pytest.raises(ValueError, match="Euclidean"):
+            SequentialKNN(l=1, metric="manhattan", engine="kdtree").fit(ds)
+
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError):
+            SequentialKNN(l=1, engine="annoy")
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            SequentialKNN(l=0)

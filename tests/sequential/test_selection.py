@@ -1,0 +1,120 @@
+"""Unit tests for sequential selection algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sequential.selection import (
+    heap_select,
+    median_of_medians_select,
+    partition_leq,
+    quickselect,
+    smallest_l,
+)
+
+
+class TestSmallestL:
+    def test_matches_sorted_prefix(self, rng):
+        vals = rng.normal(size=500)
+        out = smallest_l(vals, 40)
+        np.testing.assert_allclose(out, np.sort(vals)[:40])
+
+    def test_l_zero(self, rng):
+        assert smallest_l(rng.normal(size=10), 0).size == 0
+
+    def test_l_equals_n(self, rng):
+        vals = rng.normal(size=10)
+        np.testing.assert_allclose(smallest_l(vals, 10), np.sort(vals))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            smallest_l(np.arange(5), 6)
+        with pytest.raises(ValueError):
+            smallest_l(np.arange(5), -1)
+
+    def test_structured_array_lexicographic(self):
+        arr = np.array([(1.0, 9), (1.0, 2), (0.5, 7)], dtype=[("value", "f8"), ("id", "i8")])
+        out = smallest_l(arr, 2)
+        assert out["id"].tolist() == [7, 2]
+
+
+class TestPartitionLeq:
+    def test_filters(self):
+        out = partition_leq(np.array([3, 1, 4, 1, 5]), 3)
+        assert sorted(out.tolist()) == [1, 1, 3]
+
+
+class TestQuickselect:
+    @pytest.mark.parametrize("l", [1, 3, 50, 100])
+    def test_matches_sorted(self, rng, l):
+        vals = rng.integers(0, 1000, 100).tolist()
+        assert quickselect(vals, l, rng) == sorted(vals)[l - 1]
+
+    def test_heavy_duplicates(self, rng):
+        vals = [5] * 50 + [3] * 50
+        assert quickselect(vals, 50, rng) == 3
+        assert quickselect(vals, 51, rng) == 5
+
+    def test_tuples_with_tiebreak(self, rng):
+        vals = [(1.0, i) for i in range(20)]
+        assert quickselect(vals, 7, rng) == (1.0, 6)
+
+    def test_single_element(self, rng):
+        assert quickselect([42], 1, rng) == 42
+
+    def test_bounds(self, rng):
+        with pytest.raises(ValueError):
+            quickselect([1, 2], 0, rng)
+        with pytest.raises(ValueError):
+            quickselect([1, 2], 3, rng)
+
+
+class TestMedianOfMedians:
+    @pytest.mark.parametrize("n", [1, 5, 10, 11, 99, 250])
+    def test_matches_sorted_many_sizes(self, rng, n):
+        vals = rng.integers(0, 10**6, n).tolist()
+        l = max(1, n // 3)
+        assert median_of_medians_select(vals, l) == sorted(vals)[l - 1]
+
+    def test_duplicates(self):
+        vals = [7] * 30 + [1] * 5
+        assert median_of_medians_select(vals, 5) == 1
+        assert median_of_medians_select(vals, 6) == 7
+
+    def test_adversarial_sorted_input(self):
+        vals = list(range(200))
+        assert median_of_medians_select(vals, 13) == 12
+        assert median_of_medians_select(list(reversed(vals)), 13) == 12
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            median_of_medians_select([1], 2)
+
+
+class TestHeapSelect:
+    def test_matches_sorted_prefix(self, rng):
+        vals = rng.integers(0, 100, 60).tolist()
+        assert heap_select(vals, 10) == sorted(vals)[:10]
+
+    def test_l_zero(self):
+        assert heap_select([3, 1], 0) == []
+
+    def test_l_equals_n(self):
+        assert heap_select([3, 1, 2], 3) == [1, 2, 3]
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            heap_select([1], 2)
+
+
+class TestCrossAlgorithmAgreement:
+    def test_all_three_agree(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(1, 200))
+            vals = rng.integers(0, 50, n).tolist()
+            l = int(rng.integers(1, n + 1))
+            expected = sorted(vals)[l - 1]
+            assert quickselect(vals, l, rng) == expected
+            assert median_of_medians_select(vals, l) == expected
+            assert heap_select(vals, l)[-1] == expected

@@ -28,12 +28,15 @@ protocol step per round, and it is what makes the simple method's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from ..kmachine.errors import KMachineError
+from ..kmachine.faults import FaultPlan
 from ..kmachine.metrics import Metrics
+from ..kmachine.reliable import ReliabilityConfig
 from ..kmachine.simulator import SimulationResult, Simulator
 from ..kmachine.timing import CostModel
 from ..points.dataset import Dataset, make_dataset
@@ -48,6 +51,7 @@ from .simple import SimpleKNNProgram
 
 __all__ = [
     "DEFAULT_BANDWIDTH_BITS",
+    "RecoveryInfo",
     "SelectResult",
     "KNNResult",
     "distributed_select",
@@ -64,13 +68,108 @@ DEFAULT_BANDWIDTH_BITS = 512
 ALGORITHMS = ("sampled", "unpruned", "simple", "saukas_song", "binary_search")
 
 
+def _attempt_seed(seed: int | None, attempt: int) -> int | None:
+    """Deterministic per-attempt simulator seed.
+
+    Attempt 1 reproduces the historical ``seed + 1`` exactly (so
+    fault-free runs are byte-identical to the unsupervised driver);
+    retries derive fresh-but-reproducible seeds so a re-run does not
+    replay the randomness that just failed.
+    """
+    if seed is None:
+        return None
+    if attempt == 1:
+        return seed + 1
+    return int(
+        np.random.SeedSequence([seed, 0x5E1F, attempt]).generate_state(1)[0]
+        & 0x7FFFFFFF
+    )
+
+
+class _Supervisor:
+    """Shared attempt-loop bookkeeping for the fault-tolerant drivers.
+
+    The driver is the durable ingest layer: it holds the *full*
+    dataset, so after a failed attempt it re-shards everything across
+    the surviving machines and restarts the protocol.  Exactness of
+    the final answer therefore survives crash-stop failures — no data
+    dies with a machine.  Tracks the survivor set (original ranks),
+    the shrinking fault plan (fired crashes must not re-fire), merged
+    metrics across attempts, and the :class:`RecoveryInfo` trail.
+    """
+
+    def __init__(self, k: int, faults: FaultPlan | None, max_attempts: int) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.survivors = list(range(k))
+        self.plan = faults.restricted_to(k) if faults is not None else None
+        self.max_attempts = max_attempts
+        self.recovery = RecoveryInfo(attempts=0)
+        self.metrics: Metrics | None = None
+        self.last_error: KMachineError | None = None
+
+    @property
+    def k_eff(self) -> int:
+        return len(self.survivors)
+
+    def charge(self, attempt_metrics: Metrics) -> None:
+        """Merge one attempt's (possibly partial) metrics into the total."""
+        self.recovery.attempts += 1
+        self.metrics = (
+            attempt_metrics
+            if self.metrics is None
+            else self.metrics.merge(attempt_metrics)
+        )
+
+    def record_failure(self, sim: Simulator, err: str) -> None:
+        """Account a failed attempt: drop crashed ranks, shrink the plan."""
+        self.recovery.errors.append(f"attempt {self.recovery.attempts}: {err}")
+        fired_local = sorted(sim.crashed_ranks)
+        self.recovery.crashed.extend(self.survivors[r] for r in fired_local)
+        gone = set(fired_local)
+        self.survivors = [g for i, g in enumerate(self.survivors) if i not in gone]
+        if self.plan is not None:
+            if fired_local:
+                self.plan = self.plan.without_crashes(tuple(fired_local))
+            self.plan = self.plan.restricted_to(self.k_eff)
+
+    def give_up(self, what: str, err: str) -> "KMachineError":
+        """The error to raise when no attempts remain."""
+        if self.last_error is not None:
+            return self.last_error
+        return KMachineError(
+            f"{what} failed after {self.recovery.attempts} attempts: {err}"
+        )
+
+
+@dataclass
+class RecoveryInfo:
+    """What the supervised drivers did to survive injected faults.
+
+    Attached to results when :func:`distributed_select` /
+    :func:`distributed_knn` ran with a fault plan (or the reliable
+    layer).  ``attempts`` counts protocol runs, including the final
+    successful one; ``crashed`` lists the crashed machines' *original*
+    ranks in crash order; ``degraded`` marks the graceful-degradation
+    fallback to the simple method; ``errors`` records why each failed
+    attempt was abandoned.
+    """
+
+    attempts: int = 1
+    crashed: list[int] = field(default_factory=list)
+    degraded: bool = False
+    errors: list[str] = field(default_factory=list)
+
+
 @dataclass
 class SelectResult:
     """Assembled output of :func:`distributed_select`.
 
     ``values``/``ids`` are the globally ℓ smallest, ascending by
     (value, id); ``metrics`` is the run's round/message accounting;
-    ``stats`` the leader's iteration statistics.
+    ``stats`` the leader's iteration statistics.  ``recovery`` is
+    populated on supervised (fault-injected) runs and covers every
+    attempt; ``metrics`` then includes the cost of failed attempts.
     """
 
     values: np.ndarray
@@ -79,6 +178,7 @@ class SelectResult:
     metrics: Metrics
     stats: SelectionStats
     raw: SimulationResult
+    recovery: RecoveryInfo | None = None
 
 
 @dataclass
@@ -99,6 +199,19 @@ class KNNResult:
     metrics: Metrics
     leader_output: KNNOutput
     raw: SimulationResult
+    recovery: RecoveryInfo | None = None
+
+
+def _select_inputs(dataset: Dataset, k: int, rng, partitioner: str) -> list[np.ndarray]:
+    shards = shard_dataset(dataset, k, rng, partitioner)
+    inputs = []
+    for shard in shards:
+        keys = np.empty(len(shard), dtype=[("value", "f8"), ("id", "i8")])
+        keys["value"] = shard.points[:, 0]
+        keys["id"] = shard.ids
+        keys.sort(order=("value", "id"))
+        inputs.append(keys)
+    return inputs
 
 
 def distributed_select(
@@ -113,6 +226,11 @@ def distributed_select(
     measure_compute: bool = False,
     cost_model: CostModel | None = None,
     slack: float = 0.0,
+    faults: FaultPlan | None = None,
+    reliable: ReliabilityConfig | bool = False,
+    max_attempts: int = 3,
+    attempt_max_rounds: int | None = None,
+    timeout_rounds: int | None = None,
 ) -> SelectResult:
     """Find the ℓ smallest of ``values`` with Algorithm 1 on k machines.
 
@@ -122,30 +240,72 @@ def distributed_select(
     switches to the approximate early-stopping variant (see
     :func:`repro.core.selection.selection_subroutine`): the result
     then contains all ℓ true smallest plus up to ``slack·ℓ`` extras.
+
+    Fault tolerance: with ``faults`` (a
+    :class:`~repro.kmachine.faults.FaultPlan`) and/or ``reliable``
+    (``True`` or a :class:`~repro.kmachine.reliable.ReliabilityConfig`)
+    the run is *supervised*: a failed attempt — leader or worker
+    crash, exhausted retransmissions, a timeout (``timeout_rounds``
+    per receive, ``attempt_max_rounds`` per attempt) — is retried up
+    to ``max_attempts`` times.  Each retry drops the crashed machines,
+    re-shards the **full** value set over the survivors (the driver is
+    the durable ingest layer, so the answer stays exact) and
+    re-elects the leader by minimum ID.  ``result.recovery`` records
+    the trail; ``result.metrics`` sums all attempts.
     """
     arr = np.asarray(values, dtype=np.float64).ravel()
     if not 0 <= l <= arr.size:
         raise ValueError(f"l={l} outside [0, {arr.size}]")
     rng = np.random.default_rng(seed)
     dataset = make_dataset(arr, rng=rng)
-    shards = shard_dataset(dataset, k, rng, partitioner)
-    inputs = []
-    for shard in shards:
-        keys = np.empty(len(shard), dtype=[("value", "f8"), ("id", "i8")])
-        keys["value"] = shard.points[:, 0]
-        keys["id"] = shard.ids
-        keys.sort(order=("value", "id"))
-        inputs.append(keys)
-    sim = Simulator(
-        k=k,
-        program=SelectionProgram(l, election=election, slack=slack),
-        inputs=inputs,
-        seed=None if seed is None else seed + 1,
-        bandwidth_bits=bandwidth_bits,
-        measure_compute=measure_compute,
-        cost_model=cost_model,
-    )
-    result = sim.run()
+    supervised = faults is not None or bool(reliable)
+    sup = _Supervisor(k, faults, max_attempts if supervised else 1)
+
+    while True:
+        attempt = sup.recovery.attempts + 1
+        if sup.k_eff < 1:
+            raise sup.give_up("selection", "every machine crashed")
+        if attempt == 1:
+            shard_rng = rng  # preserves the historical fault-free stream
+            election_mode = election
+        else:
+            shard_rng = np.random.default_rng(_attempt_seed(seed, attempt))
+            election_mode = "min_id" if election == "fixed" else election
+        sim = Simulator(
+            k=sup.k_eff,
+            program=SelectionProgram(
+                l, election=election_mode, slack=slack, timeout_rounds=timeout_rounds
+            ),
+            inputs=_select_inputs(dataset, sup.k_eff, shard_rng, partitioner),
+            seed=_attempt_seed(seed, attempt),
+            bandwidth_bits=bandwidth_bits,
+            measure_compute=measure_compute,
+            cost_model=cost_model,
+            max_rounds=attempt_max_rounds if attempt_max_rounds is not None else 1_000_000,
+            faults=sup.plan,
+            reliable=reliable or None,
+        )
+        err: str | None = None
+        result: SimulationResult | None = None
+        if supervised:
+            try:
+                result = sim.run()
+            except KMachineError as exc:
+                sup.last_error = exc
+                err = f"{type(exc).__name__}: {exc}"
+        else:
+            result = sim.run()
+        if result is not None and err is None and any(
+            out is None for out in result.outputs
+        ):
+            err = "incomplete outputs (machine crashed after peers finished)"
+        sup.charge(sim.metrics)
+        if err is None:
+            break
+        sup.record_failure(sim, err)
+        if sup.recovery.attempts >= sup.max_attempts:
+            raise sup.give_up("selection", err)
+
     merged = np.concatenate([out.selected for out in result.outputs])
     merged.sort(order=("value", "id"))
     leader_out = next(out for out in result.outputs if out.is_leader)
@@ -153,9 +313,10 @@ def distributed_select(
         values=merged["value"].copy(),
         ids=merged["id"].copy(),
         boundary=leader_out.boundary,
-        metrics=result.metrics,
+        metrics=sup.metrics,
         stats=leader_out.stats,
         raw=result,
+        recovery=sup.recovery if supervised else None,
     )
 
 
@@ -203,6 +364,10 @@ def distributed_knn(
     partitioner: str = "random",
     measure_compute: bool = False,
     cost_model: CostModel | None = None,
+    faults: FaultPlan | None = None,
+    reliable: ReliabilityConfig | bool = False,
+    max_attempts: int = 3,
+    attempt_max_rounds: int | None = None,
     **knobs,
 ) -> KNNResult:
     """Answer one ℓ-NN query over ``points`` sharded onto k machines.
@@ -210,6 +375,18 @@ def distributed_knn(
     The primary public entry point.  ``points`` may be a raw array
     (IDs assigned internally, optional ``labels``) or a prepared
     :class:`~repro.points.dataset.Dataset`.
+
+    Fault tolerance: with ``faults`` and/or ``reliable`` the run is
+    supervised exactly like :func:`distributed_select` — failed
+    attempts (crashes, exhausted retransmissions, timeouts) drop the
+    crashed machines, re-shard the full dataset over the survivors,
+    re-elect the leader by minimum ID and retry, so the answer stays
+    the exact ℓ-NN.  When all ``max_attempts`` runs of Algorithm 2
+    fail, the driver *degrades gracefully*: one final attempt runs the
+    simple method (no sampling stage — fewer protocol phases to
+    disrupt) before giving up.  ``result.recovery`` records attempts,
+    crashes, degradation and per-attempt errors; ``result.metrics``
+    sums every attempt.
     """
     rng = np.random.default_rng(seed)
     dataset = (
@@ -219,22 +396,74 @@ def distributed_knn(
     )
     if not 1 <= l <= len(dataset):
         raise ValueError(f"l={l} outside [1, {len(dataset)}]")
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
     metric_obj = get_metric(metric)
     query_arr = np.atleast_1d(np.asarray(query, dtype=np.float64))
-    shards = shard_dataset(
-        dataset, k, rng, partitioner, metric=metric_obj, query=query_arr
-    )
-    program = knn_program_for(algorithm, query_arr, l, metric_obj, election, **knobs)
-    sim = Simulator(
-        k=k,
-        program=program,
-        inputs=shards,
-        seed=None if seed is None else seed + 1,
-        bandwidth_bits=bandwidth_bits,
-        measure_compute=measure_compute,
-        cost_model=cost_model,
-    )
-    result = sim.run()
+    supervised = faults is not None or bool(reliable)
+    sup = _Supervisor(k, faults, max_attempts if supervised else 1)
+    current_algorithm = algorithm
+    attempt_budget = sup.max_attempts
+
+    while True:
+        attempt = sup.recovery.attempts + 1
+        if sup.k_eff < 1:
+            raise sup.give_up("knn", "every machine crashed")
+        if attempt == 1:
+            shard_rng = rng  # preserves the historical fault-free stream
+            election_mode = election
+        else:
+            shard_rng = np.random.default_rng(_attempt_seed(seed, attempt))
+            election_mode = "min_id" if election == "fixed" else election
+        shards = shard_dataset(
+            dataset, sup.k_eff, shard_rng, partitioner,
+            metric=metric_obj, query=query_arr,
+        )
+        attempt_knobs = knobs if current_algorithm in ("sampled", "unpruned") else {}
+        program = knn_program_for(
+            current_algorithm, query_arr, l, metric_obj, election_mode,
+            **attempt_knobs,
+        )
+        sim = Simulator(
+            k=sup.k_eff,
+            program=program,
+            inputs=shards,
+            seed=_attempt_seed(seed, attempt),
+            bandwidth_bits=bandwidth_bits,
+            measure_compute=measure_compute,
+            cost_model=cost_model,
+            max_rounds=attempt_max_rounds if attempt_max_rounds is not None else 1_000_000,
+            faults=sup.plan,
+            reliable=reliable or None,
+        )
+        err: str | None = None
+        result: SimulationResult | None = None
+        if supervised:
+            try:
+                result = sim.run()
+            except KMachineError as exc:
+                sup.last_error = exc
+                err = f"{type(exc).__name__}: {exc}"
+        else:
+            result = sim.run()
+        if result is not None and err is None and any(
+            out is None for out in result.outputs
+        ):
+            err = "incomplete outputs (machine crashed after peers finished)"
+        sup.charge(sim.metrics)
+        if err is None:
+            break
+        sup.record_failure(sim, err)
+        if sup.recovery.attempts >= attempt_budget:
+            if current_algorithm != "simple":
+                # Graceful degradation: Algorithm 2's sampling pipeline
+                # keeps failing — grant the simple method one last shot.
+                current_algorithm = "simple"
+                sup.recovery.degraded = True
+                attempt_budget += 1
+                continue
+            raise sup.give_up("knn", err)
+
     outputs: list[KNNOutput] = result.outputs
     table = np.empty(
         sum(len(o.ids) for o in outputs), dtype=[("value", "f8"), ("id", "i8")]
@@ -260,7 +489,8 @@ def distributed_knn(
         points=all_points[order],
         labels=None if all_labels is None else all_labels[order],
         boundary=leader_out.boundary,
-        metrics=result.metrics,
+        metrics=sup.metrics,
         leader_output=leader_out,
         raw=result,
+        recovery=sup.recovery if supervised else None,
     )

@@ -153,6 +153,7 @@ def knn_subroutine(
     threshold: Keyed | None = None,
     pace_samples: bool = False,
     prefix: str = "knn",
+    timeout_rounds: int | None = None,
 ) -> Generator[None, None, KNNOutput]:
     """Run Algorithm 2 as an embeddable subroutine (see module docs).
 
@@ -176,6 +177,10 @@ def knn_subroutine(
     carries exactly one O(log n)-bit message per round).  Rounds and
     messages are asymptotically identical either way; bursting simply
     lets a wider ``B`` pack several samples per round.
+
+    ``timeout_rounds`` bounds every protocol receive (missed-heartbeat
+    failure detection; see
+    :func:`repro.core.selection.selection_subroutine`).
     """
     if l < 1:
         raise ValueError(f"l must be >= 1, got {l}")
@@ -200,14 +205,18 @@ def knn_subroutine(
             t_scount = tag(prefix, "scount")
             t_go = tag(prefix, "go")
             if is_leader:
-                msgs = yield from ctx.recv(t_scount, ctx.k - 1)
+                msgs = yield from ctx.recv(
+                    t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                )
                 survivors = len(working) + sum(m.payload for m in msgs)
                 fallback = survivors < l
                 ctx.broadcast(t_go, fallback)
                 yield
             else:
                 ctx.send(leader, t_scount, len(working))
-                msg = yield from ctx.recv_one(t_go, src=leader)
+                msg = yield from ctx.recv_one(
+                    t_go, src=leader, max_rounds=timeout_rounds
+                )
                 fallback = bool(msg.payload)
             if fallback:
                 working = candidates
@@ -238,7 +247,9 @@ def knn_subroutine(
 
         # Stage 4: leader picks the threshold r.
         if is_leader:
-            msgs = yield from ctx.recv(t_sample, (ctx.k - 1) * n_samples)
+            msgs = yield from ctx.recv(
+                t_sample, (ctx.k - 1) * n_samples, max_rounds=timeout_rounds
+            )
             pool = [decode_key(m.payload) for m in msgs if m.payload is not None]
             pool.extend(Keyed(row["value"], row["id"]) for row in my_samples)
             pool.sort()
@@ -249,7 +260,9 @@ def knn_subroutine(
             ctx.broadcast(t_thresh, encode_key(threshold))
             yield
         else:
-            msg = yield from ctx.recv_one(t_thresh, src=leader)
+            msg = yield from ctx.recv_one(
+                t_thresh, src=leader, max_rounds=timeout_rounds
+            )
             threshold = decode_key(msg.payload)
 
         # Stage 5: prune everything above r.
@@ -260,21 +273,26 @@ def knn_subroutine(
             t_scount = tag(prefix, "scount")
             t_go = tag(prefix, "go")
             if is_leader:
-                msgs = yield from ctx.recv(t_scount, ctx.k - 1)
+                msgs = yield from ctx.recv(
+                    t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                )
                 survivors = len(working) + sum(m.payload for m in msgs)
                 fallback = survivors < l
                 ctx.broadcast(t_go, fallback)
                 yield
             else:
                 ctx.send(leader, t_scount, len(working))
-                msg = yield from ctx.recv_one(t_go, src=leader)
+                msg = yield from ctx.recv_one(
+                    t_go, src=leader, max_rounds=timeout_rounds
+                )
                 fallback = bool(msg.payload)
             if fallback:
                 working = candidates
 
     # Stage 6: Algorithm 1 on the surviving distance keys.
     sel = yield from selection_subroutine(
-        ctx, leader, working, l, prefix=tag(prefix, "sel")
+        ctx, leader, working, l, prefix=tag(prefix, "sel"),
+        timeout_rounds=timeout_rounds,
     )
 
     # Map selected distance keys back to the shard's points.
@@ -337,6 +355,7 @@ class KNNProgram(Program):
         prune: bool = True,
         threshold: Keyed | None = None,
         pace_samples: bool = False,
+        timeout_rounds: int | None = None,
     ) -> None:
         if l < 1:
             raise ValueError(f"l must be >= 1, got {l}")
@@ -352,6 +371,7 @@ class KNNProgram(Program):
         self.prune = prune
         self.threshold = threshold
         self.pace_samples = pace_samples
+        self.timeout_rounds = timeout_rounds
 
     def run(self, ctx: MachineContext) -> Generator[None, None, KNNOutput]:
         leader = yield from elect(ctx, method=self.election)
@@ -371,5 +391,6 @@ class KNNProgram(Program):
             prune=self.prune,
             threshold=self.threshold,
             pace_samples=self.pace_samples,
+            timeout_rounds=self.timeout_rounds,
         )
         return output

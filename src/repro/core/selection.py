@@ -157,6 +157,7 @@ def selection_subroutine(
     l: int,
     prefix: str = "sel",
     slack: float = 0.0,
+    timeout_rounds: int | None = None,
 ) -> Generator[None, None, SelectionOutput]:
     """Run Algorithm 1 as an embeddable subroutine.
 
@@ -185,6 +186,14 @@ def selection_subroutine(
         correspondingly fewer pivot iterations.  Useful when the
         caller post-filters anyway (e.g. a classifier voting over the
         neighbor set tolerates a few extras).
+    timeout_rounds:
+        Missed-heartbeat failure detection: bound every protocol
+        receive to this many rounds (``None`` = wait forever, the
+        reliable-links default).  Under fault injection a crashed or
+        unreachable peer then surfaces as an error within a bounded
+        number of rounds instead of hitting the simulator's global
+        deadlock guard.  Must comfortably exceed the longest legitimate
+        gap between messages (congested links stretch the gaps).
 
     Returns
     -------
@@ -199,9 +208,13 @@ def selection_subroutine(
     t_reply = tag(prefix, "r")
 
     if ctx.rank == leader:
-        output = yield from _leader_role(ctx, keys, l, t_query, t_reply, slack)
+        output = yield from _leader_role(
+            ctx, keys, l, t_query, t_reply, slack, timeout_rounds
+        )
     else:
-        output = yield from _worker_role(ctx, leader, keys, t_query, t_reply)
+        output = yield from _worker_role(
+            ctx, leader, keys, t_query, t_reply, timeout_rounds
+        )
     return output
 
 
@@ -212,6 +225,7 @@ def _leader_role(
     t_query: str,
     t_reply: str,
     slack: float = 0.0,
+    timeout_rounds: int | None = None,
 ) -> Generator[None, None, SelectionOutput]:
     k = ctx.k
     stats = SelectionStats()
@@ -219,7 +233,7 @@ def _leader_role(
     # --- init: learn (n_i, min_i, max_i) from every machine ----------
     if k > 1:
         ctx.broadcast(t_query, (OP_INIT,))
-        replies = yield from ctx.recv(t_reply, k - 1)
+        replies = yield from ctx.recv(t_reply, k - 1, max_rounds=timeout_rounds)
     else:
         replies = []
     counts = np.zeros(k, dtype=np.int64)
@@ -263,7 +277,7 @@ def _leader_role(
                 t_query,
                 (OP_PICK, encode_key(active_lo), encode_key(active_hi)),
             )
-            msg = yield from ctx.recv_one(t_reply, src=choice)
+            msg = yield from ctx.recv_one(t_reply, src=choice, max_rounds=timeout_rounds)
             pivot = decode_key(msg.payload[1])
 
         # --- count |{x : active_lo < x <= pivot}| ----------------------
@@ -272,7 +286,7 @@ def _leader_role(
         below = np.zeros(k, dtype=np.int64)
         below[ctx.rank] = _count_in(keys, active_lo, pivot)
         if k > 1:
-            replies = yield from ctx.recv(t_reply, k - 1)
+            replies = yield from ctx.recv(t_reply, k - 1, max_rounds=timeout_rounds)
             for msg in replies:
                 below[msg.src] = msg.payload[1]
         s_below = int(below.sum())
@@ -321,10 +335,11 @@ def _worker_role(
     keys: np.ndarray,
     t_query: str,
     t_reply: str,
+    timeout_rounds: int | None = None,
 ) -> Generator[None, None, SelectionOutput]:
     n, kmin, kmax = _local_extremes(keys)
     while True:
-        msg = yield from ctx.recv_one(t_query, src=leader)
+        msg = yield from ctx.recv_one(t_query, src=leader, max_rounds=timeout_rounds)
         op = msg.payload[0]
         if op == OP_INIT:
             ctx.send(leader, t_reply, (OP_INIT, n, encode_key(kmin), encode_key(kmax)))
@@ -365,16 +380,26 @@ class SelectionProgram(Program):
         Approximate-selection knob (see
         :func:`selection_subroutine`); ``0`` is the paper's exact
         algorithm.
+    timeout_rounds:
+        Per-receive round budget for missed-heartbeat failure
+        detection (see :func:`selection_subroutine`).
     """
 
     name = "algorithm1-selection"
 
-    def __init__(self, l: int, election: str = "fixed", slack: float = 0.0) -> None:
+    def __init__(
+        self,
+        l: int,
+        election: str = "fixed",
+        slack: float = 0.0,
+        timeout_rounds: int | None = None,
+    ) -> None:
         if l < 0:
             raise ValueError(f"l must be >= 0, got {l}")
         self.l = l
         self.election = election
         self.slack = slack
+        self.timeout_rounds = timeout_rounds
 
     def run(self, ctx: MachineContext) -> Generator[None, None, SelectionOutput]:
         """Per-machine program body (see the class docstring)."""
@@ -383,6 +408,7 @@ class SelectionProgram(Program):
             0, dtype=[("value", "f8"), ("id", "i8")]
         )
         output = yield from selection_subroutine(
-            ctx, leader, keys, self.l, slack=self.slack
+            ctx, leader, keys, self.l, slack=self.slack,
+            timeout_rounds=self.timeout_rounds,
         )
         return output

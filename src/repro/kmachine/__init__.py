@@ -13,6 +13,11 @@ Public surface
 * :class:`Network` — bandwidth-constrained clique (rarely used directly).
 * :class:`Metrics` — rounds/messages/bits accounting.
 * :class:`CostModel` — α–β model for simulated wall-clock.
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic fault
+  injection (drops, duplication, corruption, reordering, outages,
+  crash-stop failures).
+* :class:`ReliabilityConfig` / :class:`ReliableMachineContext` and the
+  ``reliable_*`` helpers — ACK/retransmit hardening on faulty links.
 """
 
 from .collectives import (
@@ -29,13 +34,35 @@ from .errors import (
     AddressError,
     BandwidthExceededError,
     DeadlockError,
+    FaultError,
     KMachineError,
+    PeerCrashedError,
     ProtocolError,
+    RetriesExhaustedError,
+)
+from .faults import (
+    CorruptedPayload,
+    Crash,
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    Outage,
 )
 from .machine import FunctionProgram, MachineContext, Program
 from .message import Message
 from .metrics import Metrics, RoundRecord
 from .network import LinkStats, Network
+from .reliable import (
+    RELIABLE_ACK_TAG,
+    Envelope,
+    ReliabilityConfig,
+    ReliableMachineContext,
+    payload_checksum,
+    reliable_broadcast,
+    reliable_gather,
+    reliable_recv,
+    reliable_send,
+)
 from .rng import spawn_named_stream, spawn_streams
 from .simulator import SimulationResult, Simulator, run_program
 from .sizing import DEFAULT_POLICY, SizingPolicy, payload_bits
@@ -45,20 +72,33 @@ from .tracing import NullTracer, TraceEvent, Tracer
 __all__ = [
     "AddressError",
     "BandwidthExceededError",
+    "CorruptedPayload",
     "CostModel",
+    "Crash",
     "DEFAULT_COST_MODEL",
     "DEFAULT_POLICY",
     "DeadlockError",
+    "Envelope",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
     "FunctionProgram",
     "KMachineError",
+    "LinkFaults",
     "LinkStats",
     "MachineContext",
     "Message",
     "Metrics",
     "Network",
     "NullTracer",
+    "Outage",
+    "PeerCrashedError",
     "Program",
     "ProtocolError",
+    "RELIABLE_ACK_TAG",
+    "ReliabilityConfig",
+    "ReliableMachineContext",
+    "RetriesExhaustedError",
     "RoundRecord",
     "SimulationResult",
     "Simulator",
@@ -71,7 +111,12 @@ __all__ = [
     "broadcast",
     "gather",
     "payload_bits",
+    "payload_checksum",
     "reduce",
+    "reliable_broadcast",
+    "reliable_gather",
+    "reliable_recv",
+    "reliable_send",
     "run_program",
     "scatter",
     "spawn_named_stream",

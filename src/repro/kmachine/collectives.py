@@ -16,6 +16,15 @@ Tag discipline: callers must ensure the ``tag`` they pass is not used
 concurrently by another in-flight collective on the same machines;
 protocols in :mod:`repro.core` derive tags from a phase name plus an
 iteration counter.
+
+These helpers assume reliable links (the model's default).  Under an
+active :class:`~repro.kmachine.faults.FaultPlan` either run the whole
+simulation with ``reliable=True`` (transparent ACK/retransmit — these
+helpers then work unchanged) or use the explicit in-band variants
+:func:`~repro.kmachine.reliable.reliable_send` /
+:func:`~repro.kmachine.reliable.reliable_recv` /
+:func:`~repro.kmachine.reliable.reliable_broadcast` /
+:func:`~repro.kmachine.reliable.reliable_gather`.
 """
 
 from __future__ import annotations

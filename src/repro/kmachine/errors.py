@@ -13,6 +13,9 @@ __all__ = [
     "DeadlockError",
     "ProtocolError",
     "AddressError",
+    "FaultError",
+    "PeerCrashedError",
+    "RetriesExhaustedError",
 ]
 
 
@@ -50,3 +53,58 @@ class ProtocolError(KMachineError):
 
 class AddressError(KMachineError):
     """A message was addressed to a machine rank outside ``[0, k)``."""
+
+
+class FaultError(KMachineError):
+    """Base class for failures caused by *injected* faults.
+
+    The simulator re-raises these without wrapping them in
+    :class:`ProtocolError`, so supervisors (the recovery loop in
+    :mod:`repro.core.driver`) can distinguish "the environment failed"
+    from "the protocol has a bug" and react by re-electing/retrying
+    instead of crashing.
+    """
+
+
+class PeerCrashedError(FaultError):
+    """A machine gave up waiting because a peer it depends on crashed.
+
+    Raised from :meth:`repro.kmachine.machine.MachineContext.recv` when
+    a crash notification (the model's synchronous failure detector) has
+    been delivered and the pending receive can no longer complete.
+
+    Attributes
+    ----------
+    rank:
+        The waiting machine's rank.
+    crashed:
+        The crashed peers the machine knows about, sorted.
+    """
+
+    def __init__(self, rank: int, crashed: "frozenset[int] | set[int]", detail: str = "") -> None:
+        self.rank = rank
+        self.crashed = tuple(sorted(crashed))
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"machine {rank} aborted a receive: peers {list(self.crashed)} crashed{suffix}"
+        )
+
+
+class RetriesExhaustedError(FaultError):
+    """The reliable layer gave up retransmitting an unacknowledged message.
+
+    Raised after ``max_retries`` retransmissions each went unacknowledged
+    for ``ack_timeout_rounds`` rounds (see
+    :class:`repro.kmachine.reliable.ReliabilityConfig`).  Under the
+    supervised drivers this aborts the attempt and triggers recovery.
+    """
+
+    def __init__(self, src: int, dst: int, tag: str, attempts: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.attempts = attempts
+        super().__init__(
+            f"machine {src} exhausted {attempts} transmissions of {tag!r} "
+            f"to machine {dst} without an ACK"
+        )

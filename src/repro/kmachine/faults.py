@@ -1,0 +1,340 @@
+"""Deterministic fault injection for the k-machine simulator.
+
+The paper's k-machine model assumes a perfectly reliable synchronous
+clique.  Real congested-clique deployments do not get that luxury:
+links drop, duplicate, corrupt and reorder messages, links blink in
+and out, and machines crash.  This module lets a simulation *declare*
+such an environment and replays it bit-for-bit reproducibly:
+
+* :class:`FaultPlan` — a declarative, immutable schedule: per-link (or
+  global) drop/duplicate/corrupt/reorder probabilities, transient
+  :class:`Outage` windows, and crash-stop :class:`Crash` events.
+* :class:`FaultInjector` — the runtime companion.  It owns a private
+  RNG seeded from ``plan.seed`` (independent of every machine stream),
+  is consulted by :meth:`repro.kmachine.network.Network.submit` for
+  each message, and by the :class:`~repro.kmachine.simulator.Simulator`
+  round loop for crash events.  Because submissions happen in a fixed
+  deterministic order (rank order, FIFO outboxes), two runs with the
+  same ``(seed, FaultPlan)`` make identical fault decisions — the
+  property the fault property tests pin down.
+
+Fault semantics
+---------------
+drop
+    The message silently never enters the link queue.
+duplicate
+    A second identical copy is enqueued right behind the original
+    (consuming bandwidth; an unprotected protocol sees it twice).
+corrupt
+    The payload is replaced by :class:`CorruptedPayload` wrapping the
+    original — the simulation analogue of flipped bits.  The reliable
+    layer detects this (checksum) and recovers via retransmission;
+    unprotected protocols receive garbage.
+reorder
+    The freshly enqueued message swaps places with the message queued
+    just before it on the same link (a minimal, deterministic FIFO
+    violation).  With ``reorder == 0`` per-link FIFO order is
+    preserved exactly.
+outage
+    Messages submitted on a covered link during ``[start, end)`` are
+    dropped wholesale.
+crash (crash-stop)
+    At the start of round ``round`` the machine stops executing
+    forever.  In-flight traffic to/from it is purged and accounted in
+    :class:`~repro.kmachine.metrics.Metrics`; with
+    ``notify_crashes=True`` (default) every surviving machine learns of
+    the crash at the start of the *next* round — the synchronous
+    model's perfect failure detector, implementable with one round of
+    heartbeat timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from .message import Message
+
+__all__ = [
+    "LinkFaults",
+    "Outage",
+    "Crash",
+    "CorruptedPayload",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+#: Salt mixed into the injector's seed sequence so the fault stream can
+#: never collide with machine RNG streams spawned from the same seed.
+_INJECTOR_SALT = 0xFA_17
+
+
+def _check_prob(name: str, p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {p}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link fault probabilities (each independently rolled per message)."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt", "reorder"):
+            _check_prob(name, getattr(self, name))
+
+    @property
+    def trivial(self) -> bool:
+        """True when every probability is zero."""
+        return self.drop == self.duplicate == self.corrupt == self.reorder == 0.0
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A transient link outage: traffic dropped during ``[start, end)``.
+
+    ``symmetric=True`` (default) covers both directions of the
+    ``(a, b)`` link, matching a physical cable/switch failure.
+    """
+
+    a: int
+    b: int
+    start: int
+    end: int
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"outage window [{self.start}, {self.end}) is empty or negative")
+        if self.a == self.b:
+            raise ValueError("an outage needs two distinct endpoints")
+
+    def covers(self, src: int, dst: int, round_idx: int) -> bool:
+        """Whether a ``src -> dst`` message in ``round_idx`` is blacked out."""
+        if not self.start <= round_idx < self.end:
+            return False
+        if (src, dst) == (self.a, self.b):
+            return True
+        return self.symmetric and (src, dst) == (self.b, self.a)
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Crash-stop failure: machine ``rank`` halts at the start of ``round``."""
+
+    rank: int
+    round: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"crash rank must be >= 0, got {self.rank}")
+        if self.round < 0:
+            raise ValueError(f"crash round must be >= 0, got {self.round}")
+
+
+@dataclass(frozen=True)
+class CorruptedPayload:
+    """Marker wrapping a payload mangled in transit.
+
+    The wrapper (rather than literal bit flips) keeps corruption
+    deterministic and inspectable; its wire size equals the original's
+    so bandwidth accounting is unchanged.  The reliable layer treats it
+    as a failed checksum; unprotected protocols choke on it — which is
+    the point.
+    """
+
+    original: Any
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seed-reproducible fault schedule for one simulation.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the injector's private RNG stream.
+    drop / duplicate / corrupt / reorder:
+        Default per-message fault probabilities applied to every link.
+    links:
+        Per-directed-link overrides: ``{(src, dst): LinkFaults(...)}``.
+        A listed link uses its override *instead of* the defaults.
+    outages:
+        Transient link outages.
+    crashes:
+        Crash-stop events.  At most one per rank; a crash scheduled for
+        an already-halted machine is a no-op.
+    notify_crashes:
+        Deliver crash notifications to survivors one round after each
+        crash (the synchronous failure detector).  With ``False``,
+        survivors can only detect crashes by timeout (the simulator's
+        ``max_rounds`` deadlock guard).
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    reorder: float = 0.0
+    links: Mapping[tuple[int, int], LinkFaults] = field(default_factory=dict)
+    outages: tuple[Outage, ...] = ()
+    crashes: tuple[Crash, ...] = ()
+    notify_crashes: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt", "reorder"):
+            _check_prob(name, getattr(self, name))
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "links", dict(self.links))
+        ranks = [c.rank for c in self.crashes]
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("at most one crash event per rank")
+
+    # ------------------------------------------------------------------
+    def for_link(self, src: int, dst: int) -> LinkFaults:
+        """The fault probabilities governing the ``src -> dst`` link."""
+        override = self.links.get((src, dst))
+        if override is not None:
+            return override
+        return LinkFaults(self.drop, self.duplicate, self.corrupt, self.reorder)
+
+    @property
+    def trivial(self) -> bool:
+        """True when the plan can never produce a fault."""
+        return (
+            self.drop == self.duplicate == self.corrupt == self.reorder == 0.0
+            and all(lf.trivial for lf in self.links.values())
+            and not self.outages
+            and not self.crashes
+        )
+
+    def without_crashes(self, fired: tuple[int, ...] | list[int] = ()) -> "FaultPlan":
+        """A copy with the given crash *ranks* removed (all, if empty).
+
+        Used by the recovery drivers: a crash that already fired in a
+        failed attempt must not re-fire when the protocol is restarted
+        among the survivors.
+        """
+        if not fired:
+            remaining: tuple[Crash, ...] = ()
+        else:
+            remaining = tuple(c for c in self.crashes if c.rank not in set(fired))
+        return replace(self, crashes=remaining)
+
+    def restricted_to(self, k: int) -> "FaultPlan":
+        """A copy valid for a ``k``-machine run: events addressing ranks
+        ``>= k`` (crashes, outages, link overrides) are dropped."""
+        return replace(
+            self,
+            crashes=tuple(c for c in self.crashes if c.rank < k),
+            outages=tuple(o for o in self.outages if o.a < k and o.b < k),
+            links={key: lf for key, lf in self.links.items() if key[0] < k and key[1] < k},
+        )
+
+
+class FaultInjector:
+    """Runtime fault engine: rolls the plan's dice, deterministically.
+
+    Wire-up (done by the simulator): ``network.fault_injector = self``
+    and :meth:`bind` with the run's metrics and tracer.  The injector
+    can also be attached to a bare :class:`~repro.kmachine.network.
+    Network` in tests.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence([_INJECTOR_SALT, int(plan.seed)])
+        )
+        self.round = 0
+        self.crashed: set[int] = set()
+        self._metrics = None
+        self._tracer = None
+
+    # ------------------------------------------------------------------
+    def bind(self, metrics, tracer) -> None:
+        """(Simulator hook) attach the run's accounting sinks."""
+        self._metrics = metrics
+        self._tracer = tracer
+
+    def begin_round(self, round_idx: int) -> None:
+        """(Simulator hook) advance the injector's round clock."""
+        self.round = round_idx
+
+    def crashes_due(self, round_idx: int) -> list[int]:
+        """Ranks whose crash event fires at ``round_idx`` (ascending)."""
+        return sorted(
+            c.rank
+            for c in self.plan.crashes
+            if c.round == round_idx and c.rank not in self.crashed
+        )
+
+    def mark_crashed(self, rank: int) -> None:
+        """Record that ``rank`` is down; its traffic is dropped from now on."""
+        self.crashed.add(rank)
+
+    # ------------------------------------------------------------------
+    def on_submit(self, msg: Message) -> list[Message]:
+        """Decide a submitted message's fate; returns the copies to enqueue.
+
+        Empty list = dropped.  Two entries = duplicated.  Payloads may
+        be replaced by :class:`CorruptedPayload`.  Every decision draws
+        from the injector's private RNG in submission order, so the
+        outcome is a pure function of ``(plan, submission sequence)``.
+        """
+        if msg.src in self.crashed or msg.dst in self.crashed:
+            self._account("crash_drops", msg, "fault-crash-drop")
+            return []
+        for outage in self.plan.outages:
+            if outage.covers(msg.src, msg.dst, self.round):
+                self._account("outage_drops", msg, "fault-outage-drop")
+                return []
+        lf = self.plan.for_link(msg.src, msg.dst)
+        if lf.trivial:
+            return [msg]
+        if lf.drop > 0.0 and self.rng.random() < lf.drop:
+            self._account("fault_drops", msg, "fault-drop")
+            return []
+        if lf.corrupt > 0.0 and self.rng.random() < lf.corrupt:
+            msg = replace(msg, payload=CorruptedPayload(msg.payload))
+            self._account("fault_corruptions", msg, "fault-corrupt")
+        out = [msg]
+        if lf.duplicate > 0.0 and self.rng.random() < lf.duplicate:
+            out.append(msg)
+            self._account("fault_duplicates", msg, "fault-duplicate")
+        return out
+
+    def wants_reorder(self, src: int, dst: int) -> bool:
+        """Roll the reorder die for a message just enqueued on a link."""
+        lf = self.plan.for_link(src, dst)
+        if lf.reorder <= 0.0:
+            return False
+        if self.rng.random() < lf.reorder:
+            self._bump("fault_reorders")
+            if self._tracer is not None and self._tracer.enabled:
+                self._tracer.record(self.round, "fault-reorder", machine=src, dst=dst)
+            return True
+        return False
+
+    def account_purge(self, msg: Message, rank: int) -> None:
+        """Account one in-flight message purged because ``rank`` crashed."""
+        self._account("crash_drops", msg, "fault-crash-drop")
+
+    # ------------------------------------------------------------------
+    def _bump(self, counter: str) -> None:
+        if self._metrics is not None:
+            setattr(self._metrics, counter, getattr(self._metrics, counter) + 1)
+
+    def _account(self, counter: str, msg: Message, kind: str) -> None:
+        self._bump(counter)
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.record(
+                self.round, kind, machine=msg.src, dst=msg.dst, tag=msg.tag
+            )

@@ -31,7 +31,7 @@ from typing import Any, Callable, Generator, Iterable
 
 import numpy as np
 
-from .errors import AddressError, ProtocolError
+from .errors import AddressError, PeerCrashedError, ProtocolError
 from .message import Message
 from .sizing import SizingPolicy
 
@@ -92,6 +92,9 @@ class MachineContext:
         #: count of messages this machine has sent (for metric assertions)
         self.sent_messages = 0
         self.sent_bits = 0
+        #: peers this machine has been notified are crashed (fault model's
+        #: synchronous failure detector; empty in fault-free runs)
+        self.crashed_peers: set[int] = set()
 
     # ------------------------------------------------------------------
     # sending
@@ -138,6 +141,15 @@ class MachineContext:
         """(Simulator hook) append newly arrived messages to the buffer."""
         self._pending.extend(messages)
 
+    def notice_crash(self, rank: int) -> None:
+        """(Simulator hook) record that peer ``rank`` crashed.
+
+        Subsequent receives that can no longer complete raise
+        :class:`~repro.kmachine.errors.PeerCrashedError` instead of
+        waiting forever (see :meth:`recv`).
+        """
+        self.crashed_peers.add(rank)
+
     def take(self, tag: str | None = None, src: int | None = None) -> list[Message]:
         """Pop and return buffered messages matching ``tag`` and ``src``.
 
@@ -166,12 +178,27 @@ class MachineContext:
         Use as ``msgs = yield from ctx.recv("reply", k - 1)``.  Each
         iteration that comes up short ends the round with a ``yield``.
         ``max_rounds`` bounds the wait (raising :class:`ProtocolError`
-        on expiry) and exists for tests; production protocols rely on
-        the simulator's global ``max_rounds`` deadlock guard.
+        on expiry); protocols pass a timeout when they want
+        missed-heartbeat-style failure detection, otherwise they rely
+        on the simulator's global ``max_rounds`` deadlock guard.
+
+        Crash awareness: if a crash notification has arrived (see
+        :meth:`notice_crash`) and the receive is still short, waiting
+        is hopeless — for a ``src``-specific receive when that peer
+        crashed, and conservatively for any count-based receive (the
+        expected count almost always includes the crashed peer) —
+        so :class:`~repro.kmachine.errors.PeerCrashedError` is raised
+        for the supervisor to handle.
         """
         got: list[Message] = list(self.take(tag, src))
         waited = 0
         while len(got) < count:
+            if self.crashed_peers and (src is None or src in self.crashed_peers):
+                raise PeerCrashedError(
+                    self.rank,
+                    self.crashed_peers,
+                    f"waiting for {count} {tag!r} messages, have {len(got)}",
+                )
             yield
             waited += 1
             if max_rounds is not None and waited >= max_rounds:
@@ -187,10 +214,10 @@ class MachineContext:
         return got
 
     def recv_one(
-        self, tag: str, src: int | None = None
+        self, tag: str, src: int | None = None, max_rounds: int | None = None
     ) -> Generator[None, None, Message]:
         """Generator: wait for exactly one message with ``tag``."""
-        msgs = yield from self.recv(tag, 1, src=src)
+        msgs = yield from self.recv(tag, 1, src=src, max_rounds=max_rounds)
         return msgs[0]
 
     # ------------------------------------------------------------------

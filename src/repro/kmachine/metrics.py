@@ -55,6 +55,21 @@ class Metrics:
     simulated_seconds:
         ``compute_seconds + comm_seconds`` — the modelled wall-clock
         used by the Figure 2 reproduction.
+    fault_drops / fault_duplicates / fault_corruptions / fault_reorders:
+        Messages affected by injected link faults (see
+        :mod:`repro.kmachine.faults`).
+    outage_drops / crash_drops:
+        Messages lost to link outages, and in-flight/inbox messages
+        purged by crash-stop failures (including later submissions
+        addressed to or from a crashed machine).
+    crashed:
+        ``(rank, round)`` pairs for every crash-stop event that felled
+        a still-running machine.
+    retransmissions / acks_sent / duplicates_suppressed / checksum_failures:
+        Reliable-layer accounting (see :mod:`repro.kmachine.reliable`):
+        ACK-timeout retransmissions, ACK messages emitted, duplicate
+        deliveries filtered by sequence-number dedup, and deliveries
+        rejected by checksum validation.
     timeline:
         Optional per-round records (populated when the simulator is
         constructed with ``timeline=True``).
@@ -69,6 +84,17 @@ class Metrics:
     comm_seconds: float = 0.0
     max_link_queue_bits: int = 0
     dropped_messages: int = 0
+    fault_drops: int = 0
+    fault_duplicates: int = 0
+    fault_corruptions: int = 0
+    fault_reorders: int = 0
+    outage_drops: int = 0
+    crash_drops: int = 0
+    crashed: list[tuple[int, int]] = field(default_factory=list)
+    retransmissions: int = 0
+    acks_sent: int = 0
+    duplicates_suppressed: int = 0
+    checksum_failures: int = 0
     timeline: list[RoundRecord] = field(default_factory=list)
 
     @property
@@ -98,6 +124,17 @@ class Metrics:
             comm_seconds=self.comm_seconds + other.comm_seconds,
             max_link_queue_bits=max(self.max_link_queue_bits, other.max_link_queue_bits),
             dropped_messages=self.dropped_messages + other.dropped_messages,
+            fault_drops=self.fault_drops + other.fault_drops,
+            fault_duplicates=self.fault_duplicates + other.fault_duplicates,
+            fault_corruptions=self.fault_corruptions + other.fault_corruptions,
+            fault_reorders=self.fault_reorders + other.fault_reorders,
+            outage_drops=self.outage_drops + other.outage_drops,
+            crash_drops=self.crash_drops + other.crash_drops,
+            crashed=list(self.crashed) + list(other.crashed),
+            retransmissions=self.retransmissions + other.retransmissions,
+            acks_sent=self.acks_sent + other.acks_sent,
+            duplicates_suppressed=self.duplicates_suppressed + other.duplicates_suppressed,
+            checksum_failures=self.checksum_failures + other.checksum_failures,
         )
         for tag_map_name in ("per_tag_messages", "per_tag_bits"):
             merged_map = dict(getattr(self, tag_map_name))
@@ -108,9 +145,26 @@ class Metrics:
         return merged
 
     def summary(self) -> str:
-        """One-line human-readable summary."""
-        return (
+        """One-line human-readable summary (fault/reliability part only if used)."""
+        line = (
             f"rounds={self.rounds} messages={self.messages} bits={self.bits} "
             f"sim_time={self.simulated_seconds:.6f}s "
             f"(compute={self.compute_seconds:.6f}s comm={self.comm_seconds:.6f}s)"
         )
+        faulted = (
+            self.fault_drops + self.fault_duplicates + self.fault_corruptions
+            + self.fault_reorders + self.outage_drops + self.crash_drops
+        )
+        if faulted or self.crashed:
+            line += (
+                f" faults[drop={self.fault_drops} dup={self.fault_duplicates}"
+                f" corrupt={self.fault_corruptions} reorder={self.fault_reorders}"
+                f" outage={self.outage_drops} crash_purged={self.crash_drops}"
+                f" crashed={self.crashed}]"
+            )
+        if self.retransmissions or self.acks_sent:
+            line += (
+                f" reliable[retx={self.retransmissions} acks={self.acks_sent}"
+                f" dedup={self.duplicates_suppressed} badsum={self.checksum_failures}]"
+            )
+        return line

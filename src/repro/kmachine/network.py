@@ -26,10 +26,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Literal
+from typing import TYPE_CHECKING, Literal
 
 from .errors import BandwidthExceededError
 from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
 
 __all__ = ["Network", "LinkStats", "BandwidthPolicy"]
 
@@ -38,13 +41,19 @@ BandwidthPolicy = Literal["queue", "strict", "unbounded"]
 
 @dataclass
 class LinkStats:
-    """Cumulative statistics for one directed link."""
+    """Cumulative statistics for one directed link.
+
+    ``dropped`` counts messages discarded on this link for any reason:
+    injected faults (drop/outage), crash purges, or
+    :meth:`Network.drop_all` on abnormal termination.
+    """
 
     messages: int = 0
     bits: int = 0
     max_queue_messages: int = 0
     max_queue_bits: int = 0
     busy_rounds: int = 0
+    dropped: int = 0
 
 
 @dataclass
@@ -90,6 +99,9 @@ class Network:
         self.k = k
         self.bandwidth_bits = bandwidth_bits
         self.policy: BandwidthPolicy = policy
+        #: optional fault engine consulted on every submission (set by
+        #: the simulator when a FaultPlan is active, or directly in tests)
+        self.fault_injector: FaultInjector | None = None
         self._queues: dict[tuple[int, int], deque[_QueuedMessage]] = {}
         self._submitted_this_round: dict[tuple[int, int], int] = {}
         self.link_stats: dict[tuple[int, int], LinkStats] = {}
@@ -106,7 +118,12 @@ class Network:
         """Accept a message sent during the current round.
 
         Under ``strict`` policy, raises if the sender has already used
-        the link's per-round budget.
+        the link's per-round budget.  When a fault injector is
+        attached, the message may be dropped, duplicated, corrupted or
+        reordered before (or instead of) entering the link queue; the
+        strict budget is charged for the *sender's* submission only —
+        injected duplicates are the network's fault, not the
+        protocol's.
         """
         key = (msg.src, msg.dst)
         if self.policy == "strict":
@@ -117,8 +134,28 @@ class Network:
                     f"B={self.bandwidth_bits} in one round (tag={msg.tag!r})"
                 )
             self._submitted_this_round[key] = used + msg.bits
+        if self.fault_injector is None:
+            self._enqueue(msg)
+            return
+        copies = self.fault_injector.on_submit(msg)
+        if not copies:
+            self.link_stats.setdefault(key, LinkStats()).dropped += 1
+            return
+        for copy in copies:
+            self._enqueue(copy)
+
+    def _enqueue(self, msg: Message) -> None:
+        key = (msg.src, msg.dst)
         queue = self._queues.setdefault(key, deque())
         queue.append(_QueuedMessage(msg))
+        if (
+            self.fault_injector is not None
+            and len(queue) >= 2
+            # never displace a partially-transmitted head
+            and not (len(queue) == 2 and queue[0].remaining_bits != queue[0].message.bits)
+            and self.fault_injector.wants_reorder(msg.src, msg.dst)
+        ):
+            queue[-1], queue[-2] = queue[-2], queue[-1]
         stats = self.link_stats.setdefault(key, LinkStats())
         stats.messages += 1
         stats.bits += msg.bits
@@ -189,10 +226,38 @@ class Network:
         )
         return ranked[:top]
 
-    def drop_all(self) -> Iterable[Message]:
-        """Discard all queued messages (used on abnormal termination)."""
-        dropped: list[Message] = []
-        for queue in self._queues.values():
-            dropped.extend(q.message for q in queue)
+    def purge_machine(self, rank: int) -> list[Message]:
+        """Remove every queued message to or from ``rank`` (crash-stop).
+
+        Returns the purged messages (concrete list, link order) and
+        records them as drops in the affected links' :class:`LinkStats`.
+        """
+        purged: list[Message] = []
+        for key in sorted(self._queues):
+            if rank not in key:
+                continue
+            queue = self._queues[key]
+            if not queue:
+                continue
+            purged.extend(q.message for q in queue)
+            self.link_stats.setdefault(key, LinkStats()).dropped += len(queue)
             queue.clear()
+        return purged
+
+    def drop_all(self) -> list[Message]:
+        """Discard all queued messages (used on abnormal termination).
+
+        Returns the concrete list of dropped messages, records them in
+        each link's :class:`LinkStats`, and resets the strict-policy
+        per-round budget so a reused network starts from a clean slate.
+        """
+        dropped: list[Message] = []
+        for key in sorted(self._queues):
+            queue = self._queues[key]
+            if not queue:
+                continue
+            dropped.extend(q.message for q in queue)
+            self.link_stats.setdefault(key, LinkStats()).dropped += len(queue)
+            queue.clear()
+        self._submitted_this_round.clear()
         return dropped

@@ -40,11 +40,13 @@ from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
-from .errors import DeadlockError, ProtocolError
+from .errors import DeadlockError, FaultError, ProtocolError
+from .faults import FaultInjector, FaultPlan
 from .machine import MachineContext, Program
 from .message import Message
 from .metrics import Metrics, RoundRecord
 from .network import BandwidthPolicy, Network
+from .reliable import ReliabilityConfig, ReliableMachineContext
 from .rng import spawn_streams
 from .sizing import SizingPolicy
 from .timing import CostModel, ZERO_COST_MODEL
@@ -111,6 +113,19 @@ class Simulator:
         Keep a per-round :class:`RoundRecord` list.
     trace:
         Record send/deliver/halt events on a :class:`Tracer`.
+    faults:
+        Optional :class:`~repro.kmachine.faults.FaultPlan`.  A
+        :class:`~repro.kmachine.faults.FaultInjector` seeded from the
+        plan is attached to the network, and the round loop executes
+        the plan's crash-stop events (see below).  Fault decisions are
+        a pure function of ``(plan, submission order)``, never of the
+        machines' RNG streams, so runs stay reproducible.
+    reliable:
+        ``True`` or a :class:`~repro.kmachine.reliable.
+        ReliabilityConfig` to substitute
+        :class:`~repro.kmachine.reliable.ReliableMachineContext` for
+        every machine: transparent ACK/retransmit, checksum validation
+        and duplicate suppression under the program's feet.
     """
 
     def __init__(
@@ -127,6 +142,8 @@ class Simulator:
         timeline: bool = False,
         trace: bool = False,
         sizing: SizingPolicy | None = None,
+        faults: FaultPlan | None = None,
+        reliable: ReliabilityConfig | bool | None = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -141,143 +158,245 @@ class Simulator:
         self.sizing = sizing or SizingPolicy()
         self.network = Network(k, bandwidth_bits=bandwidth_bits, policy=policy)
         self.tracer: Tracer | NullTracer = Tracer() if trace else NullTracer()
+        self.fault_plan = faults
+        self.fault_injector = FaultInjector(faults) if faults is not None else None
+        self.network.fault_injector = self.fault_injector
+        #: ranks felled by crash-stop events, for post-mortem inspection
+        self.crashed_ranks: set[int] = set()
+        #: the run's (possibly partial) metrics; valid even if run() raises
+        self.metrics = Metrics()
+
+        if reliable is True:
+            reliability: ReliabilityConfig | None = ReliabilityConfig()
+        elif reliable is False or reliable is None:
+            reliability = None
+        else:
+            reliability = reliable
+        self.reliability = reliability
 
         machine_rngs = spawn_streams(seed, k + 1)
         sim_rng = machine_rngs.pop()
         machine_ids = _draw_unique_ids(sim_rng, k)
+        ctx_kwargs = {"reliability": reliability} if reliability is not None else {}
+        ctx_cls = ReliableMachineContext if reliability is not None else MachineContext
         self.contexts = [
-            MachineContext(
+            ctx_cls(
                 rank=rank,
                 k=k,
                 rng=machine_rngs[rank],
                 local=_resolve_input(inputs, rank),
                 machine_id=machine_ids[rank],
                 sizing=self.sizing,
+                **ctx_kwargs,
             )
             for rank in range(k)
         ]
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the program to completion and return the result."""
+        """Execute the program to completion and return the result.
+
+        With a fault plan, each round starts by executing crash-stop
+        events due this round (the machine's generator is closed, its
+        queued traffic purged and accounted) and by delivering crash
+        notifications staged in the previous round.  Fault-layer
+        exceptions (:class:`~repro.kmachine.errors.FaultError`
+        subclasses) propagate unwrapped so supervisors can distinguish
+        environmental failure from protocol bugs; :attr:`metrics` and
+        :attr:`crashed_ranks` remain readable on this object even when
+        the run aborts.
+        """
         generators: list[Generator | None] = [
             self.program.instantiate(ctx) for ctx in self.contexts
         ]
         outputs: list[Any] = [None] * self.k
-        metrics = Metrics()
+        metrics = self.metrics
+        injector = self.fault_injector
+        if injector is not None:
+            injector.bind(metrics, self.tracer)
         deliveries: dict[int, list[Message]] = {}
+        staged_notices: list[int] = []
         alive = self.k
         round_idx = 0
         active_rounds = 0
 
-        while True:
-            if round_idx >= self.max_rounds:
-                stuck = [r for r, g in enumerate(generators) if g is not None]
-                raise DeadlockError(
-                    f"protocol {self.program.name!r} exceeded max_rounds="
-                    f"{self.max_rounds}; machines still running: {stuck}"
-                )
-
-            # 1. deliver messages that completed transmission last round
-            delivered_count = 0
-            for dst, msgs in deliveries.items():
-                if generators[dst] is None:
-                    metrics.dropped_messages += len(msgs)
-                    for m in msgs:
-                        self.tracer.record(round_idx, "drop", machine=dst, tag=m.tag)
-                    continue
-                self.contexts[dst].deliver(msgs)
-                delivered_count += len(msgs)
-                if self.tracer.enabled:
-                    for m in msgs:
-                        self.tracer.record(
-                            round_idx, "deliver", machine=dst, src=m.src, tag=m.tag
-                        )
-
-            # 2. step every running machine once (logically concurrent)
-            compute_max = 0.0
-            for rank, gen in enumerate(generators):
-                if gen is None:
-                    continue
-                ctx = self.contexts[rank]
-                ctx.round = round_idx
-                started = time.perf_counter() if self.measure_compute else 0.0
-                try:
-                    next(gen)
-                except StopIteration as stop:
-                    outputs[rank] = stop.value
-                    if stop.value is not None:
-                        ctx.result = stop.value
-                    generators[rank] = None
-                    alive -= 1
-                    self.tracer.record(round_idx, "halt", machine=rank)
-                except Exception as exc:
-                    raise ProtocolError(
-                        f"machine {rank} raised {type(exc).__name__} in round "
-                        f"{round_idx} running {self.program.name!r}: {exc}"
-                    ) from exc
-                if self.measure_compute:
-                    compute_max = max(compute_max, time.perf_counter() - started)
-
-            # 3. submit this round's sends to the network
-            sent_msgs = 0
-            sent_bits = 0
-            for ctx in self.contexts:
-                for msg in ctx.drain_outbox():
-                    self.network.submit(msg)
-                    metrics.record_send(msg.tag, msg.bits)
-                    sent_msgs += 1
-                    sent_bits += msg.bits
-                    if self.tracer.enabled:
-                        self.tracer.record(
-                            round_idx, "send", machine=msg.src, dst=msg.dst, tag=msg.tag
-                        )
-
-            queued_before_step = self.network.in_flight() > 0
-            deliveries = self.network.step()
-            metrics.max_link_queue_bits = max(
-                metrics.max_link_queue_bits, self.network.queued_bits()
-            )
-
-            any_traffic = sent_msgs > 0 or queued_before_step
-            comm_cost = self.cost_model.round_cost(
-                self.network.last_step_max_link_bits,
-                any_traffic,
-                self.network.last_step_max_dst_messages,
-            )
-            metrics.compute_seconds += compute_max
-            metrics.comm_seconds += comm_cost
-            if any_traffic or alive > 0:
-                # A round "counts" if communication happened or could
-                # still happen; trailing all-halted empty rounds do not.
-                if any_traffic or deliveries:
-                    active_rounds = round_idx + 1
-
-            if self.timeline:
-                metrics.timeline.append(
-                    RoundRecord(
-                        round=round_idx,
-                        messages_sent=sent_msgs,
-                        bits_sent=sent_bits,
-                        messages_delivered=delivered_count,
-                        max_link_bits=self.network.last_step_max_link_bits,
-                        compute_seconds=compute_max,
-                        comm_seconds=comm_cost,
-                        active_machines=alive,
+        try:
+            while True:
+                if round_idx >= self.max_rounds:
+                    stuck = [r for r, g in enumerate(generators) if g is not None]
+                    raise DeadlockError(
+                        f"protocol {self.program.name!r} exceeded max_rounds="
+                        f"{self.max_rounds}; machines still running: {stuck}"
                     )
+
+                # 0. faults: fire crash-stop events due at this round's
+                # start, and deliver last round's crash notifications.
+                if injector is not None:
+                    injector.begin_round(round_idx)
+                    for rank in staged_notices:
+                        for r, ctx in enumerate(self.contexts):
+                            if r != rank and r not in self.crashed_ranks:
+                                ctx.notice_crash(rank)
+                    staged_notices = []
+                    for rank in injector.crashes_due(round_idx):
+                        injector.mark_crashed(rank)
+                        self.crashed_ranks.add(rank)
+                        ctx = self.contexts[rank]
+                        if generators[rank] is not None:
+                            generators[rank].close()
+                            generators[rank] = None
+                            alive -= 1
+                        for msg in self.network.purge_machine(rank):
+                            injector.account_purge(msg, rank)
+                        for msg in ctx.drain_outbox():
+                            injector.account_purge(msg, rank)
+                        inbox = ctx.pending_count()
+                        if inbox:
+                            metrics.crash_drops += inbox
+                            ctx._pending.clear()
+                        metrics.crashed.append((rank, round_idx))
+                        self.tracer.record(round_idx, "crash", machine=rank)
+                        if self.fault_plan.notify_crashes:
+                            staged_notices.append(rank)
+
+                # 1. deliver messages that completed transmission last round
+                delivered_count = 0
+                for dst, msgs in deliveries.items():
+                    if dst in self.crashed_ranks:
+                        for m in msgs:
+                            injector.account_purge(m, dst)  # type: ignore[union-attr]
+                        continue
+                    if generators[dst] is None and not getattr(
+                        self.contexts[dst], "post_halt_delivery", False
+                    ):
+                        metrics.dropped_messages += len(msgs)
+                        for m in msgs:
+                            self.tracer.record(round_idx, "drop", machine=dst, tag=m.tag)
+                        continue
+                    self.contexts[dst].deliver(msgs)
+                    delivered_count += len(msgs)
+                    if self.tracer.enabled:
+                        for m in msgs:
+                            self.tracer.record(
+                                round_idx, "deliver", machine=dst, src=m.src, tag=m.tag
+                            )
+
+                # 2. step every running machine once (logically concurrent)
+                compute_max = 0.0
+                for rank, gen in enumerate(generators):
+                    if gen is None:
+                        continue
+                    ctx = self.contexts[rank]
+                    ctx.round = round_idx
+                    started = time.perf_counter() if self.measure_compute else 0.0
+                    try:
+                        next(gen)
+                    except StopIteration as stop:
+                        outputs[rank] = stop.value
+                        if stop.value is not None:
+                            ctx.result = stop.value
+                        generators[rank] = None
+                        alive -= 1
+                        self.tracer.record(round_idx, "halt", machine=rank)
+                    except FaultError:
+                        raise  # environmental failure: let supervisors see it
+                    except Exception as exc:
+                        raise ProtocolError(
+                            f"machine {rank} raised {type(exc).__name__} in round "
+                            f"{round_idx} running {self.program.name!r}: {exc}"
+                        ) from exc
+                    if self.measure_compute:
+                        compute_max = max(compute_max, time.perf_counter() - started)
+
+                # 3. submit this round's sends to the network (halted
+                # machines may still drain reliability retransmissions)
+                sent_msgs = 0
+                sent_bits = 0
+                for rank, ctx in enumerate(self.contexts):
+                    if rank in self.crashed_ranks:
+                        continue
+                    ctx.round = round_idx
+                    for msg in ctx.drain_outbox():
+                        self.network.submit(msg)
+                        metrics.record_send(msg.tag, msg.bits)
+                        sent_msgs += 1
+                        sent_bits += msg.bits
+                        if self.tracer.enabled:
+                            self.tracer.record(
+                                round_idx, "send", machine=msg.src, dst=msg.dst,
+                                tag=msg.tag,
+                            )
+
+                queued_before_step = self.network.in_flight() > 0
+                deliveries = self.network.step()
+                metrics.max_link_queue_bits = max(
+                    metrics.max_link_queue_bits, self.network.queued_bits()
                 )
 
-            round_idx += 1
-            if alive == 0:
-                if deliveries or self.network.in_flight() > 0:
-                    # all machines halted with traffic still in flight:
-                    # deliver-to-nobody; count drops and stop.
-                    for msgs in deliveries.values():
-                        metrics.dropped_messages += len(msgs)
-                    metrics.dropped_messages += len(list(self.network.drop_all()))
-                break
+                any_traffic = sent_msgs > 0 or queued_before_step
+                comm_cost = self.cost_model.round_cost(
+                    self.network.last_step_max_link_bits,
+                    any_traffic,
+                    self.network.last_step_max_dst_messages,
+                )
+                metrics.compute_seconds += compute_max
+                metrics.comm_seconds += comm_cost
+                if any_traffic or alive > 0:
+                    # A round "counts" if communication happened or could
+                    # still happen; trailing all-halted empty rounds do not.
+                    if any_traffic or deliveries:
+                        active_rounds = round_idx + 1
 
-        metrics.rounds = active_rounds
+                if self.timeline:
+                    metrics.timeline.append(
+                        RoundRecord(
+                            round=round_idx,
+                            messages_sent=sent_msgs,
+                            bits_sent=sent_bits,
+                            messages_delivered=delivered_count,
+                            max_link_bits=self.network.last_step_max_link_bits,
+                            compute_seconds=compute_max,
+                            comm_seconds=comm_cost,
+                            active_machines=alive,
+                        )
+                    )
+
+                round_idx += 1
+                if alive == 0:
+                    if self.reliability is not None:
+                        # Reliable tail: keep the round loop running until
+                        # the layer is quiescent (no traffic in flight, no
+                        # unacknowledged transmissions on any live machine),
+                        # so the final messages and ACKs of a protocol are
+                        # protected like all the others.  max_rounds still
+                        # bounds this drain.
+                        live_unacked = any(
+                            ctx.unacked_count()
+                            for rank, ctx in enumerate(self.contexts)
+                            if rank not in self.crashed_ranks
+                            and isinstance(ctx, ReliableMachineContext)
+                        )
+                        if live_unacked or deliveries or self.network.in_flight() > 0:
+                            continue
+                    if deliveries or self.network.in_flight() > 0:
+                        # all machines halted with traffic still in flight:
+                        # deliver-to-nobody; count drops and stop.
+                        for msgs in deliveries.values():
+                            metrics.dropped_messages += len(msgs)
+                        metrics.dropped_messages += len(self.network.drop_all())
+                    break
+        finally:
+            # Fold reliable-layer counters and the round count into the
+            # (possibly partial) metrics on every exit path, success or
+            # abort, so supervisors can charge failed attempts honestly.
+            for ctx in self.contexts:
+                if isinstance(ctx, ReliableMachineContext):
+                    metrics.retransmissions += ctx.retransmissions
+                    metrics.acks_sent += ctx.acks_sent
+                    metrics.duplicates_suppressed += ctx.duplicates_suppressed
+                    metrics.checksum_failures += ctx.checksum_failures
+            metrics.rounds = max(active_rounds, round_idx if alive else active_rounds)
+
         return SimulationResult(
             outputs=outputs,
             metrics=metrics,

@@ -21,7 +21,13 @@ class TraceEvent:
 
     ``kind`` is one of ``"round"``, ``"send"``, ``"deliver"``,
     ``"halt"``, ``"drop"``, or a protocol-defined string; ``detail``
-    holds kind-specific fields.
+    holds kind-specific fields.  Fault injection (see
+    :mod:`repro.kmachine.faults`) adds ``"crash"`` plus the
+    ``"fault-*"`` family: ``"fault-drop"``, ``"fault-duplicate"``,
+    ``"fault-corrupt"``, ``"fault-reorder"``, ``"fault-outage-drop"``
+    and ``"fault-crash-drop"``.  The event stream is deterministic for
+    a fixed ``(seed, FaultPlan)``, which the fault property tests use
+    to pin replay fidelity.
     """
 
     round: int

@@ -6,7 +6,7 @@ real IPC; use the in-process :class:`~repro.kmachine.Simulator` for
 the paper's round/message metrics and bandwidth enforcement.
 """
 
-from .multiprocess import MultiprocessResult, MultiprocessSimulator
+from .multiprocess import MultiprocessResult, MultiprocessSimulator, WorkerCrashedError
 from .transport import RoundDown, RoundUp, WorkerDone, WorkerFailed
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "MultiprocessSimulator",
     "RoundDown",
     "RoundUp",
+    "WorkerCrashedError",
     "WorkerDone",
     "WorkerFailed",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+import traceback as traceback_module
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Sequence
 
@@ -35,9 +36,37 @@ from ..kmachine.rng import spawn_streams
 from ..kmachine.simulator import _draw_unique_ids
 from .transport import RoundDown, RoundUp, WorkerFailed
 
-__all__ = ["MultiprocessResult", "MultiprocessSimulator"]
+__all__ = ["MultiprocessResult", "MultiprocessSimulator", "WorkerCrashedError"]
 
 _DEFAULT_MAX_ROUNDS = 100_000
+
+
+class WorkerCrashedError(ProtocolError):
+    """A machine process failed (raised, or died without reporting).
+
+    Subclasses :class:`~repro.kmachine.errors.ProtocolError` so
+    existing callers that catch protocol failures keep working, while
+    exposing *which* worker failed and (when the worker managed to
+    report before dying) the worker-side traceback text.
+
+    Attributes
+    ----------
+    rank:
+        The failing machine's rank.
+    error:
+        ``TypeName: message`` of the worker's exception, or a
+        description of how the process died (e.g. its exit code).
+    traceback:
+        Worker-side formatted traceback (empty when the process died
+        without reporting, e.g. was OOM-killed).
+    """
+
+    def __init__(self, rank: int, error: str, traceback: str = "") -> None:
+        self.rank = rank
+        self.error = error
+        self.traceback = traceback
+        detail = f"\nworker traceback:\n{traceback}" if traceback else ""
+        super().__init__(f"machine {rank} failed: {error}{detail}")
 
 
 @dataclass
@@ -100,7 +129,13 @@ def _worker_main(
             round_idx += 1
     except Exception as exc:  # pragma: no cover - forwarded to coordinator
         try:
-            conn.send(WorkerFailed(rank=rank, error=f"{type(exc).__name__}: {exc}"))
+            conn.send(
+                WorkerFailed(
+                    rank=rank,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback_module.format_exc(),
+                )
+            )
         finally:
             return
     finally:
@@ -122,14 +157,22 @@ class MultiprocessSimulator:
         inputs: Sequence[Any] | Callable[[int], Any] | None = None,
         seed: int | None = None,
         max_rounds: int = _DEFAULT_MAX_ROUNDS,
+        round_timeout: float | None = 60.0,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError("round_timeout must be positive (or None to disable)")
         self.k = k
         self.program = program
         self.inputs = inputs
         self.seed = seed
         self.max_rounds = max_rounds
+        #: seconds the coordinator waits for one worker's round report
+        #: before declaring it dead; a worker killed by the OS (OOM,
+        #: signal) then raises :class:`WorkerCrashedError` instead of
+        #: hanging the round barrier forever.  ``None`` disables.
+        self.round_timeout = round_timeout
 
     def _input_for(self, rank: int) -> Any:
         if self.inputs is None:
@@ -137,6 +180,46 @@ class MultiprocessSimulator:
         if callable(self.inputs):
             return self.inputs(rank)
         return self.inputs[rank]
+
+    def _recv_from(self, rank: int, conn, proc) -> Any:
+        """One worker's round report, guarded against dead processes.
+
+        Polls the pipe in short slices so a worker that died without
+        reporting (killed by the OS) is detected instead of blocking
+        the round barrier forever; gives up after ``round_timeout``
+        seconds even if the process is nominally alive (livelock).
+        """
+        if self.round_timeout is None:
+            try:
+                return conn.recv()
+            except EOFError:
+                raise WorkerCrashedError(
+                    rank, f"process exited without reporting (exitcode={proc.exitcode})"
+                ) from None
+        deadline = time.perf_counter() + self.round_timeout
+        while True:
+            if conn.poll(0.05):
+                try:
+                    return conn.recv()
+                except EOFError:
+                    raise WorkerCrashedError(
+                        rank,
+                        f"process exited without reporting (exitcode={proc.exitcode})",
+                    ) from None
+            if not proc.is_alive():
+                # One last poll: the message may have landed between
+                # the poll above and the liveness check.
+                if conn.poll(0):
+                    continue
+                raise WorkerCrashedError(
+                    rank, f"process died without reporting (exitcode={proc.exitcode})"
+                )
+            if time.perf_counter() > deadline:
+                raise WorkerCrashedError(
+                    rank,
+                    f"no round report within round_timeout={self.round_timeout}s "
+                    f"(process still alive; likely hung)",
+                )
 
     def run(self) -> MultiprocessResult:
         """Execute to completion; raises on worker errors or deadlock."""
@@ -184,11 +267,9 @@ class MultiprocessSimulator:
                     )
                 ups: dict[int, RoundUp] = {}
                 for rank in sorted(alive):
-                    msg = conns[rank].recv()
+                    msg = self._recv_from(rank, conns[rank], procs[rank])
                     if isinstance(msg, WorkerFailed):
-                        raise ProtocolError(
-                            f"machine {msg.rank} failed: {msg.error}"
-                        )
+                        raise WorkerCrashedError(msg.rank, msg.error, msg.traceback)
                     ups[rank] = msg
                 for rank, up in ups.items():
                     for dst, tag, payload in up.messages:

@@ -57,7 +57,14 @@ class WorkerDone:
 
 @dataclass
 class WorkerFailed:
-    """Worker → coordinator: the program raised; carries the repr."""
+    """Worker → coordinator: the program raised.
+
+    ``error`` is the exception's ``TypeName: message`` repr;
+    ``traceback`` the worker-side formatted traceback text (travels as
+    a plain string so the coordinator never needs to unpickle an
+    arbitrary exception object).
+    """
 
     rank: int
     error: str
+    traceback: str = ""

@@ -1,0 +1,335 @@
+"""Unit tests for the reliable-delivery layer (transparent and in-band)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.kmachine import (
+    CorruptedPayload,
+    Crash,
+    Envelope,
+    FaultPlan,
+    FunctionProgram,
+    Message,
+    ReliabilityConfig,
+    ReliableMachineContext,
+    RetriesExhaustedError,
+    RELIABLE_ACK_TAG,
+    Simulator,
+    payload_checksum,
+    reliable_broadcast,
+    reliable_gather,
+    reliable_recv,
+    reliable_send,
+)
+
+
+# ----------------------------------------------------------------------
+# checksums
+# ----------------------------------------------------------------------
+class TestPayloadChecksum:
+    def test_deterministic(self):
+        payload = {"ids": np.arange(5), "dist": 1.5, "tag": ("a", [1, 2])}
+        assert payload_checksum(payload) == payload_checksum(
+            {"ids": np.arange(5), "dist": 1.5, "tag": ("a", [1, 2])}
+        )
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (0, 1),
+            (0, 0.0),
+            (True, 1),
+            ("x", b"x"),
+            ((1, 2), [1, 2]),
+            (np.arange(3), np.arange(3, dtype=np.float64)),
+            ({"a": 1}, {"a": 2}),
+            (None, 0),
+        ],
+    )
+    def test_distinguishes(self, a, b):
+        assert payload_checksum(a) != payload_checksum(b)
+
+    def test_dict_key_order_irrelevant(self):
+        assert payload_checksum({"a": 1, "b": 2}) == payload_checksum({"b": 2, "a": 1})
+
+    def test_dataclass_payload(self):
+        @dataclasses.dataclass
+        class P:
+            x: int
+            y: float
+
+        assert payload_checksum(P(1, 2.0)) == payload_checksum(P(1, 2.0))
+        assert payload_checksum(P(1, 2.0)) != payload_checksum(P(1, 3.0))
+
+
+# ----------------------------------------------------------------------
+# transparent layer, context in isolation
+# ----------------------------------------------------------------------
+def make_ctx(rank=0, k=2, **cfg) -> ReliableMachineContext:
+    reliability = ReliabilityConfig(**cfg) if cfg else ReliabilityConfig()
+    return ReliableMachineContext(
+        rank=rank, k=k, rng=np.random.default_rng(0), reliability=reliability
+    )
+
+
+def ack_for(ctx: ReliableMachineContext, msg: Message) -> Message:
+    """The ACK the receiver would send for an enveloped message."""
+    return Message(
+        src=msg.dst, dst=msg.src, tag=RELIABLE_ACK_TAG, payload=msg.payload.seq, bits=8
+    )
+
+
+class TestReliableContext:
+    def test_send_wraps_in_envelope_with_increasing_seq(self):
+        ctx = make_ctx()
+        ctx.send(1, "data", "a")
+        ctx.send(1, "data", "b")
+        [first, second] = ctx._outbox
+        assert isinstance(first.payload, Envelope)
+        assert (first.payload.seq, second.payload.seq) == (0, 1)
+        assert first.payload.checksum == payload_checksum("a")
+        assert ctx.unacked_count() == 2
+
+    def test_ack_clears_pending(self):
+        ctx = make_ctx()
+        ctx.send(1, "data", "a")
+        [sent] = ctx.drain_outbox()
+        ctx.deliver([ack_for(ctx, sent)])
+        assert ctx.unacked_count() == 0
+
+    def test_retransmits_after_timeout(self):
+        ctx = make_ctx(ack_timeout_rounds=2)
+        ctx.send(1, "data", "a")
+        assert len(ctx.drain_outbox()) == 1
+        ctx.round = 1
+        assert ctx.drain_outbox() == []  # not yet overdue
+        ctx.round = 2
+        [retx] = ctx.drain_outbox()
+        assert retx.payload.seq == 0 and retx.sent_round == 2
+        assert ctx.retransmissions == 1
+
+    def test_retries_exhausted(self):
+        ctx = make_ctx(ack_timeout_rounds=1, max_retries=2)
+        ctx.send(1, "data", "a")
+        ctx.drain_outbox()
+        for r in range(1, 3):
+            ctx.round = r
+            ctx.drain_outbox()
+        ctx.round = 3
+        with pytest.raises(RetriesExhaustedError) as exc_info:
+            ctx.drain_outbox()
+        assert (exc_info.value.src, exc_info.value.dst) == (0, 1)
+
+    def test_delivery_unwraps_acks_and_dedups(self):
+        sender, receiver = make_ctx(rank=0), make_ctx(rank=1)
+        sender.send(1, "data", "payload")
+        [wire] = sender.drain_outbox()
+        receiver.deliver([wire, wire])  # injected duplicate
+        [got] = receiver.take("data")
+        assert got.payload == "payload"
+        assert receiver.duplicates_suppressed == 1
+        acks = receiver.drain_outbox()
+        assert [a.tag for a in acks] == [RELIABLE_ACK_TAG] * 2
+        sender.deliver([acks[0]])
+        assert sender.unacked_count() == 0
+
+    def test_corrupted_envelope_dropped_without_ack(self):
+        sender, receiver = make_ctx(rank=0), make_ctx(rank=1)
+        sender.send(1, "data", "payload")
+        [wire] = sender.drain_outbox()
+        mangled = dataclasses.replace(wire, payload=CorruptedPayload(wire.payload))
+        receiver.deliver([mangled])
+        assert receiver.take("data") == []
+        assert receiver.checksum_failures == 1
+        assert receiver.drain_outbox() == []  # no ACK: sender must retransmit
+
+    def test_corrupted_ack_ignored(self):
+        ctx = make_ctx()
+        ctx.send(1, "data", "a")
+        [sent] = ctx.drain_outbox()
+        ack = ack_for(ctx, sent)
+        ctx.deliver([dataclasses.replace(ack, payload=CorruptedPayload(ack.payload))])
+        assert ctx.unacked_count() == 1  # still pending, will retransmit
+
+    def test_unprotected_traffic_passes_through(self):
+        ctx = make_ctx(rank=1)
+        raw = Message(src=0, dst=1, tag="plain", payload=7, bits=8)
+        ctx.deliver([raw])
+        [got] = ctx.take("plain")
+        assert got.payload == 7
+        assert ctx.drain_outbox() == []  # no ACK for unenveloped traffic
+
+    def test_notice_crash_cancels_retransmissions(self):
+        ctx = make_ctx(k=3)
+        ctx.send(1, "data", "a")
+        ctx.send(2, "data", "b")
+        ctx.drain_outbox()
+        ctx.notice_crash(1)
+        assert ctx.unacked_count() == 1
+        assert 1 in ctx.crashed_peers
+
+
+# ----------------------------------------------------------------------
+# transparent layer, end to end under faults
+# ----------------------------------------------------------------------
+def all_to_all(ctx):
+    """Everyone sends its rank to everyone; returns sorted payloads."""
+    for dst in range(ctx.k):
+        if dst != ctx.rank:
+            ctx.send(dst, "v", ctx.rank)
+    msgs = yield from ctx.recv("v", ctx.k - 1)
+    return sorted(m.payload for m in msgs)
+
+
+class TestReliableEndToEnd:
+    def test_exact_delivery_under_drops(self):
+        result = Simulator(
+            k=4,
+            program=FunctionProgram(all_to_all),
+            seed=1,
+            faults=FaultPlan(seed=1, drop=0.3),
+            reliable=ReliabilityConfig(ack_timeout_rounds=3),
+        ).run()
+        for rank, out in enumerate(result.outputs):
+            assert out == sorted(set(range(4)) - {rank})
+        assert result.metrics.fault_drops > 0
+        assert result.metrics.retransmissions > 0
+
+    def test_exact_delivery_under_corruption_and_duplication(self):
+        result = Simulator(
+            k=4,
+            program=FunctionProgram(all_to_all),
+            seed=2,
+            faults=FaultPlan(seed=2, corrupt=0.3, duplicate=0.3),
+            reliable=ReliabilityConfig(ack_timeout_rounds=3),
+        ).run()
+        for rank, out in enumerate(result.outputs):
+            assert out == sorted(set(range(4)) - {rank})
+        assert result.metrics.checksum_failures > 0
+
+    def test_post_halt_acks_leave_nothing_unacked(self):
+        """The last message of a protocol is still protected: senders that
+        halt keep retransmitting, receivers that halt keep ACKing."""
+        sim = Simulator(
+            k=2,
+            program=FunctionProgram(all_to_all),
+            seed=3,
+            faults=FaultPlan(seed=3, drop=0.4),
+            reliable=ReliabilityConfig(ack_timeout_rounds=3),
+        )
+        result = sim.run()
+        assert result.outputs == [[1], [0]]
+        for ctx in sim.contexts:
+            assert ctx.unacked_count() == 0
+
+    def test_fault_free_run_unchanged_by_reliable_layer(self):
+        plain = Simulator(k=3, program=FunctionProgram(all_to_all), seed=4).run()
+        wrapped = Simulator(
+            k=3, program=FunctionProgram(all_to_all), seed=4, reliable=True
+        ).run()
+        assert wrapped.outputs == plain.outputs
+        assert wrapped.metrics.retransmissions == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(ack_timeout_rounds=0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(max_retries=-1)
+
+
+# ----------------------------------------------------------------------
+# in-band helpers on plain contexts
+# ----------------------------------------------------------------------
+CFG = ReliabilityConfig(ack_timeout_rounds=3, max_retries=10)
+
+
+class TestInBandHelpers:
+    def test_send_recv_roundtrip_under_drops(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from reliable_send(ctx, 1, "x", ("hello", 42), config=CFG)
+                return "sent"
+            [msg] = yield from reliable_recv(ctx, "x", 1, config=CFG)
+            return msg.payload
+
+        result = Simulator(
+            k=2,
+            program=FunctionProgram(prog),
+            faults=FaultPlan(seed=11, drop=0.4),
+        ).run()
+        assert result.outputs == ["sent", ("hello", 42)]
+
+    def test_recv_dedups_duplicates(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from reliable_send(ctx, 1, "x", "once", config=CFG)
+                return None
+            msgs = yield from reliable_recv(ctx, "x", 1, config=CFG)
+            return [m.payload for m in msgs]
+
+        result = Simulator(
+            k=2,
+            program=FunctionProgram(prog),
+            faults=FaultPlan(seed=12, duplicate=0.6),
+        ).run()
+        assert result.outputs[1] == ["once"]
+
+    def test_broadcast_and_gather_under_drops(self):
+        # Receivers must linger (re-ACKing) well past the broadcaster's
+        # retry horizon, or a run of lost ACKs can strand the sender.
+        cfg = ReliabilityConfig(ack_timeout_rounds=3, max_retries=12, linger_rounds=45)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from reliable_broadcast(ctx, "ann", "go", config=cfg)
+                got = yield from reliable_gather(ctx, 0, "reply", 0, config=cfg)
+                return got
+            [msg] = yield from reliable_recv(ctx, "ann", 1, src=0, config=cfg)
+            assert msg.payload == "go"
+            yield from reliable_gather(ctx, 0, "reply", ctx.rank, config=cfg)
+            return None
+
+        result = Simulator(
+            k=4,
+            program=FunctionProgram(prog),
+            faults=FaultPlan(seed=13, drop=0.25),
+        ).run()
+        assert result.outputs[0] == [0, 1, 2, 3]
+
+    def test_send_gives_up_when_link_is_dead(self):
+        dead = ReliabilityConfig(ack_timeout_rounds=1, max_retries=2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from reliable_send(ctx, 1, "x", "void", config=dead)
+                return None
+            while True:  # receiver never listens on the right tag
+                yield
+
+        with pytest.raises(RetriesExhaustedError):
+            Simulator(
+                k=2,
+                program=FunctionProgram(prog),
+                faults=FaultPlan(drop=1.0),
+                max_rounds=100,
+            ).run()
+
+    def test_gather_excludes_crashed_peer(self):
+        cfg = ReliabilityConfig(ack_timeout_rounds=2, max_retries=4)
+
+        def prog(ctx):
+            for _ in range(3):  # let the crash fire and the notice land
+                yield
+            got = yield from reliable_gather(ctx, 0, "r", ctx.rank, config=cfg)
+            return got
+
+        result = Simulator(
+            k=4,
+            program=FunctionProgram(prog),
+            faults=FaultPlan(crashes=(Crash(2, 1),)),
+        ).run()
+        assert result.outputs[0] == [0, 1, 3]

@@ -1,0 +1,55 @@
+"""LINT — protocol-linter wall-time over the full tree.
+
+The linter runs in CI before the test matrix and inside the test
+suite itself (``tests/lint/test_repo_clean.py``), so it has to stay
+cheap.  This bench times a complete engine run — discovery, parsing,
+cross-file indexing, all five rules, baseline filtering — over
+``src/`` and records the result in ``benchmarks/results/BENCH_lint.json``
+so future PRs can watch the static pass stay fast.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.lint import Baseline, LintEngine, get_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = Path(__file__).parent / "results" / "BENCH_lint.json"
+
+
+def _one_run() -> tuple[int, float]:
+    """Lint ``src/`` once; return (files scanned, elapsed seconds)."""
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    start = time.perf_counter()
+    report = engine.run([REPO_ROOT / "src"], baseline=baseline)
+    elapsed = time.perf_counter() - start
+    assert report.ok, "\n".join(v.format() for v in report.violations)
+    return report.files, elapsed
+
+
+def test_lint_full_tree_timing(benchmark, results_dir):
+    files, _ = _one_run()
+    benchmark.pedantic(_one_run, rounds=3, iterations=1)
+
+    timings = [_one_run()[1] for _ in range(3)]
+    best = min(timings)
+    entry = {
+        "bench": "lint_full_tree",
+        "files": files,
+        "rules": [r.code for r in get_rules()],
+        "best_seconds": round(best, 4),
+        "seconds_per_file_ms": round(1000 * best / files, 3),
+        "python": sys.version.split()[0],
+    }
+    RESULT_PATH.write_text(json.dumps(entry, indent=2) + "\n")
+    print(f"\n[report saved to {RESULT_PATH}]\n{json.dumps(entry, indent=2)}")
+
+    # The linter must stay interactive-speed: the whole tree in
+    # well under the time of a single simulator test.
+    assert best < 5.0
+    assert files > 50

@@ -22,7 +22,7 @@ can budget communication the same way the experiments do.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Generator, Sequence
 
 import numpy as np
 
@@ -109,8 +109,8 @@ def distributed_top_k(
     return -result.values, result.metrics
 
 
-def _count_program(lo: float, hi: float):
-    def prog(ctx: MachineContext):
+def _count_program(lo: float, hi: float) -> FunctionProgram:
+    def prog(ctx: MachineContext) -> Generator[None, None, int]:
         local = ctx.local
         count = int(((local >= lo) & (local <= hi)).sum()) if local is not None else 0
         counts = yield from gather(ctx, 0, "rc", count)
@@ -143,8 +143,8 @@ def distributed_range_count(
     return int(res.outputs[0]), res.metrics
 
 
-def _extrema_program():
-    def prog(ctx: MachineContext):
+def _extrema_program() -> FunctionProgram:
+    def prog(ctx: MachineContext) -> Generator[None, None, tuple[float, float]]:
         local = ctx.local
         if local is not None and len(local):
             pair = (float(local.min()), float(local.max()))

@@ -21,7 +21,7 @@ integration suite checks prediction-for-prediction equality.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

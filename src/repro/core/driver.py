@@ -35,6 +35,7 @@ import numpy as np
 
 from ..kmachine.errors import KMachineError
 from ..kmachine.faults import FaultPlan
+from ..kmachine.machine import Program
 from ..kmachine.metrics import Metrics
 from ..kmachine.reliable import ReliabilityConfig
 from ..kmachine.simulator import SimulationResult, Simulator
@@ -327,7 +328,7 @@ def knn_program_for(
     metric: Metric | str,
     election: str = "fixed",
     **knobs,
-):
+) -> Program:
     """Construct the KNN protocol program named by ``algorithm``.
 
     ``sampled`` is the paper's Algorithm 2; ``unpruned`` is Algorithm 2

@@ -59,9 +59,10 @@ from typing import Generator
 import numpy as np
 
 from ..kmachine.machine import MachineContext, Program
+from ..kmachine.metrics import Metrics
 from ..points.dataset import Shard
 from ..points.ids import MINUS_INF_KEY, Keyed
-from ..points.metrics import EuclideanMetric, Metric, get_metric
+from ..points.metrics import EuclideanMetric, Metric
 from .knn import KNNOutput, local_candidates
 from .messages import tag
 from .selection import _rank_leq
@@ -356,7 +357,7 @@ def build_partition(
     seed: int | None = None,
     bandwidth_bits: int | None = 512,
     **sim_kwargs,
-):
+) -> tuple[list[tuple[Shard, np.ndarray, np.ndarray]], Metrics]:
     """Run the construction phase over ``shards``; return (inputs, metrics).
 
     ``inputs`` is the per-machine ``(shard, box_lo, box_hi)`` list the
@@ -387,7 +388,7 @@ def query_partition(
     seed: int | None = None,
     bandwidth_bits: int | None = 512,
     **sim_kwargs,
-):
+) -> tuple[list[int], Metrics]:
     """Answer one ℓ-NN query over a built partition; return (ids, metrics)."""
     from ..kmachine.simulator import Simulator  # local import: avoid cycle
 

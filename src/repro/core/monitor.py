@@ -39,7 +39,6 @@ from ..kmachine.metrics import Metrics
 from ..points.dataset import Dataset, make_dataset
 from ..points.ids import PLUS_INF_KEY, Keyed
 from ..points.metrics import Metric, get_metric
-from ..points.partition import shard_dataset
 from .driver import DEFAULT_BANDWIDTH_BITS, KNNResult, distributed_knn
 
 __all__ = ["RefreshRecord", "MovingKNNMonitor"]

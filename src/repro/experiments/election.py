@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Generator, Sequence
 
 import numpy as np
 
@@ -101,7 +101,7 @@ def run_election(config: ElectionConfig | None = None) -> ElectionResult:
             rounds, msgs = [], []
             agreements = 0
             for rep in range(cfg.repetitions):
-                def prog(ctx, m=method):
+                def prog(ctx, m=method) -> Generator[None, None, int]:
                     leader = yield from elect(ctx, method=m)
                     return leader
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Sequence, TypeVar
 
 from .ablation import run_ablation
 from .accuracy import AccuracyConfig, run_accuracy
@@ -40,6 +40,8 @@ from .sampling import run_sampling
 from .sensitivity import SensitivityConfig, run_sensitivity
 
 __all__ = ["main", "build_parser"]
+
+_ConfigT = TypeVar("_ConfigT")
 
 
 def _int_list(text: str) -> list[int]:
@@ -111,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _override(config, **kwargs):
+def _override(config: _ConfigT, **kwargs: object) -> _ConfigT:
     for name, value in kwargs.items():
         if value is not None:
             setattr(config, name, value)

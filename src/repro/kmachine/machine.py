@@ -277,7 +277,9 @@ class FunctionProgram(Program):
 
     _counter = itertools.count()
 
-    def __init__(self, fn: Callable[[MachineContext], Generator], name: str | None = None):
+    def __init__(
+        self, fn: Callable[[MachineContext], Generator], name: str | None = None
+    ) -> None:
         self._fn = fn
         self.name = name or getattr(fn, "__name__", f"fn{next(self._counter)}")
 

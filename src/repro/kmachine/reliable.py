@@ -41,6 +41,7 @@ from .errors import PeerCrashedError, ProtocolError, RetriesExhaustedError
 from .faults import CorruptedPayload
 from .machine import MachineContext
 from .message import Message
+from .schema import wire_schema
 
 __all__ = [
     "RELIABLE_ACK_TAG",
@@ -103,6 +104,7 @@ class ReliabilityConfig:
         )
 
 
+@wire_schema(description="reliable-layer wrapper: seq + checksum words around the payload")
 @dataclass(slots=True)
 class Envelope:
     """Wire wrapper added by the reliable layer: ``(seq, checksum, payload)``.

@@ -58,7 +58,8 @@ def streams_are_disjoint(streams: Sequence[np.random.Generator], draws: int = 8)
     """
     seen = set()
     for gen in streams:
-        clone = np.random.default_rng()
+        # Seed is irrelevant: the state is overwritten on the next line.
+        clone = np.random.default_rng(0)
         clone.bit_generator.state = gen.bit_generator.state
         prefix = tuple(int(x) for x in clone.integers(0, 2**63, size=draws))
         if prefix in seen:

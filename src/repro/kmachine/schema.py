@@ -1,0 +1,140 @@
+"""Registry of dataclasses that are allowed to cross the wire.
+
+The k-machine model charges every message in bits, and the
+multiprocess backend pickles every payload between OS processes.  For
+scalars and ``(value, id)`` key tuples both costs are self-evident;
+for *dataclasses* they are not: an innocent new field changes the bit
+cost and the pickle layout of every protocol that ships the type.
+
+This module makes that contract explicit.  A dataclass that travels as
+a payload must be registered::
+
+    @wire_schema(description="reliable-layer envelope")
+    @dataclass(slots=True)
+    class Envelope:
+        seq: int
+        checksum: int
+        payload: Any
+
+Registration records the type in :data:`WIRE_SCHEMAS`, attaches a
+``__wire_bits__`` declaration, and opts the class into the serializer
+round-trip test that ``tests/lint/test_schema.py`` runs over the whole
+registry.  The protocol linter's KM004 rule enforces the other
+direction: an *unregistered* dataclass in payload position is a lint
+error.
+
+``bits`` may be a fixed integer for genuinely fixed-width messages, or
+``None`` (the default) for *structural* sizing — the payload is then
+measured by :mod:`repro.kmachine.sizing` like any other object, which
+is the honest choice for wrappers such as ``Envelope`` whose cost
+depends on what they carry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import Any, Callable, TypeVar
+
+from .sizing import SizingPolicy, payload_bits
+
+__all__ = [
+    "WireSchema",
+    "WIRE_SCHEMAS",
+    "wire_schema",
+    "registered_schema",
+    "wire_bits",
+    "check_roundtrip",
+]
+
+T = TypeVar("T", bound=type)
+
+
+@dataclasses.dataclass(frozen=True)
+class WireSchema:
+    """One registered wire-crossing dataclass."""
+
+    cls: type
+    #: Declared fixed bit cost, or ``None`` for structural sizing.
+    bits: int | None
+    description: str = ""
+
+    @property
+    def name(self) -> str:
+        """Registered class name (registry key)."""
+        return self.cls.__name__
+
+
+#: class name -> schema, in registration order.
+WIRE_SCHEMAS: dict[str, WireSchema] = {}
+
+
+def wire_schema(
+    bits: int | None = None, description: str = ""
+) -> Callable[[T], T]:
+    """Class decorator registering a dataclass as a wire message type.
+
+    Must be applied *outside* ``@dataclass`` (i.e. listed above it) so
+    the class is already a dataclass when registration validates it.
+    Raises ``TypeError`` for non-dataclasses and ``ValueError`` on
+    duplicate registration of the same name by a different class.
+    """
+
+    def register(cls: T) -> T:
+        if not dataclasses.is_dataclass(cls):
+            raise TypeError(
+                f"@wire_schema target {cls.__name__} must be a dataclass"
+            )
+        if bits is not None and bits <= 0:
+            raise ValueError(f"{cls.__name__}: declared bits must be positive")
+        existing = WIRE_SCHEMAS.get(cls.__name__)
+        if existing is not None and existing.cls is not cls:
+            raise ValueError(
+                f"wire schema name {cls.__name__!r} already registered by "
+                f"{existing.cls.__module__}.{existing.cls.__qualname__}"
+            )
+        WIRE_SCHEMAS[cls.__name__] = WireSchema(cls, bits, description)
+        cls.__wire_bits__ = bits  # type: ignore[attr-defined]
+        return cls
+
+    return register
+
+
+def registered_schema(obj: Any) -> WireSchema | None:
+    """Schema for ``obj`` (instance or class), or ``None``."""
+    cls = obj if isinstance(obj, type) else type(obj)
+    schema = WIRE_SCHEMAS.get(cls.__name__)
+    return schema if schema is not None and schema.cls is cls else None
+
+
+def wire_bits(obj: Any, policy: SizingPolicy | None = None) -> int:
+    """Bit cost of ``obj`` on the wire.
+
+    Uses the declared fixed size when the type registered one, and
+    structural measurement otherwise — so declared and structural
+    types compose inside the same payload tuple.
+    """
+    schema = registered_schema(obj)
+    if schema is not None and schema.bits is not None:
+        return schema.bits
+    return payload_bits(obj, policy)
+
+
+def check_roundtrip(instance: Any) -> bool:
+    """True when ``instance`` survives the serializer unchanged.
+
+    The multiprocess transport pickles payloads; a registered type
+    must come back field-for-field equal (``==`` per field, so NumPy
+    scalars compare by value).  Used by the registry-wide test.
+    """
+    if not dataclasses.is_dataclass(instance) or isinstance(instance, type):
+        raise TypeError("check_roundtrip expects a dataclass instance")
+    clone = pickle.loads(pickle.dumps(instance))
+    if type(clone) is not type(instance):
+        return False
+    for field in dataclasses.fields(instance):
+        before = getattr(instance, field.name)
+        after = getattr(clone, field.name)
+        if not bool(before == after):
+            return False
+    return True

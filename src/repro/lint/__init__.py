@@ -1,0 +1,57 @@
+"""Protocol linter: static enforcement of k-machine model invariants.
+
+The correctness claims of this reproduction rest on model invariants
+that ordinary tests cannot see: links carry ``B = Θ(log n)`` bits per
+round, machines share no state, and every probabilistic step must be
+driven by an explicitly seeded generator or runs are irreproducible.
+This package mechanizes those conventions as AST-level lint rules so a
+violation fails review instead of silently skewing an experiment.
+
+Shipped rules (see :mod:`repro.lint.rules`):
+
+========  ==============================================================
+KM001     Bandwidth discipline — payloads handed to ``send`` /
+          ``broadcast`` / collectives must be fixed-width material
+          (scalars, key tuples, registered wire schemas), never raw
+          unbounded containers.
+KM002     Determinism — no ``import random``, no unseeded
+          ``default_rng()``, no legacy ``np.random.*`` global state,
+          no wall-clock reads in protocol or experiment code.
+KM003     Machine isolation — program code touches the world only
+          through its ``MachineContext``; reaching into the simulator,
+          the network, or another machine's state is flagged.
+KM004     Message-schema registration — dataclasses that cross the
+          wire must be registered via
+          :func:`repro.kmachine.schema.wire_schema` so their bit cost
+          is declared and serializer round-trip is tested.
+KM005     recv/send pairing — a blocking receive on a tag no
+          reachable sender uses is a cheap deadlock smell.
+========  ==============================================================
+
+Usage::
+
+    python -m repro.lint --format=text src/
+
+Per-line suppression: append ``# lint: ignore[KM002]`` (or a bare
+``# lint: ignore`` to silence every rule) to the offending line, or
+put the comment on its own line directly above.  Pre-existing debt is
+carried by a committed baseline file (``lint-baseline.json``); only
+*new* violations fail the build.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import LintEngine, ModuleInfo, ProjectIndex, Violation
+from .rules import ALL_RULES, Rule, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "LintEngine",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Rule",
+    "Violation",
+    "get_rules",
+]

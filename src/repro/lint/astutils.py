@@ -1,0 +1,260 @@
+"""Small AST helpers shared by the protocol-lint rules.
+
+Everything here is intentionally syntactic: the linter never imports
+the code under analysis, so rules stay safe to run on broken trees and
+fast enough (one parse per file) to sit in front of the test matrix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+__all__ = [
+    "UNKNOWN",
+    "SEND_METHODS",
+    "RECV_METHODS",
+    "SendSite",
+    "RecvSite",
+    "dotted_name",
+    "attr_tail",
+    "fold_tag",
+    "iter_send_sites",
+    "iter_recv_sites",
+    "is_program_function",
+    "collect_assignments",
+    "import_aliases",
+    "resolve_dotted",
+    "qualname_map",
+]
+
+#: Sentinel for "statically unresolvable" tag values.
+UNKNOWN = object()
+
+#: method name -> (tag positional index, payload positional index).
+#: ``send(dst, tag, payload)``, ``broadcast(tag, payload)``,
+#: ``send_to_many(dsts, tag, payload)``.
+SEND_METHODS: dict[str, tuple[int, int]] = {
+    "send": (1, 2),
+    "broadcast": (0, 1),
+    "send_to_many": (1, 2),
+}
+
+#: method name -> tag positional index for the blocking receive family.
+RECV_METHODS: dict[str, int] = {"recv": 0, "recv_one": 0, "take": 0}
+
+
+class SendSite:
+    """One ``*.send/broadcast/send_to_many`` call found in a module."""
+
+    __slots__ = ("call", "method", "tag", "payload")
+
+    def __init__(
+        self, call: ast.Call, method: str, tag: ast.expr | None, payload: ast.expr | None
+    ) -> None:
+        self.call = call
+        self.method = method
+        self.tag = tag
+        self.payload = payload
+
+
+class RecvSite:
+    """One ``*.recv/recv_one/take`` call found in a module."""
+
+    __slots__ = ("call", "method", "tag")
+
+    def __init__(self, call: ast.Call, method: str, tag: ast.expr | None) -> None:
+        self.call = call
+        self.method = method
+        self.tag = tag
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute/name chain as a dotted string, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def attr_tail(node: ast.expr) -> str | None:
+    """Final attribute/name component of an expression, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _arg(call: ast.Call, pos: int, kw: str) -> ast.expr | None:
+    if len(call.args) > pos and not any(isinstance(a, ast.Starred) for a in call.args[: pos + 1]):
+        return call.args[pos]
+    for keyword in call.keywords:
+        if keyword.arg == kw:
+            return keyword.value
+    return None
+
+
+def iter_send_sites(tree: ast.AST) -> Iterator[SendSite]:
+    """Yield every method call that looks like a context send."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        method = node.func.attr
+        if method not in SEND_METHODS:
+            continue
+        tag_pos, payload_pos = SEND_METHODS[method]
+        yield SendSite(
+            node, method, _arg(node, tag_pos, "tag"), _arg(node, payload_pos, "payload")
+        )
+
+
+def iter_recv_sites(tree: ast.AST) -> Iterator[RecvSite]:
+    """Yield every method call that looks like a context receive."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        method = node.func.attr
+        if method not in RECV_METHODS:
+            continue
+        yield RecvSite(node, method, _arg(node, RECV_METHODS[method], "tag"))
+
+
+def fold_tag(node: ast.expr | None, env: Mapping[str, object]) -> object:
+    """Best-effort constant fold of a tag expression.
+
+    Returns the resolved ``str`` when the expression is a string
+    constant, a name bound (in ``env``) to one, a ``tag(...)`` call
+    whose parts all fold, an f-string of constants, or a ``+``
+    concatenation of foldables — and :data:`UNKNOWN` otherwise.
+    """
+    if node is None:
+        return UNKNOWN
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (str, int)):
+            return str(node.value)
+        return UNKNOWN
+    if isinstance(node, ast.Name):
+        value = env.get(node.id, UNKNOWN)
+        return value if isinstance(value, str) else UNKNOWN
+    if isinstance(node, ast.Call) and attr_tail(node.func) == "tag" and not node.keywords:
+        parts = [fold_tag(arg, env) for arg in node.args]
+        if all(isinstance(p, str) for p in parts):
+            return "/".join(p for p in parts if isinstance(p, str))
+        return UNKNOWN
+    if isinstance(node, ast.JoinedStr):
+        chunks: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                chunks.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                folded = fold_tag(piece.value, env)
+                if not isinstance(folded, str):
+                    return UNKNOWN
+                chunks.append(folded)
+            else:
+                return UNKNOWN
+        return "".join(chunks)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left, right = fold_tag(node.left, env), fold_tag(node.right, env)
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+        return UNKNOWN
+    return UNKNOWN
+
+
+def is_program_function(node: ast.AST) -> bool:
+    """True for functions written against the machine-side API.
+
+    A *program function* is a (sync) function with a parameter named
+    ``ctx`` — the convention every :class:`~repro.kmachine.machine.
+    Program` body and protocol subroutine in this repo follows.  The
+    isolation rule only fires inside these, so driver/orchestration
+    code may freely construct simulators.
+    """
+    if not isinstance(node, ast.FunctionDef):
+        return False
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return "ctx" in names
+
+
+def collect_assignments(
+    tree: ast.Module, scopes: Mapping[ast.AST, str]
+) -> dict[tuple[str, str], list[ast.expr]]:
+    """Map ``(scope, name)`` to the expressions ever assigned to it.
+
+    One level of local dataflow is enough for the bandwidth and schema
+    rules: protocols build a payload in a local and hand it to ``send``
+    a few lines later, and this catches that without real flow
+    analysis.  Only simple single-target ``name = expr`` assignments
+    are tracked.
+    """
+    out: dict[tuple[str, str], list[ast.expr]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                out.setdefault((scopes.get(node, ""), target.id), []).append(node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                out.setdefault((scopes.get(node, ""), node.target.id), []).append(node.value)
+    return out
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the fully-qualified names they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import time`` -> ``{"time": "time.time"}``.  Used to
+    resolve call targets like ``np.random.rand`` to canonical dotted
+    paths regardless of aliasing.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name != "*":
+                    aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.expr, aliases: Mapping[str, str]) -> str | None:
+    """Dotted name of ``node`` with its first component de-aliased."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    head = aliases.get(head, head)
+    return f"{head}.{rest}" if rest else head
+
+
+def qualname_map(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every AST node to its enclosing dotted scope name.
+
+    Used for stable baseline fingerprints: a violation is identified
+    by its enclosing function/class rather than a line number, so the
+    baseline survives unrelated edits above it.
+    """
+    scopes: dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            name = prefix
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+            scopes[child] = name
+            visit(child, name)
+
+    scopes[tree] = ""
+    visit(tree, "")
+    return scopes

@@ -1,0 +1,70 @@
+"""Committed-baseline support for the protocol linter.
+
+A baseline is a JSON file mapping violation fingerprints to counts.
+Pre-existing debt recorded there is forgiven on every run; anything
+beyond it is *new* and fails the build.  The repo commits an **empty**
+baseline — the tree lints clean — so the mechanism exists for future
+large refactors without ever being a license to regress today.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Violation
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: Conventional file name looked up at the repo root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed-count map, with JSON (de)serialization."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad schema."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ValueError(f"{path}: unsupported baseline format")
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: 'entries' must be an object")
+        return cls(entries={str(k): int(v) for k, v in entries.items()})
+
+    @classmethod
+    def from_violations(cls, violations: Iterable["Violation"]) -> "Baseline":
+        """Build the baseline that exactly forgives ``violations``."""
+        counts = Counter(v.fingerprint() for v in violations)
+        return cls(entries=dict(sorted(counts.items())))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        payload = {"version": _VERSION, "entries": dict(sorted(self.entries.items()))}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    @staticmethod
+    def find(start: Path) -> Path | None:
+        """Walk up from ``start`` looking for the conventional file."""
+        current = Path(start).resolve()
+        if current.is_file():
+            current = current.parent
+        for candidate in [current, *current.parents]:
+            path = candidate / DEFAULT_BASELINE_NAME
+            if path.is_file():
+                return path
+        return None

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 — clean (no new violations), 1 — violations found,
+2 — usage or I/O error.  ``--format=json`` emits a machine-readable
+report for CI annotation tooling; ``--update-baseline`` rewrites the
+baseline to forgive exactly the current violations (for intentional,
+reviewed debt — the committed baseline in this repo is empty).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import LintEngine, LintReport
+from .rules import ALL_RULES, get_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse definition (separate for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Protocol linter: k-machine model invariants as lint rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: nearest {DEFAULT_BASELINE_NAME} above the "
+        f"first path)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every violation",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to forgive the current violations, then exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return Path(args.baseline)
+    return Baseline.find(Path(args.paths[0]))
+
+
+def _emit_text(report: LintReport) -> None:
+    for error in report.parse_errors:
+        print(f"error: {error}")
+    for violation in report.violations:
+        print(violation.format())
+    print(
+        f"{len(report.violations)} violation(s) in {report.files} file(s)"
+        f" ({report.suppressed} suppressed, {report.baselined} baselined)"
+    )
+
+
+def _emit_json(report: LintReport, elapsed: float) -> None:
+    payload = {
+        "files": report.files,
+        "elapsed_seconds": round(elapsed, 4),
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "parse_errors": report.parse_errors,
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "scope": v.scope,
+                "message": v.message,
+                "fingerprint": v.fingerprint(),
+            }
+            for v in report.violations
+        ],
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.code}  {cls.name}: {cls.description}")
+        return 0
+
+    try:
+        codes = (
+            {c.strip().upper() for c in args.rules.split(",") if c.strip()}
+            if args.rules
+            else None
+        )
+        rules = get_rules(codes)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline(args)
+    baseline = None
+    if baseline_path is not None and not args.update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except FileNotFoundError:
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    engine = LintEngine(rules)
+    started = time.perf_counter()
+    report = engine.run([Path(p) for p in args.paths], baseline=baseline)
+    elapsed = time.perf_counter() - started
+
+    if args.update_baseline:
+        if baseline_path is not None:
+            target = baseline_path
+        else:
+            anchor = Path(args.paths[0]).resolve()
+            anchor = anchor if anchor.is_dir() else anchor.parent
+            target = anchor / DEFAULT_BASELINE_NAME
+        Baseline.from_violations(report.violations).save(target)
+        print(f"baseline written: {target} ({len(report.violations)} entries)")
+        return 0
+
+    if args.format == "json":
+        _emit_json(report, elapsed)
+    else:
+        _emit_text(report)
+    return 0 if report.ok else 1

@@ -1,0 +1,299 @@
+"""Lint engine: file discovery, suppression handling, rule dispatch.
+
+The engine makes two passes.  Pass one parses every file and builds a
+:class:`ProjectIndex` of cross-file facts (which tags are ever sent,
+which dataclasses carry a registered wire schema, module-level string
+constants).  Pass two runs each rule over each module with that index
+in hand, then filters per-line suppressions and (optionally) the
+committed baseline, so only *new* violations surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .astutils import (
+    UNKNOWN,
+    dotted_name,
+    fold_tag,
+    iter_send_sites,
+    qualname_map,
+)
+from .baseline import Baseline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .rules import Rule
+
+__all__ = ["Violation", "ModuleInfo", "ProjectIndex", "LintEngine", "LintReport"]
+
+#: ``# lint: ignore`` / ``# lint: ignore[KM001,KM005]``
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Decorator names that register a wire schema (KM004's blessing).
+_SCHEMA_DECORATORS = {"wire_schema", "register_wire_schema"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, addressable both for humans and for the baseline."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    scope: str = ""
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RULE message [in scope]``."""
+        where = f" [in {self.scope}]" if self.scope else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{where}"
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline.
+
+        Deliberately excludes the line number so re-indenting or
+        adding code above a known violation does not churn the
+        baseline; the enclosing scope plus message keeps collisions
+        rare, and the baseline stores a per-fingerprint *count* to
+        handle genuine duplicates.
+        """
+        raw = f"{self.rule}|{self.path}|{self.scope}|{self.message}"
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+
+class ModuleInfo:
+    """One parsed source file plus the per-module facts rules need."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=relpath)
+        self.scopes = qualname_map(self.tree)
+        self.suppressions = self._parse_suppressions()
+        #: module-level ``NAME = "string"`` constants (tag vocabulary).
+        self.str_constants = self._collect_str_constants()
+
+    # -- scope -----------------------------------------------------------
+    @property
+    def segments(self) -> tuple[str, ...]:
+        """Path components of the module, used for directory scoping."""
+        return tuple(Path(self.relpath).parts)
+
+    def in_dir(self, *names: str) -> bool:
+        """True when any *directory* component matches one of ``names``."""
+        return any(seg in names for seg in self.segments[:-1])
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted enclosing-scope name for ``node`` (may be '')."""
+        return self.scopes.get(node, "")
+
+    # -- suppressions ----------------------------------------------------
+    def _parse_suppressions(self) -> dict[int, set[str]]:
+        out: dict[int, set[str]] = {}
+        for idx, line in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            codes = (
+                {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+                if m.group(1)
+                else {"*"}
+            )
+            out.setdefault(idx, set()).update(codes)
+            # A comment-only line also covers the next line, so a
+            # suppression can sit above long statements.
+            if line.split("#", 1)[0].strip() == "":
+                out.setdefault(idx + 1, set()).update(codes)
+        return out
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """True when a ``# lint: ignore`` comment covers this hit."""
+        codes = self.suppressions.get(violation.line)
+        return bool(codes) and ("*" in codes or violation.rule in codes)
+
+    # -- constants -------------------------------------------------------
+    def _collect_str_constants(self) -> dict[str, str]:
+        consts: dict[str, str] = {}
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    consts[target.id] = node.value.value
+        return consts
+
+    def local_tag_env(self, extra: dict[str, str] | None = None) -> dict[str, object]:
+        """Environment for tag folding: assignments anywhere in the module.
+
+        Walks every simple ``name = <expr>`` assignment (module or
+        function scope) and folds string-valued right-hand sides; a
+        name assigned a non-foldable value maps to UNKNOWN so partial
+        knowledge never produces a wrong tag string.
+        """
+        env: dict[str, object] = dict(extra or {})
+        env.update(self.str_constants)
+        pending: list[tuple[str, ast.expr]] = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    pending.append((target.id, node.value))
+        # Two folding rounds let `t = tag(PREFIX, "q")` resolve when
+        # PREFIX itself is an assigned constant discovered in round 1.
+        for _ in range(2):
+            for name, value in pending:
+                folded = fold_tag(value, env)
+                if isinstance(folded, str):
+                    if env.get(name, folded) != folded:
+                        env[name] = UNKNOWN  # reassigned with a different tag
+                    else:
+                        env[name] = folded
+                elif name not in env:
+                    env[name] = UNKNOWN
+        return env
+
+
+class ProjectIndex:
+    """Cross-file facts shared by every rule invocation."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        #: union of module-level string constants (OP_* vocabulary).
+        self.global_str_constants: dict[str, str] = {}
+        for mod in modules:
+            self.global_str_constants.update(mod.str_constants)
+
+        #: every tag string any send site resolves to, project-wide.
+        self.sent_tags: set[str] = set()
+        #: relpaths of modules containing at least one unresolvable send
+        #: tag (recv checks in those modules stay quiet).
+        self.modules_with_dynamic_sends: set[str] = set()
+        #: dataclass name -> registered-with-wire-schema?
+        self.dataclasses: dict[str, bool] = {}
+
+        for mod in modules:
+            env = mod.local_tag_env(self.global_str_constants)
+            for site in iter_send_sites(mod.tree):
+                folded = fold_tag(site.tag, env)
+                if isinstance(folded, str):
+                    self.sent_tags.add(folded)
+                else:
+                    self.modules_with_dynamic_sends.add(mod.relpath)
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.ClassDef):
+                    is_dc = registered = False
+                    for deco in node.decorator_list:
+                        target = deco.func if isinstance(deco, ast.Call) else deco
+                        name = dotted_name(target) or ""
+                        tail = name.rsplit(".", 1)[-1]
+                        if tail == "dataclass":
+                            is_dc = True
+                        if tail in _SCHEMA_DECORATORS:
+                            registered = True
+                    if is_dc:
+                        prior = self.dataclasses.get(node.name, False)
+                        self.dataclasses[node.name] = prior or registered
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    violations: list[Violation]
+    baselined: int = 0
+    suppressed: int = 0
+    files: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no new violations (and nothing failed to parse)."""
+        return not self.violations and not self.parse_errors
+
+
+class LintEngine:
+    """Discover files, run rules, filter suppressions and baseline."""
+
+    def __init__(self, rules: Sequence["Rule"], root: Path | None = None) -> None:
+        self.rules = list(rules)
+        self.root = (root or Path.cwd()).resolve()
+
+    def discover(self, paths: Iterable[Path]) -> list[Path]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        found: set[Path] = set()
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                found.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+            elif path.suffix == ".py":
+                found.add(path)
+        return sorted(found)
+
+    def _relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def load_modules(
+        self, files: Sequence[Path]
+    ) -> tuple[list[ModuleInfo], list[str]]:
+        """Parse each file; collect syntax errors instead of raising."""
+        modules: list[ModuleInfo] = []
+        errors: list[str] = []
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                modules.append(ModuleInfo(path, self._relpath(path), source))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                errors.append(f"{self._relpath(path)}: {exc}")
+        return modules, errors
+
+    def run(self, paths: Iterable[Path], baseline: Baseline | None = None) -> LintReport:
+        """Lint ``paths`` and return the filtered report."""
+        files = self.discover(paths)
+        modules, errors = self.load_modules(files)
+        index = ProjectIndex(modules)
+
+        raw: list[Violation] = []
+        suppressed = 0
+        for mod in modules:
+            for rule in self.rules:
+                for violation in rule.check(mod, index):
+                    if mod.is_suppressed(violation):
+                        suppressed += 1
+                    else:
+                        raw.append(violation)
+
+        raw.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        baselined = 0
+        if baseline is not None:
+            kept: list[Violation] = []
+            budget = dict(baseline.entries)
+            for violation in raw:
+                fp = violation.fingerprint()
+                if budget.get(fp, 0) > 0:
+                    budget[fp] -= 1
+                    baselined += 1
+                else:
+                    kept.append(violation)
+            raw = kept
+
+        return LintReport(
+            violations=raw,
+            baselined=baselined,
+            suppressed=suppressed,
+            files=len(modules),
+            parse_errors=errors,
+        )

@@ -1,0 +1,69 @@
+"""Rule registry for the protocol linter.
+
+Each rule encodes one invariant of the k-machine model (Fathi, Molla,
+Pandurangan — SPAA 2020) that the simulator enforces dynamically but
+nothing previously checked at review time.  Rules are pure AST
+analyses: they never import the code under review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, ProjectIndex, Violation
+
+__all__ = ["Rule", "ALL_RULES", "get_rules"]
+
+
+class Rule:
+    """Base class: one lint check, identified by a stable ``KMxxx`` code."""
+
+    code: str = "KM000"
+    name: str = "base"
+    description: str = ""
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        """Yield violations found in ``module``; must not mutate state."""
+        raise NotImplementedError
+
+    def violation(self, module: ModuleInfo, node: ast.AST, message: str) -> Violation:
+        """Construct a violation anchored at ``node``."""
+        return Violation(
+            rule=self.code,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            scope=module.scope_of(node),
+        )
+
+
+from .bandwidth import BandwidthRule  # noqa: E402
+from .determinism import DeterminismRule  # noqa: E402
+from .isolation import IsolationRule  # noqa: E402
+from .pairing import PairingRule  # noqa: E402
+from .schema import SchemaRule  # noqa: E402
+
+#: Every shipped rule, in code order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    BandwidthRule,
+    DeterminismRule,
+    IsolationRule,
+    SchemaRule,
+    PairingRule,
+)
+
+
+def get_rules(codes: set[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules, optionally filtered by code."""
+    selected = []
+    for cls in ALL_RULES:
+        if codes is None or cls.code in codes:
+            selected.append(cls())
+    if codes:
+        known = {cls.code for cls in ALL_RULES}
+        unknown = codes - known
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return selected

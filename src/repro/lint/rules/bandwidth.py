@@ -1,0 +1,117 @@
+"""KM001 — bandwidth discipline.
+
+The k-machine model grants each link ``B = Θ(log n)`` bits per round
+(paper §2); every protocol here therefore speaks in O(1)-word units —
+scalars, ``encode_key`` pairs, short tuples of scalars — so the
+simulator's bandwidth queue charges the rounds the theorems count.
+Handing ``send``/``broadcast`` a raw container (a list of keys, a
+NumPy array, a dict) silently turns one logical message into an
+unbounded payload and voids the round bounds.
+
+This rule flags payload expressions in protocol code (``core/`` and
+``kmachine/``) that are syntactically unbounded: container displays,
+comprehensions, or calls that materialize sequences (``list``,
+``sorted``, ``np.array``, ``.tolist()``, …).  Fixed-width material —
+scalars, names, attribute reads, key tuples, registered wire-schema
+dataclasses — passes.  One level of local dataflow is tracked, so
+``payload = [...]; ctx.send(dst, t, payload)`` is caught too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutils import attr_tail, collect_assignments, iter_send_sites
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+__all__ = ["BandwidthRule"]
+
+#: Call targets that materialize unbounded sequences.
+_SEQUENCE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "frozenset",
+    "sorted",
+    "bytes",
+    "bytearray",
+    "tolist",
+    "tobytes",
+    "array",
+    "asarray",
+    "concatenate",
+    "stack",
+    "vstack",
+    "hstack",
+    "frombuffer",
+    "repeat",
+    "tile",
+}
+
+
+def _unbounded_reason(expr: ast.expr) -> str | None:
+    """Why ``expr`` is an unbounded payload, or ``None`` if it is fine."""
+    if isinstance(expr, (ast.List, ast.Set, ast.Dict)):
+        return "container literal"
+    if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        return "comprehension"
+    if isinstance(expr, ast.Call):
+        tail = attr_tail(expr.func)
+        if tail in _SEQUENCE_CALLS:
+            return f"call to {tail}()"
+    if isinstance(expr, ast.Starred):
+        return "starred expression"
+    return None
+
+
+class BandwidthRule(Rule):
+    """Payloads must be fixed-width words, not raw containers."""
+
+    code = "KM001"
+    name = "bandwidth-discipline"
+    description = (
+        "send/broadcast payloads in protocol code must be O(log n)-bit "
+        "words (scalars, encode_key tuples, registered wire schemas), "
+        "never raw unbounded containers"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "kmachine"):
+            return
+        assignments = collect_assignments(module.tree, module.scopes)
+        for site in iter_send_sites(module.tree):
+            payload = site.payload
+            if payload is None:
+                continue
+            reason = _unbounded_reason(payload)
+            # One hop of local dataflow: a name assigned an unbounded
+            # expression anywhere in the same scope.
+            if reason is None and isinstance(payload, ast.Name):
+                scope = module.scope_of(site.call)
+                for value in assignments.get((scope, payload.id), []):
+                    reason = _unbounded_reason(value)
+                    if reason is not None:
+                        reason = f"{reason} assigned to {payload.id!r}"
+                        break
+            # Tuples are the model's wire idiom, but only of words:
+            # a tuple *containing* a container is still unbounded.
+            if reason is None and isinstance(payload, ast.Tuple):
+                for element in payload.elts:
+                    inner = _unbounded_reason(element)
+                    if inner is not None:
+                        reason = f"tuple element is a {inner}"
+                        break
+            if reason is not None:
+                snippet = ast.unparse(payload)
+                if len(snippet) > 40:
+                    snippet = snippet[:37] + "..."
+                yield self.violation(
+                    module,
+                    payload,
+                    f"unbounded payload in {site.method}(): {reason} "
+                    f"({snippet!r}); send O(log n)-bit words via "
+                    f"kmachine.sizing-accounted scalars/key tuples or a "
+                    f"registered wire schema",
+                )

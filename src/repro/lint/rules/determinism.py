@@ -1,0 +1,133 @@
+"""KM002 — determinism discipline.
+
+Every probabilistic step in the reproduced algorithms — Lemma 2.1's
+pivot sampling, Algorithm 2's ``12·log ℓ`` sample — must be driven by
+an explicitly seeded :class:`numpy.random.Generator` threaded through
+the call chain (the discipline ``points/generators.py`` models), or a
+run cannot be replayed and every w.h.p. claim becomes untestable.
+
+In ``kmachine/``, ``core/`` and ``experiments/`` this rule flags:
+
+* ``import random`` (the stdlib global-state RNG);
+* ``numpy.random.default_rng()`` called with **no** seed;
+* legacy ``numpy.random.*`` module-level draws (``rand``, ``randint``,
+  ``shuffle``, ``seed``, …) which mutate hidden global state;
+* wall-clock reads (``time.time``, ``datetime.now``, …) — the usual
+  smuggling route for nondeterministic seeds and a violation of the
+  model's synchronous-round time.  ``perf_counter`` is allowed: it
+  measures durations for the α–β cost model and cannot leak into
+  protocol decisions as a timestamp.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutils import import_aliases, resolve_dotted
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random module-level functions backed by hidden global state.
+_LEGACY_NP_RANDOM = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "beta",
+    "binomial",
+    "poisson",
+    "exponential",
+    "geometric",
+    "get_state",
+    "set_state",
+}
+
+#: Wall-clock reads (canonical dotted names after de-aliasing).
+_WALLCLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class DeterminismRule(Rule):
+    """RNGs must be seeded and threaded; no global state, no wall clock."""
+
+    code = "KM002"
+    name = "determinism"
+    description = (
+        "protocol and experiment code must thread explicitly seeded "
+        "numpy Generators; stdlib random, legacy np.random globals and "
+        "wall-clock reads are banned"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "kmachine", "experiments"):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            module,
+                            node,
+                            "stdlib 'random' uses hidden global state; thread a "
+                            "seeded numpy.random.Generator instead (see "
+                            "kmachine/rng.py)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.violation(
+                        module,
+                        node,
+                        "stdlib 'random' uses hidden global state; thread a "
+                        "seeded numpy.random.Generator instead (see "
+                        "kmachine/rng.py)",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted is None:
+                    continue
+                tail = dotted.rsplit(".", 1)[-1]
+                if tail == "default_rng" and not node.args and not node.keywords:
+                    yield self.violation(
+                        module,
+                        node,
+                        "default_rng() without a seed draws OS entropy; pass a "
+                        "seed / SeedSequence so runs are reproducible",
+                    )
+                elif (
+                    dotted.startswith(("numpy.random.", "np.random."))
+                    and tail in _LEGACY_NP_RANDOM
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"legacy numpy.random.{tail}() mutates hidden global "
+                        f"state; use an explicit seeded Generator parameter",
+                    )
+                elif dotted in _WALLCLOCK:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"wall-clock read {dotted}() is nondeterministic; the "
+                        f"model's time is the round counter, and seeds must be "
+                        f"explicit",
+                    )

@@ -1,0 +1,85 @@
+"""KM003 — machine isolation.
+
+Machines in the k-machine model share nothing: all coordination flows
+over the bandwidth-limited links (paper §2).  In this codebase that
+means *program* code — any function written against the
+:class:`~repro.kmachine.machine.MachineContext` API — may only touch
+the world through its ``ctx``.  Reaching into the simulator, the
+network, or another machine's context bypasses bandwidth accounting
+and fabricates shared memory the model forbids.
+
+The rule fires only inside program functions (functions with a ``ctx``
+parameter) in ``core/``, so driver/orchestration code is free to build
+and own :class:`Simulator` instances.  Flagged inside program scope:
+
+* attribute access to runtime internals (``.simulator``, ``.network``,
+  ``._machines``, ``._contexts``, ``.machines``, ``.contexts``);
+* references to the ``Simulator`` / ``Network`` types themselves;
+* private ``ctx._*`` attribute access (the context's mailbox internals
+  are simulator-owned).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutils import is_program_function
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+__all__ = ["IsolationRule"]
+
+#: Attribute names that reach through to the shared runtime.
+_RUNTIME_ATTRS = {"simulator", "network", "_machines", "_contexts", "machines", "contexts"}
+
+#: Runtime type names program code must not reference.
+_RUNTIME_TYPES = {"Simulator", "Network", "MultiprocessSimulator"}
+
+
+class IsolationRule(Rule):
+    """Program code talks to the world only through its MachineContext."""
+
+    code = "KM003"
+    name = "machine-isolation"
+    description = (
+        "functions written against the MachineContext API must not reach "
+        "into the simulator, the network, or other machines' state"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core"):
+            return
+        for func in ast.walk(module.tree):
+            if not is_program_function(func):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.Attribute):
+                    if node.attr in _RUNTIME_ATTRS:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"program code reaches runtime internals via "
+                            f"'.{node.attr}'; machines share no state — use "
+                            f"the MachineContext messaging API",
+                        )
+                    elif (
+                        node.attr.startswith("_")
+                        and not node.attr.startswith("__")
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "ctx"
+                    ):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"'ctx.{node.attr}' touches simulator-owned context "
+                            f"internals; use the public send/recv/take API",
+                        )
+                elif isinstance(node, ast.Name) and node.id in _RUNTIME_TYPES:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"program code references runtime type {node.id!r}; "
+                        f"protocols must be expressible with MachineContext "
+                        f"alone",
+                    )

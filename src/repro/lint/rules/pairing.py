@@ -1,0 +1,58 @@
+"""KM005 — recv/send pairing heuristics.
+
+A blocking receive on a tag that no reachable sender ever uses can
+only end two ways in a synchronous simulation: the global
+``max_rounds`` deadlock guard fires, or — worse — a concurrently
+running sub-protocol happens to reuse the tag and the receive consumes
+someone else's traffic.  Both are protocol bugs that type checkers and
+unit tests routinely miss because each side looks locally correct.
+
+This is deliberately a *heuristic*: tags built from runtime values
+cannot be resolved statically, so the rule only judges receives whose
+tag constant-folds (string literals, module constants, ``tag(...)``
+calls with foldable parts), compares them against every send tag that
+folds anywhere in the analyzed tree, and stays silent for modules
+containing any unresolvable send (those could match anything).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..astutils import fold_tag, iter_recv_sites
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+__all__ = ["PairingRule"]
+
+
+class PairingRule(Rule):
+    """Receives must wait on tags some sender actually uses."""
+
+    code = "KM005"
+    name = "recv-send-pairing"
+    description = (
+        "a blocking receive on a tag no reachable sender uses is a "
+        "deadlock (or cross-protocol tag collision) waiting to happen"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "kmachine"):
+            return
+        if module.relpath in index.modules_with_dynamic_sends:
+            # An unresolvable send in this module could carry any tag;
+            # judging receives here would be guesswork.
+            return
+        env = module.local_tag_env(index.global_str_constants)
+        for site in iter_recv_sites(module.tree):
+            folded = fold_tag(site.tag, env)
+            if not isinstance(folded, str):
+                continue
+            if folded not in index.sent_tags:
+                yield self.violation(
+                    module,
+                    site.call,
+                    f"{site.method}() waits on tag {folded!r} but no send in "
+                    f"the analyzed tree uses that tag; the receive can never "
+                    f"complete (deadlock smell)",
+                )

@@ -1,0 +1,77 @@
+"""KM004 — message-schema registration.
+
+Anything that crosses the wire is charged bits by the sizing policy
+and, on the multiprocess backend, serialized between OS processes.
+For scalars and key tuples both are trivially well-defined; for
+*dataclasses* they are not — a field added in one place silently
+changes the bit cost and the pickle layout everywhere.  The contract
+is therefore: any dataclass used as a message payload must be
+registered with :func:`repro.kmachine.schema.wire_schema`, declaring
+its bit cost, and gets a serializer round-trip test for free
+(``tests/lint/test_schema.py`` exercises every registered type).
+
+The rule finds dataclass constructor calls in payload position of
+``send``/``broadcast``/``send_to_many`` inside ``core/`` and
+``kmachine/`` (including one hop through a local variable and tuple
+elements) and flags those whose class lacks the decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutils import collect_assignments, iter_send_sites
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+__all__ = ["SchemaRule"]
+
+
+class SchemaRule(Rule):
+    """Wire-crossing dataclasses must declare a registered schema."""
+
+    code = "KM004"
+    name = "message-schema-registration"
+    description = (
+        "every dataclass sent as a payload must be registered via "
+        "@wire_schema so its bit size is declared and its serializer "
+        "round-trip is tested"
+    )
+
+    def _unregistered(self, expr: ast.expr, index: ProjectIndex) -> str | None:
+        """Name of the unregistered dataclass ``expr`` instantiates."""
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in index.dataclasses
+            and not index.dataclasses[expr.func.id]
+        ):
+            return expr.func.id
+        return None
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "kmachine"):
+            return
+        assignments = collect_assignments(module.tree, module.scopes)
+        for site in iter_send_sites(module.tree):
+            payload = site.payload
+            if payload is None:
+                continue
+            candidates: list[ast.expr] = [payload]
+            if isinstance(payload, ast.Tuple):
+                candidates.extend(payload.elts)
+            if isinstance(payload, ast.Name):
+                scope = module.scope_of(site.call)
+                candidates.extend(assignments.get((scope, payload.id), []))
+            for expr in candidates:
+                name = self._unregistered(expr, index)
+                if name is not None:
+                    yield self.violation(
+                        module,
+                        expr,
+                        f"dataclass {name!r} crosses the wire without a "
+                        f"registered schema; decorate it with @wire_schema "
+                        f"(repro.kmachine.schema) to declare its bit cost",
+                    )
+                    break

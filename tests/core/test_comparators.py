@@ -15,7 +15,6 @@ from repro.core.saukas_song import (
     _weighted_median,
 )
 from repro.kmachine import Simulator
-from repro.points.dataset import make_dataset
 from repro.points.generators import gaussian_blobs
 from repro.points.ids import Keyed, keyed_array
 from repro.points.partition import shard_dataset

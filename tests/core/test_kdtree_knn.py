@@ -12,8 +12,7 @@ from repro.core.kdtree_knn import (
     build_partition,
     query_partition,
 )
-from repro.points.dataset import Shard
-from repro.points.generators import duplicate_heavy, gaussian_blobs, uniform_points
+from repro.points.generators import duplicate_heavy, gaussian_blobs
 from repro.points.partition import shard_dataset
 from repro.sequential.brute import brute_force_knn_ids
 

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.leader import elect, elect_min_id, elect_sublinear, fixed_leader
+from repro.core.leader import elect, fixed_leader
 from repro.core.messages import decode_key, encode_key, log2_ceil, tag
 from repro.kmachine import FunctionProgram, run_program
 from repro.points.ids import Keyed

@@ -10,7 +10,6 @@ enough that breaking a complexity bound fails the suite.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.complexity import fit_log, growth_ratio
 from repro.core.driver import distributed_knn, distributed_select

@@ -1,0 +1,7 @@
+"""KM001 bad: a comprehension-built list handed to send via a local name."""
+
+
+def collect(ctx):
+    keys = [(float(v), int(i)) for v, i in ctx.local]
+    ctx.send(0, "sel/cand", keys)
+    yield

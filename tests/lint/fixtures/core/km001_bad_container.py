@@ -1,0 +1,16 @@
+"""KM001 bad: container literals and sequence-materializing calls as payloads."""
+
+
+def shout(ctx):
+    ctx.broadcast("all/dump", {"keys": 1})
+    yield
+
+
+def ship(ctx):
+    ctx.send(1, "all/rows", sorted(ctx.local))
+    yield
+
+
+def tupled(ctx):
+    ctx.send(1, "all/mixed", (1.0, ctx.local.tolist()))
+    yield

@@ -1,0 +1,12 @@
+"""KM001 good: fixed-width words — scalars, key tuples, encoded keys."""
+
+
+def encode_key(key):
+    return (key.value, key.id)
+
+
+def reply(ctx, key):
+    ctx.send(0, "sel/r", encode_key(key))
+    ctx.send(0, "sel/n", len(ctx.local))
+    ctx.broadcast("sel/done", (1.0, 42))
+    yield

@@ -1,0 +1,12 @@
+"""KM002 bad: wall-clock reads smuggle nondeterminism into protocol code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def label():
+    return datetime.now().isoformat()

@@ -1,0 +1,8 @@
+"""KM003 bad: program code rummaging in the context's private mailbox."""
+
+
+def sneaky(ctx):
+    while not ctx._pending:
+        yield
+    ctx._outbox.clear()
+    return len(ctx._pending)

@@ -1,0 +1,16 @@
+"""KM003 bad: program code reaching through to the shared runtime."""
+
+
+def peek_global_state(ctx, sim):
+    # Reading another machine's context fabricates shared memory the
+    # k-machine model forbids.
+    other = sim.contexts[1 - ctx.rank]
+    total = other.sent_messages
+    yield
+    return total
+
+
+def build_inline(ctx, Simulator):
+    nested = Simulator(k=2, program=None)
+    yield
+    return nested.network

@@ -1,0 +1,14 @@
+"""KM004 bad: an unregistered dataclass shipped as a payload."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Probe:
+    round: int
+    value: float
+
+
+def report(ctx):
+    ctx.send(0, "probe/r", Probe(ctx.round, 1.5))
+    yield

@@ -1,0 +1,22 @@
+"""KM004 good: the wire-crossing dataclass declares a registered schema."""
+
+from dataclasses import dataclass
+
+
+def wire_schema(bits=None, description=""):
+    def register(cls):
+        return cls
+
+    return register
+
+
+@wire_schema(bits=128, description="fixed two-word probe")
+@dataclass
+class Probe:
+    round: int
+    value: float
+
+
+def report(ctx):
+    ctx.send(0, "probe/r", Probe(ctx.round, 1.5))
+    yield

@@ -1,0 +1,14 @@
+"""KM005 bad: a blocking receive on a tag nobody ever sends."""
+
+
+def leader(ctx):
+    ctx.broadcast("sel/query", 1)
+    replies = yield from ctx.recv("sel/reply", ctx.k - 1)
+    return replies
+
+
+def worker(ctx):
+    msg = yield from ctx.recv_one("sel/query", src=0)
+    # BUG: replies go out under a different tag than the leader waits on.
+    ctx.send(0, "sel/answer", msg.payload)
+    yield

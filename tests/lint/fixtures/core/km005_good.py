@@ -1,0 +1,21 @@
+"""KM005 good: every receive waits on a tag some sender uses."""
+
+
+def tag(*parts):
+    return "/".join(str(p) for p in parts)
+
+
+_T_QUERY = tag("gsel", "q")
+_T_REPLY = tag("gsel", "r")
+
+
+def leader(ctx):
+    ctx.broadcast(_T_QUERY, 7)
+    replies = yield from ctx.recv(_T_REPLY, ctx.k - 1)
+    return replies
+
+
+def worker(ctx):
+    msg = yield from ctx.recv_one(_T_QUERY, src=0)
+    ctx.send(0, _T_REPLY, msg.payload + 1)
+    yield

@@ -1,0 +1,7 @@
+"""KM002 bad: the stdlib global-state RNG has no place in experiment code."""
+
+import random
+
+
+def pick(items):
+    return random.choice(items)

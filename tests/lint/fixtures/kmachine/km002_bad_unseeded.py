@@ -1,0 +1,12 @@
+"""KM002 bad: unseeded generator plus legacy numpy global-state draws."""
+
+import numpy as np
+
+
+def sample(count):
+    rng = np.random.default_rng()
+    return rng.integers(0, 10, size=count)
+
+
+def legacy(count):
+    return np.random.randint(0, 10, size=count)

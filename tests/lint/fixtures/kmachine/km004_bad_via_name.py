@@ -1,0 +1,14 @@
+"""KM004 bad: the unregistered dataclass hides behind a local variable."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Beacon:
+    epoch: int
+
+
+def announce(ctx):
+    frame = Beacon(epoch=3)
+    ctx.broadcast("beacon/b", frame)
+    yield

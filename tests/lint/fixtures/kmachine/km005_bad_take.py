@@ -1,0 +1,9 @@
+"""KM005 bad: polling a tag that no reachable sender uses."""
+
+_T_STATUS = "hb/status"
+
+
+def monitor(ctx):
+    ctx.broadcast("hb/ping", None)
+    yield
+    return ctx.take(_T_STATUS)

@@ -1,0 +1,163 @@
+"""Engine mechanics: suppressions, baseline, CLI formats and exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, LintEngine, get_rules
+from repro.lint.cli import main
+
+BAD_SOURCE = "import random\n\n\ndef pick(items):\n    return random.choice(items)\n"
+
+
+def write_bad_module(root: Path, name: str = "bad.py", source: str = BAD_SOURCE) -> Path:
+    mod = root / "experiments" / name
+    mod.parent.mkdir(parents=True, exist_ok=True)
+    mod.write_text(source)
+    return mod
+
+
+def run_on(root: Path, baseline: Baseline | None = None, codes: set[str] | None = None):
+    return LintEngine(get_rules(codes), root=root).run([root], baseline=baseline)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_inline_suppression(tmp_path: Path) -> None:
+    write_bad_module(tmp_path, source="import random  # lint: ignore[KM002]\n")
+    report = run_on(tmp_path)
+    assert report.violations == []
+    assert report.suppressed == 1
+
+
+def test_suppression_comment_above(tmp_path: Path) -> None:
+    write_bad_module(
+        tmp_path, source="# lint: ignore[KM002]\nimport random\n"
+    )
+    assert run_on(tmp_path).violations == []
+
+
+def test_bare_suppression_covers_all_rules(tmp_path: Path) -> None:
+    write_bad_module(tmp_path, source="import random  # lint: ignore\n")
+    assert run_on(tmp_path).violations == []
+
+
+def test_suppression_for_other_rule_does_not_apply(tmp_path: Path) -> None:
+    write_bad_module(tmp_path, source="import random  # lint: ignore[KM001]\n")
+    report = run_on(tmp_path)
+    assert [v.rule for v in report.violations] == ["KM002"]
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def test_baseline_forgives_known_debt(tmp_path: Path) -> None:
+    write_bad_module(tmp_path)
+    first = run_on(tmp_path)
+    assert [v.rule for v in first.violations] == ["KM002"]
+
+    baseline = Baseline.from_violations(first.violations)
+    second = run_on(tmp_path, baseline=baseline)
+    assert second.violations == []
+    assert second.baselined == 1
+
+
+def test_baseline_does_not_forgive_new_violations(tmp_path: Path) -> None:
+    write_bad_module(tmp_path)
+    baseline = Baseline.from_violations(run_on(tmp_path).violations)
+
+    write_bad_module(tmp_path, name="worse.py")
+    report = run_on(tmp_path, baseline=baseline)
+    assert len(report.violations) == 1
+    assert report.violations[0].path.endswith("worse.py")
+    assert report.baselined == 1
+
+
+def test_baseline_roundtrips_through_json(tmp_path: Path) -> None:
+    write_bad_module(tmp_path)
+    baseline = Baseline.from_violations(run_on(tmp_path).violations)
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    assert len(loaded) == 1
+
+
+def test_baseline_rejects_bad_schema(tmp_path: Path) -> None:
+    path = tmp_path / "lint-baseline.json"
+    path.write_text('{"version": 99}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_fingerprint_stable_under_line_shifts(tmp_path: Path) -> None:
+    write_bad_module(tmp_path)
+    before = run_on(tmp_path).violations[0].fingerprint()
+    write_bad_module(tmp_path, source="'''docstring'''\n\n\n" + BAD_SOURCE)
+    after = run_on(tmp_path).violations[0].fingerprint()
+    assert before == after
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_text_output_and_exit_code(tmp_path: Path, capsys) -> None:
+    write_bad_module(tmp_path)
+    code = main(["--no-baseline", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "KM002" in out and "bad.py" in out
+
+
+def test_cli_clean_exits_zero(tmp_path: Path, capsys) -> None:
+    (tmp_path / "core").mkdir()
+    (tmp_path / "core" / "ok.py").write_text("X = 1\n")
+    assert main(["--no-baseline", str(tmp_path)]) == 0
+
+
+def test_cli_json_format(tmp_path: Path, capsys) -> None:
+    write_bad_module(tmp_path)
+    code = main(["--no-baseline", "--format=json", str(tmp_path)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["files"] == 1
+    assert payload["violations"][0]["rule"] == "KM002"
+    assert payload["violations"][0]["fingerprint"]
+
+
+def test_cli_rule_filter(tmp_path: Path, capsys) -> None:
+    write_bad_module(tmp_path)
+    assert main(["--no-baseline", "--rules", "KM001", str(tmp_path)]) == 0
+    assert main(["--no-baseline", "--rules", "KM002", str(tmp_path)]) == 1
+
+
+def test_cli_unknown_rule_is_usage_error(tmp_path: Path, capsys) -> None:
+    assert main(["--rules", "KM999", str(tmp_path)]) == 2
+
+
+def test_cli_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("KM001", "KM002", "KM003", "KM004", "KM005"):
+        assert code in out
+
+
+def test_cli_update_baseline_then_clean(tmp_path: Path, capsys) -> None:
+    write_bad_module(tmp_path)
+    baseline = tmp_path / "lint-baseline.json"
+    assert main(["--baseline", str(baseline), "--update-baseline", str(tmp_path)]) == 0
+    assert baseline.is_file()
+    # With the baseline in place the same tree now lints clean.
+    assert main(["--baseline", str(baseline), str(tmp_path)]) == 0
+
+
+def test_cli_reports_syntax_errors(tmp_path: Path, capsys) -> None:
+    mod = tmp_path / "core" / "broken.py"
+    mod.parent.mkdir()
+    mod.write_text("def oops(:\n")
+    assert main(["--no-baseline", str(tmp_path)]) == 1
+    assert "error:" in capsys.readouterr().out

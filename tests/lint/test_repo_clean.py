@@ -1,0 +1,34 @@
+"""The acceptance gate: the repo itself lints clean against its baseline.
+
+This is the test that gives the protocol linter teeth — any future
+change that ships an unbounded payload, an unseeded RNG, a runtime
+reach-through, an unregistered wire dataclass, or an orphan receive
+fails the suite, not just a CI side job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Baseline, LintEngine, get_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_lints_clean_against_committed_baseline() -> None:
+    baseline_path = REPO_ROOT / "lint-baseline.json"
+    assert baseline_path.is_file(), "committed baseline missing"
+    baseline = Baseline.load(baseline_path)
+
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([REPO_ROOT / "src"], baseline=baseline)
+
+    assert not report.parse_errors, report.parse_errors
+    assert report.violations == [], "\n".join(v.format() for v in report.violations)
+    assert report.files > 50  # the whole tree was actually scanned
+
+
+def test_committed_baseline_is_empty() -> None:
+    """The tree carries zero forgiven debt; keep it that way."""
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    assert len(baseline) == 0

@@ -1,0 +1,90 @@
+"""Wire-schema registry: registration rules and serializer round-trips."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.kmachine.reliable import Envelope
+from repro.kmachine.schema import (
+    WIRE_SCHEMAS,
+    check_roundtrip,
+    registered_schema,
+    wire_bits,
+    wire_schema,
+)
+from repro.kmachine.sizing import SizingPolicy
+
+
+def test_envelope_is_registered() -> None:
+    schema = registered_schema(Envelope)
+    assert schema is not None
+    assert schema.name == "Envelope"
+    assert "Envelope" in WIRE_SCHEMAS
+
+
+def test_every_registered_type_roundtrips() -> None:
+    """The registry-wide guarantee KM004 points at."""
+    samples = {
+        "Envelope": Envelope(seq=7, checksum=0xDEAD, payload=(1.5, 42)),
+    }
+    for name in WIRE_SCHEMAS:
+        sample = samples.get(name)
+        if sample is not None:
+            assert check_roundtrip(sample), f"{name} does not round-trip"
+
+
+def test_roundtrip_detects_field_equality() -> None:
+    env = Envelope(seq=1, checksum=2, payload=np.float64(3.25))
+    assert check_roundtrip(env)
+
+
+def test_wire_bits_structural_for_envelope() -> None:
+    policy = SizingPolicy(word_bits=64)
+    env = Envelope(seq=1, checksum=2, payload=(1.0, 42))
+    # seq + checksum + two payload words, measured structurally.
+    assert wire_bits(env, policy) == 4 * 64
+
+
+def test_wire_bits_uses_declared_fixed_size() -> None:
+    @wire_schema(bits=96, description="test fixed-width frame")
+    @dataclass
+    class _Frame:
+        a: int
+
+    try:
+        assert wire_bits(_Frame(a=1)) == 96
+        assert _Frame.__wire_bits__ == 96
+    finally:
+        WIRE_SCHEMAS.pop("_Frame", None)
+
+
+def test_wire_schema_rejects_non_dataclass() -> None:
+    with pytest.raises(TypeError):
+        wire_schema()(object)
+
+
+def test_wire_schema_rejects_duplicate_name() -> None:
+    @wire_schema()
+    @dataclass
+    class _Dup:
+        x: int
+
+    try:
+        with pytest.raises(ValueError):
+            @wire_schema()
+            @dataclass
+            class _Dup:  # noqa: F811 - deliberate name collision
+                y: int
+    finally:
+        WIRE_SCHEMAS.pop("_Dup", None)
+
+
+def test_wire_schema_rejects_nonpositive_bits() -> None:
+    with pytest.raises(ValueError):
+        @wire_schema(bits=0)
+        @dataclass
+        class _Zero:
+            x: int

@@ -9,7 +9,7 @@ adversary space the k-machine model allows.
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.binary_search import BinarySearchSelectionProgram

@@ -9,14 +9,22 @@ pseudocode is the fastest way to understand the protocol — and the
 repo's simulator.
 
 Run:  python examples/protocol_trace.py
+
+With ``--jsonl PATH`` and/or ``--chrome PATH`` the run also exports
+the structured trace (phase spans + events + metrics) in the
+:mod:`repro.obs` formats; the Chrome JSON loads directly into
+https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
 from repro.core import SelectionProgram
 from repro.kmachine import Simulator
+from repro.obs import phase_attribution, write_chrome_trace, write_jsonl
 from repro.points.ids import keyed_array
 
 VALUES = [42.0, 7.0, 99.0, 13.0, 58.0, 21.0, 86.0, 3.0, 64.0, 35.0, 71.0, 50.0]
@@ -26,6 +34,13 @@ SEED = 12
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jsonl", help="export a structured JSONL event log here")
+    parser.add_argument(
+        "--chrome", help="export Chrome trace_event JSON here (Perfetto-loadable)"
+    )
+    args = parser.parse_args()
+
     ids = list(range(1, len(VALUES) + 1))
     # Hand-placed shards so the transcript is stable and readable.
     placement = [VALUES[0::3], VALUES[1::3], VALUES[2::3]]
@@ -44,6 +59,8 @@ def main() -> None:
         seed=SEED,
         bandwidth_bits=512,
         trace=True,
+        spans=True,
+        timeline=True,
     )
     result = sim.run()
 
@@ -77,6 +94,22 @@ def main() -> None:
         f"{result.metrics.messages} messages, {result.metrics.bits} bits "
         f"({leader.stats.iterations} pivot iterations for n={len(VALUES)})"
     )
+
+    print("\n=== phase attribution (leader span tree) ===")
+    print(phase_attribution(result.spans, result.metrics.messages).format())
+
+    if args.jsonl:
+        path = write_jsonl(
+            args.jsonl, result.tracer, result.spans, result.metrics,
+            meta={"name": "protocol-trace", "k": K, "l": L, "seed": SEED},
+        )
+        print(f"\nwrote {path}")
+    if args.chrome:
+        path = write_chrome_trace(
+            args.chrome, result.tracer, result.spans, result.metrics.timeline,
+            name="protocol-trace",
+        )
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":

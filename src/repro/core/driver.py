@@ -29,7 +29,7 @@ protocol step per round, and it is what makes the simple method's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from ..kmachine.metrics import Metrics
 from ..kmachine.reliable import ReliabilityConfig
 from ..kmachine.simulator import SimulationResult, Simulator
 from ..kmachine.timing import CostModel
+from ..kmachine.tracing import Tracer
 from ..points.dataset import Dataset, make_dataset
 from ..points.ids import Keyed
 from ..points.metrics import Metric, get_metric
@@ -232,6 +233,10 @@ def distributed_select(
     max_attempts: int = 3,
     attempt_max_rounds: int | None = None,
     timeout_rounds: int | None = None,
+    timeline: bool = False,
+    trace: bool | Tracer = False,
+    spans: bool = False,
+    observers: Iterable[Any] | None = None,
 ) -> SelectResult:
     """Find the ℓ smallest of ``values`` with Algorithm 1 on k machines.
 
@@ -253,6 +258,11 @@ def distributed_select(
     the durable ingest layer, so the answer stays exact) and
     re-elects the leader by minimum ID.  ``result.recovery`` records
     the trail; ``result.metrics`` sums all attempts.
+
+    Observability: ``timeline``/``trace``/``spans``/``observers`` pass
+    straight through to the :class:`Simulator` (see its docs and
+    :mod:`repro.obs`); the recorded spans and tracer ride on
+    ``result.raw``.
     """
     arr = np.asarray(values, dtype=np.float64).ravel()
     if not 0 <= l <= arr.size:
@@ -285,6 +295,10 @@ def distributed_select(
             max_rounds=attempt_max_rounds if attempt_max_rounds is not None else 1_000_000,
             faults=sup.plan,
             reliable=reliable or None,
+            timeline=timeline,
+            trace=trace,
+            spans=spans,
+            observers=observers,
         )
         err: str | None = None
         result: SimulationResult | None = None
@@ -369,6 +383,10 @@ def distributed_knn(
     reliable: ReliabilityConfig | bool = False,
     max_attempts: int = 3,
     attempt_max_rounds: int | None = None,
+    timeline: bool = False,
+    trace: bool | Tracer = False,
+    spans: bool = False,
+    observers: Iterable[Any] | None = None,
     **knobs,
 ) -> KNNResult:
     """Answer one ℓ-NN query over ``points`` sharded onto k machines.
@@ -388,6 +406,11 @@ def distributed_knn(
     disrupt) before giving up.  ``result.recovery`` records attempts,
     crashes, degradation and per-attempt errors; ``result.metrics``
     sums every attempt.
+
+    Observability: ``timeline``/``trace``/``spans``/``observers`` pass
+    straight through to the :class:`Simulator` (see its docs and
+    :mod:`repro.obs`); the recorded spans and tracer ride on
+    ``result.raw``.
     """
     rng = np.random.default_rng(seed)
     dataset = (
@@ -436,6 +459,10 @@ def distributed_knn(
             max_rounds=attempt_max_rounds if attempt_max_rounds is not None else 1_000_000,
             faults=sup.plan,
             reliable=reliable or None,
+            timeline=timeline,
+            trace=trace,
+            spans=spans,
+            observers=observers,
         )
         err: str | None = None
         result: SimulationResult | None = None

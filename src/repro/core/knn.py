@@ -189,7 +189,8 @@ def knn_subroutine(
     query = np.atleast_1d(np.asarray(query, dtype=np.float64))
 
     # Stage 2: local pruning to the l closest points (free, local).
-    candidates = local_candidates(shard, query, l, metric)
+    with ctx.obs.span("local-prune"):
+        candidates = local_candidates(shard, query, l, metric)
     working = candidates
     external_threshold = threshold
     threshold = None  # the threshold actually applied (reported in output)
@@ -202,24 +203,25 @@ def knn_subroutine(
         threshold = external_threshold
         working = candidates[: _rank_leq(candidates, threshold)]
         if safe_mode:
-            t_scount = tag(prefix, "scount")
-            t_go = tag(prefix, "go")
-            if is_leader:
-                msgs = yield from ctx.recv(
-                    t_scount, ctx.k - 1, max_rounds=timeout_rounds
-                )
-                survivors = len(working) + sum(m.payload for m in msgs)
-                fallback = survivors < l
-                ctx.broadcast(t_go, fallback)
-                yield
-            else:
-                ctx.send(leader, t_scount, len(working))
-                msg = yield from ctx.recv_one(
-                    t_go, src=leader, max_rounds=timeout_rounds
-                )
-                fallback = bool(msg.payload)
-            if fallback:
-                working = candidates
+            with ctx.obs.span("safe-check"):
+                t_scount = tag(prefix, "scount")
+                t_go = tag(prefix, "go")
+                if is_leader:
+                    msgs = yield from ctx.recv(
+                        t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                    )
+                    survivors = len(working) + sum(m.payload for m in msgs)
+                    fallback = survivors < l
+                    ctx.broadcast(t_go, fallback)
+                    yield
+                else:
+                    ctx.send(leader, t_scount, len(working))
+                    msg = yield from ctx.recv_one(
+                        t_go, src=leader, max_rounds=timeout_rounds
+                    )
+                    fallback = bool(msg.payload)
+                if fallback:
+                    working = candidates
     elif prune and ctx.k > 1:
         log_l = max(1, log2_ceil(l))
         n_samples = sample_factor * log_l
@@ -229,71 +231,83 @@ def knn_subroutine(
 
         # Stage 3: every machine emits exactly `n_samples` messages
         # (sample keys, padded with None sentinels), so the leader's
-        # receive count is deterministic.
-        if len(candidates) > n_samples:
-            idx = ctx.rng.choice(len(candidates), size=n_samples, replace=False)
-            my_samples = candidates[np.sort(idx)]
-        else:
-            my_samples = candidates
-        if not is_leader:
-            for row in my_samples:
-                ctx.send(leader, t_sample, encode_key(Keyed(row["value"], row["id"])))
-                if pace_samples:
-                    yield
-            for _ in range(n_samples - len(my_samples)):
-                ctx.send(leader, t_sample, None)
-                if pace_samples:
-                    yield
+        # receive count is deterministic.  The leader's span covers its
+        # gather of those samples — the rounds the whole system spends
+        # shipping them.
+        pool: list[Keyed] = []
+        with ctx.obs.span("sampling"):
+            if len(candidates) > n_samples:
+                idx = ctx.rng.choice(len(candidates), size=n_samples, replace=False)
+                my_samples = candidates[np.sort(idx)]
+            else:
+                my_samples = candidates
+            if is_leader:
+                msgs = yield from ctx.recv(
+                    t_sample, (ctx.k - 1) * n_samples, max_rounds=timeout_rounds
+                )
+                pool = [decode_key(m.payload) for m in msgs if m.payload is not None]
+                pool.extend(Keyed(row["value"], row["id"]) for row in my_samples)
+                pool.sort()
+                sampled_total = len(pool)
+            else:
+                for row in my_samples:
+                    ctx.send(
+                        leader, t_sample, encode_key(Keyed(row["value"], row["id"]))
+                    )
+                    if pace_samples:
+                        yield
+                for _ in range(n_samples - len(my_samples)):
+                    ctx.send(leader, t_sample, None)
+                    if pace_samples:
+                        yield
 
-        # Stage 4: leader picks the threshold r.
-        if is_leader:
-            msgs = yield from ctx.recv(
-                t_sample, (ctx.k - 1) * n_samples, max_rounds=timeout_rounds
-            )
-            pool = [decode_key(m.payload) for m in msgs if m.payload is not None]
-            pool.extend(Keyed(row["value"], row["id"]) for row in my_samples)
-            pool.sort()
-            sampled_total = len(pool)
-            if not pool:
-                raise ValueError("no machine holds any point; cannot answer query")
-            threshold = pool[min(cutoff, len(pool)) - 1]
-            ctx.broadcast(t_thresh, encode_key(threshold))
-            yield
-        else:
-            msg = yield from ctx.recv_one(
-                t_thresh, src=leader, max_rounds=timeout_rounds
-            )
-            threshold = decode_key(msg.payload)
+        # Stage 4: leader picks the threshold r and broadcasts it.
+        with ctx.obs.span("threshold"):
+            if is_leader:
+                if not pool:
+                    raise ValueError(
+                        "no machine holds any point; cannot answer query"
+                    )
+                threshold = pool[min(cutoff, len(pool)) - 1]
+                ctx.broadcast(t_thresh, encode_key(threshold))
+                yield
+            else:
+                msg = yield from ctx.recv_one(
+                    t_thresh, src=leader, max_rounds=timeout_rounds
+                )
+                threshold = decode_key(msg.payload)
 
         # Stage 5: prune everything above r.
         working = candidates[: _rank_leq(candidates, threshold)]
 
         # Safe mode: verify >= l candidates survived before selecting.
         if safe_mode:
-            t_scount = tag(prefix, "scount")
-            t_go = tag(prefix, "go")
-            if is_leader:
-                msgs = yield from ctx.recv(
-                    t_scount, ctx.k - 1, max_rounds=timeout_rounds
-                )
-                survivors = len(working) + sum(m.payload for m in msgs)
-                fallback = survivors < l
-                ctx.broadcast(t_go, fallback)
-                yield
-            else:
-                ctx.send(leader, t_scount, len(working))
-                msg = yield from ctx.recv_one(
-                    t_go, src=leader, max_rounds=timeout_rounds
-                )
-                fallback = bool(msg.payload)
-            if fallback:
-                working = candidates
+            with ctx.obs.span("safe-check"):
+                t_scount = tag(prefix, "scount")
+                t_go = tag(prefix, "go")
+                if is_leader:
+                    msgs = yield from ctx.recv(
+                        t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                    )
+                    survivors = len(working) + sum(m.payload for m in msgs)
+                    fallback = survivors < l
+                    ctx.broadcast(t_go, fallback)
+                    yield
+                else:
+                    ctx.send(leader, t_scount, len(working))
+                    msg = yield from ctx.recv_one(
+                        t_go, src=leader, max_rounds=timeout_rounds
+                    )
+                    fallback = bool(msg.payload)
+                if fallback:
+                    working = candidates
 
     # Stage 6: Algorithm 1 on the surviving distance keys.
-    sel = yield from selection_subroutine(
-        ctx, leader, working, l, prefix=tag(prefix, "sel"),
-        timeout_rounds=timeout_rounds,
-    )
+    with ctx.obs.span("selection"):
+        sel = yield from selection_subroutine(
+            ctx, leader, working, l, prefix=tag(prefix, "sel"),
+            timeout_rounds=timeout_rounds,
+        )
 
     # Map selected distance keys back to the shard's points.
     ids = sel.selected["id"].copy()

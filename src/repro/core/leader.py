@@ -154,10 +154,11 @@ def elect(
     ctx: MachineContext, method: str = "fixed", prefix: str = "elect", leader: int = 0
 ) -> Generator[None, None, int]:
     """Dispatch on election ``method``: ``fixed``/``min_id``/``sublinear``."""
-    if method == "fixed":
-        return (yield from fixed_leader(ctx, leader))
-    if method == "min_id":
-        return (yield from elect_min_id(ctx, prefix))
-    if method == "sublinear":
-        return (yield from elect_sublinear(ctx, prefix))
-    raise ValueError(f"unknown election method {method!r}")
+    with ctx.obs.span("election"):
+        if method == "fixed":
+            return (yield from fixed_leader(ctx, leader))
+        if method == "min_id":
+            return (yield from elect_min_id(ctx, prefix))
+        if method == "sublinear":
+            return (yield from elect_sublinear(ctx, prefix))
+        raise ValueError(f"unknown election method {method!r}")

@@ -231,30 +231,32 @@ def _leader_role(
     stats = SelectionStats()
 
     # --- init: learn (n_i, min_i, max_i) from every machine ----------
-    if k > 1:
-        ctx.broadcast(t_query, (OP_INIT,))
-        replies = yield from ctx.recv(t_reply, k - 1, max_rounds=timeout_rounds)
-    else:
-        replies = []
-    counts = np.zeros(k, dtype=np.int64)
-    lo, hi = PLUS_INF_KEY, MINUS_INF_KEY
-    n_self, min_self, max_self = _local_extremes(keys)
-    counts[ctx.rank] = n_self
-    lo = min(lo, min_self)
-    hi = max(hi, max_self)
-    for msg in replies:
-        _, n_i, min_wire, max_wire = msg.payload
-        counts[msg.src] = n_i
-        if n_i > 0:
-            lo = min(lo, decode_key(min_wire))
-            hi = max(hi, decode_key(max_wire))
-    s = int(counts.sum())
-    stats.initial_count = s
-    remaining = l
+    with ctx.obs.span("sel/init"):
+        if k > 1:
+            ctx.broadcast(t_query, (OP_INIT,))
+            replies = yield from ctx.recv(t_reply, k - 1, max_rounds=timeout_rounds)
+        else:
+            replies = []
+        counts = np.zeros(k, dtype=np.int64)
+        lo, hi = PLUS_INF_KEY, MINUS_INF_KEY
+        n_self, min_self, max_self = _local_extremes(keys)
+        counts[ctx.rank] = n_self
+        lo = min(lo, min_self)
+        hi = max(hi, max_self)
+        for msg in replies:
+            _, n_i, min_wire, max_wire = msg.payload
+            counts[msg.src] = n_i
+            if n_i > 0:
+                lo = min(lo, decode_key(min_wire))
+                hi = max(hi, decode_key(max_wire))
+        s = int(counts.sum())
+        stats.initial_count = s
+        remaining = l
 
     if s <= remaining * (1.0 + slack) or s == 0:
         boundary = hi if s > 0 else MINUS_INF_KEY
-        return (yield from _finish_leader(ctx, keys, boundary, t_query, stats))
+        with ctx.obs.span("sel/finish"):
+            return (yield from _finish_leader(ctx, keys, boundary, t_query, stats))
 
     # Active range is (active_lo, active_hi]; everything <= active_lo is
     # already accepted (and subtracted from `remaining`).
@@ -264,53 +266,59 @@ def _leader_role(
     if remaining == 0:
         boundary = MINUS_INF_KEY
 
-    while boundary is None:
-        stats.iterations += 1
-        # --- pivot selection: machine i w.p. counts[i] / s ------------
-        choice = int(ctx.rng.choice(k, p=counts / s))
-        if choice == ctx.rank:
-            pivot = _uniform_in_range(keys, active_lo, active_hi, ctx.rng)
-            stats.self_pivots += 1
-        else:
-            ctx.send(
-                choice,
-                t_query,
-                (OP_PICK, encode_key(active_lo), encode_key(active_hi)),
-            )
-            msg = yield from ctx.recv_one(t_reply, src=choice, max_rounds=timeout_rounds)
-            pivot = decode_key(msg.payload[1])
+    with ctx.obs.span("sel/iterate"):
+        while boundary is None:
+            stats.iterations += 1
+            # --- pivot selection: machine i w.p. counts[i] / s ------------
+            choice = int(ctx.rng.choice(k, p=counts / s))
+            if choice == ctx.rank:
+                pivot = _uniform_in_range(keys, active_lo, active_hi, ctx.rng)
+                stats.self_pivots += 1
+            else:
+                ctx.send(
+                    choice,
+                    t_query,
+                    (OP_PICK, encode_key(active_lo), encode_key(active_hi)),
+                )
+                msg = yield from ctx.recv_one(
+                    t_reply, src=choice, max_rounds=timeout_rounds
+                )
+                pivot = decode_key(msg.payload[1])
 
-        # --- count |{x : active_lo < x <= pivot}| ----------------------
-        if k > 1:
-            ctx.broadcast(t_query, (OP_COUNT, encode_key(active_lo), encode_key(pivot)))
-        below = np.zeros(k, dtype=np.int64)
-        below[ctx.rank] = _count_in(keys, active_lo, pivot)
-        if k > 1:
-            replies = yield from ctx.recv(t_reply, k - 1, max_rounds=timeout_rounds)
-            for msg in replies:
-                below[msg.src] = msg.payload[1]
-        s_below = int(below.sum())
-        stats.pivot_history.append((pivot, s, s_below))
+            # --- count |{x : active_lo < x <= pivot}| ----------------------
+            if k > 1:
+                ctx.broadcast(
+                    t_query, (OP_COUNT, encode_key(active_lo), encode_key(pivot))
+                )
+            below = np.zeros(k, dtype=np.int64)
+            below[ctx.rank] = _count_in(keys, active_lo, pivot)
+            if k > 1:
+                replies = yield from ctx.recv(t_reply, k - 1, max_rounds=timeout_rounds)
+                for msg in replies:
+                    below[msg.src] = msg.payload[1]
+            s_below = int(below.sum())
+            stats.pivot_history.append((pivot, s, s_below))
 
-        # --- range update ---------------------------------------------
-        if s_below == remaining:
-            boundary = pivot
-        elif s_below < remaining:
-            remaining -= s_below
-            active_lo = pivot
-            counts = counts - below
-            s = int(counts.sum())
-        else:
-            active_hi = pivot
-            counts = below
-            s = s_below
-        if boundary is None and s <= remaining * (1.0 + slack):
-            # Every point left in the active range is accepted (with
-            # slack = 0 this is the paper's exact s == remaining stop;
-            # otherwise up to slack*l extras ride along).
-            boundary = active_hi
+            # --- range update ---------------------------------------------
+            if s_below == remaining:
+                boundary = pivot
+            elif s_below < remaining:
+                remaining -= s_below
+                active_lo = pivot
+                counts = counts - below
+                s = int(counts.sum())
+            else:
+                active_hi = pivot
+                counts = below
+                s = s_below
+            if boundary is None and s <= remaining * (1.0 + slack):
+                # Every point left in the active range is accepted (with
+                # slack = 0 this is the paper's exact s == remaining stop;
+                # otherwise up to slack*l extras ride along).
+                boundary = active_hi
 
-    return (yield from _finish_leader(ctx, keys, boundary, t_query, stats))
+    with ctx.obs.span("sel/finish"):
+        return (yield from _finish_leader(ctx, keys, boundary, t_query, stats))
 
 
 def _finish_leader(
@@ -338,28 +346,33 @@ def _worker_role(
     timeout_rounds: int | None = None,
 ) -> Generator[None, None, SelectionOutput]:
     n, kmin, kmax = _local_extremes(keys)
-    while True:
-        msg = yield from ctx.recv_one(t_query, src=leader, max_rounds=timeout_rounds)
-        op = msg.payload[0]
-        if op == OP_INIT:
-            ctx.send(leader, t_reply, (OP_INIT, n, encode_key(kmin), encode_key(kmax)))
-        elif op == OP_PICK:
-            lo = decode_key(msg.payload[1])
-            hi = decode_key(msg.payload[2])
-            pivot = _uniform_in_range(keys, lo, hi, ctx.rng)
-            ctx.send(leader, t_reply, (OP_PICK, encode_key(pivot)))
-        elif op == OP_COUNT:
-            lo = decode_key(msg.payload[1])
-            p = decode_key(msg.payload[2])
-            ctx.send(leader, t_reply, (OP_COUNT, _count_in(keys, lo, p)))
-        elif op == OP_FINISHED:
-            boundary = decode_key(msg.payload[1])
-            selected = keys[: _rank_leq(keys, boundary)]
-            return SelectionOutput(
-                selected=selected, boundary=boundary, is_leader=False, stats=None
+    with ctx.obs.span("sel/serve"):
+        while True:
+            msg = yield from ctx.recv_one(
+                t_query, src=leader, max_rounds=timeout_rounds
             )
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"worker {ctx.rank} got unknown op {op!r}")
+            op = msg.payload[0]
+            if op == OP_INIT:
+                ctx.send(
+                    leader, t_reply, (OP_INIT, n, encode_key(kmin), encode_key(kmax))
+                )
+            elif op == OP_PICK:
+                lo = decode_key(msg.payload[1])
+                hi = decode_key(msg.payload[2])
+                pivot = _uniform_in_range(keys, lo, hi, ctx.rng)
+                ctx.send(leader, t_reply, (OP_PICK, encode_key(pivot)))
+            elif op == OP_COUNT:
+                lo = decode_key(msg.payload[1])
+                p = decode_key(msg.payload[2])
+                ctx.send(leader, t_reply, (OP_COUNT, _count_in(keys, lo, p)))
+            elif op == OP_FINISHED:
+                boundary = decode_key(msg.payload[1])
+                selected = keys[: _rank_leq(keys, boundary)]
+                return SelectionOutput(
+                    selected=selected, boundary=boundary, is_leader=False, stats=None
+                )
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"worker {ctx.rank} got unknown op {op!r}")
 
 
 class SelectionProgram(Program):

@@ -56,7 +56,8 @@ def simple_knn_subroutine(
     if l < 1:
         raise ValueError(f"l must be >= 1, got {l}")
     query = np.atleast_1d(np.asarray(query, dtype=np.float64))
-    candidates = local_candidates(shard, query, l, metric)
+    with ctx.obs.span("local-prune"):
+        candidates = local_candidates(shard, query, l, metric)
     is_leader = ctx.rank == leader
     t_count = tag(prefix, "n")
     t_cand = tag(prefix, "cand")
@@ -79,32 +80,39 @@ def simple_knn_subroutine(
         # Announce how many pairs follow, then stream them.  The count
         # message and the pairs share the machine->leader link, so the
         # bandwidth queue charges the paper's Θ(l) rounds mechanically.
-        ctx.send(leader, t_count, len(candidates))
-        for row in candidates:
-            ctx.send(leader, t_cand, encode_key(Keyed(row["value"], row["id"])))
-        msg = yield from ctx.recv_one(t_done, src=leader)
-        boundary = decode_key(msg.payload)
+        with ctx.obs.span("ship-candidates"):
+            ctx.send(leader, t_count, len(candidates))
+            for row in candidates:
+                ctx.send(leader, t_cand, encode_key(Keyed(row["value"], row["id"])))
+        with ctx.obs.span("boundary"):
+            msg = yield from ctx.recv_one(t_done, src=leader)
+            boundary = decode_key(msg.payload)
         local = candidates[: _rank_leq(candidates, boundary)]
         return _build_output(shard, local, boundary, False, None)
 
     # Leader: gather counts, then the announced number of candidates.
-    count_msgs = yield from ctx.recv(t_count, ctx.k - 1)
-    expected = sum(m.payload for m in count_msgs)
-    cand_msgs = yield from ctx.recv(t_cand, expected)
-    merged = np.empty(expected + len(candidates), dtype=_KEY_DTYPE)
-    for i, m in enumerate(cand_msgs):
-        merged[i] = m.payload
-    merged[expected:] = candidates
-    # The leader-side merge: select the l smallest of the k*l keys.
-    # This O(kl) scan + partial sort is the simple method's local
-    # bottleneck, deliberately kept on the leader's clock.
-    merged.sort(order=("value", "id"))
-    top = merged[: min(l, len(merged))]
-    boundary = (
-        Keyed(float(top[-1]["value"]), int(top[-1]["id"])) if len(top) else MINUS_INF_KEY
-    )
-    ctx.broadcast(t_done, encode_key(boundary))
-    yield
+    with ctx.obs.span("gather"):
+        count_msgs = yield from ctx.recv(t_count, ctx.k - 1)
+        expected = sum(m.payload for m in count_msgs)
+        cand_msgs = yield from ctx.recv(t_cand, expected)
+    with ctx.obs.span("merge"):
+        merged = np.empty(expected + len(candidates), dtype=_KEY_DTYPE)
+        for i, m in enumerate(cand_msgs):
+            merged[i] = m.payload
+        merged[expected:] = candidates
+        # The leader-side merge: select the l smallest of the k*l keys.
+        # This O(kl) scan + partial sort is the simple method's local
+        # bottleneck, deliberately kept on the leader's clock.
+        merged.sort(order=("value", "id"))
+        top = merged[: min(l, len(merged))]
+        boundary = (
+            Keyed(float(top[-1]["value"]), int(top[-1]["id"]))
+            if len(top)
+            else MINUS_INF_KEY
+        )
+    with ctx.obs.span("boundary"):
+        ctx.broadcast(t_done, encode_key(boundary))
+        yield
     local = candidates[: _rank_leq(candidates, boundary)]
     return _build_output(shard, local, boundary, True, len(merged))
 

@@ -28,12 +28,20 @@ __all__ = ["ElectionConfig", "ElectionCell", "ElectionResult", "run_election"]
 
 @dataclass
 class ElectionConfig:
-    """Sweep configuration for the election experiment."""
+    """Sweep configuration for the election experiment.
+
+    ``spans=True`` runs every trial with phase-span recording (see
+    :mod:`repro.obs`) and summarises the ``election`` span's round
+    delta per cell — the protocol-phase cost as the span machinery
+    measures it, which should agree with the whole-run round metric
+    since election is the only phase these programs run.
+    """
 
     methods: Sequence[str] = ("min_id", "sublinear")
     k_values: Sequence[int] = (4, 16, 64, 256)
     repetitions: int = 10
     seed: int = 9
+    spans: bool = False
 
 
 @dataclass
@@ -47,6 +55,7 @@ class ElectionCell:
     agreements: int
     trials: int
     sqrt_bound: float  # √k · log2^{3/2} k, the [9] reference curve
+    span_rounds: Summary | None = None  # "election" span delta (spans=True runs)
 
 
 @dataclass
@@ -99,6 +108,7 @@ def run_election(config: ElectionConfig | None = None) -> ElectionResult:
     for method in cfg.methods:
         for k in cfg.k_values:
             rounds, msgs = [], []
+            span_rounds: list[float] = []
             agreements = 0
             for rep in range(cfg.repetitions):
                 def prog(ctx, m=method) -> Generator[None, None, int]:
@@ -110,12 +120,17 @@ def run_election(config: ElectionConfig | None = None) -> ElectionResult:
                     program=FunctionProgram(prog, name=f"elect-{method}"),
                     seed=int(rng.integers(0, 2**31)),
                     bandwidth_bits=512,
+                    spans=cfg.spans,
                 )
                 res = sim.run()
                 rounds.append(res.metrics.rounds)
                 msgs.append(res.metrics.messages)
                 if len(set(res.outputs)) == 1:
                     agreements += 1
+                if cfg.spans and res.spans:
+                    span_rounds.append(
+                        max(s.rounds for s in res.spans if s.name == "election")
+                    )
             bound = math.sqrt(k) * max(1.0, math.log2(k)) ** 1.5
             result.cells.append(
                 ElectionCell(
@@ -126,6 +141,7 @@ def run_election(config: ElectionConfig | None = None) -> ElectionResult:
                     agreements=agreements,
                     trials=cfg.repetitions,
                     sqrt_bound=bound,
+                    span_rounds=summarize(span_rounds) if span_rounds else None,
                 )
             )
     return result

@@ -48,7 +48,7 @@ from .faults import (
     LinkFaults,
     Outage,
 )
-from .machine import FunctionProgram, MachineContext, Program
+from .machine import NULL_OBS, FunctionProgram, MachineContext, NullObs, Program
 from .message import Message
 from .metrics import Metrics, RoundRecord
 from .network import LinkStats, Network
@@ -89,7 +89,9 @@ __all__ = [
     "MachineContext",
     "Message",
     "Metrics",
+    "NULL_OBS",
     "Network",
+    "NullObs",
     "NullTracer",
     "Outage",
     "PeerCrashedError",

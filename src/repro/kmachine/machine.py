@@ -35,7 +35,49 @@ from .errors import AddressError, PeerCrashedError, ProtocolError
 from .message import Message
 from .sizing import SizingPolicy
 
-__all__ = ["MachineContext", "Program", "FunctionProgram"]
+__all__ = ["MachineContext", "Program", "FunctionProgram", "NullObs", "NULL_OBS"]
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out by :class:`NullObs`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObs:
+    """No-op observability handle; the default value of ``ctx.obs``.
+
+    Protocol code instruments phases with ``with ctx.obs.span("name"):``
+    unconditionally; when the simulation was not asked to record spans
+    this stub swallows the calls at negligible cost.  The real
+    implementation (:class:`repro.obs.spans.MachineObs`) duck-types
+    this interface — it lives in :mod:`repro.obs` so the core machine
+    model stays free of observability imports.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        """Return a shared no-op context manager."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **detail: Any) -> None:
+        """Discard the event."""
+
+
+#: Shared stateless singleton used as every context's default ``obs``.
+NULL_OBS = NullObs()
 
 
 class MachineContext:
@@ -95,6 +137,9 @@ class MachineContext:
         #: peers this machine has been notified are crashed (fault model's
         #: synchronous failure detector; empty in fault-free runs)
         self.crashed_peers: set[int] = set()
+        #: observability handle — a no-op unless the simulator was
+        #: constructed with ``spans=True`` (see :mod:`repro.obs`)
+        self.obs: Any = NULL_OBS
 
     # ------------------------------------------------------------------
     # sending

@@ -11,7 +11,8 @@ simulator enforced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
 
 __all__ = ["RoundRecord", "Metrics"]
 
@@ -114,7 +115,10 @@ class Metrics:
 
         Used by drivers that run multi-phase protocols as separate
         simulations (e.g. classifier fit + many queries) and want a
-        combined budget.
+        combined budget.  Timelines are concatenated with ``other``'s
+        round indices shifted by ``self.rounds``, so the merged
+        timeline stays monotonic exactly as the summed round count
+        implies (the two runs happened back to back).
         """
         merged = Metrics(
             rounds=self.rounds + other.rounds,
@@ -141,11 +145,21 @@ class Metrics:
             for tag, count in getattr(other, tag_map_name).items():
                 merged_map[tag] = merged_map.get(tag, 0) + count
             setattr(merged, tag_map_name, merged_map)
-        merged.timeline = list(self.timeline) + list(other.timeline)
+        merged.timeline = list(self.timeline) + [
+            replace(rec, round=rec.round + self.rounds) for rec in other.timeline
+        ]
         return merged
 
-    def summary(self) -> str:
-        """One-line human-readable summary (fault/reliability part only if used)."""
+    def summary(self, verbose: bool = False) -> str:
+        """One-line human-readable summary (fault/reliability part only if used).
+
+        The reliable clause appears whenever *any* reliable-layer
+        counter is nonzero (a run can suppress duplicates or reject
+        checksums without ever retransmitting), so merged multi-attempt
+        metrics report consistently.  ``verbose=True`` appends a
+        per-tag breakdown — one line per message tag, busiest first —
+        attributing the message/bit bill to protocol phases.
+        """
         line = (
             f"rounds={self.rounds} messages={self.messages} bits={self.bits} "
             f"sim_time={self.simulated_seconds:.6f}s "
@@ -162,9 +176,65 @@ class Metrics:
                 f" outage={self.outage_drops} crash_purged={self.crash_drops}"
                 f" crashed={self.crashed}]"
             )
-        if self.retransmissions or self.acks_sent:
+        if (
+            self.retransmissions or self.acks_sent
+            or self.duplicates_suppressed or self.checksum_failures
+        ):
             line += (
                 f" reliable[retx={self.retransmissions} acks={self.acks_sent}"
                 f" dedup={self.duplicates_suppressed} badsum={self.checksum_failures}]"
             )
+        if verbose and self.per_tag_messages:
+            for tag in sorted(
+                self.per_tag_messages, key=lambda t: -self.per_tag_messages[t]
+            ):
+                line += (
+                    f"\n  tag {tag}: {self.per_tag_messages[tag]} msgs, "
+                    f"{self.per_tag_bits.get(tag, 0)} bits"
+                )
         return line
+
+    # ------------------------------------------------------------------
+    # serialization (benchmark result files, trace exports)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`.
+
+        Includes the derived ``simulated_seconds`` for report
+        convenience (ignored on load) and the full timeline when one
+        was recorded.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "timeline":
+                out["timeline"] = [vars(rec).copy() for rec in value]
+            elif f.name == "crashed":
+                out["crashed"] = [list(pair) for pair in value]
+            elif f.name in ("per_tag_messages", "per_tag_bits"):
+                out[f.name] = dict(value)
+            else:
+                out[f.name] = value
+        out["simulated_seconds"] = self.simulated_seconds
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Metrics":
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        Unknown keys are ignored, so result files written by newer
+        versions (or JSONL envelopes carrying a ``type`` field) load
+        cleanly.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs: dict[str, Any] = {}
+        for name, value in data.items():
+            if name not in known:
+                continue
+            if name == "timeline":
+                kwargs["timeline"] = [RoundRecord(**rec) for rec in value]
+            elif name == "crashed":
+                kwargs["crashed"] = [tuple(pair) for pair in value]
+            else:
+                kwargs[name] = value
+        return cls(**kwargs)

@@ -35,8 +35,8 @@ Example
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Generator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Sequence
 
 import numpy as np
 
@@ -75,12 +75,17 @@ class SimulationResult:
         set after an ℓ-NN run).
     tracer:
         The tracer used (a :class:`NullTracer` unless tracing was on).
+    spans:
+        Phase spans recorded when the simulator was constructed with
+        ``spans=True`` (a list of :class:`repro.obs.spans.Span`);
+        empty otherwise.
     """
 
     outputs: list[Any]
     metrics: Metrics
     contexts: list[MachineContext]
     tracer: Tracer | NullTracer
+    spans: list[Any] = field(default_factory=list)
 
 
 class Simulator:
@@ -112,7 +117,21 @@ class Simulator:
     timeline:
         Keep a per-round :class:`RoundRecord` list.
     trace:
-        Record send/deliver/halt events on a :class:`Tracer`.
+        Record send/deliver/halt events on a :class:`Tracer`.  Pass
+        ``True`` for an unbounded tracer, or a preconfigured
+        :class:`Tracer` instance (e.g. ``Tracer(max_events=10_000)``
+        for a memory-bounded ring buffer).
+    spans:
+        Attach a :class:`repro.obs.spans.SpanRecorder` and hand each
+        context a live ``ctx.obs``, so ``with ctx.obs.span(...)``
+        blocks in protocol code record phase spans.  Off by default;
+        disabled instrumentation costs one no-op context manager per
+        phase.
+    observers:
+        Optional :class:`repro.obs.observers.RoundObserver` instances;
+        each gets ``on_round(round_idx, metrics)`` after every round
+        and ``on_finish(metrics)`` (if defined) when the run ends,
+        even on abort.
     faults:
         Optional :class:`~repro.kmachine.faults.FaultPlan`.  A
         :class:`~repro.kmachine.faults.FaultInjector` seeded from the
@@ -140,10 +159,12 @@ class Simulator:
         measure_compute: bool = False,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         timeline: bool = False,
-        trace: bool = False,
+        trace: bool | Tracer = False,
         sizing: SizingPolicy | None = None,
         faults: FaultPlan | None = None,
         reliable: ReliabilityConfig | bool | None = None,
+        spans: bool = False,
+        observers: Iterable[Any] | None = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -157,7 +178,11 @@ class Simulator:
         self.timeline = timeline
         self.sizing = sizing or SizingPolicy()
         self.network = Network(k, bandwidth_bits=bandwidth_bits, policy=policy)
-        self.tracer: Tracer | NullTracer = Tracer() if trace else NullTracer()
+        if isinstance(trace, Tracer):
+            self.tracer: Tracer | NullTracer = trace
+        else:
+            self.tracer = Tracer() if trace else NullTracer()
+        self.observers = list(observers) if observers is not None else []
         self.fault_plan = faults
         self.fault_injector = FaultInjector(faults) if faults is not None else None
         self.network.fault_injector = self.fault_injector
@@ -192,6 +217,16 @@ class Simulator:
             for rank in range(k)
         ]
 
+        #: live span recorder (``None`` unless ``spans=True``); imported
+        #: lazily so the core machine model never depends on repro.obs
+        self.span_recorder: Any = None
+        if spans:
+            from ..obs.spans import SpanRecorder
+
+            self.span_recorder = SpanRecorder(self.metrics, self.tracer)
+            for ctx in self.contexts:
+                ctx.obs = self.span_recorder.for_machine(ctx.rank)
+
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the program to completion and return the result.
@@ -220,8 +255,12 @@ class Simulator:
         round_idx = 0
         active_rounds = 0
 
+        recorder = self.span_recorder
+
         try:
             while True:
+                if recorder is not None:
+                    recorder.round = round_idx
                 if round_idx >= self.max_rounds:
                     stuck = [r for r, g in enumerate(generators) if g is not None]
                     raise DeadlockError(
@@ -361,6 +400,9 @@ class Simulator:
                         )
                     )
 
+                for obs in self.observers:
+                    obs.on_round(round_idx, metrics)
+
                 round_idx += 1
                 if alive == 0:
                     if self.reliability is not None:
@@ -396,12 +438,19 @@ class Simulator:
                     metrics.duplicates_suppressed += ctx.duplicates_suppressed
                     metrics.checksum_failures += ctx.checksum_failures
             metrics.rounds = max(active_rounds, round_idx if alive else active_rounds)
+            if recorder is not None:
+                recorder.close_all()
+            for obs in self.observers:
+                on_finish = getattr(obs, "on_finish", None)
+                if on_finish is not None:
+                    on_finish(metrics)
 
         return SimulationResult(
             outputs=outputs,
             metrics=metrics,
             contexts=self.contexts,
             tracer=self.tracer,
+            spans=list(recorder.spans) if recorder is not None else [],
         )
 
 

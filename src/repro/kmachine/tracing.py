@@ -9,8 +9,9 @@ would be both slow and useless.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 __all__ = ["TraceEvent", "Tracer", "NullTracer"]
 
@@ -37,16 +38,39 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records during a simulation."""
+    """Collects :class:`TraceEvent` records during a simulation.
+
+    ``max_events`` bounds memory: when set, the tracer keeps only the
+    most recent ``max_events`` records in a ring buffer and counts the
+    overwritten ones in :attr:`dropped_events`, so tracing a large run
+    can never grow without bound.  The default (``None``) keeps every
+    event, exactly as before.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        #: events discarded from the ring buffer (0 when unbounded)
+        self.dropped_events = 0
+        self._events: deque[TraceEvent] | list[TraceEvent] = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
+
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        """The retained events, oldest first (a list or bounded deque)."""
+        return self._events
 
     def record(self, round: int, kind: str, machine: int | None = None, **detail: Any) -> None:
-        """Append one event."""
-        self.events.append(TraceEvent(round=round, kind=kind, machine=machine, detail=detail))
+        """Append one event (dropping the oldest when at capacity)."""
+        if self.max_events is not None and len(self._events) == self.max_events:
+            self.dropped_events += 1
+        self._events.append(
+            TraceEvent(round=round, kind=kind, machine=machine, detail=detail)
+        )
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All events of one kind, in order."""

@@ -1,0 +1,74 @@
+"""Observability for the k-machine reproduction (``repro.obs``).
+
+The paper's entire contribution is a *budget* — Algorithm 1 finishes
+in O(log n) rounds / O(k log n) messages (Theorem 2.2), Algorithm 2 in
+O(log ℓ) rounds / O(k log ℓ) messages with at most 11ℓ survivors after
+pruning (Lemma 2.3, Theorem 2.4).  This package makes those budgets
+*observable* per protocol phase instead of per run:
+
+* :mod:`repro.obs.spans` — hierarchical, round-clocked spans opened by
+  protocol code (``with ctx.obs.span("sampling"): ...``) that snapshot
+  :class:`~repro.kmachine.metrics.Metrics` deltas at entry/exit, plus
+  the phase-attribution report used by the acceptance tests;
+* :mod:`repro.obs.export` — JSONL structured event log and Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``;
+  machines map to threads, the round index is the clock);
+* :mod:`repro.obs.conformance` — a theory-conformance monitor checking
+  observed runs against the paper's bounds and recording pass/fail
+  verdicts with the measured constants;
+* :mod:`repro.obs.observers` — per-round simulator callbacks,
+  including a live console progress reporter.
+
+Inspect or convert trace files from the shell::
+
+    python -m repro.obs info trace.jsonl
+    python -m repro.obs spans trace.jsonl
+    python -m repro.obs convert trace.jsonl trace.json
+    python -m repro.obs demo --k 8 --l 64 --jsonl run.jsonl --chrome run.json
+"""
+
+from .conformance import (
+    ConformanceCheck,
+    ConformanceReport,
+    check_knn,
+    check_knn_result,
+    check_selection,
+    check_selection_result,
+)
+from .export import (
+    ROUND_TICK_US,
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .observers import MetricsHistory, ProgressReporter, RoundObserver
+from .spans import (
+    MachineObs,
+    PhaseAttribution,
+    Span,
+    SpanRecorder,
+    phase_attribution,
+)
+
+__all__ = [
+    "ConformanceCheck",
+    "ConformanceReport",
+    "MachineObs",
+    "MetricsHistory",
+    "PhaseAttribution",
+    "ProgressReporter",
+    "ROUND_TICK_US",
+    "RoundObserver",
+    "Span",
+    "SpanRecorder",
+    "check_knn",
+    "check_knn_result",
+    "check_selection",
+    "check_selection_result",
+    "chrome_trace",
+    "phase_attribution",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,366 @@
+"""Theory-conformance monitor: did this run respect the paper's bounds?
+
+Every check compares an *observed* quantity from a finished run
+against the corresponding *predicted* bound from
+:mod:`repro.analysis.theory`, and records the measured constant — the
+observed value divided by the theorem's growth term — so reports can
+say not just PASS/FAIL but "Algorithm 1 used ``c = 1.8`` of its
+allowed ``~20.5`` rounds per log₂ n".
+
+Checks implemented (names quote the paper):
+
+* **Theorem 2.2** (Algorithm 1, selection): rounds ≤ c·log n and
+  messages ≤ c·k·log n.  The bound is assembled from the proof's
+  structure: at most ``3·log_{3/2} n`` expected iterations, ≤ 4 rounds
+  and ≤ 2k messages per iteration, plus the init/finish overhead
+  (:func:`repro.analysis.theory.selection_message_bound`).
+* **Theorem 2.4** (Algorithm 2, ℓ-NN): rounds ≤ c·log ℓ and messages
+  ≤ c·k·log ℓ, assembled from sampling transfer + threshold broadcast
+  + safe-mode check + Algorithm 1 on ≤ 11ℓ survivors.
+* **Lemma 2.3**: at most ``11ℓ`` candidates survive the threshold
+  prune (checked against the leader's measured survivor count).
+
+The bounds are w.h.p. statements; a seeded run violating one is
+either an unlucky tail event (re-seed and re-check) or a regression —
+both worth a FAIL verdict in a report.  ``slack`` scales every bound
+if a caller wants headroom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..analysis.theory import (
+    expected_selection_iterations_bound,
+    knn_sample_messages,
+    selection_message_bound,
+)
+from ..kmachine.metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.driver import KNNResult, SelectResult
+
+__all__ = [
+    "ConformanceCheck",
+    "ConformanceReport",
+    "check_selection",
+    "check_selection_result",
+    "check_knn",
+    "check_knn_result",
+]
+
+#: Rounds one Algorithm-1 iteration can cost: pivot round-trip (2) +
+#: count broadcast/gather (2).
+_ROUNDS_PER_ITERATION = 4
+
+#: Init (broadcast + gather) and finish (broadcast) rounds around the
+#: Algorithm-1 iteration loop.
+_SELECTION_OVERHEAD_ROUNDS = 4
+
+#: Safe-mode survivor check: count gather + go/no-go broadcast.
+_SAFE_MODE_ROUNDS = 4
+
+#: Lemma 2.3's survivor bound constant.
+_LEMMA_23_FACTOR = 11
+
+
+def _log2(x: float) -> float:
+    """``log₂ x`` floored at 1 so constants stay finite for tiny inputs."""
+    return max(1.0, math.log2(max(2.0, x)))
+
+
+@dataclass
+class ConformanceCheck:
+    """One observed-vs-bound verdict.
+
+    ``constant`` is the measured constant (observed / ``scale`` term)
+    and ``bound_constant`` the same normalisation of the bound, so the
+    slack the analysis leaves is ``bound_constant / constant``.
+    """
+
+    name: str
+    source: str
+    observed: float
+    bound: float
+    scale: str
+    constant: float
+    bound_constant: float
+    passed: bool
+
+    def format(self) -> str:
+        """``PASS rounds <= bound [Theorem 2.2] ...`` one-liner."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"{verdict} {self.name}: observed {self.observed:g} <= bound "
+            f"{self.bound:g} [{self.source}]  measured c = {self.constant:.3f} "
+            f"per {self.scale} (allowed {self.bound_constant:.3f})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "name": self.name,
+            "source": self.source,
+            "observed": self.observed,
+            "bound": self.bound,
+            "scale": self.scale,
+            "constant": self.constant,
+            "bound_constant": self.bound_constant,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """All checks for one run, with the run's parameters."""
+
+    algorithm: str
+    params: dict[str, Any] = field(default_factory=dict)
+    checks: list[ConformanceCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(c.passed for c in self.checks)
+
+    def check(self, name: str) -> ConformanceCheck:
+        """Lookup one check by name."""
+        for c in self.checks:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        head = (
+            f"conformance[{self.algorithm}] "
+            f"{' '.join(f'{k}={v}' for k, v in self.params.items())}: "
+            f"{'PASS' if self.passed else 'FAIL'}"
+        )
+        return "\n".join([head] + [f"  {c.format()}" for c in self.checks])
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "passed": self.passed,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+
+def _make_check(
+    name: str,
+    source: str,
+    observed: float,
+    bound: float,
+    scale_value: float,
+    scale_label: str,
+) -> ConformanceCheck:
+    return ConformanceCheck(
+        name=name,
+        source=source,
+        observed=float(observed),
+        bound=float(bound),
+        scale=scale_label,
+        constant=float(observed) / scale_value,
+        bound_constant=float(bound) / scale_value,
+        passed=float(observed) <= float(bound),
+    )
+
+
+def selection_rounds_bound(n: int) -> float:
+    """Theorem 2.2's round budget, assembled from the proof structure."""
+    return (
+        _ROUNDS_PER_ITERATION * expected_selection_iterations_bound(max(2, n))
+        + _SELECTION_OVERHEAD_ROUNDS
+    )
+
+
+def check_selection(
+    metrics: Metrics,
+    *,
+    n: int,
+    k: int,
+    iterations: int | None = None,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """Check an Algorithm 1 run against Theorem 2.2.
+
+    ``n`` is the global key count, ``k`` the machine count;
+    ``iterations`` (the leader's
+    :attr:`~repro.core.selection.SelectionStats.iterations`) adds the
+    tighter per-iteration check when available.  ``slack`` scales every
+    bound (1.0 = the theory's own constants).
+    """
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be >= 1")
+    report = ConformanceReport(algorithm="algorithm1", params={"n": n, "k": k})
+    log_n = _log2(n)
+    report.checks.append(
+        _make_check(
+            "rounds",
+            "Theorem 2.2",
+            metrics.rounds,
+            slack * selection_rounds_bound(n),
+            log_n,
+            "log2(n)",
+        )
+    )
+    report.checks.append(
+        _make_check(
+            "messages",
+            "Theorem 2.2",
+            metrics.messages,
+            slack * selection_message_bound(max(2, n), k),
+            k * log_n,
+            "k*log2(n)",
+        )
+    )
+    if iterations is not None:
+        report.checks.append(
+            _make_check(
+                "iterations",
+                "Theorem 2.2",
+                iterations,
+                slack * expected_selection_iterations_bound(max(2, n)),
+                log_n,
+                "log2(n)",
+            )
+        )
+    return report
+
+
+def check_selection_result(
+    result: "SelectResult", *, n: int, k: int, slack: float = 1.0
+) -> ConformanceReport:
+    """:func:`check_selection` on a :func:`repro.core.driver.distributed_select` result."""
+    iterations = result.stats.iterations if result.stats is not None else None
+    return check_selection(
+        result.metrics, n=n, k=k, iterations=iterations, slack=slack
+    )
+
+
+def knn_rounds_bound(
+    l: int,
+    k: int,
+    *,
+    sample_factor: int = 12,
+    safe_mode: bool = True,
+    survivors_cap: int | None = None,
+) -> float:
+    """Theorem 2.4's round budget, assembled from the protocol stages.
+
+    Sampling transfer (≤ one sample message per link-round, i.e.
+    ``sample_factor·⌈log₂ ℓ⌉`` rounds), threshold broadcast (2), the
+    optional safe-mode survivor check (4), and Algorithm 1 on at most
+    ``11ℓ`` survivors (Lemma 2.3) — every term O(log ℓ), independent
+    of k and n.
+    """
+    log_l = max(1, math.ceil(math.log2(max(2, l))))
+    cap = survivors_cap if survivors_cap is not None else _LEMMA_23_FACTOR * l
+    rounds = float(sample_factor * log_l) + 2.0
+    if safe_mode:
+        rounds += _SAFE_MODE_ROUNDS
+    rounds += selection_rounds_bound(max(2, cap))
+    return rounds
+
+
+def knn_message_budget(
+    l: int,
+    k: int,
+    *,
+    sample_factor: int = 12,
+    safe_mode: bool = True,
+    survivors_cap: int | None = None,
+) -> float:
+    """Theorem 2.4's message budget (sampling + threshold + safe + selection)."""
+    cap = survivors_cap if survivors_cap is not None else _LEMMA_23_FACTOR * l
+    messages = float(knn_sample_messages(l, k, sample_factor)) + (k - 1)
+    if safe_mode:
+        messages += 2.0 * (k - 1)
+    messages += selection_message_bound(max(2, cap), k)
+    return messages
+
+
+def check_knn(
+    metrics: Metrics,
+    *,
+    l: int,
+    k: int,
+    survivors: int | None = None,
+    sample_factor: int = 12,
+    safe_mode: bool = True,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """Check an Algorithm 2 run against Theorem 2.4 and Lemma 2.3.
+
+    ``survivors`` is the leader's measured candidate count entering the
+    selection stage (:attr:`~repro.core.knn.KNNOutput.survivors`);
+    when given, the Lemma 2.3 check ``survivors ≤ 11ℓ`` is included.
+    """
+    if l < 1 or k < 1:
+        raise ValueError("l and k must be >= 1")
+    report = ConformanceReport(algorithm="algorithm2", params={"l": l, "k": k})
+    log_l = _log2(l)
+    report.checks.append(
+        _make_check(
+            "rounds",
+            "Theorem 2.4",
+            metrics.rounds,
+            slack * knn_rounds_bound(
+                l, k, sample_factor=sample_factor, safe_mode=safe_mode
+            ),
+            log_l,
+            "log2(l)",
+        )
+    )
+    report.checks.append(
+        _make_check(
+            "messages",
+            "Theorem 2.4",
+            metrics.messages,
+            slack * knn_message_budget(
+                l, k, sample_factor=sample_factor, safe_mode=safe_mode
+            ),
+            k * log_l,
+            "k*log2(l)",
+        )
+    )
+    if survivors is not None:
+        report.checks.append(
+            _make_check(
+                "survivors",
+                "Lemma 2.3",
+                survivors,
+                slack * _LEMMA_23_FACTOR * l,
+                float(l),
+                "l",
+            )
+        )
+    return report
+
+
+def check_knn_result(
+    result: "KNNResult",
+    *,
+    l: int,
+    k: int,
+    sample_factor: int = 12,
+    safe_mode: bool = True,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """:func:`check_knn` on a :func:`repro.core.driver.distributed_knn` result."""
+    leader = result.leader_output
+    survivors = getattr(leader, "survivors", None)
+    return check_knn(
+        result.metrics,
+        l=l,
+        k=k,
+        survivors=survivors,
+        sample_factor=sample_factor,
+        safe_mode=safe_mode,
+        slack=slack,
+    )

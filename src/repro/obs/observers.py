@@ -1,0 +1,92 @@
+"""Per-round simulator observers: progress reporting, metric sampling.
+
+The simulator accepts ``observers=[...]``; after every round it calls
+``observer.on_round(round_idx, metrics)``, and when the run finishes
+(or aborts) ``observer.on_finish(metrics)`` if defined.  Observers are
+*read-only* bystanders: they see the shared
+:class:`~repro.kmachine.metrics.Metrics` object but must not write to
+it or touch machine state — observation never counts as protocol
+traffic (and the protocol linter's isolation rule keeps it that way).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Protocol, runtime_checkable
+
+from ..kmachine.metrics import Metrics
+
+__all__ = ["RoundObserver", "ProgressReporter", "MetricsHistory"]
+
+
+@runtime_checkable
+class RoundObserver(Protocol):
+    """What the simulator expects of an observer (``on_finish`` optional)."""
+
+    def on_round(self, round_idx: int, metrics: Metrics) -> None:
+        """Called after every completed round."""
+        ...  # pragma: no cover - protocol definition
+
+
+class ProgressReporter:
+    """Live console progress: one status line every ``every`` rounds.
+
+    Writes ``\\r``-refreshed lines to ``stream`` (default stderr) so a
+    long simulation shows motion without flooding the terminal; the
+    final summary is printed on ``on_finish``.  Intended for
+    interactive runs::
+
+        Simulator(..., observers=[ProgressReporter(every=100)])
+    """
+
+    def __init__(self, every: int = 100, stream: IO[str] | None = None) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.stream = stream if stream is not None else sys.stderr
+        self.rounds_seen = 0
+
+    def _line(self, round_idx: int, metrics: Metrics) -> str:
+        return (
+            f"[obs] round {round_idx:>6}  messages {metrics.messages:>8}  "
+            f"bits {metrics.bits:>10}  sim {metrics.simulated_seconds:.4f}s"
+        )
+
+    def on_round(self, round_idx: int, metrics: Metrics) -> None:
+        """Refresh the status line every ``every`` rounds."""
+        self.rounds_seen = round_idx + 1
+        if round_idx % self.every == 0:
+            self.stream.write("\r" + self._line(round_idx, metrics))
+            self.stream.flush()
+
+    def on_finish(self, metrics: Metrics) -> None:
+        """Print the final summary on its own line."""
+        self.stream.write(
+            "\r" + self._line(max(0, self.rounds_seen - 1), metrics) + "  [done]\n"
+        )
+        self.stream.flush()
+
+
+class MetricsHistory:
+    """Record a per-round cumulative metrics curve.
+
+    Cheaper than ``timeline=True`` when only the headline counters are
+    wanted: each round appends ``(round, messages, bits)``.  Useful for
+    plotting budget burn-down across phases next to a span tree.
+    """
+
+    def __init__(self) -> None:
+        self.samples: list[tuple[int, int, int]] = []
+
+    def on_round(self, round_idx: int, metrics: Metrics) -> None:
+        """Append this round's cumulative (messages, bits)."""
+        self.samples.append((round_idx, metrics.messages, metrics.bits))
+
+    def messages_per_round(self) -> list[int]:
+        """Per-round message deltas reconstructed from the samples."""
+        deltas = []
+        prev = 0
+        for _, messages, _ in self.samples:
+            deltas.append(messages - prev)
+            prev = messages
+        return deltas

@@ -26,7 +26,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 import traceback as traceback_module
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Sequence
 
 from ..kmachine.errors import DeadlockError, ProtocolError
@@ -78,13 +78,44 @@ class MultiprocessResult:
     ``messages`` the total inter-machine messages routed;
     ``wall_seconds`` end-to-end wall-clock on the coordinator,
     measured from first round to last (process startup excluded,
-    since a long-lived deployment would amortise it).
+    since a long-lived deployment would amortise it);
+    ``spans`` the per-machine phase spans gathered from the workers
+    when the simulator was constructed with ``spans=True`` (a list of
+    :class:`repro.obs.spans.Span`, all machines concatenated).
     """
 
     outputs: list[Any]
     rounds: int
     messages: int
     wall_seconds: float
+    spans: list[Any] = field(default_factory=list)
+
+
+class _CtxMeter:
+    """Metrics-shaped adapter over one worker's context counters.
+
+    A worker process only knows its *own* traffic, so span snapshots
+    here read ``ctx.sent_messages``/``ctx.sent_bits`` — per-machine
+    deltas, not the global ones the in-process simulator records.  The
+    modelled time components are not available process-side and stay
+    zero.
+    """
+
+    __slots__ = ("_ctx",)
+
+    compute_seconds = 0.0
+    comm_seconds = 0.0
+
+    def __init__(self, ctx: MachineContext) -> None:
+        self._ctx = ctx
+
+    @property
+    def messages(self) -> int:
+        return self._ctx.sent_messages
+
+    @property
+    def bits(self) -> int:
+        return self._ctx.sent_bits
 
 
 def _worker_main(
@@ -95,16 +126,25 @@ def _worker_main(
     seed: int | None,
     machine_id: int,
     conn,
+    spans: bool = False,
 ) -> None:
     """Entry point of one machine process."""
     try:
         rngs = spawn_streams(seed, k + 1)
         ctx = MachineContext(rank=rank, k=k, rng=rngs[rank], local=local,
                              machine_id=machine_id)
+        recorder = None
+        if spans:
+            from ..obs.spans import SpanRecorder
+
+            recorder = SpanRecorder(_CtxMeter(ctx))
+            ctx.obs = recorder.for_machine(rank)
         gen: Generator = program.instantiate(ctx)
         round_idx = 0
         while True:
             ctx.round = round_idx
+            if recorder is not None:
+                recorder.round = round_idx
             halted = False
             result = None
             try:
@@ -115,7 +155,12 @@ def _worker_main(
             outbox = [
                 (m.dst, m.tag, m.payload) for m in ctx.drain_outbox()
             ]
-            conn.send(RoundUp(rank=rank, messages=outbox, halted=halted, result=result))
+            span_dicts = None
+            if halted and recorder is not None:
+                recorder.close_all()
+                span_dicts = [s.to_dict() for s in recorder.spans]
+            conn.send(RoundUp(rank=rank, messages=outbox, halted=halted,
+                              result=result, spans=span_dicts))
             if halted:
                 return
             down: RoundDown = conn.recv()
@@ -158,6 +203,7 @@ class MultiprocessSimulator:
         seed: int | None = None,
         max_rounds: int = _DEFAULT_MAX_ROUNDS,
         round_timeout: float | None = 60.0,
+        spans: bool = False,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -168,6 +214,8 @@ class MultiprocessSimulator:
         self.inputs = inputs
         self.seed = seed
         self.max_rounds = max_rounds
+        #: record phase spans in every worker and gather them on halt
+        self.spans = spans
         #: seconds the coordinator waits for one worker's round report
         #: before declaring it dead; a worker killed by the OS (OOM,
         #: signal) then raises :class:`WorkerCrashedError` instead of
@@ -243,6 +291,7 @@ class MultiprocessSimulator:
                     self.seed,
                     ids[rank],
                     child_conn,
+                    self.spans,
                 ),
                 daemon=True,
             )
@@ -257,6 +306,7 @@ class MultiprocessSimulator:
         alive = set(range(self.k))
         total_messages = 0
         rounds = 0
+        gathered_spans: list[Any] = []
         started = time.perf_counter()
         try:
             pending: dict[int, list[tuple[int, str, Any]]] = {r: [] for r in range(self.k)}
@@ -279,6 +329,12 @@ class MultiprocessSimulator:
                     if up.halted:
                         outputs[rank] = up.result
                         alive.discard(rank)
+                        if up.spans:
+                            from ..obs.spans import Span
+
+                            gathered_spans.extend(
+                                Span.from_dict(d) for d in up.spans
+                            )
                 for rank in sorted(alive):
                     inbox = pending.get(rank, [])
                     pending[rank] = []
@@ -297,9 +353,11 @@ class MultiprocessSimulator:
                     proc.terminate()
             for conn in conns:
                 conn.close()
+        gathered_spans.sort(key=lambda s: (s.machine, s.index))
         return MultiprocessResult(
             outputs=outputs,
             rounds=rounds,
             messages=total_messages,
             wall_seconds=wall,
+            spans=gathered_spans,
         )

@@ -26,13 +26,17 @@ class RoundUp:
 
     ``messages`` is a list of ``(dst, tag, payload)`` triples;
     ``halted`` signals the program generator returned this round, with
-    ``result`` carrying its return value.
+    ``result`` carrying its return value and ``spans`` the machine's
+    recorded phase spans as plain dicts (see
+    :meth:`repro.obs.spans.Span.to_dict`; ``None`` when span recording
+    was off).
     """
 
     rank: int
     messages: list[tuple[int, str, Any]]
     halted: bool = False
     result: Any = None
+    spans: list[dict[str, Any]] | None = None
 
 
 @dataclass

@@ -68,3 +68,19 @@ class TestRunnerSubcommands:
         # Uses defaults scaled by nothing; keep it small via --k and --l.
         assert main(["accuracy", "--k", "2", "--l", "3"]) == 0
         assert "quality" in capsys.readouterr().out
+
+
+class TestElectionSpans:
+    def test_span_rounds_summarised(self):
+        cfg = ElectionConfig(
+            methods=("min_id",), k_values=(4,), repetitions=3, spans=True
+        )
+        cell = run_election(cfg).cell("min_id", 4)
+        assert cell.span_rounds is not None
+        # Election is the only phase, so the span's round delta tracks
+        # the whole-run round metric.
+        assert cell.span_rounds.mean <= cell.rounds.mean
+
+    def test_spans_off_keeps_cell_field_none(self):
+        cfg = ElectionConfig(methods=("min_id",), k_values=(4,), repetitions=2)
+        assert run_election(cfg).cell("min_id", 4).span_rounds is None

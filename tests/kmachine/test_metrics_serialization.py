@@ -1,0 +1,101 @@
+"""Metrics merge/summary consistency and dict round trips."""
+
+from __future__ import annotations
+
+from repro.kmachine.metrics import Metrics, RoundRecord
+
+
+def record(round_idx: int, messages: int = 1) -> RoundRecord:
+    return RoundRecord(
+        round=round_idx, messages_sent=messages, bits_sent=64 * messages,
+        messages_delivered=messages, max_link_bits=64, compute_seconds=0.0,
+        comm_seconds=0.0, active_machines=2,
+    )
+
+
+class TestMergeTimeline:
+    def test_timeline_concatenated_with_offset(self):
+        a = Metrics(rounds=3, timeline=[record(0), record(1), record(2)])
+        b = Metrics(rounds=2, timeline=[record(0, 5), record(1, 7)])
+        merged = a.merge(b)
+        assert merged.rounds == 5
+        assert [r.round for r in merged.timeline] == [0, 1, 2, 3, 4]
+        assert merged.timeline[3].messages_sent == 5
+        assert merged.timeline[4].messages_sent == 7
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = Metrics(rounds=3, timeline=[record(0)])
+        b = Metrics(rounds=2, timeline=[record(0)])
+        a.merge(b)
+        assert b.timeline[0].round == 0
+        assert a.timeline[0].round == 0
+
+    def test_merged_timeline_matches_summed_counters(self):
+        a, b = Metrics(rounds=1), Metrics(rounds=1)
+        a.record_send("x", 64)
+        a.timeline.append(record(0))
+        b.record_send("x", 64)
+        b.record_send("y", 64)
+        b.timeline.append(record(0, 2))
+        merged = a.merge(b)
+        assert merged.messages == 3
+        assert sum(r.messages_sent for r in merged.timeline) == merged.messages
+        assert merged.per_tag_messages == {"x": 2, "y": 1}
+
+
+class TestSummary:
+    def _tagged(self) -> Metrics:
+        m = Metrics(rounds=2)
+        m.record_send("sel/pivot", 100)
+        m.record_send("sel/pivot", 100)
+        m.record_send("knn/sample", 64)
+        return m
+
+    def test_default_summary_has_no_tag_lines(self):
+        assert "\n" not in self._tagged().summary()
+
+    def test_verbose_summary_lists_tags_busiest_first(self):
+        lines = self._tagged().summary(verbose=True).splitlines()
+        assert lines[0].startswith("rounds=2 messages=3")
+        assert lines[1] == "  tag sel/pivot: 2 msgs, 200 bits"
+        assert lines[2] == "  tag knn/sample: 1 msgs, 64 bits"
+
+    def test_verbose_without_tags_is_single_line(self):
+        assert "\n" not in Metrics(rounds=1).summary(verbose=True)
+
+    def test_reliable_clause_on_any_reliable_counter(self):
+        m = Metrics(duplicates_suppressed=2)
+        assert "reliable[" in m.summary()
+        assert "dedup=2" in m.summary()
+
+
+class TestDictRoundTrip:
+    def _full(self) -> Metrics:
+        m = Metrics(
+            rounds=4, compute_seconds=0.5, comm_seconds=0.25,
+            max_link_queue_bits=512, fault_drops=1,
+            crashed=[(2, 7)], retransmissions=3,
+        )
+        m.record_send("a", 100)
+        m.record_send("b", 28)
+        m.timeline.append(record(0, 2))
+        return m
+
+    def test_round_trip_equality(self):
+        m = self._full()
+        assert Metrics.from_dict(m.to_dict()) == m
+
+    def test_to_dict_includes_derived_seconds(self):
+        d = self._full().to_dict()
+        assert d["simulated_seconds"] == 0.75
+        assert d["timeline"][0]["messages_sent"] == 2
+        assert d["crashed"] == [[2, 7]]
+
+    def test_from_dict_ignores_unknown_keys(self):
+        d = self._full().to_dict()
+        d["type"] = "metrics"
+        d["future_field"] = 42
+        assert Metrics.from_dict(d) == self._full()
+
+    def test_empty_round_trip(self):
+        assert Metrics.from_dict(Metrics().to_dict()) == Metrics()

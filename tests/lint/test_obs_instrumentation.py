@@ -1,0 +1,75 @@
+"""Span instrumentation must not trip the protocol linter.
+
+``with ctx.obs.span(...)`` blocks and ``ctx.obs.event(...)`` calls sit
+inside protocol code that KM001–KM003 police; observability has to be
+free there (``ctx.obs`` is part of the public MachineContext surface,
+and span bodies contain ordinary sends/receives/yields).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import LintEngine, get_rules
+
+INSTRUMENTED = '''\
+"""A core/-scoped protocol instrumented exactly like repro.core.knn."""
+
+
+def select_phase(ctx, l):
+    with ctx.obs.span("sampling"):
+        if ctx.rank == 0:
+            msgs = yield from ctx.recv("knn/sample", ctx.k - 1)
+            pool = sorted(m.payload for m in msgs)
+            ctx.obs.event("pool-built", size=len(pool))
+        else:
+            ctx.send(0, "knn/sample", (1.5, 3))
+            yield
+            pool = []
+    with ctx.obs.span("threshold"):
+        if ctx.rank == 0:
+            threshold = pool[min(l, len(pool)) - 1]
+            ctx.broadcast("knn/threshold", threshold)
+            yield
+        else:
+            msg = yield from ctx.recv_one("knn/threshold", src=0)
+            threshold = msg.payload
+    return threshold
+
+
+def nested_phases(ctx):
+    with ctx.obs.span("selection"):
+        with ctx.obs.span("sel/iterate"):
+            ctx.send(0, "sel/count", len(ctx.local))
+            yield
+        ctx.obs.event("iteration-done")
+    return None
+'''
+
+
+def test_instrumented_core_module_lints_clean(tmp_path):
+    module = tmp_path / "core" / "instrumented.py"
+    module.parent.mkdir()
+    module.write_text(textwrap.dedent(INSTRUMENTED))
+    report = LintEngine(get_rules(), root=tmp_path).run([module])
+    assert not report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_shipped_obs_package_is_out_of_protocol_scope(tmp_path):
+    """repro/obs itself (exporters, CLI) must stay lintable as-is."""
+    from pathlib import Path
+
+    import repro.obs as obs_pkg
+
+    pkg_dir = Path(obs_pkg.__file__).parent
+    src_root = pkg_dir.parent.parent
+    files = sorted(pkg_dir.glob("*.py"))
+    assert files
+    report = LintEngine(get_rules(), root=src_root).run(files)
+    assert not report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )

@@ -1,0 +1,104 @@
+"""End-to-end tests for the ``python -m repro.obs`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kmachine.metrics import Metrics
+from repro.obs.cli import main
+from repro.obs.export import write_jsonl
+
+
+@pytest.fixture(scope="module")
+def demo_log(tmp_path_factory):
+    """One small seeded demo run shared by the read-only subcommands."""
+    root = tmp_path_factory.mktemp("obs-cli")
+    jsonl = root / "run.jsonl"
+    chrome = root / "run.json"
+    code = main(
+        [
+            "demo", "--k", "4", "--l", "16", "--points-per-machine", "64",
+            "--dim", "2", "--seed", "7",
+            "--jsonl", str(jsonl), "--chrome", str(chrome),
+        ]
+    )
+    assert code == 0
+    return jsonl, chrome
+
+
+class TestDemo:
+    def test_reports_attribution_and_conformance(self, demo_log, capsys):
+        jsonl, chrome = demo_log
+        assert jsonl.exists() and chrome.exists()
+
+    def test_demo_output_sections(self, capsys):
+        code = main(
+            ["demo", "--k", "4", "--l", "16", "--points-per-machine", "64",
+             "--dim", "2", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distributed_knn: k=4 l=16" in out
+        assert "phase attribution:" in out
+        assert "conformance[algorithm2]" in out
+        assert "PASS" in out
+
+
+class TestInfo:
+    def test_info_summarises_log(self, demo_log, capsys):
+        jsonl, _ = demo_log
+        assert main(["info", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "meta:" in out
+        assert "events:" in out and "spans:" in out
+        assert "event kinds:" in out
+        assert "metrics: rounds=" in out
+
+
+class TestSpans:
+    def test_spans_prints_trees_and_attribution(self, demo_log, capsys):
+        jsonl, _ = demo_log
+        assert main(["spans", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "machine 0:" in out
+        assert "sampling" in out
+        assert "phase attribution:" in out
+        assert "covered" in out
+
+    def test_spans_fails_on_spanless_log(self, tmp_path, capsys):
+        path = write_jsonl(tmp_path / "bare.jsonl", metrics=Metrics(rounds=1))
+        assert main(["spans", str(path)]) == 1
+
+
+class TestConvert:
+    def test_convert_writes_loadable_chrome_json(self, demo_log, tmp_path, capsys):
+        jsonl, direct_chrome = demo_log
+        out_path = tmp_path / "converted.json"
+        assert main(["convert", str(jsonl), str(out_path)]) == 0
+        converted = json.loads(out_path.read_text())
+        assert "traceEvents" in converted
+        phases = {e.get("ph") for e in converted["traceEvents"]}
+        assert {"M", "X"} <= phases
+        # The converted doc carries the same span slices as the direct export.
+        direct = json.loads(direct_chrome.read_text())
+
+        def slices(doc):
+            return sorted(
+                (e["name"], e["ts"], e["dur"], e["tid"])
+                for e in doc["traceEvents"]
+                if e["ph"] == "X"
+            )
+
+        assert slices(converted) == slices(direct)
+
+
+class TestArgs:
+    def test_command_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

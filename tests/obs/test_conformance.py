@@ -1,0 +1,133 @@
+"""Conformance-monitor tests: bound math, verdicts, seeded runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import distributed_knn, distributed_select
+from repro.kmachine.metrics import Metrics
+from repro.obs.conformance import (
+    check_knn,
+    check_knn_result,
+    check_selection,
+    check_selection_result,
+    knn_message_budget,
+    knn_rounds_bound,
+    selection_rounds_bound,
+)
+
+
+class TestBoundMath:
+    def test_selection_rounds_bound_grows_with_n(self):
+        assert selection_rounds_bound(10) < selection_rounds_bound(10_000)
+
+    def test_knn_bounds_grow_with_l(self):
+        assert knn_rounds_bound(8, 4) < knn_rounds_bound(512, 4)
+        assert knn_message_budget(8, 4) < knn_message_budget(512, 4)
+
+    def test_knn_rounds_independent_of_k(self):
+        assert knn_rounds_bound(64, 4) == knn_rounds_bound(64, 64)
+
+    def test_safe_mode_adds_rounds_and_messages(self):
+        assert knn_rounds_bound(64, 4, safe_mode=True) > knn_rounds_bound(
+            64, 4, safe_mode=False
+        )
+        assert knn_message_budget(64, 4, safe_mode=True) > knn_message_budget(
+            64, 4, safe_mode=False
+        )
+
+
+class TestVerdicts:
+    def test_pass_and_constants(self):
+        n, k = 1024, 4
+        m = Metrics(rounds=20, messages=40)
+        report = check_selection(m, n=n, k=k)
+        assert report.passed
+        rounds = report.check("rounds")
+        assert rounds.source == "Theorem 2.2"
+        assert rounds.constant == pytest.approx(20 / np.log2(n))
+        assert rounds.bound == pytest.approx(selection_rounds_bound(n))
+        messages = report.check("messages")
+        assert messages.scale == "k*log2(n)"
+        assert messages.constant == pytest.approx(40 / (k * np.log2(n)))
+
+    def test_fail_when_observed_exceeds_bound(self):
+        m = Metrics(rounds=10_000, messages=5)
+        report = check_selection(m, n=64, k=4)
+        assert not report.passed
+        assert not report.check("rounds").passed
+        assert report.check("messages").passed
+        assert "FAIL" in report.summary()
+
+    def test_slack_scales_every_bound(self):
+        m = Metrics(rounds=20, messages=40)
+        assert check_selection(m, n=1024, k=4).passed
+        assert not check_selection(m, n=1024, k=4, slack=1e-6).passed
+
+    def test_iterations_check_optional(self):
+        m = Metrics(rounds=10, messages=10)
+        without = check_selection(m, n=64, k=4)
+        with_iters = check_selection(m, n=64, k=4, iterations=5)
+        assert {c.name for c in without.checks} == {"rounds", "messages"}
+        assert {c.name for c in with_iters.checks} == {
+            "rounds", "messages", "iterations",
+        }
+
+    def test_survivors_check_lemma23(self):
+        m = Metrics(rounds=10, messages=10)
+        ok = check_knn(m, l=8, k=4, survivors=88)
+        bad = check_knn(m, l=8, k=4, survivors=89)
+        assert ok.check("survivors").passed
+        assert ok.check("survivors").source == "Lemma 2.3"
+        assert not bad.check("survivors").passed
+
+    def test_unknown_check_raises(self):
+        report = check_selection(Metrics(), n=4, k=2)
+        with pytest.raises(KeyError):
+            report.check("nonsense")
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            check_selection(Metrics(), n=0, k=4)
+        with pytest.raises(ValueError):
+            check_knn(Metrics(), l=4, k=0)
+
+    def test_to_dict_is_json_shaped(self):
+        report = check_knn(Metrics(rounds=5, messages=5), l=8, k=4, survivors=10)
+        d = report.to_dict()
+        assert d["algorithm"] == "algorithm2"
+        assert d["params"] == {"l": 8, "k": 4}
+        assert d["passed"] is True
+        assert [c["name"] for c in d["checks"]] == [
+            "rounds", "messages", "survivors",
+        ]
+
+    def test_summary_lines(self):
+        report = check_selection(Metrics(rounds=5, messages=5), n=64, k=4)
+        text = report.summary()
+        assert text.splitlines()[0].startswith("conformance[algorithm1]")
+        assert "measured c =" in text
+
+
+class TestSeededRuns:
+    """The real protocols must land inside their own theory bounds."""
+
+    def test_algorithm1_conforms(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0, 100, 512)
+        result = distributed_select(values, l=40, k=4, seed=3)
+        report = check_selection_result(result, n=len(values), k=4)
+        assert report.passed, report.summary()
+        assert {c.name for c in report.checks} == {
+            "rounds", "messages", "iterations",
+        }
+
+    def test_algorithm2_conforms(self):
+        rng = np.random.default_rng(7)
+        points = rng.uniform(0.0, 1.0, (1024, 3))
+        result = distributed_knn(points, query=points[0], l=32, k=4, seed=7)
+        report = check_knn_result(result, l=32, k=4)
+        assert report.passed, report.summary()
+        survivors = report.check("survivors")
+        assert survivors.observed <= survivors.bound

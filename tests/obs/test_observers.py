@@ -1,0 +1,105 @@
+"""Observer tests: per-round hooks, progress lines, metric sampling."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.kmachine import FunctionProgram, Simulator
+from repro.obs.observers import MetricsHistory, ProgressReporter, RoundObserver
+
+
+def chatter(ctx):
+    """A few rounds of traffic so observers have something to watch."""
+    for _ in range(3):
+        ctx.send((ctx.rank + 1) % ctx.k, "ring", ctx.rank)
+        yield
+        yield from ctx.recv_one("ring")
+    return None
+
+
+def run(observers, k=3):
+    return Simulator(
+        k, FunctionProgram(chatter), seed=2, observers=observers
+    ).run()
+
+
+class TestSimulatorHooks:
+    def test_on_round_called_every_round(self):
+        calls: list[int] = []
+
+        class Recorder:
+            def on_round(self, round_idx, metrics):
+                calls.append(round_idx)
+
+        res = run([Recorder()])
+        # Consecutive from 0; trailing drain rounds (all machines
+        # halted, queues emptying) fire the hook too but don't count
+        # toward metrics.rounds.
+        assert calls == list(range(len(calls)))
+        assert len(calls) >= res.metrics.rounds
+
+    def test_on_finish_optional_and_called(self):
+        finished: list[int] = []
+
+        class WithFinish:
+            def on_round(self, round_idx, metrics):
+                pass
+
+            def on_finish(self, metrics):
+                finished.append(metrics.rounds)
+
+        class WithoutFinish:
+            def on_round(self, round_idx, metrics):
+                pass
+
+        res = run([WithFinish(), WithoutFinish()])
+        assert finished == [res.metrics.rounds]
+
+    def test_multiple_observers_all_see_rounds(self):
+        a, b = MetricsHistory(), MetricsHistory()
+        run([a, b])
+        assert a.samples == b.samples
+
+
+class TestProgressReporter:
+    def test_protocol_conformance(self):
+        assert isinstance(ProgressReporter(stream=io.StringIO()), RoundObserver)
+        assert isinstance(MetricsHistory(), RoundObserver)
+
+    def test_every_validation(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(every=0)
+
+    def test_lines_and_done_marker(self):
+        buf = io.StringIO()
+        reporter = ProgressReporter(every=2, stream=buf)
+        res = run([reporter])
+        out = buf.getvalue()
+        assert "[obs] round" in out
+        assert out.endswith("[done]\n")
+        assert reporter.rounds_seen >= res.metrics.rounds
+
+    def test_every_throttles_output(self):
+        buf = io.StringIO()
+        run([ProgressReporter(every=1000, stream=buf)])
+        # Only round 0 and the final summary print.
+        assert buf.getvalue().count("[obs] round") == 2
+
+
+class TestMetricsHistory:
+    def test_samples_cumulative_and_monotone(self):
+        history = MetricsHistory()
+        res = run([history])
+        assert len(history.samples) >= res.metrics.rounds
+        messages = [m for _, m, _ in history.samples]
+        assert messages == sorted(messages)
+        assert messages[-1] == res.metrics.messages
+
+    def test_messages_per_round_reconstruct_total(self):
+        history = MetricsHistory()
+        res = run([history])
+        deltas = history.messages_per_round()
+        assert sum(deltas) == res.metrics.messages
+        assert all(d >= 0 for d in deltas)

@@ -117,3 +117,49 @@ class TestProtocolParity:
         assert [p.as_tuple() for p, _, _ in sim_stats.pivot_history] == [
             p.as_tuple() for p, _, _ in mp_stats.pivot_history
         ]
+
+
+class TestWorkerSpans:
+    """Phase spans gathered from real worker processes."""
+
+    def _inputs(self, rng, n=120, k=4):
+        values = rng.uniform(0, 100, n)
+        ids = np.arange(1, n + 1)
+        chunks = np.array_split(rng.permutation(n), k)
+        return [keyed_array(values[c], ids[c]) for c in chunks]
+
+    def test_spans_off_by_default(self, rng):
+        res = MultiprocessSimulator(
+            4, SelectionProgram(10), self._inputs(rng), seed=11
+        ).run()
+        assert res.spans == []
+
+    def test_spans_gathered_from_all_workers(self, rng):
+        res = MultiprocessSimulator(
+            4, SelectionProgram(10), self._inputs(rng), seed=11, spans=True
+        ).run()
+        assert {s.machine for s in res.spans} == {0, 1, 2, 3}
+        assert all(s.closed for s in res.spans)
+        # Sorted by (machine, per-worker index): stable to assert on.
+        assert [(s.machine, s.index) for s in res.spans] == sorted(
+            (s.machine, s.index) for s in res.spans
+        )
+        leader_names = [s.name for s in res.spans if s.machine == 0]
+        assert leader_names[0] == "election"
+        assert {"sel/init", "sel/iterate", "sel/finish"} <= set(leader_names)
+        worker_names = {s.name for s in res.spans if s.machine != 0}
+        assert worker_names == {"election", "sel/serve"}
+
+    def test_worker_spans_count_own_traffic_only(self, rng):
+        """Span deltas are per-machine process-side, not global."""
+        res = MultiprocessSimulator(
+            4, SelectionProgram(10), self._inputs(rng), seed=11, spans=True
+        ).run()
+        per_machine = {}
+        for s in res.spans:
+            if s.depth == 0:
+                per_machine[s.machine] = per_machine.get(s.machine, 0) + s.messages
+        # Each machine's top-level spans cover at most what it sent;
+        # together they cover at most (and here exactly) the run total.
+        assert sum(per_machine.values()) <= res.messages
+        assert all(v >= 0 for v in per_machine.values())

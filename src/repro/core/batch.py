@@ -37,7 +37,12 @@ from .knn import KNNOutput, knn_subroutine
 from .leader import elect
 from .messages import tag
 
-__all__ = ["BatchKNNProgram", "BatchResult", "distributed_knn_batch"]
+__all__ = [
+    "BatchKNNProgram",
+    "BatchResult",
+    "distributed_knn_batch",
+    "per_query_messages",
+]
 
 
 @dataclass
@@ -105,6 +110,11 @@ class BatchKNNProgram(Program):
         """Per-machine program body (see the class docstring)."""
         leader = yield from elect(ctx, method=self.election)
         shard: Shard = ctx.local
+        # Per-session setup hoisted out of the per-query loop: queries
+        # and knobs were validated/normalized once in __init__, and the
+        # shard's id → row index is built here once, so repeated
+        # queries never re-pay setup work.
+        shard.id_index()
         outputs: list[KNNOutput] = []
         for i, query in enumerate(self.queries):
             out = yield from knn_subroutine(
@@ -193,16 +203,33 @@ def distributed_knn_batch(
             )
         )
 
-    per_query = []
-    for i in range(len(query_list)):
-        prefix = tag("bq", i)
-        per_query.append(
-            sum(
-                count
-                for msg_tag, count in result.metrics.per_tag_messages.items()
-                if msg_tag.startswith(prefix)
-            )
-        )
     return BatchResult(
-        answers=answers, metrics=result.metrics, per_query_messages=per_query
+        answers=answers,
+        metrics=result.metrics,
+        per_query_messages=per_query_messages(
+            result.metrics.per_tag_messages, len(query_list)
+        ),
     )
+
+
+def per_query_messages(
+    per_tag: dict[str, int], n_queries: int, namespace: str = "bq"
+) -> list[int]:
+    """Messages attributable to each query of a ``bq/i``-tagged session.
+
+    One pass over the tag table, matching the ``namespace/i`` component
+    prefix *exactly* (a ``startswith`` scan would both be
+    O(queries x tags) and mis-attribute ``bq/1``'s traffic to include
+    ``bq/10``'s).
+    """
+    counts = [0] * n_queries
+    for msg_tag, count in per_tag.items():
+        parts = msg_tag.split("/", 2)
+        if len(parts) >= 2 and parts[0] == namespace:
+            try:
+                idx = int(parts[1])
+            except ValueError:
+                continue
+            if 0 <= idx < n_queries:
+                counts[idx] += count
+    return counts

@@ -309,11 +309,13 @@ def knn_subroutine(
             timeout_rounds=timeout_rounds,
         )
 
-    # Map selected distance keys back to the shard's points.
+    # Map selected distance keys back to the shard's points (the id
+    # index is computed once per shard and amortized across a session's
+    # queries; see Shard.id_index).
     ids = sel.selected["id"].copy()
     distances = sel.selected["value"].copy()
-    order = np.argsort(shard.ids, kind="stable")
-    pos = order[np.searchsorted(shard.ids[order], ids)] if len(ids) else np.empty(0, np.int64)
+    order, sorted_ids = shard.id_index()
+    pos = order[np.searchsorted(sorted_ids, ids)] if len(ids) else np.empty(0, np.int64)
     points = shard.points[pos]
     labels = None if shard.labels is None else shard.labels[pos]
 

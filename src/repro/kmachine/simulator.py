@@ -190,6 +190,15 @@ class Simulator:
         self.crashed_ranks: set[int] = set()
         #: the run's (possibly partial) metrics; valid even if run() raises
         self.metrics = Metrics()
+        #: absolute round cursor, advanced across episodes so a session's
+        #: round clock (and its spans/traces) stays continuous
+        self._round_cursor = 0
+        #: crash notices staged in an episode's final round, delivered at
+        #: the start of the next one
+        self._staged_notices: list[int] = []
+        #: reliable-layer counters already folded into ``metrics`` (per
+        #: rank), so repeated episode exits never double-count
+        self._reliability_folded: dict[int, tuple[int, int, int, int]] = {}
 
         if reliable is True:
             reliability: ReliabilityConfig | None = ReliabilityConfig()
@@ -242,18 +251,52 @@ class Simulator:
         the run aborts.
         """
         generators: list[Generator | None] = [
-            self.program.instantiate(ctx) for ctx in self.contexts
+            None if rank in self.crashed_ranks else self.program.instantiate(ctx)
+            for rank, ctx in enumerate(self.contexts)
         ]
+        return self._run_rounds(self.program, generators)
+
+    def run_episode(self, program: Program) -> SimulationResult:
+        """Run ``program`` over the *retained* contexts as one episode.
+
+        The machines keep everything between episodes — their shards
+        (``ctx.local``), RNG streams, machine IDs, crash notices — and
+        the simulator keeps its network, metrics, tracer and span
+        recorder, so successive episodes amortize per-session setup
+        (leader election, shard distribution) the way a long-lived
+        deployment does.  The round clock continues across episodes:
+        episode ``n+1``'s first round follows episode ``n``'s last, and
+        :attr:`metrics` accumulates rounds/messages/bits for the whole
+        session.  Crashed machines stay crashed (their rank simply does
+        not participate); ``max_rounds`` bounds each episode
+        separately.
+
+        The returned :class:`SimulationResult` carries this episode's
+        per-machine outputs but the *session-cumulative* metrics and
+        spans (snapshot deltas around the call give per-episode
+        numbers).
+        """
+        generators: list[Generator | None] = [
+            None if rank in self.crashed_ranks else program.instantiate(ctx)
+            for rank, ctx in enumerate(self.contexts)
+        ]
+        return self._run_rounds(program, generators)
+
+    def _run_rounds(
+        self, program: Program, generators: list[Generator | None]
+    ) -> SimulationResult:
         outputs: list[Any] = [None] * self.k
         metrics = self.metrics
         injector = self.fault_injector
         if injector is not None:
             injector.bind(metrics, self.tracer)
         deliveries: dict[int, list[Message]] = {}
-        staged_notices: list[int] = []
-        alive = self.k
-        round_idx = 0
-        active_rounds = 0
+        staged_notices: list[int] = self._staged_notices
+        self._staged_notices = []
+        alive = sum(1 for g in generators if g is not None)
+        round_idx = self._round_cursor
+        round_deadline = round_idx + self.max_rounds
+        active_rounds = metrics.rounds
 
         recorder = self.span_recorder
 
@@ -261,10 +304,10 @@ class Simulator:
             while True:
                 if recorder is not None:
                     recorder.round = round_idx
-                if round_idx >= self.max_rounds:
+                if round_idx >= round_deadline:
                     stuck = [r for r, g in enumerate(generators) if g is not None]
                     raise DeadlockError(
-                        f"protocol {self.program.name!r} exceeded max_rounds="
+                        f"protocol {program.name!r} exceeded max_rounds="
                         f"{self.max_rounds}; machines still running: {stuck}"
                     )
 
@@ -342,7 +385,7 @@ class Simulator:
                     except Exception as exc:
                         raise ProtocolError(
                             f"machine {rank} raised {type(exc).__name__} in round "
-                            f"{round_idx} running {self.program.name!r}: {exc}"
+                            f"{round_idx} running {program.name!r}: {exc}"
                         ) from exc
                     if self.measure_compute:
                         compute_max = max(compute_max, time.perf_counter() - started)
@@ -431,13 +474,25 @@ class Simulator:
             # Fold reliable-layer counters and the round count into the
             # (possibly partial) metrics on every exit path, success or
             # abort, so supervisors can charge failed attempts honestly.
-            for ctx in self.contexts:
+            # Folding is delta-based so repeated episode exits over the
+            # same (cumulative) context counters never double-count.
+            for rank, ctx in enumerate(self.contexts):
                 if isinstance(ctx, ReliableMachineContext):
-                    metrics.retransmissions += ctx.retransmissions
-                    metrics.acks_sent += ctx.acks_sent
-                    metrics.duplicates_suppressed += ctx.duplicates_suppressed
-                    metrics.checksum_failures += ctx.checksum_failures
+                    prev = self._reliability_folded.get(rank, (0, 0, 0, 0))
+                    now = (
+                        ctx.retransmissions,
+                        ctx.acks_sent,
+                        ctx.duplicates_suppressed,
+                        ctx.checksum_failures,
+                    )
+                    metrics.retransmissions += now[0] - prev[0]
+                    metrics.acks_sent += now[1] - prev[1]
+                    metrics.duplicates_suppressed += now[2] - prev[2]
+                    metrics.checksum_failures += now[3] - prev[3]
+                    self._reliability_folded[rank] = now
             metrics.rounds = max(active_rounds, round_idx if alive else active_rounds)
+            self._round_cursor = round_idx
+            self._staged_notices = staged_notices
             if recorder is not None:
                 recorder.close_all()
             for obs in self.observers:

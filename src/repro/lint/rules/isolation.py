@@ -48,7 +48,7 @@ class IsolationRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core"):
+        if not module.in_dir("core", "serve"):
             return
         for func in ast.walk(module.tree):
             if not is_program_function(func):

@@ -34,6 +34,8 @@ from .conformance import (
     check_knn_result,
     check_selection,
     check_selection_result,
+    check_served_query,
+    served_message_budget,
 )
 from .export import (
     ROUND_TICK_US,
@@ -66,7 +68,9 @@ __all__ = [
     "check_knn_result",
     "check_selection",
     "check_selection_result",
+    "check_served_query",
     "chrome_trace",
+    "served_message_budget",
     "phase_attribution",
     "read_jsonl",
     "write_chrome_trace",

@@ -49,6 +49,8 @@ __all__ = [
     "check_selection_result",
     "check_knn",
     "check_knn_result",
+    "check_served_query",
+    "served_message_budget",
 ]
 
 #: Rounds one Algorithm-1 iteration can cost: pivot round-trip (2) +
@@ -364,3 +366,90 @@ def check_knn_result(
         safe_mode=safe_mode,
         slack=slack,
     )
+
+
+def served_message_budget(
+    l: int,
+    k: int,
+    *,
+    warm_start: bool = False,
+    sample_factor: int = 12,
+    safe_mode: bool = True,
+    survivors_cap: int | None = None,
+) -> float:
+    """Message budget for one *served* query (the serving layer's unit).
+
+    A session answers many queries concurrently, so per-query *rounds*
+    are shared and unattributable — but messages are, via the
+    ``bq/<qid>`` tag namespace.  A cold served query carries exactly
+    Theorem 2.4's message budget (election excluded; sessions pay it
+    once).  A warm-started query carries a cached triangle-inequality
+    threshold, so the sampling-stage term (``O(k log ℓ)`` sample
+    messages plus the threshold broadcast) drops out; what remains is
+    the safe-mode check and Algorithm 1 on the survivors.
+    """
+    cap = survivors_cap if survivors_cap is not None else _LEMMA_23_FACTOR * l
+    if warm_start:
+        messages = 0.0
+    else:
+        messages = float(knn_sample_messages(l, k, sample_factor)) + (k - 1)
+    if safe_mode:
+        messages += 2.0 * (k - 1)
+    messages += selection_message_bound(max(2, cap), k)
+    return messages
+
+
+def check_served_query(
+    messages: int,
+    *,
+    l: int,
+    k: int,
+    warm_start: bool = False,
+    survivors: int | None = None,
+    sample_factor: int = 12,
+    safe_mode: bool = True,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """Check one served query's attributable traffic against the theory.
+
+    ``messages`` is the query's tag-attributed count (e.g.
+    :attr:`repro.serve.session.SessionAnswer.messages`).  The Lemma
+    2.3 survivor check applies to cold queries only — a warm-started
+    query's survivor count is governed by the carried radius, and the
+    cache layer's blow-up guard (not the lemma) polices it.
+    """
+    if l < 1 or k < 1:
+        raise ValueError("l and k must be >= 1")
+    report = ConformanceReport(
+        algorithm="served-query",
+        params={"l": l, "k": k, "warm_start": warm_start},
+    )
+    log_l = _log2(l)
+    report.checks.append(
+        _make_check(
+            "messages",
+            "Theorem 2.4" + (" (warm start)" if warm_start else ""),
+            messages,
+            slack * served_message_budget(
+                l,
+                k,
+                warm_start=warm_start,
+                sample_factor=sample_factor,
+                safe_mode=safe_mode,
+            ),
+            k * log_l,
+            "k*log2(l)",
+        )
+    )
+    if survivors is not None and not warm_start:
+        report.checks.append(
+            _make_check(
+                "survivors",
+                "Lemma 2.3",
+                survivors,
+                slack * _LEMMA_23_FACTOR * l,
+                float(l),
+                "l",
+            )
+        )
+    return report

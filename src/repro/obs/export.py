@@ -73,8 +73,15 @@ def _events_of(tracer: Tracer | NullTracer | Iterable[TraceEvent] | None) -> lis
 
 
 def _tid(machine: int | None) -> int:
-    """Machine rank → Chrome thread id (tid 0 is the simulator)."""
-    return 0 if machine is None else machine + 1
+    """Machine rank → Chrome thread id (tid 0 is the simulator).
+
+    Negative ranks are pseudo-machines (the serving layer's scheduler
+    records spans on rank −1); they keep their negative value so they
+    get their own thread row, sorted above the simulator and machines.
+    """
+    if machine is None:
+        return 0
+    return machine if machine < 0 else machine + 1
 
 
 def chrome_trace(
@@ -122,7 +129,9 @@ def chrome_trace(
                 "ph": "M",
                 "pid": _PID,
                 "tid": _tid(rank),
-                "args": {"name": f"machine {rank}"},
+                "args": {
+                    "name": "scheduler" if rank < 0 else f"machine {rank}"
+                },
             }
         )
 

@@ -122,6 +122,22 @@ class Shard:
         """Point dimensionality ``d``."""
         return self.points.shape[1]
 
+    def id_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(order, ids[order])`` pair for id → row lookups.
+
+        Mapping answer IDs back to local rows needs the shard's IDs in
+        sorted order; computing that argsort per query re-pays an
+        O(|shard| log |shard|) setup cost on every query of a session.
+        The pair is computed once and cached in :attr:`meta` — shards
+        are protocol-read-only, so the cache cannot go stale.
+        """
+        cached = self.meta.get("_id_index")
+        if cached is None:
+            order = np.argsort(self.ids, kind="stable")
+            cached = (order, self.ids[order])
+            self.meta["_id_index"] = cached
+        return cached
+
 
 def make_dataset(
     points: np.ndarray | Sequence[float],

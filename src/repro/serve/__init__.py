@@ -1,0 +1,102 @@
+"""Online ℓ-NN serving layer (``repro.serve``).
+
+Every other entry point in this repo is a batch job: build the
+cluster, answer, die.  This package keeps the simulated cluster
+*resident* and schedules a continuous query stream onto it — the layer
+the ROADMAP's "serves heavy traffic" north star needs, built entirely
+out of the pieces the paper already provides:
+
+* :mod:`repro.serve.session` — a persistent :class:`ClusterSession`
+  that elects the leader and shards the corpus once, then answers
+  micro-batches as incremental simulator episodes with a continuous
+  round clock; queries within a batch run as *concurrently
+  interleaved* Algorithm 2 instances (tag namespace ``bq/<qid>``);
+* :mod:`repro.serve.scheduler` — bounded admission queue with
+  backpressure, plus an adaptive micro-batcher with FIFO and
+  deadline-aware policies (provably starvation-free);
+* :mod:`repro.serve.cache` — exact-hit result cache and a
+  triangle-inequality warm-start index that reuses cached acceptance
+  boundaries as safe pruning thresholds (the
+  :class:`~repro.core.monitor.MovingKNNMonitor` trick, stream-wide);
+* :mod:`repro.serve.service` — the :class:`KNNService` facade
+  (submit/poll/drain/close) and :class:`AsyncKNNService`;
+* :mod:`repro.serve.stats` — per-query latency/throughput/queue/cache
+  accounting;
+* :mod:`repro.serve.workload` — seeded arrival processes (uniform,
+  bursty, drift) shared by tests, benchmarks and the CLI.
+
+Quickstart::
+
+    import numpy as np
+    from repro.serve import KNNService
+
+    rng = np.random.default_rng(0)
+    service = KNNService(rng.uniform(0, 1, (5000, 3)), l=8, k=4, seed=7)
+    qid = service.submit(np.array([0.5, 0.5, 0.5]))
+    answer = service.drain()[qid]          # exact ℓ-NN ids/distances
+    print(service.summary())
+
+Or from the shell::
+
+    python -m repro.serve demo --queries 64 --workload bursty
+"""
+
+from .cache import CachedAnswer, ExactResultCache, ResultCache, WarmStartIndex
+from .scheduler import (
+    AdmissionQueue,
+    MicroBatcher,
+    QueueFullError,
+    SCHEDULER_POLICIES,
+    Ticket,
+)
+from .service import Answer, AsyncKNNService, KNNService
+from .session import (
+    QUERY_NAMESPACE,
+    SCHEDULER_RANK,
+    ClusterSession,
+    QueryJob,
+    ServeBatchProgram,
+    SessionAnswer,
+    SessionInitProgram,
+)
+from .stats import QueryRecord, ServiceStats
+from .workload import (
+    QueryEvent,
+    WORKLOAD_KINDS,
+    Workload,
+    bursty_workload,
+    drift_workload,
+    make_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "Answer",
+    "AdmissionQueue",
+    "AsyncKNNService",
+    "CachedAnswer",
+    "ClusterSession",
+    "ExactResultCache",
+    "KNNService",
+    "MicroBatcher",
+    "QUERY_NAMESPACE",
+    "QueryEvent",
+    "QueryJob",
+    "QueryRecord",
+    "QueueFullError",
+    "ResultCache",
+    "SCHEDULER_POLICIES",
+    "SCHEDULER_RANK",
+    "ServeBatchProgram",
+    "ServiceStats",
+    "SessionAnswer",
+    "SessionInitProgram",
+    "Ticket",
+    "WORKLOAD_KINDS",
+    "WarmStartIndex",
+    "Workload",
+    "bursty_workload",
+    "drift_workload",
+    "make_workload",
+    "uniform_workload",
+]

@@ -1,0 +1,288 @@
+"""Result caching for the serving layer: exact hits and warm starts.
+
+Two reuse tiers, cheapest first:
+
+**Exact-hit cache** (:class:`ExactResultCache`).  Served answers are a
+pure function of the (static) corpus and the query point, so a repeat
+of a byte-identical query can be answered from an LRU map in zero
+protocol rounds.  Keys are the raw query bytes — no tolerance, no
+false positives.
+
+**Triangle-inequality warm starts** (:class:`WarmStartIndex`).  This
+generalizes :class:`repro.core.monitor.MovingKNNMonitor` from one
+tracked query to the whole stream.  If some earlier query ``p`` was
+answered with acceptance boundary ``b`` (the distance of its ℓ-th
+neighbor), then for a new query ``q`` with ``δ = dis(p, q)`` every one
+of ``p``'s answer points lies within ``b + δ`` of ``q`` — so the ball
+of radius ``b + δ`` around ``q`` contains at least ℓ corpus points and
+``r = b + δ`` is a *provably safe* pruning threshold.  Feeding ``r``
+into :func:`repro.core.knn.knn_subroutine` (its ``threshold``
+parameter) skips Algorithm 2's sampling stages entirely — the
+``O(k log ℓ)`` sample messages and their ``O(log ℓ)`` transfer rounds
+— going straight to selection on the survivors.
+
+The index stores recent ``(query, boundary)`` pairs and, for a new
+query, minimizes ``b_i + δ_i`` over the stored pairs (every stored
+pair yields a valid bound, so the minimum is the tightest available).
+Safety never depends on *which* pair wins — only tightness does.
+
+Guards (the monitor's fall-back-to-sampling logic, stream-wide):
+
+* metrics that violate the triangle inequality (``sqeuclidean``) are
+  rejected at construction — the bound would be unsound;
+* a warm start is only *suggested* when ``δ ≤ max_delta_factor · b``
+  (a far-away boundary prunes poorly; cold sampling is cheaper);
+* after the query is answered, :meth:`ResultCache.store` drops the
+  donor entry when the carried threshold kept more than
+  ``max_blowup · ℓ`` survivors, so a drifting stream re-samples
+  instead of degrading.
+
+``safe_mode`` in the protocol still verifies ≥ ℓ survivors and repairs
+pathological float-boundary cases, so served answers stay exact even
+if a bound were somehow loose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..points.ids import PLUS_INF_KEY, Keyed
+from ..points.metrics import Metric, get_metric
+
+__all__ = [
+    "CachedAnswer",
+    "ExactResultCache",
+    "ResultCache",
+    "WarmStartIndex",
+]
+
+
+@dataclass
+class CachedAnswer:
+    """A served answer in cacheable form."""
+
+    query: np.ndarray
+    ids: np.ndarray
+    distances: np.ndarray
+    labels: np.ndarray | None
+    boundary: Keyed
+
+
+class ExactResultCache:
+    """LRU map from exact query bytes to a :class:`CachedAnswer`."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, CachedAnswer] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(query: np.ndarray) -> bytes:
+        return np.ascontiguousarray(query, dtype=np.float64).tobytes()
+
+    def get(self, query: np.ndarray) -> CachedAnswer | None:
+        """Cached answer for a byte-identical query, else ``None``."""
+        key = self._key(query)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, answer: CachedAnswer) -> None:
+        """Insert (or refresh) an answer, evicting the LRU entry if full."""
+        key = self._key(answer.query)
+        self._entries[key] = answer
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class WarmStartIndex:
+    """Ring buffer of ``(query, boundary)`` pairs with nearest-bound lookup."""
+
+    def __init__(
+        self,
+        metric: Metric | str = "euclidean",
+        *,
+        capacity: int = 256,
+        max_delta_factor: float = 1.0,
+    ) -> None:
+        self.metric = get_metric(metric)
+        if self.metric.name == "sqeuclidean":
+            raise ValueError(
+                "squared Euclidean violates the triangle inequality; "
+                "warm starts would be unsound"
+            )
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.max_delta_factor = max_delta_factor
+        self._queries: np.ndarray | None = None  # (capacity, d), lazily sized
+        self._boundaries: np.ndarray | None = None
+        self._size = 0
+        self._cursor = 0
+        self.suggestions = 0
+        self.refusals = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, query: np.ndarray, boundary: float) -> int:
+        """Store a pair; returns its slot (used to drop bad donors)."""
+        query = np.atleast_1d(np.asarray(query, dtype=np.float64))
+        if not np.isfinite(boundary):
+            return -1
+        if self._queries is None:
+            self._queries = np.empty((self.capacity, query.shape[0]))
+            self._boundaries = np.empty(self.capacity)
+        slot = self._cursor
+        self._queries[slot] = query
+        self._boundaries[slot] = float(boundary)
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        return slot
+
+    def drop(self, slot: int) -> None:
+        """Invalidate a stored pair (its boundary became a bad donor)."""
+        if self._boundaries is not None and 0 <= slot < self.capacity:
+            self._boundaries[slot] = np.inf
+
+    def suggest(self, query: np.ndarray) -> tuple[Keyed, int] | None:
+        """Tightest safe threshold for ``query``, or ``None``.
+
+        Minimizes ``b_i + δ_i`` over stored pairs (each is a valid
+        bound by the triangle inequality); refuses when the winner's
+        ``δ`` exceeds ``max_delta_factor · b`` — the ball is then so
+        much larger than the donor's that sampling would prune better.
+        Returns ``(threshold, slot)`` so the caller can later
+        :meth:`drop` a donor whose suggestion proved loose.
+        """
+        if self._size == 0 or self._queries is None:
+            return None
+        query = np.atleast_1d(np.asarray(query, dtype=np.float64))
+        stored = self._queries[: self._size]
+        bounds = self._boundaries[: self._size]
+        deltas = self.metric.distances(stored, query)
+        radii = bounds + deltas
+        slot = int(np.argmin(radii))
+        radius = float(radii[slot])
+        if not np.isfinite(radius):
+            return None
+        if deltas[slot] > self.max_delta_factor * bounds[slot]:
+            self.refusals += 1
+            return None
+        self.suggestions += 1
+        # Max-ID key: prune on distance value only; boundary ties are
+        # kept and resolved by the selection stage (as in the monitor).
+        return Keyed(radius, PLUS_INF_KEY.id), slot
+
+
+class ResultCache:
+    """The service's combined reuse policy: exact hit, else warm start.
+
+    :meth:`lookup` classifies an incoming query; :meth:`store` files a
+    served answer back into both tiers and applies the blow-up guard.
+    """
+
+    def __init__(
+        self,
+        metric: Metric | str = "euclidean",
+        *,
+        l: int = 1,
+        exact_capacity: int = 512,
+        warm_capacity: int = 256,
+        max_delta_factor: float = 1.0,
+        max_blowup: float = 8.0,
+        exact: bool = True,
+        warm: bool = True,
+    ) -> None:
+        self.l = l
+        self.max_blowup = max_blowup
+        self.exact = ExactResultCache(exact_capacity) if exact else None
+        self.warm = (
+            WarmStartIndex(
+                metric, capacity=warm_capacity, max_delta_factor=max_delta_factor
+            )
+            if warm
+            else None
+        )
+        #: qid → donor slot for in-flight warm-started queries
+        self._pending_donors: dict[int, int] = {}
+
+    def exact_get(self, query: np.ndarray) -> CachedAnswer | None:
+        """Exact-hit tier (checked at submit time): answer or ``None``."""
+        if self.exact is None:
+            return None
+        return self.exact.get(query)
+
+    def warm_suggest(self, qid: int, query: np.ndarray) -> Keyed | None:
+        """Warm-start tier (checked at dispatch time): threshold or ``None``.
+
+        Registers the winning donor slot against ``qid`` so
+        :meth:`store` can apply the blow-up guard to the right entry.
+        """
+        if self.warm is None:
+            return None
+        suggestion = self.warm.suggest(query)
+        if suggestion is None:
+            return None
+        threshold, slot = suggestion
+        self._pending_donors[qid] = slot
+        return threshold
+
+    def lookup(
+        self, qid: int, query: np.ndarray
+    ) -> tuple[str, CachedAnswer | Keyed | None]:
+        """Classify a query: ``("hit", answer)``, ``("warm", threshold)``,
+        or ``("cold", None)``."""
+        answer = self.exact_get(query)
+        if answer is not None:
+            return "hit", answer
+        threshold = self.warm_suggest(qid, query)
+        if threshold is not None:
+            return "warm", threshold
+        return "cold", None
+
+    def store(
+        self,
+        qid: int,
+        answer: CachedAnswer,
+        *,
+        survivors: int | None = None,
+        warm_started: bool = False,
+    ) -> None:
+        """File a served answer; drop the donor if its bound blew up."""
+        if self.exact is not None:
+            self.exact.put(answer)
+        donor = self._pending_donors.pop(qid, None)
+        if self.warm is None:
+            return
+        if (
+            warm_started
+            and donor is not None
+            and survivors is not None
+            and survivors > self.max_blowup * self.l
+        ):
+            self.warm.drop(donor)
+        if np.isfinite(answer.boundary.value):
+            self.warm.add(answer.query, answer.boundary.value)
+
+    @property
+    def hit_rate(self) -> float:
+        """Exact-hit fraction of lookups so far (0.0 with no lookups)."""
+        if self.exact is None:
+            return 0.0
+        total = self.exact.hits + self.exact.misses
+        return self.exact.hits / total if total else 0.0

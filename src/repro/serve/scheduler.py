@@ -1,0 +1,195 @@
+"""Admission control and adaptive micro-batching for the serving layer.
+
+Two concerns, two classes:
+
+* :class:`AdmissionQueue` — a bounded FIFO of :class:`Ticket` records.
+  When the queue is full the submitter gets *backpressure* as a
+  :class:`QueueFullError` (the service layer chooses whether to
+  surface it or to flush a batch and retry); the high-water mark is
+  tracked for the stats report.
+
+* :class:`MicroBatcher` — decides *when* a batch forms and *which*
+  tickets join it.  The batching window adapts to load: an idle
+  service waits up to ``window`` time units for companions to arrive
+  (amortizing the round cost of a session episode across the batch),
+  but the moment ``max_batch`` tickets are queued the batch dispatches
+  immediately, so a backlogged service degrades to maximal batches
+  with no added waiting.
+
+Policies:
+
+``fifo``
+    Dispatch in arrival order.
+
+``deadline``
+    Dispatch by earliest *effective deadline* — a ticket's declared
+    deadline, or ``arrival + max_wait`` when it has none.  The aging
+    term makes starvation impossible: every ticket's effective
+    deadline eventually becomes the minimum.  In addition,
+    :meth:`MicroBatcher.select` always includes the oldest waiting
+    ticket in every batch, so each dispatch strictly drains the front
+    of the arrival order no matter how deadlines are distributed (the
+    property test in ``tests/serve`` pins both guarantees).
+
+Time here is the *service clock* — an arbitrary monotone float fed in
+by the caller (workload arrival times in tests and benchmarks), never
+wall time, so scheduling decisions are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "AdmissionQueue",
+    "MicroBatcher",
+    "QueueFullError",
+    "SCHEDULER_POLICIES",
+    "Ticket",
+]
+
+SCHEDULER_POLICIES = ("fifo", "deadline")
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure signal: the admission queue is at ``max_depth``."""
+
+
+@dataclass(frozen=True, eq=False)
+class Ticket:
+    """One admitted query waiting for dispatch.
+
+    Identity equality (``eq=False``): tickets carry query arrays, and
+    the scheduler tracks them as queue entries, not by value.
+    """
+
+    qid: int
+    query: np.ndarray
+    arrival: float
+    deadline: float | None = None
+
+
+class AdmissionQueue:
+    """Bounded FIFO with backpressure and depth accounting."""
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._tickets: list[Ticket] = []
+        #: deepest the queue has ever been (for the stats report)
+        self.high_water = 0
+        #: submissions refused with :class:`QueueFullError`
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def __bool__(self) -> bool:
+        return bool(self._tickets)
+
+    @property
+    def depth(self) -> int:
+        """Current number of waiting tickets."""
+        return len(self._tickets)
+
+    @property
+    def full(self) -> bool:
+        """Whether a push would raise :class:`QueueFullError`."""
+        return len(self._tickets) >= self.max_depth
+
+    def push(self, ticket: Ticket) -> None:
+        """Admit a ticket or raise :class:`QueueFullError` (backpressure)."""
+        if self.full:
+            self.rejected += 1
+            raise QueueFullError(
+                f"admission queue at max_depth={self.max_depth}"
+            )
+        self._tickets.append(ticket)
+        self.high_water = max(self.high_water, len(self._tickets))
+
+    def peek(self) -> Ticket:
+        """The oldest waiting ticket (raises ``IndexError`` when empty)."""
+        return self._tickets[0]
+
+    def waiting(self) -> list[Ticket]:
+        """Snapshot of the queue in arrival order (oldest first)."""
+        return list(self._tickets)
+
+    def remove(self, tickets: Sequence[Ticket]) -> None:
+        """Remove dispatched tickets (identity-based) from the queue."""
+        chosen = {id(t) for t in tickets}
+        self._tickets = [t for t in self._tickets if id(t) not in chosen]
+
+
+class MicroBatcher:
+    """Window/size-triggered batch formation over an admission queue."""
+
+    def __init__(
+        self,
+        *,
+        window: float = 4.0,
+        max_batch: int = 8,
+        policy: str = "fifo",
+        max_wait: float | None = None,
+    ) -> None:
+        if policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {SCHEDULER_POLICIES}"
+            )
+        if window < 0 or max_batch < 1:
+            raise ValueError("window must be >= 0 and max_batch >= 1")
+        self.window = window
+        self.max_batch = max_batch
+        self.policy = policy
+        #: aging bound for deadline-less tickets under the deadline
+        #: policy; defaults to four windows
+        self.max_wait = 4.0 * window if max_wait is None else max_wait
+
+    def _effective_deadline(self, ticket: Ticket) -> float:
+        if ticket.deadline is not None:
+            return ticket.deadline
+        return ticket.arrival + self.max_wait
+
+    def ready(self, queue: AdmissionQueue, now: float) -> bool:
+        """Whether a batch should dispatch at service time ``now``."""
+        if not queue:
+            return False
+        if queue.depth >= self.max_batch:
+            return True
+        if now - queue.peek().arrival >= self.window:
+            return True
+        if self.policy == "deadline":
+            nearest = min(self._effective_deadline(t) for t in queue.waiting())
+            if now >= nearest - self.window:
+                return True
+        return False
+
+    def select(self, queue: AdmissionQueue, now: float) -> list[Ticket]:
+        """Form (and remove from the queue) the next batch.
+
+        Returns at most ``max_batch`` tickets ordered by the policy;
+        the oldest-arrival ticket is *always* included, which is the
+        starvation-freedom guarantee the property tests pin down.
+        Returns ``[]`` on an empty queue; callers decide readiness via
+        :meth:`ready` (or force a flush by calling this directly).
+        """
+        waiting = queue.waiting()
+        if not waiting:
+            return []
+        if self.policy == "deadline":
+            ranked = sorted(
+                waiting,
+                key=lambda t: (self._effective_deadline(t), t.arrival, t.qid),
+            )
+        else:
+            ranked = sorted(waiting, key=lambda t: (t.arrival, t.qid))
+        batch = ranked[: self.max_batch]
+        oldest = min(waiting, key=lambda t: (t.arrival, t.qid))
+        if oldest not in batch:
+            batch[-1] = oldest
+        queue.remove(batch)
+        return batch

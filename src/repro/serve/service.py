@@ -1,0 +1,425 @@
+"""The serving facade: :class:`KNNService` and its asyncio front end.
+
+Glue layer tying the subsystem together: a persistent
+:class:`~repro.serve.session.ClusterSession` (protocol substrate), an
+:class:`~repro.serve.scheduler.AdmissionQueue` +
+:class:`~repro.serve.scheduler.MicroBatcher` (admission control), a
+:class:`~repro.serve.cache.ResultCache` (exact hits + warm starts) and
+:class:`~repro.serve.stats.ServiceStats` (per-query accounting).
+
+Life of a query:
+
+1. :meth:`KNNService.submit` advances the service clock, checks the
+   exact cache (a byte-identical repeat is answered immediately in 0
+   protocol rounds), otherwise admits a ticket — raising
+   :class:`~repro.serve.scheduler.QueueFullError` backpressure when
+   the queue is at depth (or flushing a batch first, with
+   ``on_full="flush"``).
+2. When the micro-batcher declares readiness (batch full, window
+   expired, or a deadline near), the service dispatches: each batched
+   ticket gets a warm-start threshold from the cache if a safe one
+   exists, and the whole batch runs as *one* concurrent session
+   episode (tag namespace ``bq/<qid>``).
+3. Answers are filed for :meth:`KNNService.poll`, stored back into
+   both cache tiers, and recorded in the stats.
+
+The service clock is an abstract monotone float supplied by the caller
+(``submit(..., at=t)``, :meth:`advance`) — workload time, not wall
+time — so every scheduling decision is reproducible.
+:class:`AsyncKNNService` bridges to real ``asyncio`` callers by
+flushing pending batches from a wall-clock timer instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from ..core.driver import DEFAULT_BANDWIDTH_BITS
+from ..core.messages import tag
+from ..kmachine.metrics import Metrics
+from ..points.dataset import Dataset
+from ..points.ids import Keyed
+from ..points.metrics import Metric
+from .cache import CachedAnswer, ResultCache
+from .scheduler import AdmissionQueue, MicroBatcher, QueueFullError, Ticket
+from .session import ClusterSession, QueryJob
+from .stats import QueryRecord, ServiceStats
+from .workload import Workload
+
+__all__ = ["Answer", "AsyncKNNService", "KNNService"]
+
+
+@dataclass
+class Answer:
+    """What :meth:`KNNService.poll` hands back for one query."""
+
+    qid: int
+    ids: np.ndarray
+    distances: np.ndarray
+    labels: np.ndarray | None
+    boundary: Keyed
+    #: how the query was satisfied: "cold" | "warm" | "cache"
+    source: str
+    record: QueryRecord
+
+
+class KNNService:
+    """Online ℓ-NN serving over a resident simulated cluster.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> service = KNNService(rng.uniform(0, 1, (2000, 2)), l=8, k=4, seed=7)
+    >>> qid = service.submit(np.array([0.5, 0.5]))
+    >>> answer = service.drain()[qid]
+    >>> len(answer.ids)
+    8
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray | Dataset,
+        l: int,
+        k: int,
+        *,
+        labels: np.ndarray | None = None,
+        metric: Metric | str = "euclidean",
+        seed: int | None = None,
+        bandwidth_bits: int | None = DEFAULT_BANDWIDTH_BITS,
+        election: str = "fixed",
+        partitioner: str = "random",
+        safe_mode: bool = True,
+        window: float = 4.0,
+        max_batch: int = 8,
+        max_depth: int = 64,
+        policy: str = "fifo",
+        max_wait: float | None = None,
+        on_full: str = "reject",
+        exact_cache: bool = True,
+        warm_start: bool = True,
+        cache_capacity: int = 512,
+        warm_capacity: int = 256,
+        max_delta_factor: float = 1.0,
+        max_blowup: float = 8.0,
+        spans: bool = False,
+        trace: bool = False,
+        timeline: bool = False,
+    ) -> None:
+        if on_full not in ("reject", "flush"):
+            raise ValueError("on_full must be 'reject' or 'flush'")
+        self.session = ClusterSession(
+            points,
+            l,
+            k,
+            labels=labels,
+            metric=metric,
+            seed=seed,
+            bandwidth_bits=bandwidth_bits,
+            election=election,
+            partitioner=partitioner,
+            safe_mode=safe_mode,
+            spans=spans,
+            trace=trace,
+            timeline=timeline,
+        )
+        self.queue = AdmissionQueue(max_depth=max_depth)
+        self.batcher = MicroBatcher(
+            window=window, max_batch=max_batch, policy=policy, max_wait=max_wait
+        )
+        self.cache: ResultCache | None = (
+            ResultCache(
+                self.session.metric,
+                l=l,
+                exact_capacity=cache_capacity,
+                warm_capacity=warm_capacity,
+                max_delta_factor=max_delta_factor,
+                max_blowup=max_blowup,
+                exact=exact_cache,
+                warm=warm_start,
+            )
+            if (exact_cache or warm_start)
+            else None
+        )
+        self.stats = ServiceStats()
+        self.on_full = on_full
+        self.clock = 0.0
+        self.closed = False
+        self._next_qid = 0
+        self._results: dict[int, Answer] = {}
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        query: np.ndarray,
+        *,
+        at: float | None = None,
+        deadline: float | None = None,
+    ) -> int:
+        """Admit one query; returns its ``qid`` (see module docs).
+
+        ``at`` advances the service clock (monotone; earlier times are
+        clamped); batches whose window expired by then dispatch first,
+        preserving arrival order across the clock jump.
+        """
+        if self.closed:
+            raise RuntimeError("service is closed")
+        if at is not None:
+            self.advance(at)
+        query = np.atleast_1d(np.asarray(query, dtype=np.float64))
+        if query.shape[0] != self.session.dataset.dim:
+            raise ValueError(
+                f"query dim {query.shape[0]} != corpus dim {self.session.dataset.dim}"
+            )
+        qid = self._next_qid
+        self._next_qid += 1
+        self.stats.submitted += 1
+        if self.cache is not None:
+            started = perf_counter()
+            cached = self.cache.exact_get(query)
+            if cached is not None:
+                self._complete_from_cache(qid, cached, started, deadline)
+                return qid
+        ticket = Ticket(qid=qid, query=query, arrival=self.clock, deadline=deadline)
+        try:
+            self.queue.push(ticket)
+        except QueueFullError:
+            if self.on_full == "reject":
+                self.stats.rejected += 1
+                raise
+            self._dispatch(force=True)
+            self.queue.push(ticket)
+        while self.batcher.ready(self.queue, self.clock):
+            self._dispatch()
+        return qid
+
+    def advance(self, to: float) -> None:
+        """Move the service clock forward, dispatching expired windows."""
+        self.clock = max(self.clock, float(to))
+        while self.batcher.ready(self.queue, self.clock):
+            self._dispatch()
+
+    # -- retrieval -----------------------------------------------------
+    def poll(self, qid: int) -> Answer | None:
+        """The answer for ``qid`` if it completed, else ``None``."""
+        return self._results.get(qid)
+
+    def flush(self) -> None:
+        """Dispatch everything queued, ignoring window/readiness."""
+        while self.queue:
+            self._dispatch(force=True)
+
+    def drain(self) -> dict[int, Answer]:
+        """Flush the queue and return every completed answer by qid."""
+        self.flush()
+        return dict(self._results)
+
+    def close(self) -> dict[int, Answer]:
+        """Drain, close the session, and return all answers."""
+        if self.closed:
+            return dict(self._results)
+        answers = self.drain()
+        self.session.close()
+        self.closed = True
+        return answers
+
+    def __enter__(self) -> "KNNService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def metrics(self) -> Metrics:
+        """Session-cumulative protocol metrics."""
+        return self.session.metrics
+
+    def stats_report(self) -> dict:
+        """JSON-ready aggregate report (syncs queue/batch counters)."""
+        self.stats.queue_high_water = self.queue.high_water
+        self.stats.batches = self.session.batches
+        return self.stats.to_dict(total_rounds=self.session.rounds)
+
+    def summary(self) -> str:
+        """Human-readable stats summary."""
+        self.stats.queue_high_water = self.queue.high_water
+        self.stats.batches = self.session.batches
+        return self.stats.summary(total_rounds=self.session.rounds)
+
+    # -- internals -----------------------------------------------------
+    def _complete_from_cache(
+        self,
+        qid: int,
+        cached: CachedAnswer,
+        started: float,
+        deadline: float | None,
+    ) -> None:
+        now_round = self.session.rounds
+        self.session.mark(tag("serve", "cache-hit", qid))
+        record = QueryRecord(
+            qid=qid,
+            source="cache",
+            arrival=self.clock,
+            dispatch_time=self.clock,
+            batch_index=None,
+            batch_size=0,
+            dispatch_round=now_round,
+            complete_round=now_round,
+            messages=0,
+            survivors=None,
+            fallback=False,
+            deadline=deadline,
+            wall_seconds=perf_counter() - started,
+        )
+        self.stats.record(record)
+        self._results[qid] = Answer(
+            qid=qid,
+            ids=cached.ids.copy(),
+            distances=cached.distances.copy(),
+            labels=None if cached.labels is None else cached.labels.copy(),
+            boundary=cached.boundary,
+            source="cache",
+            record=record,
+        )
+
+    def _dispatch(self, force: bool = False) -> None:
+        if not force and not self.batcher.ready(self.queue, self.clock):
+            return
+        batch = self.batcher.select(self.queue, self.clock)
+        if not batch:
+            return
+        started = perf_counter()
+        jobs = []
+        for ticket in batch:
+            threshold = (
+                self.cache.warm_suggest(ticket.qid, ticket.query)
+                if self.cache is not None
+                else None
+            )
+            jobs.append(
+                QueryJob(qid=ticket.qid, query=ticket.query, threshold=threshold)
+            )
+        batch_index = self.session.batches
+        dispatch_round = self.session.rounds
+        answers = self.session.run_batch(jobs)
+        wall = perf_counter() - started
+        for ticket, served in zip(batch, answers):
+            source = "warm" if served.warm_started else "cold"
+            record = QueryRecord(
+                qid=ticket.qid,
+                source=source,
+                arrival=ticket.arrival,
+                dispatch_time=self.clock,
+                batch_index=batch_index,
+                batch_size=len(batch),
+                dispatch_round=dispatch_round,
+                complete_round=served.complete_round,
+                messages=served.messages,
+                survivors=served.survivors,
+                fallback=served.fallback,
+                deadline=ticket.deadline,
+                wall_seconds=wall / len(batch),
+            )
+            self.stats.record(record)
+            self._results[ticket.qid] = Answer(
+                qid=ticket.qid,
+                ids=served.ids,
+                distances=served.distances,
+                labels=served.labels,
+                boundary=served.boundary,
+                source=source,
+                record=record,
+            )
+            if self.cache is not None:
+                self.cache.store(
+                    ticket.qid,
+                    CachedAnswer(
+                        query=ticket.query,
+                        ids=served.ids,
+                        distances=served.distances,
+                        labels=served.labels,
+                        boundary=served.boundary,
+                    ),
+                    survivors=served.survivors,
+                    warm_started=served.warm_started,
+                )
+
+    # -- convenience ---------------------------------------------------
+    def replay(self, workload: Workload) -> dict[int, Answer]:
+        """Serve a whole :class:`~repro.serve.workload.Workload`.
+
+        Submits every event at its arrival time (advancing the service
+        clock, so batching windows behave as they would live), then
+        drains.  Returns answers keyed by qid, in submission order ==
+        event order.
+        """
+        for event in workload:
+            self.submit(event.query, at=event.time, deadline=event.deadline)
+        return self.drain()
+
+
+class AsyncKNNService:
+    """``asyncio`` front end over a (synchronous) :class:`KNNService`.
+
+    The wrapped service's clock is workload time, which an asyncio
+    caller does not have — so batching is bridged to wall time: a
+    submitted query whose batch is not yet full is dispatched by a
+    ``flush_interval``-second timer instead of a clock window.  All
+    protocol work still runs synchronously on the event-loop thread
+    (the simulator is single-threaded by design); concurrency here is
+    about *callers* overlapping waits, mirroring how the micro-batcher
+    overlaps their queries' rounds.
+
+    Example
+    -------
+    ``answers = await asyncio.gather(*(svc.query(q) for q in queries))``
+    coalesces all the queries into micro-batches.
+    """
+
+    def __init__(self, service: KNNService, *, flush_interval: float = 0.01) -> None:
+        self.service = service
+        self.flush_interval = flush_interval
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._timer: asyncio.TimerHandle | None = None
+
+    async def query(
+        self, query: np.ndarray, *, deadline: float | None = None
+    ) -> Answer:
+        """Submit one query and await its answer."""
+        qid = self.service.submit(query, deadline=deadline)
+        self._resolve_ready()
+        answer = self.service.poll(qid)
+        if answer is not None:
+            return answer
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._waiters[qid] = future
+        if self._timer is None:
+            self._timer = loop.call_later(self.flush_interval, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        self._timer = None
+        self.service.flush()
+        self._resolve_ready()
+
+    def _resolve_ready(self) -> None:
+        for qid in list(self._waiters):
+            answer = self.service.poll(qid)
+            if answer is not None:
+                future = self._waiters.pop(qid)
+                if not future.done():
+                    future.set_result(answer)
+
+    async def close(self) -> None:
+        """Cancel the flush timer, drain, and close the service."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.service.close()
+        self._resolve_ready()

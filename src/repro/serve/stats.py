@@ -1,0 +1,205 @@
+"""Per-query serving statistics: latency, throughput, queue, cache.
+
+The protocol layers count rounds and messages (``repro.kmachine.
+metrics``); a *service* additionally cares how those costs reach each
+individual query: how long did query 17 wait in the admission queue,
+how many simulated rounds from submit to answer, did it ride a cache?
+:class:`ServiceStats` collects one :class:`QueryRecord` per served
+query and aggregates the distributional view (p50/p99 latency,
+throughput, hit rates) that the benchmark and the CLI report.
+
+Latency has two clocks, reported separately and never mixed:
+
+* ``latency_rounds`` — simulated protocol rounds from dispatch to the
+  query's completion round (the model's own time; what the paper's
+  theorems bound);
+* ``wall_seconds`` — host-process time for the serving code path,
+  measured with ``time.perf_counter`` (a relative timer, allowed by
+  the determinism lint; purely informational).
+
+Queue *waiting* is measured on the service clock (workload arrival
+time units) as ``dispatch_time - arrival``, since waiting happens
+before any protocol round runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["QueryRecord", "ServiceStats"]
+
+#: how a query was satisfied
+SOURCES = ("cold", "warm", "cache")
+
+
+@dataclass
+class QueryRecord:
+    """Accounting for one served query."""
+
+    qid: int
+    source: str  # "cold" | "warm" | "cache"
+    arrival: float
+    dispatch_time: float
+    batch_index: int | None
+    batch_size: int
+    dispatch_round: int
+    complete_round: int
+    messages: int
+    survivors: int | None
+    fallback: bool
+    deadline: float | None
+    wall_seconds: float
+
+    @property
+    def latency_rounds(self) -> int:
+        """Simulated rounds from dispatch to completion (0 for cache hits)."""
+        return max(0, self.complete_round - self.dispatch_round)
+
+    @property
+    def queue_wait(self) -> float:
+        """Service-clock time spent waiting for dispatch."""
+        return max(0.0, self.dispatch_time - self.arrival)
+
+    @property
+    def met_deadline(self) -> bool | None:
+        """Whether dispatch beat the deadline (``None`` without one)."""
+        if self.deadline is None:
+            return None
+        return self.dispatch_time <= self.deadline
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (used by the CLI's stats dump)."""
+        return {
+            "qid": self.qid,
+            "source": self.source,
+            "arrival": self.arrival,
+            "dispatch_time": self.dispatch_time,
+            "batch_index": self.batch_index,
+            "batch_size": self.batch_size,
+            "dispatch_round": self.dispatch_round,
+            "complete_round": self.complete_round,
+            "latency_rounds": self.latency_rounds,
+            "queue_wait": self.queue_wait,
+            "messages": self.messages,
+            "survivors": self.survivors,
+            "fallback": self.fallback,
+            "deadline": self.deadline,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class ServiceStats:
+    """Aggregates :class:`QueryRecord` streams into the service report."""
+
+    def __init__(self) -> None:
+        self.records: list[QueryRecord] = []
+        self.submitted = 0
+        self.rejected = 0
+        self.batches = 0
+        self.queue_high_water = 0
+
+    # -- recording -----------------------------------------------------
+    def record(self, rec: QueryRecord) -> None:
+        """File one served query."""
+        if rec.source not in SOURCES:
+            raise ValueError(f"unknown source {rec.source!r}")
+        self.records.append(rec)
+
+    # -- aggregate views -----------------------------------------------
+    @property
+    def completed(self) -> int:
+        """Queries answered so far."""
+        return len(self.records)
+
+    def count(self, source: str) -> int:
+        """Served-query count for one source tier."""
+        return sum(1 for r in self.records if r.source == source)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed queries answered from the exact cache."""
+        return self.count("cache") / self.completed if self.completed else 0.0
+
+    @property
+    def warm_start_rate(self) -> float:
+        """Fraction of completed queries that carried a warm threshold."""
+        return self.count("warm") / self.completed if self.completed else 0.0
+
+    def latency_percentile(self, p: float, *, protocol_only: bool = False) -> float:
+        """p-th percentile of per-query round latency.
+
+        ``protocol_only=True`` restricts to queries that actually ran
+        the protocol (cache hits cost 0 rounds and drag the tail down).
+        """
+        rounds = [
+            r.latency_rounds
+            for r in self.records
+            if not (protocol_only and r.source == "cache")
+        ]
+        if not rounds:
+            return 0.0
+        return float(np.percentile(rounds, p))
+
+    def mean_batch_size(self) -> float:
+        """Average dispatch batch size over protocol-served queries."""
+        sizes = [r.batch_size for r in self.records if r.source != "cache"]
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    def throughput(self, total_rounds: int) -> float:
+        """Completed queries per simulated round."""
+        return self.completed / total_rounds if total_rounds else float("inf")
+
+    def to_dict(self, *, total_rounds: int | None = None) -> dict[str, Any]:
+        """JSON-ready aggregate report (per-query records excluded)."""
+        report: dict[str, Any] = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "queue_high_water": self.queue_high_water,
+            "by_source": {s: self.count(s) for s in SOURCES},
+            "cache_hit_rate": self.cache_hit_rate,
+            "warm_start_rate": self.warm_start_rate,
+            "latency_rounds_p50": self.latency_percentile(50),
+            "latency_rounds_p99": self.latency_percentile(99),
+            "protocol_latency_rounds_p50": self.latency_percentile(
+                50, protocol_only=True
+            ),
+            "protocol_latency_rounds_p99": self.latency_percentile(
+                99, protocol_only=True
+            ),
+            "mean_batch_size": self.mean_batch_size(),
+            "fallbacks": sum(1 for r in self.records if r.fallback),
+        }
+        if total_rounds is not None:
+            report["total_rounds"] = total_rounds
+            report["throughput_queries_per_round"] = self.throughput(total_rounds)
+        return report
+
+    def summary(self, *, total_rounds: int | None = None) -> str:
+        """Human-readable multi-line report (the CLI's output)."""
+        d = self.to_dict(total_rounds=total_rounds)
+        lines = [
+            f"queries: {d['completed']} completed / {d['submitted']} submitted"
+            f" ({d['rejected']} rejected), {d['batches']} batches"
+            f" (mean size {d['mean_batch_size']:.2f})",
+            "served: "
+            + ", ".join(f"{s}={d['by_source'][s]}" for s in SOURCES)
+            + f"  cache-hit {100 * d['cache_hit_rate']:.1f}%"
+            + f"  warm-start {100 * d['warm_start_rate']:.1f}%",
+            f"latency (rounds): p50 {d['latency_rounds_p50']:.0f}"
+            f"  p99 {d['latency_rounds_p99']:.0f}"
+            f"  (protocol-only p50 {d['protocol_latency_rounds_p50']:.0f}"
+            f" / p99 {d['protocol_latency_rounds_p99']:.0f})",
+            f"queue high-water: {d['queue_high_water']}"
+            f"  fallbacks: {d['fallbacks']}",
+        ]
+        if total_rounds is not None:
+            lines.append(
+                f"rounds: {total_rounds} total → "
+                f"{d['throughput_queries_per_round']:.3f} queries/round"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""Seeded workload generators: one reproducible traffic model.
+
+Benchmarks, acceptance tests and the CLI all need query *streams*, not
+query sets: points paired with arrival times (and optionally
+deadlines) on an abstract service clock.  Three arrival processes
+cover the serving-relevant regimes:
+
+``uniform``
+    Independent queries at a constant rate — the cold-traffic
+    baseline.  Exercises micro-batching only as far as the window
+    allows; cache tiers rarely fire.
+
+``bursty``
+    Queries arrive in tight bursts drawn from a small hot pool with a
+    skewed (Zipf-like) popularity profile — the "heavy traffic from
+    millions of users" shape where popular queries repeat.  Exercises
+    maximal micro-batches and the exact-hit cache.
+
+``drift``
+    A few logical clients whose query points random-walk between
+    requests — the moving-objects regime of the monitor related work
+    ([18, 19]).  Exercises the triangle-inequality warm-start tier.
+
+Everything is a pure function of the seed (``np.random.default_rng``
+streams only), so a workload can be regenerated exactly from its
+``(kind, seed, params)`` triple — which is also how workloads
+serialize (:meth:`Workload.to_dict` keeps the events, but the header
+alone is enough to rebuild them with :func:`make_workload`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = [
+    "QueryEvent",
+    "WORKLOAD_KINDS",
+    "Workload",
+    "bursty_workload",
+    "drift_workload",
+    "make_workload",
+    "uniform_workload",
+]
+
+WORKLOAD_KINDS = ("uniform", "bursty", "drift")
+
+
+@dataclass(frozen=True, eq=False)
+class QueryEvent:
+    """One arrival: service-clock time, query point, optional deadline."""
+
+    time: float
+    query: np.ndarray
+    deadline: float | None = None
+
+
+@dataclass
+class Workload:
+    """An ordered arrival stream plus its generation header."""
+
+    events: list[QueryEvent]
+    kind: str = "custom"
+    seed: int | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[QueryEvent]:
+        return iter(self.events)
+
+    @property
+    def dim(self) -> int:
+        """Query dimensionality (0 for an empty workload)."""
+        return 0 if not self.events else self.events[0].query.shape[0]
+
+    def queries(self) -> np.ndarray:
+        """All query points stacked as an ``(m, d)`` array."""
+        return np.stack([e.query for e in self.events])
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (events inline, floats exact via lists)."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "params": self.params,
+            "events": [
+                {
+                    "time": e.time,
+                    "query": [float(x) for x in e.query],
+                    "deadline": e.deadline,
+                }
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Workload":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            events=[
+                QueryEvent(
+                    time=float(e["time"]),
+                    query=np.asarray(e["query"], dtype=np.float64),
+                    deadline=(
+                        None if e.get("deadline") is None else float(e["deadline"])
+                    ),
+                )
+                for e in d.get("events", [])
+            ],
+            kind=str(d.get("kind", "custom")),
+            seed=d.get("seed"),
+            params=dict(d.get("params", {})),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the workload as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workload":
+        """Read a workload written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _finish(events: list[QueryEvent]) -> list[QueryEvent]:
+    return sorted(events, key=lambda e: e.time)
+
+
+def uniform_workload(
+    n_queries: int,
+    dim: int = 3,
+    *,
+    seed: int | None = None,
+    rate: float = 1.0,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    deadline_slack: float | None = None,
+) -> Workload:
+    """Constant-rate independent queries, uniform over ``[lo, hi]^dim``."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(lo, hi, size=(n_queries, dim))
+    spacing = 1.0 / rate
+    events = [
+        QueryEvent(
+            time=i * spacing,
+            query=points[i],
+            deadline=None if deadline_slack is None else i * spacing + deadline_slack,
+        )
+        for i in range(n_queries)
+    ]
+    return Workload(
+        events=_finish(events),
+        kind="uniform",
+        seed=seed,
+        params={"n_queries": n_queries, "dim": dim, "rate": rate},
+    )
+
+
+def bursty_workload(
+    n_queries: int,
+    dim: int = 3,
+    *,
+    seed: int | None = None,
+    burst_size: int = 8,
+    burst_gap: float = 8.0,
+    within_gap: float = 0.05,
+    pool_size: int = 32,
+    skew: float = 1.2,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    deadline_slack: float | None = None,
+) -> Workload:
+    """Bursts of hot-pool queries with a Zipf-like popularity skew.
+
+    A pool of ``pool_size`` points is drawn once; each arrival picks
+    pool index ``i`` with probability ∝ ``1/(i+1)^skew``.  Repeats are
+    byte-identical, so this is the exact-cache regime.
+    """
+    rng = np.random.default_rng(seed)
+    pool = rng.uniform(lo, hi, size=(pool_size, dim))
+    weights = 1.0 / np.arange(1, pool_size + 1) ** skew
+    weights /= weights.sum()
+    choices = rng.choice(pool_size, size=n_queries, p=weights)
+    events = []
+    for i in range(n_queries):
+        burst, offset = divmod(i, burst_size)
+        t = burst * burst_gap + offset * within_gap
+        events.append(
+            QueryEvent(
+                time=t,
+                query=pool[choices[i]].copy(),
+                deadline=None if deadline_slack is None else t + deadline_slack,
+            )
+        )
+    return Workload(
+        events=_finish(events),
+        kind="bursty",
+        seed=seed,
+        params={
+            "n_queries": n_queries,
+            "dim": dim,
+            "burst_size": burst_size,
+            "pool_size": pool_size,
+            "skew": skew,
+        },
+    )
+
+
+def drift_workload(
+    n_queries: int,
+    dim: int = 3,
+    *,
+    seed: int | None = None,
+    n_walkers: int = 4,
+    step: float = 0.01,
+    dt: float = 0.5,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    deadline_slack: float | None = None,
+) -> Workload:
+    """Slowly drifting clients: per-walker Gaussian random walks.
+
+    Each of ``n_walkers`` clients re-queries every ``n_walkers · dt``
+    time units from a position that moved by ``N(0, step²)`` per axis
+    (reflected at the box walls).  Consecutive positions are close, so
+    this is the warm-start regime.
+    """
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(lo, hi, size=(n_walkers, dim))
+    events = []
+    for i in range(n_queries):
+        walker = i % n_walkers
+        t = i * dt
+        events.append(
+            QueryEvent(
+                time=t,
+                query=positions[walker].copy(),
+                deadline=None if deadline_slack is None else t + deadline_slack,
+            )
+        )
+        moved = positions[walker] + rng.normal(0.0, step, size=dim)
+        # Reflect at the box walls so walkers stay in the corpus region.
+        span = hi - lo
+        moved = lo + span - np.abs((moved - lo) % (2 * span) - span)
+        positions[walker] = moved
+    return Workload(
+        events=_finish(events),
+        kind="drift",
+        seed=seed,
+        params={
+            "n_queries": n_queries,
+            "dim": dim,
+            "n_walkers": n_walkers,
+            "step": step,
+        },
+    )
+
+
+def make_workload(kind: str, n_queries: int, dim: int = 3, **kwargs: Any) -> Workload:
+    """Build a workload by kind name (the CLI/benchmark entry point)."""
+    builders = {
+        "uniform": uniform_workload,
+        "bursty": bursty_workload,
+        "drift": drift_workload,
+    }
+    if kind not in builders:
+        raise ValueError(f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}")
+    return builders[kind](n_queries, dim, **kwargs)

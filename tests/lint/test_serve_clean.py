@@ -1,0 +1,45 @@
+"""The serving layer's protocol code is KM-rule clean, with no baseline.
+
+``repro/serve`` contains real protocol code (session programs that
+send/recv under ``ctx``), so it is in scope for every k-machine lint
+rule — KM001 bounded payloads, KM002 seeded randomness, KM003 context
+isolation, KM004 wire schemas, KM005 recv/send pairing.  This test
+pins both facts: the directory is *scanned* (a rule-scope regression
+would silently exempt it) and it is *clean*.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintEngine, get_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SERVE_DIR = REPO_ROOT / "src" / "repro" / "serve"
+
+
+def test_serve_package_exists_and_is_scanned() -> None:
+    assert SERVE_DIR.is_dir()
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([SERVE_DIR])
+    assert report.files >= 7  # all serve modules were scanned
+
+
+def test_serve_is_km_rule_clean_without_baseline() -> None:
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([SERVE_DIR])
+    assert not report.parse_errors, report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_serve_is_in_every_rule_scope() -> None:
+    """The in_dir gates of all five rules include 'serve'."""
+    import inspect
+
+    from repro.lint.rules import bandwidth, determinism, isolation, pairing, schema
+
+    for module in (bandwidth, determinism, isolation, pairing, schema):
+        source = inspect.getsource(module)
+        assert '"serve"' in source, f"{module.__name__} does not scan serve"

@@ -1,0 +1,151 @@
+"""Result cache tiers: exact LRU semantics and warm-start safety.
+
+The load-bearing property is *safety*: a suggested warm-start radius
+must always be at least the true ℓ-th neighbor distance of the new
+query, because the protocol prunes everything above it.  That is the
+triangle inequality at work, so it is tested directly against brute
+force over many random corpora, queries and drifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.points.ids import PLUS_INF_KEY
+from repro.serve import CachedAnswer, ExactResultCache, ResultCache, WarmStartIndex
+
+
+def _answer(query: np.ndarray, boundary: float) -> CachedAnswer:
+    from repro.points.ids import Keyed
+
+    return CachedAnswer(
+        query=query,
+        ids=np.arange(4, dtype=np.int64),
+        distances=np.linspace(0.1, boundary, 4),
+        labels=None,
+        boundary=Keyed(boundary, 7),
+    )
+
+
+# -- exact tier --------------------------------------------------------
+
+
+def test_exact_cache_hit_requires_identical_bytes() -> None:
+    cache = ExactResultCache(capacity=4)
+    q = np.array([0.25, 0.5])
+    cache.put(_answer(q, 0.3))
+    assert cache.get(q.copy()) is not None  # same bytes, different object
+    assert cache.get(q + 1e-12) is None  # any perturbation misses
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_exact_cache_lru_eviction() -> None:
+    cache = ExactResultCache(capacity=2)
+    q0, q1, q2 = (np.array([float(i), 0.0]) for i in range(3))
+    cache.put(_answer(q0, 0.1))
+    cache.put(_answer(q1, 0.1))
+    cache.get(q0)  # refresh q0: q1 becomes LRU
+    cache.put(_answer(q2, 0.1))
+    assert cache.get(q0) is not None
+    assert cache.get(q1) is None
+    assert cache.get(q2) is not None
+
+
+# -- warm-start tier ---------------------------------------------------
+
+
+def test_sqeuclidean_rejected() -> None:
+    with pytest.raises(ValueError, match="triangle inequality"):
+        WarmStartIndex("sqeuclidean")
+    with pytest.raises(ValueError, match="triangle inequality"):
+        ResultCache("sqeuclidean", l=4)
+
+
+def test_suggested_radius_is_always_safe() -> None:
+    """radius = b + δ covers the true ℓ-th neighbor, for any drift."""
+    rng = np.random.default_rng(0)
+    l = 8
+    for trial in range(20):
+        corpus = rng.uniform(0.0, 1.0, (400, 3))
+        index = WarmStartIndex("euclidean", max_delta_factor=np.inf)
+        # Seed the index with exact boundaries of random queries.
+        for _ in range(5):
+            p = rng.uniform(0.0, 1.0, 3)
+            dists = np.sort(np.linalg.norm(corpus - p, axis=1))
+            index.add(p, float(dists[l - 1]))
+        # Any new query's suggested radius must cover its true l-th NN.
+        q = rng.uniform(-0.2, 1.2, 3)
+        suggestion = index.suggest(q)
+        assert suggestion is not None
+        threshold, _ = suggestion
+        true_lth = np.sort(np.linalg.norm(corpus - q, axis=1))[l - 1]
+        assert threshold.value >= true_lth - 1e-12
+        assert threshold.id == PLUS_INF_KEY.id
+
+
+def test_suggest_refuses_far_queries() -> None:
+    index = WarmStartIndex("euclidean", max_delta_factor=1.0)
+    index.add(np.zeros(2), 0.05)
+    near = index.suggest(np.array([0.04, 0.0]))
+    far = index.suggest(np.array([0.5, 0.5]))
+    assert near is not None
+    assert far is None  # δ >> b: sampling would prune better
+    assert index.refusals == 1
+
+
+def test_suggest_picks_tightest_bound() -> None:
+    index = WarmStartIndex("euclidean", max_delta_factor=np.inf)
+    index.add(np.array([0.0, 0.0]), 1.0)  # radius at q: 1.0 + |q|
+    index.add(np.array([0.1, 0.0]), 0.02)  # much tighter for nearby q
+    threshold, slot = index.suggest(np.array([0.1, 0.01]))
+    assert slot == 1
+    assert threshold.value == pytest.approx(0.03, abs=1e-9)
+
+
+def test_capacity_ring_and_drop() -> None:
+    index = WarmStartIndex("euclidean", capacity=2, max_delta_factor=np.inf)
+    index.add(np.array([0.0]), 0.1)
+    index.add(np.array([1.0]), 0.1)
+    index.add(np.array([2.0]), 0.1)  # evicts slot 0
+    assert len(index) == 2
+    threshold, slot = index.suggest(np.array([2.0]))
+    index.drop(slot)
+    # The dropped donor no longer suggests; the other entry wins.
+    threshold2, slot2 = index.suggest(np.array([2.0]))
+    assert slot2 != slot
+
+
+# -- combined policy ---------------------------------------------------
+
+
+def test_result_cache_tiers_and_blowup_guard() -> None:
+    cache = ResultCache("euclidean", l=4, max_delta_factor=np.inf, max_blowup=2.0)
+    q = np.array([0.5, 0.5])
+    kind, payload = cache.lookup(0, q)
+    assert kind == "cold" and payload is None
+    cache.store(0, _answer(q, 0.2))
+    # Exact repeat: hit.
+    kind, payload = cache.lookup(1, q)
+    assert kind == "hit" and isinstance(payload, CachedAnswer)
+    # Nearby query: warm threshold.
+    q2 = q + 0.01
+    kind, threshold = cache.lookup(2, q2)
+    assert kind == "warm"
+    assert threshold.value >= 0.2
+    # Blow-up guard: survivors >> max_blowup * l drops the donor.
+    cache.store(2, _answer(q2, 0.2), survivors=1000, warm_started=True)
+    assert cache.warm is not None
+    # The donor slot was invalidated (its boundary became +inf), but
+    # the new answer was still added, so suggestions keep working.
+    kind, _ = cache.lookup(3, q + 0.02)
+    assert kind in ("warm", "cold")
+
+
+def test_hit_rate_accounting() -> None:
+    cache = ResultCache("euclidean", l=2, warm=False)
+    q = np.array([1.0, 2.0])
+    assert cache.lookup(0, q)[0] == "cold"
+    cache.store(0, _answer(q, 0.5))
+    assert cache.lookup(1, q)[0] == "hit"
+    assert cache.hit_rate == pytest.approx(0.5)

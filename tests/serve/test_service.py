@@ -1,0 +1,156 @@
+"""KNNService facade: exactness per tier, lifecycle, backpressure, asyncio."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.sequential.brute import brute_force_knn_ids
+from repro.serve import (
+    AsyncKNNService,
+    KNNService,
+    QueueFullError,
+    make_workload,
+)
+
+L = 8
+K = 4
+
+
+@pytest.fixture(scope="module")
+def corpus() -> np.ndarray:
+    return np.random.default_rng(21).uniform(0.0, 1.0, (2500, 3))
+
+
+def _expected(service: KNNService, query: np.ndarray) -> set[int]:
+    return brute_force_knn_ids(
+        service.session.dataset, query, service.session.l, service.session.metric
+    )
+
+
+def _assert_exact(service: KNNService, answers, workload) -> None:
+    for qid, event in enumerate(workload):
+        got = {int(i) for i in answers[qid].ids}
+        assert got == _expected(service, event.query), f"query {qid} wrong"
+
+
+def test_every_tier_returns_exact_answers(corpus: np.ndarray) -> None:
+    """Cold, micro-batched, cache-hit and warm-started answers all equal
+    brute force — across bursty (cache) and drift (warm) traffic."""
+    for kind, seed in (("bursty", 1), ("drift", 2), ("uniform", 3)):
+        service = KNNService(corpus, L, K, seed=17)
+        workload = make_workload(kind, 40, 3, seed=seed)
+        answers = service.replay(workload)
+        service.close()
+        _assert_exact(service, answers, workload)
+        sources = {a.source for a in answers.values()}
+        if kind == "bursty":
+            assert "cache" in sources
+        if kind == "drift":
+            assert "warm" in sources
+
+
+def test_submit_poll_drain_close_lifecycle(corpus: np.ndarray) -> None:
+    service = KNNService(corpus, L, K, seed=5, window=10.0, max_batch=4)
+    rng = np.random.default_rng(0)
+    q = rng.uniform(0, 1, 3)
+    qid = service.submit(q, at=0.0)
+    assert service.poll(qid) is None  # window open, batch not full
+    answers = service.drain()
+    assert {int(i) for i in answers[qid].ids} == _expected(service, q)
+    assert service.poll(qid) is not None
+    service.close()
+    with pytest.raises(RuntimeError):
+        service.submit(q)
+
+
+def test_full_batch_dispatches_without_drain(corpus: np.ndarray) -> None:
+    service = KNNService(corpus, L, K, seed=5, window=100.0, max_batch=2)
+    rng = np.random.default_rng(1)
+    qid0 = service.submit(rng.uniform(0, 1, 3), at=0.0)
+    assert service.poll(qid0) is None
+    qid1 = service.submit(rng.uniform(0, 1, 3), at=0.1)
+    # max_batch reached: both dispatched in one concurrent episode.
+    assert service.poll(qid0) is not None and service.poll(qid1) is not None
+    assert service.poll(qid0).record.batch_size == 2
+    service.close()
+
+
+def test_backpressure_reject_and_flush_modes(corpus: np.ndarray) -> None:
+    rng = np.random.default_rng(2)
+    queries = rng.uniform(0, 1, (5, 3))
+    # reject: the 4th concurrent submission overflows depth 3.
+    service = KNNService(
+        corpus, L, K, seed=5, window=100.0, max_batch=10, max_depth=3
+    )
+    for q in queries[:3]:
+        service.submit(q, at=0.0)
+    with pytest.raises(QueueFullError):
+        service.submit(queries[3], at=0.0)
+    assert service.stats_report()["rejected"] == 1
+    service.close()
+    # flush: same overflow instead dispatches a batch and admits.
+    service = KNNService(
+        corpus, L, K, seed=5, window=100.0, max_batch=10, max_depth=3,
+        on_full="flush",
+    )
+    qids = [service.submit(q, at=0.0) for q in queries]
+    answers = service.close()
+    assert service.stats_report()["rejected"] == 0
+    for qid, q in zip(qids, queries):
+        assert {int(i) for i in answers[qid].ids} == _expected(service, q)
+
+
+def test_deadline_policy_served_exactly(corpus: np.ndarray) -> None:
+    service = KNNService(corpus, L, K, seed=5, policy="deadline", window=2.0)
+    workload = make_workload("uniform", 20, 3, seed=4, deadline_slack=6.0)
+    answers = service.replay(workload)
+    service.close()
+    _assert_exact(service, answers, workload)
+    assert all(a.record.deadline is not None for a in answers.values())
+
+
+def test_stats_report_consistency(corpus: np.ndarray) -> None:
+    service = KNNService(corpus, L, K, seed=17)
+    workload = make_workload("bursty", 30, 3, seed=1)
+    service.replay(workload)
+    service.close()
+    report = service.stats_report()
+    assert report["completed"] == report["submitted"] == 30
+    assert report["batches"] == service.session.batches > 0
+    assert sum(report["by_source"].values()) == 30
+    assert report["cache_hit_rate"] > 0
+    assert report["latency_rounds_p99"] >= report["latency_rounds_p50"] >= 0
+    assert report["total_rounds"] == service.session.rounds
+    assert "queries/round" in service.summary() or "queries" in service.summary()
+
+
+def test_dim_mismatch_rejected(corpus: np.ndarray) -> None:
+    service = KNNService(corpus, L, K, seed=5)
+    with pytest.raises(ValueError, match="dim"):
+        service.submit(np.zeros(2))
+    service.close()
+
+
+def test_async_front_end_batches_and_answers(corpus: np.ndarray) -> None:
+    service = KNNService(corpus, L, K, seed=9, max_batch=4, window=1e9)
+    front = AsyncKNNService(service, flush_interval=0.005)
+    rng = np.random.default_rng(3)
+    queries = [rng.uniform(0, 1, 3) for _ in range(6)]
+
+    async def go():
+        return await asyncio.gather(*(front.query(q) for q in queries))
+
+    answers = asyncio.run(go())
+    for q, answer in zip(queries, answers):
+        assert {int(i) for i in answer.ids} == _expected(service, q)
+    # gather coalesced submissions into micro-batches, not 6 singles.
+    assert service.session.batches <= 3
+
+    async def shutdown():
+        await front.close()
+
+    asyncio.run(shutdown())
+    assert service.closed

@@ -1,0 +1,80 @@
+"""Workload generators: determinism, shape, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    WORKLOAD_KINDS,
+    Workload,
+    bursty_workload,
+    drift_workload,
+    make_workload,
+    uniform_workload,
+)
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_seed_determinism(kind: str) -> None:
+    a = make_workload(kind, 30, 3, seed=42)
+    b = make_workload(kind, 30, 3, seed=42)
+    c = make_workload(kind, 30, 3, seed=43)
+    assert np.array_equal(a.queries(), b.queries())
+    assert [e.time for e in a] == [e.time for e in b]
+    assert not np.array_equal(a.queries(), c.queries())
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_shape_and_monotone_arrivals(kind: str) -> None:
+    workload = make_workload(kind, 25, 4, seed=0)
+    assert len(workload) == 25
+    assert workload.dim == 4
+    assert workload.queries().shape == (25, 4)
+    times = [e.time for e in workload]
+    assert times == sorted(times)
+    assert workload.kind == kind
+
+
+def test_uniform_rate_and_deadlines() -> None:
+    workload = uniform_workload(10, 2, seed=1, rate=2.0, deadline_slack=3.0)
+    times = [e.time for e in workload]
+    assert times[1] - times[0] == pytest.approx(0.5)
+    for e in workload:
+        assert e.deadline == pytest.approx(e.time + 3.0)
+
+
+def test_bursty_repeats_from_hot_pool() -> None:
+    workload = bursty_workload(60, 3, seed=2, pool_size=8)
+    unique = {e.query.tobytes() for e in workload}
+    # Far fewer unique points than events: repeats are byte-identical,
+    # which is what makes the exact cache effective.
+    assert len(unique) <= 8
+
+
+def test_drift_moves_slowly_and_stays_in_box() -> None:
+    workload = drift_workload(40, 3, seed=3, n_walkers=2, step=0.01)
+    queries = workload.queries()
+    assert np.all(queries >= 0.0) and np.all(queries <= 1.0)
+    # Per-walker consecutive positions are within a few steps.
+    for w in range(2):
+        walk = queries[w::2]
+        hops = np.linalg.norm(np.diff(walk, axis=0), axis=1)
+        assert np.max(hops) < 0.2
+
+
+def test_save_load_roundtrip(tmp_path) -> None:
+    workload = make_workload("bursty", 12, 3, seed=5)
+    path = tmp_path / "wl.json"
+    workload.save(path)
+    loaded = Workload.load(path)
+    assert loaded.kind == workload.kind
+    assert loaded.seed == workload.seed
+    assert len(loaded) == len(workload)
+    assert np.array_equal(loaded.queries(), workload.queries())
+    assert [e.deadline for e in loaded] == [e.deadline for e in workload]
+
+
+def test_unknown_kind_rejected() -> None:
+    with pytest.raises(ValueError, match="unknown workload kind"):
+        make_workload("adversarial", 10)

@@ -1,0 +1,132 @@
+"""DYN — rebalance cost vs churn rate, from a skewed start.
+
+The dynamic-data layer's claim: live inserts/deletes cost O(k)
+messages each, the imbalance monitor + selection-driven rebalancer
+keep ``max_i n_i ≤ 2·(n/k)`` at every churn rate, and the *amortized*
+rebalance overhead stays a modest multiple of the update traffic —
+rebalances are rare (triggered, not scheduled) and each one's cost is
+bounded by Theorem 2.2 per splitter.
+
+This bench starts every run from a ``partition_skewed`` placement
+(the rebalancer's worst realistic case: one machine over the bound
+before any churn), sweeps the delete share of a fixed-length mixed
+stream, verifies every served answer against brute force, and records
+per-rate: rebalance count, migrated points, message split
+(updates vs rebalances vs queries), peak ratio and budget conformance
+into ``benchmarks/results/BENCH_dyn.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dyn.churn import make_churn, run_churn
+from repro.serve.service import KNNService
+
+RESULT_PATH = Path(__file__).parent / "results" / "BENCH_dyn.json"
+
+K = 4
+L = 8
+N = 1200
+OPS = 260
+SEED = 7
+BALANCE_BOUND = 2.0
+#: delete share sweep; insert share fixed so the corpus shrinks faster
+#: at the high end (more imbalance pressure, more rebalances)
+DELETE_RATES = (0.05, 0.15, 0.25, 0.35)
+P_INSERT = 0.15
+
+
+def test_rebalance_cost_vs_churn_rate(results_dir):
+    sweep = []
+    for p_delete in DELETE_RATES:
+        corpus = np.random.default_rng(9).uniform(0.0, 1.0, (N, 3))
+        service = KNNService(
+            corpus,
+            L,
+            K,
+            seed=SEED,
+            window=4.0,
+            max_batch=8,
+            partitioner="skewed",
+            balance_threshold=BALANCE_BOUND,
+        )
+        stream = make_churn(
+            OPS, 3, seed=11, p_insert=P_INSERT, p_delete=p_delete
+        )
+        start = time.perf_counter()
+        report = run_churn(
+            service, stream, seed=5, balance_bound=BALANCE_BOUND
+        )
+        wall = time.perf_counter() - start
+        session = service.session
+        service.close()
+
+        update_msgs = sum(
+            m.messages for m in session.mutations if m.kind == "update"
+        )
+        rebalance_msgs = sum(
+            m.messages for m in session.mutations if m.kind == "rebalance"
+        )
+        mutation_count = max(1, report.updates)
+        sweep.append(
+            {
+                "p_delete": p_delete,
+                "p_insert": P_INSERT,
+                "queries": report.queries,
+                "inserts": report.inserts,
+                "deletes": report.deletes,
+                "skipped_deletes": report.skipped_deletes,
+                "exact_answers": report.queries - report.wrong_answers,
+                "final_n": report.final_n,
+                "rebalances": report.rebalances,
+                "moved_points": report.moved_points,
+                "peak_ratio": report.max_ratio,
+                "balance_violations": report.balance_violations,
+                "update_messages": update_msgs,
+                "rebalance_messages": rebalance_msgs,
+                "messages_per_update": update_msgs / mutation_count,
+                "rebalance_overhead_ratio": rebalance_msgs
+                / max(1, update_msgs),
+                "budget_failures": report.budget_failures,
+                "wall_seconds": wall,
+            }
+        )
+
+        # Acceptance bars, per rate: exact, balanced, in budget.
+        assert report.wrong_answers == 0, f"p_delete={p_delete}"
+        assert report.balance_violations == 0, f"p_delete={p_delete}"
+        assert report.budget_failures == 0, f"p_delete={p_delete}"
+        # Update episodes really are O(k): 3(k-1) + at most (k-1) more.
+        assert update_msgs / mutation_count <= 4 * (K - 1) + 1e-9
+
+    # The skewed start forces at least one rebalance at every rate.
+    assert all(row["rebalances"] >= 1 for row in sweep)
+
+    payload = {
+        "config": {
+            "k": K,
+            "l": L,
+            "n": N,
+            "ops": OPS,
+            "p_insert": P_INSERT,
+            "delete_rates": list(DELETE_RATES),
+            "balance_bound": BALANCE_BOUND,
+            "partitioner": "skewed",
+        },
+        "sweep": sweep,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[result saved to {RESULT_PATH}]")
+    for row in sweep:
+        print(
+            f"p_delete={row['p_delete']:.2f}: "
+            f"{row['rebalances']} rebalances moved {row['moved_points']} pts, "
+            f"peak ratio {row['peak_ratio']:.2f}, "
+            f"{row['messages_per_update']:.1f} msgs/update, "
+            f"rebalance overhead {row['rebalance_overhead_ratio']:.2f}x"
+        )

@@ -158,6 +158,7 @@ def selection_subroutine(
     prefix: str = "sel",
     slack: float = 0.0,
     timeout_rounds: int | None = None,
+    lower_bound: Keyed | None = None,
 ) -> Generator[None, None, SelectionOutput]:
     """Run Algorithm 1 as an embeddable subroutine.
 
@@ -194,6 +195,14 @@ def selection_subroutine(
         number of rounds instead of hitting the simulator's global
         deadlock guard.  Must comfortably exceed the longest legitimate
         gap between messages (congested links stretch the gaps).
+    lower_bound:
+        Splitter-reuse hook (the :mod:`repro.dyn` rebalancer): restrict
+        the selection to keys strictly above this key.  Every machine
+        applies the same cut locally before the protocol starts, so a
+        sequence of calls with increasing ``lower_bound`` values picks
+        successive order statistics — ``k−1`` migration splitters —
+        each over a shrinking key population, without re-shipping any
+        state.  ``None`` (the default) selects over all keys.
 
     Returns
     -------
@@ -204,6 +213,10 @@ def selection_subroutine(
     if slack < 0:
         raise ValueError(f"slack must be >= 0, got {slack}")
     keys = np.sort(np.asarray(keys), order=("value", "id"))
+    if lower_bound is not None:
+        # Identical deterministic cut on every machine: drop keys
+        # <= lower_bound so the run selects among the remainder only.
+        keys = keys[_rank_leq(keys, lower_bound):]
     t_query = tag(prefix, "q")
     t_reply = tag(prefix, "r")
 

@@ -1,0 +1,53 @@
+"""Dynamic data for the k-machine serving stack: live updates + rebalancing.
+
+Every bound in the paper rests on the k-machine precondition that the
+``n`` points stay *balanced* — ``O(n/k)`` per machine (the Lemma 2.1
+pivot weighting, the Theorem 2.4 round count).  A resident
+:class:`~repro.serve.session.ClusterSession` froze the dataset at
+election time; this package makes it live:
+
+* :mod:`repro.dyn.updates` — batched insert/delete episodes
+  (:class:`UpdateProgram`) routed by the leader from an O(k)-message
+  load report, bumping the session's **data epoch**;
+* :mod:`repro.dyn.balance` — the imbalance monitor
+  (:class:`ImbalanceMonitor`, tracking ``max_i n_i / (n/k)``) and the
+  selection-driven rebalancer (:class:`RebalanceProgram`) that picks
+  ``k−1`` migration splitters by re-running Algorithm 1 over the id
+  key space and migrates points all-to-all under full bandwidth
+  accounting;
+* :mod:`repro.dyn.epochs` — the epoch log and the cache-invalidation
+  contract that keeps :mod:`repro.serve.cache` honest when data moves;
+* :mod:`repro.dyn.churn` — seeded churn workloads and a verifying
+  runner for tests, the CLI and the benchmark.
+
+``python -m repro.dyn`` demos the whole loop (demo / churn / report).
+"""
+
+from __future__ import annotations
+
+from .balance import (
+    ImbalanceMonitor,
+    LoadReport,
+    RebalanceOutput,
+    RebalanceProgram,
+)
+from .churn import ChurnOp, ChurnReport, make_churn, run_churn
+from .epochs import EpochLog, EpochTransition, sync_cache_epoch
+from .updates import MutationRecord, UpdateOutput, UpdateProgram
+
+__all__ = [
+    "ChurnOp",
+    "ChurnReport",
+    "EpochLog",
+    "EpochTransition",
+    "ImbalanceMonitor",
+    "LoadReport",
+    "MutationRecord",
+    "RebalanceOutput",
+    "RebalanceProgram",
+    "UpdateOutput",
+    "UpdateProgram",
+    "make_churn",
+    "run_churn",
+    "sync_cache_epoch",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.dyn`` dispatch."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,288 @@
+"""Imbalance monitoring and the selection-driven shard rebalancer.
+
+**Why**: every cost bound in the paper assumes the k-machine
+precondition — ``O(n/k)`` points per machine.  Live deletes (and
+adversarial insert patterns) erode it; once one machine holds a
+constant fraction of the data, Lemma 2.1's ``n_i/s`` pivot weighting
+degenerates and per-round local work stops being ``Õ(n/k)``.
+
+**Monitor**: :class:`ImbalanceMonitor` tracks the balance ratio
+``max_i n_i / (n/k)`` from the O(k)-message load reports every update
+episode already produces.  A perfectly balanced cluster sits at 1.0;
+the monitor trips when the ratio crosses its threshold (default 2.0,
+i.e. the ``max_i n_i ≤ 2·n/k`` bound the acceptance test pins).
+
+**Rebalancer** (:class:`RebalanceProgram`): one episode restores
+near-perfect balance by reusing Algorithm 1 over the *id* key space:
+
+1. load report to the leader (``k − 1`` messages), who broadcasts the
+   global total ``s`` — every machine can then derive the same target
+   ranks ``r_j = ⌊j·s/k⌋``;
+2. ``k − 1`` migration splitters are found by running
+   :func:`~repro.core.selection.selection_subroutine` once per target
+   rank over keys ``(float(id), id)``, each call restricted above the
+   previous splitter via the ``lower_bound`` reuse hook and selecting
+   the *incremental* rank ``r_j − r_{j−1}`` — O(k·log n) messages
+   total for the splitter phase (Theorem 2.2 per call).  Degenerate
+   steps (``r_j = r_{j−1}``, only possible when ``s < k``) are skipped
+   identically everywhere at zero message cost;
+3. every machine sends every other machine exactly one wire-schema'd
+   :class:`~repro.kmachine.schema.PointBatch` envelope carrying the
+   points whose id-bucket lands there (``k(k−1)`` messages; empty
+   envelopes keep receive counts deterministic, and structural sizing
+   charges the true migrated-point volume in bits);
+4. workers ack their new loads so the leader can report the restored
+   ratio.
+
+Because point ids are uniform random draws from the id space
+(:mod:`repro.points.ids`), range-partitioning by id *is* a fresh
+random balanced placement: bucket sizes are
+``⌊s/k⌋``/``⌈s/k⌉`` exactly, and each bucket is a uniform random
+subset — re-establishing the "adversarially distributed but balanced"
+input shape every query protocol assumes.  The data epoch does not
+change: the point *set* is identical, only placement moved, so served
+answers (and caches, see :mod:`repro.dyn.epochs`) stay valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from ..core.messages import tag
+from ..core.selection import selection_subroutine
+from ..kmachine.machine import MachineContext, Program
+from ..kmachine.schema import PointBatch
+from ..points.dataset import Shard
+from ..points.ids import MINUS_INF_KEY, Keyed, keyed_array
+
+__all__ = [
+    "ImbalanceMonitor",
+    "LoadReport",
+    "RebalanceOutput",
+    "RebalanceProgram",
+    "balance_ratio",
+]
+
+
+def balance_ratio(loads: "np.ndarray | tuple[int, ...] | list[int]") -> float:
+    """``max_i n_i / (n/k)`` — 1.0 is perfect balance, k is worst-case.
+
+    An empty cluster reports 0.0 (nothing to balance).
+    """
+    arr = np.asarray(loads, dtype=np.float64)
+    total = float(arr.sum())
+    if total <= 0:
+        return 0.0
+    return float(arr.max()) / (total / len(arr))
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One observed load vector with its derived balance figures."""
+
+    loads: tuple[int, ...]
+    epoch: int = 0
+
+    @property
+    def total(self) -> int:
+        """Global point count ``n`` at observation time."""
+        return int(sum(self.loads))
+
+    @property
+    def max_load(self) -> int:
+        """``max_i n_i``."""
+        return max(self.loads) if self.loads else 0
+
+    @property
+    def ratio(self) -> float:
+        """``max_i n_i / (n/k)``."""
+        return balance_ratio(self.loads)
+
+
+@dataclass
+class ImbalanceMonitor:
+    """Tracks balance ratios from load reports; trips past a threshold.
+
+    ``threshold`` is the ratio above which the session triggers a
+    rebalance; 2.0 preserves the ``max_i n_i ≤ 2·n/k`` invariant the
+    acceptance criteria pin (a rebalance lands back near 1.0, so the
+    cluster oscillates well inside the bound).
+    """
+
+    threshold: float = 2.0
+    history: list[LoadReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1.0:
+            raise ValueError("threshold below 1.0 would rebalance forever")
+
+    def observe(self, loads: "tuple[int, ...] | list[int]", epoch: int = 0) -> LoadReport:
+        """Record one load vector; returns the derived report."""
+        report = LoadReport(loads=tuple(int(x) for x in loads), epoch=epoch)
+        self.history.append(report)
+        return report
+
+    @property
+    def latest(self) -> LoadReport | None:
+        """Most recent report, or ``None`` before the first observe."""
+        return self.history[-1] if self.history else None
+
+    def should_rebalance(self, report: LoadReport | None = None) -> bool:
+        """True when the (given or latest) ratio exceeds the threshold."""
+        report = report if report is not None else self.latest
+        return report is not None and report.ratio > self.threshold
+
+    @property
+    def peak_ratio(self) -> float:
+        """Worst ratio ever observed (0.0 before the first observe)."""
+        return max((r.ratio for r in self.history), default=0.0)
+
+
+@dataclass
+class RebalanceOutput:
+    """Per-machine result of one rebalance episode."""
+
+    new_load: int
+    moved_in: int
+    moved_out: int
+    is_leader: bool
+    #: number of non-degenerate Algorithm 1 splitter runs (all machines)
+    splitters_run: int = 0
+    #: leader only: post-migration shard sizes
+    loads: tuple[int, ...] | None = None
+    #: leader only: points that changed machines, summed over machines
+    moved_total: int | None = None
+
+
+class RebalanceProgram(Program):
+    """One rebalance episode (see the module docstring for the protocol)."""
+
+    name = "dyn-rebalance"
+
+    def __init__(self, leader: int) -> None:
+        self.leader = leader
+
+    def run(self, ctx: MachineContext) -> Generator[None, None, RebalanceOutput]:
+        """Per-machine body: report, split, migrate, confirm."""
+        shard: Shard = ctx.local
+        k = ctx.k
+        t_load = tag("dyn", "rb", "load")
+        t_plan = tag("dyn", "rb", "plan")
+        t_mig = tag("dyn", "rb", "mig")
+        t_done = tag("dyn", "rb", "done")
+
+        with ctx.obs.span(tag("dyn", "rebalance")):
+            # -- load report + total broadcast -------------------------
+            with ctx.obs.span(tag("dyn", "load-report")):
+                if ctx.rank == self.leader:
+                    loads = np.zeros(k, dtype=np.int64)
+                    loads[ctx.rank] = len(shard)
+                    if k > 1:
+                        replies = yield from ctx.recv(t_load, k - 1)
+                        for msg in replies:
+                            loads[msg.src] = int(msg.payload)
+                    s = int(loads.sum())
+                    if k > 1:
+                        ctx.broadcast(t_plan, s)
+                else:
+                    ctx.send(self.leader, t_load, len(shard))
+                    plan = yield from ctx.recv_one(t_plan, src=self.leader)
+                    s = int(plan.payload)
+
+            # -- k-1 splitters via Algorithm 1 over the id keys --------
+            with ctx.obs.span(tag("dyn", "splitters")):
+                keys = keyed_array(shard.ids.astype(np.float64), shard.ids)
+                splitters: list[Keyed] = []
+                prev = MINUS_INF_KEY
+                consumed = 0
+                splitters_run = 0
+                for j in range(1, k):
+                    r_j = (j * s) // k
+                    step = r_j - consumed
+                    if step == 0:
+                        # Identical skip on every machine: the bucket
+                        # boundary coincides with the previous one.
+                        splitters.append(prev)
+                        continue
+                    consumed = r_j
+                    sel = yield from selection_subroutine(
+                        ctx,
+                        self.leader,
+                        keys,
+                        step,
+                        prefix=tag("dyn", "sp", j),
+                        lower_bound=prev,
+                    )
+                    prev = sel.boundary
+                    splitters.append(prev)
+                    splitters_run += 1
+
+            # -- all-to-all migration ----------------------------------
+            with ctx.obs.span(tag("dyn", "migrate")):
+                # Bucket of a point = index of its id's range among the
+                # splitters.  Comparing raw int ids is exactly the
+                # (float(id), id) key order: float() is monotone and
+                # ties resolve on the id itself.
+                splitter_ids = np.array([sp.id for sp in splitters], dtype=np.int64)
+                buckets = np.searchsorted(splitter_ids, shard.ids, side="left")
+                moved_out = 0
+                for dst in range(k):
+                    if dst == ctx.rank:
+                        continue
+                    mask = buckets == dst
+                    ctx.send(dst, t_mig, self._envelope(shard, mask))
+                    moved_out += int(mask.sum())
+                incoming = []
+                if k > 1:
+                    incoming = yield from ctx.recv(t_mig, k - 1)
+                    incoming.sort(key=lambda m: m.src)
+                depart = buckets != ctx.rank
+                if depart.any():
+                    shard.remove_ids(shard.ids[depart])
+                moved_in = 0
+                for msg in incoming:
+                    batch: PointBatch = msg.payload
+                    if len(batch):
+                        shard.add_points(batch.coords, batch.ids, batch.labels)
+                        moved_in += len(batch)
+
+            # -- confirm ----------------------------------------------
+            if ctx.rank == self.leader:
+                new_loads = np.zeros(k, dtype=np.int64)
+                new_loads[ctx.rank] = len(shard)
+                moved_total = moved_out
+                if k > 1:
+                    acks = yield from ctx.recv(t_done, k - 1)
+                    for msg in acks:
+                        n_i, out_i = msg.payload
+                        new_loads[msg.src] = int(n_i)
+                        moved_total += int(out_i)
+                return RebalanceOutput(
+                    new_load=len(shard),
+                    moved_in=moved_in,
+                    moved_out=moved_out,
+                    is_leader=True,
+                    splitters_run=splitters_run,
+                    loads=tuple(int(x) for x in new_loads),
+                    moved_total=moved_total,
+                )
+            ctx.send(self.leader, t_done, (len(shard), moved_out))
+            yield  # the ack's round
+            return RebalanceOutput(
+                new_load=len(shard),
+                moved_in=moved_in,
+                moved_out=moved_out,
+                is_leader=False,
+                splitters_run=splitters_run,
+            )
+
+    @staticmethod
+    def _envelope(shard: Shard, mask: np.ndarray) -> PointBatch:
+        return PointBatch(
+            ids=shard.ids[mask],
+            coords=shard.points[mask],
+            labels=None if shard.labels is None else shard.labels[mask],
+        )

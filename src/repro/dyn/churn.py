@@ -1,0 +1,270 @@
+"""Seeded churn workloads and a verifying runner.
+
+A churn workload is a mixed stream of inserts, deletes and queries —
+the shape the acceptance test, the property test, the CLI and the
+benchmark all exercise.  :func:`make_churn` generates one
+deterministically from a seed; :func:`run_churn` drives it through a
+live :class:`~repro.serve.service.KNNService` while checking, at every
+epoch, that served answers equal the sequential brute-force oracle on
+the *live* point set and that shard sizes respect the balance bound.
+
+The verification discipline matters: queries batch freely *between*
+mutations, but the service flushes pending queries before applying a
+mutation, so every answer is computed at the epoch its query was
+submitted in.  The runner therefore drains-and-verifies right before
+each mutation (while the mirror dataset still matches that epoch) and
+once more at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..obs.conformance import ConformanceReport, check_rebalance, check_update
+from ..sequential.brute import brute_force_knn_ids
+from .balance import balance_ratio
+from .updates import MutationRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serve.service import KNNService
+
+__all__ = ["ChurnOp", "ChurnReport", "check_mutations", "make_churn", "run_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnOp:
+    """One workload event: ``insert`` / ``delete`` / ``query``.
+
+    Inserts and queries carry a point; deletes pick a uniformly random
+    live id at execution time (the runner's seeded choice), so the
+    stream stays valid no matter how earlier ops interleaved.
+    """
+
+    kind: str
+    point: np.ndarray | None = None
+
+
+def make_churn(
+    ops: int,
+    dim: int,
+    *,
+    seed: int,
+    p_insert: float = 0.2,
+    p_delete: float = 0.15,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> list[ChurnOp]:
+    """A seeded mixed op stream (the remainder probability is queries)."""
+    if not 0 <= p_insert + p_delete <= 1:
+        raise ValueError("p_insert + p_delete must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    kinds = rng.choice(
+        np.array(["insert", "delete", "query"]),
+        size=ops,
+        p=[p_insert, p_delete, 1.0 - p_insert - p_delete],
+    )
+    stream: list[ChurnOp] = []
+    for kind in kinds:
+        point = rng.uniform(lo, hi, dim) if kind != "delete" else None
+        stream.append(ChurnOp(kind=str(kind), point=point))
+    return stream
+
+
+@dataclass
+class ChurnReport:
+    """What one churn run did and whether it stayed inside the theory."""
+
+    ops: int = 0
+    queries: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    skipped_deletes: int = 0
+    wrong_answers: int = 0
+    rebalances: int = 0
+    updates: int = 0
+    moved_points: int = 0
+    max_ratio: float = 0.0
+    balance_violations: int = 0
+    final_epoch: int = 0
+    final_n: int = 0
+    budget_failures: int = 0
+    budget_reports: list[ConformanceReport] = field(default_factory=list)
+
+    @property
+    def exact(self) -> bool:
+        """True when every verified answer matched brute force."""
+        return self.wrong_answers == 0
+
+    @property
+    def passed(self) -> bool:
+        """Exact answers, balance bound held, budgets respected."""
+        return (
+            self.exact
+            and self.balance_violations == 0
+            and self.budget_failures == 0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (CLI report / benchmark)."""
+        return {
+            "ops": self.ops,
+            "queries": self.queries,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "skipped_deletes": self.skipped_deletes,
+            "wrong_answers": self.wrong_answers,
+            "rebalances": self.rebalances,
+            "updates": self.updates,
+            "moved_points": self.moved_points,
+            "max_ratio": self.max_ratio,
+            "balance_violations": self.balance_violations,
+            "final_epoch": self.final_epoch,
+            "final_n": self.final_n,
+            "budget_failures": self.budget_failures,
+            "passed": self.passed,
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-screen report."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return "\n".join(
+            [
+                f"churn[{verdict}]: {self.ops} ops = {self.queries} queries + "
+                f"{self.inserts} inserts + {self.deletes} deletes "
+                f"({self.skipped_deletes} skipped)",
+                f"  exact answers: {self.queries - self.wrong_answers}/"
+                f"{self.queries}  epochs: {self.final_epoch}  live n: "
+                f"{self.final_n}",
+                f"  balance: peak ratio {self.max_ratio:.2f} "
+                f"({self.balance_violations} bound violations), "
+                f"{self.rebalances} rebalances moved {self.moved_points} points",
+                f"  budgets: {len(self.budget_reports)} episodes checked, "
+                f"{self.budget_failures} failures",
+            ]
+        )
+
+
+def check_mutations(
+    mutations: list[MutationRecord], k: int, *, slack: float = 1.0
+) -> list[ConformanceReport]:
+    """Conformance-check every mutation episode against its budget."""
+    reports: list[ConformanceReport] = []
+    for record in mutations:
+        if record.kind == "rebalance":
+            reports.append(
+                check_rebalance(
+                    record.messages,
+                    n=max(2, record.n_after),
+                    k=k,
+                    splitters_run=record.splitters_run,
+                    moved_points=record.moved_points,
+                    slack=slack,
+                )
+            )
+        else:
+            reports.append(
+                check_update(
+                    record.messages,
+                    k=k,
+                    insert_targets=record.insert_targets,
+                    slack=slack,
+                )
+            )
+    return reports
+
+
+def run_churn(
+    service: "KNNService",
+    stream: list[ChurnOp],
+    *,
+    seed: int = 0,
+    verify: bool = True,
+    balance_bound: float = 2.0,
+    conformance_slack: float = 1.0,
+) -> ChurnReport:
+    """Drive a churn stream through a live service, verifying as it goes.
+
+    ``balance_bound`` is the acceptance invariant ``max_i n_i ≤
+    bound·(n/k)``, checked after *every* op (not just at the end); the
+    service's auto-rebalancer is what keeps it true.  Deletes that
+    would shrink the corpus below ``l`` (or empty it) are skipped and
+    counted, so aggressive delete-heavy streams stay well-formed.
+    """
+    rng = np.random.default_rng(seed)
+    report = ChurnReport(ops=len(stream))
+    session = service.session
+    pending: dict[int, np.ndarray] = {}
+
+    def verify_pending() -> None:
+        if not pending:
+            return
+        service.flush()
+        for qid, query in pending.items():
+            answer = service.poll(qid)
+            expected = brute_force_knn_ids(
+                session.dataset, query, session.l, session.metric
+            )
+            if answer is None or {int(i) for i in answer.ids} != expected:
+                report.wrong_answers += 1
+        pending.clear()
+
+    for op in stream:
+        if op.kind == "query":
+            qid = service.submit(op.point)
+            report.queries += 1
+            if verify:
+                pending[qid] = op.point
+                answer = service.poll(qid)
+                if answer is not None:
+                    # Answered immediately (cache hit / full batch):
+                    # verify now, at the answering epoch.
+                    expected = brute_force_knn_ids(
+                        session.dataset, op.point, session.l, session.metric
+                    )
+                    if {int(i) for i in answer.ids} != expected:
+                        report.wrong_answers += 1
+                    del pending[qid]
+        elif op.kind == "insert":
+            if verify:
+                verify_pending()
+            service.insert(op.point)
+            report.inserts += 1
+        elif op.kind == "delete":
+            live = session.dataset.ids
+            if len(live) <= session.l:
+                report.skipped_deletes += 1
+                continue
+            if verify:
+                verify_pending()
+            victim = int(live[rng.integers(0, len(live))])
+            service.delete([victim])
+            report.deletes += 1
+        else:
+            raise ValueError(f"unknown churn op kind {op.kind!r}")
+        ratio = balance_ratio(session.loads)
+        report.max_ratio = max(report.max_ratio, ratio)
+        if ratio > balance_bound + 1e-9:
+            report.balance_violations += 1
+
+    if verify:
+        verify_pending()
+
+    report.rebalances = sum(
+        1 for m in session.mutations if m.kind == "rebalance"
+    )
+    report.updates = sum(1 for m in session.mutations if m.kind == "update")
+    report.moved_points = sum(
+        m.moved_points for m in session.mutations if m.kind == "rebalance"
+    )
+    report.final_epoch = session.data_epoch
+    report.final_n = len(session.dataset)
+    report.budget_reports = check_mutations(
+        session.mutations, session.k, slack=conformance_slack
+    )
+    report.budget_failures = sum(
+        1 for r in report.budget_reports if not r.passed
+    )
+    return report

@@ -1,0 +1,107 @@
+"""Data epochs: the cache-invalidation contract for live data.
+
+A *data epoch* is a monotonically increasing integer stamped on the
+session; it bumps exactly when the point **set** changes (an update
+episode with at least one insert or delete) and stays put when only
+*placement* changes (a rebalance migrates points between machines but
+answers — functions of the global set — are unaffected).
+
+The serving caches (:mod:`repro.serve.cache`) store answers computed
+at some epoch and must never serve them across a set change:
+
+* **Exact-hit tier** — an LRU entry is valid only at the epoch it was
+  computed: an insert can introduce a closer neighbor, a delete can
+  remove one.  Any epoch bump invalidates the whole tier (entries are
+  also epoch-tagged, so a lookup refuses stale entries even if an
+  eager clear were skipped).
+* **Warm-start tier** — a donor ``(p, b)`` promises "the ball of
+  radius ``b`` around ``p`` holds ≥ ℓ points", which warm starts
+  widen to ``b + δ`` by the triangle inequality.  *Pure inserts keep
+  every such promise true* (points are only added to the ball), so
+  donors survive insert-only transitions — this is the degenerate
+  "delta-widening" case: the safe widening for an insert is zero, and
+  the blow-up guard already polices donors whose balls grew crowded.
+  Any *delete* can shrink a ball below ℓ points and makes the radius
+  unsafe, so donors recorded at or before a deleting transition are
+  dropped.  (Clearing the tier on a deleting transition is exactly the
+  per-entry rule "valid iff only inserts happened since the entry's
+  epoch": entries added after the delete are unaffected.)
+
+:class:`EpochLog` records the transitions; :func:`sync_cache_epoch`
+replays the ones a cache has not seen yet, telling it which were
+insert-only.  ``safe_mode`` in the query protocol independently
+verifies ≥ ℓ survivors per query, so even a contract violation would
+degrade to a fallback, not a wrong answer — but the contract is what
+keeps the fast path fast *and* correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serve.cache import ResultCache
+
+__all__ = ["EpochLog", "EpochTransition", "sync_cache_epoch"]
+
+
+@dataclass(frozen=True)
+class EpochTransition:
+    """One set-changing batch: the epoch it produced and what changed."""
+
+    epoch: int
+    inserts: int
+    deletes: int
+
+    @property
+    def pure_inserts(self) -> bool:
+        """True when the transition removed nothing (donors stay safe)."""
+        return self.deletes == 0
+
+
+@dataclass
+class EpochLog:
+    """Ordered record of every data-epoch transition of a session."""
+
+    transitions: list[EpochTransition] = field(default_factory=list)
+
+    @property
+    def current(self) -> int:
+        """The session's current data epoch (0 before any mutation)."""
+        return self.transitions[-1].epoch if self.transitions else 0
+
+    def record(self, *, inserts: int, deletes: int) -> EpochTransition:
+        """Append the next transition; returns it (epoch = current + 1)."""
+        if inserts < 0 or deletes < 0:
+            raise ValueError("transition counts must be non-negative")
+        transition = EpochTransition(
+            epoch=self.current + 1, inserts=inserts, deletes=deletes
+        )
+        self.transitions.append(transition)
+        return transition
+
+    def since(self, epoch: int) -> list[EpochTransition]:
+        """Transitions strictly after ``epoch``, oldest first."""
+        return [t for t in self.transitions if t.epoch > epoch]
+
+    def pure_inserts_since(self, epoch: int) -> bool:
+        """True when every transition after ``epoch`` was insert-only.
+
+        This is the warm-donor validity predicate: a donor recorded at
+        ``epoch`` is still a safe lower bound iff nothing was deleted
+        since.
+        """
+        return all(t.pure_inserts for t in self.since(epoch))
+
+
+def sync_cache_epoch(cache: "ResultCache", log: EpochLog) -> None:
+    """Advance ``cache`` through every transition it has not seen.
+
+    Replaying one transition at a time (instead of jumping to
+    ``log.current``) preserves the per-transition pure-insert
+    information, so a warm tier survives a run of insert-only batches
+    and clears exactly when a delete happens.
+    """
+    for transition in log.since(cache.epoch):
+        cache.advance_epoch(transition.epoch, pure_inserts=transition.pure_inserts)

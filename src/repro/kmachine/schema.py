@@ -36,6 +36,8 @@ import dataclasses
 import pickle
 from typing import Any, Callable, TypeVar
 
+import numpy as np
+
 from .sizing import SizingPolicy, payload_bits
 
 __all__ = [
@@ -45,6 +47,8 @@ __all__ = [
     "registered_schema",
     "wire_bits",
     "check_roundtrip",
+    "PointBatch",
+    "UpdatePlan",
 ]
 
 T = TypeVar("T", bound=type)
@@ -124,8 +128,10 @@ def check_roundtrip(instance: Any) -> bool:
     """True when ``instance`` survives the serializer unchanged.
 
     The multiprocess transport pickles payloads; a registered type
-    must come back field-for-field equal (``==`` per field, so NumPy
-    scalars compare by value).  Used by the registry-wide test.
+    must come back field-for-field equal.  Array-valued fields
+    (migration envelopes carry whole coordinate blocks) compare with
+    :func:`numpy.array_equal`; everything else with ``==``, so NumPy
+    scalars compare by value.  Used by the registry-wide test.
     """
     if not dataclasses.is_dataclass(instance) or isinstance(instance, type):
         raise TypeError("check_roundtrip expects a dataclass instance")
@@ -135,6 +141,57 @@ def check_roundtrip(instance: Any) -> bool:
     for field in dataclasses.fields(instance):
         before = getattr(instance, field.name)
         after = getattr(clone, field.name)
-        if not bool(before == after):
+        if isinstance(before, np.ndarray) or isinstance(after, np.ndarray):
+            if not (
+                isinstance(before, np.ndarray)
+                and isinstance(after, np.ndarray)
+                and np.array_equal(before, after)
+            ):
+                return False
+        elif not bool(before == after):
             return False
     return True
+
+
+@wire_schema(description="dyn-layer point envelope: migration / routed inserts")
+@dataclasses.dataclass
+class PointBatch:
+    """A block of points travelling between machines.
+
+    Used by :mod:`repro.dyn` both for leader-routed insert batches and
+    for all-to-all rebalancing migration.  Sized structurally — the
+    bit cost is the honest volume of the arrays it carries (ids ``m``
+    words, coords ``m·d`` words), which is exactly the "migrated-point
+    volume" term of the rebalance budget.
+    """
+
+    ids: np.ndarray  # (m,) int64
+    coords: np.ndarray  # (m, d) float64
+    labels: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def empty(cls, dim: int, labelled: bool = False) -> "PointBatch":
+        """A zero-point envelope (keeps receive counts deterministic)."""
+        return cls(
+            ids=np.empty(0, dtype=np.int64),
+            coords=np.empty((0, dim), dtype=np.float64),
+            labels=np.empty(0) if labelled else None,
+        )
+
+
+@wire_schema(description="dyn-layer update routing plan (leader broadcast)")
+@dataclasses.dataclass
+class UpdatePlan:
+    """The leader's routing decision for one update batch.
+
+    ``insert_counts[i]`` tells machine ``i`` how many routed inserts to
+    expect (0 means no envelope follows — receive counts stay
+    deterministic without empty messages).  ``delete_ids`` is the full
+    delete batch; every machine drops the ids it holds.
+    """
+
+    insert_counts: tuple[int, ...]
+    delete_ids: tuple[int, ...]

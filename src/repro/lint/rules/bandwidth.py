@@ -78,7 +78,7 @@ class BandwidthRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn"):
             return
         assignments = collect_assignments(module.tree, module.scopes)
         for site in iter_send_sites(module.tree):

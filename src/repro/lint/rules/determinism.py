@@ -78,7 +78,7 @@ class DeterminismRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "experiments", "serve"):
+        if not module.in_dir("core", "kmachine", "experiments", "serve", "dyn"):
             return
         aliases = import_aliases(module.tree)
         for node in ast.walk(module.tree):

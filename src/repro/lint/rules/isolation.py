@@ -48,7 +48,7 @@ class IsolationRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "serve"):
+        if not module.in_dir("core", "serve", "dyn"):
             return
         for func in ast.walk(module.tree):
             if not is_program_function(func):

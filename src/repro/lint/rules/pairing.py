@@ -37,7 +37,7 @@ class PairingRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn"):
             return
         if module.relpath in index.modules_with_dynamic_sends:
             # An unresolvable send in this module could carry any tag;

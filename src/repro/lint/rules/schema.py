@@ -51,7 +51,7 @@ class SchemaRule(Rule):
         return None
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn"):
             return
         assignments = collect_assignments(module.tree, module.scopes)
         for site in iter_send_sites(module.tree):

@@ -49,8 +49,12 @@ __all__ = [
     "check_selection_result",
     "check_knn",
     "check_knn_result",
+    "check_rebalance",
     "check_served_query",
+    "check_update",
+    "rebalance_message_budget",
     "served_message_budget",
+    "update_message_budget",
 ]
 
 #: Rounds one Algorithm-1 iteration can cost: pivot round-trip (2) +
@@ -397,6 +401,107 @@ def served_message_budget(
         messages += 2.0 * (k - 1)
     messages += selection_message_bound(max(2, cap), k)
     return messages
+
+
+def update_message_budget(k: int, *, insert_targets: int = 0) -> float:
+    """Message budget for one batched insert/delete episode.
+
+    :class:`repro.dyn.updates.UpdateProgram` spends ``3(k−1)`` control
+    messages (load report, plan broadcast, acks) plus one
+    :class:`~repro.kmachine.schema.PointBatch` envelope per distinct
+    non-leader insert target — O(k) total, independent of the batch
+    size or of n.
+    """
+    return 3.0 * (k - 1) + float(insert_targets)
+
+
+def check_update(
+    messages: int,
+    *,
+    k: int,
+    insert_targets: int = 0,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """Check one update episode's traffic against its O(k) budget.
+
+    ``messages`` is the episode's metrics delta (e.g. from
+    :class:`repro.dyn.updates.MutationRecord`); ``insert_targets`` the
+    leader-reported count of distinct envelope recipients.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    report = ConformanceReport(
+        algorithm="dyn-update",
+        params={"k": k, "insert_targets": insert_targets},
+    )
+    report.checks.append(
+        _make_check(
+            "messages",
+            "update protocol (O(k))",
+            messages,
+            slack * update_message_budget(k, insert_targets=insert_targets),
+            float(max(1, k)),
+            "k",
+        )
+    )
+    return report
+
+
+def rebalance_message_budget(
+    n: int, k: int, *, splitters_run: int | None = None
+) -> float:
+    """Message budget for one rebalance episode.
+
+    Control traffic (load report + total broadcast + acks, ``3(k−1)``),
+    the all-to-all migration (``k(k−1)`` envelopes — structural sizing
+    charges moved *bits*, the envelope count is fixed), and one
+    Theorem 2.2 selection budget per non-degenerate splitter run
+    (``k − 1`` of them unless the caller reports fewer).
+    """
+    runs = (k - 1) if splitters_run is None else splitters_run
+    return (
+        3.0 * (k - 1)
+        + float(k * (k - 1))
+        + runs * selection_message_bound(max(2, n), k)
+    )
+
+
+def check_rebalance(
+    messages: int,
+    *,
+    n: int,
+    k: int,
+    splitters_run: int | None = None,
+    moved_points: int | None = None,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """Check one rebalance episode against its message budget.
+
+    ``n`` is the global point count (sizes the per-splitter Theorem 2.2
+    term); ``splitters_run`` the leader-reported count of
+    non-degenerate Algorithm 1 invocations.  ``moved_points`` is
+    recorded in the report params for context (migration *bits* scale
+    with it; the envelope *count* does not).
+    """
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be >= 1")
+    params: dict[str, Any] = {"n": n, "k": k}
+    if splitters_run is not None:
+        params["splitters_run"] = splitters_run
+    if moved_points is not None:
+        params["moved_points"] = moved_points
+    report = ConformanceReport(algorithm="dyn-rebalance", params=params)
+    report.checks.append(
+        _make_check(
+            "messages",
+            "rebalance protocol (Theorem 2.2 per splitter)",
+            messages,
+            slack * rebalance_message_budget(n, k, splitters_run=splitters_run),
+            float(max(1, k)) * _log2(n),
+            "k*log2(n)",
+        )
+    )
+    return report
 
 
 def check_served_query(

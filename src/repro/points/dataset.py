@@ -91,13 +91,51 @@ class Dataset:
             raise KeyError(f"no point with id {point_id}")
         return self.labels[pos[0]]
 
+    def add(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray,
+        labels: np.ndarray | None = None,
+    ) -> None:
+        """Append new points with caller-supplied distinct ids.
+
+        The dynamic-data layer mirrors live inserts here so
+        verification oracles always see the *current* global set.
+        Labels are required iff the dataset is labelled.
+        """
+        points, ids, labels = _check_batch(points, ids, labels, self.dim)
+        if np.intersect1d(self.ids, ids).size:
+            raise ValueError("insert ids collide with existing point ids")
+        if (labels is None) != (self.labels is None):
+            raise ValueError("labels must be supplied iff the dataset is labelled")
+        self.points = np.concatenate([self.points, points])
+        self.ids = np.concatenate([self.ids, ids])
+        if self.labels is not None:
+            self.labels = np.concatenate([self.labels, labels])
+
+    def remove_ids(self, ids: np.ndarray) -> int:
+        """Delete the points with the given ids; returns how many existed."""
+        ids = np.asarray(ids, dtype=np.int64)
+        mask = np.isin(self.ids, ids)
+        removed = int(mask.sum())
+        if removed:
+            keep = ~mask
+            self.points = self.points[keep]
+            self.ids = self.ids[keep]
+            if self.labels is not None:
+                self.labels = self.labels[keep]
+        return removed
+
 
 @dataclass
 class Shard:
     """One machine's local slice of a :class:`Dataset`.
 
-    The protocols treat a shard as read-only input; derived candidate
-    sets are fresh arrays.
+    The query protocols treat a shard as read-only input; derived
+    candidate sets are fresh arrays.  The dynamic-data layer
+    (:mod:`repro.dyn`) mutates shards between query episodes through
+    :meth:`add_points` / :meth:`remove_ids`, which invalidate any
+    memoized derived state (:meth:`invalidate_caches`).
     """
 
     points: np.ndarray
@@ -128,8 +166,11 @@ class Shard:
         Mapping answer IDs back to local rows needs the shard's IDs in
         sorted order; computing that argsort per query re-pays an
         O(|shard| log |shard|) setup cost on every query of a session.
-        The pair is computed once and cached in :attr:`meta` — shards
-        are protocol-read-only, so the cache cannot go stale.
+        The pair is computed once and cached in :attr:`meta`.  Every
+        point-set mutation must go through :meth:`add_points` /
+        :meth:`remove_ids` (or call :meth:`invalidate_caches`), which
+        drop the memo — a stale index would map answer ids to the
+        wrong rows.
         """
         cached = self.meta.get("_id_index")
         if cached is None:
@@ -137,6 +178,77 @@ class Shard:
             cached = (order, self.ids[order])
             self.meta["_id_index"] = cached
         return cached
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized derived state after any point-set change."""
+        self.meta.pop("_id_index", None)
+
+    def add_points(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray,
+        labels: np.ndarray | None = None,
+    ) -> None:
+        """Append points to this shard (migration / live insert).
+
+        Id uniqueness across machines is the caller's contract (the
+        update protocol routes each id to exactly one machine); within
+        the shard it is enforced here.
+        """
+        points, ids, labels = _check_batch(points, ids, labels, self.dim)
+        if np.intersect1d(self.ids, ids).size:
+            raise ValueError("insert ids collide with shard's existing ids")
+        if (labels is None) != (self.labels is None):
+            raise ValueError("labels must be supplied iff the shard is labelled")
+        self.points = np.concatenate([self.points, points])
+        self.ids = np.concatenate([self.ids, ids])
+        if self.labels is not None:
+            self.labels = np.concatenate([self.labels, labels])
+        self.invalidate_caches()
+
+    def remove_ids(self, ids: np.ndarray) -> int:
+        """Drop locally-held points by id; returns how many were held.
+
+        Ids not present on this machine are ignored (a delete batch is
+        broadcast; each machine removes its own rows).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        mask = np.isin(self.ids, ids)
+        removed = int(mask.sum())
+        if removed:
+            keep = ~mask
+            self.points = self.points[keep]
+            self.ids = self.ids[keep]
+            if self.labels is not None:
+                self.labels = self.labels[keep]
+            self.invalidate_caches()
+        return removed
+
+
+def _check_batch(
+    points: np.ndarray,
+    ids: np.ndarray,
+    labels: np.ndarray | None,
+    dim: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Validate one insert/migration batch against a target of ``dim``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim == 1:
+        # With a known dim there is no ambiguity: a length-d vector is
+        # one point unless the target is 1-dimensional.
+        points = points[:, None] if dim == 1 else points[None, :]
+    if points.ndim != 2 or points.shape[1] != dim:
+        raise ValueError(f"batch shape {points.shape} does not match dim {dim}")
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.shape != (len(points),):
+        raise ValueError(f"ids shape {ids.shape} for {len(points)} points")
+    if np.unique(ids).size != ids.size:
+        raise ValueError("batch ids must be distinct")
+    if labels is not None:
+        labels = np.asarray(labels)
+        if len(labels) != len(points):
+            raise ValueError(f"{len(labels)} labels for {len(points)} points")
+    return points, ids, labels
 
 
 def make_dataset(

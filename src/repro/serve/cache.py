@@ -40,6 +40,18 @@ Guards (the monitor's fall-back-to-sampling logic, stream-wide):
 ``safe_mode`` in the protocol still verifies ≥ ℓ survivors and repairs
 pathological float-boundary cases, so served answers stay exact even
 if a bound were somehow loose.
+
+**Live data** (see :mod:`repro.dyn.epochs`): answers are a function of
+the corpus, so every entry is tagged with the *data epoch* it was
+computed at.  :meth:`ResultCache.advance_epoch` moves the cache
+forward through a set change: the exact tier is always invalidated
+(epoch-tagged entries are also refused at lookup, so a missed eager
+clear cannot serve a stale answer), while the warm tier survives
+insert-only transitions — a donor's "≥ ℓ points within ``b``" promise
+only gains points under inserts — and clears when anything was
+deleted.  :meth:`ResultCache.store` refuses answers computed at an
+older epoch than the cache's own (a mutation raced the query), so
+stale results can never be filed.
 """
 
 from __future__ import annotations
@@ -62,13 +74,15 @@ __all__ = [
 
 @dataclass
 class CachedAnswer:
-    """A served answer in cacheable form."""
+    """A served answer in cacheable form, tagged with its data epoch."""
 
     query: np.ndarray
     ids: np.ndarray
     distances: np.ndarray
     labels: np.ndarray | None
     boundary: Keyed
+    #: data epoch the answer was computed at (0 = static corpus)
+    epoch: int = 0
 
 
 class ExactResultCache:
@@ -81,6 +95,7 @@ class ExactResultCache:
         self._entries: OrderedDict[bytes, CachedAnswer] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.stale_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -89,16 +104,34 @@ class ExactResultCache:
     def _key(query: np.ndarray) -> bytes:
         return np.ascontiguousarray(query, dtype=np.float64).tobytes()
 
-    def get(self, query: np.ndarray) -> CachedAnswer | None:
-        """Cached answer for a byte-identical query, else ``None``."""
+    def get(
+        self, query: np.ndarray, epoch: int | None = None
+    ) -> CachedAnswer | None:
+        """Cached answer for a byte-identical query, else ``None``.
+
+        When ``epoch`` is given, an entry from any *other* epoch is a
+        miss — and is evicted, since no future lookup at the current
+        epoch could ever use it.  This is the belt to
+        :meth:`invalidate_all`'s braces: correctness survives even if
+        an eager clear were skipped.
+        """
         key = self._key(query)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
+        if epoch is not None and entry.epoch != epoch:
+            del self._entries[key]
+            self.stale_evictions += 1
+            self.misses += 1
+            return None
         self._entries.move_to_end(key)
         self.hits += 1
         return entry
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (the point set changed; all answers stale)."""
+        self._entries.clear()
 
     def put(self, answer: CachedAnswer) -> None:
         """Insert (or refresh) an answer, evicting the LRU entry if full."""
@@ -158,6 +191,11 @@ class WarmStartIndex:
         """Invalidate a stored pair (its boundary became a bad donor)."""
         if self._boundaries is not None and 0 <= slot < self.capacity:
             self._boundaries[slot] = np.inf
+
+    def clear(self) -> None:
+        """Drop every donor (a delete made all stored radii unsafe)."""
+        self._size = 0
+        self._cursor = 0
 
     def suggest(self, query: np.ndarray) -> tuple[Keyed, int] | None:
         """Tightest safe threshold for ``query``, or ``None``.
@@ -220,12 +258,49 @@ class ResultCache:
         )
         #: qid → donor slot for in-flight warm-started queries
         self._pending_donors: dict[int, int] = {}
+        #: data epoch the cache is synced to (see repro.dyn.epochs)
+        self.epoch = 0
+        #: answers refused by store() because their epoch was stale
+        self.stale_rejections = 0
+
+    def advance_epoch(self, epoch: int, *, pure_inserts: bool = False) -> None:
+        """Move the cache forward through one data-epoch transition.
+
+        The exact tier is always invalidated (an insert can introduce a
+        closer neighbor; a delete can remove one).  The warm tier
+        survives a ``pure_inserts`` transition — inserts only *add*
+        points to a donor's ball, so its "≥ ℓ within ``b``" promise
+        stays true — and clears otherwise.  In-flight warm donors are
+        forgotten either way (their query will be re-answered at the
+        new epoch, so the blow-up guard no longer applies to them).
+
+        Driven one transition at a time by
+        :func:`repro.dyn.epochs.sync_cache_epoch`.
+        """
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"epoch must advance: have {self.epoch}, got {epoch}"
+            )
+        if self.exact is not None:
+            self.exact.invalidate_all()
+        if self.warm is not None and not pure_inserts:
+            self.warm.clear()
+        self._pending_donors.clear()
+        self.epoch = epoch
+
+    def invalidate_all(self) -> None:
+        """Drop both tiers unconditionally (epoch unchanged)."""
+        if self.exact is not None:
+            self.exact.invalidate_all()
+        if self.warm is not None:
+            self.warm.clear()
+        self._pending_donors.clear()
 
     def exact_get(self, query: np.ndarray) -> CachedAnswer | None:
         """Exact-hit tier (checked at submit time): answer or ``None``."""
         if self.exact is None:
             return None
-        return self.exact.get(query)
+        return self.exact.get(query, epoch=self.epoch)
 
     def warm_suggest(self, qid: int, query: np.ndarray) -> Keyed | None:
         """Warm-start tier (checked at dispatch time): threshold or ``None``.
@@ -263,7 +338,24 @@ class ResultCache:
         survivors: int | None = None,
         warm_started: bool = False,
     ) -> None:
-        """File a served answer; drop the donor if its bound blew up."""
+        """File a served answer; drop the donor if its bound blew up.
+
+        An answer tagged with an *older* epoch than the cache's own is
+        refused outright (counted in ``stale_rejections``): it was
+        computed against a point set that no longer exists, so neither
+        tier may learn from it.  A *newer* tag means the caller forgot
+        to sync (:func:`repro.dyn.epochs.sync_cache_epoch`) and is an
+        error rather than a silent drop.
+        """
+        if answer.epoch > self.epoch:
+            raise ValueError(
+                f"answer epoch {answer.epoch} ahead of cache epoch "
+                f"{self.epoch}; sync the cache before storing"
+            )
+        if answer.epoch < self.epoch:
+            self.stale_rejections += 1
+            self._pending_donors.pop(qid, None)
+            return
         if self.exact is not None:
             self.exact.put(answer)
         donor = self._pending_donors.pop(qid, None)

@@ -23,6 +23,14 @@ Life of a query:
 3. Answers are filed for :meth:`KNNService.poll`, stored back into
    both cache tiers, and recorded in the stats.
 
+Live data (:mod:`repro.dyn`): :meth:`KNNService.insert` and
+:meth:`KNNService.delete` first flush pending queries — every admitted
+query is answered at the epoch it was submitted in — then run one
+update episode on the session and sync the cache through the epoch
+transition (:func:`repro.dyn.epochs.sync_cache_epoch`).  The session
+auto-rebalances when the imbalance monitor trips, transparently to
+callers.
+
 The service clock is an abstract monotone float supplied by the caller
 (``submit(..., at=t)``, :meth:`advance`) — workload time, not wall
 time — so every scheduling decision is reproducible.
@@ -40,6 +48,7 @@ import numpy as np
 
 from ..core.driver import DEFAULT_BANDWIDTH_BITS
 from ..core.messages import tag
+from ..dyn.epochs import sync_cache_epoch
 from ..kmachine.metrics import Metrics
 from ..points.dataset import Dataset
 from ..points.ids import Keyed
@@ -109,6 +118,8 @@ class KNNService:
         spans: bool = False,
         trace: bool = False,
         timeline: bool = False,
+        balance_threshold: float = 2.0,
+        auto_rebalance: bool = True,
     ) -> None:
         if on_full not in ("reject", "flush"):
             raise ValueError("on_full must be 'reject' or 'flush'")
@@ -126,6 +137,8 @@ class KNNService:
             spans=spans,
             trace=trace,
             timeline=timeline,
+            balance_threshold=balance_threshold,
+            auto_rebalance=auto_rebalance,
         )
         self.queue = AdmissionQueue(max_depth=max_depth)
         self.batcher = MicroBatcher(
@@ -203,6 +216,65 @@ class KNNService:
         while self.batcher.ready(self.queue, self.clock):
             self._dispatch()
 
+    # -- live data -----------------------------------------------------
+    def insert(
+        self, points: np.ndarray, labels: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Insert live points; returns their assigned ids.
+
+        Pending queries are flushed first so every already-admitted
+        query is answered at the epoch it was submitted in, then one
+        update episode runs and the cache advances through the epoch
+        transition.  The warm-start tier survives (inserts cannot make
+        a stored radius unsafe); the exact tier is invalidated.
+        """
+        if self.closed:
+            raise RuntimeError("service is closed")
+        self.flush()
+        ids = self.session.insert(points, labels)
+        self._after_mutation()
+        self.stats.inserted += len(ids)
+        return ids
+
+    def delete(self, ids: "np.ndarray | list[int]") -> int:
+        """Delete live points by id; returns the number removed.
+
+        Pending queries are flushed first (see :meth:`insert`); the
+        epoch transition then clears *both* cache tiers — after a
+        delete, a stored radius may no longer contain ℓ points.
+        """
+        if self.closed:
+            raise RuntimeError("service is closed")
+        self.flush()
+        removed = self.session.delete(ids)
+        self._after_mutation()
+        self.stats.deleted += removed
+        return removed
+
+    def rebalance(self):
+        """Force one rebalance episode (normally automatic); returns its record.
+
+        No epoch change: placement moved, the point set did not, so
+        cached answers stay valid.
+        """
+        if self.closed:
+            raise RuntimeError("service is closed")
+        self.flush()
+        record = self.session.rebalance()
+        self._after_mutation()
+        return record
+
+    def _after_mutation(self) -> None:
+        """Sync the cache epoch and the mutation counters to the session."""
+        if self.cache is not None:
+            sync_cache_epoch(self.cache, self.session.epoch_log)
+        self.stats.mutations = sum(
+            1 for m in self.session.mutations if m.kind == "update"
+        )
+        self.stats.rebalances = sum(
+            1 for m in self.session.mutations if m.kind == "rebalance"
+        )
+
     # -- retrieval -----------------------------------------------------
     def poll(self, qid: int) -> Answer | None:
         """The answer for ``qid`` if it completed, else ``None``."""
@@ -275,6 +347,7 @@ class KNNService:
             fallback=False,
             deadline=deadline,
             wall_seconds=perf_counter() - started,
+            epoch=cached.epoch,
         )
         self.stats.record(record)
         self._results[qid] = Answer(
@@ -306,6 +379,7 @@ class KNNService:
             )
         batch_index = self.session.batches
         dispatch_round = self.session.rounds
+        epoch = self.session.data_epoch
         answers = self.session.run_batch(jobs)
         wall = perf_counter() - started
         for ticket, served in zip(batch, answers):
@@ -324,6 +398,7 @@ class KNNService:
                 fallback=served.fallback,
                 deadline=ticket.deadline,
                 wall_seconds=wall / len(batch),
+                epoch=epoch,
             )
             self.stats.record(record)
             self._results[ticket.qid] = Answer(
@@ -344,6 +419,7 @@ class KNNService:
                         distances=served.distances,
                         labels=served.labels,
                         boundary=served.boundary,
+                        epoch=epoch,
                     ),
                     survivors=served.survivors,
                     warm_started=served.warm_started,

@@ -36,11 +36,14 @@ from ..core.driver import DEFAULT_BANDWIDTH_BITS
 from ..core.knn import KNNOutput, knn_subroutine
 from ..core.leader import elect
 from ..core.messages import tag
+from ..dyn.balance import ImbalanceMonitor, RebalanceProgram, balance_ratio
+from ..dyn.epochs import EpochLog
+from ..dyn.updates import MutationRecord, UpdateProgram
 from ..kmachine.machine import MachineContext, Program
 from ..kmachine.metrics import Metrics
 from ..kmachine.simulator import Simulator
 from ..points.dataset import Dataset, make_dataset
-from ..points.ids import Keyed
+from ..points.ids import Keyed, draw_unique_ids
 from ..points.metrics import Metric, get_metric
 from ..points.partition import shard_dataset
 
@@ -215,6 +218,8 @@ class ClusterSession:
         spans: bool = False,
         trace: bool = False,
         timeline: bool = False,
+        balance_threshold: float = 2.0,
+        auto_rebalance: bool = True,
     ) -> None:
         if k < 2:
             raise ValueError("serving needs k >= 2 machines")
@@ -249,6 +254,29 @@ class ClusterSession:
         self.setup_rounds = self._sim.metrics.rounds
         self.batches = 0
         self.closed = False
+        # -- dynamic-data state (see repro.dyn) ------------------------
+        self._shards = shards
+        #: bumps once per set-changing update episode (never on rebalance)
+        self.data_epoch = 0
+        #: ordered record of every epoch transition (cache sync source)
+        self.epoch_log = EpochLog()
+        #: per-machine shard sizes, refreshed from every episode's report
+        self.loads: list[int] = [len(s) for s in shards]
+        #: accounting for every mutation episode (budget checks read this)
+        self.mutations: list[MutationRecord] = []
+        self.monitor = ImbalanceMonitor(threshold=balance_threshold)
+        self.auto_rebalance = auto_rebalance
+        # Insert ids must be unique against everything ever assigned; a
+        # dedicated stream (seed offset 2) keeps query/election seeding
+        # untouched so static sessions reproduce pre-dyn runs exactly.
+        self._id_rng = np.random.default_rng(
+            None if seed is None else seed + 2
+        )
+        # Establish the balance invariant before the first query: a
+        # skewed/adversarial initial placement may already violate it.
+        report = self.monitor.observe(self.loads)
+        if self.auto_rebalance and self.monitor.should_rebalance(report):
+            self.rebalance()
 
     # -- introspection -------------------------------------------------
     @property
@@ -367,6 +395,165 @@ class ClusterSession:
                 )
             )
         return answers
+
+    # -- dynamic data --------------------------------------------------
+    @property
+    def imbalance_ratio(self) -> float:
+        """Current ``max_i n_i / (n/k)`` from the latest load report."""
+        return balance_ratio(self.loads)
+
+    def insert(
+        self, points: np.ndarray, labels: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Insert a batch of live points; returns their assigned ids.
+
+        Ids are drawn from the session's dedicated id stream and
+        guaranteed distinct from every live id, so the w.h.p. id-space
+        arguments (and the rebalancer's id-range partitioning) keep
+        holding under churn.  One update episode is run; the data epoch
+        bumps by one.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(1, -1) if self.dataset.dim > 1 else (
+                points.reshape(-1, 1)
+            )
+        if labels is not None:
+            labels = np.asarray(labels)
+        ids = self._draw_insert_ids(len(points))
+        self._apply_updates(
+            insert_ids=ids, insert_points=points, insert_labels=labels
+        )
+        return ids
+
+    def delete(self, ids: "Sequence[int] | np.ndarray") -> int:
+        """Delete live points by id; returns the number removed.
+
+        Every id must be live (unknown ids raise — silently "deleting"
+        nothing would desynchronise callers' mirrors), and the corpus
+        must stay at least ``l`` points so queries remain well-posed.
+        One update episode is run; the data epoch bumps by one.
+        """
+        delete_ids = np.unique(np.asarray(ids, dtype=np.int64))
+        if len(delete_ids) == 0:
+            return 0
+        missing = delete_ids[~np.isin(delete_ids, self.dataset.ids)]
+        if len(missing):
+            raise KeyError(f"ids not live: {missing[:8].tolist()}")
+        if len(self.dataset) - len(delete_ids) < self.l:
+            raise ValueError(
+                f"deleting {len(delete_ids)} of {len(self.dataset)} points "
+                f"would leave fewer than l={self.l}"
+            )
+        self._apply_updates(delete_ids=tuple(int(i) for i in delete_ids))
+        return len(delete_ids)
+
+    def rebalance(self) -> MutationRecord:
+        """Run one selection-driven rebalance episode (no epoch change).
+
+        Placement moves, the point set does not: answers and caches
+        stay valid, so ``data_epoch`` is deliberately untouched.
+        """
+        if self.closed:
+            raise RuntimeError("session is closed")
+        ratio_before = self.imbalance_ratio
+        before_messages = self.metrics.messages
+        before_rounds = self.metrics.rounds
+        result = self._sim.run_episode(RebalanceProgram(self.leader))
+        leader_out = result.outputs[self.leader]
+        self.loads = list(leader_out.loads)
+        record = MutationRecord(
+            kind="rebalance",
+            epoch=self.data_epoch,
+            messages=self.metrics.messages - before_messages,
+            rounds=self.metrics.rounds - before_rounds,
+            splitters_run=leader_out.splitters_run,
+            moved_points=int(leader_out.moved_total or 0),
+            n_after=int(sum(self.loads)),
+            ratio_before=ratio_before,
+            ratio_after=self.imbalance_ratio,
+        )
+        self.mutations.append(record)
+        self.monitor.observe(self.loads, epoch=self.data_epoch)
+        return record
+
+    def _draw_insert_ids(self, count: int) -> np.ndarray:
+        """``count`` fresh ids, distinct from each other and every live id."""
+        taken = set(int(i) for i in self.dataset.ids)
+        fresh: list[int] = []
+        need = count
+        while need:
+            candidates = draw_unique_ids(
+                self._id_rng, need, len(self.dataset) + count
+            )
+            for c in candidates:
+                c = int(c)
+                if c not in taken:
+                    taken.add(c)
+                    fresh.append(c)
+            need = count - len(fresh)
+        return np.asarray(fresh, dtype=np.int64)
+
+    def _apply_updates(
+        self,
+        *,
+        insert_ids: np.ndarray | None = None,
+        insert_points: np.ndarray | None = None,
+        insert_labels: np.ndarray | None = None,
+        delete_ids: tuple[int, ...] = (),
+    ) -> MutationRecord:
+        """Run one update episode and thread its effects through the session.
+
+        Protocol, mirror dataset, load vector, epoch log, mutation
+        accounting and the imbalance monitor all advance together here —
+        this is the single place the session's dynamic state changes.
+        """
+        if self.closed:
+            raise RuntimeError("session is closed")
+        if insert_ids is None:
+            insert_ids = np.empty(0, dtype=np.int64)
+            insert_points = np.empty((0, self.dataset.dim), dtype=np.float64)
+        ratio_before = self.imbalance_ratio
+        before_messages = self.metrics.messages
+        before_rounds = self.metrics.rounds
+        program = UpdateProgram(
+            self.leader,
+            insert_ids=insert_ids,
+            insert_points=insert_points,
+            insert_labels=insert_labels,
+            delete_ids=delete_ids,
+        )
+        result = self._sim.run_episode(program)
+        leader_out = result.outputs[self.leader]
+        self.loads = list(leader_out.loads)
+        # Mirror the global set (shards hold the placed copies): queries
+        # and the brute-force oracle both read this dataset.
+        if delete_ids:
+            self.dataset.remove_ids(np.asarray(delete_ids, dtype=np.int64))
+        if len(insert_ids):
+            self.dataset.add(insert_points, insert_ids, insert_labels)
+        transition = self.epoch_log.record(
+            inserts=len(insert_ids), deletes=int(leader_out.deleted_total or 0)
+        )
+        self.data_epoch = transition.epoch
+        record = MutationRecord(
+            kind="update",
+            epoch=self.data_epoch,
+            messages=self.metrics.messages - before_messages,
+            rounds=self.metrics.rounds - before_rounds,
+            inserts=len(insert_ids),
+            deletes=int(leader_out.deleted_total or 0),
+            insert_targets=int(leader_out.insert_targets or 0),
+            n_after=int(sum(self.loads)),
+            ratio_before=ratio_before,
+            ratio_after=self.imbalance_ratio,
+        )
+        self.mutations.append(record)
+        report = self.monitor.observe(self.loads, epoch=self.data_epoch)
+        if self.auto_rebalance and self.monitor.should_rebalance(report):
+            self.mark(tag("dyn", "trigger", self.data_epoch))
+            self.rebalance()
+        return record
 
     def close(self) -> None:
         """Mark the session closed; further :meth:`run_batch` calls raise."""

@@ -52,6 +52,8 @@ class QueryRecord:
     fallback: bool
     deadline: float | None
     wall_seconds: float
+    #: data epoch the answer was computed at (0 = static corpus)
+    epoch: int = 0
 
     @property
     def latency_rounds(self) -> int:
@@ -88,6 +90,7 @@ class QueryRecord:
             "fallback": self.fallback,
             "deadline": self.deadline,
             "wall_seconds": self.wall_seconds,
+            "epoch": self.epoch,
         }
 
 
@@ -100,6 +103,11 @@ class ServiceStats:
         self.rejected = 0
         self.batches = 0
         self.queue_high_water = 0
+        # -- dynamic-data counters (repro.dyn) -------------------------
+        self.mutations = 0
+        self.inserted = 0
+        self.deleted = 0
+        self.rebalances = 0
 
     # -- recording -----------------------------------------------------
     def record(self, rec: QueryRecord) -> None:
@@ -173,6 +181,10 @@ class ServiceStats:
             ),
             "mean_batch_size": self.mean_batch_size(),
             "fallbacks": sum(1 for r in self.records if r.fallback),
+            "mutations": self.mutations,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "rebalances": self.rebalances,
         }
         if total_rounds is not None:
             report["total_rounds"] = total_rounds
@@ -197,6 +209,12 @@ class ServiceStats:
             f"queue high-water: {d['queue_high_water']}"
             f"  fallbacks: {d['fallbacks']}",
         ]
+        if d["mutations"]:
+            lines.append(
+                f"mutations: {d['mutations']} episodes "
+                f"(+{d['inserted']} / -{d['deleted']} points), "
+                f"{d['rebalances']} rebalances"
+            )
         if total_rounds is not None:
             lines.append(
                 f"rounds: {total_rounds} total → "

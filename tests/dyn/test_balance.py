@@ -1,0 +1,184 @@
+"""Unit tests for the imbalance monitor and the rebalance protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection import selection_subroutine
+from repro.dyn.balance import (
+    ImbalanceMonitor,
+    RebalanceProgram,
+    balance_ratio,
+)
+from repro.kmachine.machine import FunctionProgram
+from repro.kmachine.simulator import Simulator, run_program
+from repro.obs.conformance import check_rebalance, rebalance_message_budget
+from repro.points.dataset import make_dataset
+from repro.points.ids import MINUS_INF_KEY, keyed_array
+from repro.points.partition import shard_dataset
+from repro.serve.session import SessionInitProgram
+
+
+def _cluster(n: int, k: int, *, partitioner: str = "skewed", seed: int = 0):
+    rng = np.random.default_rng(seed)
+    dataset = make_dataset(rng.uniform(0, 1, (n, 2)), rng=rng)
+    shards = shard_dataset(dataset, k, rng, partitioner)
+    sim = Simulator(
+        k=k, program=SessionInitProgram(), inputs=shards, seed=seed + 1
+    )
+    leader = int(sim.run().outputs[0])
+    return dataset, shards, sim, leader
+
+
+# -- monitor -----------------------------------------------------------
+def test_balance_ratio_basics() -> None:
+    assert balance_ratio([10, 10, 10, 10]) == pytest.approx(1.0)
+    assert balance_ratio([40, 0, 0, 0]) == pytest.approx(4.0)
+    assert balance_ratio([]) == 0.0
+    assert balance_ratio([0, 0]) == 0.0
+
+
+def test_monitor_trips_only_past_threshold() -> None:
+    monitor = ImbalanceMonitor(threshold=2.0)
+    assert not monitor.should_rebalance()  # nothing observed yet
+    monitor.observe([10, 10, 10, 10])
+    assert not monitor.should_rebalance()
+    monitor.observe([30, 4, 3, 3])  # ratio = 30/10 = 3.0
+    assert monitor.should_rebalance()
+    assert monitor.peak_ratio == pytest.approx(3.0)
+
+
+def test_monitor_rejects_impossible_threshold() -> None:
+    with pytest.raises(ValueError):
+        ImbalanceMonitor(threshold=0.5)
+
+
+# -- selection lower_bound hook ----------------------------------------
+def test_selection_lower_bound_restricts_the_key_range() -> None:
+    """Selecting rank m above a bound == selecting rank r+m overall."""
+    rng = np.random.default_rng(5)
+    values = rng.uniform(0, 1, 90)
+    ids = np.arange(1, 91, dtype=np.int64)
+    order = np.argsort(values)
+    k = 3
+    chunks = np.array_split(np.arange(90), k)
+
+    def make_inputs():
+        return [
+            keyed_array(values[c], ids[c]) for c in chunks
+        ]
+
+    # Global rank 30 boundary:
+    low = run_program(
+        FunctionProgram(
+            lambda ctx: selection_subroutine(ctx, 0, ctx.local, 30)
+        ),
+        k,
+        make_inputs(),
+        seed=9,
+    ).outputs[0].boundary
+    # Rank 20 *above* that boundary == global rank 50:
+    out = run_program(
+        FunctionProgram(
+            lambda ctx: selection_subroutine(
+                ctx, 0, ctx.local, 20, lower_bound=low
+            )
+        ),
+        k,
+        make_inputs(),
+        seed=9,
+    ).outputs[0]
+    expected_id = int(ids[order][49])
+    assert out.boundary.id == expected_id
+
+
+def test_selection_without_lower_bound_unchanged() -> None:
+    """lower_bound=None (and MINUS_INF) reproduce the plain call."""
+    rng = np.random.default_rng(6)
+    values = rng.uniform(0, 1, 60)
+    ids = np.arange(1, 61, dtype=np.int64)
+    chunks = np.array_split(np.arange(60), 3)
+
+    def run(**kwargs):
+        inputs = [keyed_array(values[c], ids[c]) for c in chunks]
+        return run_program(
+            FunctionProgram(
+                lambda ctx: selection_subroutine(
+                    ctx, 0, ctx.local, 15, **kwargs
+                )
+            ),
+            3,
+            inputs,
+            seed=4,
+        ).outputs[0].boundary
+
+    assert run() == run(lower_bound=MINUS_INF_KEY)
+
+
+# -- rebalance protocol ------------------------------------------------
+def test_rebalance_restores_near_perfect_balance() -> None:
+    dataset, shards, sim, leader = _cluster(400, 4, partitioner="skewed")
+    before_ids = {int(i) for s in shards for i in s.ids}
+    assert balance_ratio([len(s) for s in shards]) > 1.5  # genuinely skewed
+
+    result = sim.run_episode(RebalanceProgram(leader))
+
+    loads = [len(s) for s in shards]
+    # Exact ⌊s/k⌋ / ⌈s/k⌉ split: ratio within one point of perfect.
+    assert max(loads) - min(loads) <= 1
+    # The point set is untouched; only placement moved.
+    assert {int(i) for s in shards for i in s.ids} == before_ids
+    leader_out = result.outputs[leader]
+    assert leader_out.loads == tuple(loads)
+    assert leader_out.moved_total is not None and leader_out.moved_total > 0
+
+
+def test_rebalance_partitions_by_id_ranges() -> None:
+    """Machine j ends with a contiguous id range below machine j+1's."""
+    dataset, shards, sim, leader = _cluster(300, 3, partitioner="skewed")
+    sim.run_episode(RebalanceProgram(leader))
+    maxes = [int(s.ids.max()) for s in shards]
+    mins = [int(s.ids.min()) for s in shards]
+    for j in range(2):
+        assert maxes[j] < mins[j + 1]
+
+
+def test_rebalance_within_message_budget() -> None:
+    dataset, shards, sim, leader = _cluster(500, 4, partitioner="skewed")
+    before = sim.metrics.messages
+    result = sim.run_episode(RebalanceProgram(leader))
+    spent = sim.metrics.messages - before
+    out = result.outputs[leader]
+    n = int(sum(out.loads))
+    assert spent <= rebalance_message_budget(
+        n, 4, splitters_run=out.splitters_run
+    )
+    assert check_rebalance(
+        spent, n=n, k=4, splitters_run=out.splitters_run
+    ).passed
+
+
+def test_rebalance_noop_on_balanced_cluster_keeps_balance() -> None:
+    dataset, shards, sim, leader = _cluster(200, 4, partitioner="random")
+    sim.run_episode(RebalanceProgram(leader))
+    loads = [len(s) for s in shards]
+    assert max(loads) - min(loads) <= 1
+    assert sum(loads) == 200
+
+
+def test_rebalance_preserves_labels() -> None:
+    rng = np.random.default_rng(2)
+    dataset = make_dataset(
+        rng.uniform(0, 1, (120, 2)),
+        labels=np.arange(120),
+        rng=rng,
+    )
+    shards = shard_dataset(dataset, 3, rng, "skewed")
+    sim = Simulator(k=3, program=SessionInitProgram(), inputs=shards, seed=3)
+    leader = int(sim.run().outputs[0])
+    sim.run_episode(RebalanceProgram(leader))
+    # Every (id → label) pair survives migration intact.
+    for shard in shards:
+        for row, pid in enumerate(shard.ids):
+            assert shard.labels[row] == dataset.label_of(int(pid))

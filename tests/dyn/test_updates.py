@@ -1,0 +1,133 @@
+"""Unit tests for the batched insert/delete update protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmachine.simulator import Simulator
+from repro.dyn.updates import UpdateProgram
+from repro.obs.conformance import check_update, update_message_budget
+from repro.points.dataset import Dataset, make_dataset
+from repro.points.partition import shard_dataset
+from repro.serve.session import SessionInitProgram
+
+
+def _cluster(n: int = 200, k: int = 4, seed: int = 0, dim: int = 2):
+    rng = np.random.default_rng(seed)
+    dataset = make_dataset(rng.uniform(0, 1, (n, dim)), rng=rng)
+    shards = shard_dataset(dataset, k, rng, "random")
+    sim = Simulator(
+        k=k, program=SessionInitProgram(), inputs=shards, seed=seed + 1
+    )
+    leader = int(sim.run().outputs[0])
+    return dataset, shards, sim, leader
+
+
+def _union_ids(shards) -> set[int]:
+    return {int(i) for s in shards for i in s.ids}
+
+
+def test_insert_batch_lands_once_and_everywhere_consistent() -> None:
+    dataset, shards, sim, leader = _cluster()
+    rng = np.random.default_rng(7)
+    new_points = rng.uniform(0, 1, (10, 2))
+    new_ids = np.arange(10_000_001, 10_000_011, dtype=np.int64)
+    before = _union_ids(shards)
+
+    result = sim.run_episode(
+        UpdateProgram(leader, insert_ids=new_ids, insert_points=new_points)
+    )
+
+    after = _union_ids(shards)
+    assert after == before | {int(i) for i in new_ids}
+    # conservation: each id held by exactly one machine
+    assert sum(len(s) for s in shards) == len(before) + 10
+    leader_out = result.outputs[leader]
+    assert leader_out.loads == tuple(len(s) for s in shards)
+    assert leader_out.deleted_total == 0
+
+
+def test_delete_batch_removes_exactly_the_victims() -> None:
+    dataset, shards, sim, leader = _cluster()
+    victims = tuple(int(i) for i in dataset.ids[:7])
+
+    result = sim.run_episode(UpdateProgram(
+        leader,
+        insert_ids=np.empty(0, dtype=np.int64),
+        insert_points=np.empty((0, 2)),
+        delete_ids=victims,
+    ))
+
+    after = _union_ids(shards)
+    assert after == {int(i) for i in dataset.ids} - set(victims)
+    assert result.outputs[leader].deleted_total == 7
+
+
+def test_mixed_update_routes_inserts_to_least_loaded() -> None:
+    dataset, shards, sim, leader = _cluster(n=100, k=4)
+    # Artificially unload machine 2 so routing has a clear target.
+    dropped = shards[2].ids[:15].copy()
+    shards[2].remove_ids(dropped)
+    rng = np.random.default_rng(3)
+    new_ids = np.arange(20_000_001, 20_000_011, dtype=np.int64)
+
+    sim.run_episode(UpdateProgram(
+        leader, insert_ids=new_ids, insert_points=rng.uniform(0, 1, (10, 2))
+    ))
+
+    # All ten inserts fit in machine 2's deficit, so they all land there.
+    assert np.isin(new_ids, shards[2].ids).all()
+
+
+def test_update_message_budget_holds() -> None:
+    dataset, shards, sim, leader = _cluster(k=5)
+    rng = np.random.default_rng(11)
+    before = sim.metrics.messages
+    new_ids = np.arange(30_000_001, 30_000_021, dtype=np.int64)
+    result = sim.run_episode(UpdateProgram(
+        leader,
+        insert_ids=new_ids,
+        insert_points=rng.uniform(0, 1, (20, 2)),
+        delete_ids=tuple(int(i) for i in dataset.ids[:5]),
+    ))
+    spent = sim.metrics.messages - before
+    targets = result.outputs[leader].insert_targets
+    assert spent <= update_message_budget(5, insert_targets=targets)
+    assert check_update(spent, k=5, insert_targets=targets).passed
+
+
+def test_labelled_updates_carry_labels() -> None:
+    rng = np.random.default_rng(0)
+    dataset = make_dataset(
+        rng.uniform(0, 1, (60, 2)), labels=rng.integers(0, 3, 60), rng=rng
+    )
+    shards = shard_dataset(dataset, 3, rng, "random")
+    sim = Simulator(k=3, program=SessionInitProgram(), inputs=shards, seed=1)
+    leader = int(sim.run().outputs[0])
+
+    new_ids = np.array([40_000_001, 40_000_002], dtype=np.int64)
+    sim.run_episode(UpdateProgram(
+        leader,
+        insert_ids=new_ids,
+        insert_points=rng.uniform(0, 1, (2, 2)),
+        insert_labels=np.array([9, 9]),
+    ))
+    for shard in shards:
+        held = np.isin(new_ids, shard.ids)
+        for nid in new_ids[held]:
+            row = int(np.nonzero(shard.ids == nid)[0][0])
+            assert shard.labels[row] == 9
+
+
+def test_empty_update_is_a_noop_with_control_traffic_only() -> None:
+    dataset, shards, sim, leader = _cluster(k=4)
+    before_ids = _union_ids(shards)
+    before_messages = sim.metrics.messages
+    sim.run_episode(UpdateProgram(
+        leader,
+        insert_ids=np.empty(0, dtype=np.int64),
+        insert_points=np.empty((0, 2)),
+    ))
+    assert _union_ids(shards) == before_ids
+    assert sim.metrics.messages - before_messages == 3 * (4 - 1)

@@ -1,0 +1,45 @@
+"""The dynamic-data layer's protocol code is KM-rule clean, no baseline.
+
+``repro/dyn`` contains real protocol code (update and rebalance
+programs that send/recv under ``ctx``), so it is in scope for every
+k-machine lint rule — KM001 bounded payloads, KM002 seeded randomness,
+KM003 context isolation, KM004 wire schemas, KM005 recv/send pairing.
+This test pins both facts: the directory is *scanned* (a rule-scope
+regression would silently exempt it) and it is *clean*.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintEngine, get_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DYN_DIR = REPO_ROOT / "src" / "repro" / "dyn"
+
+
+def test_dyn_package_exists_and_is_scanned() -> None:
+    assert DYN_DIR.is_dir()
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([DYN_DIR])
+    assert report.files >= 7  # all dyn modules were scanned
+
+
+def test_dyn_is_km_rule_clean_without_baseline() -> None:
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([DYN_DIR])
+    assert not report.parse_errors, report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_dyn_is_in_every_rule_scope() -> None:
+    """The in_dir gates of all five rules include 'dyn'."""
+    import inspect
+
+    from repro.lint.rules import bandwidth, determinism, isolation, pairing, schema
+
+    for module in (bandwidth, determinism, isolation, pairing, schema):
+        source = inspect.getsource(module)
+        assert '"dyn"' in source, f"{module.__name__} does not scan dyn"

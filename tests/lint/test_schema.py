@@ -10,6 +10,8 @@ import pytest
 from repro.kmachine.reliable import Envelope
 from repro.kmachine.schema import (
     WIRE_SCHEMAS,
+    PointBatch,
+    UpdatePlan,
     check_roundtrip,
     registered_schema,
     wire_bits,
@@ -29,11 +31,39 @@ def test_every_registered_type_roundtrips() -> None:
     """The registry-wide guarantee KM004 points at."""
     samples = {
         "Envelope": Envelope(seq=7, checksum=0xDEAD, payload=(1.5, 42)),
+        "PointBatch": PointBatch(
+            ids=np.array([3, 9], dtype=np.int64),
+            coords=np.array([[0.1, 0.2], [0.3, 0.4]]),
+        ),
+        "UpdatePlan": UpdatePlan(insert_counts=(2, 0, 1), delete_ids=(5, 17)),
     }
     for name in WIRE_SCHEMAS:
         sample = samples.get(name)
         if sample is not None:
             assert check_roundtrip(sample), f"{name} does not round-trip"
+
+
+def test_dyn_envelope_schemas_registered() -> None:
+    for cls in (PointBatch, UpdatePlan):
+        schema = registered_schema(cls)
+        assert schema is not None and schema.name in WIRE_SCHEMAS
+
+
+def test_point_batch_wire_bits_scale_with_contents() -> None:
+    """Structural sizing charges migrated volume, not a flat envelope."""
+    small = PointBatch(
+        ids=np.array([1], dtype=np.int64), coords=np.array([[0.0, 0.0]])
+    )
+    large = PointBatch(
+        ids=np.arange(1, 51, dtype=np.int64),
+        coords=np.zeros((50, 2)),
+    )
+    assert wire_bits(large) > wire_bits(small)
+
+
+def test_empty_point_batch_roundtrips() -> None:
+    assert check_roundtrip(PointBatch.empty(3))
+    assert len(PointBatch.empty(3)) == 0
 
 
 def test_roundtrip_detects_field_equality() -> None:

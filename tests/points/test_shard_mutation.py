@@ -1,0 +1,119 @@
+"""Shard mutation API and the id-index staleness regression.
+
+``Shard.id_index`` memoizes the (argsort, sorted-ids) pair used to map
+answer ids back to local rows.  Before the dynamic-data layer, shards
+were immutable after construction and the memo could never go stale;
+with live inserts/deletes it can — and a stale index maps answer ids
+to the *wrong rows*, silently corrupting answers.  These tests pin the
+contract: every mutation path invalidates the memo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.points.dataset import Dataset, Shard, make_dataset
+
+
+def _shard() -> Shard:
+    return Shard(
+        points=np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]),
+        ids=np.array([30, 10, 20], dtype=np.int64),
+    )
+
+
+def _lookup_row(shard: Shard, pid: int) -> int:
+    """Row of ``pid`` via the memoized index (the protocols' idiom)."""
+    order, sorted_ids = shard.id_index()
+    pos = int(np.searchsorted(sorted_ids, pid))
+    assert sorted_ids[pos] == pid
+    return int(order[pos])
+
+
+def test_id_index_maps_ids_to_rows() -> None:
+    shard = _shard()
+    assert _lookup_row(shard, 30) == 0
+    assert _lookup_row(shard, 10) == 1
+    assert _lookup_row(shard, 20) == 2
+
+
+def test_id_index_invalidated_by_add_points() -> None:
+    """Regression: a memoized index must not survive an insert."""
+    shard = _shard()
+    shard.id_index()  # prime the memo
+    shard.add_points(np.array([[3.0, 3.0]]), np.array([5], dtype=np.int64))
+    # A stale memo would miss id 5 entirely (or misalign rows).
+    assert _lookup_row(shard, 5) == 3
+    assert _lookup_row(shard, 30) == 0
+
+
+def test_id_index_invalidated_by_remove_ids() -> None:
+    """Regression: a memoized index must not survive a delete."""
+    shard = _shard()
+    stale_order, stale_sorted = shard.id_index()  # prime the memo
+    removed = shard.remove_ids(np.array([10], dtype=np.int64))
+    assert removed == 1
+    # Stale memo still says 3 entries; the live one must say 2 and
+    # point id 20 at its *new* row (rows shifted down by the removal).
+    assert len(stale_sorted) == 3
+    order, sorted_ids = shard.id_index()
+    assert len(sorted_ids) == 2
+    assert _lookup_row(shard, 20) == 1
+    assert shard.ids[_lookup_row(shard, 20)] == 20
+
+
+def test_explicit_invalidate_caches() -> None:
+    shard = _shard()
+    shard.id_index()
+    assert "_id_index" in shard.meta
+    shard.invalidate_caches()
+    assert "_id_index" not in shard.meta
+
+
+def test_remove_absent_ids_is_noop_and_keeps_memo() -> None:
+    shard = _shard()
+    memo = shard.id_index()
+    assert shard.remove_ids(np.array([999], dtype=np.int64)) == 0
+    assert shard.id_index() is memo  # nothing changed: memo may survive
+
+
+def test_shard_add_rejects_colliding_and_malformed_batches() -> None:
+    shard = _shard()
+    with pytest.raises(ValueError):
+        shard.add_points(np.array([[9.0, 9.0]]), np.array([10]))  # id held
+    with pytest.raises(ValueError):
+        shard.add_points(np.array([[1.0]]), np.array([99]))  # wrong dim
+    with pytest.raises(ValueError):
+        shard.add_points(
+            np.array([[1.0, 1.0], [2.0, 2.0]]), np.array([99, 99])
+        )  # duplicate batch ids
+    with pytest.raises(ValueError):
+        shard.add_points(
+            np.array([[1.0, 1.0]]), np.array([99]), labels=np.array([1])
+        )  # labels on an unlabelled shard
+
+
+def test_dataset_add_and_remove_mirror_semantics() -> None:
+    dataset = make_dataset(np.array([[0.0], [1.0], [2.0]]), seed=0)
+    before = set(int(i) for i in dataset.ids)
+    dataset.add(np.array([[3.0]]), np.array([123456], dtype=np.int64))
+    assert len(dataset) == 4
+    with pytest.raises(ValueError):
+        dataset.add(np.array([[4.0]]), np.array([123456], dtype=np.int64))
+    assert dataset.remove_ids(np.array([123456], dtype=np.int64)) == 1
+    assert set(int(i) for i in dataset.ids) == before
+
+
+def test_labelled_dataset_requires_labels_on_add() -> None:
+    dataset = make_dataset(
+        np.array([[0.0], [1.0]]), labels=np.array([1, 2]), seed=0
+    )
+    with pytest.raises(ValueError):
+        dataset.add(np.array([[2.0]]), np.array([987654], dtype=np.int64))
+    dataset.add(
+        np.array([[2.0]]),
+        np.array([987654], dtype=np.int64),
+        labels=np.array([3]),
+    )
+    assert dataset.label_of(987654) == 3

@@ -1,0 +1,98 @@
+"""Property test: any churn interleaving stays exact and balanced.
+
+For arbitrary seeded interleavings of inserts, deletes, rebalances and
+queries against a live service, two invariants must hold:
+
+* every served answer equals the sequential brute-force oracle on the
+  *live* point set at the answering epoch;
+* shard sizes satisfy the balance bound ``max_i n_i ≤ 2·(n/k)`` after
+  every operation (the auto-rebalancer's job);
+
+plus the structural ones: the session's mirror dataset equals the
+union of the shards, and every mutation episode stays inside its
+conformance message budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dyn.churn import ChurnOp, run_churn
+from repro.serve.service import KNNService
+
+K = 3
+L = 4
+DIM = 2
+START_N = 40
+
+
+def _stream_from(kinds: list[str], seed: int) -> list[ChurnOp]:
+    rng = np.random.default_rng(seed)
+    return [
+        ChurnOp(
+            kind=kind,
+            point=None if kind == "delete" else rng.uniform(0, 1, DIM),
+        )
+        for kind in kinds
+    ]
+
+
+@given(
+    kinds=st.lists(
+        st.sampled_from(["insert", "delete", "query"]), min_size=4, max_size=24
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_any_interleaving_is_exact_and_balanced(
+    kinds: list[str], seed: int
+) -> None:
+    rng = np.random.default_rng(seed)
+    service = KNNService(
+        rng.uniform(0, 1, (START_N, DIM)),
+        l=L,
+        k=K,
+        seed=seed % 1000,
+        window=2.0,
+        max_batch=4,
+    )
+    stream = _stream_from(kinds, seed + 1)
+    report = run_churn(service, stream, seed=seed + 2, balance_bound=2.0)
+    session = service.session
+    service.close()
+
+    assert report.exact, f"{report.wrong_answers} wrong answers"
+    assert report.balance_violations == 0, report.summary()
+    assert report.budget_failures == 0, report.summary()
+    # Mirror == union of shards (conservation through every episode).
+    shard_ids = {int(i) for s in session._shards for i in s.ids}
+    assert shard_ids == {int(i) for i in session.dataset.ids}
+    # Epoch count == set-changing episodes that actually ran.
+    applied = report.inserts + report.deletes
+    assert report.final_epoch == applied
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=8, deadline=None)
+def test_delete_heavy_streams_rebalance_back_under_the_bound(
+    seed: int,
+) -> None:
+    """Deleting most of one region forces imbalance; the monitor must
+    catch it before the ratio escapes the bound."""
+    rng = np.random.default_rng(seed)
+    service = KNNService(
+        rng.uniform(0, 1, (60, DIM)),
+        l=3,
+        k=K,
+        seed=seed % 1000,
+        partitioner="skewed",
+        balance_threshold=1.8,
+    )
+    kinds = (["delete"] * 3 + ["query"]) * 6
+    stream = _stream_from(kinds, seed + 1)
+    report = run_churn(service, stream, seed=seed + 2, balance_bound=2.0)
+    service.close()
+    assert report.exact
+    assert report.balance_violations == 0

@@ -1,0 +1,132 @@
+"""Epoch safety of the serving caches under live data.
+
+The load-bearing test here is the stale-donor scenario: after a
+delete, a warm-start radius recorded earlier may no longer contain ℓ
+points — serving it would propagate an unsafe pruning threshold into
+the protocol.  The cache layer must refuse it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.points.ids import Keyed
+from repro.serve.cache import CachedAnswer, ExactResultCache, ResultCache
+
+
+def _answer(epoch: int = 0, value: float = 0.25) -> CachedAnswer:
+    return CachedAnswer(
+        query=np.array([0.5, 0.5]),
+        ids=np.array([1, 2], dtype=np.int64),
+        distances=np.array([0.1, value]),
+        labels=None,
+        boundary=Keyed(value, 2),
+        epoch=epoch,
+    )
+
+
+# -- exact tier --------------------------------------------------------
+def test_exact_entry_refused_across_epochs() -> None:
+    cache = ExactResultCache()
+    answer = _answer(epoch=0)
+    cache.put(answer)
+    assert cache.get(answer.query, epoch=0) is answer
+    # Same bytes, newer epoch: stale entry is evicted, not served.
+    assert cache.get(answer.query, epoch=1) is None
+    assert cache.stale_evictions == 1
+    assert len(cache) == 0
+
+
+def test_exact_invalidate_all() -> None:
+    cache = ExactResultCache()
+    cache.put(_answer())
+    cache.invalidate_all()
+    assert len(cache) == 0
+
+
+def test_result_cache_lookup_misses_after_epoch_advance() -> None:
+    cache = ResultCache("euclidean", l=2)
+    answer = _answer(epoch=0)
+    cache.store(7, answer)
+    assert cache.exact_get(answer.query) is answer
+    cache.advance_epoch(1, pure_inserts=True)
+    assert cache.exact_get(answer.query) is None
+
+
+# -- store-time epoch guard --------------------------------------------
+def test_store_refuses_answers_from_an_older_epoch() -> None:
+    """A mutation raced the query: its answer must not be filed."""
+    cache = ResultCache("euclidean", l=2)
+    cache.advance_epoch(1, pure_inserts=True)
+    cache.store(3, _answer(epoch=0))
+    assert cache.stale_rejections == 1
+    assert cache.exact_get(_answer().query) is None  # nothing was filed
+    assert len(cache.warm) == 0
+
+
+def test_store_rejects_future_epochs_loudly() -> None:
+    cache = ResultCache("euclidean", l=2)
+    with pytest.raises(ValueError):
+        cache.store(1, _answer(epoch=5))
+
+
+# -- warm tier: the unsafe-radius scenario -----------------------------
+def test_stale_warm_donor_cannot_surface_after_delete() -> None:
+    """After a delete, an old donor's radius may hold < l points.
+
+    A donor recorded at epoch 0 promises "ball of radius b holds >= l
+    points".  Deleting points can break that promise, so after a
+    deleting transition the donor must never be suggested again —
+    otherwise the protocol would prune with an unsafe threshold.
+    """
+    cache = ResultCache("euclidean", l=2, max_delta_factor=10.0)
+    donor_query = np.array([0.5, 0.5])
+    cache.store(
+        1,
+        CachedAnswer(
+            query=donor_query,
+            ids=np.array([10, 11], dtype=np.int64),
+            distances=np.array([0.05, 0.08]),
+            labels=None,
+            boundary=Keyed(0.08, 11),
+            epoch=0,
+        ),
+    )
+    # Sanity: before the delete the donor is suggested.
+    assert cache.warm_suggest(2, np.array([0.52, 0.5])) is not None
+
+    cache.advance_epoch(1, pure_inserts=False)  # a delete happened
+
+    # The promise is void: no suggestion survives for any nearby query.
+    assert cache.warm_suggest(3, np.array([0.52, 0.5])) is None
+    assert len(cache.warm) == 0
+
+
+def test_warm_donors_survive_pure_insert_transitions() -> None:
+    """Inserts only add points to a donor ball: promises stay true."""
+    cache = ResultCache("euclidean", l=2, max_delta_factor=10.0)
+    cache.store(1, _answer(epoch=0))
+    cache.advance_epoch(1, pure_inserts=True)
+    cache.advance_epoch(2, pure_inserts=True)
+    assert cache.warm_suggest(5, np.array([0.51, 0.5])) is not None
+
+
+def test_pending_donors_forgotten_on_epoch_advance() -> None:
+    """An in-flight warm query re-answers at the new epoch; its donor
+    bookkeeping must not leak across the transition."""
+    cache = ResultCache("euclidean", l=2, max_delta_factor=10.0)
+    cache.store(1, _answer(epoch=0))
+    assert cache.warm_suggest(9, np.array([0.51, 0.5])) is not None
+    assert 9 in cache._pending_donors
+    cache.advance_epoch(1, pure_inserts=True)
+    assert 9 not in cache._pending_donors
+
+
+def test_invalidate_all_clears_both_tiers_without_epoch_change() -> None:
+    cache = ResultCache("euclidean", l=2)
+    cache.store(1, _answer(epoch=0))
+    cache.invalidate_all()
+    assert cache.epoch == 0
+    assert cache.exact_get(_answer().query) is None
+    assert len(cache.warm) == 0

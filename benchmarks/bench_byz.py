@@ -1,0 +1,172 @@
+"""BYZ — exactness and degradation under lying machines.
+
+The robustness layer's claim: with ``f < k/3`` NIC-compromised liars
+running any adversary strategy, the supervised drivers still return
+the *exact* answer — lying costs attempts and messages, never
+correctness — and the degradation is a k-factor (quorum overhead,
+bounded retries), never an n-factor.
+
+This bench sweeps the defense budget ``f`` from 0 to ``⌊(k−1)/3⌋``
+with exactly ``f`` real liars per strategy, verifies every selection
+and ℓ-NN answer against brute force, checks the traffic against
+:func:`repro.obs.conformance.check_byzantine`, and records the
+degradation curve (rounds / messages / attempts vs ``f``, per
+strategy) into ``benchmarks/results/BENCH_byz.json``.
+
+The ``f = 0`` row doubles as the zero-overhead gate: an undefended
+run must be message-for-message identical to a plain run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.driver import distributed_knn, distributed_select
+from repro.kmachine.faults import BYZ_STRATEGIES, ByzantinePlan, Liar
+from repro.obs.conformance import check_byzantine
+
+RESULT_PATH = Path(__file__).parent / "results" / "BENCH_byz.json"
+
+K = 10
+L = 20
+N = 1500
+SEED = 13
+TIMEOUT_ROUNDS = 12
+#: liar ranks per f: spread across the rank space, never the fixed
+#: initial leader (rank 0) so f=1 exercises worker lies and f>=2 adds
+#: progressively closer-to-the-leader adversaries
+LIAR_RANKS = (7, 3, 5)
+
+
+def _plan(strategy: str, f: int) -> ByzantinePlan | None:
+    if f == 0:
+        return None
+    liars = tuple(Liar(r, strategy) for r in LIAR_RANKS[:f])
+    return ByzantinePlan(seed=SEED, liars=liars)
+
+
+def test_byzantine_degradation_curve(results_dir):
+    rng = np.random.default_rng(21)
+    values = rng.uniform(0.0, 1.0, N)
+    points = rng.uniform(0.0, 1.0, (N, 3))
+    query = np.asarray([0.4, 0.6, 0.5])
+    expect_values = np.sort(values)[:L]
+    d = np.sqrt(((points - query) ** 2).sum(axis=1))
+    expect_dists = np.sort(d)[:L]
+
+    f_max = (K - 1) // 3
+    plain = distributed_select(values, L, K, seed=SEED)
+    curve = []
+    for strategy in BYZ_STRATEGIES:
+        for f in range(f_max + 1):
+            start = time.perf_counter()
+            sel = distributed_select(
+                values,
+                L,
+                K,
+                seed=SEED,
+                byzantine=_plan(strategy, f),
+                byzantine_f=f,
+                timeout_rounds=TIMEOUT_ROUNDS,
+            )
+            wall = time.perf_counter() - start
+            attempts = 1 if sel.recovery is None else sel.recovery.attempts
+
+            # Exactness is non-negotiable at every f.
+            np.testing.assert_allclose(np.sort(sel.values), expect_values)
+            assert attempts <= 2 * f + 2, (strategy, f, attempts)
+
+            report = check_byzantine(
+                sel.metrics.messages,
+                n=N,
+                k=K,
+                f=f,
+                attempts=attempts,
+                slack=1.5,
+            )
+            assert report.passed, f"{strategy} f={f}:\n{report.summary()}"
+
+            if f == 0:
+                # Zero-overhead contract: the hardened code paths are
+                # compiled out, not merely idle.
+                assert sel.metrics.messages == plain.metrics.messages
+                assert sel.metrics.rounds == plain.metrics.rounds
+
+            curve.append(
+                {
+                    "strategy": strategy,
+                    "f": f,
+                    "liars": [
+                        {"rank": liar.rank, "strategy": liar.strategy}
+                        for liar in (
+                            () if f == 0 else _plan(strategy, f).liars
+                        )
+                    ],
+                    "rounds": sel.metrics.rounds,
+                    "messages": sel.metrics.messages,
+                    "attempts": attempts,
+                    "message_overhead": sel.metrics.messages
+                    / max(1, plain.metrics.messages),
+                    "round_overhead": sel.metrics.rounds
+                    / max(1, plain.metrics.rounds),
+                    "conformance_constant": report.check("messages").constant,
+                    "wall_seconds": wall,
+                }
+            )
+
+    # One full ℓ-NN run per strategy at the maximum tolerated f: the
+    # exactness claim must hold end-to-end, not just for selection.
+    knn_rows = []
+    for strategy in BYZ_STRATEGIES:
+        knn = distributed_knn(
+            points,
+            query,
+            L,
+            K,
+            seed=SEED,
+            byzantine=_plan(strategy, f_max),
+            byzantine_f=f_max,
+            timeout_rounds=TIMEOUT_ROUNDS,
+        )
+        np.testing.assert_allclose(np.sort(knn.distances), expect_dists)
+        attempts = 1 if knn.recovery is None else knn.recovery.attempts
+        assert attempts <= 2 * f_max + 2, (strategy, attempts)
+        knn_rows.append(
+            {
+                "strategy": strategy,
+                "f": f_max,
+                "rounds": knn.metrics.rounds,
+                "messages": knn.metrics.messages,
+                "attempts": attempts,
+            }
+        )
+
+    payload = {
+        "config": {
+            "k": K,
+            "l": L,
+            "n": N,
+            "f_max": f_max,
+            "seed": SEED,
+            "timeout_rounds": TIMEOUT_ROUNDS,
+            "liar_ranks": list(LIAR_RANKS),
+            "strategies": list(BYZ_STRATEGIES),
+            "plain_messages": plain.metrics.messages,
+            "plain_rounds": plain.metrics.rounds,
+        },
+        "selection_curve": curve,
+        "knn_at_f_max": knn_rows,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[result saved to {RESULT_PATH}]")
+    for row in curve:
+        print(
+            f"{row['strategy']:>10s} f={row['f']}: "
+            f"{row['attempts']} attempts, "
+            f"{row['messages']} msgs ({row['message_overhead']:.2f}x), "
+            f"{row['rounds']} rounds ({row['round_overhead']:.2f}x)"
+        )

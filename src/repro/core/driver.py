@@ -28,13 +28,20 @@ protocol step per round, and it is what makes the simple method's
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from ..kmachine.byz import (
+    ByzConfig,
+    ByzantineError,
+    aggregate_suspicions,
+    attribute_blame,
+)
 from ..kmachine.errors import KMachineError
-from ..kmachine.faults import FaultPlan
+from ..kmachine.faults import ByzantinePlan, FaultPlan
 from ..kmachine.machine import Program
 from ..kmachine.metrics import Metrics
 from ..kmachine.reliable import ReliabilityConfig
@@ -88,6 +95,97 @@ def _attempt_seed(seed: int | None, attempt: int) -> int | None:
     )
 
 
+def _byz_answer_check(
+    boundaries: list[Keyed],
+    sizes: list[int],
+    accepted: np.ndarray | None,
+    total_lo: int,
+    total_hi: int,
+) -> tuple[str | None, list[int]]:
+    """Trusted-side answer invariant after a Byzantine-supervised run.
+
+    Exactness argument: every machine — liars included, because the
+    adversary sits on the NIC while the program code is honest —
+    outputs precisely its local keys at or below its believed
+    boundary.  If all machines agree on one boundary, the union of
+    outputs is the downward-closed set of every key ≤ boundary; if its
+    size lands in ``[total_lo, total_hi]`` it therefore contains the ℓ
+    globally smallest keys.  Any lie that corrupts the assembled
+    answer must break one of those two conditions, which this check
+    (running in the trusted driver, outside the adversary's reach)
+    observes directly.  Returns ``(error, mismatch_ranks)`` where the
+    mismatch list pins machines whose realised output contradicts the
+    leader's per-machine accepted tally — evidence a liar cannot fake
+    on behalf of an honest machine.
+    """
+    groups: dict[tuple[float, int], list[int]] = {}
+    for rank, boundary in enumerate(boundaries):
+        key = (float(boundary.value), int(boundary.id))
+        groups.setdefault(key, []).append(rank)
+    mismatch: set[int] = set()
+    problems: list[str] = []
+    if len(groups) > 1:
+        majority = max(groups.values(), key=len)
+        for ranks in groups.values():
+            if ranks is not majority:
+                mismatch.update(ranks)
+        problems.append(f"boundary disagreement across {len(groups)} values")
+    total = sum(sizes)
+    if not total_lo <= total <= total_hi:
+        problems.append(f"assembled {total} keys, want [{total_lo}, {total_hi}]")
+        if accepted is not None and len(accepted) == len(sizes):
+            mismatch.update(
+                rank
+                for rank in range(len(sizes))
+                if int(accepted[rank]) != sizes[rank]
+            )
+    if not problems:
+        return None, []
+    return "byzantine corruption: " + "; ".join(problems), sorted(mismatch)
+
+
+def _byz_suspects(
+    sup: "_Supervisor",
+    sim: Simulator,
+    f_eff: int,
+    leader_local: int | None,
+    mismatch: Iterable[int],
+    exc: KMachineError | None,
+) -> tuple[int, ...]:
+    """Local ranks to quarantine after one failed Byzantine attempt.
+
+    Trusts, in order: the raising machine's explicit suspect list
+    (when small enough that an ``f``-liar adversary could have framed
+    at most one honest machine), then output-vs-claim mismatches plus
+    aggregated suspicion weights via
+    :func:`repro.kmachine.byz.attribute_blame`.  With no leads at all
+    the attempt is retried without exclusions — the re-election and
+    fresh seed reshuffle the protocol, and the answer check never
+    accepts a corrupted run, so this only costs attempts.
+    """
+    if (
+        isinstance(exc, ByzantineError)
+        and exc.suspects
+        and len(exc.suspects) <= f_eff + 1
+    ):
+        return tuple(r for r in exc.suspects if 0 <= r < sup.k_eff)
+    mismatch = [r for r in mismatch if 0 <= r < sup.k_eff]
+    weights = aggregate_suspicions(sim.contexts)
+    if leader_local is None:
+        if not mismatch and not weights:
+            return ()
+        leader_local = 0
+    leader_orig = sup.survivors[leader_local]
+    repeat = sup.last_fail_leader is not None and sup.last_fail_leader == leader_orig
+    return attribute_blame(
+        mismatch=mismatch,
+        weights=weights,
+        f=f_eff,
+        leader=leader_local,
+        repeat_offender=repeat,
+    )
+
+
 class _Supervisor:
     """Shared attempt-loop bookkeeping for the fault-tolerant drivers.
 
@@ -100,15 +198,25 @@ class _Supervisor:
     metrics across attempts, and the :class:`RecoveryInfo` trail.
     """
 
-    def __init__(self, k: int, faults: FaultPlan | None, max_attempts: int) -> None:
+    def __init__(
+        self,
+        k: int,
+        faults: FaultPlan | None,
+        max_attempts: int,
+        byzantine: ByzantinePlan | None = None,
+    ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.survivors = list(range(k))
         self.plan = faults.restricted_to(k) if faults is not None else None
+        self.byz_plan = byzantine.restricted_to(k) if byzantine is not None else None
         self.max_attempts = max_attempts
         self.recovery = RecoveryInfo(attempts=0)
         self.metrics: Metrics | None = None
         self.last_error: KMachineError | None = None
+        #: Original rank of the leader that presided over the previous
+        #: failed attempt (repeat-offender detection).
+        self.last_fail_leader: int | None = None
 
     @property
     def k_eff(self) -> int:
@@ -123,17 +231,32 @@ class _Supervisor:
             else self.metrics.merge(attempt_metrics)
         )
 
-    def record_failure(self, sim: Simulator, err: str) -> None:
-        """Account a failed attempt: drop crashed ranks, shrink the plan."""
+    def record_failure(
+        self, sim: Simulator, err: str, suspects: Iterable[int] = ()
+    ) -> None:
+        """Account a failed attempt: drop crashed ranks, quarantine
+        Byzantine ``suspects`` (local ranks), shrink both plans.
+
+        Excluding a falsely-accused *honest* machine costs capacity
+        only, never data — the driver re-shards the full dataset over
+        whoever remains."""
         self.recovery.errors.append(f"attempt {self.recovery.attempts}: {err}")
         fired_local = sorted(sim.crashed_ranks)
+        sus_local = sorted(
+            r for r in set(suspects)
+            if 0 <= r < self.k_eff and r not in sim.crashed_ranks
+        )
         self.recovery.crashed.extend(self.survivors[r] for r in fired_local)
-        gone = set(fired_local)
-        self.survivors = [g for i, g in enumerate(self.survivors) if i not in gone]
+        self.recovery.excluded.extend(self.survivors[r] for r in sus_local)
+        gone = set(fired_local) | set(sus_local)
+        keep_local = [i for i in range(self.k_eff) if i not in gone]
+        self.survivors = [self.survivors[i] for i in keep_local]
         if self.plan is not None:
             if fired_local:
                 self.plan = self.plan.without_crashes(tuple(fired_local))
             self.plan = self.plan.restricted_to(self.k_eff)
+        if self.byz_plan is not None:
+            self.byz_plan = self.byz_plan.remap(keep_local)
 
     def give_up(self, what: str, err: str) -> "KMachineError":
         """The error to raise when no attempts remain."""
@@ -159,6 +282,10 @@ class RecoveryInfo:
 
     attempts: int = 1
     crashed: list[int] = field(default_factory=list)
+    #: Original ranks quarantined as Byzantine suspects (may include
+    #: falsely-accused honest machines — a capacity loss, never a
+    #: correctness loss).
+    excluded: list[int] = field(default_factory=list)
     degraded: bool = False
     errors: list[str] = field(default_factory=list)
 
@@ -229,6 +356,8 @@ def distributed_select(
     cost_model: CostModel | None = None,
     slack: float = 0.0,
     faults: FaultPlan | None = None,
+    byzantine: ByzantinePlan | None = None,
+    byzantine_f: int | None = None,
     reliable: ReliabilityConfig | bool = False,
     max_attempts: int = 3,
     attempt_max_rounds: int | None = None,
@@ -259,6 +388,17 @@ def distributed_select(
     re-elects the leader by minimum ID.  ``result.recovery`` records
     the trail; ``result.metrics`` sums all attempts.
 
+    Byzantine tolerance: with ``byzantine`` (a
+    :class:`~repro.kmachine.faults.ByzantinePlan` of lying machines)
+    and/or ``byzantine_f`` (the defense budget ``f``; defaults to the
+    plan's liar count) the protocol runs its quorum-hardened variant
+    (see :mod:`repro.kmachine.byz`), the driver verifies the
+    answer-exactness invariant after every attempt, and failed
+    attempts quarantine the implicated machines before re-sharding and
+    re-electing ``f``-tolerantly.  ``max_attempts`` is raised to at
+    least ``2f + 2``.  For ``f < k/3`` the returned answer is never
+    wrong — a corrupted attempt is always detected and retried.
+
     Observability: ``timeline``/``trace``/``spans``/``observers`` pass
     straight through to the :class:`Simulator` (see its docs and
     :mod:`repro.obs`); the recorded spans and tracer ride on
@@ -269,8 +409,17 @@ def distributed_select(
         raise ValueError(f"l={l} outside [0, {arr.size}]")
     rng = np.random.default_rng(seed)
     dataset = make_dataset(arr, rng=rng)
-    supervised = faults is not None or bool(reliable)
-    sup = _Supervisor(k, faults, max_attempts if supervised else 1)
+    byz_requested = byzantine is not None or (
+        byzantine_f is not None and byzantine_f > 0
+    )
+    f_target = (
+        byzantine_f
+        if byzantine_f is not None
+        else (byzantine.f if byzantine is not None else 0)
+    )
+    supervised = faults is not None or bool(reliable) or byz_requested
+    budget = max(max_attempts, 2 * f_target + 2) if byz_requested else max_attempts
+    sup = _Supervisor(k, faults, budget if supervised else 1, byzantine=byzantine)
 
     while True:
         attempt = sup.recovery.attempts + 1
@@ -281,11 +430,23 @@ def distributed_select(
             election_mode = election
         else:
             shard_rng = np.random.default_rng(_attempt_seed(seed, attempt))
-            election_mode = "min_id" if election == "fixed" else election
+            if election == "fixed":
+                election_mode = "f_tolerant" if byz_requested else "min_id"
+            else:
+                election_mode = election
+        byz_cfg = None
+        f_eff = 0
+        if byz_requested:
+            f_eff = min(f_target, max(0, (sup.k_eff - 1) // 3))
+            byz_cfg = ByzConfig(
+                f=f_eff,
+                timeout_rounds=timeout_rounds if timeout_rounds is not None else 32,
+            )
         sim = Simulator(
             k=sup.k_eff,
             program=SelectionProgram(
-                l, election=election_mode, slack=slack, timeout_rounds=timeout_rounds
+                l, election=election_mode, slack=slack,
+                timeout_rounds=timeout_rounds, byz=byz_cfg,
             ),
             inputs=_select_inputs(dataset, sup.k_eff, shard_rng, partitioner),
             seed=_attempt_seed(seed, attempt),
@@ -294,6 +455,7 @@ def distributed_select(
             cost_model=cost_model,
             max_rounds=attempt_max_rounds if attempt_max_rounds is not None else 1_000_000,
             faults=sup.plan,
+            byzantine=sup.byz_plan,
             reliable=reliable or None,
             timeline=timeline,
             trace=trace,
@@ -301,12 +463,14 @@ def distributed_select(
             observers=observers,
         )
         err: str | None = None
+        caught: KMachineError | None = None
         result: SimulationResult | None = None
         if supervised:
             try:
                 result = sim.run()
             except KMachineError as exc:
                 sup.last_error = exc
+                caught = exc
                 err = f"{type(exc).__name__}: {exc}"
         else:
             result = sim.run()
@@ -314,10 +478,35 @@ def distributed_select(
             out is None for out in result.outputs
         ):
             err = "incomplete outputs (machine crashed after peers finished)"
+        leader_local: int | None = None
+        mismatch: list[int] = []
+        if byz_requested and err is None and result is not None:
+            outputs = result.outputs
+            leader_local = next(
+                (r for r, out in enumerate(outputs) if out.is_leader), None
+            )
+            accepted = None
+            if leader_local is not None and outputs[leader_local].stats is not None:
+                accepted = outputs[leader_local].stats.accepted_counts
+            lo = min(l, arr.size)
+            hi = lo if slack <= 0 else min(
+                arr.size, l + int(math.ceil(slack * l))
+            )
+            err, mismatch = _byz_answer_check(
+                [out.boundary for out in outputs],
+                [len(out.selected) for out in outputs],
+                accepted, lo, hi,
+            )
         sup.charge(sim.metrics)
         if err is None:
             break
-        sup.record_failure(sim, err)
+        suspects: tuple[int, ...] = ()
+        if byz_requested and sup.k_eff > 1:
+            suspects = _byz_suspects(sup, sim, f_eff, leader_local, mismatch, caught)
+            sup.last_fail_leader = (
+                sup.survivors[leader_local] if leader_local is not None else None
+            )
+        sup.record_failure(sim, err, suspects=suspects)
         if sup.recovery.attempts >= sup.max_attempts:
             raise sup.give_up("selection", err)
 
@@ -380,6 +569,8 @@ def distributed_knn(
     measure_compute: bool = False,
     cost_model: CostModel | None = None,
     faults: FaultPlan | None = None,
+    byzantine: ByzantinePlan | None = None,
+    byzantine_f: int | None = None,
     reliable: ReliabilityConfig | bool = False,
     max_attempts: int = 3,
     attempt_max_rounds: int | None = None,
@@ -407,6 +598,16 @@ def distributed_knn(
     crashes, degradation and per-attempt errors; ``result.metrics``
     sums every attempt.
 
+    Byzantine tolerance: ``byzantine``/``byzantine_f`` work exactly as
+    in :func:`distributed_select` — hardened protocol, trusted answer
+    verification after every attempt, quarantine of implicated
+    machines, ``f``-tolerant re-election, ``max_attempts`` raised to
+    ``≥ 2f + 2``.  Graceful degradation to the simple method is
+    *disabled* under Byzantine supervision (the simple method has no
+    hardened variant, so degrading would trade a detected failure for
+    a potentially silent wrong answer), and only the ``sampled`` and
+    ``unpruned`` algorithms support hardening.
+
     Observability: ``timeline``/``trace``/``spans``/``observers`` pass
     straight through to the :class:`Simulator` (see its docs and
     :mod:`repro.obs`); the recorded spans and tracer ride on
@@ -422,10 +623,27 @@ def distributed_knn(
         raise ValueError(f"l={l} outside [1, {len(dataset)}]")
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+    byz_requested = byzantine is not None or (
+        byzantine_f is not None and byzantine_f > 0
+    )
+    f_target = (
+        byzantine_f
+        if byzantine_f is not None
+        else (byzantine.f if byzantine is not None else 0)
+    )
+    if byz_requested:
+        if algorithm not in ("sampled", "unpruned"):
+            raise ValueError(
+                f"byzantine hardening supports algorithms 'sampled' and "
+                f"'unpruned', not {algorithm!r}"
+            )
+        if knobs.get("safe_mode") is False:
+            raise ValueError("byzantine hardening requires safe_mode=True")
     metric_obj = get_metric(metric)
     query_arr = np.atleast_1d(np.asarray(query, dtype=np.float64))
-    supervised = faults is not None or bool(reliable)
-    sup = _Supervisor(k, faults, max_attempts if supervised else 1)
+    supervised = faults is not None or bool(reliable) or byz_requested
+    budget_floor = max(max_attempts, 2 * f_target + 2) if byz_requested else max_attempts
+    sup = _Supervisor(k, faults, budget_floor if supervised else 1, byzantine=byzantine)
     current_algorithm = algorithm
     attempt_budget = sup.max_attempts
 
@@ -438,12 +656,25 @@ def distributed_knn(
             election_mode = election
         else:
             shard_rng = np.random.default_rng(_attempt_seed(seed, attempt))
-            election_mode = "min_id" if election == "fixed" else election
+            if election == "fixed":
+                election_mode = "f_tolerant" if byz_requested else "min_id"
+            else:
+                election_mode = election
+        byz_cfg = None
+        f_eff = 0
+        if byz_requested:
+            f_eff = min(f_target, max(0, (sup.k_eff - 1) // 3))
+            byz_cfg = ByzConfig(
+                f=f_eff,
+                timeout_rounds=knobs.get("timeout_rounds") or 32,
+            )
         shards = shard_dataset(
             dataset, sup.k_eff, shard_rng, partitioner,
             metric=metric_obj, query=query_arr,
         )
-        attempt_knobs = knobs if current_algorithm in ("sampled", "unpruned") else {}
+        attempt_knobs = dict(knobs) if current_algorithm in ("sampled", "unpruned") else {}
+        if byz_cfg is not None and current_algorithm in ("sampled", "unpruned"):
+            attempt_knobs["byz"] = byz_cfg
         program = knn_program_for(
             current_algorithm, query_arr, l, metric_obj, election_mode,
             **attempt_knobs,
@@ -458,6 +689,7 @@ def distributed_knn(
             cost_model=cost_model,
             max_rounds=attempt_max_rounds if attempt_max_rounds is not None else 1_000_000,
             faults=sup.plan,
+            byzantine=sup.byz_plan,
             reliable=reliable or None,
             timeline=timeline,
             trace=trace,
@@ -465,12 +697,14 @@ def distributed_knn(
             observers=observers,
         )
         err: str | None = None
+        caught: KMachineError | None = None
         result: SimulationResult | None = None
         if supervised:
             try:
                 result = sim.run()
             except KMachineError as exc:
                 sup.last_error = exc
+                caught = exc
                 err = f"{type(exc).__name__}: {exc}"
         else:
             result = sim.run()
@@ -478,14 +712,40 @@ def distributed_knn(
             out is None for out in result.outputs
         ):
             err = "incomplete outputs (machine crashed after peers finished)"
+        leader_local: int | None = None
+        mismatch: list[int] = []
+        if byz_requested and err is None and result is not None:
+            outputs = result.outputs
+            leader_local = next(
+                (r for r, out in enumerate(outputs) if out.is_leader), None
+            )
+            accepted = None
+            if (
+                leader_local is not None
+                and outputs[leader_local].selection_stats is not None
+            ):
+                accepted = outputs[leader_local].selection_stats.accepted_counts
+            err, mismatch = _byz_answer_check(
+                [out.boundary for out in outputs],
+                [len(out.ids) for out in outputs],
+                accepted, l, l,
+            )
         sup.charge(sim.metrics)
         if err is None:
             break
-        sup.record_failure(sim, err)
+        suspects: tuple[int, ...] = ()
+        if byz_requested and sup.k_eff > 1:
+            suspects = _byz_suspects(sup, sim, f_eff, leader_local, mismatch, caught)
+            sup.last_fail_leader = (
+                sup.survivors[leader_local] if leader_local is not None else None
+            )
+        sup.record_failure(sim, err, suspects=suspects)
         if sup.recovery.attempts >= attempt_budget:
-            if current_algorithm != "simple":
+            if current_algorithm != "simple" and not byz_requested:
                 # Graceful degradation: Algorithm 2's sampling pipeline
                 # keeps failing — grant the simple method one last shot.
+                # Disabled under Byzantine supervision: the simple
+                # method has no hardened variant.
                 current_algorithm = "simple"
                 sup.recovery.degraded = True
                 attempt_budget += 1

@@ -44,6 +44,16 @@ from typing import Generator
 
 import numpy as np
 
+from ..kmachine.byz import (
+    ByzConfig,
+    ByzantineError,
+    confirmed_broadcast,
+    gather_quorum,
+    receive_confirmed,
+    recv_upto,
+    serve_gather,
+    suspicions,
+)
 from ..kmachine.machine import MachineContext, Program
 from ..points.dataset import Shard
 from ..points.ids import Keyed
@@ -138,6 +148,39 @@ def local_candidates(
     return out
 
 
+def _safe_check_byz(
+    ctx: MachineContext,
+    leader: int,
+    cfg: ByzConfig,
+    prefix: str,
+    n_working: int,
+    l: int,
+) -> Generator[None, None, bool]:
+    """Byzantine-hardened safe-mode check: quorum-gathered survivor
+    counts, fallback verdict cross-confirmed among workers."""
+    tracker = suspicions(ctx)
+    t_cv, t_ce = tag(prefix, "scv"), tag(prefix, "sce")
+    t_go, t_goc = tag(prefix, "go"), tag(prefix, "goc")
+    if ctx.rank == leader:
+        resolved = yield from gather_quorum(ctx, cfg, t_cv, t_ce, tracker)
+        survivors = n_working
+        for j, payload in resolved.items():
+            try:
+                survivors += max(0, int(payload))
+            except (TypeError, ValueError):
+                if payload is not None:
+                    tracker.accuse(j, "malformed survivor count")
+        fallback = bool(survivors < l)
+        yield from confirmed_broadcast(ctx, cfg, t_go, fallback)
+        return fallback
+    yield from serve_gather(ctx, leader, cfg, t_cv, t_ce, int(n_working))
+    verdict = yield from receive_confirmed(
+        ctx, leader, cfg, t_go, t_goc, tracker,
+        wait_rounds=cfg.op_budget(ctx.k),
+    )
+    return bool(verdict)
+
+
 def knn_subroutine(
     ctx: MachineContext,
     leader: int,
@@ -154,6 +197,7 @@ def knn_subroutine(
     pace_samples: bool = False,
     prefix: str = "knn",
     timeout_rounds: int | None = None,
+    byz: ByzConfig | None = None,
 ) -> Generator[None, None, KNNOutput]:
     """Run Algorithm 2 as an embeddable subroutine (see module docs).
 
@@ -181,11 +225,25 @@ def knn_subroutine(
     ``timeout_rounds`` bounds every protocol receive (missed-heartbeat
     failure detection; see
     :func:`repro.core.selection.selection_subroutine`).
+
+    ``byz`` enables Byzantine hardening (see
+    :mod:`repro.kmachine.byz`): the threshold and go/no-go broadcasts
+    are cross-confirmed among workers, survivor counts travel through
+    quorum-verified gathers, the sample gather tolerates silence, and
+    the final selection runs its hardened protocol.  Requires
+    ``safe_mode`` — the fallback re-run is the liveness half of the
+    exactness argument (a forged-too-low threshold must trigger the
+    unpruned path rather than a short answer).
     """
     if l < 1:
         raise ValueError(f"l must be >= 1, got {l}")
     if sample_factor < 1 or cutoff_factor < 1:
         raise ValueError("sample_factor and cutoff_factor must be >= 1")
+    if byz is not None:
+        if not safe_mode:
+            raise ValueError("byzantine hardening requires safe_mode=True")
+        if ctx.k > 1:
+            byz.validate(ctx.k)
     query = np.atleast_1d(np.asarray(query, dtype=np.float64))
 
     # Stage 2: local pruning to the l closest points (free, local).
@@ -204,22 +262,27 @@ def knn_subroutine(
         working = candidates[: _rank_leq(candidates, threshold)]
         if safe_mode:
             with ctx.obs.span("safe-check"):
-                t_scount = tag(prefix, "scount")
-                t_go = tag(prefix, "go")
-                if is_leader:
-                    msgs = yield from ctx.recv(
-                        t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                if byz is not None:
+                    fallback = yield from _safe_check_byz(
+                        ctx, leader, byz, prefix, len(working), l
                     )
-                    survivors = len(working) + sum(m.payload for m in msgs)
-                    fallback = survivors < l
-                    ctx.broadcast(t_go, fallback)
-                    yield
                 else:
-                    ctx.send(leader, t_scount, len(working))
-                    msg = yield from ctx.recv_one(
-                        t_go, src=leader, max_rounds=timeout_rounds
-                    )
-                    fallback = bool(msg.payload)
+                    t_scount = tag(prefix, "scount")
+                    t_go = tag(prefix, "go")
+                    if is_leader:
+                        msgs = yield from ctx.recv(
+                            t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                        )
+                        survivors = len(working) + sum(m.payload for m in msgs)
+                        fallback = survivors < l
+                        ctx.broadcast(t_go, fallback)
+                        yield
+                    else:
+                        ctx.send(leader, t_scount, len(working))
+                        msg = yield from ctx.recv_one(
+                            t_go, src=leader, max_rounds=timeout_rounds
+                        )
+                        fallback = bool(msg.payload)
                 if fallback:
                     working = candidates
     elif prune and ctx.k > 1:
@@ -241,7 +304,36 @@ def knn_subroutine(
                 my_samples = candidates[np.sort(idx)]
             else:
                 my_samples = candidates
-            if is_leader:
+            if is_leader and byz is not None:
+                # Hardened gather: tolerate silent liars (take what
+                # arrives within the op budget), discard strays and
+                # malformed/non-finite keys.  A forged sample can only
+                # bias the threshold; safe mode repairs a too-low r and
+                # a too-high r merely weakens pruning — exactness never
+                # depends on the samples.
+                tracker = suspicions(ctx)
+                workers = byz.workers(ctx.k, leader)
+                msgs = yield from recv_upto(
+                    ctx,
+                    t_sample,
+                    len(workers) * n_samples,
+                    byz.timeout_rounds,
+                    allowed=set(workers),
+                )
+                for m in msgs:
+                    if m.payload is None:
+                        continue
+                    try:
+                        key = decode_key(m.payload)
+                    except (TypeError, ValueError, IndexError):
+                        tracker.accuse(m.src, "malformed sample key")
+                        continue
+                    if np.isfinite(key.value):
+                        pool.append(key)
+                pool.extend(Keyed(row["value"], row["id"]) for row in my_samples)
+                pool.sort()
+                sampled_total = len(pool)
+            elif is_leader:
                 msgs = yield from ctx.recv(
                     t_sample, (ctx.k - 1) * n_samples, max_rounds=timeout_rounds
                 )
@@ -263,7 +355,17 @@ def knn_subroutine(
 
         # Stage 4: leader picks the threshold r and broadcasts it.
         with ctx.obs.span("threshold"):
-            if is_leader:
+            if is_leader and byz is not None:
+                if pool:
+                    threshold = pool[min(cutoff, len(pool)) - 1]
+                else:
+                    # All samples silenced/forged away and the leader
+                    # holds nothing: prune nothing rather than abort.
+                    threshold = Keyed(float("inf"), np.iinfo(np.int64).max)
+                yield from confirmed_broadcast(
+                    ctx, byz, t_thresh, encode_key(threshold)
+                )
+            elif is_leader:
                 if not pool:
                     raise ValueError(
                         "no machine holds any point; cannot answer query"
@@ -271,6 +373,22 @@ def knn_subroutine(
                 threshold = pool[min(cutoff, len(pool)) - 1]
                 ctx.broadcast(t_thresh, encode_key(threshold))
                 yield
+            elif byz is not None:
+                tracker = suspicions(ctx)
+                wire = yield from receive_confirmed(
+                    ctx, leader, byz, t_thresh, tag(prefix, "threshc"), tracker,
+                    wait_rounds=byz.op_budget(ctx.k),
+                )
+                try:
+                    threshold = decode_key(wire)
+                    if np.isnan(threshold.value):
+                        raise ValueError("NaN threshold")
+                except (TypeError, ValueError, IndexError):
+                    raise ByzantineError(
+                        f"machine {ctx.rank}: leader {leader} broadcast a "
+                        f"malformed threshold",
+                        suspects=(leader,),
+                    ) from None
             else:
                 msg = yield from ctx.recv_one(
                     t_thresh, src=leader, max_rounds=timeout_rounds
@@ -283,22 +401,27 @@ def knn_subroutine(
         # Safe mode: verify >= l candidates survived before selecting.
         if safe_mode:
             with ctx.obs.span("safe-check"):
-                t_scount = tag(prefix, "scount")
-                t_go = tag(prefix, "go")
-                if is_leader:
-                    msgs = yield from ctx.recv(
-                        t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                if byz is not None:
+                    fallback = yield from _safe_check_byz(
+                        ctx, leader, byz, prefix, len(working), l
                     )
-                    survivors = len(working) + sum(m.payload for m in msgs)
-                    fallback = survivors < l
-                    ctx.broadcast(t_go, fallback)
-                    yield
                 else:
-                    ctx.send(leader, t_scount, len(working))
-                    msg = yield from ctx.recv_one(
-                        t_go, src=leader, max_rounds=timeout_rounds
-                    )
-                    fallback = bool(msg.payload)
+                    t_scount = tag(prefix, "scount")
+                    t_go = tag(prefix, "go")
+                    if is_leader:
+                        msgs = yield from ctx.recv(
+                            t_scount, ctx.k - 1, max_rounds=timeout_rounds
+                        )
+                        survivors = len(working) + sum(m.payload for m in msgs)
+                        fallback = survivors < l
+                        ctx.broadcast(t_go, fallback)
+                        yield
+                    else:
+                        ctx.send(leader, t_scount, len(working))
+                        msg = yield from ctx.recv_one(
+                            t_go, src=leader, max_rounds=timeout_rounds
+                        )
+                        fallback = bool(msg.payload)
                 if fallback:
                     working = candidates
 
@@ -306,7 +429,7 @@ def knn_subroutine(
     with ctx.obs.span("selection"):
         sel = yield from selection_subroutine(
             ctx, leader, working, l, prefix=tag(prefix, "sel"),
-            timeout_rounds=timeout_rounds,
+            timeout_rounds=timeout_rounds, byz=byz,
         )
 
     # Map selected distance keys back to the shard's points (the id
@@ -372,6 +495,7 @@ class KNNProgram(Program):
         threshold: Keyed | None = None,
         pace_samples: bool = False,
         timeout_rounds: int | None = None,
+        byz: ByzConfig | None = None,
     ) -> None:
         if l < 1:
             raise ValueError(f"l must be >= 1, got {l}")
@@ -388,9 +512,10 @@ class KNNProgram(Program):
         self.threshold = threshold
         self.pace_samples = pace_samples
         self.timeout_rounds = timeout_rounds
+        self.byz = byz
 
     def run(self, ctx: MachineContext) -> Generator[None, None, KNNOutput]:
-        leader = yield from elect(ctx, method=self.election)
+        leader = yield from elect(ctx, method=self.election, byz=self.byz)
         shard: Shard = ctx.local
         if shard is None:
             shard = Shard(points=np.empty((0, len(self.query))), ids=np.empty(0, np.int64))
@@ -408,5 +533,6 @@ class KNNProgram(Program):
             threshold=self.threshold,
             pace_samples=self.pace_samples,
             timeout_rounds=self.timeout_rounds,
+            byz=self.byz,
         )
         return output

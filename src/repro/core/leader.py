@@ -35,10 +35,20 @@ from __future__ import annotations
 import math
 from typing import Generator
 
+import numpy as np
+
+from ..kmachine.byz import ByzConfig, ByzantineError, recv_from, suspicions
 from ..kmachine.machine import MachineContext
+from ..kmachine.schema import VoteEnvelope
 from .messages import tag
 
-__all__ = ["fixed_leader", "elect_min_id", "elect_sublinear", "elect"]
+__all__ = [
+    "fixed_leader",
+    "elect_min_id",
+    "elect_sublinear",
+    "elect_f_tolerant",
+    "elect",
+]
 
 #: Safety bound on election epochs before declaring failure.
 _MAX_EPOCHS = 64
@@ -150,10 +160,104 @@ def elect_sublinear(
     raise RuntimeError(f"leader election failed to converge in {_MAX_EPOCHS} epochs")
 
 
-def elect(
-    ctx: MachineContext, method: str = "fixed", prefix: str = "elect", leader: int = 0
+def elect_f_tolerant(
+    ctx: MachineContext,
+    prefix: str = "elect",
+    byz: ByzConfig | None = None,
+    term: int = 0,
 ) -> Generator[None, None, int]:
-    """Dispatch on election ``method``: ``fixed``/``min_id``/``sublinear``."""
+    """Min-id election hardened against up to ``f`` lying machines.
+
+    Two rounds among the live (non-quarantined) machines:
+
+    1. every machine broadcasts its machine ID;
+    2. every machine broadcasts a :class:`~repro.kmachine.schema.
+       VoteEnvelope` for the rank holding the minimum ``(id, rank)``
+       it heard, and a candidate wins only with ``>= P - f`` ballots
+       among ``P`` live machines.
+
+    A liar that consistently forges a tiny ID *wins* — by design: the
+    model has no identity authentication, so a forged credential is
+    indistinguishable on the wire.  What ``f``-tolerance buys is
+    *agreement*: honest machines never split between two leaders.  A
+    liar that equivocates its ID (telling half the cluster one value
+    and half another) splits the vote below quorum, and the election
+    aborts with every voted-for candidate as a suspect — at most
+    ``f + 1`` ranks, which the recovery drivers may exclude wholesale
+    (excluding an honest candidate costs capacity, never data).  A
+    lying *winner* is detected downstream by the answer-invariant
+    checks and excluded there.  ``term`` namespaces re-elections so
+    stale ballots cannot leak across recovery attempts.
+    """
+    cfg = byz if byz is not None else ByzConfig(f=0)
+    live = cfg.live(ctx.k)
+    if not live:
+        raise ValueError("no live machines to elect from")
+    if len(live) == 1:
+        return live[0]
+    tracker = suspicions(ctx)
+    t_id = tag(prefix, "fid", term)
+    t_vote = tag(prefix, "fvote", term)
+    peers = [r for r in live if r != ctx.rank]
+
+    ctx.broadcast(t_id, ctx.machine_id)
+    yield
+    heard = yield from recv_from(ctx, t_id, peers, cfg.timeout_rounds)
+    candidates: list[tuple[int, int]] = []
+    if ctx.rank in live:
+        candidates.append((int(ctx.machine_id), ctx.rank))
+    for src, claimed in heard.items():
+        if isinstance(claimed, (int, np.integer)) and not isinstance(claimed, bool):
+            candidates.append((int(claimed), src))
+        else:
+            tracker.accuse(src, "malformed election id")
+    for src in peers:
+        if src not in heard:
+            tracker.accuse(src, "silent in election")
+    if not candidates:
+        raise ByzantineError(f"machine {ctx.rank}: no election candidates heard")
+    choice = min(candidates)[1]
+
+    ctx.broadcast(t_vote, VoteEnvelope(voter=ctx.rank, choice=choice, term=term))
+    yield
+    ballots = yield from recv_from(ctx, t_vote, peers, cfg.timeout_rounds)
+    votes: dict[int, int] = {}
+    if ctx.rank in live:
+        votes[choice] = 1
+    for src, env in ballots.items():
+        if (
+            isinstance(env, VoteEnvelope)
+            and int(env.voter) == src
+            and int(env.term) == term
+            and int(env.choice) in live
+        ):
+            votes[int(env.choice)] = votes.get(int(env.choice), 0) + 1
+        else:
+            tracker.accuse(src, "malformed ballot")
+    winner, support = max(votes.items(), key=lambda item: (item[1], -item[0]))
+    threshold = max(1, len(live) - cfg.f)
+    if support < threshold:
+        voted_for = sorted(votes, key=lambda r: (-votes[r], r))
+        for rank in voted_for:
+            tracker.accuse(rank, "split election vote")
+        raise ByzantineError(
+            f"machine {ctx.rank}: election term {term} split "
+            f"{dict(sorted(votes.items()))}, need {threshold}",
+            suspects=voted_for,
+        )
+    return winner
+
+
+def elect(
+    ctx: MachineContext,
+    method: str = "fixed",
+    prefix: str = "elect",
+    leader: int = 0,
+    byz: ByzConfig | None = None,
+    term: int = 0,
+) -> Generator[None, None, int]:
+    """Dispatch on election ``method``:
+    ``fixed``/``min_id``/``sublinear``/``f_tolerant``."""
     with ctx.obs.span("election"):
         if method == "fixed":
             return (yield from fixed_leader(ctx, leader))
@@ -161,4 +265,6 @@ def elect(
             return (yield from elect_min_id(ctx, prefix))
         if method == "sublinear":
             return (yield from elect_sublinear(ctx, prefix))
+        if method == "f_tolerant":
+            return (yield from elect_f_tolerant(ctx, prefix, byz=byz, term=term))
         raise ValueError(f"unknown election method {method!r}")

@@ -39,12 +39,24 @@ The module exposes the protocol in two forms:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator
 
 import numpy as np
 
+from ..kmachine.byz import (
+    ByzConfig,
+    ByzantineError,
+    confirm_value,
+    gather_quorum,
+    recv_from,
+    selection_iteration_cap,
+    serve_gather,
+    suspicions,
+)
 from ..kmachine.machine import MachineContext, Program
+from ..kmachine.schema import SuspicionNotice
 from ..points.ids import MINUS_INF_KEY, PLUS_INF_KEY, Keyed
 from .leader import elect
 from .messages import OP_COUNT, OP_FINISHED, OP_INIT, OP_PICK, decode_key, encode_key, tag
@@ -66,6 +78,11 @@ class SelectionStats:
     initial_count: int = 0
     self_pivots: int = 0
     pivot_history: list[tuple[Keyed, int, int]] = field(default_factory=list)
+    #: Byzantine-hardened runs only: the leader's per-machine tally of
+    #: keys it accepted below the boundary.  The trusted driver compares
+    #: this against each machine's realised output size — a machine
+    #: whose wire claims and actual output disagree lied about a count.
+    accepted_counts: np.ndarray | None = None
 
 
 @dataclass
@@ -159,6 +176,7 @@ def selection_subroutine(
     slack: float = 0.0,
     timeout_rounds: int | None = None,
     lower_bound: Keyed | None = None,
+    byz: ByzConfig | None = None,
 ) -> Generator[None, None, SelectionOutput]:
     """Run Algorithm 1 as an embeddable subroutine.
 
@@ -203,6 +221,16 @@ def selection_subroutine(
         successive order statistics — ``k−1`` migration splitters —
         each over a shrinking key population, without re-shipping any
         state.  ``None`` (the default) selects over all keys.
+    byz:
+        Byzantine hardening (:class:`~repro.kmachine.byz.ByzConfig`).
+        ``None`` (the default) runs the paper's plain protocol with
+        byte-identical traffic — zero overhead.  Otherwise every
+        worker-to-leader scalar travels through a quorum-verified
+        gather, pivots are validated and stalling providers struck
+        from the pivot supply, iterations are hard-capped, and the
+        finish boundary is cross-confirmed among workers so every
+        honest machine adopts the same boundary even under a lying
+        leader.
 
     Returns
     -------
@@ -220,7 +248,13 @@ def selection_subroutine(
     t_query = tag(prefix, "q")
     t_reply = tag(prefix, "r")
 
-    if ctx.rank == leader:
+    if byz is not None and ctx.k > 1:
+        byz.validate(ctx.k)
+        if ctx.rank == leader:
+            output = yield from _leader_role_byz(ctx, keys, l, prefix, slack, byz)
+        else:
+            output = yield from _worker_role_byz(ctx, leader, keys, prefix, byz)
+    elif ctx.rank == leader:
         output = yield from _leader_role(
             ctx, keys, l, t_query, t_reply, slack, timeout_rounds
         )
@@ -388,6 +422,350 @@ def _worker_role(
                 raise ValueError(f"worker {ctx.rank} got unknown op {op!r}")
 
 
+# ----------------------------------------------------------------------
+# Byzantine-hardened roles (byz is not None)
+#
+# Wire layout: leader ops still travel on tag(prefix, "q"), but every
+# worker reply is replaced by a quorum-verified gather on per-phase
+# tags — value broadcasts on tag(prefix, "gv", i) and echo relays on
+# tag(prefix, "ge", i), where i counts init/count gathers in op order
+# on both sides, so lagging receivers can never mix phases.  Pivot
+# replies carry the request's sequence number in their tag, the finish
+# boundary is cross-confirmed on tag(prefix, "fc"), and the leader's
+# ban notices ride tag(prefix, "sus").
+# ----------------------------------------------------------------------
+
+def _parse_init(payload) -> tuple[int, Keyed, Keyed] | None:
+    try:
+        op, n, min_wire, max_wire = payload
+        if op != OP_INIT:
+            return None
+        n = int(n)
+        if n < 0:
+            return None
+        return n, decode_key(min_wire), decode_key(max_wire)
+    except (TypeError, ValueError):
+        return None
+
+
+def _parse_count(payload) -> int | None:
+    try:
+        op, count = payload
+        if op != OP_COUNT:
+            return None
+        return int(count)
+    except (TypeError, ValueError):
+        return None
+
+
+def _validated_pivot(payload, lo: Keyed, hi: Keyed) -> Keyed | None:
+    """Decode a pivot reply, rejecting forged or out-of-range values."""
+    try:
+        op, wire = payload
+        if op != OP_PICK or wire is None:
+            return None
+        pivot = decode_key(wire)
+    except (TypeError, ValueError):
+        return None
+    if not np.isfinite(pivot.value):
+        return None
+    if not (lo < pivot <= hi):
+        return None
+    return pivot
+
+
+def _leader_role_byz(
+    ctx: MachineContext,
+    keys: np.ndarray,
+    l: int,
+    prefix: str,
+    slack: float,
+    cfg: ByzConfig,
+) -> Generator[None, None, SelectionOutput]:
+    k = ctx.k
+    tracker = suspicions(ctx)
+    stats = SelectionStats()
+    t_query = tag(prefix, "q")
+    t_sus = tag(prefix, "sus")
+    workers = cfg.workers(k, ctx.rank)
+    accepted = np.zeros(k, dtype=np.int64)
+
+    def t_gv(i: int) -> str:
+        return tag(prefix, "gv", i)
+
+    def t_ge(i: int) -> str:
+        return tag(prefix, "ge", i)
+
+    # --- init gather -------------------------------------------------
+    with ctx.obs.span("sel/init"):
+        ctx.broadcast(t_query, (OP_INIT,))
+        resolved = yield from gather_quorum(ctx, cfg, t_gv(0), t_ge(0), tracker)
+        counts = np.zeros(k, dtype=np.int64)
+        n_self, min_self, max_self = _local_extremes(keys)
+        counts[ctx.rank] = n_self
+        lo, hi = min_self, max_self
+        for j, payload in resolved.items():
+            parsed = _parse_init(payload)
+            if parsed is None:
+                if payload is not None:
+                    tracker.accuse(j, "malformed init report")
+                continue
+            n_j, min_j, max_j = parsed
+            counts[j] = n_j
+            if n_j > 0:
+                lo = min(lo, min_j)
+                hi = max(hi, max_j)
+        s = int(counts.sum())
+        stats.initial_count = s
+        remaining = l
+
+    if s <= remaining * (1.0 + slack) or s == 0:
+        boundary = hi if s > 0 else MINUS_INF_KEY
+        accepted = counts.copy() if s > 0 else accepted
+        stats.accepted_counts = accepted
+        with ctx.obs.span("sel/finish"):
+            return (
+                yield from _finish_leader_byz(ctx, keys, boundary, prefix, stats, cfg)
+            )
+
+    active_lo = MINUS_INF_KEY
+    active_hi = hi
+    boundary: Keyed | None = None
+    if remaining == 0:
+        boundary = MINUS_INF_KEY
+
+    # --- hardened pivot/count loop -----------------------------------
+    gather_idx = 0
+    pick_seq = 0
+    cap = selection_iteration_cap(s, k)
+    strikes: dict[int, int] = {}
+    banned: set[int] = set(cfg.quarantined)
+
+    def strike(rank: int, reason: str) -> None:
+        strikes[rank] = strikes.get(rank, 0) + 1
+        tracker.accuse(rank, reason)
+        if strikes[rank] >= 2 and rank not in banned:
+            banned.add(rank)
+            ctx.broadcast(t_sus, SuspicionNotice(suspect=rank, reason=reason))
+
+    with ctx.obs.span("sel/iterate"):
+        while boundary is None:
+            stats.iterations += 1
+            if stats.iterations > cap:
+                suspects = [r for r in workers if strikes.get(r, 0) >= 2]
+                if not suspects:
+                    suspects = [r for r in workers if counts[r] > 0 and strikes.get(r)]
+                if not suspects:
+                    suspects = tracker.suspects()[: max(1, cfg.f)]
+                raise ByzantineError(
+                    f"selection exceeded the {cap}-iteration Byzantine cap",
+                    suspects=suspects,
+                )
+            # Pivot draw: banned machines keep their data counted but
+            # lose the right to supply pivots.
+            weights = counts.astype(float)
+            for r in banned:
+                if r != ctx.rank:
+                    weights[r] = 0.0
+            total = float(weights.sum())
+            if total <= 0.0:
+                weights = counts.astype(float)
+                total = float(weights.sum())
+            if total <= 0.0:
+                raise ByzantineError(
+                    "active range emptied under Byzantine accounting",
+                    suspects=tracker.suspects()[: max(1, cfg.f)],
+                )
+            choice = int(ctx.rng.choice(k, p=weights / total))
+            before = (active_lo, active_hi, s, remaining)
+            if choice == ctx.rank:
+                try:
+                    pivot = _uniform_in_range(keys, active_lo, active_hi, ctx.rng)
+                except ValueError:
+                    # Own in-range count was poisoned by forged extremes;
+                    # burn the iteration (the cap bounds the damage).
+                    continue
+                stats.self_pivots += 1
+            else:
+                pick_seq += 1
+                ctx.send(
+                    choice,
+                    t_query,
+                    (OP_PICK, pick_seq, encode_key(active_lo), encode_key(active_hi)),
+                )
+                reply = yield from recv_from(
+                    ctx, tag(prefix, "pv", pick_seq), [choice],
+                    cfg.confirm_timeout_rounds,
+                )
+                pivot = _validated_pivot(reply.get(choice), active_lo, active_hi)
+                if pivot is None:
+                    strike(choice, "invalid or missing pivot")
+                    continue
+
+            gather_idx += 1
+            ctx.broadcast(
+                t_query, (OP_COUNT, encode_key(active_lo), encode_key(pivot))
+            )
+            resolved = yield from gather_quorum(
+                ctx, cfg, t_gv(gather_idx), t_ge(gather_idx), tracker
+            )
+            below = np.zeros(k, dtype=np.int64)
+            below[ctx.rank] = _count_in(keys, active_lo, pivot)
+            for j, payload in resolved.items():
+                count = _parse_count(payload)
+                if count is None:
+                    if payload is not None:
+                        tracker.accuse(j, "malformed count report")
+                    count = 0
+                # A machine cannot hold more in (lo, p] than its known
+                # active-range total: clamp the claim into [0, counts[j]].
+                below[j] = min(max(count, 0), int(counts[j]))
+            s_below = int(below.sum())
+            stats.pivot_history.append((pivot, s, s_below))
+
+            if s_below == remaining:
+                boundary = pivot
+                accepted += below
+            elif s_below < remaining:
+                remaining -= s_below
+                active_lo = pivot
+                counts = counts - below
+                s = int(counts.sum())
+                accepted += below
+            else:
+                active_hi = pivot
+                counts = below
+                s = s_below
+            if boundary is None and s <= remaining * (1.0 + slack):
+                boundary = active_hi
+                accepted += counts
+            if (
+                boundary is None
+                and (active_lo, active_hi, s, remaining) == before
+                and choice != ctx.rank
+            ):
+                strike(choice, "stalling pivot (no progress)")
+
+    stats.accepted_counts = accepted
+    with ctx.obs.span("sel/finish"):
+        return (yield from _finish_leader_byz(ctx, keys, boundary, prefix, stats, cfg))
+
+
+def _finish_leader_byz(
+    ctx: MachineContext,
+    keys: np.ndarray,
+    boundary: Keyed,
+    prefix: str,
+    stats: SelectionStats,
+    cfg: ByzConfig,
+) -> Generator[None, None, SelectionOutput]:
+    ctx.broadcast(tag(prefix, "q"), (OP_FINISHED, encode_key(boundary)))
+    yield
+    selected = keys[: _rank_leq(keys, boundary)]
+    return SelectionOutput(
+        selected=selected, boundary=boundary, is_leader=True, stats=stats
+    )
+
+
+def _worker_role_byz(
+    ctx: MachineContext,
+    leader: int,
+    keys: np.ndarray,
+    prefix: str,
+    cfg: ByzConfig,
+) -> Generator[None, None, SelectionOutput]:
+    tracker = suspicions(ctx)
+    t_query = tag(prefix, "q")
+    t_sus = tag(prefix, "sus")
+    n, kmin, kmax = _local_extremes(keys)
+    gather_idx = 0
+    pending: deque = deque()
+    waited = 0
+
+    with ctx.obs.span("sel/serve"):
+        while True:
+            pending.extend(ctx.take(t_query, src=leader))
+            if not pending:
+                if waited >= cfg.op_budget(ctx.k):
+                    tracker.accuse(leader, "selection leader silent")
+                    raise ByzantineError(
+                        f"machine {ctx.rank}: selection leader {leader} went silent",
+                        suspects=(leader,),
+                    )
+                yield
+                waited += 1
+                continue
+            waited = 0
+            payload = pending.popleft().payload
+            if not isinstance(payload, tuple) or not payload:
+                tracker.accuse(leader, "malformed selection op")
+                continue
+            op = payload[0]
+            if op == OP_INIT:
+                yield from serve_gather(
+                    ctx,
+                    leader,
+                    cfg,
+                    tag(prefix, "gv", 0),
+                    tag(prefix, "ge", 0),
+                    (OP_INIT, n, encode_key(kmin), encode_key(kmax)),
+                )
+            elif op == OP_PICK:
+                try:
+                    seq = int(payload[1])
+                    lo = decode_key(payload[2])
+                    hi = decode_key(payload[3])
+                except (TypeError, ValueError, IndexError):
+                    tracker.accuse(leader, "malformed pick request")
+                    continue
+                try:
+                    pivot_wire = encode_key(_uniform_in_range(keys, lo, hi, ctx.rng))
+                except ValueError:
+                    # Nothing of mine in the (possibly forged) range; a
+                    # None reply lets the leader strike rather than stall.
+                    pivot_wire = None
+                ctx.send(leader, tag(prefix, "pv", seq), (OP_PICK, pivot_wire))
+            elif op == OP_COUNT:
+                try:
+                    lo = decode_key(payload[1])
+                    p = decode_key(payload[2])
+                    count = _count_in(keys, lo, p)
+                except (TypeError, ValueError, IndexError):
+                    tracker.accuse(leader, "malformed count request")
+                    count = 0
+                gather_idx += 1
+                yield from serve_gather(
+                    ctx,
+                    leader,
+                    cfg,
+                    tag(prefix, "gv", gather_idx),
+                    tag(prefix, "ge", gather_idx),
+                    (OP_COUNT, count),
+                )
+            elif op == OP_FINISHED:
+                own = payload[1] if len(payload) > 1 else None
+                adopted = yield from confirm_value(
+                    ctx, leader, cfg, own, tag(prefix, "fc"), tracker
+                )
+                try:
+                    boundary = decode_key(adopted)
+                except (TypeError, ValueError):
+                    tracker.accuse(leader, "malformed finish boundary")
+                    raise ByzantineError(
+                        f"machine {ctx.rank}: unusable finish boundary",
+                        suspects=(leader,),
+                    )
+                for msg in ctx.take(t_sus, src=leader):
+                    if isinstance(msg.payload, SuspicionNotice):
+                        tracker.fold_notice(msg.payload)
+                selected = keys[: _rank_leq(keys, boundary)]
+                return SelectionOutput(
+                    selected=selected, boundary=boundary, is_leader=False, stats=None
+                )
+            else:
+                tracker.accuse(leader, f"unknown selection op {op!r}")
+
+
 class SelectionProgram(Program):
     """Standalone SPMD wrapper: elect (or fix) a leader, then select.
 
@@ -419,6 +797,7 @@ class SelectionProgram(Program):
         election: str = "fixed",
         slack: float = 0.0,
         timeout_rounds: int | None = None,
+        byz: ByzConfig | None = None,
     ) -> None:
         if l < 0:
             raise ValueError(f"l must be >= 0, got {l}")
@@ -426,15 +805,16 @@ class SelectionProgram(Program):
         self.election = election
         self.slack = slack
         self.timeout_rounds = timeout_rounds
+        self.byz = byz
 
     def run(self, ctx: MachineContext) -> Generator[None, None, SelectionOutput]:
         """Per-machine program body (see the class docstring)."""
-        leader = yield from elect(ctx, method=self.election)
+        leader = yield from elect(ctx, method=self.election, byz=self.byz)
         keys = ctx.local if ctx.local is not None else np.empty(
             0, dtype=[("value", "f8"), ("id", "i8")]
         )
         output = yield from selection_subroutine(
             ctx, leader, keys, self.l, slack=self.slack,
-            timeout_rounds=self.timeout_rounds,
+            timeout_rounds=self.timeout_rounds, byz=self.byz,
         )
         return output

@@ -53,6 +53,15 @@ import numpy as np
 
 from ..core.messages import tag
 from ..core.selection import selection_subroutine
+from ..kmachine.byz import (
+    ByzConfig,
+    ByzantineError,
+    confirmed_broadcast,
+    receive_confirmed,
+    recv_from,
+    robust_loads,
+    suspicions,
+)
 from ..kmachine.machine import MachineContext, Program
 from ..kmachine.schema import PointBatch
 from ..points.dataset import Shard
@@ -64,6 +73,7 @@ __all__ = [
     "RebalanceOutput",
     "RebalanceProgram",
     "balance_ratio",
+    "trimmed_ratio",
 ]
 
 
@@ -77,6 +87,26 @@ def balance_ratio(loads: "np.ndarray | tuple[int, ...] | list[int]") -> float:
     if total <= 0:
         return 0.0
     return float(arr.max()) / (total / len(arr))
+
+
+def trimmed_ratio(loads: "np.ndarray | tuple[int, ...] | list[int]", f: int = 0) -> float:
+    """Balance ratio over the loads with the ``f`` largest dropped.
+
+    The robust view when up to ``f`` reports may be *inflated* lies: a
+    liar cannot make the cluster look imbalanced (and provoke
+    needless, wasteful rebalance episodes) by overstating its own
+    load, because the ``f`` heaviest reports are excluded before the
+    ratio is formed.  A liar understating its load can only *hide*
+    imbalance among at most ``f`` machines — bounded staleness, not
+    wasted work.  With ``f = 0`` this is exactly
+    :func:`balance_ratio`.
+    """
+    arr = np.sort(np.asarray(loads, dtype=np.float64))
+    if f > 0:
+        if f >= len(arr):
+            return 0.0
+        arr = arr[: len(arr) - f]
+    return balance_ratio(arr)
 
 
 @dataclass(frozen=True)
@@ -113,11 +143,17 @@ class ImbalanceMonitor:
     """
 
     threshold: float = 2.0
+    #: Drop the ``robust_f`` largest load reports before comparing to
+    #: the threshold (see :func:`trimmed_ratio`) — the Byzantine
+    #: setting, where inflated reports must not provoke rebalances.
+    robust_f: int = 0
     history: list[LoadReport] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.threshold < 1.0:
             raise ValueError("threshold below 1.0 would rebalance forever")
+        if self.robust_f < 0:
+            raise ValueError("robust_f must be >= 0")
 
     def observe(self, loads: "tuple[int, ...] | list[int]", epoch: int = 0) -> LoadReport:
         """Record one load vector; returns the derived report."""
@@ -131,9 +167,20 @@ class ImbalanceMonitor:
         return self.history[-1] if self.history else None
 
     def should_rebalance(self, report: LoadReport | None = None) -> bool:
-        """True when the (given or latest) ratio exceeds the threshold."""
+        """True when the (given or latest) ratio exceeds the threshold.
+
+        With ``robust_f > 0`` the decision uses the trimmed ratio, so
+        up to ``robust_f`` inflated load lies cannot trip it.
+        """
         report = report if report is not None else self.latest
-        return report is not None and report.ratio > self.threshold
+        if report is None:
+            return False
+        ratio = (
+            trimmed_ratio(report.loads, self.robust_f)
+            if self.robust_f > 0
+            else report.ratio
+        )
+        return ratio > self.threshold
 
     @property
     def peak_ratio(self) -> float:
@@ -162,13 +209,25 @@ class RebalanceProgram(Program):
 
     name = "dyn-rebalance"
 
-    def __init__(self, leader: int) -> None:
+    def __init__(self, leader: int, byz: ByzConfig | None = None) -> None:
         self.leader = leader
+        self.byz = byz
 
     def run(self, ctx: MachineContext) -> Generator[None, None, RebalanceOutput]:
         """Per-machine body: report, split, migrate, confirm."""
         shard: Shard = ctx.local
         k = ctx.k
+        if self.byz is not None and ctx.rank in self.byz.quarantined:
+            # Fenced off by the session: no reports, no migration
+            # traffic, and crucially no bucket of the id space.
+            return RebalanceOutput(
+                new_load=len(shard), moved_in=0, moved_out=0, is_leader=False
+            )
+        # The id space is range-partitioned over the *live* machines
+        # only; a quarantined rank must never be a migration target or
+        # its bucket of points would vanish from every future answer.
+        live = self.byz.live(k) if self.byz is not None else list(range(k))
+        m = len(live)
         t_load = tag("dyn", "rb", "load")
         t_plan = tag("dyn", "rb", "plan")
         t_mig = tag("dyn", "rb", "mig")
@@ -180,17 +239,54 @@ class RebalanceProgram(Program):
                 if ctx.rank == self.leader:
                     loads = np.zeros(k, dtype=np.int64)
                     loads[ctx.rank] = len(shard)
-                    if k > 1:
+                    if k > 1 and self.byz is not None:
+                        # Tolerant gather + clipped loads; every machine
+                        # must then agree on the same total s (it drives
+                        # the shared splitter schedule), so s goes out
+                        # as a worker-confirmed broadcast.
+                        tracker = suspicions(ctx)
+                        peers = [r for r in live if r != ctx.rank]
+                        heard = yield from recv_from(
+                            ctx, t_load, peers, self.byz.timeout_rounds
+                        )
+                        for src in peers:
+                            payload = heard.get(src)
+                            try:
+                                loads[src] = max(0, int(payload))
+                            except (TypeError, ValueError):
+                                tracker.accuse(src, "bad rebalance load report")
+                                loads[src] = 0
+                        loads = robust_loads(loads, f=self.byz.f)
+                        s = int(loads.sum())
+                        yield from confirmed_broadcast(ctx, self.byz, t_plan, s)
+                    elif k > 1:
                         replies = yield from ctx.recv(t_load, k - 1)
                         for msg in replies:
                             loads[msg.src] = int(msg.payload)
-                    s = int(loads.sum())
-                    if k > 1:
+                        s = int(loads.sum())
                         ctx.broadcast(t_plan, s)
+                    else:
+                        s = int(loads.sum())
                 else:
                     ctx.send(self.leader, t_load, len(shard))
-                    plan = yield from ctx.recv_one(t_plan, src=self.leader)
-                    s = int(plan.payload)
+                    if self.byz is not None:
+                        tracker = suspicions(ctx)
+                        adopted = yield from receive_confirmed(
+                            ctx, self.leader, self.byz, t_plan,
+                            tag("dyn", "rb", "planc"), tracker,
+                            wait_rounds=self.byz.op_budget(ctx.k),
+                        )
+                        try:
+                            s = max(0, int(adopted))
+                        except (TypeError, ValueError):
+                            raise ByzantineError(
+                                f"machine {ctx.rank}: rebalance leader "
+                                f"{self.leader} sent malformed total",
+                                suspects=(self.leader,),
+                            ) from None
+                    else:
+                        plan = yield from ctx.recv_one(t_plan, src=self.leader)
+                        s = int(plan.payload)
 
             # -- k-1 splitters via Algorithm 1 over the id keys --------
             with ctx.obs.span(tag("dyn", "splitters")):
@@ -199,8 +295,8 @@ class RebalanceProgram(Program):
                 prev = MINUS_INF_KEY
                 consumed = 0
                 splitters_run = 0
-                for j in range(1, k):
-                    r_j = (j * s) // k
+                for j in range(1, m):
+                    r_j = (j * s) // m
                     step = r_j - consumed
                     if step == 0:
                         # Identical skip on every machine: the bucket
@@ -215,6 +311,7 @@ class RebalanceProgram(Program):
                         step,
                         prefix=tag("dyn", "sp", j),
                         lower_bound=prev,
+                        byz=self.byz,
                     )
                     prev = sel.boundary
                     splitters.append(prev)
@@ -228,23 +325,40 @@ class RebalanceProgram(Program):
                 # ties resolve on the id itself.
                 splitter_ids = np.array([sp.id for sp in splitters], dtype=np.int64)
                 buckets = np.searchsorted(splitter_ids, shard.ids, side="left")
+                my_bucket = live.index(ctx.rank)
                 moved_out = 0
-                for dst in range(k):
+                for bucket, dst in enumerate(live):
                     if dst == ctx.rank:
                         continue
-                    mask = buckets == dst
+                    mask = buckets == bucket
                     ctx.send(dst, t_mig, self._envelope(shard, mask))
                     moved_out += int(mask.sum())
-                incoming = []
-                if k > 1:
-                    incoming = yield from ctx.recv(t_mig, k - 1)
-                    incoming.sort(key=lambda m: m.src)
-                depart = buckets != ctx.rank
+                batches: list[PointBatch] = []
+                if m > 1 and self.byz is not None:
+                    # A silenced envelope means migrated points vanish
+                    # in flight; accept what arrives within the budget
+                    # and let the session's shard-integrity audit
+                    # detect and repair the loss from its mirror.
+                    tracker = suspicions(ctx)
+                    peers = [r for r in live if r != ctx.rank]
+                    heard = yield from recv_from(
+                        ctx, t_mig, peers, self.byz.op_budget(ctx.k)
+                    )
+                    for src in peers:
+                        payload = heard.get(src)
+                        if isinstance(payload, PointBatch):
+                            batches.append(payload)
+                        else:
+                            tracker.accuse(src, "missing migration envelope")
+                elif m > 1:
+                    incoming = yield from ctx.recv(t_mig, m - 1)
+                    incoming.sort(key=lambda msg: msg.src)
+                    batches = [msg.payload for msg in incoming]
+                depart = buckets != my_bucket
                 if depart.any():
                     shard.remove_ids(shard.ids[depart])
                 moved_in = 0
-                for msg in incoming:
-                    batch: PointBatch = msg.payload
+                for batch in batches:
                     if len(batch):
                         shard.add_points(batch.coords, batch.ids, batch.labels)
                         moved_in += len(batch)
@@ -254,7 +368,23 @@ class RebalanceProgram(Program):
                 new_loads = np.zeros(k, dtype=np.int64)
                 new_loads[ctx.rank] = len(shard)
                 moved_total = moved_out
-                if k > 1:
+                if m > 1 and self.byz is not None:
+                    tracker = suspicions(ctx)
+                    peers = [r for r in live if r != ctx.rank]
+                    acks = yield from recv_from(
+                        ctx, t_done, peers, self.byz.timeout_rounds
+                    )
+                    for src, payload in acks.items():
+                        try:
+                            n_i, out_i = payload
+                            new_loads[src] = max(0, int(n_i))
+                            moved_total += max(0, int(out_i))
+                        except (TypeError, ValueError):
+                            tracker.accuse(src, "malformed rebalance ack")
+                    for src in peers:
+                        if src not in acks:
+                            tracker.accuse(src, "silent rebalance ack")
+                elif k > 1:
                     acks = yield from ctx.recv(t_done, k - 1)
                     for msg in acks:
                         n_i, out_i = msg.payload

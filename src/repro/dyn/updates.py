@@ -38,6 +38,7 @@ from typing import Generator
 import numpy as np
 
 from ..core.messages import tag
+from ..kmachine.byz import ByzConfig, ByzantineError, recv_from, robust_loads, suspicions
 from ..kmachine.machine import MachineContext, Program
 from ..kmachine.schema import PointBatch, UpdatePlan
 from ..points.dataset import Shard
@@ -122,6 +123,7 @@ class UpdateProgram(Program):
         insert_points: np.ndarray,
         insert_labels: np.ndarray | None = None,
         delete_ids: tuple[int, ...] = (),
+        byz: ByzConfig | None = None,
     ) -> None:
         self.leader = leader
         self.insert_ids = np.asarray(insert_ids, dtype=np.int64)
@@ -130,9 +132,17 @@ class UpdateProgram(Program):
             self.insert_points = self.insert_points.reshape(len(self.insert_ids), -1)
         self.insert_labels = insert_labels
         self.delete_ids = tuple(int(i) for i in delete_ids)
+        self.byz = byz
 
     def run(self, ctx: MachineContext) -> Generator[None, None, UpdateOutput]:
         """Per-machine body: load report, routed apply, ack."""
+        if self.byz is not None and ctx.rank in self.byz.quarantined:
+            # Fenced off by the session: hold no traffic, take no
+            # inserts.  (Quarantined ranks are normally also crashed in
+            # the simulator, so this guard is belt-and-braces.)
+            return UpdateOutput(
+                new_load=len(ctx.local), inserted=0, deleted=0, is_leader=False
+            )
         with ctx.obs.span(tag("dyn", "update")):
             if ctx.rank == self.leader:
                 output = yield from self._leader(ctx, ctx.local)
@@ -153,15 +163,43 @@ class UpdateProgram(Program):
         with ctx.obs.span(tag("dyn", "load-report")):
             loads = np.zeros(k, dtype=np.int64)
             loads[ctx.rank] = len(shard)
-            if k > 1:
+            if k > 1 and self.byz is not None:
+                # Tolerate silent liars and clip inflated reports: load
+                # numbers only steer the balance heuristic, so robust
+                # defaults beat hanging on a missing message.  A silent
+                # worker routes as if median-loaded.
+                tracker = suspicions(ctx)
+                peers = self.byz.workers(k, ctx.rank)
+                heard = yield from recv_from(
+                    ctx, t_load, peers, self.byz.timeout_rounds
+                )
+                values = [len(shard)]
+                for src, payload in heard.items():
+                    try:
+                        loads[src] = max(0, int(payload))
+                        values.append(int(loads[src]))
+                    except (TypeError, ValueError):
+                        tracker.accuse(src, "malformed load report")
+                        loads[src] = -1
+                default = int(np.median(values)) if values else 0
+                for src in peers:
+                    if src not in heard:
+                        tracker.accuse(src, "silent load report")
+                        loads[src] = -1
+                loads[loads < 0] = default
+                loads = robust_loads(loads, f=self.byz.f)
+            elif k > 1:
                 replies = yield from ctx.recv(t_load, k - 1)
                 for msg in replies:
                     loads[msg.src] = int(msg.payload)
 
         # Greedy least-loaded routing: deterministic (argmin takes the
         # lowest rank on ties), keeps inserts from piling onto already
-        # heavy machines.
+        # heavy machines.  Quarantined ranks are routed around — a
+        # fenced machine must never become the home of a live point.
         working = loads.copy()
+        if self.byz is not None and self.byz.quarantined:
+            working[list(self.byz.quarantined)] = np.iinfo(np.int64).max // 2
         assignment = np.empty(len(self.insert_ids), dtype=np.int64)
         for i in range(len(self.insert_ids)):
             target = int(np.argmin(working))
@@ -194,7 +232,21 @@ class UpdateProgram(Program):
         deleted_total = deleted_here
         new_loads = loads.copy()
         new_loads[ctx.rank] = len(shard)
-        if k > 1:
+        if k > 1 and self.byz is not None:
+            tracker = suspicions(ctx)
+            peers = self.byz.workers(k, ctx.rank)
+            acks = yield from recv_from(ctx, t_done, peers, self.byz.timeout_rounds)
+            for src, payload in acks.items():
+                try:
+                    d_i, n_i = payload
+                    deleted_total += max(0, int(d_i))
+                    new_loads[src] = max(0, int(n_i))
+                except (TypeError, ValueError):
+                    tracker.accuse(src, "malformed update ack")
+            for src in peers:
+                if src not in acks:
+                    tracker.accuse(src, "silent update ack")
+        elif k > 1:
             acks = yield from ctx.recv(t_done, k - 1)
             for msg in acks:
                 d_i, n_i = msg.payload
@@ -221,13 +273,37 @@ class UpdateProgram(Program):
 
         with ctx.obs.span(tag("dyn", "load-report")):
             ctx.send(self.leader, t_load, len(shard))
-        plan_msg = yield from ctx.recv_one(t_plan, src=self.leader)
-        plan: UpdatePlan = plan_msg.payload
+        if self.byz is not None:
+            heard = yield from recv_from(
+                ctx, t_plan, [self.leader], self.byz.op_budget(ctx.k)
+            )
+            plan = heard.get(self.leader)
+            if not isinstance(plan, UpdatePlan) or len(plan.insert_counts) != ctx.k:
+                raise ByzantineError(
+                    f"machine {ctx.rank}: update leader {self.leader} sent "
+                    f"no usable plan",
+                    suspects=(self.leader,),
+                )
+        else:
+            plan_msg = yield from ctx.recv_one(t_plan, src=self.leader)
+            plan = plan_msg.payload
 
         inserted = 0
         my_count = plan.insert_counts[ctx.rank]
         batch: PointBatch | None = None
-        if my_count > 0:
+        if my_count > 0 and self.byz is not None:
+            heard = yield from recv_from(
+                ctx, t_ins, [self.leader], self.byz.op_budget(ctx.k)
+            )
+            env = heard.get(self.leader)
+            if isinstance(env, PointBatch):
+                batch = env
+            else:
+                # The envelope was silenced or forged away.  Apply what
+                # we have; the session's shard-integrity audit detects
+                # the lost inserts and repairs from its mirror.
+                suspicions(ctx).accuse(self.leader, "missing insert envelope")
+        elif my_count > 0:
             env = yield from ctx.recv_one(t_ins, src=self.leader)
             batch = env.payload
 

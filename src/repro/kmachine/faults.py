@@ -64,11 +64,18 @@ __all__ = [
     "CorruptedPayload",
     "FaultPlan",
     "FaultInjector",
+    "Liar",
+    "ByzantinePlan",
+    "BYZ_STRATEGIES",
 ]
 
 #: Salt mixed into the injector's seed sequence so the fault stream can
 #: never collide with machine RNG streams spawned from the same seed.
 _INJECTOR_SALT = 0xFA_17
+
+#: Salt for the Byzantine tamper stream — independent of both the
+#: honest-fault stream and every machine RNG stream.
+_BYZ_SALT = 0xB1_2A
 
 
 def _check_prob(name: str, p: float) -> None:
@@ -239,6 +246,147 @@ class FaultPlan:
         )
 
 
+#: Tamper strategies a :class:`Liar` may adopt.  Each mangles a
+#: different slice of the control plane:
+#:
+#: ``equivocate``
+#:     Integer reports (selection counts, load reports, votes, echo
+#:     relays) are perturbed *per recipient*, so different machines
+#:     hear different values for the same logical broadcast.
+#: ``forge``
+#:     ``(value, id)`` wire keys (pivots, splitters, thresholds,
+#:     boundaries) are replaced by fabricated values; bare integers
+#:     (election ids) are forged small enough to win min-id elections.
+#: ``inflate`` / ``deflate``
+#:     Integer reports are scaled up / down consistently — the lying
+#:     load-reporter and count-padder of the issue.
+#: ``silence``
+#:     A deterministic ~55% of outgoing messages are dropped
+#:     (selective denial of service; distinct from a crash because the
+#:     machine keeps participating whenever convenient).
+BYZ_STRATEGIES = ("equivocate", "forge", "inflate", "deflate", "silence")
+
+
+@dataclass(frozen=True)
+class Liar:
+    """One Byzantine machine: ``rank`` plus the strategy its NIC runs.
+
+    The adversary model is a *lying network interface*: the machine
+    executes honest program code, but everything it sends may be
+    tampered on the way out.  This keeps plans declarative and
+    seed-reproducible while still producing equivocation (per-recipient
+    tampering of a logical broadcast) — and it means local state kept
+    by a liar (its shard, its per-machine output) stays honest, which
+    is what lets the defense layer attribute blame by comparing wire
+    claims against realised outputs.
+    """
+
+    rank: int
+    strategy: str = "equivocate"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"liar rank must be >= 0, got {self.rank}")
+        if self.strategy not in BYZ_STRATEGIES:
+            raise ValueError(
+                f"unknown Byzantine strategy {self.strategy!r}; "
+                f"expected one of {BYZ_STRATEGIES}"
+            )
+
+
+@dataclass(frozen=True)
+class ByzantinePlan:
+    """Declarative, seed-reproducible schedule of lying machines.
+
+    Composes with :class:`FaultPlan` inside the same
+    :class:`FaultInjector`: tampering happens first (the NIC mangles
+    the message at the source), then the honest fault dice
+    (drop/duplicate/corrupt/outage) roll on whatever survives.  Two
+    runs with the same ``(seed, plan, submission sequence)`` tamper
+    identically.
+    """
+
+    seed: int = 0
+    liars: tuple[Liar, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "liars", tuple(self.liars))
+        ranks = [liar.rank for liar in self.liars]
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("at most one Liar per rank")
+
+    # ------------------------------------------------------------------
+    @property
+    def f(self) -> int:
+        """Number of Byzantine machines in the plan."""
+        return len(self.liars)
+
+    @property
+    def ranks(self) -> frozenset[int]:
+        """The lying ranks."""
+        return frozenset(liar.rank for liar in self.liars)
+
+    @property
+    def trivial(self) -> bool:
+        """True when the plan contains no liars."""
+        return not self.liars
+
+    def strategy_of(self, rank: int) -> str | None:
+        """The strategy run by ``rank``'s NIC, or ``None`` if honest."""
+        for liar in self.liars:
+            if liar.rank == rank:
+                return liar.strategy
+        return None
+
+    # ------------------------------------------------------------------
+    def without_liars(self, ranks: tuple[int, ...] | list[int] | set[int]) -> "ByzantinePlan":
+        """A copy with the given lying ranks removed.
+
+        The Byzantine analogue of :meth:`FaultPlan.without_crashes`:
+        once a recovery driver has excluded a machine, its liar entry
+        must not follow the survivors into the retry.
+        """
+        gone = set(ranks)
+        return replace(
+            self, liars=tuple(l for l in self.liars if l.rank not in gone)
+        )
+
+    def restricted_to(self, k: int) -> "ByzantinePlan":
+        """A copy valid for a ``k``-machine run (liars at ranks ``>= k`` dropped)."""
+        return replace(self, liars=tuple(l for l in self.liars if l.rank < k))
+
+    def remap(self, survivors: list[int] | tuple[int, ...]) -> "ByzantinePlan":
+        """Renumber liar ranks onto a survivor sub-cluster.
+
+        ``survivors`` lists the *original* ranks retained, in the order
+        they become ranks ``0..len(survivors)-1`` of the restarted run.
+        Liars not among the survivors are dropped.  Mirrors how the
+        recovery drivers shrink a :class:`FaultPlan` between attempts.
+        """
+        position = {orig: new for new, orig in enumerate(survivors)}
+        kept = tuple(
+            replace(l, rank=position[l.rank])
+            for l in self.liars
+            if l.rank in position
+        )
+        return replace(self, liars=kept)
+
+
+def _is_wire_key(obj: Any) -> bool:
+    """A ``(value, id)`` key tuple as produced by ``encode_key``."""
+    return (
+        isinstance(obj, tuple)
+        and len(obj) == 2
+        and isinstance(obj[0], (float, np.floating))
+        and isinstance(obj[1], (int, np.integer))
+        and not isinstance(obj[1], bool)
+    )
+
+
+def _is_plain_int(obj: Any) -> bool:
+    return isinstance(obj, (int, np.integer)) and not isinstance(obj, bool)
+
+
 class FaultInjector:
     """Runtime fault engine: rolls the plan's dice, deterministically.
 
@@ -248,10 +396,17 @@ class FaultInjector:
     Network` in tests.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(
+        self, plan: FaultPlan, byzantine: "ByzantinePlan | None" = None
+    ) -> None:
         self.plan = plan
+        self.byzantine = byzantine
         self.rng = np.random.default_rng(
             np.random.SeedSequence([_INJECTOR_SALT, int(plan.seed)])
+        )
+        byz_seed = 0 if byzantine is None else int(byzantine.seed)
+        self.byz_rng = np.random.default_rng(
+            np.random.SeedSequence([_BYZ_SALT, byz_seed])
         )
         self.round = 0
         self.crashed: set[int] = set()
@@ -292,6 +447,12 @@ class FaultInjector:
         if msg.src in self.crashed or msg.dst in self.crashed:
             self._account("crash_drops", msg, "fault-crash-drop")
             return []
+        if self.byzantine is not None:
+            strategy = self.byzantine.strategy_of(msg.src)
+            if strategy is not None:
+                msg = self._tamper(msg, strategy)
+                if msg is None:
+                    return []
         for outage in self.plan.outages:
             if outage.covers(msg.src, msg.dst, self.round):
                 self._account("outage_drops", msg, "fault-outage-drop")
@@ -326,6 +487,104 @@ class FaultInjector:
     def account_purge(self, msg: Message, rank: int) -> None:
         """Account one in-flight message purged because ``rank`` crashed."""
         self._account("crash_drops", msg, "fault-crash-drop")
+
+    # ------------------------------------------------------------------
+    # Byzantine tamper engine
+    #
+    # Strategies operate on payload *shape*, not protocol knowledge:
+    # the NIC recognises bare integers (load reports, election ids,
+    # survivor counts), pure-integer report tuples (update acks),
+    # opcode tuples ``(str, ...)`` (selection traffic), ``(value, id)``
+    # wire keys (pivots / thresholds / boundaries) and echo/vote
+    # envelopes — and leaves bulk data envelopes (PointBatch,
+    # UpdatePlan) untouched except under ``silence``.  Every mutation
+    # draws from the dedicated ``byz_rng`` in submission order, so the
+    # lies are a pure function of ``(ByzantinePlan, submission
+    # sequence)``.
+    def _tamper(self, msg: Message, strategy: str) -> Message | None:
+        if strategy == "silence":
+            if self.byz_rng.random() < 0.55:
+                self._account("byz_silenced", msg, "byz-silence")
+                return None
+            return msg
+        new_payload = self._tamper_payload(msg.payload, strategy, msg.dst)
+        if new_payload is msg.payload:
+            return msg
+        self._account("byz_tampered", msg, f"byz-{strategy}")
+        return replace(msg, payload=new_payload)
+
+    def _tamper_payload(self, payload: Any, strategy: str, dst: int) -> Any:
+        # Envelopes: lie about the relayed value / vote, keep identity
+        # fields (tampering those is modelled as dissent and pinned on
+        # the relayer by the quorum resolution).
+        cls_name = type(payload).__name__
+        if cls_name == "Echo":
+            inner = self._tamper_payload(payload.value, strategy, dst)
+            if inner is payload.value:
+                return payload
+            return type(payload)(origin=payload.origin, value=inner)
+        if cls_name == "VoteEnvelope":
+            if strategy in ("equivocate", "inflate", "deflate"):
+                return type(payload)(
+                    voter=payload.voter,
+                    choice=self._lie_int(int(payload.choice), strategy, dst),
+                    term=payload.term,
+                )
+            return payload
+        if _is_plain_int(payload):
+            if strategy == "forge":
+                # Forged identity scalar: small enough to win any
+                # min-id election, stable so the lie is consistent.
+                return -abs(int(payload)) // 2 - 1
+            return self._lie_int(int(payload), strategy, dst)
+        if _is_wire_key(payload):
+            if strategy == "forge":
+                return self._forge_key(payload)
+            return payload
+        if isinstance(payload, tuple) and payload:
+            if all(_is_plain_int(x) for x in payload):
+                return tuple(
+                    self._lie_int(int(x), strategy, dst) for x in payload
+                )
+            if isinstance(payload[0], str):
+                return self._tamper_op_tuple(payload, strategy, dst)
+        return payload
+
+    def _tamper_op_tuple(self, payload: tuple, strategy: str, dst: int) -> tuple:
+        changed = False
+        out: list[Any] = [payload[0]]
+        for elem in payload[1:]:
+            if _is_plain_int(elem) and strategy in (
+                "equivocate",
+                "inflate",
+                "deflate",
+            ):
+                elem = self._lie_int(int(elem), strategy, dst)
+                changed = True
+            elif _is_wire_key(elem) and strategy == "forge":
+                if self.byz_rng.random() < 0.7:
+                    elem = self._forge_key(elem)
+                    changed = True
+            out.append(elem)
+        return tuple(out) if changed else payload
+
+    def _lie_int(self, value: int, strategy: str, dst: int) -> int:
+        if strategy == "equivocate":
+            # Different recipients hear different values for the same
+            # logical broadcast; the offset depends on the destination.
+            offset = int(self.byz_rng.integers(1, 4)) + (dst % 3)
+            sign = 1 if (dst + int(self.byz_rng.integers(0, 2))) % 2 else -1
+            return max(0, value + sign * offset)
+        if strategy == "inflate":
+            return value * 3 + 7
+        # deflate
+        return max(0, value // 4 - 1)
+
+    def _forge_key(self, wire: tuple) -> tuple:
+        value = float(wire[0])
+        span = abs(value) + 1.0
+        forged = value + float(self.byz_rng.uniform(-2.0, 2.0)) * span
+        return (forged, int(wire[1]))
 
     # ------------------------------------------------------------------
     def _bump(self, counter: str) -> None:

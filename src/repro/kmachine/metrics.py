@@ -66,6 +66,9 @@ class Metrics:
     crashed:
         ``(rank, round)`` pairs for every crash-stop event that felled
         a still-running machine.
+    byz_tampered / byz_silenced:
+        Messages mangled or suppressed by a Byzantine NIC (see
+        :class:`~repro.kmachine.faults.ByzantinePlan`).
     retransmissions / acks_sent / duplicates_suppressed / checksum_failures:
         Reliable-layer accounting (see :mod:`repro.kmachine.reliable`):
         ACK-timeout retransmissions, ACK messages emitted, duplicate
@@ -93,6 +96,8 @@ class Metrics:
     crash_drops: int = 0
     crashed: list[tuple[int, int]] = field(default_factory=list)
     retransmissions: int = 0
+    byz_tampered: int = 0
+    byz_silenced: int = 0
     acks_sent: int = 0
     duplicates_suppressed: int = 0
     checksum_failures: int = 0
@@ -136,6 +141,8 @@ class Metrics:
             crash_drops=self.crash_drops + other.crash_drops,
             crashed=list(self.crashed) + list(other.crashed),
             retransmissions=self.retransmissions + other.retransmissions,
+            byz_tampered=self.byz_tampered + other.byz_tampered,
+            byz_silenced=self.byz_silenced + other.byz_silenced,
             acks_sent=self.acks_sent + other.acks_sent,
             duplicates_suppressed=self.duplicates_suppressed + other.duplicates_suppressed,
             checksum_failures=self.checksum_failures + other.checksum_failures,

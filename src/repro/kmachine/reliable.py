@@ -306,7 +306,9 @@ def _inband_seq(ctx: MachineContext, dst: int) -> int:
     counters = getattr(ctx, "_inband_seq", None)
     if counters is None:
         counters = {}
-        ctx._inband_seq = counters  # type: ignore[attr-defined]
+        # reliable-layer annotation on the context, not a simulator
+        # internal: attached via setattr to mirror the getattr read.
+        setattr(ctx, "_inband_seq", counters)
     seq = counters.get(dst, 0)
     counters[dst] = seq + 1
     return seq

@@ -49,6 +49,9 @@ __all__ = [
     "check_roundtrip",
     "PointBatch",
     "UpdatePlan",
+    "Echo",
+    "VoteEnvelope",
+    "SuspicionNotice",
 ]
 
 T = TypeVar("T", bound=type)
@@ -195,3 +198,50 @@ class UpdatePlan:
 
     insert_counts: tuple[int, ...]
     delete_ids: tuple[int, ...]
+
+
+@wire_schema(description="byz-layer echo relay: what I heard `origin` claim")
+@dataclasses.dataclass(frozen=True)
+class Echo:
+    """One relayed observation in a quorum-verified gather.
+
+    Workers broadcast their report, then relay every peer report they
+    heard to the leader as ``Echo(origin, value)``.  The leader (or a
+    worker confirming a leader broadcast) resolves each origin by
+    plurality over direct + relayed observations, which is what makes
+    equivocation detectable: with ``f < k/3`` liars, any two honest
+    views of an honest origin agree.
+    """
+
+    origin: int
+    value: Any
+
+
+@wire_schema(description="byz-layer election ballot for f-tolerant leader election")
+@dataclasses.dataclass(frozen=True)
+class VoteEnvelope:
+    """One ballot in f-tolerant min-id election.
+
+    ``choice`` is the rank the voter believes holds the minimum
+    ``(machine_id, rank)`` among live candidates; ``term`` namespaces
+    re-elections so stale ballots can't leak across rounds.
+    """
+
+    voter: int
+    choice: int
+    term: int
+
+
+@wire_schema(description="byz-layer suspicion notice: accuser flags a suspect")
+@dataclasses.dataclass(frozen=True)
+class SuspicionNotice:
+    """Fire-and-forget accusation broadcast by the defense layer.
+
+    Carries no authority by itself — receivers fold it into their
+    :class:`~repro.kmachine.byz.SuspicionTracker`, and the recovery
+    drivers aggregate trackers across machines before excluding
+    anyone.
+    """
+
+    suspect: int
+    reason: str

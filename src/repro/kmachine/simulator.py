@@ -41,7 +41,7 @@ from typing import Any, Callable, Generator, Iterable, Sequence
 import numpy as np
 
 from .errors import DeadlockError, FaultError, ProtocolError
-from .faults import FaultInjector, FaultPlan
+from .faults import ByzantinePlan, FaultInjector, FaultPlan
 from .machine import MachineContext, Program
 from .message import Message
 from .metrics import Metrics, RoundRecord
@@ -139,6 +139,11 @@ class Simulator:
         the plan's crash-stop events (see below).  Fault decisions are
         a pure function of ``(plan, submission order)``, never of the
         machines' RNG streams, so runs stay reproducible.
+    byzantine:
+        Optional :class:`~repro.kmachine.faults.ByzantinePlan` of lying
+        machines.  Tampering runs inside the same injector, *before*
+        the honest fault dice, so crash and Byzantine schedules
+        compose.
     reliable:
         ``True`` or a :class:`~repro.kmachine.reliable.
         ReliabilityConfig` to substitute
@@ -162,6 +167,7 @@ class Simulator:
         trace: bool | Tracer = False,
         sizing: SizingPolicy | None = None,
         faults: FaultPlan | None = None,
+        byzantine: ByzantinePlan | None = None,
         reliable: ReliabilityConfig | bool | None = None,
         spans: bool = False,
         observers: Iterable[Any] | None = None,
@@ -184,7 +190,13 @@ class Simulator:
             self.tracer = Tracer() if trace else NullTracer()
         self.observers = list(observers) if observers is not None else []
         self.fault_plan = faults
-        self.fault_injector = FaultInjector(faults) if faults is not None else None
+        self.byzantine_plan = byzantine
+        if faults is not None or (byzantine is not None and not byzantine.trivial):
+            self.fault_injector = FaultInjector(
+                faults if faults is not None else FaultPlan(), byzantine=byzantine
+            )
+        else:
+            self.fault_injector = None
         self.network.fault_injector = self.fault_injector
         #: ranks felled by crash-stop events, for post-mortem inspection
         self.crashed_ranks: set[int] = set()

@@ -9,8 +9,9 @@ network, or another machine's context bypasses bandwidth accounting
 and fabricates shared memory the model forbids.
 
 The rule fires only inside program functions (functions with a ``ctx``
-parameter) in ``core/``, so driver/orchestration code is free to build
-and own :class:`Simulator` instances.  Flagged inside program scope:
+parameter) in ``core/``, ``kmachine/``, ``serve/`` and ``dyn/``, so
+driver/orchestration code is free to build and own :class:`Simulator`
+instances.  Flagged inside program scope:
 
 * attribute access to runtime internals (``.simulator``, ``.network``,
   ``._machines``, ``._contexts``, ``.machines``, ``.contexts``);
@@ -48,7 +49,7 @@ class IsolationRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "serve", "dyn"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn"):
             return
         for func in ast.walk(module.tree):
             if not is_program_function(func):

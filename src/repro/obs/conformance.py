@@ -49,9 +49,12 @@ __all__ = [
     "check_selection_result",
     "check_knn",
     "check_knn_result",
+    "check_byzantine",
     "check_rebalance",
     "check_served_query",
     "check_update",
+    "byzantine_gather_overhead",
+    "byzantine_message_budget",
     "rebalance_message_budget",
     "served_message_budget",
     "update_message_budget",
@@ -557,4 +560,110 @@ def check_served_query(
                 "l",
             )
         )
+    return report
+
+
+def byzantine_gather_overhead(k: int) -> float:
+    """Extra messages one *hardened* exchange costs over its plain form.
+
+    The quorum defenses replace each trust-the-leader hop with two
+    mesh-shaped phases (:mod:`repro.kmachine.byz`): a confirmed
+    broadcast echoes the leader's value worker-to-worker
+    (``(k−1)(k−2)`` echoes on top of the plain ``k−1`` sends), and a
+    confirmed decision gathers a vote from every live machine at every
+    live machine (``(k−1)²`` envelopes where the plain path used
+    ``k−1`` acks).  Both phases stay O(k²) and n-free — lying costs
+    a factor of k in messages, never a factor of n.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return float((k - 1) * (k - 2)) + float((k - 1) ** 2)
+
+
+def byzantine_message_budget(
+    n: int,
+    k: int,
+    f: int,
+    *,
+    iterations: float | None = None,
+    attempts: int = 1,
+) -> float:
+    """Message budget for hardened selection under ≤ f liars.
+
+    Per attempt the budget is Theorem 2.2's plain bound plus one
+    :func:`byzantine_gather_overhead` per Algorithm 1 iteration (each
+    iteration runs one confirmed pivot broadcast and one confirmed
+    count decision); a supervised operation may retry up to ``2f + 2``
+    times, so ``attempts`` scales the whole budget.  At ``f = 0`` the
+    hardened paths are compiled out and the budget collapses to the
+    plain Theorem 2.2 bound — the zero-overhead contract.
+    """
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be >= 1")
+    if f < 0 or attempts < 1:
+        raise ValueError("f must be >= 0 and attempts >= 1")
+    plain = selection_message_bound(max(2, n), k)
+    if f == 0:
+        return plain
+    iters = (
+        float(iterations)
+        if iterations is not None
+        else expected_selection_iterations_bound(max(2, n))
+    )
+    per_attempt = plain + iters * byzantine_gather_overhead(k)
+    return attempts * per_attempt
+
+
+def check_byzantine(
+    messages: int,
+    *,
+    n: int,
+    k: int,
+    f: int,
+    iterations: float | None = None,
+    attempts: int = 1,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """Check one supervised Byzantine operation against its budgets.
+
+    ``messages`` is the operation's metrics delta across *all* its
+    attempts; ``attempts`` the supervisor's attempt count (from
+    :attr:`repro.core.driver.SelectResult.attempts` or the session's
+    retry marks).  Two checks: total traffic stays within ``attempts``
+    hardened-selection budgets (O(k² log n) per attempt — degradation
+    is a k-factor, never an n-factor), and the supervisor honoured its
+    ``2f + 2`` attempt ceiling, which bounds detection latency and
+    guarantees termination.
+    """
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be >= 1")
+    if f < 0:
+        raise ValueError("f must be >= 0")
+    report = ConformanceReport(
+        algorithm="byzantine",
+        params={"n": n, "k": k, "f": f, "attempts": attempts},
+    )
+    scale = float(max(1, k * k)) * _log2(n)
+    report.checks.append(
+        _make_check(
+            "messages",
+            "hardened selection (O(k^2 log n) per attempt)",
+            messages,
+            slack * byzantine_message_budget(
+                n, k, f, iterations=iterations, attempts=attempts
+            ),
+            scale,
+            "k^2*log2(n)",
+        )
+    )
+    report.checks.append(
+        _make_check(
+            "attempts",
+            "supervisor budget (2f + 2)",
+            attempts,
+            float(2 * f + 2),
+            float(max(1, f + 1)),
+            "f+1",
+        )
+    )
     return report

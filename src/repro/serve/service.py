@@ -120,6 +120,9 @@ class KNNService:
         timeline: bool = False,
         balance_threshold: float = 2.0,
         auto_rebalance: bool = True,
+        byzantine=None,
+        byzantine_f: int | None = None,
+        byzantine_timeout_rounds: int = 32,
     ) -> None:
         if on_full not in ("reject", "flush"):
             raise ValueError("on_full must be 'reject' or 'flush'")
@@ -139,6 +142,9 @@ class KNNService:
             timeline=timeline,
             balance_threshold=balance_threshold,
             auto_rebalance=auto_rebalance,
+            byzantine=byzantine,
+            byzantine_f=byzantine_f,
+            byzantine_timeout_rounds=byzantine_timeout_rounds,
         )
         self.queue = AdmissionQueue(max_depth=max_depth)
         self.batcher = MicroBatcher(

@@ -27,7 +27,7 @@ admission decisions on their own track next to the protocol phases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Generator, Sequence
 
 import numpy as np
@@ -39,6 +39,14 @@ from ..core.messages import tag
 from ..dyn.balance import ImbalanceMonitor, RebalanceProgram, balance_ratio
 from ..dyn.epochs import EpochLog
 from ..dyn.updates import MutationRecord, UpdateProgram
+from ..kmachine.byz import (
+    ByzConfig,
+    ByzantineError,
+    aggregate_suspicions,
+    attribute_blame,
+)
+from ..kmachine.errors import FaultError
+from ..kmachine.faults import ByzantinePlan
 from ..kmachine.machine import MachineContext, Program
 from ..kmachine.metrics import Metrics
 from ..kmachine.simulator import Simulator
@@ -99,16 +107,33 @@ class SessionAnswer:
 
 
 class SessionInitProgram(Program):
-    """Episode 0: leader election only (the amortized one-time cost)."""
+    """Episode 0: leader election only (the amortized one-time cost).
+
+    Re-used for *re*-elections after the session quarantines a leader:
+    ``byz`` switches the hardened (quarantine-aware) election paths on
+    and ``term`` keeps each re-election's tags distinct so stale
+    ballots from an earlier term cannot be replayed into a later one.
+    """
 
     name = "serve-init"
 
-    def __init__(self, election: str = "fixed") -> None:
+    def __init__(
+        self,
+        election: str = "fixed",
+        byz: ByzConfig | None = None,
+        term: int = 0,
+    ) -> None:
         self.election = election
+        self.byz = byz
+        self.term = term
 
     def run(self, ctx: MachineContext) -> Generator[None, None, int]:
         """Elect and return the leader rank (identical on all machines)."""
-        leader = yield from elect(ctx, method=self.election)
+        if self.byz is not None and ctx.rank in self.byz.quarantined:
+            return -1
+        leader = yield from elect(
+            ctx, method=self.election, byz=self.byz, term=self.term
+        )
         return leader
 
 
@@ -134,6 +159,8 @@ class ServeBatchProgram(Program):
         sample_factor: int = 12,
         cutoff_factor: int = 21,
         batch_index: int = 0,
+        byz: ByzConfig | None = None,
+        attempt: int = 0,
     ) -> None:
         if not jobs:
             raise ValueError("batch must contain at least one job")
@@ -145,11 +172,23 @@ class ServeBatchProgram(Program):
         self.sample_factor = sample_factor
         self.cutoff_factor = cutoff_factor
         self.batch_index = batch_index
+        self.byz = byz
+        self.attempt = attempt
+
+    def _prefix(self, qid: int) -> str:
+        """Per-query tag namespace; Byzantine replays get an ``rN``
+        segment so a retry can never consume a failed attempt's stale
+        traffic (``_messages_for`` still attributes both to ``qid``)."""
+        if self.attempt == 0:
+            return tag(QUERY_NAMESPACE, qid)
+        return tag(QUERY_NAMESPACE, qid, f"r{self.attempt}")
 
     def run(
         self, ctx: MachineContext
-    ) -> Generator[None, None, list[tuple[KNNOutput, int]]]:
+    ) -> Generator[None, None, list[tuple[KNNOutput, int]] | None]:
         """Step one ℓ-NN generator per job round-robin until all return."""
+        if self.byz is not None and ctx.rank in self.byz.quarantined:
+            return None
         queries = [
             knn_subroutine(
                 ctx,
@@ -162,7 +201,8 @@ class ServeBatchProgram(Program):
                 sample_factor=self.sample_factor,
                 cutoff_factor=self.cutoff_factor,
                 threshold=job.threshold,
-                prefix=tag(QUERY_NAMESPACE, job.qid),
+                prefix=self._prefix(job.qid),
+                byz=self.byz,
             )
             for job in self.jobs
         ]
@@ -220,6 +260,9 @@ class ClusterSession:
         timeline: bool = False,
         balance_threshold: float = 2.0,
         auto_rebalance: bool = True,
+        byzantine: ByzantinePlan | None = None,
+        byzantine_f: int | None = None,
+        byzantine_timeout_rounds: int = 32,
     ) -> None:
         if k < 2:
             raise ValueError("serving needs k >= 2 machines")
@@ -237,6 +280,29 @@ class ClusterSession:
         self.safe_mode = safe_mode
         self.sample_factor = sample_factor
         self.cutoff_factor = cutoff_factor
+        # -- Byzantine hardening (see DESIGN.md §11) -------------------
+        byz_requested = byzantine is not None or (
+            byzantine_f is not None and byzantine_f > 0
+        )
+        if byz_requested and not safe_mode:
+            raise ValueError("byzantine hardening requires safe_mode=True")
+        f_target = (
+            byzantine_f
+            if byzantine_f is not None
+            else (byzantine.f if byzantine is not None else 0)
+        )
+        f_eff = min(int(f_target), max(0, (k - 1) // 3))
+        self._byz_plan = byzantine.restricted_to(k) if byzantine is not None else None
+        self._byz_cfg = (
+            ByzConfig(f=f_eff, timeout_rounds=byzantine_timeout_rounds)
+            if byz_requested
+            else None
+        )
+        #: ranks convicted of lying and fenced off (crashed + excluded
+        #: from every quorum; their points live on in healthy shards)
+        self.quarantined: set[int] = set()
+        self._election_term = 0
+        self._last_fail_leader: int | None = None
         shards = shard_dataset(self.dataset, k, rng, partitioner)
         self._sim = Simulator(
             k=k,
@@ -247,6 +313,7 @@ class ClusterSession:
             spans=spans,
             trace=trace,
             timeline=timeline,
+            byzantine=self._byz_plan,
         )
         init = self._sim.run()
         self.leader = int(init.outputs[0])
@@ -264,7 +331,7 @@ class ClusterSession:
         self.loads: list[int] = [len(s) for s in shards]
         #: accounting for every mutation episode (budget checks read this)
         self.mutations: list[MutationRecord] = []
-        self.monitor = ImbalanceMonitor(threshold=balance_threshold)
+        self.monitor = ImbalanceMonitor(threshold=balance_threshold, robust_f=f_eff)
         self.auto_rebalance = auto_rebalance
         # Insert ids must be unique against everything ever assigned; a
         # dedicated stream (seed offset 2) keeps query/election seeding
@@ -274,7 +341,7 @@ class ClusterSession:
         )
         # Establish the balance invariant before the first query: a
         # skewed/adversarial initial placement may already violate it.
-        report = self.monitor.observe(self.loads)
+        report = self.monitor.observe(self._live_loads())
         if self.auto_rebalance and self.monitor.should_rebalance(report):
             self.rebalance()
 
@@ -319,6 +386,8 @@ class ClusterSession:
         jobs = list(jobs)
         if not jobs:
             return []
+        if self._byz_cfg is not None:
+            return self._run_batch_byz(jobs)
         rec = self._sim.span_recorder
         dispatch_span = (
             rec.open(tag("serve", "dispatch", self.batches), SCHEDULER_RANK)
@@ -396,11 +465,317 @@ class ClusterSession:
             )
         return answers
 
+    # -- Byzantine supervision (see DESIGN.md §11) ---------------------
+    #
+    # The session is the trusted control plane: liars tamper only with
+    # their NIC, so shard objects and per-machine outputs are genuine
+    # even on a lying machine.  Correctness therefore never rests on
+    # the quorum layer — every served answer is re-verified against
+    # the downward-closure invariant (common boundary + exactly ℓ
+    # points), and any corrupting lie trips the check, convicts a
+    # suspect, and replays the query with the suspect fenced off.
+
+    @property
+    def _byz_budget(self) -> int:
+        """Attempt budget per operation: each failed attempt fences at
+        least one machine, and ``f`` liars plus the ambiguous-blame
+        slack can absorb at most ``2f + 1`` failures."""
+        return 2 * self._byz_cfg.f + 2
+
+    def _reset_suspicions(self) -> None:
+        """Clear per-machine accusation ledgers before an attempt so
+        blame attribution weighs only the evidence of that attempt."""
+        for ctx in self._sim.contexts:
+            ctx._byz_suspicions = None  # type: ignore[attr-defined]
+
+    def _run_batch_byz(self, jobs: list[QueryJob]) -> list[SessionAnswer]:
+        """Hardened :meth:`run_batch`: verify, convict, fence, replay."""
+        rec = self._sim.span_recorder
+        dispatch_span = (
+            rec.open(tag("serve", "dispatch", self.batches), SCHEDULER_RANK)
+            if rec is not None
+            else None
+        )
+        answers: dict[int, SessionAnswer] = {}
+        pending = list(jobs)
+        budget = self._byz_budget
+        # Hardened gathers time out, so patience must scale with the
+        # traffic sharing the links: m concurrent queries multiply the
+        # per-link queueing delay by ~m (worst on a nearly-fenced
+        # cluster where everything funnels through few machines).
+        # ``stretch`` additionally doubles after any attempt that
+        # fences nobody — no fencing means no liar was identified, so
+        # the failure is congestion, and replaying at the same timeout
+        # would livelock.
+        stretch = 1
+        for attempt in range(budget):
+            self._reset_suspicions()
+            cfg = replace(
+                self._byz_cfg,
+                timeout_rounds=self._byz_cfg.timeout_rounds
+                * max(1, len(pending))
+                * stretch,
+            )
+            program = ServeBatchProgram(
+                pending,
+                self.l,
+                self.metric,
+                self.leader,
+                safe_mode=self.safe_mode,
+                sample_factor=self.sample_factor,
+                cutoff_factor=self.cutoff_factor,
+                batch_index=self.batches,
+                byz=cfg,
+                attempt=attempt,
+            )
+            caught: FaultError | None = None
+            result = None
+            try:
+                result = self._sim.run_episode(program)
+            except FaultError as exc:
+                caught = exc
+            self.batches += 1
+            failed: list[QueryJob] = []
+            mismatch: set[int] = set()
+            if caught is None:
+                assembled = self._assemble(pending, result.outputs)
+                for i, (job, answer) in enumerate(zip(pending, assembled)):
+                    ok, bad_ranks = self._verify_query(i, result.outputs)
+                    if ok:
+                        answers[job.qid] = answer
+                    else:
+                        failed.append(job)
+                        mismatch |= bad_ranks
+            else:
+                failed = pending
+            if not failed:
+                break
+            if attempt == budget - 1:
+                raise ByzantineError(
+                    f"batch unverified after {budget} attempts "
+                    f"({len(failed)} of {len(jobs)} queries failing)"
+                )
+            suspects = self._byz_suspects(caught, mismatch)
+            self._last_fail_leader = self.leader
+            self.mark(tag("byz", "retry", self.batches))
+            fenced_before = len(self.quarantined)
+            self._quarantine(suspects)
+            if len(self.quarantined) == fenced_before:
+                stretch *= 2
+            pending = failed
+        if dispatch_span is not None:
+            rec.close(dispatch_span)
+        return [answers[job.qid] for job in jobs]
+
+    def _verify_query(
+        self, index: int, outputs: list
+    ) -> tuple[bool, set[int]]:
+        """Trusted-side exactness check for one served query.
+
+        Every machine outputs precisely its local keys ``<=`` its
+        believed boundary (honest code, so this holds on liars too).
+        If all contributing machines report the *same* boundary and
+        the assembled total is exactly ``l``, the union is the
+        downward-closed ℓ-prefix of the global key order — the exact
+        answer.  Any corrupting lie must break one of the two
+        conditions; the broken condition names its suspects (minority
+        boundary groups, or ranks whose realised count contradicts the
+        leader's accepted bookkeeping).
+        """
+        contrib: list[tuple[int, KNNOutput]] = []
+        for rank, per_machine in enumerate(outputs):
+            if per_machine is None:  # crashed or quarantined
+                continue
+            contrib.append((rank, per_machine[index][0]))
+        groups: dict[tuple[float, int], list[int]] = {}
+        total = 0
+        leader_out: KNNOutput | None = None
+        for rank, out in contrib:
+            total += len(out.ids)
+            key = (float(out.boundary.value), int(out.boundary.id))
+            groups.setdefault(key, []).append(rank)
+            if out.is_leader:
+                leader_out = out
+        ok = True
+        mismatch: set[int] = set()
+        if len(groups) > 1:
+            ok = False
+            majority = max(groups.values(), key=len)
+            for ranks in groups.values():
+                if ranks is not majority:
+                    mismatch.update(ranks)
+        if total != self.l:
+            ok = False
+            stats = None if leader_out is None else leader_out.selection_stats
+            accepted = getattr(stats, "accepted_counts", None)
+            if accepted is not None and len(accepted) == self.k:
+                for rank, out in contrib:
+                    if int(accepted[rank]) != len(out.ids):
+                        mismatch.add(rank)
+        return ok, mismatch
+
+    def _byz_suspects(
+        self, caught: FaultError | None, mismatch: set[int]
+    ) -> tuple[int, ...]:
+        """Whom to fence after a failed attempt (mirrors the batch
+        driver's layered attribution; see ``attribute_blame``)."""
+        f = self._byz_cfg.f
+        if isinstance(caught, ByzantineError) and caught.suspects:
+            explicit = [
+                r
+                for r in caught.suspects
+                if 0 <= r < self.k and r not in self.quarantined
+            ]
+            if 0 < len(explicit) <= f + 1:
+                # Unlike the batch drivers, a session keeps its leader
+                # across attempts — a lying leader could deflect blame
+                # onto one honest accusation target per attempt forever.
+                # Two consecutive failures under the same leader fence
+                # the leader alongside the explicit evidence.
+                if (
+                    self._last_fail_leader == self.leader
+                    and self.leader not in explicit
+                    and self.leader not in self.quarantined
+                ):
+                    explicit.append(self.leader)
+                return tuple(sorted(set(explicit)))
+        weights = aggregate_suspicions(
+            self._sim.contexts, exclude=frozenset(self.quarantined)
+        )
+        clean_mismatch = [r for r in mismatch if r not in self.quarantined]
+        if caught is None and not clean_mismatch and not weights:
+            return ()  # nothing attributable: retry without exclusion
+        repeat = self._last_fail_leader == self.leader
+        return attribute_blame(
+            mismatch=clean_mismatch,
+            weights=weights,
+            f=f,
+            leader=self.leader,
+            repeat_offender=repeat,
+        )
+
+    def _quarantine(self, ranks: Sequence[int]) -> None:
+        """Fence convicted ranks and restore a clean protocol state.
+
+        A fenced machine is crashed in the simulator (its NIC never
+        speaks again), struck from every quorum via ``ByzConfig.
+        quarantined``, and its shard is re-provisioned into healthy
+        machines from the session mirror — the NIC-adversary model
+        means its *data* was always genuine, so no information is
+        lost, only capacity.  Always drains in-flight traffic and
+        audits the shards, because the failed attempt that led here
+        may have left partial protocol state behind.
+        """
+        fresh = sorted(
+            r for r in set(ranks) if 0 <= r < self.k and r not in self.quarantined
+        )
+        live = self.k - len(self.quarantined)
+        for r in fresh:
+            if live <= 2:
+                break  # never fence below two live machines
+            self.quarantined.add(r)
+            self._sim.crashed_ranks.add(r)
+            self._sim.network.purge_machine(r)
+            live -= 1
+        self._byz_cfg = replace(
+            self._byz_cfg, quarantined=frozenset(self.quarantined)
+        )
+        self._drain_traffic()
+        self._audit_shards()
+        if self.leader in self.quarantined:
+            self._reelect()
+
+    def _drain_traffic(self) -> None:
+        """Drop every queued and delivered-but-unread message.
+
+        Failed attempts abandon suspended generators mid-protocol; the
+        fixed ``dyn/*`` tags (unlike the attempt-suffixed query tags)
+        would otherwise let a retry consume the wreckage.
+        """
+        self._sim.network.drop_all()
+        for ctx in self._sim.contexts:
+            ctx.take(None)
+
+    def _reelect(self) -> None:
+        """Replace a fenced leader via one f-tolerant election episode."""
+        self._election_term += 1
+        live = [r for r in range(self.k) if r not in self.quarantined]
+        try:
+            init = self._sim.run_episode(
+                SessionInitProgram(
+                    "f_tolerant", byz=self._byz_cfg, term=self._election_term
+                )
+            )
+            self.leader = next(
+                int(init.outputs[r]) for r in live if init.outputs[r] is not None
+            )
+        except FaultError:
+            # No quorum (more liars than f among the survivors): fall
+            # back to the lowest live rank — deterministic, and answer
+            # verification still guards correctness.
+            self._drain_traffic()
+            self.leader = live[0]
+
+    def _audit_shards(self) -> int:
+        """Reconcile the shards to exactly partition the mirror dataset.
+
+        The control-plane repair that backs every liveness claim:
+        quarantined shards are emptied, duplicate placements deduped
+        (first rank wins), ids not in the mirror dropped (rolls back a
+        partially-applied failed update), and mirror points missing
+        from every shard re-provisioned onto the emptiest live shards.
+        Returns the number of points repaired; refreshes ``loads``.
+        """
+        live = [r for r in range(self.k) if r not in self.quarantined]
+        mirror_ids = {int(i) for i in self.dataset.ids}
+        seen: set[int] = set()
+        repaired = 0
+        for rank, shard in enumerate(self._shards):
+            drop: list[int] = []
+            for raw in shard.ids:
+                i = int(raw)
+                if rank in self.quarantined or i not in mirror_ids or i in seen:
+                    drop.append(i)
+                else:
+                    seen.add(i)
+            if drop:
+                shard.remove_ids(np.asarray(drop, dtype=np.int64))
+                repaired += len(drop)
+        missing = mirror_ids - seen
+        if missing:
+            sel = np.isin(self.dataset.ids, np.asarray(sorted(missing), dtype=np.int64))
+            coords = self.dataset.points[sel]
+            ids = self.dataset.ids[sel]
+            labels = None if self.dataset.labels is None else self.dataset.labels[sel]
+            chunks = np.array_split(np.arange(len(ids)), len(live))
+            targets = sorted(live, key=lambda r: len(self._shards[r]))
+            for chunk, rank in zip(chunks, targets):
+                if len(chunk):
+                    self._shards[rank].add_points(
+                        coords[chunk],
+                        ids[chunk],
+                        None if labels is None else labels[chunk],
+                    )
+            repaired += len(missing)
+        self.loads = [len(s) for s in self._shards]
+        return repaired
+
     # -- dynamic data --------------------------------------------------
+    def _live_loads(self) -> list[int]:
+        """Load vector restricted to non-quarantined machines.
+
+        Fenced ranks hold zero points forever; feeding their zeros to
+        the imbalance monitor both skews the mean and lets
+        ``trimmed_ratio`` trim real outliers against phantom machines.
+        """
+        if not self.quarantined:
+            return self.loads
+        return [n for r, n in enumerate(self.loads) if r not in self.quarantined]
+
     @property
     def imbalance_ratio(self) -> float:
-        """Current ``max_i n_i / (n/k)`` from the latest load report."""
-        return balance_ratio(self.loads)
+        """Current ``max_i n_i / (n/k)`` over live machines."""
+        return balance_ratio(self._live_loads())
 
     def insert(
         self, points: np.ndarray, labels: np.ndarray | None = None
@@ -459,22 +834,43 @@ class ClusterSession:
         ratio_before = self.imbalance_ratio
         before_messages = self.metrics.messages
         before_rounds = self.metrics.rounds
-        result = self._sim.run_episode(RebalanceProgram(self.leader))
-        leader_out = result.outputs[self.leader]
-        self.loads = list(leader_out.loads)
+        if self._byz_cfg is None:
+            result = self._sim.run_episode(RebalanceProgram(self.leader))
+            leader_out = result.outputs[self.leader]
+            self.loads = list(leader_out.loads)
+        else:
+            # Bounded retry; a rebalance is a performance repair, so an
+            # exhausted budget degrades to "still unbalanced" rather
+            # than raising — the audit keeps the shards a valid
+            # partition either way, and later episodes (with the liars
+            # fenced) restore balance.
+            leader_out = None
+            for _ in range(self._byz_budget):
+                self._reset_suspicions()
+                try:
+                    result = self._sim.run_episode(
+                        RebalanceProgram(self.leader, byz=self._byz_cfg)
+                    )
+                    leader_out = result.outputs[self.leader]
+                    break
+                except FaultError as exc:
+                    suspects = self._byz_suspects(exc, set())
+                    self._last_fail_leader = self.leader
+                    self._quarantine(suspects)
+            self._audit_shards()
         record = MutationRecord(
             kind="rebalance",
             epoch=self.data_epoch,
             messages=self.metrics.messages - before_messages,
             rounds=self.metrics.rounds - before_rounds,
-            splitters_run=leader_out.splitters_run,
-            moved_points=int(leader_out.moved_total or 0),
+            splitters_run=0 if leader_out is None else leader_out.splitters_run,
+            moved_points=0 if leader_out is None else int(leader_out.moved_total or 0),
             n_after=int(sum(self.loads)),
             ratio_before=ratio_before,
             ratio_after=self.imbalance_ratio,
         )
         self.mutations.append(record)
-        self.monitor.observe(self.loads, epoch=self.data_epoch)
+        self.monitor.observe(self._live_loads(), epoch=self.data_epoch)
         return record
 
     def _draw_insert_ids(self, count: int) -> np.ndarray:
@@ -516,24 +912,60 @@ class ClusterSession:
         ratio_before = self.imbalance_ratio
         before_messages = self.metrics.messages
         before_rounds = self.metrics.rounds
-        program = UpdateProgram(
-            self.leader,
-            insert_ids=insert_ids,
-            insert_points=insert_points,
-            insert_labels=insert_labels,
-            delete_ids=delete_ids,
-        )
-        result = self._sim.run_episode(program)
-        leader_out = result.outputs[self.leader]
-        self.loads = list(leader_out.loads)
+        if self._byz_cfg is None:
+            program = UpdateProgram(
+                self.leader,
+                insert_ids=insert_ids,
+                insert_points=insert_points,
+                insert_labels=insert_labels,
+                delete_ids=delete_ids,
+            )
+            result = self._sim.run_episode(program)
+            leader_out = result.outputs[self.leader]
+            self.loads = list(leader_out.loads)
+            deletes_applied = int(leader_out.deleted_total or 0)
+        else:
+            # Bounded retry.  A failed attempt may have half-applied the
+            # batch; _quarantine's audit rolls the shards back to the
+            # pre-mutation mirror state, so every retry starts clean.
+            leader_out = None
+            budget = self._byz_budget
+            for attempt in range(budget):
+                self._reset_suspicions()
+                program = UpdateProgram(
+                    self.leader,  # re-read: a retry may have re-elected
+                    insert_ids=insert_ids,
+                    insert_points=insert_points,
+                    insert_labels=insert_labels,
+                    delete_ids=delete_ids,
+                    byz=self._byz_cfg,
+                )
+                try:
+                    result = self._sim.run_episode(program)
+                    leader_out = result.outputs[self.leader]
+                    break
+                except FaultError as exc:
+                    suspects = self._byz_suspects(exc, set())
+                    self._last_fail_leader = self.leader
+                    self._quarantine(suspects)
+                    if attempt == budget - 1:
+                        raise ByzantineError(
+                            f"update episode failed after {budget} attempts"
+                        ) from exc
+            # Wire-reported loads/counts may be lies; ground truth only.
+            deletes_applied = len(delete_ids)
         # Mirror the global set (shards hold the placed copies): queries
         # and the brute-force oracle both read this dataset.
         if delete_ids:
             self.dataset.remove_ids(np.asarray(delete_ids, dtype=np.int64))
         if len(insert_ids):
             self.dataset.add(insert_points, insert_ids, insert_labels)
+        if self._byz_cfg is not None:
+            # Repairs silenced plan/insert envelopes (lost placements)
+            # from the mirror and refreshes loads from shard truth.
+            self._audit_shards()
         transition = self.epoch_log.record(
-            inserts=len(insert_ids), deletes=int(leader_out.deleted_total or 0)
+            inserts=len(insert_ids), deletes=deletes_applied
         )
         self.data_epoch = transition.epoch
         record = MutationRecord(
@@ -542,14 +974,16 @@ class ClusterSession:
             messages=self.metrics.messages - before_messages,
             rounds=self.metrics.rounds - before_rounds,
             inserts=len(insert_ids),
-            deletes=int(leader_out.deleted_total or 0),
-            insert_targets=int(leader_out.insert_targets or 0),
+            deletes=deletes_applied,
+            insert_targets=(
+                0 if leader_out is None else int(leader_out.insert_targets or 0)
+            ),
             n_after=int(sum(self.loads)),
             ratio_before=ratio_before,
             ratio_after=self.imbalance_ratio,
         )
         self.mutations.append(record)
-        report = self.monitor.observe(self.loads, epoch=self.data_epoch)
+        report = self.monitor.observe(self._live_loads(), epoch=self.data_epoch)
         if self.auto_rebalance and self.monitor.should_rebalance(report):
             self.mark(tag("dyn", "trigger", self.data_epoch))
             self.rebalance()

@@ -1,0 +1,117 @@
+"""Supervised drivers under every Byzantine strategy: exact, bounded, free at f=0.
+
+Driver-level acceptance for the hardened Algorithm 1 / Algorithm 2
+paths: with ``f`` liars running each strategy the supervised result is
+still the exact answer within the ``2f + 2`` attempt ceiling, blame
+lands on real liars (never *only* on honest machines), and with
+``byzantine_f = 0`` the hardened code paths are compiled out — message
+counts are identical to an undefended run, not merely close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import distributed_knn, distributed_select
+from repro.kmachine.faults import BYZ_STRATEGIES, ByzantinePlan, Liar
+
+K = 7
+L = 12
+N = 420
+SEED = 5
+LIARS = (2, 5)
+
+
+def _plan(strategy: str) -> ByzantinePlan:
+    return ByzantinePlan(seed=9, liars=tuple(Liar(r, strategy) for r in LIARS))
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(4).uniform(0.0, 1.0, N)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(4)
+    return rng.uniform(0.0, 1.0, (N, 3)), np.asarray([0.3, 0.7, 0.4])
+
+
+@pytest.mark.parametrize("strategy", BYZ_STRATEGIES)
+def test_selection_exact_under_each_strategy(values, strategy) -> None:
+    result = distributed_select(
+        values, L, K,
+        seed=SEED,
+        byzantine=_plan(strategy),
+        byzantine_f=2,
+        timeout_rounds=8,
+    )
+    np.testing.assert_allclose(np.sort(result.values), np.sort(values)[:L])
+    attempts = 1 if result.recovery is None else result.recovery.attempts
+    assert attempts <= 2 * 2 + 2, (strategy, attempts)
+
+
+@pytest.mark.parametrize("strategy", BYZ_STRATEGIES)
+def test_knn_exact_under_each_strategy(cloud, strategy) -> None:
+    points, query = cloud
+    result = distributed_knn(
+        points, query, L, K,
+        seed=SEED,
+        byzantine=_plan(strategy),
+        byzantine_f=2,
+        timeout_rounds=8,
+    )
+    d = np.sqrt(((points - query) ** 2).sum(axis=1))
+    np.testing.assert_allclose(np.sort(result.distances), np.sort(d)[:L])
+    attempts = 1 if result.recovery is None else result.recovery.attempts
+    assert attempts <= 2 * 2 + 2, (strategy, attempts)
+
+
+def test_f_zero_selection_has_no_message_regression(values) -> None:
+    plain = distributed_select(values, L, K, seed=SEED)
+    gated = distributed_select(values, L, K, seed=SEED, byzantine_f=0)
+    assert gated.metrics.messages == plain.metrics.messages
+    assert gated.metrics.rounds == plain.metrics.rounds
+    np.testing.assert_array_equal(gated.ids, plain.ids)
+
+
+def test_f_zero_knn_has_no_message_regression(cloud) -> None:
+    points, query = cloud
+    plain = distributed_knn(points, query, L, K, seed=SEED)
+    gated = distributed_knn(points, query, L, K, seed=SEED, byzantine_f=0)
+    assert gated.metrics.messages == plain.metrics.messages
+    assert gated.metrics.rounds == plain.metrics.rounds
+    np.testing.assert_array_equal(gated.ids, plain.ids)
+
+
+def test_trivial_plan_equals_f_zero(values) -> None:
+    """An empty ByzantinePlan requests supervision but zero defense
+    budget — it must not silently harden the protocol."""
+    plain = distributed_select(values, L, K, seed=SEED)
+    gated = distributed_select(
+        values, L, K, seed=SEED, byzantine=ByzantinePlan(seed=1)
+    )
+    np.testing.assert_array_equal(gated.ids, plain.ids)
+
+
+def test_defense_budget_capped_by_quorum_bound(values) -> None:
+    """byzantine_f beyond ⌊(k−1)/3⌋ is clamped, not an error: the
+    driver defends as hard as the quorum math allows."""
+    result = distributed_select(
+        values, L, K, seed=SEED, byzantine_f=5, timeout_rounds=8
+    )
+    np.testing.assert_allclose(np.sort(result.values), np.sort(values)[:L])
+
+
+def test_blame_reaches_a_real_liar(values) -> None:
+    """When retries fence machines, at least one of them really lied."""
+    result = distributed_select(
+        values, L, K,
+        seed=SEED,
+        byzantine=_plan("equivocate"),
+        byzantine_f=2,
+        timeout_rounds=8,
+    )
+    if result.recovery is not None and result.recovery.excluded:
+        assert set(result.recovery.excluded) & set(LIARS), result.recovery

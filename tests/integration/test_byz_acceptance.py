@@ -1,0 +1,169 @@
+"""Chaos acceptance: f = ⌊(k−1)/3⌋ liars, every strategy, zero wrong answers.
+
+The issue's acceptance gate for the Byzantine layer, end to end:
+
+* **selection** — `distributed_select` returns the exact ℓ smallest
+  under every adversary strategy at the maximum tolerated ``f``;
+* **serving** — a resident :class:`ClusterSession` answers every query
+  in a multi-batch stream exactly, quarantining liars as it goes;
+* **churn** — a 200-op mixed stream (queries + live inserts/deletes)
+  through :class:`KNNService` produces 0 wrong answers per strategy;
+* **zero overhead** — the ``byzantine_f = 0`` path is message-count
+  identical to an undefended run (driver and session level);
+* the degradation curve artifact exists and covers every strategy.
+
+Wrongness is always judged against brute force over the *live*
+dataset; slowdown (rounds, messages, attempts, fenced machines) is
+explicitly allowed — the claim under test is that lying costs
+performance, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.driver import distributed_knn, distributed_select
+from repro.dyn.churn import make_churn, run_churn
+from repro.kmachine.faults import BYZ_STRATEGIES, ByzantinePlan, Liar
+from repro.serve.service import KNNService
+from repro.serve.session import ClusterSession, QueryJob
+
+K = 7
+F_MAX = (K - 1) // 3  # = 2
+L = 10
+N = 500
+TIMEOUT = 8
+LIAR_RANKS = (2, 5)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_byz.json"
+
+
+def _plan(strategy: str) -> ByzantinePlan:
+    assert len(LIAR_RANKS) == F_MAX
+    return ByzantinePlan(
+        seed=5, liars=tuple(Liar(r, strategy) for r in LIAR_RANKS)
+    )
+
+
+def _oracle_ids(dataset, query: np.ndarray, l: int) -> set[int]:
+    d = np.sqrt(((dataset.points - query) ** 2).sum(axis=1))
+    table = np.empty(len(d), dtype=[("value", "f8"), ("id", "i8")])
+    table["value"] = d
+    table["id"] = dataset.ids
+    order = np.argsort(table, order=("value", "id"))
+    return {int(i) for i in table["id"][order][:l]}
+
+
+@pytest.mark.parametrize("strategy", BYZ_STRATEGIES)
+def test_selection_never_wrong_at_f_max(strategy) -> None:
+    values = np.random.default_rng(4).uniform(0.0, 1.0, N)
+    result = distributed_select(
+        values, L, K,
+        seed=3,
+        byzantine=_plan(strategy),
+        byzantine_f=F_MAX,
+        timeout_rounds=TIMEOUT,
+    )
+    np.testing.assert_allclose(np.sort(result.values), np.sort(values)[:L])
+    attempts = 1 if result.recovery is None else result.recovery.attempts
+    assert attempts <= 2 * F_MAX + 2
+
+
+@pytest.mark.parametrize("strategy", BYZ_STRATEGIES)
+def test_serving_never_wrong_at_f_max(strategy) -> None:
+    rng = np.random.default_rng(11)
+    points = rng.uniform(0.0, 1.0, (N, 3))
+    session = ClusterSession(
+        points, L, K,
+        seed=3,
+        byzantine=_plan(strategy),
+        byzantine_timeout_rounds=TIMEOUT,
+    )
+    qrng = np.random.default_rng(7)
+    wrong = 0
+    for batch in range(3):
+        jobs = [
+            QueryJob(qid=batch * 3 + j, query=qrng.uniform(0.0, 1.0, 3))
+            for j in range(3)
+        ]
+        for job, ans in zip(jobs, session.run_batch(jobs)):
+            if {int(i) for i in ans.ids} != _oracle_ids(
+                session.dataset, job.query, L
+            ):
+                wrong += 1
+        if batch < 2:  # interleave live mutations between batches
+            ids = session.insert(qrng.uniform(0.0, 1.0, (6, 3)))
+            session.delete(ids[:3])
+    assert wrong == 0
+    # shard integrity: quarantine/repair never lost or duplicated a point
+    assert sum(session.loads) == len(session.dataset)
+
+
+@pytest.mark.parametrize("strategy", BYZ_STRATEGIES)
+def test_churn_stream_never_wrong_at_f_max(strategy) -> None:
+    """200 mixed ops through a live service with resident liars."""
+    corpus = np.random.default_rng(9).uniform(0.0, 1.0, (N, 3))
+    service = KNNService(
+        corpus, L, K,
+        seed=3,
+        window=4.0,
+        max_batch=8,
+        byzantine=_plan(strategy),
+        byzantine_f=F_MAX,
+        byzantine_timeout_rounds=TIMEOUT,
+    )
+    stream = make_churn(200, 3, seed=13, p_insert=0.12, p_delete=0.08)
+    # balance_bound is relaxed: quarantined machines hold zero points,
+    # so live shards legitimately exceed the k-denominated bound.  The
+    # acceptance claim is exactness, not balance-under-quarantine.
+    report = run_churn(
+        service, stream, seed=5, balance_bound=float(K),
+    )
+    service.close()
+    assert report.queries > 0 and report.updates > 0
+    assert report.wrong_answers == 0, (strategy, report)
+    session = service.session
+    assert sum(session.loads) == len(session.dataset)
+    # the quarantine floor holds: at least two machines stay live
+    assert len(session.quarantined) <= K - 2
+
+
+def test_f_zero_has_no_message_regression() -> None:
+    """The byzantine_f=0 gate: hardened paths compiled out everywhere."""
+    rng = np.random.default_rng(11)
+    values = rng.uniform(0.0, 1.0, N)
+    plain_sel = distributed_select(values, L, K, seed=3)
+    gated_sel = distributed_select(values, L, K, seed=3, byzantine_f=0)
+    assert gated_sel.metrics.messages == plain_sel.metrics.messages
+
+    points = rng.uniform(0.0, 1.0, (N, 3))
+    query = np.asarray([0.5, 0.5, 0.5])
+    plain_knn = distributed_knn(points, query, L, K, seed=3)
+    gated_knn = distributed_knn(points, query, L, K, seed=3, byzantine_f=0)
+    assert gated_knn.metrics.messages == plain_knn.metrics.messages
+
+    qrng = np.random.default_rng(7)
+    jobs = [QueryJob(qid=j, query=qrng.uniform(0.0, 1.0, 3)) for j in range(4)]
+    plain = ClusterSession(points, L, K, seed=3)
+    gated = ClusterSession(points, L, K, seed=3, byzantine_f=0)
+    a = plain.run_batch(jobs)
+    b = gated.run_batch([QueryJob(j.qid, j.query) for j in jobs])
+    assert plain.metrics.messages == gated.metrics.messages
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x.ids, y.ids)
+
+
+def test_degradation_curve_artifact_covers_every_strategy() -> None:
+    assert BENCH_PATH.is_file(), "run benchmarks/bench_byz.py to regenerate"
+    payload = json.loads(BENCH_PATH.read_text())
+    seen = {row["strategy"] for row in payload["selection_curve"]}
+    assert seen == set(BYZ_STRATEGIES)
+    for row in payload["selection_curve"]:
+        assert row["attempts"] <= 2 * row["f"] + 2
+        if row["f"] == 0:
+            assert row["message_overhead"] == 1.0

@@ -1,0 +1,178 @@
+"""ByzantinePlan: validation, algebra, determinism, crash composition.
+
+The plan is the *declarative* half of the Byzantine layer: a frozen,
+seed-reproducible schedule of lying NICs that composes with
+:class:`~repro.kmachine.faults.FaultPlan` inside one
+:class:`~repro.kmachine.faults.FaultInjector`.  These tests pin the
+contracts the recovery drivers depend on: plans are pure data (same
+``(seed, plan, traffic)`` ⟹ same tampering, bit for bit), the
+shrink/remap algebra mirrors ``FaultPlan.without_crashes`` /
+``restricted_to``, and mixed crash+Byzantine schedules drive both
+engines without either corrupting the other's dice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import distributed_select
+from repro.kmachine import Crash, FaultPlan, FunctionProgram, Simulator
+from repro.kmachine.faults import BYZ_STRATEGIES, ByzantinePlan, Liar
+
+K = 4
+ROUNDS = 5
+
+
+def chatter(ctx):
+    """Deterministic all-to-all traffic, then a deterministic drain."""
+    for r in range(ROUNDS):
+        for dst in range(ctx.k):
+            if dst != ctx.rank:
+                ctx.send(dst, "c", (ctx.rank, r))
+        yield
+    received = []
+    for _ in range(3):
+        received.extend(m.payload for m in ctx.take("c"))
+        yield
+    received.extend(m.payload for m in ctx.take("c"))
+    return sorted(received, key=repr)
+
+
+def run_chatter(byzantine=None, faults=None, seed=0):
+    sim = Simulator(
+        k=K,
+        program=FunctionProgram(chatter),
+        seed=seed,
+        byzantine=byzantine,
+        faults=faults,
+    )
+    return sim.run()
+
+
+# -- construction and validation ---------------------------------------
+
+def test_liar_rejects_unknown_strategy_and_negative_rank() -> None:
+    with pytest.raises(ValueError, match="unknown Byzantine strategy"):
+        Liar(0, "gossip")
+    with pytest.raises(ValueError, match="rank must be >= 0"):
+        Liar(-1, "forge")
+
+
+def test_plan_rejects_duplicate_liar_ranks() -> None:
+    with pytest.raises(ValueError, match="one Liar per rank"):
+        ByzantinePlan(liars=(Liar(1, "forge"), Liar(1, "silence")))
+
+
+def test_plan_accessors() -> None:
+    plan = ByzantinePlan(seed=3, liars=(Liar(2, "inflate"), Liar(0, "forge")))
+    assert plan.f == 2
+    assert plan.ranks == frozenset({0, 2})
+    assert not plan.trivial
+    assert plan.strategy_of(2) == "inflate"
+    assert plan.strategy_of(1) is None
+    assert ByzantinePlan().trivial
+
+
+def test_every_strategy_constructs() -> None:
+    for strategy in BYZ_STRATEGIES:
+        assert ByzantinePlan(liars=(Liar(1, strategy),)).f == 1
+
+
+# -- the shrink/remap algebra ------------------------------------------
+
+def test_without_liars_drops_named_ranks_only() -> None:
+    plan = ByzantinePlan(seed=1, liars=(Liar(1), Liar(3, "silence")))
+    shrunk = plan.without_liars({1})
+    assert shrunk.ranks == frozenset({3})
+    assert shrunk.seed == plan.seed
+    assert plan.ranks == frozenset({1, 3})  # frozen: original untouched
+
+
+def test_restricted_to_drops_out_of_range_liars() -> None:
+    plan = ByzantinePlan(liars=(Liar(1), Liar(7, "deflate")))
+    assert plan.restricted_to(4).ranks == frozenset({1})
+    assert plan.restricted_to(8).ranks == frozenset({1, 7})
+
+
+def test_remap_renumbers_onto_survivors() -> None:
+    plan = ByzantinePlan(liars=(Liar(1, "forge"), Liar(4, "silence")))
+    # survivors [0, 1, 4] become ranks 0, 1, 2 of the restarted run
+    remapped = plan.remap([0, 1, 4])
+    assert remapped.ranks == frozenset({1, 2})
+    assert remapped.strategy_of(2) == "silence"
+    # a liar not among the survivors is dropped
+    assert plan.remap([0, 2, 3]).trivial
+
+
+def test_mixed_plan_shrinks_mirror_each_other() -> None:
+    """Satellite contract: FaultPlan and ByzantinePlan shrink in step."""
+    faults = FaultPlan(seed=5, crashes=(Crash(rank=2, round=3),), drop=0.1)
+    byz = ByzantinePlan(seed=5, liars=(Liar(2, "silence"), Liar(1),))
+    # rank 2 crashed in attempt 1; both plans must forget it
+    assert faults.without_crashes([2]).crashes == ()
+    assert byz.without_liars([2]).ranks == frozenset({1})
+    # restriction to a 2-machine retry drops out-of-range events from both
+    assert faults.restricted_to(2).crashes == ()
+    assert byz.restricted_to(2).ranks == frozenset({1})
+
+
+# -- determinism --------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", BYZ_STRATEGIES)
+def test_tampering_is_a_pure_function_of_seed_and_plan(strategy) -> None:
+    plan = ByzantinePlan(seed=17, liars=(Liar(1, strategy), Liar(3, strategy)))
+    a = run_chatter(byzantine=plan)
+    b = run_chatter(byzantine=plan)
+    assert a.outputs == b.outputs
+    assert a.metrics.messages == b.metrics.messages
+    assert a.metrics.rounds == b.metrics.rounds
+
+
+def test_trivial_plan_is_indistinguishable_from_no_plan() -> None:
+    a = run_chatter(byzantine=None)
+    b = run_chatter(byzantine=ByzantinePlan(seed=99))
+    assert a.outputs == b.outputs
+    assert a.metrics.messages == b.metrics.messages
+
+
+def test_honest_traffic_unaffected_by_other_machines_lies() -> None:
+    """Tampering is per-source: honest machines' payloads arrive intact."""
+    plan = ByzantinePlan(seed=17, liars=(Liar(1, "forge"),))
+    result = run_chatter(byzantine=plan)
+    for rank in range(K):
+        honest = [p for p in result.outputs[rank]
+                  if isinstance(p, tuple) and len(p) == 2 and p[0] not in (1,)]
+        for payload in honest:
+            src, rnd = payload
+            assert 0 <= rnd < ROUNDS  # honest rounds were never rewritten
+
+
+def test_mixed_crash_and_byzantine_schedule_stays_deterministic() -> None:
+    faults = FaultPlan(seed=7, crashes=(Crash(rank=3, round=4),), drop=0.05)
+    byz = ByzantinePlan(seed=11, liars=(Liar(1, "equivocate"),))
+    a = run_chatter(byzantine=byz, faults=faults)
+    b = run_chatter(byzantine=byz, faults=faults)
+    assert a.outputs == b.outputs
+    assert a.metrics.messages == b.metrics.messages
+
+
+# -- mixed crash+Byzantine recovery, end to end -------------------------
+
+def test_supervised_selection_survives_crash_plus_liar() -> None:
+    """A crash and a liar in the same run: the answer is still exact."""
+    rng = np.random.default_rng(3)
+    values = rng.uniform(0.0, 1.0, 400)
+    l, k = 12, 7
+    faults = FaultPlan(seed=2, crashes=(Crash(rank=4, round=6),))
+    byz = ByzantinePlan(seed=9, liars=(Liar(2, "deflate"),))
+    result = distributed_select(
+        values, l, k,
+        seed=5,
+        faults=faults,
+        byzantine=byz,
+        byzantine_f=1,
+        max_attempts=6,
+    )
+    np.testing.assert_allclose(np.sort(result.values), np.sort(values)[:l])
+    assert result.recovery is not None

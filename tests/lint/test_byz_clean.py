@@ -1,0 +1,60 @@
+"""The Byzantine defense library is KM-rule clean, with no baseline.
+
+``repro/kmachine/byz.py`` is protocol code — its quorum primitives are
+generator subroutines that send/recv under ``ctx`` — so it must be in
+scope for every k-machine lint rule: KM001 bounded payloads, KM002
+seeded randomness, KM003 context isolation, KM004 wire schemas, KM005
+recv/send pairing.  This test pins both facts: the file is *scanned*
+(a rule-scope regression would silently exempt it, and KM003 once
+excluded ``kmachine/`` entirely) and it is *clean* — there is no
+baseline file to hide behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintEngine, get_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+KMACHINE_DIR = REPO_ROOT / "src" / "repro" / "kmachine"
+BYZ_FILE = KMACHINE_DIR / "byz.py"
+
+
+def test_byz_module_exists_and_is_scanned() -> None:
+    assert BYZ_FILE.is_file()
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([BYZ_FILE])
+    assert report.files == 1
+
+
+def test_byz_is_km_rule_clean_without_baseline() -> None:
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([BYZ_FILE])
+    assert not report.parse_errors, report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_kmachine_package_is_clean_under_widened_isolation_scope() -> None:
+    """Adding kmachine to KM003's scope must not strand old violations."""
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([KMACHINE_DIR])
+    assert not report.parse_errors, report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_byz_is_in_every_rule_scope() -> None:
+    """The in_dir gates of all five rules include 'kmachine'."""
+    import inspect
+
+    from repro.lint.rules import bandwidth, determinism, isolation, pairing, schema
+
+    for module in (bandwidth, determinism, isolation, pairing, schema):
+        source = inspect.getsource(module)
+        assert '"kmachine"' in source, (
+            f"{module.__name__} does not scan kmachine"
+        )

@@ -10,8 +10,11 @@ import pytest
 from repro.kmachine.reliable import Envelope
 from repro.kmachine.schema import (
     WIRE_SCHEMAS,
+    Echo,
     PointBatch,
+    SuspicionNotice,
     UpdatePlan,
+    VoteEnvelope,
     check_roundtrip,
     registered_schema,
     wire_bits,
@@ -36,6 +39,9 @@ def test_every_registered_type_roundtrips() -> None:
             coords=np.array([[0.1, 0.2], [0.3, 0.4]]),
         ),
         "UpdatePlan": UpdatePlan(insert_counts=(2, 0, 1), delete_ids=(5, 17)),
+        "Echo": Echo(origin=3, value=(0.25, 11)),
+        "VoteEnvelope": VoteEnvelope(voter=2, choice=0, term=4),
+        "SuspicionNotice": SuspicionNotice(suspect=5, reason="silent echo"),
     }
     for name in WIRE_SCHEMAS:
         sample = samples.get(name)
@@ -45,6 +51,13 @@ def test_every_registered_type_roundtrips() -> None:
 
 def test_dyn_envelope_schemas_registered() -> None:
     for cls in (PointBatch, UpdatePlan):
+        schema = registered_schema(cls)
+        assert schema is not None and schema.name in WIRE_SCHEMAS
+
+
+def test_byz_message_schemas_registered() -> None:
+    """The defense layer's wire messages are first-class schema types."""
+    for cls in (Echo, VoteEnvelope, SuspicionNotice):
         schema = registered_schema(cls)
         assert schema is not None and schema.name in WIRE_SCHEMAS
 

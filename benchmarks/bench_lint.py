@@ -1,11 +1,15 @@
-"""LINT — protocol-linter wall-time over the full tree.
+"""LINT — static-analyzer wall-time over the full tree.
 
-The linter runs in CI before the test matrix and inside the test
+The analyzer runs in CI before the test matrix and inside the test
 suite itself (``tests/lint/test_repo_clean.py``), so it has to stay
-cheap.  This bench times a complete engine run — discovery, parsing,
-cross-file indexing, all five rules, baseline filtering — over
-``src/`` and records the result in ``benchmarks/results/BENCH_lint.json``
-so future PRs can watch the static pass stay fast.
+interactive-speed.  This bench times the complete two-pass engine run
+— discovery, parsing, cross-file indexing (pass 1), all ten rules
+including the protocol-graph, budget-inference, and taint analyses
+(pass 2), baseline filtering — over ``src/``, plus a standalone
+protocol-graph build, and records the result in
+``benchmarks/results/BENCH_lint.json`` so future PRs can watch the
+static pass stay fast.  Gate: the full two-pass run must finish in
+under 2 seconds.
 """
 
 from __future__ import annotations
@@ -15,14 +19,18 @@ import sys
 import time
 from pathlib import Path
 
-from repro.lint import Baseline, LintEngine, get_rules
+from repro.lint import Baseline, LintEngine, ProjectIndex, get_rules
+from repro.lint.protocol import ProtocolAnalyzer
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_PATH = Path(__file__).parent / "results" / "BENCH_lint.json"
 
+#: CI gate — a full two-pass analyzer run over src/ must stay under this.
+BUDGET_SECONDS = 2.0
+
 
 def _one_run() -> tuple[int, float]:
-    """Lint ``src/`` once; return (files scanned, elapsed seconds)."""
+    """Lint ``src/`` once (both passes); return (files, elapsed seconds)."""
     engine = LintEngine(get_rules(), root=REPO_ROOT)
     baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
     start = time.perf_counter()
@@ -32,24 +40,44 @@ def _one_run() -> tuple[int, float]:
     return report.files, elapsed
 
 
+def _one_graph_build() -> tuple[int, int, float]:
+    """Build the whole-tree protocol graph; return (sites, edges, secs)."""
+    engine = LintEngine([], root=REPO_ROOT)
+    modules, errors = engine.load_modules(engine.discover([REPO_ROOT / "src"]))
+    assert not errors
+    start = time.perf_counter()
+    graph = ProtocolAnalyzer(modules, ProjectIndex(modules)).build_graph()
+    elapsed = time.perf_counter() - start
+    return len(graph.sites), len(graph.edges), elapsed
+
+
 def test_lint_full_tree_timing(benchmark, results_dir):
     files, _ = _one_run()
     benchmark.pedantic(_one_run, rounds=3, iterations=1)
 
     timings = [_one_run()[1] for _ in range(3)]
     best = min(timings)
+    sites, edges, graph_secs = min(
+        (_one_graph_build() for _ in range(3)), key=lambda t: t[2]
+    )
     entry = {
         "bench": "lint_full_tree",
         "files": files,
         "rules": [r.code for r in get_rules()],
         "best_seconds": round(best, 4),
         "seconds_per_file_ms": round(1000 * best / files, 3),
+        "graph_sites": sites,
+        "graph_edges": edges,
+        "graph_build_seconds": round(graph_secs, 4),
+        "budget_seconds": BUDGET_SECONDS,
         "python": sys.version.split()[0],
     }
     RESULT_PATH.write_text(json.dumps(entry, indent=2) + "\n")
     print(f"\n[report saved to {RESULT_PATH}]\n{json.dumps(entry, indent=2)}")
 
-    # The linter must stay interactive-speed: the whole tree in
-    # well under the time of a single simulator test.
-    assert best < 5.0
+    # The analyzer must stay interactive-speed: the full two-pass run
+    # (all ten rules, graph + budget inference included) in under 2 s.
+    assert best < BUDGET_SECONDS
+    assert graph_secs < BUDGET_SECONDS
     assert files > 50
+    assert edges > 0

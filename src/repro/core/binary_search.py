@@ -97,13 +97,14 @@ def _global_count(
     ctx: MachineContext, keys: np.ndarray, bound: Keyed, t_query: str, t_reply: str
 ) -> Generator[None, None, int]:
     """Leader helper: broadcast a count probe and sum the replies."""
-    if ctx.k > 1:
-        ctx.broadcast(t_query, (_OP_COUNT, encode_key(bound)))
-    total = _count_leq(keys, bound)
-    if ctx.k > 1:
-        replies = yield from ctx.recv(t_reply, ctx.k - 1)
-        total += sum(msg.payload[1] for msg in replies)
-    return total
+    with ctx.obs.span("bsel/count"):
+        if ctx.k > 1:
+            ctx.broadcast(t_query, (_OP_COUNT, encode_key(bound)))
+        total = _count_leq(keys, bound)
+        if ctx.k > 1:
+            replies = yield from ctx.recv(t_reply, ctx.k - 1)
+            total += sum(msg.payload[1] for msg in replies)
+        return total
 
 
 def _leader(
@@ -114,21 +115,22 @@ def _leader(
     max_id = np.iinfo(np.int64).max
 
     # Extent round: learn global [min value, max value] and total count.
-    if k > 1:
-        ctx.broadcast(t_query, (_OP_EXTENT,))
-    n_self = len(keys)
-    vmin = float(keys[0]["value"]) if n_self else np.inf
-    vmax = float(keys[-1]["value"]) if n_self else -np.inf
-    total = n_self
-    if k > 1:
-        replies = yield from ctx.recv(t_reply, k - 1)
-        for msg in replies:
-            _, n_i, lo_i, hi_i = msg.payload
-            total += n_i
-            if n_i > 0:
-                vmin = min(vmin, lo_i)
-                vmax = max(vmax, hi_i)
-    stats.initial_count = total
+    with ctx.obs.span("bsel/init"):
+        if k > 1:
+            ctx.broadcast(t_query, (_OP_EXTENT,))
+        n_self = len(keys)
+        vmin = float(keys[0]["value"]) if n_self else np.inf
+        vmax = float(keys[-1]["value"]) if n_self else -np.inf
+        total = n_self
+        if k > 1:
+            replies = yield from ctx.recv(t_reply, k - 1)
+            for msg in replies:
+                _, n_i, lo_i, hi_i = msg.payload
+                total += n_i
+                if n_i > 0:
+                    vmin = min(vmin, lo_i)
+                    vmax = max(vmax, hi_i)
+        stats.initial_count = total
 
     if l == 0 or total == 0:
         return (yield from _finish(ctx, keys, MINUS_INF_KEY, t_query, stats))
@@ -191,13 +193,14 @@ def _finish(
     t_query: str,
     stats: BinarySearchStats,
 ) -> Generator[None, None, SelectionOutput]:
-    if ctx.k > 1:
-        ctx.broadcast(t_query, (_OP_FINISHED, encode_key(boundary)))
-        yield
-    selected = keys[: _rank_leq(keys, boundary)]
-    return SelectionOutput(
-        selected=selected, boundary=boundary, is_leader=True, stats=stats  # type: ignore[arg-type]
-    )
+    with ctx.obs.span("bsel/finish"):
+        if ctx.k > 1:
+            ctx.broadcast(t_query, (_OP_FINISHED, encode_key(boundary)))
+            yield
+        selected = keys[: _rank_leq(keys, boundary)]
+        return SelectionOutput(
+            selected=selected, boundary=boundary, is_leader=True, stats=stats  # type: ignore[arg-type]
+        )
 
 
 def _worker(
@@ -206,25 +209,27 @@ def _worker(
     n = len(keys)
     vmin = float(keys[0]["value"]) if n else np.inf
     vmax = float(keys[-1]["value"]) if n else -np.inf
-    while True:
-        msg = yield from ctx.recv_one(t_query, src=leader)
-        op = msg.payload[0]
-        if op == _OP_EXTENT:
-            ctx.send(leader, t_reply, (_OP_EXTENT, n, vmin, vmax))
-        elif op == _OP_COUNT:
-            value, id_ = msg.payload[1]
-            ctx.send(
-                leader, t_reply, (_OP_COUNT, _count_leq(keys, Keyed(value, id_)))
-            )
-        elif op == _OP_FINISHED:
-            value, id_ = msg.payload[1]
-            boundary = Keyed(value, id_)
-            selected = keys[: _rank_leq(keys, boundary)]
-            return SelectionOutput(
-                selected=selected, boundary=boundary, is_leader=False, stats=None
-            )
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown op {op!r}")
+    with ctx.obs.span("bsel/serve"):
+        # lint: bound[log] — one op per leader bisection probe
+        while True:
+            msg = yield from ctx.recv_one(t_query, src=leader)
+            op = msg.payload[0]
+            if op == _OP_EXTENT:
+                ctx.send(leader, t_reply, (_OP_EXTENT, n, vmin, vmax))
+            elif op == _OP_COUNT:
+                value, id_ = msg.payload[1]
+                ctx.send(
+                    leader, t_reply, (_OP_COUNT, _count_leq(keys, Keyed(value, id_)))
+                )
+            elif op == _OP_FINISHED:
+                value, id_ = msg.payload[1]
+                boundary = Keyed(value, id_)
+                selected = keys[: _rank_leq(keys, boundary)]
+                return SelectionOutput(
+                    selected=selected, boundary=boundary, is_leader=False, stats=None
+                )
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown op {op!r}")
 
 
 class BinarySearchSelectionProgram(Program):

@@ -151,79 +151,81 @@ class KDTreePartitionProgram(Program):
 
         lo_rank, hi_rank = 0, k  # current group: [lo_rank, hi_rank)
         depth = 0
-        while hi_rank - lo_rank > 1:
-            group = hi_rank - lo_rank
-            half = group // 2
-            leader = lo_rank
-            axis = depth % self.dim
-            t_med = tag("kdp", depth, lo_rank, "med")
-            t_split = tag("kdp", depth, lo_rank, "split")
-            t_move = tag("kdp", depth, lo_rank, "move")
-            t_count = tag("kdp", depth, lo_rank, "cnt")
+        with ctx.obs.span("kdp/partition"):
+            # lint: bound[log] — the group halves each level: log2(k) levels
+            while hi_rank - lo_rank > 1:
+                group = hi_rank - lo_rank
+                half = group // 2
+                leader = lo_rank
+                axis = depth % self.dim
+                t_med = tag("kdp", depth, lo_rank, "med")
+                t_split = tag("kdp", depth, lo_rank, "split")
+                t_move = tag("kdp", depth, lo_rank, "move")
+                t_count = tag("kdp", depth, lo_rank, "cnt")
 
-            # 1. group leader computes the weighted median of local medians.
-            coords = points[:, axis]
-            my_median = float(np.median(coords)) if len(coords) else None
-            my_count = len(coords)
-            if ctx.rank == leader:
-                entries = [(my_median, my_count)] if my_median is not None else []
-                msgs = yield from ctx.recv(t_med, group - 1)
-                for m in msgs:
-                    med, cnt = m.payload
-                    if med is not None:
-                        entries.append((med, cnt))
-                split = _weighted_median_floats(entries)
-                for r in range(lo_rank, hi_rank):
-                    if r != leader:
-                        ctx.send(r, t_split, split)
-                yield
-            else:
-                ctx.send(leader, t_med, (my_median, my_count))
-                msg = yield from ctx.recv_one(t_split, src=leader)
-                split = msg.payload
+                # 1. group leader computes the weighted median of local medians.
+                coords = points[:, axis]
+                my_median = float(np.median(coords)) if len(coords) else None
+                my_count = len(coords)
+                if ctx.rank == leader:
+                    entries = [(my_median, my_count)] if my_median is not None else []
+                    msgs = yield from ctx.recv(t_med, group - 1)
+                    for m in msgs:
+                        med, cnt = m.payload
+                        if med is not None:
+                            entries.append((med, cnt))
+                    split = _weighted_median_floats(entries)
+                    for r in range(lo_rank, hi_rank):
+                        if r != leader:
+                            ctx.send(r, t_split, split)
+                    yield
+                else:
+                    ctx.send(leader, t_med, (my_median, my_count))
+                    msg = yield from ctx.recv_one(t_split, src=leader)
+                    split = msg.payload
 
-            # 2. ship wrong-side points to the partner in the other half.
-            in_left_half = ctx.rank - lo_rank < half
-            partner = ctx.rank + half if in_left_half else ctx.rank - half
-            if in_left_half:
-                wrong = coords > split
-            else:
-                wrong = coords <= split
-            # Announce the count, then stream the points (coords + id +
-            # label); the bandwidth queue charges the real transfer cost.
-            ctx.send(partner, t_count, int(wrong.sum()))
-            for row, pid, lab in zip(
-                points[wrong],
-                ids[wrong],
-                labels[wrong] if labels is not None else [None] * int(wrong.sum()),
-            ):
-                ctx.send(partner, t_move, (tuple(float(c) for c in row), int(pid), lab))
-            shipped += int(wrong.sum())
-            points, ids = points[~wrong], ids[~wrong]
-            if labels is not None:
-                labels = labels[~wrong]
-            cnt_msg = yield from ctx.recv_one(t_count, src=partner)
-            incoming = yield from ctx.recv(t_move, cnt_msg.payload, src=partner)
-            if incoming:
-                new_pts = np.array([m.payload[0] for m in incoming], dtype=np.float64)
-                new_ids = np.array([m.payload[1] for m in incoming], dtype=np.int64)
-                points = np.vstack([points, new_pts]) if len(points) else new_pts
-                ids = np.concatenate([ids, new_ids])
+                # 2. ship wrong-side points to the partner in the other half.
+                in_left_half = ctx.rank - lo_rank < half
+                partner = ctx.rank + half if in_left_half else ctx.rank - half
+                if in_left_half:
+                    wrong = coords > split
+                else:
+                    wrong = coords <= split
+                # Announce the count, then stream the points (coords + id +
+                # label); the bandwidth queue charges the real transfer cost.
+                ctx.send(partner, t_count, int(wrong.sum()))
+                for row, pid, lab in zip(
+                    points[wrong],
+                    ids[wrong],
+                    labels[wrong] if labels is not None else [None] * int(wrong.sum()),
+                ):
+                    ctx.send(partner, t_move, (tuple(float(c) for c in row), int(pid), lab))
+                shipped += int(wrong.sum())
+                points, ids = points[~wrong], ids[~wrong]
                 if labels is not None:
-                    new_labs = np.array([m.payload[2] for m in incoming])
-                    labels = np.concatenate([labels, new_labs])
-                received += len(incoming)
+                    labels = labels[~wrong]
+                cnt_msg = yield from ctx.recv_one(t_count, src=partner)
+                incoming = yield from ctx.recv(t_move, cnt_msg.payload, src=partner)
+                if incoming:
+                    new_pts = np.array([m.payload[0] for m in incoming], dtype=np.float64)
+                    new_ids = np.array([m.payload[1] for m in incoming], dtype=np.int64)
+                    points = np.vstack([points, new_pts]) if len(points) else new_pts
+                    ids = np.concatenate([ids, new_ids])
+                    if labels is not None:
+                        new_labs = np.array([m.payload[2] for m in incoming])
+                        labels = np.concatenate([labels, new_labs])
+                    received += len(incoming)
 
-            # 3. narrow the box and recurse into the owning half-group.
-            if in_left_half:
-                box_hi = box_hi.copy()
-                box_hi[axis] = min(box_hi[axis], split)
-                hi_rank = lo_rank + half
-            else:
-                box_lo = box_lo.copy()
-                box_lo[axis] = max(box_lo[axis], split)
-                lo_rank = lo_rank + half
-            depth += 1
+                # 3. narrow the box and recurse into the owning half-group.
+                if in_left_half:
+                    box_hi = box_hi.copy()
+                    box_hi[axis] = min(box_hi[axis], split)
+                    hi_rank = lo_rank + half
+                else:
+                    box_lo = box_lo.copy()
+                    box_lo[axis] = max(box_lo[axis], split)
+                    lo_rank = lo_rank + half
+                depth += 1
 
         out_shard = Shard(points=points.reshape(-1, self.dim), ids=ids, labels=labels)
         return PartitionOutput(
@@ -300,54 +302,56 @@ class KDTreeKNNQueryProgram(Program):
         # Phase 1: leader learns every machine's (lower bound, local
         # l-th distance) and derives the pruning radius r0 — the
         # smallest *upper* bound any single machine can certify.
-        if is_leader:
-            msgs = yield from ctx.recv(t_lb, ctx.k - 1)
-            best_upper = my_lth
-            for m in msgs:
-                _, upper = m.payload
-                best_upper = min(best_upper, upper)
-            # No machine holds l points => no pruning possible.
-            r0 = best_upper
-            ctx.broadcast(t_rad, r0)
-            yield
-        else:
-            ctx.send(leader, t_lb, (lb, my_lth))
-            msg = yield from ctx.recv_one(t_rad, src=leader)
-            r0 = msg.payload
+        with ctx.obs.span("kdq/radius"):
+            if is_leader:
+                msgs = yield from ctx.recv(t_lb, ctx.k - 1)
+                best_upper = my_lth
+                for m in msgs:
+                    _, upper = m.payload
+                    best_upper = min(best_upper, upper)
+                # No machine holds l points => no pruning possible.
+                r0 = best_upper
+                ctx.broadcast(t_rad, r0)
+                yield
+            else:
+                ctx.send(leader, t_lb, (lb, my_lth))
+                msg = yield from ctx.recv_one(t_rad, src=leader)
+                r0 = msg.payload
 
         # Phase 2: machines whose box intersects the ball contribute
         # their candidates within r0 (all candidates when r0 = inf).
-        if is_leader:
-            count_msgs = yield from ctx.recv(t_cnt, ctx.k - 1)
-            expected = sum(m.payload for m in count_msgs)
-            cand_msgs = yield from ctx.recv(t_cand, expected)
-            merged = np.empty(expected + len(candidates), dtype=_KEY_DTYPE)
-            for i, m in enumerate(cand_msgs):
-                merged[i] = m.payload
-            merged[expected:] = candidates
-            merged.sort(order=("value", "id"))
-            top = merged[: min(l, len(merged))]
-            boundary = (
-                Keyed(float(top[-1]["value"]), int(top[-1]["id"]))
-                if len(top)
-                else MINUS_INF_KEY
-            )
-            ctx.broadcast(t_done, (boundary.value, boundary.id))
-            yield
-            local = candidates[: _rank_leq(candidates, boundary)]
-            return _assemble(shard, local, boundary, True)
+        with ctx.obs.span("kdq/gather"):
+            if is_leader:
+                count_msgs = yield from ctx.recv(t_cnt, ctx.k - 1)
+                expected = sum(m.payload for m in count_msgs)
+                cand_msgs = yield from ctx.recv(t_cand, expected)
+                merged = np.empty(expected + len(candidates), dtype=_KEY_DTYPE)
+                for i, m in enumerate(cand_msgs):
+                    merged[i] = m.payload
+                merged[expected:] = candidates
+                merged.sort(order=("value", "id"))
+                top = merged[: min(l, len(merged))]
+                boundary = (
+                    Keyed(float(top[-1]["value"]), int(top[-1]["id"]))
+                    if len(top)
+                    else MINUS_INF_KEY
+                )
+                ctx.broadcast(t_done, (boundary.value, boundary.id))
+                yield
+                local = candidates[: _rank_leq(candidates, boundary)]
+                return _assemble(shard, local, boundary, True)
 
-        if lb <= r0:
-            mine = candidates[candidates["value"] <= r0]
-        else:
-            mine = candidates[:0]
-        ctx.send(leader, t_cnt, len(mine))
-        for row in mine:
-            ctx.send(leader, t_cand, (float(row["value"]), int(row["id"])))
-        msg = yield from ctx.recv_one(t_done, src=leader)
-        boundary = Keyed(msg.payload[0], msg.payload[1])
-        local = candidates[: _rank_leq(candidates, boundary)]
-        return _assemble(shard, local, boundary, False)
+            if lb <= r0:
+                mine = candidates[candidates["value"] <= r0]
+            else:
+                mine = candidates[:0]
+            ctx.send(leader, t_cnt, len(mine))
+            for row in mine:
+                ctx.send(leader, t_cand, (float(row["value"]), int(row["id"])))
+            msg = yield from ctx.recv_one(t_done, src=leader)
+            boundary = Keyed(msg.payload[0], msg.payload[1])
+            local = candidates[: _rank_leq(candidates, boundary)]
+            return _assemble(shard, local, boundary, False)
 
 
 def build_partition(

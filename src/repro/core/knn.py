@@ -342,12 +342,14 @@ def knn_subroutine(
                 pool.sort()
                 sampled_total = len(pool)
             else:
+                # lint: bound[log] — |my_samples| <= n_samples = O(log l)
                 for row in my_samples:
                     ctx.send(
                         leader, t_sample, encode_key(Keyed(row["value"], row["id"]))
                     )
                     if pace_samples:
                         yield
+                # lint: bound[log] — pads the emission count to n_samples
                 for _ in range(n_samples - len(my_samples)):
                     ctx.send(leader, t_sample, None)
                     if pace_samples:

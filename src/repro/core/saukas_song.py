@@ -128,62 +128,66 @@ def _leader(
     # Initial global count + extremes via one median round (counts come
     # with the medians, so no separate init phase is needed).
     s: int | None = None
-    while boundary is None:
-        # --- median round ------------------------------------------------
-        if k > 1:
-            ctx.broadcast(t_query, (_OP_MEDIAN, encode_key(lo), encode_key(hi)))
-        my_count, my_median = _local_median_in(keys, lo, hi)
-        medians: list[tuple[Keyed, int]] = []
-        counts = np.zeros(k, dtype=np.int64)
-        counts[ctx.rank] = my_count
-        if my_median is not None:
-            medians.append((my_median, my_count))
-        if k > 1:
-            replies = yield from ctx.recv(t_reply, k - 1)
-            for msg in replies:
-                _, n_i, med_wire = msg.payload
-                counts[msg.src] = n_i
-                if med_wire is not None:
-                    medians.append((decode_key(med_wire), n_i))
-        s = int(counts.sum())
-        if stats.iterations == 0:
-            stats.initial_count = s
-        stats.sizes.append(s)
+    with ctx.obs.span("ssel/iterate"):
+        # lint: bound[log] — the weighted median discards a constant
+        # fraction of the live range per round (Saukas–Song analysis)
+        while boundary is None:
+            # --- median round --------------------------------------------
+            if k > 1:
+                ctx.broadcast(t_query, (_OP_MEDIAN, encode_key(lo), encode_key(hi)))
+            my_count, my_median = _local_median_in(keys, lo, hi)
+            medians: list[tuple[Keyed, int]] = []
+            counts = np.zeros(k, dtype=np.int64)
+            counts[ctx.rank] = my_count
+            if my_median is not None:
+                medians.append((my_median, my_count))
+            if k > 1:
+                replies = yield from ctx.recv(t_reply, k - 1)
+                for msg in replies:
+                    _, n_i, med_wire = msg.payload
+                    counts[msg.src] = n_i
+                    if med_wire is not None:
+                        medians.append((decode_key(med_wire), n_i))
+            s = int(counts.sum())
+            if stats.iterations == 0:
+                stats.initial_count = s
+            stats.sizes.append(s)
 
-        if s <= remaining:
-            # Everything still in range is selected (covers l >= n and
-            # the empty-range degenerate case).
-            boundary = hi if s > 0 else (lo if lo != MINUS_INF_KEY else MINUS_INF_KEY)
-            break
-        if remaining == 0:
-            boundary = MINUS_INF_KEY
-            break
-        stats.iterations += 1
-        pivot = _weighted_median(medians)
+            if s <= remaining:
+                # Everything still in range is selected (covers l >= n and
+                # the empty-range degenerate case).
+                boundary = hi if s > 0 else (lo if lo != MINUS_INF_KEY else MINUS_INF_KEY)
+                break
+            if remaining == 0:
+                boundary = MINUS_INF_KEY
+                break
+            stats.iterations += 1
+            pivot = _weighted_median(medians)
 
-        # --- count round ---------------------------------------------
-        if k > 1:
-            ctx.broadcast(t_query, (_OP_COUNT, encode_key(lo), encode_key(pivot)))
-        below = np.zeros(k, dtype=np.int64)
-        below[ctx.rank] = _count_in(keys, lo, pivot)
-        if k > 1:
-            replies = yield from ctx.recv(t_reply, k - 1)
-            for msg in replies:
-                below[msg.src] = msg.payload[1]
-        s_below = int(below.sum())
+            # --- count round ---------------------------------------------
+            if k > 1:
+                ctx.broadcast(t_query, (_OP_COUNT, encode_key(lo), encode_key(pivot)))
+            below = np.zeros(k, dtype=np.int64)
+            below[ctx.rank] = _count_in(keys, lo, pivot)
+            if k > 1:
+                replies = yield from ctx.recv(t_reply, k - 1)
+                for msg in replies:
+                    below[msg.src] = msg.payload[1]
+            s_below = int(below.sum())
 
-        if s_below == remaining:
-            boundary = pivot
-        elif s_below < remaining:
-            remaining -= s_below
-            lo = pivot
-        else:
-            hi = pivot
+            if s_below == remaining:
+                boundary = pivot
+            elif s_below < remaining:
+                remaining -= s_below
+                lo = pivot
+            else:
+                hi = pivot
 
     assert boundary is not None
-    if k > 1:
-        ctx.broadcast(t_query, (_OP_FINISHED, encode_key(boundary)))
-        yield
+    with ctx.obs.span("ssel/finish"):
+        if k > 1:
+            ctx.broadcast(t_query, (_OP_FINISHED, encode_key(boundary)))
+            yield
     selected = keys[: _rank_leq(keys, boundary)]
     # stats duck-types SelectionStats' `initial_count`/`iterations`.
     return SelectionOutput(
@@ -194,27 +198,29 @@ def _leader(
 def _worker(
     ctx: MachineContext, leader: int, keys: np.ndarray, t_query: str, t_reply: str
 ) -> Generator[None, None, SelectionOutput]:
-    while True:
-        msg = yield from ctx.recv_one(t_query, src=leader)
-        op = msg.payload[0]
-        if op == _OP_MEDIAN:
-            lo = decode_key(msg.payload[1])
-            hi = decode_key(msg.payload[2])
-            count, median = _local_median_in(keys, lo, hi)
-            wire = None if median is None else encode_key(median)
-            ctx.send(leader, t_reply, (_OP_MEDIAN, count, wire))
-        elif op == _OP_COUNT:
-            lo = decode_key(msg.payload[1])
-            p = decode_key(msg.payload[2])
-            ctx.send(leader, t_reply, (_OP_COUNT, _count_in(keys, lo, p)))
-        elif op == _OP_FINISHED:
-            boundary = decode_key(msg.payload[1])
-            selected = keys[: _rank_leq(keys, boundary)]
-            return SelectionOutput(
-                selected=selected, boundary=boundary, is_leader=False, stats=None
-            )
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown op {op!r}")
+    with ctx.obs.span("ssel/serve"):
+        # lint: bound[log] — one op per leader halving round
+        while True:
+            msg = yield from ctx.recv_one(t_query, src=leader)
+            op = msg.payload[0]
+            if op == _OP_MEDIAN:
+                lo = decode_key(msg.payload[1])
+                hi = decode_key(msg.payload[2])
+                count, median = _local_median_in(keys, lo, hi)
+                wire = None if median is None else encode_key(median)
+                ctx.send(leader, t_reply, (_OP_MEDIAN, count, wire))
+            elif op == _OP_COUNT:
+                lo = decode_key(msg.payload[1])
+                p = decode_key(msg.payload[2])
+                ctx.send(leader, t_reply, (_OP_COUNT, _count_in(keys, lo, p)))
+            elif op == _OP_FINISHED:
+                boundary = decode_key(msg.payload[1])
+                selected = keys[: _rank_leq(keys, boundary)]
+                return SelectionOutput(
+                    selected=selected, boundary=boundary, is_leader=False, stats=None
+                )
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown op {op!r}")
 
 
 class SaukasSongSelectionProgram(Program):

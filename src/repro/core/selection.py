@@ -314,6 +314,7 @@ def _leader_role(
         boundary = MINUS_INF_KEY
 
     with ctx.obs.span("sel/iterate"):
+        # lint: bound[log] — O(log s) iterations w.h.p. (Theorem 2.2)
         while boundary is None:
             stats.iterations += 1
             # --- pivot selection: machine i w.p. counts[i] / s ------------
@@ -394,6 +395,7 @@ def _worker_role(
 ) -> Generator[None, None, SelectionOutput]:
     n, kmin, kmax = _local_extremes(keys)
     with ctx.obs.span("sel/serve"):
+        # lint: bound[log] — one op per leader iteration, O(log s) w.h.p.
         while True:
             msg = yield from ctx.recv_one(
                 t_query, src=leader, max_rounds=timeout_rounds
@@ -549,6 +551,7 @@ def _leader_role_byz(
             ctx.broadcast(t_sus, SuspicionNotice(suspect=rank, reason=reason))
 
     with ctx.obs.span("sel/iterate"):
+        # lint: bound[log] — the iteration cap is O(log s) (Theorem 2.4)
         while boundary is None:
             stats.iterations += 1
             if stats.iterations > cap:
@@ -683,6 +686,7 @@ def _worker_role_byz(
     waited = 0
 
     with ctx.obs.span("sel/serve"):
+        # lint: bound[log] — ops track the capped leader iteration count
         while True:
             pending.extend(ctx.take(t_query, src=leader))
             if not pending:

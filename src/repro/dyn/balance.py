@@ -295,6 +295,7 @@ class RebalanceProgram(Program):
                 prev = MINUS_INF_KEY
                 consumed = 0
                 splitters_run = 0
+                # lint: bound[k] — one selection per live-machine boundary
                 for j in range(1, m):
                     r_j = (j * s) // m
                     step = r_j - consumed
@@ -327,6 +328,7 @@ class RebalanceProgram(Program):
                 buckets = np.searchsorted(splitter_ids, shard.ids, side="left")
                 my_bucket = live.index(ctx.rank)
                 moved_out = 0
+                # lint: bound[k] — one migration envelope per live machine
                 for bucket, dst in enumerate(live):
                     if dst == ctx.rank:
                         continue

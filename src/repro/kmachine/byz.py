@@ -377,6 +377,7 @@ def serve_gather(
     ctx.broadcast(t_val, payload)
     yield
     heard = yield from recv_from(ctx, t_val, peers, cfg.timeout_rounds)
+    # lint: bound[k] — one echo per live peer
     for src, value in heard.items():
         ctx.send(leader, t_echo, Echo(origin=src, value=value))
     yield

@@ -26,11 +26,33 @@ KM004     Message-schema registration — dataclasses that cross the
           is declared and serializer round-trip is tested.
 KM005     recv/send pairing — a blocking receive on a tag no
           reachable sender uses is a cheap deadlock smell.
+KM006     Orphan protocol-graph edge — a reachable receive no send
+          site's tag pattern can satisfy (or a send nothing receives),
+          judged on the cross-file flow graph rather than per site.
+KM007     Budget regression — an entry point whose symbolically
+          inferred message budget exceeds its declared
+          ``O(k^a log^b n)`` class in either the f=0 or the Byzantine
+          regime (:mod:`repro.lint.budgets`).
+KM008     Wire-schema mismatch — a send whose payload dataclass is not
+          what the matching receive ``isinstance``-checks.
+KM009     Unattributed phase — entry-reachable protocol traffic
+          outside any ``ctx.obs.span(...)``, invisible to the
+          conformance monitor.
+KM010     RNG taint — an out-of-band ``default_rng(<const>)`` stream
+          laundered through locals/returns onto the wire
+          (interprocedural fixpoint; KM002 only sees the call site).
 ========  ==============================================================
+
+KM006–KM010 ride the protocol-graph layer
+(:mod:`repro.lint.protocol`): send/recv sites resolved to roles, tag
+patterns, schemas, and phase spans, with regime assumptions pruning
+``byz``-gated branches so f=0 / f>0 message classes are checked
+separately at analysis time.
 
 Usage::
 
     python -m repro.lint --format=text src/
+    python -m repro.lint graph --dot src/   # flow graph as Graphviz
 
 Per-line suppression: append ``# lint: ignore[KM002]`` (or a bare
 ``# lint: ignore`` to silence every rule) to the offending line, or

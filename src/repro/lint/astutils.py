@@ -8,17 +8,22 @@ fast enough (one parse per file) to sit in front of the test matrix.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Mapping
+import re
+from typing import Callable, Iterator, Mapping
 
 __all__ = [
     "UNKNOWN",
+    "WILD",
     "SEND_METHODS",
     "RECV_METHODS",
     "SendSite",
     "RecvSite",
+    "FuncDecl",
     "dotted_name",
     "attr_tail",
     "fold_tag",
+    "fold_tag_pattern",
+    "tag_patterns_match",
     "iter_send_sites",
     "iter_recv_sites",
     "is_program_function",
@@ -26,10 +31,28 @@ __all__ = [
     "import_aliases",
     "resolve_dotted",
     "qualname_map",
+    "collect_functions",
+    "module_dotted_name",
+    "bound_comment",
+    "is_leader_test",
+    "leader_flag_names",
+    "span_name_expr",
+    "rng_taint_walk",
+    "expr_mentions",
+    "walk_nodes",
 ]
 
 #: Sentinel for "statically unresolvable" tag values.
 UNKNOWN = object()
+
+#: Wildcard segment used by :func:`fold_tag_pattern` for tag pieces
+#: that vary at runtime (loop indices, sequence numbers).
+WILD = "*"
+
+#: ``# lint: bound[k]`` / ``# lint: bound[k*log]`` — a declared loop
+#: bound the budget-inference pass trusts where folding fails.  The
+#: legal vocabulary is parsed by :func:`repro.lint.budgets.parse_class`.
+_BOUND_RE = re.compile(r"#\s*lint:\s*bound\[([A-Za-z0-9_^*\s]+)\]")
 
 #: method name -> (tag positional index, payload positional index).
 #: ``send(dst, tag, payload)``, ``broadcast(tag, payload)``,
@@ -90,6 +113,22 @@ def attr_tail(node: ast.expr) -> str | None:
     return None
 
 
+def walk_nodes(tree: ast.AST) -> "list[ast.AST]":
+    """:func:`ast.walk` flattened once and cached on the root node.
+
+    A dozen independent passes (site scans, constant collection,
+    import maps, per-rule checks) each iterate the full module tree;
+    materialising the walk once keeps the analyzer one-walk-per-module
+    regardless of how many passes consume it.  Safe because the linter
+    never mutates ASTs after parse.
+    """
+    cached = getattr(tree, "_lint_walk_cache", None)
+    if cached is None:
+        cached = list(ast.walk(tree))
+        tree._lint_walk_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
 def _arg(call: ast.Call, pos: int, kw: str) -> ast.expr | None:
     if len(call.args) > pos and not any(isinstance(a, ast.Starred) for a in call.args[: pos + 1]):
         return call.args[pos]
@@ -101,7 +140,7 @@ def _arg(call: ast.Call, pos: int, kw: str) -> ast.expr | None:
 
 def iter_send_sites(tree: ast.AST) -> Iterator[SendSite]:
     """Yield every method call that looks like a context send."""
-    for node in ast.walk(tree):
+    for node in walk_nodes(tree):
         if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
             continue
         method = node.func.attr
@@ -115,7 +154,7 @@ def iter_send_sites(tree: ast.AST) -> Iterator[SendSite]:
 
 def iter_recv_sites(tree: ast.AST) -> Iterator[RecvSite]:
     """Yield every method call that looks like a context receive."""
-    for node in ast.walk(tree):
+    for node in walk_nodes(tree):
         if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
             continue
         method = node.func.attr
@@ -152,6 +191,10 @@ def fold_tag(node: ast.expr | None, env: Mapping[str, object]) -> object:
             if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
                 chunks.append(piece.value)
             elif isinstance(piece, ast.FormattedValue):
+                if piece.format_spec is not None or piece.conversion != -1:
+                    # A format spec ({x:04d}) or conversion ({x!r}) can
+                    # rewrite the rendered text arbitrarily; bail out.
+                    return UNKNOWN
                 folded = fold_tag(piece.value, env)
                 if not isinstance(folded, str):
                     return UNKNOWN
@@ -195,7 +238,7 @@ def collect_assignments(
     are tracked.
     """
     out: dict[tuple[str, str], list[ast.expr]] = {}
-    for node in ast.walk(tree):
+    for node in walk_nodes(tree):
         if isinstance(node, ast.Assign) and len(node.targets) == 1:
             target = node.targets[0]
             if isinstance(target, ast.Name):
@@ -215,7 +258,7 @@ def import_aliases(tree: ast.Module) -> dict[str, str]:
     paths regardless of aliasing.
     """
     aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
+    for node in walk_nodes(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 aliases[alias.asname or alias.name.split(".")[0]] = (
@@ -236,6 +279,338 @@ def resolve_dotted(node: ast.expr, aliases: Mapping[str, str]) -> str | None:
     head, _, rest = dotted.partition(".")
     head = aliases.get(head, head)
     return f"{head}.{rest}" if rest else head
+
+
+class FuncDecl:
+    """One function definition plus the facts the protocol graph needs."""
+
+    __slots__ = ("node", "qualname", "params", "defaults", "module")
+
+    def __init__(self, node: ast.FunctionDef, qualname: str, module: str) -> None:
+        self.node = node
+        self.qualname = qualname
+        self.module = module
+        args = node.args
+        self.params: list[str] = [
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        ]
+        #: param name -> default expression, for binding omitted arguments.
+        self.defaults: dict[str, ast.expr] = {}
+        positional = args.posonlyargs + args.args
+        for param, default in zip(positional[len(positional) - len(args.defaults):],
+                                  args.defaults):
+            self.defaults[param.arg] = default
+        for param, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None:
+                self.defaults[param.arg] = kw_default
+
+    @property
+    def has_ctx(self) -> bool:
+        """True for program functions (machine-side API convention)."""
+        return "ctx" in self.params
+
+
+def collect_functions(
+    tree: ast.Module, scopes: Mapping[ast.AST, str], module: str
+) -> dict[str, FuncDecl]:
+    """Every (sync) function definition in ``tree`` keyed by qualname.
+
+    Nested ``def``s are included (their qualname carries the enclosing
+    function), so tag-helper closures like ``def t_gv(i): return
+    tag(prefix, "gv", i)`` are resolvable at their call sites.
+    """
+    out: dict[str, FuncDecl] = {}
+    for node in walk_nodes(tree):
+        if isinstance(node, ast.FunctionDef):
+            # qualname_map already folds the def's own name into its scope.
+            qualname = scopes.get(node) or node.name
+            out[qualname] = FuncDecl(node, qualname, module)
+    return out
+
+
+def module_dotted_name(relpath: str) -> str:
+    """Dotted import path of a source file: ``src/repro/core/knn.py``
+    -> ``repro.core.knn`` (leading ``src`` components are stripped)."""
+    parts = list(relpath.split("/"))
+    while parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def fold_tag_pattern(node: ast.expr | None, env: Mapping[str, object]) -> str | None:
+    """Like :func:`fold_tag` but degrades unknowns to ``*`` wildcards.
+
+    Returns a slash-joined tag pattern where each statically unknown
+    piece becomes a ``*`` segment (``tag(prefix, "gv", i)`` with
+    ``prefix = "sel"`` folds to ``sel/gv/*``), or ``None`` when the
+    expression is completely opaque.  Patterns feed the protocol
+    graph's edge matching (:func:`tag_patterns_match`).
+    """
+    if node is None:
+        return None
+    exact = fold_tag(node, env)
+    if isinstance(exact, str):
+        return exact
+    if isinstance(node, ast.Call) and attr_tail(node.func) == "tag" and not node.keywords:
+        parts = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                return None
+            piece = fold_tag_pattern(arg, env)
+            parts.append(WILD if piece is None else piece)
+        return "/".join(parts) if parts else None
+    if isinstance(node, ast.JoinedStr):
+        chunks: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                chunks.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                if piece.format_spec is not None or piece.conversion != -1:
+                    chunks.append(WILD)
+                    continue
+                # Recurse in pattern mode so nested f-strings keep
+                # their constant parts (f"sel/{f'r{n}'}" -> "sel/r*").
+                folded = fold_tag_pattern(piece.value, env)
+                chunks.append(folded if folded is not None else WILD)
+            else:
+                chunks.append(WILD)
+        return "".join(chunks)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = fold_tag_pattern(node.left, env)
+        right = fold_tag_pattern(node.right, env)
+        if left is None and right is None:
+            return None
+        return (left or WILD) + (right or WILD)
+    return WILD
+
+
+def _segment_matches(a: str, b: str) -> bool:
+    if a == WILD or b == WILD:
+        return True
+    if WILD in a or WILD in b:
+        # Partial wildcards inside a segment (f"r{n}" -> "r*"): check
+        # literal prefix/suffix compatibility of the two globs.
+        pa, pb = a.split(WILD, 1), b.split(WILD, 1)
+        head = min(len(pa[0]), len(pb[0]))
+        tail = min(len(pa[-1]), len(pb[-1]))
+        return (pa[0][:head] == pb[0][:head]) and (
+            tail == 0 or pa[-1][-tail:] == pb[-1][-tail:]
+        )
+    return a == b
+
+
+def tag_patterns_match(send: str, recv: str) -> bool:
+    """Could a send on pattern ``send`` satisfy a receive on ``recv``?
+
+    Segment-wise glob compatibility over ``/``-separated tags; a
+    length mismatch only matches when one side ends in a bare ``*``
+    (which may swallow trailing segments).
+    """
+    sa, sb = send.split("/"), recv.split("/")
+    if len(sa) != len(sb):
+        shorter, longer = (sa, sb) if len(sa) < len(sb) else (sb, sa)
+        if not shorter or shorter[-1] != WILD:
+            return False
+        longer = longer[: len(shorter)]
+        sa, sb = shorter, longer
+    return all(_segment_matches(x, y) for x, y in zip(sa, sb))
+
+
+def bound_comment(lines: list[str], lineno: int) -> str | None:
+    """The ``# lint: bound[...]`` declaration covering ``lineno``.
+
+    Checked on the statement's own line first, then on a comment-only
+    line directly above (mirroring suppression-comment placement).
+    """
+    for idx in (lineno, lineno - 1):
+        if 1 <= idx <= len(lines):
+            m = _BOUND_RE.search(lines[idx - 1])
+            if m is not None:
+                if idx == lineno or lines[idx - 1].split("#", 1)[0].strip() == "":
+                    return m.group(1).strip()
+    return None
+
+
+def _is_rank_expr(node: ast.expr) -> bool:
+    return dotted_name(node) == "ctx.rank"
+
+
+def _is_leaderish(node: ast.expr) -> bool:
+    name = dotted_name(node) or ""
+    return "leader" in name.rsplit(".", 1)[-1]
+
+
+def is_leader_test(node: ast.expr, flags: set[str]) -> bool | None:
+    """Classify a branch condition as a role split.
+
+    Returns ``True`` for "this branch runs on the leader", ``False``
+    for "runs on workers", ``None`` for "not a role split".  Role
+    tests are either ``ctx.rank == <leader>`` comparisons (any
+    comparand whose name mentions ``leader``) or truth-tests of names
+    previously assigned such a comparison (``is_leader``-style flags,
+    collected by :func:`leader_flag_names`).
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        inner = is_leader_test(node.operand, flags)
+        return None if inner is None else not inner
+    if isinstance(node, ast.Name) and node.id in flags:
+        return True
+    if isinstance(node, ast.Compare) and len(node.ops) == 1:
+        left, right = node.left, node.comparators[0]
+        pair_ok = (_is_rank_expr(left) and _is_leaderish(right)) or (
+            _is_rank_expr(right) and _is_leaderish(left)
+        )
+        if pair_ok:
+            if isinstance(node.ops[0], ast.Eq):
+                return True
+            if isinstance(node.ops[0], ast.NotEq):
+                return False
+    if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+        # `is_leader and byz is not None`: a role split iff exactly one
+        # conjunct is one (the others refine the same machine's branch).
+        verdicts = [is_leader_test(v, flags) for v in node.values]
+        hits = [v for v in verdicts if v is not None]
+        if len(hits) == 1:
+            return hits[0]
+    return None
+
+
+def leader_flag_names(func: ast.FunctionDef) -> set[str]:
+    """Local names assigned ``ctx.rank == <leader-ish>`` comparisons."""
+    flags: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Compare)
+                and len(value.ops) == 1
+                and isinstance(value.ops[0], ast.Eq)
+                and (
+                    (_is_rank_expr(value.left) and _is_leaderish(value.comparators[0]))
+                    or (_is_rank_expr(value.comparators[0]) and _is_leaderish(value.left))
+                )
+            ):
+                flags.add(target.id)
+    return flags
+
+
+def rng_taint_walk(
+    functions: Mapping[str, ast.FunctionDef],
+    resolve_call: "Callable[[str, ast.Call], str | None]",
+    is_foreign_root: "Callable[[str, ast.Call], bool]",
+    rounds: int = 6,
+) -> tuple[set[str], dict[str, set[str]]]:
+    """Interprocedural RNG-taint fixpoint (KM010's engine).
+
+    ``functions`` maps qualified ids to function defs across the whole
+    project; ``resolve_call(caller_id, call)`` names the callee when a
+    call statically resolves; ``is_foreign_root(caller_id, call)``
+    marks the taint sources (RNG constructors with no ``ctx``-seeded
+    root — the caller id lets the predicate consult that module's
+    import aliases).  Taint
+    propagates through simple local assignments and through function
+    return values — the laundering path KM002's per-call check cannot
+    see — iterating to a fixpoint (bounded by ``rounds``; call chains
+    deeper than that do not occur in practice and under-tainting is
+    the safe direction for a lint).
+
+    Returns ``(tainted_function_ids, per_function_tainted_locals)``.
+    """
+    tainted_funcs: set[str] = set()
+    tainted_locals: dict[str, set[str]] = {qual: set() for qual in functions}
+
+    # Each function's AST is walked exactly once, extracting per
+    # expression the facts the fixpoint needs: does it contain a taint
+    # source, which callees does it reach, which locals does it read.
+    # The rounds below then reduce to set intersections, so the loop
+    # cost is proportional to the number of assignments, not AST size.
+    Feat = tuple[bool, frozenset[str], frozenset[str]]
+
+    def features(qual: str, node: ast.expr) -> Feat:
+        foreign = False
+        callees: set[str] = set()
+        names: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                if is_foreign_root(qual, sub):
+                    foreign = True
+                else:
+                    callee = resolve_call(qual, sub)
+                    if callee is not None:
+                        callees.add(callee)
+            elif isinstance(sub, ast.Name):
+                names.add(sub.id)
+        return foreign, frozenset(callees), frozenset(names)
+
+    assigns: dict[str, list[tuple[str, Feat]]] = {}
+    returns: dict[str, list[Feat]] = {}
+    for qual, func in functions.items():
+        a_list: list[tuple[str, Feat]] = []
+        r_list: list[Feat] = []
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                a_list.append((node.targets[0].id, features(qual, node.value)))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                r_list.append(features(qual, node.value))
+        assigns[qual] = a_list
+        returns[qual] = r_list
+
+    def hot(qual: str, feat: Feat) -> bool:
+        foreign, callees, names = feat
+        return (
+            foreign
+            or bool(callees & tainted_funcs)
+            or bool(names & tainted_locals[qual])
+        )
+
+    for _ in range(rounds):
+        changed = False
+        for qual in functions:
+            locals_ = tainted_locals[qual]
+            for name, feat in assigns[qual]:
+                if name not in locals_ and hot(qual, feat):
+                    locals_.add(name)
+                    changed = True
+            if qual not in tainted_funcs and any(
+                hot(qual, feat) for feat in returns[qual]
+            ):
+                tainted_funcs.add(qual)
+                changed = True
+        if not changed:
+            break
+    return tainted_funcs, tainted_locals
+
+
+def expr_mentions(node: ast.expr, names: set[str]) -> bool:
+    """Does any ``Name`` in the expression refer to one of ``names``?"""
+    return any(
+        isinstance(sub, ast.Name) and sub.id in names for sub in ast.walk(node)
+    )
+
+
+def span_name_expr(item: ast.withitem) -> ast.expr | None:
+    """The span-name argument of a ``with ctx.obs.span(...)`` item."""
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "span"
+        and expr.args
+    ):
+        owner = dotted_name(expr.func.value) or ""
+        if owner.endswith("obs") or owner == "ctx":
+            return expr.args[0]
+    return None
 
 
 def qualname_map(tree: ast.Module) -> dict[ast.AST, str]:

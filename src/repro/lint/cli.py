@@ -2,9 +2,18 @@
 
 Exit codes: 0 — clean (no new violations), 1 — violations found,
 2 — usage or I/O error.  ``--format=json`` emits a machine-readable
-report for CI annotation tooling; ``--update-baseline`` rewrites the
+report for CI annotation tooling and ``--format=sarif`` a SARIF 2.1.0
+log for code-scanning upload; ``--update-baseline`` rewrites the
 baseline to forgive exactly the current violations (for intentional,
-reviewed debt — the committed baseline in this repo is empty).
+reviewed debt — the committed baseline in this repo is empty), and
+``--strict`` also fails the run when the committed baseline carries
+stale fingerprints whose debt has been paid down.
+
+A second mode renders the cross-file protocol graph instead of
+linting::
+
+    python -m repro.lint graph src/repro/core/selection.py   # JSON
+    python -m repro.lint graph --dot src | dot -Tsvg > protocol.svg
 """
 
 from __future__ import annotations
@@ -37,9 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) when the baseline carries stale entries",
     )
     parser.add_argument(
         "--rules",
@@ -85,9 +99,16 @@ def _emit_text(report: LintReport) -> None:
         print(f"error: {error}")
     for violation in report.violations:
         print(violation.format())
+    for fp in report.stale_fingerprints:
+        print(
+            f"warning: baseline entry {fp} no longer matches any violation; "
+            f"regenerate with --update-baseline"
+        )
     print(
         f"{len(report.violations)} violation(s) in {report.files} file(s)"
-        f" ({report.suppressed} suppressed, {report.baselined} baselined)"
+        f" ({report.suppressed} suppressed, {report.baselined} baselined, "
+        f"{len(report.stale_fingerprints)} stale baseline entr"
+        f"{'y' if len(report.stale_fingerprints) == 1 else 'ies'})"
     )
 
 
@@ -98,6 +119,7 @@ def _emit_json(report: LintReport, elapsed: float) -> None:
         "suppressed": report.suppressed,
         "baselined": report.baselined,
         "parse_errors": report.parse_errors,
+        "stale_baseline_fingerprints": report.stale_fingerprints,
         "violations": [
             {
                 "rule": v.rule,
@@ -115,8 +137,105 @@ def _emit_json(report: LintReport, elapsed: float) -> None:
     sys.stdout.write("\n")
 
 
+def _emit_sarif(report: LintReport) -> None:
+    """SARIF 2.1.0 log (the subset code-scanning uploads consume)."""
+    by_code = {cls.code: cls for cls in ALL_RULES}
+    used = sorted({v.rule for v in report.violations})
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": code,
+                                "name": by_code[code].name if code in by_code else code,
+                                "shortDescription": {
+                                    "text": by_code[code].description
+                                    if code in by_code
+                                    else code
+                                },
+                            }
+                            for code in used
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": v.rule,
+                        "level": "error",
+                        "message": {"text": v.message},
+                        "partialFingerprints": {"primaryLocationLineHash": v.fingerprint()},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": v.path},
+                                    "region": {
+                                        "startLine": v.line,
+                                        "startColumn": v.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for v in report.violations
+                ],
+            }
+        ],
+    }
+    json.dump(sarif, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+def _run_graph(argv: Sequence[str]) -> int:
+    """``python -m repro.lint graph [--dot] [paths]`` — render the graph."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint graph",
+        description="Render the cross-file protocol flow graph.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit Graphviz DOT instead of JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from .engine import ProjectIndex
+    from .protocol import ProtocolAnalyzer
+
+    engine = LintEngine([])
+    files = engine.discover([Path(p) for p in args.paths])
+    modules, errors = engine.load_modules(files)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not modules:
+        print("error: nothing to analyze", file=sys.stderr)
+        return 2
+    analyzer = ProtocolAnalyzer(modules, ProjectIndex(modules))
+    graph = analyzer.build_graph()
+    if args.dot:
+        sys.stdout.write(graph.to_dot())
+    else:
+        json.dump(graph.to_json(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    return 1 if errors else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "graph":
+        return _run_graph(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -166,6 +285,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         _emit_json(report, elapsed)
+    elif args.format == "sarif":
+        _emit_sarif(report)
     else:
         _emit_text(report)
+    if args.strict and report.stale_fingerprints:
+        return 1
     return 0 if report.ok else 1

@@ -19,14 +19,22 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .astutils import (
     UNKNOWN,
+    RecvSite,
+    SendSite,
+    walk_nodes,
+    collect_assignments,
     dotted_name,
     fold_tag,
+    import_aliases,
+    iter_recv_sites,
     iter_send_sites,
     qualname_map,
 )
 from .baseline import Baseline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .budgets import EntryBudget
+    from .protocol import ProtocolAnalyzer, ProtocolGraph
     from .rules import Rule
 
 __all__ = ["Violation", "ModuleInfo", "ProjectIndex", "LintEngine", "LintReport"]
@@ -80,6 +88,13 @@ class ModuleInfo:
         self.suppressions = self._parse_suppressions()
         #: module-level ``NAME = "string"`` constants (tag vocabulary).
         self.str_constants = self._collect_str_constants()
+        #: memoized per-module facts recomputed identically by several
+        #: rules — keyed caches keep the two-pass run one-walk-per-fact.
+        self._tag_env_cache: dict[int | None, dict[str, object]] = {}
+        self._send_sites: list[SendSite] | None = None
+        self._recv_sites: list[RecvSite] | None = None
+        self._import_aliases: dict[str, str] | None = None
+        self._assignments: dict[tuple[str, str], list[ast.expr]] | None = None
 
     # -- scope -----------------------------------------------------------
     @property
@@ -140,11 +155,19 @@ class ModuleInfo:
         function scope) and folds string-valued right-hand sides; a
         name assigned a non-foldable value maps to UNKNOWN so partial
         knowledge never produces a wrong tag string.
+
+        Memoized per ``extra`` identity (every rule passes the same
+        ``index.global_str_constants`` object); callers must treat the
+        returned dict as read-only.
         """
+        cache_key = id(extra) if extra is not None else None
+        cached = self._tag_env_cache.get(cache_key)
+        if cached is not None:
+            return cached
         env: dict[str, object] = dict(extra or {})
         env.update(self.str_constants)
         pending: list[tuple[str, ast.expr]] = []
-        for node in ast.walk(self.tree):
+        for node in walk_nodes(self.tree):
             if isinstance(node, ast.Assign) and len(node.targets) == 1:
                 target = node.targets[0]
                 if isinstance(target, ast.Name):
@@ -161,13 +184,48 @@ class ModuleInfo:
                         env[name] = folded
                 elif name not in env:
                     env[name] = UNKNOWN
+        # Final poisoning pass: a name with any still-unfoldable
+        # assignment (e.g. a function-local rebind to a parameter that
+        # shadows a module constant) is ambiguous at the send sites
+        # that see the rebound value — drop the constant, fail closed.
+        for name, value in pending:
+            if not isinstance(fold_tag(value, env), str):
+                env[name] = UNKNOWN
+        self._tag_env_cache[cache_key] = env
         return env
+
+    def send_sites(self) -> "list[SendSite]":
+        """All send sites in the module (memoized single walk)."""
+        if self._send_sites is None:
+            self._send_sites = list(iter_send_sites(self.tree))
+        return self._send_sites
+
+    def recv_sites(self) -> "list[RecvSite]":
+        """All receive sites in the module (memoized single walk)."""
+        if self._recv_sites is None:
+            self._recv_sites = list(iter_recv_sites(self.tree))
+        return self._recv_sites
+
+    def import_alias_map(self) -> dict[str, str]:
+        """Import aliases in the module (memoized single walk)."""
+        if self._import_aliases is None:
+            self._import_aliases = import_aliases(self.tree)
+        return self._import_aliases
+
+    def assignments(self) -> dict[tuple[str, str], list[ast.expr]]:
+        """``(scope, name) -> assigned exprs`` (memoized single walk)."""
+        if self._assignments is None:
+            self._assignments = collect_assignments(self.tree, self.scopes)
+        return self._assignments
 
 
 class ProjectIndex:
     """Cross-file facts shared by every rule invocation."""
 
     def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        #: the parsed modules themselves (graph-based rules walk across
+        #: them; order matches discovery order).
+        self.modules: list[ModuleInfo] = list(modules)
         #: union of module-level string constants (OP_* vocabulary).
         self.global_str_constants: dict[str, str] = {}
         for mod in modules:
@@ -176,20 +234,33 @@ class ProjectIndex:
         #: every tag string any send site resolves to, project-wide.
         self.sent_tags: set[str] = set()
         #: relpaths of modules containing at least one unresolvable send
-        #: tag (recv checks in those modules stay quiet).
+        #: tag (kept for compatibility; KM005 now narrows to scopes).
         self.modules_with_dynamic_sends: set[str] = set()
+        #: (relpath, enclosing scope) of each unresolvable send — KM005
+        #: only silences receives sharing a scope with one of these.
+        self.dynamic_send_scopes: set[tuple[str, str]] = set()
         #: dataclass name -> registered-with-wire-schema?
         self.dataclasses: dict[str, bool] = {}
+        #: populated by the engine's second pass (None when rules run
+        #: without it, e.g. in isolation tests).
+        self.analyzer: "ProtocolAnalyzer | None" = None
+        self.graph: "ProtocolGraph | None" = None
+        #: per-run rule caches (budget inference, taint fixpoint).
+        self.km007_cache: "list[EntryBudget] | None" = None
+        self.km010_cache: tuple[set[str], dict[str, set[str]]] | None = None
 
         for mod in modules:
             env = mod.local_tag_env(self.global_str_constants)
-            for site in iter_send_sites(mod.tree):
+            for site in mod.send_sites():
                 folded = fold_tag(site.tag, env)
                 if isinstance(folded, str):
                     self.sent_tags.add(folded)
                 else:
                     self.modules_with_dynamic_sends.add(mod.relpath)
-            for node in ast.walk(mod.tree):
+                    self.dynamic_send_scopes.add(
+                        (mod.relpath, mod.scope_of(site.call))
+                    )
+            for node in walk_nodes(mod.tree):
                 if isinstance(node, ast.ClassDef):
                     is_dc = registered = False
                     for deco in node.decorator_list:
@@ -214,6 +285,10 @@ class LintReport:
     suppressed: int = 0
     files: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    #: committed-baseline fingerprints that no current violation used
+    #: up: the recorded debt was paid down, so the baseline is stale
+    #: and should be regenerated with ``--update-baseline``.
+    stale_fingerprints: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -266,6 +341,15 @@ class LintEngine:
         modules, errors = self.load_modules(files)
         index = ProjectIndex(modules)
 
+        # Second analysis pass: the cross-file protocol graph the
+        # KM006+ rules ride.  Imported lazily — protocol.py imports
+        # this module for its types.
+        from .protocol import ProtocolAnalyzer
+
+        analyzer = ProtocolAnalyzer(modules, index)
+        index.analyzer = analyzer
+        index.graph = analyzer.build_graph()
+
         raw: list[Violation] = []
         suppressed = 0
         for mod in modules:
@@ -278,6 +362,7 @@ class LintEngine:
 
         raw.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
         baselined = 0
+        stale: list[str] = []
         if baseline is not None:
             kept: list[Violation] = []
             budget = dict(baseline.entries)
@@ -289,6 +374,7 @@ class LintEngine:
                 else:
                     kept.append(violation)
             raw = kept
+            stale = sorted(fp for fp, count in budget.items() if count > 0)
 
         return LintReport(
             violations=raw,
@@ -296,4 +382,5 @@ class LintEngine:
             suppressed=suppressed,
             files=len(modules),
             parse_errors=errors,
+            stale_fingerprints=stale,
         )

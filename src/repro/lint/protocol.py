@@ -1,0 +1,1023 @@
+"""Cross-file protocol-flow graph for the k-machine protocols.
+
+The per-module rules (KM001–KM005) see one file at a time; the
+properties the paper actually guarantees — every leader gather has a
+matching worker send, every message is attributed to a phase span,
+budgets hold end-to-end through the byz quorum wrappers — are *chain*
+properties.  This module walks each protocol entry point (a ``ctx``
+function no other ``ctx`` function calls, e.g. ``Program.run`` bodies)
+through its statically-resolved call chain and materializes every
+reachable send/recv as a :class:`GraphSite` carrying:
+
+* **role** — ``leader`` / ``worker`` / ``any``, inferred from
+  ``ctx.rank == leader`` branch splits, ``is_leader``-style flags and
+  leader/worker naming conventions;
+* **tag pattern** — the folded tag with ``*`` wildcards for runtime
+  pieces (``tag(prefix, "gv", i)`` → ``sel/gv/*``), so edges survive
+  loop indices and namespacing parameters;
+* **span** — the innermost enclosing ``ctx.obs.span(...)`` anywhere in
+  the chain (phase attribution, KM009);
+* **mult** — the product of enclosing loop classes (budget inference,
+  KM007);
+* **schema / expects** — the payload shape a send ships and the
+  dataclasses a recv ``isinstance``-checks (KM008).
+
+Edges pair sends with receives whose tag patterns are compatible and
+whose roles can actually talk (the leader is a singleton, so a
+leader-role recv can never be fed by a leader-only send).  Everything
+is syntactic — the analyzed code is never imported — and conservative:
+where resolution fails the walk degrades to wildcards and ``any``
+roles rather than inventing precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping, Sequence
+
+from .astutils import (
+    RECV_METHODS,
+    SEND_METHODS,
+    UNKNOWN,
+    WILD,
+    FuncDecl,
+    bound_comment,
+    collect_assignments,
+    collect_functions,
+    dotted_name,
+    fold_tag,
+    fold_tag_pattern,
+    is_leader_test,
+    leader_flag_names,
+    module_dotted_name,
+    span_name_expr,
+    tag_patterns_match,
+    walk_nodes,
+)
+from .budgets import O1, UNBOUNDED, Budget, classify_iter, parse_class
+from .engine import ModuleInfo, ProjectIndex
+
+__all__ = ["GraphSite", "ProtocolGraph", "ProtocolAnalyzer", "build_protocol_graph"]
+
+#: Recursion guard: protocol call chains in this repo are ≤ 5 deep
+#: (run → subroutine → role → quorum wrapper → recv primitive).
+_MAX_DEPTH = 8
+
+#: Markers for byz-config-style optionality tracked through bindings.
+_NONE = "__none__"
+_NOT_NONE = "__notnone__"
+
+
+class GraphSite:
+    """One send/recv occurrence reached through one protocol chain."""
+
+    __slots__ = (
+        "kind", "method", "module", "scope", "entry", "chain", "role",
+        "tag", "schema", "expects", "span", "line", "col", "mult",
+    )
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        method: str,
+        module: str,
+        scope: str,
+        entry: str,
+        chain: tuple[str, ...],
+        role: str,
+        tag: str | None,
+        schema: str,
+        expects: tuple[str, ...],
+        span: str | None,
+        line: int,
+        col: int,
+        mult: Budget,
+    ) -> None:
+        self.kind = kind
+        self.method = method
+        self.module = module
+        self.scope = scope
+        self.entry = entry
+        self.chain = chain
+        self.role = role
+        self.tag = tag
+        self.schema = schema
+        self.expects = expects
+        self.span = span
+        self.line = line
+        self.col = col
+        self.mult = mult
+
+    def key(self) -> tuple[str, int, int, str, str | None]:
+        """Dedup identity: one site may be reached via many chains."""
+        return (self.module, self.line, self.col, self.role, self.tag)
+
+    def to_json(self) -> dict[str, object]:
+        """JSON form for the CLI ``graph`` subcommand."""
+        return {
+            "kind": self.kind,
+            "method": self.method,
+            "module": self.module,
+            "scope": self.scope,
+            "entry": self.entry,
+            "role": self.role,
+            "tag": self.tag,
+            "schema": self.schema,
+            "expects": list(self.expects),
+            "span": self.span,
+            "line": self.line,
+            "mult": self.mult.classname,
+        }
+
+
+class ProtocolGraph:
+    """All reachable sites plus send→recv edges and raw-send fallbacks."""
+
+    def __init__(
+        self,
+        sites: list[GraphSite],
+        raw_send_patterns: list[tuple[str, str | None, int]],
+    ) -> None:
+        self.sites = sites
+        #: every textual send in the project — (module, pattern, line) —
+        #: including ones the entry walk never reaches.  KM006 treats
+        #: an unreached matching sender as benefit of the doubt.
+        self.raw_send_patterns = raw_send_patterns
+        self.edges: list[tuple[int, int]] = []
+        self._covered_sends = {(s.module, s.line) for s in sites if s.kind == "send"}
+        self._build_edges()
+
+    # -- construction ----------------------------------------------------
+    def _build_edges(self) -> None:
+        sends = [(i, s) for i, s in enumerate(self.sites) if s.kind == "send"]
+        recvs = [(i, s) for i, s in enumerate(self.sites) if s.kind == "recv"]
+        for ri, recv in recvs:
+            if recv.tag is None:
+                continue
+            for si, send in sends:
+                if send.tag is None:
+                    continue
+                if not tag_patterns_match(send.tag, recv.tag):
+                    continue
+                if send.role == "leader" and recv.role == "leader":
+                    # The leader is a singleton and self-sends are a
+                    # protocol error: leader→leader cannot be an edge.
+                    continue
+                self.edges.append((si, ri))
+
+    # -- queries ---------------------------------------------------------
+    def sends(self) -> Iterator[GraphSite]:
+        """All send sites."""
+        return (s for s in self.sites if s.kind == "send")
+
+    def recvs(self) -> Iterator[GraphSite]:
+        """All recv sites."""
+        return (s for s in self.sites if s.kind == "recv")
+
+    def senders_for(self, recv: GraphSite) -> list[GraphSite]:
+        """Graph sends feeding this recv (role-aware, via edges)."""
+        idx = self.sites.index(recv)
+        return [self.sites[si] for si, ri in self.edges if ri == idx]
+
+    def unreached_sender_exists(self, recv: GraphSite) -> bool:
+        """A textual send outside the walked chains could feed this recv.
+
+        Fully-wildcard raw sends (generic fan-out helpers taking ``tag``
+        as a parameter) only vouch for receives in their own module —
+        otherwise one generic helper would blind KM006 project-wide.
+        """
+        if recv.tag is None:
+            return True
+        for module, pattern, line in self.raw_send_patterns:
+            if (module, line) in self._covered_sends:
+                continue
+            if pattern is None or set(pattern.split("/")) == {WILD}:
+                if module == recv.module:
+                    return True
+                continue
+            if tag_patterns_match(pattern, recv.tag):
+                return True
+        return False
+
+    # -- export ----------------------------------------------------------
+    def to_json(self) -> dict[str, object]:
+        """JSON document: sites, edges (by site index), summary counts."""
+        return {
+            "version": 1,
+            "sites": [s.to_json() for s in self.sites],
+            "edges": [{"send": si, "recv": ri} for si, ri in self.edges],
+            "summary": {
+                "sites": len(self.sites),
+                "sends": sum(1 for s in self.sites if s.kind == "send"),
+                "recvs": sum(1 for s in self.sites if s.kind == "recv"),
+                "edges": len(self.edges),
+            },
+        }
+
+    def to_dot(self) -> str:
+        """Graphviz DOT: one node per site, one arrow per edge."""
+        lines = [
+            "digraph protocol {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontsize=9, fontname="monospace"];',
+        ]
+        for i, site in enumerate(self.sites):
+            color = "lightblue" if site.kind == "send" else "lightyellow"
+            label = (
+                f"{site.kind} {site.tag or '?'}\\n"
+                f"{site.role} @ {site.module}:{site.line}\\n"
+                f"span={site.span or '-'}"
+            )
+            lines.append(
+                f'  n{i} [label="{label}", style=filled, fillcolor={color}];'
+            )
+        for si, ri in self.edges:
+            lines.append(f"  n{si} -> n{ri};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class _Frame:
+    """Mutable state carried down one statement walk."""
+
+    __slots__ = ("binding", "role", "span", "mult", "chain", "assume")
+
+    def __init__(
+        self,
+        binding: dict[str, object],
+        role: str,
+        span: str | None,
+        mult: Budget,
+        chain: tuple[str, ...],
+        assume: Mapping[str, str],
+    ) -> None:
+        self.binding = binding
+        self.role = role
+        self.span = span
+        self.mult = mult
+        self.chain = chain
+        self.assume = assume
+
+
+class ProtocolAnalyzer:
+    """Chain-walking analyzer over a parsed project.
+
+    Builds a registry of every function keyed by dotted path, resolves
+    imports (including the relative imports the repo uses throughout),
+    then symbolically executes each entry point's statement tree,
+    recording sites and recursing into resolvable calls with folded
+    argument bindings.
+    """
+
+    def __init__(self, modules: Sequence[ModuleInfo], index: ProjectIndex) -> None:
+        self.modules = list(modules)
+        self.index = index
+        self._by_dotted: dict[str, ModuleInfo] = {}
+        self._functions: dict[str, tuple[ModuleInfo, FuncDecl]] = {}
+        self._imports: dict[str, dict[str, str]] = {}
+        self._envs: dict[str, dict[str, object]] = {}
+        self._assigns: dict[str, dict[tuple[str, str], list[ast.expr]]] = {}
+        self._local_funcs: dict[str, dict[str, FuncDecl]] = {}
+        #: per-function-node caches for facts recomputed on every visit
+        #: (functions are re-walked once per entry x regime).
+        self._flag_names: dict[int, set[str]] = {}
+        self._calls_cache: dict[int, list[ast.Call]] = {}
+        self._recv_expect_cache: dict[tuple[int, str], tuple[str, ...]] = {}
+        self._sites: list[GraphSite] = []
+        self._site_keys: dict[tuple[str, int, int, str, str | None], int] = {}
+
+        self._by_relpath: dict[str, ModuleInfo] = {}
+        for mod in modules:
+            dotted = module_dotted_name(mod.relpath)
+            self._by_dotted[dotted] = mod
+            self._by_relpath[mod.relpath] = mod
+            funcs = collect_functions(mod.tree, mod.scopes, mod.relpath)
+            self._local_funcs[mod.relpath] = funcs
+            for qualname, decl in funcs.items():
+                self._functions[f"{dotted}.{qualname}"] = (mod, decl)
+            self._imports[mod.relpath] = self._import_map(mod, dotted)
+            self._envs[mod.relpath] = mod.local_tag_env(index.global_str_constants)
+            self._assigns[mod.relpath] = mod.assignments()
+
+    # -- registry --------------------------------------------------------
+    @staticmethod
+    def _import_map(mod: ModuleInfo, dotted: str) -> dict[str, str]:
+        """Local name -> fully-qualified dotted target, relative-aware."""
+        package = dotted.split(".")[:-1]
+        out: dict[str, str] = {}
+        for node in walk_nodes(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    out[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level > 0:
+                    base = package[: len(package) - (node.level - 1)]
+                else:
+                    base = []
+                target = base + (node.module.split(".") if node.module else [])
+                prefix = ".".join(target)
+                for alias in node.names:
+                    if alias.name != "*":
+                        out[alias.asname or alias.name] = f"{prefix}.{alias.name}"
+        return out
+
+    def function_registry(self) -> dict[str, ast.FunctionDef]:
+        """Every analyzed function keyed ``relpath:qualname`` (KM010)."""
+        out: dict[str, ast.FunctionDef] = {}
+        for relpath, funcs in self._local_funcs.items():
+            for qualname, decl in funcs.items():
+                out[f"{relpath}:{qualname}"] = decl.node
+        return out
+
+    def resolve_qualified(self, caller_id: str, call: ast.Call) -> str | None:
+        """Resolve a call to its ``relpath:qualname`` id, if analyzable."""
+        relpath, _, caller = caller_id.partition(":")
+        mod = self._by_relpath.get(relpath)
+        if mod is None:
+            return None
+        hit = self._resolve_call(mod, caller, call.func)
+        if hit is None:
+            return None
+        callee_mod, decl = hit
+        return f"{callee_mod.relpath}:{decl.qualname}"
+
+    def module_by_suffix(self, suffix: str) -> ModuleInfo | None:
+        """The analyzed module whose relpath ends with ``suffix``."""
+        for mod in self.modules:
+            if mod.relpath.endswith(suffix):
+                return mod
+        return None
+
+    def function_at(self, mod: ModuleInfo, qualname: str) -> FuncDecl | None:
+        """The declared function ``qualname`` inside ``mod``."""
+        return self._local_funcs.get(mod.relpath, {}).get(qualname)
+
+    def _resolve_call(
+        self, mod: ModuleInfo, caller: str, func_expr: ast.expr
+    ) -> tuple[ModuleInfo, FuncDecl] | None:
+        """Resolve a call target to a declared function, if analyzable."""
+        locals_ = self._local_funcs[mod.relpath]
+        if isinstance(func_expr, ast.Name):
+            name = func_expr.id
+            # Innermost enclosing scope first (nested tag closures),
+            # then module level, then imports.
+            prefix = caller
+            while prefix:
+                decl = locals_.get(f"{prefix}.{name}")
+                if decl is not None:
+                    return mod, decl
+                prefix = prefix.rpartition(".")[0]
+            if name in locals_:
+                return mod, locals_[name]
+            target = self._imports[mod.relpath].get(name)
+            if target is not None and target in self._functions:
+                return self._functions[target]
+            return None
+        if isinstance(func_expr, ast.Attribute):
+            owner = dotted_name(func_expr.value)
+            if owner == "self":
+                # Method call: sibling under the caller's class prefix.
+                cls = caller.rpartition(".")[0]
+                if cls:
+                    decl = locals_.get(f"{cls}.{func_expr.attr}")
+                    if decl is not None:
+                        return mod, decl
+                return None
+            if owner is not None:
+                target = self._imports[mod.relpath].get(owner)
+                if target is not None:
+                    hit = self._functions.get(f"{target}.{func_expr.attr}")
+                    if hit is not None:
+                        return hit
+        return None
+
+    # -- entry discovery -------------------------------------------------
+    def entry_points(self) -> list[tuple[ModuleInfo, FuncDecl]]:
+        """``ctx`` functions no other ``ctx`` function calls.
+
+        Driver/orchestration code (no ``ctx`` param) does not count as
+        a caller: a subroutine invoked only by a simulator driver is
+        still a protocol root worth walking.
+        """
+        called: set[int] = set()
+        for mod in self.modules:
+            for qualname, decl in self._local_funcs[mod.relpath].items():
+                if not decl.has_ctx:
+                    continue
+                for node in walk_nodes(decl.node):
+                    if isinstance(node, ast.Call):
+                        hit = self._resolve_call(mod, qualname, node.func)
+                        if hit is not None and hit[1].node is not decl.node:
+                            called.add(id(hit[1].node))
+        entries: list[tuple[ModuleInfo, FuncDecl]] = []
+        for mod in self.modules:
+            for decl in self._local_funcs[mod.relpath].values():
+                if decl.has_ctx and id(decl.node) not in called:
+                    entries.append((mod, decl))
+        return entries
+
+    # -- walking ---------------------------------------------------------
+    def walk_entry(
+        self,
+        mod: ModuleInfo,
+        qualname: str,
+        *,
+        assumptions: Mapping[str, str] | None = None,
+        collect: bool = False,
+    ) -> list[GraphSite] | None:
+        """Walk one entry; returns this walk's sites (or ``None`` if the
+        entry does not exist).  With ``collect=True`` sites are also
+        merged into the analyzer-wide dedup pool used by
+        :meth:`build_graph`."""
+        decl = self.function_at(mod, qualname)
+        if decl is None:
+            return None
+        assume = dict(assumptions or {})
+        binding: dict[str, object] = {}
+        for param, default in decl.defaults.items():
+            folded = self._fold(default, mod, {})
+            if folded is not None:
+                binding[param] = folded
+            elif isinstance(default, ast.Constant) and default.value is None:
+                binding[param] = _NONE
+        for param, marker in assume.items():
+            value = _NONE if marker == "f0" else _NOT_NONE
+            if param in decl.params:
+                binding[param] = value
+            # Program-object entries carry the regime on an attribute
+            # (``self.byz``) rather than a parameter; bind that spelling
+            # too so `self.byz is not None` branches prune the same way.
+            binding[f"self.{param}"] = value
+        out: list[GraphSite] = []
+        entry_id = f"{mod.relpath}:{qualname}"
+        frame = _Frame(
+            binding=binding,
+            role=self._role_hint(qualname, "any"),
+            span=None,
+            mult=O1,
+            chain=(entry_id,),
+            assume=assume,
+        )
+        self._walk_function(mod, decl, frame, entry_id, out, depth=0)
+        if collect:
+            for site in out:
+                self._merge(site)
+        return out
+
+    def build_graph(self) -> ProtocolGraph:
+        """Walk every auto-discovered entry and assemble the graph."""
+        self._sites = []
+        self._site_keys = {}
+        for mod, decl in self.entry_points():
+            self.walk_entry(mod, decl.qualname, collect=True)
+        raw = self._raw_send_patterns()
+        return ProtocolGraph(list(self._sites), raw)
+
+    def _merge(self, site: GraphSite) -> None:
+        key = site.key()
+        prior = self._site_keys.get(key)
+        if prior is None:
+            self._site_keys[key] = len(self._sites)
+            self._sites.append(site)
+            return
+        kept = self._sites[prior]
+        kept.mult = kept.mult.join(site.mult)
+        if kept.span is None and site.span is not None:
+            kept.span = site.span
+        if site.expects and not kept.expects:
+            kept.expects = site.expects
+
+    def _raw_send_patterns(self) -> list[tuple[str, str | None, int]]:
+        out: list[tuple[str, str | None, int]] = []
+        from .astutils import iter_send_sites
+
+        for mod in self.modules:
+            env = self._envs[mod.relpath]
+            for site in mod.send_sites():
+                pattern = fold_tag_pattern(site.tag, env)
+                out.append((mod.relpath, pattern, site.call.lineno))
+        return out
+
+    @staticmethod
+    def _role_hint(qualname: str, inherited: str) -> str:
+        if inherited != "any":
+            return inherited
+        tail = qualname.rsplit(".", 1)[-1].lower()
+        if "leader" in tail:
+            return "leader"
+        if "worker" in tail:
+            return "worker"
+        return inherited
+
+    # -- folding with closure resolution ---------------------------------
+    def _fold(
+        self, node: ast.expr | None, mod: ModuleInfo, binding: Mapping[str, object],
+        caller: str = "", depth: int = 0,
+    ) -> str | None:
+        """Tag pattern of ``node``, resolving single-return closures."""
+        if node is None:
+            return None
+        env: dict[str, object] = dict(self._envs[mod.relpath])
+        env.update({k: v for k, v in binding.items() if isinstance(v, str) and v not in (_NONE, _NOT_NONE)})
+        if isinstance(node, ast.Call) and depth < 4:
+            hit = self._resolve_call(mod, caller, node.func)
+            if hit is not None:
+                callee_mod, decl = hit
+                body = decl.node.body
+                stmts = [s for s in body if not isinstance(s, (ast.Expr,)) or not isinstance(getattr(s, "value", None), ast.Constant)]
+                if len(stmts) == 1 and isinstance(stmts[0], ast.Return):
+                    inner_binding = self._bind_args(node, decl, mod, binding, caller)
+                    folded = self._fold(
+                        stmts[0].value, callee_mod, inner_binding,
+                        caller=decl.qualname, depth=depth + 1,
+                    )
+                    # An opaque closure body (e.g. a join over varargs)
+                    # must not mask the name-based ``tag(...)`` folding
+                    # below, which still recovers the literal segments.
+                    if folded is not None and folded != WILD:
+                        return folded
+        pattern = fold_tag_pattern(node, env)
+        if pattern is not None:
+            return pattern
+        if isinstance(node, ast.Call):
+            return WILD
+        return pattern
+
+    def _bind_args(
+        self,
+        call: ast.Call,
+        decl: FuncDecl,
+        mod: ModuleInfo,
+        binding: Mapping[str, object],
+        caller: str,
+    ) -> dict[str, object]:
+        """Fold call arguments into the callee's parameter binding."""
+        callee_mod = self._functions.get(
+            f"{module_dotted_name(decl.module)}.{decl.qualname}", (None, None)
+        )[0]
+        inner: dict[str, object] = {}
+        for param, default in decl.defaults.items():
+            target_mod = callee_mod if callee_mod is not None else mod
+            folded = self._fold(default, target_mod, {})
+            if folded is not None:
+                inner[param] = folded
+            elif isinstance(default, ast.Constant) and default.value is None:
+                inner[param] = _NONE
+
+        params = [p for p in decl.params if p != "self"]
+
+        def assign(param: str, expr: ast.expr) -> None:
+            if isinstance(expr, ast.Constant) and expr.value is None:
+                inner[param] = _NONE
+                return
+            key = dotted_name(expr)
+            if key is not None and key in binding:
+                # Covers plain names and marker-carrying attribute
+                # spellings alike (``byz=self.byz`` under a regime
+                # assumption).
+                inner[param] = binding[key]
+                return
+            folded = self._fold(expr, mod, binding, caller=caller)
+            if folded is not None:
+                inner[param] = folded
+
+        for pos, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if pos < len(params):
+                assign(params[pos], arg)
+        for kw in call.keywords:
+            if kw.arg is not None:
+                assign(kw.arg, kw.value)
+        return inner
+
+    # -- condition evaluation --------------------------------------------
+    def _eval_test(
+        self, test: ast.expr, mod: ModuleInfo, binding: Mapping[str, object]
+    ) -> bool | None:
+        """Truth value of a branch condition, when statically known."""
+        if isinstance(test, ast.Constant):
+            return bool(test.value)
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            inner = self._eval_test(test.operand, mod, binding)
+            return None if inner is None else not inner
+        if isinstance(test, ast.BoolOp):
+            parts = [self._eval_test(v, mod, binding) for v in test.values]
+            if isinstance(test.op, ast.And):
+                if any(p is False for p in parts):
+                    return False
+                if all(p is True for p in parts):
+                    return True
+                return None
+            if any(p is True for p in parts):
+                return True
+            if all(p is False for p in parts):
+                return False
+            return None
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            op = test.ops[0]
+            left, right = test.left, test.comparators[0]
+            if isinstance(op, (ast.Is, ast.IsNot)):
+                # `x is None` / `x is not None` with tracked optionality.
+                subject, probe = (left, right) if (
+                    isinstance(right, ast.Constant) and right.value is None
+                ) else (right, left)
+                if isinstance(probe, ast.Constant) and probe.value is None:
+                    key = dotted_name(subject)
+                    marker = binding.get(key) if key else None
+                    if marker == _NONE:
+                        return isinstance(op, ast.Is)
+                    if marker == _NOT_NONE:
+                        return isinstance(op, ast.IsNot)
+                return None
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                env: dict[str, object] = dict(self._envs[mod.relpath])
+                env.update({k: v for k, v in binding.items() if isinstance(v, str)})
+                lv, rv = fold_tag(left, env), fold_tag(right, env)
+                if (
+                    isinstance(lv, str) and isinstance(rv, str)
+                    and _NONE not in (lv, rv) and _NOT_NONE not in (lv, rv)
+                ):
+                    return (lv == rv) if isinstance(op, ast.Eq) else (lv != rv)
+        return None
+
+    # -- statement walk --------------------------------------------------
+    def _walk_function(
+        self,
+        mod: ModuleInfo,
+        decl: FuncDecl,
+        frame: _Frame,
+        entry: str,
+        out: list[GraphSite],
+        depth: int,
+    ) -> None:
+        if depth > _MAX_DEPTH:
+            return
+        cached_flags = self._flag_names.get(id(decl.node))
+        if cached_flags is None:
+            cached_flags = leader_flag_names(decl.node)
+            self._flag_names[id(decl.node)] = cached_flags
+        flags = cached_flags
+        self._walk_body(mod, decl, decl.node.body, frame, entry, out, depth, flags)
+
+    def _walk_body(
+        self,
+        mod: ModuleInfo,
+        decl: FuncDecl,
+        body: Sequence[ast.stmt],
+        frame: _Frame,
+        entry: str,
+        out: list[GraphSite],
+        depth: int,
+        flags: set[str],
+    ) -> None:
+        for stmt in body:
+            self._walk_stmt(mod, decl, stmt, frame, entry, out, depth, flags)
+
+    def _loop_mult(
+        self, mod: ModuleInfo, stmt: ast.For | ast.While, binding: Mapping[str, object]
+    ) -> Budget:
+        declared = bound_comment(mod.lines, stmt.lineno)
+        if declared is not None:
+            return parse_class(declared) or UNBOUNDED
+        if isinstance(stmt, ast.For):
+            env: dict[str, object] = dict(self._envs[mod.relpath])
+            env.update(binding)
+            cls = classify_iter(stmt.iter, env)
+            if cls is not None:
+                return cls
+        return UNBOUNDED
+
+    def _walk_stmt(
+        self,
+        mod: ModuleInfo,
+        decl: FuncDecl,
+        stmt: ast.stmt,
+        frame: _Frame,
+        entry: str,
+        out: list[GraphSite],
+        depth: int,
+        flags: set[str],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs only run when called
+        if isinstance(stmt, ast.If):
+            truth = self._eval_test(stmt.test, mod, frame.binding)
+            if truth is True:
+                self._walk_body(mod, decl, stmt.body, frame, entry, out, depth, flags)
+                return
+            if truth is False:
+                self._walk_body(mod, decl, stmt.orelse, frame, entry, out, depth, flags)
+                return
+            split = is_leader_test(stmt.test, flags)
+            if split is not None:
+                body_role = "leader" if split else "worker"
+                else_role = "worker" if split else "leader"
+                body_frame = self._child(frame, role=body_role)
+                self._walk_body(mod, decl, stmt.body, body_frame, entry, out, depth, flags)
+                # The negation is only the opposite role when the test
+                # is *purely* a role split (no `and` refinements).
+                pure = not isinstance(stmt.test, ast.BoolOp)
+                else_frame = self._child(frame, role=else_role if pure else frame.role)
+                self._walk_body(mod, decl, stmt.orelse, else_frame, entry, out, depth, flags)
+                return
+            self._walk_body(mod, decl, stmt.body, frame, entry, out, depth, flags)
+            self._walk_body(mod, decl, stmt.orelse, frame, entry, out, depth, flags)
+            return
+        if isinstance(stmt, (ast.For, ast.While)):
+            mult = self._loop_mult(mod, stmt, frame.binding)
+            inner = self._child(frame, mult=frame.mult.times(mult))
+            if isinstance(stmt, ast.For) and isinstance(stmt.target, ast.Name):
+                inner.binding = dict(inner.binding)
+                inner.binding.pop(stmt.target.id, None)
+            self._walk_body(mod, decl, stmt.body, inner, entry, out, depth, flags)
+            self._walk_body(mod, decl, stmt.orelse, frame, entry, out, depth, flags)
+            return
+        if isinstance(stmt, ast.With):
+            span = frame.span
+            for item in stmt.items:
+                name_expr = span_name_expr(item)
+                if name_expr is not None:
+                    folded = self._fold(name_expr, mod, frame.binding, caller=decl.qualname)
+                    span = folded if folded is not None else WILD
+            inner = self._child(frame, span=span)
+            self._walk_body(mod, decl, stmt.body, inner, entry, out, depth, flags)
+            return
+        if isinstance(stmt, ast.Try):
+            for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                self._walk_body(mod, decl, block, frame, entry, out, depth, flags)
+            for handler in stmt.handlers:
+                self._walk_body(mod, decl, handler.body, frame, entry, out, depth, flags)
+            return
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                self._track_assignment(mod, decl, target.id, stmt.value, frame)
+        self._walk_exprs(mod, decl, stmt, frame, entry, out, depth)
+
+    def _track_assignment(
+        self, mod: ModuleInfo, decl: FuncDecl, name: str, value: ast.expr, frame: _Frame
+    ) -> None:
+        if isinstance(value, ast.Constant) and value.value is None:
+            frame.binding = dict(frame.binding)
+            frame.binding[name] = _NONE
+            return
+        if isinstance(value, ast.Name) and value.id in frame.binding:
+            frame.binding = dict(frame.binding)
+            frame.binding[name] = frame.binding[value.id]
+            return
+        folded = self._fold(value, mod, frame.binding, caller=decl.qualname)
+        if folded is not None and WILD not in folded:
+            frame.binding = dict(frame.binding)
+            frame.binding[name] = folded
+        elif name in frame.binding:
+            frame.binding = dict(frame.binding)
+            frame.binding.pop(name, None)
+
+    @staticmethod
+    def _child(
+        frame: _Frame,
+        *,
+        role: str | None = None,
+        span: str | None = None,
+        mult: Budget | None = None,
+        binding: dict[str, object] | None = None,
+        chain: tuple[str, ...] | None = None,
+    ) -> _Frame:
+        return _Frame(
+            binding=binding if binding is not None else frame.binding,
+            role=role if role is not None else frame.role,
+            span=span if span is not None else frame.span,
+            mult=mult if mult is not None else frame.mult,
+            chain=chain if chain is not None else frame.chain,
+            assume=frame.assume,
+        )
+
+    # -- expression walk: sites + recursion ------------------------------
+    def _walk_exprs(
+        self,
+        mod: ModuleInfo,
+        decl: FuncDecl,
+        stmt: ast.stmt,
+        frame: _Frame,
+        entry: str,
+        out: list[GraphSite],
+        depth: int,
+    ) -> None:
+        recv_target: str | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                recv_target = target.id
+        for call in self._calls_in(stmt):
+            func = call.func
+            method = func.attr if isinstance(func, ast.Attribute) else None
+            if method in SEND_METHODS and isinstance(func, ast.Attribute):
+                self._record_send(mod, decl, call, method, frame, entry, out)
+                continue
+            if method in RECV_METHODS and isinstance(func, ast.Attribute):
+                self._record_recv(
+                    mod, decl, call, method, frame, entry, out, recv_target
+                )
+                continue
+            hit = self._resolve_call(mod, decl.qualname, call.func)
+            if hit is None:
+                continue
+            callee_mod, callee = hit
+            callee_id = f"{callee_mod.relpath}:{callee.qualname}"
+            if callee_id in frame.chain or len(frame.chain) > _MAX_DEPTH:
+                continue
+            binding = self._bind_args(call, callee, mod, frame.binding, decl.qualname)
+            child = self._child(
+                frame,
+                role=self._role_hint(callee.qualname, frame.role),
+                binding=binding,
+                chain=frame.chain + (callee_id,),
+            )
+            self._walk_function(callee_mod, callee, child, entry, out, depth + 1)
+
+    def _calls_in(self, stmt: ast.stmt) -> "list[ast.Call]":
+        """Calls in a statement's expressions, skipping nested defs.
+
+        Memoized per statement node — statements are revisited once
+        per (entry x regime) walk but their call sets never change.
+        """
+        cached = self._calls_cache.get(id(stmt))
+        if cached is None:
+            cached = list(self._iter_calls(stmt))
+            self._calls_cache[id(stmt)] = cached
+        return cached
+
+    @staticmethod
+    def _iter_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ) and node is not stmt:
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _record_send(
+        self,
+        mod: ModuleInfo,
+        decl: FuncDecl,
+        call: ast.Call,
+        method: str,
+        frame: _Frame,
+        entry: str,
+        out: list[GraphSite],
+    ) -> None:
+        tag_pos, payload_pos = SEND_METHODS[method]
+        tag_expr = self._call_arg(call, tag_pos, "tag")
+        payload_expr = self._call_arg(call, payload_pos, "payload")
+        out.append(
+            GraphSite(
+                kind="send",
+                method=method,
+                module=mod.relpath,
+                scope=mod.scope_of(call),
+                entry=entry,
+                chain=frame.chain,
+                role=frame.role,
+                tag=self._fold(tag_expr, mod, frame.binding, caller=decl.qualname),
+                schema=self._payload_schema(mod, decl, payload_expr),
+                expects=(),
+                span=frame.span,
+                line=call.lineno,
+                col=call.col_offset,
+                mult=frame.mult,
+            )
+        )
+
+    def _record_recv(
+        self,
+        mod: ModuleInfo,
+        decl: FuncDecl,
+        call: ast.Call,
+        method: str,
+        frame: _Frame,
+        entry: str,
+        out: list[GraphSite],
+        recv_target: str | None,
+    ) -> None:
+        tag_expr = self._call_arg(call, RECV_METHODS[method], "tag")
+        out.append(
+            GraphSite(
+                kind="recv",
+                method=method,
+                module=mod.relpath,
+                scope=mod.scope_of(call),
+                entry=entry,
+                chain=frame.chain,
+                role=frame.role,
+                tag=self._fold(tag_expr, mod, frame.binding, caller=decl.qualname),
+                schema="",
+                expects=self._recv_expects(decl, recv_target),
+                span=frame.span,
+                line=call.lineno,
+                col=call.col_offset,
+                mult=frame.mult,
+            )
+        )
+
+    @staticmethod
+    def _call_arg(call: ast.Call, pos: int, kw: str) -> ast.expr | None:
+        if len(call.args) > pos and not any(
+            isinstance(a, ast.Starred) for a in call.args[: pos + 1]
+        ):
+            return call.args[pos]
+        for keyword in call.keywords:
+            if keyword.arg == kw:
+                return keyword.value
+        return None
+
+    def _payload_schema(
+        self, mod: ModuleInfo, decl: FuncDecl, payload: ast.expr | None
+    ) -> str:
+        """Shape label of a send payload: dataclass name, tuple[n], ..."""
+        label = self._schema_of_expr(mod, payload)
+        if label != "unknown" or payload is None:
+            return label
+        # One hop through a local: payload built a few lines up.
+        if isinstance(payload, ast.Name):
+            assigns = self._assigns[mod.relpath].get((decl.qualname, payload.id), [])
+            labels = {self._schema_of_expr(mod, expr) for expr in assigns}
+            labels.discard("unknown")
+            if len(labels) == 1:
+                return labels.pop()
+        return "unknown"
+
+    def _schema_of_expr(self, mod: ModuleInfo, expr: ast.expr | None) -> str:
+        if expr is None:
+            return "none"
+        if isinstance(expr, ast.Constant):
+            if expr.value is None:
+                return "none"
+            return "scalar"
+        if isinstance(expr, ast.Tuple):
+            return f"tuple[{len(expr.elts)}]"
+        if isinstance(expr, ast.Call):
+            tail = dotted_name(expr.func)
+            if tail is not None:
+                name = tail.rsplit(".", 1)[-1]
+                if name in self.index.dataclasses:
+                    return name
+        return "unknown"
+
+    def _recv_expects(self, decl: FuncDecl, recv_target: str | None) -> tuple[str, ...]:
+        """Dataclass names the receiving function isinstance-checks on
+        the received value (directly, via ``.payload``, or one local
+        hop away)."""
+        if recv_target is None:
+            return ()
+        key = (id(decl.node), recv_target)
+        cached = self._recv_expect_cache.get(key)
+        if cached is not None:
+            return cached
+        derived = {recv_target}
+        for node in ast.walk(decl.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    root = node.value
+                    while isinstance(root, ast.Attribute):
+                        root = root.value
+                    if isinstance(root, ast.Name) and root.id in derived:
+                        derived.add(target.id)
+        expects: list[str] = []
+        for node in ast.walk(decl.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "isinstance"
+                and len(node.args) == 2
+            ):
+                continue
+            subject = node.args[0]
+            root = subject
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if not (isinstance(root, ast.Name) and root.id in derived):
+                continue
+            check = node.args[1]
+            names = check.elts if isinstance(check, ast.Tuple) else [check]
+            for name_expr in names:
+                tail = dotted_name(name_expr)
+                if tail is not None:
+                    name = tail.rsplit(".", 1)[-1]
+                    if name in self.index.dataclasses and name not in expects:
+                        expects.append(name)
+        self._recv_expect_cache[key] = tuple(expects)
+        return self._recv_expect_cache[key]
+
+
+def build_protocol_graph(
+    modules: Sequence[ModuleInfo], index: ProjectIndex
+) -> ProtocolGraph:
+    """Convenience: analyzer + full-graph build in one call."""
+    return ProtocolAnalyzer(modules, index).build_graph()

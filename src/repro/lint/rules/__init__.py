@@ -40,10 +40,15 @@ class Rule:
 
 
 from .bandwidth import BandwidthRule  # noqa: E402
+from .budget import BudgetRule  # noqa: E402
+from .deadlock import DeadlockRule  # noqa: E402
 from .determinism import DeterminismRule  # noqa: E402
 from .isolation import IsolationRule  # noqa: E402
 from .pairing import PairingRule  # noqa: E402
+from .phase import PhaseAttributionRule  # noqa: E402
+from .rngtaint import RngTaintRule  # noqa: E402
 from .schema import SchemaRule  # noqa: E402
+from .wire import WireMismatchRule  # noqa: E402
 
 #: Every shipped rule, in code order.
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -52,6 +57,11 @@ ALL_RULES: tuple[type[Rule], ...] = (
     IsolationRule,
     SchemaRule,
     PairingRule,
+    DeadlockRule,
+    BudgetRule,
+    WireMismatchRule,
+    PhaseAttributionRule,
+    RngTaintRule,
 )
 
 

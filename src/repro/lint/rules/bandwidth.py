@@ -22,7 +22,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..astutils import attr_tail, collect_assignments, iter_send_sites
+from ..astutils import attr_tail
 from ..engine import ModuleInfo, ProjectIndex, Violation
 from . import Rule
 
@@ -80,8 +80,8 @@ class BandwidthRule(Rule):
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
         if not module.in_dir("core", "kmachine", "serve", "dyn"):
             return
-        assignments = collect_assignments(module.tree, module.scopes)
-        for site in iter_send_sites(module.tree):
+        assignments = module.assignments()
+        for site in module.send_sites():
             payload = site.payload
             if payload is None:
                 continue

@@ -1,0 +1,76 @@
+"""KM006 — orphan protocol edges (role-aware deadlock detection).
+
+KM005 pairs receives with senders by *exact* tag string, one module at
+a time, and goes silent whenever a tag fails to fold.  This rule rides
+the protocol graph instead: every receive reached through an entry
+chain carries a tag *pattern* (wildcards for loop indices and
+namespace parameters) and an inferred role, so it can judge receives
+KM005 cannot — ``tag(prefix, "ack")`` with a caller-supplied prefix —
+and catch the pairing bug tags alone miss: a sender that exists but
+runs on the *same singleton role* as the receiver (a leader gather
+with only leader-side sends is a deadlock even though the tag
+matches).
+
+Conservatism: a receive is only flagged when (a) its pattern has at
+least one literal segment (fully-dynamic receives are uncheckable),
+(b) no graph send matches it on a compatible role, and (c) no textual
+send *outside* the walked chains could match either — unreached
+senders get benefit of the doubt, so partial graph coverage can only
+under-report, never false-positive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..astutils import WILD
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+__all__ = ["DeadlockRule"]
+
+
+class DeadlockRule(Rule):
+    """Every reachable receive needs a cross-file sender on a paired role."""
+
+    code = "KM006"
+    name = "orphan-edge"
+    description = (
+        "a receive reached through the protocol graph has no matching "
+        "sender on a role that could actually deliver to it"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "kmachine", "serve", "dyn"):
+            return
+        graph = index.graph
+        if graph is None:
+            return
+        seen: set[tuple[int, str | None]] = set()
+        for recv in graph.recvs():
+            if recv.module != module.relpath or recv.tag is None:
+                continue
+            segments = recv.tag.split("/")
+            if not any(seg != WILD and WILD not in seg for seg in segments):
+                continue  # fully dynamic: nothing literal to anchor on
+            key = (recv.line, recv.tag)
+            if key in seen:
+                continue
+            if graph.senders_for(recv):
+                continue
+            if graph.unreached_sender_exists(recv):
+                continue
+            seen.add(key)
+            yield Violation(
+                rule=self.code,
+                path=module.relpath,
+                line=recv.line,
+                col=recv.col + 1,
+                message=(
+                    f"{recv.method}() on tag pattern {recv.tag!r} "
+                    f"(role={recv.role}, entry={recv.entry}) has no matching "
+                    f"sender on a compatible role anywhere in the protocol "
+                    f"graph; this receive can never complete"
+                ),
+                scope=recv.scope,
+            )

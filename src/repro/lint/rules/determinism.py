@@ -24,7 +24,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..astutils import import_aliases, resolve_dotted
+from ..astutils import resolve_dotted, walk_nodes
 from ..engine import ModuleInfo, ProjectIndex, Violation
 from . import Rule
 
@@ -80,8 +80,8 @@ class DeterminismRule(Rule):
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
         if not module.in_dir("core", "kmachine", "experiments", "serve", "dyn"):
             return
-        aliases = import_aliases(module.tree)
-        for node in ast.walk(module.tree):
+        aliases = module.import_alias_map()
+        for node in walk_nodes(module.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "random" or alias.name.startswith("random."):

@@ -25,7 +25,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..astutils import is_program_function
+from ..astutils import is_program_function, walk_nodes
 from ..engine import ModuleInfo, ProjectIndex, Violation
 from . import Rule
 
@@ -51,7 +51,7 @@ class IsolationRule(Rule):
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
         if not module.in_dir("core", "kmachine", "serve", "dyn"):
             return
-        for func in ast.walk(module.tree):
+        for func in walk_nodes(module.tree):
             if not is_program_function(func):
                 continue
             for node in ast.walk(func):

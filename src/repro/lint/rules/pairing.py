@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..astutils import fold_tag, iter_recv_sites
+from ..astutils import fold_tag
 from ..engine import ModuleInfo, ProjectIndex, Violation
 from . import Rule
 
@@ -39,12 +39,15 @@ class PairingRule(Rule):
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
         if not module.in_dir("core", "kmachine", "serve", "dyn"):
             return
-        if module.relpath in index.modules_with_dynamic_sends:
-            # An unresolvable send in this module could carry any tag;
-            # judging receives here would be guesswork.
-            return
         env = module.local_tag_env(index.global_str_constants)
-        for site in iter_recv_sites(module.tree):
+        for site in module.recv_sites():
+            # Per-function bailout: an unresolvable send in the *same
+            # scope* could carry any tag, so receives there would be
+            # guesswork — but one dynamic tag elsewhere in the module
+            # no longer blinds the rule to every other receive.
+            scope = module.scope_of(site.call)
+            if (module.relpath, scope) in index.dynamic_send_scopes:
+                continue
             folded = fold_tag(site.tag, env)
             if not isinstance(folded, str):
                 continue

@@ -1,0 +1,72 @@
+"""KM009 — unattributed protocol traffic (sends/recvs outside spans).
+
+The observability layer (PR 3) attributes every message to a
+hierarchical phase span, and the conformance monitor's per-phase
+budgets only see traffic inside ``ctx.obs.span(...)`` blocks.  A send
+or receive outside any span silently escapes both the Chrome-trace
+timeline and the budget accounting — the numbers still add up, they
+just lie.  The protocol graph carries the innermost enclosing span
+*across the whole call chain*, so a bare helper (``serve_gather``,
+``recv_from``) is fine as long as every entry path into it opened a
+span somewhere upstream.
+
+Scope: ``core``/``dyn``/``serve`` protocol modules.  The ``kmachine``
+primitives are exempt — they are the plumbing spans are built from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..protocol import GraphSite
+
+__all__ = ["PhaseAttributionRule"]
+
+
+class PhaseAttributionRule(Rule):
+    """Protocol traffic must be attributable to an obs phase span."""
+
+    code = "KM009"
+    name = "unattributed-phase"
+    description = (
+        "a send/recv reached through the protocol graph has no "
+        "enclosing ctx.obs.span() on any chain, so its traffic escapes "
+        "phase attribution and per-phase budget accounting"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "dyn", "serve"):
+            return
+        graph = index.graph
+        if graph is None:
+            return
+        unspanned: dict[tuple[int, int], GraphSite] = {}
+        spanned: set[tuple[int, int]] = set()
+        for site in graph.sites:
+            if site.module != module.relpath:
+                continue
+            key = (site.line, site.col)
+            if site.span is None:
+                unspanned.setdefault(key, site)
+            else:
+                spanned.add(key)
+        for key, site in sorted(unspanned.items()):
+            if key in spanned:
+                continue  # some chain attributes it; good enough
+            yield Violation(
+                rule=self.code,
+                path=module.relpath,
+                line=site.line,
+                col=site.col + 1,
+                message=(
+                    f"{site.method}() on tag {site.tag!r} runs outside any "
+                    f"ctx.obs.span() on every chain that reaches it "
+                    f"(entry={site.entry}); wrap the phase in a span so the "
+                    f"trace and budget accounting see this traffic"
+                ),
+                scope=site.scope,
+            )

@@ -1,0 +1,148 @@
+"""KM010 — RNG streams reaching the wire without a ctx-seeded root.
+
+KM002 flags the obvious nondeterminism sources at their construction
+site (unseeded ``default_rng()``, stdlib ``random``, wall clocks).
+What it cannot see is *laundering*: a helper that builds its own
+generator — seeded or not, but with no root in the per-machine
+``ctx.rng``/``ctx.seed`` discipline — and hands the stream (or values
+drawn from it) to code that puts them on the wire.  Messages derived
+from such a stream diverge across reruns (or, for constant seeds,
+collide identically across machines that must randomize
+independently), breaking the replay determinism the simulator and the
+Lemma 2.1 uniformity argument both rely on.
+
+The rule runs the interprocedural taint fixpoint in
+:func:`repro.lint.astutils.rng_taint_walk`: RNG constructors whose
+arguments never mention ``ctx`` are roots, taint flows through local
+assignments and function return values (cross-module via resolved
+imports), and a violation fires where a tainted expression reaches a
+``send``/``broadcast``/``send_to_many`` payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutils import (
+    dotted_name,
+    expr_mentions,
+    import_aliases,
+    iter_send_sites,
+    resolve_dotted,
+    rng_taint_walk,
+)
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..protocol import ProtocolAnalyzer
+
+__all__ = ["RngTaintRule"]
+
+#: Constructor tails that mint a fresh RNG stream.
+_RNG_FACTORY_TAILS = {"default_rng", "RandomState", "Generator", "PCG64", "Philox"}
+
+
+def _mentions_ctx(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "ctx":
+            return True
+    return False
+
+
+def _is_foreign_root(call: ast.Call, aliases: dict[str, str]) -> bool:
+    """An RNG constructor with no ``ctx`` anywhere in its arguments."""
+    resolved = resolve_dotted(call.func, aliases) or dotted_name(call.func) or ""
+    if resolved.rsplit(".", 1)[-1] not in _RNG_FACTORY_TAILS:
+        return False
+    args = list(call.args) + [kw.value for kw in call.keywords]
+    return not any(_mentions_ctx(arg) for arg in args)
+
+
+class RngTaintRule(Rule):
+    """Wire payloads must not derive from non-ctx-seeded RNG streams."""
+
+    code = "KM010"
+    name = "rng-taint"
+    description = (
+        "a send payload derives from an RNG stream with no ctx-seeded "
+        "root, breaking per-machine replay determinism on the wire"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "kmachine", "serve", "dyn"):
+            return
+        analyzer = index.analyzer
+        if analyzer is None:
+            return
+        tainted_funcs, tainted_locals = self._taint(index, analyzer)
+        aliases = module.import_alias_map()
+        for site in module.send_sites():
+            if site.payload is None:
+                continue
+            qual_id = f"{module.relpath}:{module.scope_of(site.call)}"
+            if not self._payload_tainted(
+                site.payload,
+                qual_id,
+                tainted_locals.get(qual_id, set()),
+                tainted_funcs,
+                analyzer,
+                aliases,
+            ):
+                continue
+            yield self.violation(
+                module,
+                site.call,
+                f"{site.method}() payload derives from an RNG stream with "
+                f"no ctx-seeded root; wire values must come from ctx.rng "
+                f"so reruns replay identically",
+            )
+
+    @staticmethod
+    def _taint(
+        index: ProjectIndex, analyzer: "ProtocolAnalyzer"
+    ) -> tuple[set[str], dict[str, set[str]]]:
+        cached = index.km010_cache
+        if cached is not None:
+            return cached
+        alias_cache: dict[str, dict[str, str]] = {}
+        by_relpath = {mod.relpath: mod for mod in index.modules}
+
+        def aliases_for(qual_id: str) -> dict[str, str]:
+            relpath = qual_id.partition(":")[0]
+            if relpath not in alias_cache:
+                mod = by_relpath.get(relpath)
+                alias_cache[relpath] = (
+                    mod.import_alias_map() if mod is not None else {}
+                )
+            return alias_cache[relpath]
+
+        def is_root(qual_id: str, call: ast.Call) -> bool:
+            return _is_foreign_root(call, aliases_for(qual_id))
+
+        taint = rng_taint_walk(
+            analyzer.function_registry(), analyzer.resolve_qualified, is_root
+        )
+        index.km010_cache = taint
+        return taint
+
+    @staticmethod
+    def _payload_tainted(
+        payload: ast.expr,
+        qual_id: str,
+        tainted_locals: set[str],
+        tainted_funcs: set[str],
+        analyzer: "ProtocolAnalyzer",
+        aliases: dict[str, str],
+    ) -> bool:
+        if expr_mentions(payload, tainted_locals):
+            return True
+        for sub in ast.walk(payload):
+            if isinstance(sub, ast.Call):
+                if _is_foreign_root(sub, aliases):
+                    return True
+                callee = analyzer.resolve_qualified(qual_id, sub)
+                if callee is not None and callee in tainted_funcs:
+                    return True
+        return False

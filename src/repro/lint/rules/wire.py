@@ -1,0 +1,70 @@
+"""KM008 — schema mismatch across a protocol edge.
+
+KM004 checks each *sender* in isolation: payload dataclasses must be
+registered with the wire-schema registry.  This rule checks the two
+ends of an edge against each other: when every sender that can reach a
+receive ships a known payload shape, and the receiving function
+``isinstance``-checks the payload against registered dataclasses, the
+shapes must intersect — a sender shipping ``tuple[2]`` into a receive
+that only accepts ``Echo`` envelopes is a guaranteed runtime rejection
+(or worse, a silent drop in a quorum filter).
+
+Conservatism: silent unless *all* matching senders have a statically
+known schema and the receiver declares at least one expectation, so
+generic relays and duck-typed payloads never false-positive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import ModuleInfo, ProjectIndex, Violation
+from . import Rule
+
+__all__ = ["WireMismatchRule"]
+
+
+class WireMismatchRule(Rule):
+    """Sender payload shapes must satisfy receiver isinstance checks."""
+
+    code = "KM008"
+    name = "schema-mismatch"
+    description = (
+        "every sender reaching this receive ships a payload shape the "
+        "receiving code's isinstance checks will reject"
+    )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
+        if not module.in_dir("core", "kmachine", "serve", "dyn"):
+            return
+        graph = index.graph
+        if graph is None:
+            return
+        seen: set[int] = set()
+        for recv in graph.recvs():
+            if recv.module != module.relpath or not recv.expects:
+                continue
+            if recv.line in seen:
+                continue
+            senders = graph.senders_for(recv)
+            if not senders:
+                continue
+            schemas = {s.schema for s in senders}
+            if "unknown" in schemas or "none" in schemas:
+                continue  # at least one sender we can't judge
+            if schemas & set(recv.expects):
+                continue
+            seen.add(recv.line)
+            yield Violation(
+                rule=self.code,
+                path=module.relpath,
+                line=recv.line,
+                col=recv.col + 1,
+                message=(
+                    f"{recv.method}() on tag {recv.tag!r} expects "
+                    f"{'/'.join(recv.expects)} but every matching sender "
+                    f"ships {', '.join(sorted(schemas))}; the isinstance "
+                    f"filter will reject all traffic on this edge"
+                ),
+                scope=recv.scope,
+            )

@@ -58,7 +58,24 @@ __all__ = [
     "rebalance_message_budget",
     "served_message_budget",
     "update_message_budget",
+    "DECLARED_MESSAGE_CLASSES",
 ]
+
+#: Asymptotic message classes of each protocol entry point, in the
+#: plain (``f0``) and quorum-verified (``byz``) regimes.  This is the
+#: runtime-monitor-side declaration of the budgets the numeric
+#: ``*_message_budget`` functions above bound concretely; the static
+#: analyzer keeps a mirror in
+#: ``repro.lint.budgets.DECLARED_ENTRY_CLASSES`` (it must not import
+#: numpy-backed modules), and a unit test diffs the two tables.
+DECLARED_MESSAGE_CLASSES: dict[str, dict[str, str]] = {
+    "algorithm1": {"f0": "k log", "byz": "k^2 log"},
+    "algorithm2": {"f0": "k log", "byz": "k^2 log"},
+    "update": {"f0": "k", "byz": "k^2"},
+    # k−1 splitter selections, each quorum-scaled under byz
+    # (rebalance_message_budget charges `runs × selection bound`).
+    "rebalance": {"f0": "k^2 log", "byz": "k^3 log"},
+}
 
 #: Rounds one Algorithm-1 iteration can cost: pivot round-trip (2) +
 #: count broadcast/gather (2).

@@ -1,0 +1,11 @@
+"""Keep the lint fixtures out of pytest collection entirely.
+
+The modules under this tree deliberately violate the protocol-lint
+rules (unseeded RNGs, orphan receives, schema mismatches, laundered
+entropy); they exist to be *parsed* by the linter's own tests, never
+imported or executed.  Ignoring everything here means a future fixture
+named ``test_*.py`` or ``bench_*.py`` can't leak into the suite, and
+``--doctest-modules`` style runs can't import violation code.
+"""
+
+collect_ignore_glob = ["*"]

@@ -2,6 +2,7 @@
 
 
 def collect(ctx):
-    keys = [(float(v), int(i)) for v, i in ctx.local]
-    ctx.send(0, "sel/cand", keys)
-    yield
+    with ctx.obs.span("sel/collect"):
+        keys = [(float(v), int(i)) for v, i in ctx.local]
+        ctx.send(0, "sel/cand", keys)
+        yield

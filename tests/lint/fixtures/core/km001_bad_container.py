@@ -2,15 +2,18 @@
 
 
 def shout(ctx):
-    ctx.broadcast("all/dump", {"keys": 1})
-    yield
+    with ctx.obs.span("all/dump"):
+        ctx.broadcast("all/dump", {"keys": 1})
+        yield
 
 
 def ship(ctx):
-    ctx.send(1, "all/rows", sorted(ctx.local))
-    yield
+    with ctx.obs.span("all/ship"):
+        ctx.send(1, "all/rows", sorted(ctx.local))
+        yield
 
 
 def tupled(ctx):
-    ctx.send(1, "all/mixed", (1.0, ctx.local.tolist()))
-    yield
+    with ctx.obs.span("all/mix"):
+        ctx.send(1, "all/mixed", (1.0, ctx.local.tolist()))
+        yield

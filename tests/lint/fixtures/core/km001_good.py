@@ -6,7 +6,8 @@ def encode_key(key):
 
 
 def reply(ctx, key):
-    ctx.send(0, "sel/r", encode_key(key))
-    ctx.send(0, "sel/n", len(ctx.local))
-    ctx.broadcast("sel/done", (1.0, 42))
-    yield
+    with ctx.obs.span("sel/reply"):
+        ctx.send(0, "sel/r", encode_key(key))
+        ctx.send(0, "sel/n", len(ctx.local))
+        ctx.broadcast("sel/done", (1.0, 42))
+        yield

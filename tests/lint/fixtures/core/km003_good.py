@@ -2,12 +2,13 @@
 
 
 def ping(ctx):
-    if ctx.rank == 0:
-        ctx.send(1, "iso/ping", ctx.machine_id)
+    with ctx.obs.span("iso/ping"):
+        if ctx.rank == 0:
+            ctx.send(1, "iso/ping", ctx.machine_id)
+            yield
+            msg = yield from ctx.recv_one("iso/pong", src=1)
+            return msg.payload
+        msg = yield from ctx.recv_one("iso/ping", src=0)
+        ctx.send(0, "iso/pong", msg.payload)
         yield
-        msg = yield from ctx.recv_one("iso/pong", src=1)
-        return msg.payload
-    msg = yield from ctx.recv_one("iso/ping", src=0)
-    ctx.send(0, "iso/pong", msg.payload)
-    yield
-    return None
+        return None

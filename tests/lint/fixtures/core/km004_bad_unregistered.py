@@ -10,5 +10,6 @@ class Probe:
 
 
 def report(ctx):
-    ctx.send(0, "probe/r", Probe(ctx.round, 1.5))
-    yield
+    with ctx.obs.span("probe/report"):
+        ctx.send(0, "probe/r", Probe(ctx.round, 1.5))
+        yield

@@ -2,13 +2,15 @@
 
 
 def leader(ctx):
-    ctx.broadcast("sel/query", 1)
-    replies = yield from ctx.recv("sel/reply", ctx.k - 1)
-    return replies
+    with ctx.obs.span("sel/ask"):
+        ctx.broadcast("sel/query", 1)
+        replies = yield from ctx.recv("sel/reply", ctx.k - 1)
+        return replies
 
 
 def worker(ctx):
-    msg = yield from ctx.recv_one("sel/query", src=0)
-    # BUG: replies go out under a different tag than the leader waits on.
-    ctx.send(0, "sel/answer", msg.payload)
-    yield
+    with ctx.obs.span("sel/serve"):
+        msg = yield from ctx.recv_one("sel/query", src=0)
+        # BUG: replies go out under a different tag than the leader waits on.
+        ctx.send(0, "sel/answer", msg.payload)
+        yield

@@ -10,12 +10,14 @@ _T_REPLY = tag("gsel", "r")
 
 
 def leader(ctx):
-    ctx.broadcast(_T_QUERY, 7)
-    replies = yield from ctx.recv(_T_REPLY, ctx.k - 1)
-    return replies
+    with ctx.obs.span("gsel/ask"):
+        ctx.broadcast(_T_QUERY, 7)
+        replies = yield from ctx.recv(_T_REPLY, ctx.k - 1)
+        return replies
 
 
 def worker(ctx):
-    msg = yield from ctx.recv_one(_T_QUERY, src=0)
-    ctx.send(0, _T_REPLY, msg.payload + 1)
-    yield
+    with ctx.obs.span("gsel/serve"):
+        msg = yield from ctx.recv_one(_T_QUERY, src=0)
+        ctx.send(0, _T_REPLY, msg.payload + 1)
+        yield

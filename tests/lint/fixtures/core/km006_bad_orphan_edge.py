@@ -1,0 +1,16 @@
+"""KM006 bad: a graph-visible receive whose tag pattern no sender matches.
+
+The tag carries a runtime round index, so KM005's whole-string fold
+bails out — only the protocol graph's pattern matching can see that
+``gr/<round>/v`` has no sender anywhere.
+"""
+
+
+def tag(*parts):
+    return "/".join(str(p) for p in parts)
+
+
+def gather(ctx, round_no):
+    with ctx.obs.span("gr/gather"):
+        msgs = yield from ctx.recv(tag("gr", round_no, "v"), ctx.k - 1)
+        return msgs

@@ -1,0 +1,17 @@
+"""KM006 good: the round-indexed gather has a matching round-indexed sender."""
+
+
+def tag(*parts):
+    return "/".join(str(p) for p in parts)
+
+
+def gather(ctx, round_no):
+    with ctx.obs.span("gr/gather"):
+        msgs = yield from ctx.recv(tag("gr", round_no, "v"), ctx.k - 1)
+        return msgs
+
+
+def serve(ctx, round_no):
+    with ctx.obs.span("gr/serve"):
+        ctx.send(0, tag("gr", round_no, "v"), 1.0)
+        yield

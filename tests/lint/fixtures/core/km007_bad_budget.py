@@ -1,0 +1,12 @@
+"""KM007 bad: the declared budget says O(k) but every machine sends to
+every peer — k senders times a k-iteration loop is O(k^2) messages."""
+
+LINT_BUDGET = {"flood": "k"}
+
+
+def flood(ctx):
+    with ctx.obs.span("fl/flood"):
+        for dst in range(ctx.k):
+            if dst != ctx.rank:
+                ctx.send(dst, "fl/x", 1.0)
+        yield

@@ -1,0 +1,11 @@
+"""KM007 good: the all-to-all flood declares the O(k^2) class it costs."""
+
+LINT_BUDGET = {"flood": "k^2"}
+
+
+def flood(ctx):
+    with ctx.obs.span("fl/flood"):
+        for dst in range(ctx.k):
+            if dst != ctx.rank:
+                ctx.send(dst, "fl/x", 1.0)
+        yield

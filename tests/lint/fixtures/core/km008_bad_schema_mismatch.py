@@ -1,0 +1,25 @@
+"""KM008 bad: the sender ships a bare tuple while the receiver
+isinstance-checks for a dataclass — the check can never pass."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Report:
+    round: int
+    value: float
+
+
+def collect(ctx):
+    with ctx.obs.span("wr/gather"):
+        msg = yield from ctx.recv_one("wr/r", src=1)
+        report = msg.payload
+        if isinstance(report, Report):
+            return report.value
+        return None
+
+
+def report_worker(ctx):
+    with ctx.obs.span("wr/serve"):
+        ctx.send(0, "wr/r", (1, 2.0))
+        yield

@@ -1,0 +1,32 @@
+"""KM008 good: the wire dataclass the receiver checks is what ships."""
+
+from dataclasses import dataclass
+
+
+def wire_schema(bits=None, description=""):
+    def register(cls):
+        return cls
+
+    return register
+
+
+@wire_schema(bits=128, description="fixed two-word report")
+@dataclass
+class Report:
+    round: int
+    value: float
+
+
+def collect(ctx):
+    with ctx.obs.span("wr/gather"):
+        msg = yield from ctx.recv_one("wr/r", src=1)
+        report = msg.payload
+        if isinstance(report, Report):
+            return report.value
+        return None
+
+
+def report_worker(ctx):
+    with ctx.obs.span("wr/serve"):
+        ctx.send(0, "wr/r", Report(1, 2.0))
+        yield

@@ -1,0 +1,7 @@
+"""KM009 bad: wire traffic outside any ctx.obs.span() — invisible to
+the trace and to per-phase budget accounting."""
+
+
+def announce(ctx):
+    ctx.broadcast("an/ready", 1.0)
+    yield

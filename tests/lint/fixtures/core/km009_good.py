@@ -1,0 +1,7 @@
+"""KM009 good: the announcement runs inside a named phase span."""
+
+
+def announce(ctx):
+    with ctx.obs.span("an/announce"):
+        ctx.broadcast("an/ready", 1.0)
+        yield

@@ -1,0 +1,20 @@
+"""KM010 bad: a helper launders a non-ctx RNG stream onto the wire.
+
+The constant seed sails past KM002 (it is not *unseeded*), but every
+machine now draws the same stream — and a reseeded rerun cannot replay
+the trace.  Only the interprocedural taint walk connects the factory's
+return value to the send payload.
+"""
+
+import numpy as np
+
+
+def _make_stream():
+    return np.random.default_rng(0xBEEF)
+
+
+def emit(ctx):
+    with ctx.obs.span("rng/emit"):
+        rng = _make_stream()
+        ctx.send(0, "rng/x", float(rng.random()))
+        yield

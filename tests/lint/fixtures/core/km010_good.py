@@ -1,0 +1,7 @@
+"""KM010 good: wire randomness comes from the per-machine ctx stream."""
+
+
+def emit(ctx):
+    with ctx.obs.span("rng/emit"):
+        ctx.send(0, "rng/x", float(ctx.rng.random()))
+        yield

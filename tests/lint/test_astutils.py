@@ -1,0 +1,168 @@
+"""Edge cases of the tag constant-folder (:mod:`repro.lint.astutils`).
+
+The folder is deliberately fail-closed: any construct it cannot prove
+constant degrades to :data:`UNKNOWN` (exact mode) or a ``*`` segment
+(pattern mode) rather than guessing a tag string.  These tests pin the
+tricky corners: nested f-strings, keyword arguments to ``tag(...)``,
+module constants shadowed by local reassignment, and ``+`` chains.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutils import UNKNOWN, fold_tag, fold_tag_pattern
+from repro.lint.engine import LintEngine
+
+
+def fold(src: str, env: dict[str, object] | None = None) -> object:
+    """Fold the single expression in ``src`` under ``env``."""
+    node = ast.parse(src, mode="eval").body
+    return fold_tag(node, env or {})
+
+
+def fold_pattern(src: str, env: dict[str, object] | None = None) -> str | None:
+    node = ast.parse(src, mode="eval").body
+    return fold_tag_pattern(node, env or {})
+
+
+# ----------------------------------------------------------------------
+# f-strings
+# ----------------------------------------------------------------------
+def test_fstring_of_constants_folds() -> None:
+    assert fold('f"sel/{0}/q"') == "sel/0/q"
+
+
+def test_nested_fstring_with_constant_parts_folds() -> None:
+    # The inner f-string is itself a foldable FormattedValue payload.
+    assert fold("f\"sel/{f'r{1}'}\"") == "sel/r1"
+
+
+def test_nested_fstring_with_dynamic_core_is_unknown() -> None:
+    assert fold("f\"sel/{f'r{rank}'}\"") is UNKNOWN
+    # Pattern mode keeps the constant prefix and wildcards the core.
+    assert fold_pattern("f\"sel/{f'r{rank}'}\"") == "sel/r*"
+
+
+def test_fstring_name_resolves_through_env() -> None:
+    assert fold('f"{prefix}/q"', {"prefix": "sel"}) == "sel/q"
+
+
+def test_fstring_with_format_spec_is_unknown() -> None:
+    # A format spec can rewrite the text arbitrarily; bail out.
+    assert fold('f"sel/{0:04d}"') is UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# tag(...) calls
+# ----------------------------------------------------------------------
+def test_tag_call_of_constants_folds_with_slashes() -> None:
+    assert fold('tag("sel", 3, "q")') == "sel/3/q"
+
+
+def test_tag_call_with_keyword_args_is_unknown() -> None:
+    # Keyword arguments may reorder or transform segments in the real
+    # helper, so the folder refuses to guess a join order.
+    assert fold('tag("sel", suffix="q")') is UNKNOWN
+
+
+def test_tag_call_with_keyword_args_degrades_to_full_wildcard() -> None:
+    # Pattern mode treats the whole call as opaque — a bare ``*``
+    # matches anything, so matching stays fail-open (no false orphans)
+    # while exact folding stays fail-closed.
+    assert fold_pattern('tag("sel", suffix="q")') == "*"
+
+
+def test_tag_call_with_dynamic_segment_degrades_to_wildcard() -> None:
+    assert fold('tag("sel", round_no, "v")') is UNKNOWN
+    assert fold_pattern('tag("sel", round_no, "v")') == "sel/*/v"
+
+
+def test_tag_call_with_starred_args_has_no_pattern() -> None:
+    assert fold_pattern('tag("sel", *parts)') is None
+
+
+# ----------------------------------------------------------------------
+# + concatenation
+# ----------------------------------------------------------------------
+def test_plus_concat_of_constants_folds() -> None:
+    assert fold('"sel" + "/" + "q"') == "sel/q"
+
+
+def test_plus_concat_through_env_names_folds() -> None:
+    assert fold('prefix + "/q"', {"prefix": "sel"}) == "sel/q"
+
+
+def test_plus_concat_with_unknown_operand_is_unknown() -> None:
+    assert fold('prefix + "/q"') is UNKNOWN
+
+
+def test_plus_concat_pattern_degrades_unknown_side() -> None:
+    assert fold_pattern('prefix + "/q"') == "*/q"
+
+
+def test_non_add_binop_is_unknown() -> None:
+    assert fold('"sel" * 2') is UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# module constants vs local shadowing (env construction)
+# ----------------------------------------------------------------------
+def load_env(src: str, tmp_path) -> dict[str, object]:
+    mod_path = tmp_path / "mod.py"
+    mod_path.write_text(src)
+    engine = LintEngine([], root=tmp_path)
+    modules, errors = engine.load_modules([mod_path])
+    assert not errors
+    return modules[0].local_tag_env()
+
+
+def test_module_constant_feeds_tag_env(tmp_path) -> None:
+    env = load_env('PREFIX = "sel"\n', tmp_path)
+    assert env["PREFIX"] == "sel"
+    assert fold('tag(PREFIX, "q")', env) == "sel/q"
+
+
+def test_local_shadow_with_different_value_poisons_name(tmp_path) -> None:
+    # A function-local rebind to a *different* string means the name is
+    # ambiguous at any given send site; fold must not pick either value.
+    env = load_env(
+        'PREFIX = "sel"\n'
+        "def f(ctx):\n"
+        '    PREFIX = "bsel"\n'
+        "    ctx.send(0, PREFIX, 1)\n",
+        tmp_path,
+    )
+    assert env["PREFIX"] is UNKNOWN
+    assert fold('tag(PREFIX, "q")', env) is UNKNOWN
+
+
+def test_local_shadow_with_dynamic_value_poisons_name(tmp_path) -> None:
+    env = load_env(
+        'PREFIX = "sel"\n'
+        "def f(ctx, which):\n"
+        "    PREFIX = which\n",
+        tmp_path,
+    )
+    assert env["PREFIX"] is UNKNOWN
+
+
+def test_consistent_rebind_keeps_the_value(tmp_path) -> None:
+    # Shadowing with the *same* string is harmless and stays foldable.
+    env = load_env(
+        'PREFIX = "sel"\n'
+        "def f(ctx):\n"
+        '    PREFIX = "sel"\n',
+        tmp_path,
+    )
+    assert env["PREFIX"] == "sel"
+
+
+def test_assigned_tag_alias_resolves_through_constant(tmp_path) -> None:
+    # Round 2 of env folding resolves tag(PREFIX, ...) once PREFIX is known.
+    env = load_env(
+        'PREFIX = "sel"\n'
+        'QUERY = tag(PREFIX, "q")\n',
+        tmp_path,
+    )
+    assert env["QUERY"] == "sel/q"

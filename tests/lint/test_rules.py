@@ -31,9 +31,21 @@ CASES = {
     "core/km004_bad_unregistered.py": {"KM004"},
     "kmachine/km004_bad_via_name.py": {"KM004"},
     "core/km004_good.py": set(),
-    "core/km005_bad_orphan_recv.py": {"KM005"},
-    "kmachine/km005_bad_take.py": {"KM005"},
+    # An orphan receive is both the KM005 heuristic's hit and a missing
+    # edge in the protocol graph, so the deadlock rule confirms it.
+    "core/km005_bad_orphan_recv.py": {"KM005", "KM006"},
+    "kmachine/km005_bad_take.py": {"KM005", "KM006"},
     "core/km005_good.py": set(),
+    "core/km006_bad_orphan_edge.py": {"KM006"},
+    "core/km006_good.py": set(),
+    "core/km007_bad_budget.py": {"KM007"},
+    "core/km007_good.py": set(),
+    "core/km008_bad_schema_mismatch.py": {"KM008"},
+    "core/km008_good.py": set(),
+    "core/km009_bad_unspanned.py": {"KM009"},
+    "core/km009_good.py": set(),
+    "core/km010_bad_laundered_rng.py": {"KM010"},
+    "core/km010_good.py": set(),
 }
 
 
@@ -51,11 +63,11 @@ def test_fixture(relpath: str, expected: set[str]) -> None:
 
 
 def test_every_rule_has_failing_fixture() -> None:
-    """Each of KM001-KM005 is demonstrated by at least one bad fixture."""
+    """Each of KM001-KM010 is demonstrated by at least one bad fixture."""
     demonstrated = set()
     for codes in CASES.values():
         demonstrated |= codes
-    assert demonstrated == {"KM001", "KM002", "KM003", "KM004", "KM005"}
+    assert demonstrated == {f"KM{i:03d}" for i in range(1, 11)}
 
 
 def test_bad_fixtures_report_positions() -> None:
@@ -65,6 +77,17 @@ def test_bad_fixtures_report_positions() -> None:
         assert violation.line > 0 and violation.col > 0
         assert violation.path.endswith("km001_bad_container.py")
         assert violation.scope  # anchored to the enclosing function
+
+
+def test_fixture_tree_is_not_importable_or_collectable() -> None:
+    """Fixtures are parse-only: no package markers, and the conftest
+    guard keeps pytest from ever collecting a stray ``test_*`` file."""
+    assert not (FIXTURES / "__init__.py").exists()
+    for sub in FIXTURES.iterdir():
+        if sub.is_dir():
+            assert not (sub / "__init__.py").exists()
+    guard = (FIXTURES / "conftest.py").read_text()
+    assert 'collect_ignore_glob = ["*"]' in guard
 
 
 def test_km005_stays_quiet_on_dynamic_send_modules(tmp_path: Path) -> None:

@@ -1,0 +1,137 @@
+"""PROFILE — cost-model profiler: exact attribution, invisible when off.
+
+The profiler's contract has two halves:
+
+* **Exactness**: the per-round α/β/γ re-derivation must reproduce the
+  simulator's own ``comm_seconds`` bit-for-bit (``profile.consistent``),
+  and the link counters must account for every message the run sent.
+* **Overhead**: with ``profile=False`` the only residue is one
+  predicate test per sent message (the ``if profiling:`` branch in the
+  simulator's send loop) plus two comparisons per round in the network
+  drain — scaled by a measured per-branch cost, that residue must stay
+  under **2%** of a real run's wall time.  With ``profile=True`` the
+  run must remain usable for any debugging session (loose ×3 bound).
+
+The result lands in ``benchmarks/results/BENCH_profile.json``; the
+cost-curve numbers recorded there (messages, rounds, leader-ingest
+share) are the committed baselines that ``benchmarks/regress.py``
+gates future PRs against.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.driver import distributed_knn
+from repro.kmachine.timing import DEFAULT_COST_MODEL
+from repro.obs import CostProfile
+
+RESULT_PATH = Path(__file__).parent / "results" / "BENCH_profile.json"
+
+K = 8
+L = 64
+N = K * 512
+SEED = 7
+REPS = 5
+
+
+def _dataset():
+    rng = np.random.default_rng(SEED)
+    return rng.uniform(0.0, 1.0, (N, 4))
+
+
+def _run(points, **kwargs):
+    # The simulator defaults to ZERO_COST_MODEL; the profiler's
+    # consistency check compares against the model the run *charged*,
+    # so every run here uses the commodity-cluster constants.
+    start = time.perf_counter()
+    result = distributed_knn(
+        points, query=points[0], l=L, k=K, seed=SEED,
+        cost_model=DEFAULT_COST_MODEL, **kwargs
+    )
+    return result, time.perf_counter() - start
+
+
+def _branch_cost(entries: int = 1_000_000) -> float:
+    """Best-of-3 per-entry seconds of one always-false predicate test.
+
+    This is the disabled profiler's entire per-message residue: the
+    send loop tests a hoisted local flag and takes the plain
+    ``record_send`` path, identical to the pre-profiler code.
+    """
+    flag = False
+    sink = 0
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(entries):
+            if flag:
+                sink += 1  # pragma: no cover - flag is False
+        best = min(best, (time.perf_counter() - start) / entries)
+    assert sink == 0
+    return best
+
+
+def test_cost_profiler(results_dir):
+    points = _dataset()
+
+    # One profiled run anchors correctness: the re-derived cost
+    # arithmetic must match the simulator's, and the per-link counters
+    # must cover every message sent.
+    profiled, _ = _run(points, profile=True, spans=True, timeline=True)
+    profile = CostProfile(profiled.metrics, spans=profiled.raw.spans, k=K)
+    assert profile.consistent, "binding-term arithmetic diverged from round_cost"
+    link_total = sum(profiled.metrics.per_link_messages.values())
+    assert link_total == profiled.metrics.messages
+    share = profile.leader_ingest_share()
+    assert share is not None and 0.0 < share <= 1.0
+
+    baseline_times = [_run(points)[1] for _ in range(REPS)]
+    enabled_times = [
+        _run(points, profile=True, spans=True, timeline=True)[1]
+        for _ in range(REPS)
+    ]
+    baseline = min(baseline_times)
+    enabled = min(enabled_times)
+
+    per_branch = _branch_cost()
+    # One branch per sent message + two per-round comparisons in the
+    # network drain loop (top-link and top-dst tracking).
+    disabled_events = profiled.metrics.messages + 2 * profiled.metrics.rounds
+    disabled_overhead = disabled_events * per_branch / baseline
+
+    binding_rounds = profile.binding_rounds()
+    entry = {
+        "bench": "cost_profiler",
+        "workload": {"k": K, "l": L, "n": N, "seed": SEED, "reps": REPS},
+        "totals": {
+            "rounds": profiled.metrics.rounds,
+            "messages": profiled.metrics.messages,
+            "bits": profiled.metrics.bits,
+        },
+        "consistent": profile.consistent,
+        "binding_rounds": binding_rounds,
+        "leader": profile.leader,
+        "leader_ingest_share": round(share, 4),
+        "critical_segments": len(profile.critical_path()),
+        "null_branch_ns_per_entry": round(per_branch * 1e9, 2),
+        "baseline_best_seconds": round(baseline, 4),
+        "enabled_best_seconds": round(enabled, 4),
+        "disabled_overhead_fraction": round(disabled_overhead, 6),
+        "enabled_slowdown_ratio": round(enabled / baseline, 3),
+        "python": sys.version.split()[0],
+    }
+    RESULT_PATH.write_text(json.dumps(entry, indent=2) + "\n")
+    print(f"\n[report saved to {RESULT_PATH}]\n{json.dumps(entry, indent=2)}")
+
+    # The acceptance bar: profiling that is off costs < 2% of a real
+    # run even charging every skipped branch as pure overhead.
+    assert disabled_overhead < 0.02, entry
+    # Fully-on profiling (per-link maps + link detail + timeline +
+    # spans) must stay usable for debugging runs.
+    assert enabled / baseline < 3.0, entry

@@ -1,0 +1,299 @@
+"""Perf-regression gate over the ``BENCH_*.json`` result trajectory.
+
+Every benchmark in this directory writes a JSON result file
+(``benchmarks/results/BENCH_<name>.json``).  This harness turns those
+snapshots into a *trajectory*:
+
+* :func:`load_results` reads every ``BENCH_*.json`` and flattens it
+  into dotted scalar metrics (``profile.totals.messages``,
+  ``obs.disabled_overhead_fraction``, …; booleans become 0/1, list
+  elements get ``[i]`` suffixes);
+* ``--record`` appends the flattened snapshot (plus a timestamp and
+  the current git revision) to ``benchmarks/results/trajectory.jsonl``
+  so the history of every metric is grep-able in-repo;
+* ``--check`` evaluates the tolerances in
+  ``benchmarks/regress_tolerances.json`` against the current snapshot
+  and exits non-zero on any violation — the CI gate.
+
+Tolerance constraints (per metric name) compose freely:
+
+``{"max": X}`` / ``{"min": X}``
+    Absolute bound on the current value.
+``{"baseline": B, "max_ratio": R}`` / ``{"baseline": B, "min_ratio": R}``
+    Relative bound: current / baseline must stay ≤ R (resp. ≥ R).
+    The baseline is committed in the tolerance file, so a PR that
+    legitimately moves a metric updates the baseline *in the same
+    diff* — visible to review, never silently absorbed.
+
+The gate **fails closed**: a tolerance whose metric is missing from
+the current results is itself a violation (a deleted benchmark can't
+exempt itself), and a malformed constraint raises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "Violation",
+    "flatten",
+    "load_results",
+    "evaluate",
+    "record",
+    "main",
+    "RESULTS_DIR",
+    "TOLERANCES_PATH",
+    "TRAJECTORY_PATH",
+]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TOLERANCES_PATH = Path(__file__).parent / "regress_tolerances.json"
+TRAJECTORY_PATH = RESULTS_DIR / "trajectory.jsonl"
+
+#: Constraint keys a tolerance entry may carry (anything else raises).
+_CONSTRAINT_KEYS = {"baseline", "max", "min", "max_ratio", "min_ratio", "note"}
+
+
+@dataclass
+class Violation:
+    """One failed tolerance: what was measured vs what was allowed."""
+
+    metric: str
+    kind: str
+    observed: float | None
+    allowed: float
+    detail: str
+
+    def format(self) -> str:
+        """``FAIL profile.totals.messages: ...`` one-liner."""
+        return f"FAIL {self.metric}: {self.detail}"
+
+
+def flatten(doc: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten a JSON document into dotted numeric metrics.
+
+    Numbers pass through, booleans become 0/1, dict keys join with
+    ``.``, list elements append ``[i]``; strings and nulls are dropped
+    (they are context, not metrics).
+    """
+    out: dict[str, float] = {}
+    if isinstance(doc, bool):
+        out[prefix] = 1.0 if doc else 0.0
+    elif isinstance(doc, (int, float)):
+        out[prefix] = float(doc)
+    elif isinstance(doc, Mapping):
+        for key, value in doc.items():
+            sub = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value, sub))
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            out.update(flatten(value, f"{prefix}[{i}]"))
+    return out
+
+
+def load_results(results_dir: Path | str = RESULTS_DIR) -> dict[str, float]:
+    """Flattened metrics of every ``BENCH_*.json`` under ``results_dir``.
+
+    The file stem's ``BENCH_`` prefix is stripped to form the metric
+    namespace: ``BENCH_profile.json`` → ``profile.*``.
+    """
+    results_dir = Path(results_dir)
+    metrics: dict[str, float] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        metrics.update(flatten(json.loads(path.read_text()), name))
+    return metrics
+
+
+def evaluate(
+    metrics: Mapping[str, float], tolerances: Mapping[str, Mapping[str, Any]]
+) -> list[Violation]:
+    """Check ``metrics`` against ``tolerances``; return all violations.
+
+    Missing metrics fail closed; unknown constraint keys raise
+    ``ValueError`` so a typo ("max_ration") cannot silently disable a
+    gate.
+    """
+    violations: list[Violation] = []
+    for metric, spec in sorted(tolerances.items()):
+        unknown = set(spec) - _CONSTRAINT_KEYS
+        if unknown:
+            raise ValueError(
+                f"tolerance for {metric!r} has unknown keys {sorted(unknown)}"
+            )
+        if metric not in metrics:
+            violations.append(
+                Violation(
+                    metric=metric,
+                    kind="missing",
+                    observed=None,
+                    allowed=float("nan"),
+                    detail="metric missing from current results (gate fails closed)",
+                )
+            )
+            continue
+        value = metrics[metric]
+        if "max" in spec and value > float(spec["max"]):
+            violations.append(
+                Violation(
+                    metric=metric,
+                    kind="max",
+                    observed=value,
+                    allowed=float(spec["max"]),
+                    detail=f"observed {value:g} > max {float(spec['max']):g}",
+                )
+            )
+        if "min" in spec and value < float(spec["min"]):
+            violations.append(
+                Violation(
+                    metric=metric,
+                    kind="min",
+                    observed=value,
+                    allowed=float(spec["min"]),
+                    detail=f"observed {value:g} < min {float(spec['min']):g}",
+                )
+            )
+        if "max_ratio" in spec or "min_ratio" in spec:
+            if "baseline" not in spec:
+                raise ValueError(
+                    f"tolerance for {metric!r} uses a ratio without a baseline"
+                )
+            baseline = float(spec["baseline"])
+            if baseline == 0:
+                raise ValueError(f"tolerance for {metric!r} has a zero baseline")
+            ratio = value / baseline
+            if "max_ratio" in spec and ratio > float(spec["max_ratio"]):
+                violations.append(
+                    Violation(
+                        metric=metric,
+                        kind="max_ratio",
+                        observed=value,
+                        allowed=float(spec["max_ratio"]),
+                        detail=(
+                            f"observed {value:g} is {ratio:.3f}x baseline "
+                            f"{baseline:g} (allowed {float(spec['max_ratio']):g}x)"
+                        ),
+                    )
+                )
+            if "min_ratio" in spec and ratio < float(spec["min_ratio"]):
+                violations.append(
+                    Violation(
+                        metric=metric,
+                        kind="min_ratio",
+                        observed=value,
+                        allowed=float(spec["min_ratio"]),
+                        detail=(
+                            f"observed {value:g} is {ratio:.3f}x baseline "
+                            f"{baseline:g} (required >= {float(spec['min_ratio']):g}x)"
+                        ),
+                    )
+                )
+    return violations
+
+
+def _git_rev() -> str | None:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=Path(__file__).parent,
+            ).stdout.strip()
+            or None
+        )
+    except OSError:  # pragma: no cover - git absent
+        return None
+
+
+def record(
+    metrics: Mapping[str, float], trajectory_path: Path | str = TRAJECTORY_PATH
+) -> Path:
+    """Append one trajectory snapshot (timestamp, git rev, metrics)."""
+    path = Path(trajectory_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "rev": _git_rev(),
+        "metrics": dict(sorted(metrics.items())),
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry) + "\n")
+    return path
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/regress.py",
+        description="Record and gate the BENCH_*.json perf trajectory.",
+    )
+    parser.add_argument(
+        "--results-dir", default=str(RESULTS_DIR),
+        help="directory holding BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerances", default=str(TOLERANCES_PATH),
+        help="tolerance spec JSON (metric -> constraints)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="evaluate tolerances; exit 1 on any violation",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="append the current snapshot to the trajectory log",
+    )
+    parser.add_argument(
+        "--trajectory", default=str(TRAJECTORY_PATH),
+        help="trajectory JSONL path (with --record)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the flattened metrics"
+    )
+    args = parser.parse_args(argv)
+
+    metrics = load_results(args.results_dir)
+    print(f"loaded {len(metrics)} metrics from {args.results_dir}")
+    if args.list:
+        for name, value in sorted(metrics.items()):
+            print(f"  {name} = {value:g}")
+    if args.record:
+        path = record(metrics, args.trajectory)
+        print(f"recorded snapshot to {path}")
+    if not args.check:
+        return 0
+
+    tolerances_path = Path(args.tolerances)
+    if not tolerances_path.exists():
+        print(f"tolerance file missing: {tolerances_path}", file=sys.stderr)
+        return 1
+    tolerances = json.loads(tolerances_path.read_text())
+    violations = evaluate(metrics, tolerances)
+    for metric, spec in sorted(tolerances.items()):
+        if not any(v.metric == metric for v in violations):
+            value = metrics[metric]
+            print(f"PASS {metric}: observed {value:g}")
+    for violation in violations:
+        print(violation.format(), file=sys.stderr)
+    if violations:
+        print(
+            f"regression gate: {len(violations)} violation(s) across "
+            f"{len(tolerances)} tolerances",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"regression gate: all {len(tolerances)} tolerances hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -366,6 +366,7 @@ def distributed_select(
     trace: bool | Tracer = False,
     spans: bool = False,
     observers: Iterable[Any] | None = None,
+    profile: bool = False,
 ) -> SelectResult:
     """Find the ℓ smallest of ``values`` with Algorithm 1 on k machines.
 
@@ -399,10 +400,11 @@ def distributed_select(
     least ``2f + 2``.  For ``f < k/3`` the returned answer is never
     wrong — a corrupted attempt is always detected and retried.
 
-    Observability: ``timeline``/``trace``/``spans``/``observers`` pass
-    straight through to the :class:`Simulator` (see its docs and
-    :mod:`repro.obs`); the recorded spans and tracer ride on
-    ``result.raw``.
+    Observability: ``timeline``/``trace``/``spans``/``observers``/
+    ``profile`` pass straight through to the :class:`Simulator` (see
+    its docs and :mod:`repro.obs`); the recorded spans and tracer ride
+    on ``result.raw``, and a profiled run's per-link counters feed
+    :mod:`repro.obs.profile`.
     """
     arr = np.asarray(values, dtype=np.float64).ravel()
     if not 0 <= l <= arr.size:
@@ -461,6 +463,7 @@ def distributed_select(
             trace=trace,
             spans=spans,
             observers=observers,
+            profile=profile,
         )
         err: str | None = None
         caught: KMachineError | None = None
@@ -578,6 +581,7 @@ def distributed_knn(
     trace: bool | Tracer = False,
     spans: bool = False,
     observers: Iterable[Any] | None = None,
+    profile: bool = False,
     **knobs,
 ) -> KNNResult:
     """Answer one ℓ-NN query over ``points`` sharded onto k machines.
@@ -608,10 +612,11 @@ def distributed_knn(
     a potentially silent wrong answer), and only the ``sampled`` and
     ``unpruned`` algorithms support hardening.
 
-    Observability: ``timeline``/``trace``/``spans``/``observers`` pass
-    straight through to the :class:`Simulator` (see its docs and
-    :mod:`repro.obs`); the recorded spans and tracer ride on
-    ``result.raw``.
+    Observability: ``timeline``/``trace``/``spans``/``observers``/
+    ``profile`` pass straight through to the :class:`Simulator` (see
+    its docs and :mod:`repro.obs`); the recorded spans and tracer ride
+    on ``result.raw``, and a profiled run's per-link counters feed
+    :mod:`repro.obs.profile`.
     """
     rng = np.random.default_rng(seed)
     dataset = (
@@ -695,6 +700,7 @@ def distributed_knn(
             trace=trace,
             spans=spans,
             observers=observers,
+            profile=profile,
         )
         err: str | None = None
         caught: KMachineError | None = None

@@ -44,7 +44,8 @@ def _build_service(args: argparse.Namespace, *, spans: bool, trace: bool):
         auto_rebalance=not args.no_rebalance,
         spans=spans,
         trace=trace,
-        timeline=trace,
+        timeline=trace or args.profile,
+        profile=args.profile,
     )
 
 
@@ -193,6 +194,12 @@ def _add_common_args(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument("--chrome", help="export Chrome trace JSON to this path")
     sub.add_argument("--jsonl", help="export structured JSONL log to this path")
+    sub.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-link counters; `report` then includes "
+        "leader-ingest and critical-path fields",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -19,7 +19,18 @@ __all__ = ["RoundRecord", "Metrics"]
 
 @dataclass
 class RoundRecord:
-    """Per-round accounting, kept when ``timeline=True``."""
+    """Per-round accounting, kept when ``timeline=True``.
+
+    The trailing keyword fields were added by the cost-model profiler
+    (see :mod:`repro.obs.profile`) and default to "unknown" so old
+    serialized timelines load unchanged: ``max_dst_messages`` is the
+    busiest receiver's delivery count (the γ term's multiplier in
+    :meth:`repro.kmachine.timing.CostModel.round_cost`), while
+    ``top_link``/``top_ingress`` name *which* link transmitted
+    ``max_link_bits`` and *which* machine received
+    ``max_dst_messages``; the latter two are recorded only when the
+    simulator runs with ``profile=True``.
+    """
 
     round: int
     messages_sent: int
@@ -29,6 +40,9 @@ class RoundRecord:
     compute_seconds: float
     comm_seconds: float
     active_machines: int
+    max_dst_messages: int = 0
+    top_link: tuple[int, int] | None = None
+    top_ingress: int | None = None
 
 
 @dataclass
@@ -47,6 +61,11 @@ class Metrics:
     per_tag_messages / per_tag_bits:
         Breakdown by message tag, useful to attribute cost to protocol
         phases (election vs sampling vs selection iterations).
+    per_link_messages / per_link_bits:
+        Breakdown by directed ``(src, dst)`` link, populated only when
+        the simulator runs with ``profile=True`` (the cost-model
+        profiler's traffic matrix; see :mod:`repro.obs.profile`).
+        Empty dicts otherwise, so the disabled path costs nothing.
     compute_seconds:
         Modelled parallel compute time: the sum over rounds of the
         *maximum* per-machine local computation time in that round
@@ -84,6 +103,8 @@ class Metrics:
     bits: int = 0
     per_tag_messages: dict[str, int] = field(default_factory=dict)
     per_tag_bits: dict[str, int] = field(default_factory=dict)
+    per_link_messages: dict[tuple[int, int], int] = field(default_factory=dict)
+    per_link_bits: dict[tuple[int, int], int] = field(default_factory=dict)
     compute_seconds: float = 0.0
     comm_seconds: float = 0.0
     max_link_queue_bits: int = 0
@@ -108,12 +129,70 @@ class Metrics:
         """Modelled wall-clock: parallel compute plus communication."""
         return self.compute_seconds + self.comm_seconds
 
-    def record_send(self, tag: str, bits: int) -> None:
-        """Account one message entering the network."""
+    def record_send(
+        self,
+        tag: str,
+        bits: int,
+        src: int | None = None,
+        dst: int | None = None,
+    ) -> None:
+        """Account one message entering the network.
+
+        ``src``/``dst`` are passed only by a profiling simulator and
+        additionally feed the per-link traffic matrix; the common
+        two-argument call leaves the link maps untouched.
+        """
         self.messages += 1
         self.bits += bits
         self.per_tag_messages[tag] = self.per_tag_messages.get(tag, 0) + 1
         self.per_tag_bits[tag] = self.per_tag_bits.get(tag, 0) + bits
+        if src is not None and dst is not None:
+            link = (src, dst)
+            self.per_link_messages[link] = self.per_link_messages.get(link, 0) + 1
+            self.per_link_bits[link] = self.per_link_bits.get(link, 0) + bits
+
+    # ------------------------------------------------------------------
+    # link-level views (profiled runs only; empty maps degrade to {})
+    # ------------------------------------------------------------------
+    def ingress_messages(self) -> dict[int, int]:
+        """Messages received per machine, summed from the link counters."""
+        ingress: dict[int, int] = {}
+        for (_, dst), count in self.per_link_messages.items():
+            ingress[dst] = ingress.get(dst, 0) + count
+        return ingress
+
+    def egress_messages(self) -> dict[int, int]:
+        """Messages sent per machine, summed from the link counters."""
+        egress: dict[int, int] = {}
+        for (src, _), count in self.per_link_messages.items():
+            egress[src] = egress.get(src, 0) + count
+        return egress
+
+    def hot_ingress(self) -> tuple[int, int] | None:
+        """``(rank, messages)`` of the busiest receiver (ties → lowest rank).
+
+        ``None`` when no per-link data was recorded (unprofiled run).
+        """
+        ingress = self.ingress_messages()
+        if not ingress:
+            return None
+        rank = min(ingress, key=lambda r: (-ingress[r], r))
+        return rank, ingress[rank]
+
+    def ingress_share(self, rank: int | None = None) -> float | None:
+        """Fraction of all messages landing at ``rank`` (default: hottest).
+
+        The *leader-ingest share* metric: for a star-shaped gather of
+        ``k − 1`` worker reports this is ``(k−1) / messages``.  ``None``
+        without per-link data or when no messages were sent.
+        """
+        if not self.per_link_messages or self.messages <= 0:
+            return None
+        if rank is None:
+            hot = self.hot_ingress()
+            assert hot is not None
+            rank = hot[0]
+        return self.ingress_messages().get(rank, 0) / self.messages
 
     def merge(self, other: "Metrics") -> "Metrics":
         """Return a new snapshot summing this run with ``other``.
@@ -147,7 +226,12 @@ class Metrics:
             duplicates_suppressed=self.duplicates_suppressed + other.duplicates_suppressed,
             checksum_failures=self.checksum_failures + other.checksum_failures,
         )
-        for tag_map_name in ("per_tag_messages", "per_tag_bits"):
+        for tag_map_name in (
+            "per_tag_messages",
+            "per_tag_bits",
+            "per_link_messages",
+            "per_link_bits",
+        ):
             merged_map = dict(getattr(self, tag_map_name))
             for tag, count in getattr(other, tag_map_name).items():
                 merged_map[tag] = merged_map.get(tag, 0) + count
@@ -215,11 +299,22 @@ class Metrics:
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name == "timeline":
-                out["timeline"] = [vars(rec).copy() for rec in value]
+                records = []
+                for rec in value:
+                    d = vars(rec).copy()
+                    if d.get("top_link") is not None:
+                        d["top_link"] = list(d["top_link"])
+                    records.append(d)
+                out["timeline"] = records
             elif f.name == "crashed":
                 out["crashed"] = [list(pair) for pair in value]
             elif f.name in ("per_tag_messages", "per_tag_bits"):
                 out[f.name] = dict(value)
+            elif f.name in ("per_link_messages", "per_link_bits"):
+                # JSON keys must be strings: (src, dst) → "src->dst".
+                out[f.name] = {
+                    f"{src}->{dst}": count for (src, dst), count in value.items()
+                }
             else:
                 out[f.name] = value
         out["simulated_seconds"] = self.simulated_seconds
@@ -239,9 +334,24 @@ class Metrics:
             if name not in known:
                 continue
             if name == "timeline":
-                kwargs["timeline"] = [RoundRecord(**rec) for rec in value]
+                records = []
+                for rec in value:
+                    rec = dict(rec)
+                    if rec.get("top_link") is not None:
+                        rec["top_link"] = tuple(rec["top_link"])
+                    records.append(RoundRecord(**rec))
+                kwargs["timeline"] = records
             elif name == "crashed":
                 kwargs["crashed"] = [tuple(pair) for pair in value]
+            elif name in ("per_link_messages", "per_link_bits"):
+                parsed: dict[tuple[int, int], int] = {}
+                for key, count in value.items():
+                    if isinstance(key, tuple):
+                        src, dst = key
+                    else:
+                        src, dst = str(key).split("->", 1)
+                    parsed[(int(src), int(dst))] = count
+                kwargs[name] = parsed
             else:
                 kwargs[name] = value
         return cls(**kwargs)

@@ -112,6 +112,17 @@ class Network:
         self.last_step_delivered = 0
         #: messages landed at the busiest receiver in the most recent step
         self.last_step_max_dst_messages = 0
+        #: when True, :meth:`step` additionally records which link and
+        #: which receiver were the busiest (cost-model profiler support)
+        self.record_link_detail = False
+        #: per-link bits transmitted in the most recent step (detail mode)
+        self.last_step_link_bits: dict[tuple[int, int], int] = {}
+        #: the link that transmitted ``last_step_max_link_bits``
+        #: (ties → lowest (src, dst); ``None`` outside detail mode)
+        self.last_step_top_link: tuple[int, int] | None = None
+        #: the receiver that landed ``last_step_max_dst_messages``
+        #: (ties → lowest rank; ``None`` outside detail mode)
+        self.last_step_top_dst: int | None = None
 
     # ------------------------------------------------------------------
     def submit(self, msg: Message) -> None:
@@ -174,7 +185,10 @@ class Network:
         source order across links (deterministic delivery order).
         """
         self._submitted_this_round.clear()
+        detail = self.record_link_detail
         deliveries: dict[int, list[Message]] = {}
+        link_bits_map: dict[tuple[int, int], int] = {}
+        top_link: tuple[int, int] | None = None
         max_link_bits = 0
         delivered = 0
         for key in sorted(self._queues):
@@ -202,12 +216,25 @@ class Network:
                     delivered += 1
                 else:
                     break  # head still partially transmitted; link saturated
-            max_link_bits = max(max_link_bits, link_bits)
+            if link_bits > max_link_bits:
+                max_link_bits = link_bits
+                top_link = key
+            if detail and link_bits > 0:
+                link_bits_map[key] = link_bits
         self.last_step_max_link_bits = max_link_bits
         self.last_step_delivered = delivered
-        self.last_step_max_dst_messages = max(
-            (len(msgs) for msgs in deliveries.values()), default=0
-        )
+        max_dst = 0
+        top_dst: int | None = None
+        for dst in sorted(deliveries):
+            count = len(deliveries[dst])
+            if count > max_dst:
+                max_dst = count
+                top_dst = dst
+        self.last_step_max_dst_messages = max_dst
+        if detail:
+            self.last_step_link_bits = link_bits_map
+            self.last_step_top_link = top_link
+            self.last_step_top_dst = top_dst
         return deliveries
 
     # ------------------------------------------------------------------

@@ -127,6 +127,13 @@ class Simulator:
         blocks in protocol code record phase spans.  Off by default;
         disabled instrumentation costs one no-op context manager per
         phase.
+    profile:
+        Cost-model profiling: record per-(src,dst) link counters on
+        :attr:`Metrics.per_link_messages`/``per_link_bits`` and the
+        busiest-link / busiest-receiver identities on every timeline
+        record (implies ``timeline=True``).  Feeds the binding-term
+        and traffic-matrix analysis in :mod:`repro.obs.profile`; off
+        by default so unprofiled runs pay nothing.
     observers:
         Optional :class:`repro.obs.observers.RoundObserver` instances;
         each gets ``on_round(round_idx, metrics)`` after every round
@@ -171,6 +178,7 @@ class Simulator:
         reliable: ReliabilityConfig | bool | None = None,
         spans: bool = False,
         observers: Iterable[Any] | None = None,
+        profile: bool = False,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -181,9 +189,15 @@ class Simulator:
         self.cost_model = cost_model or ZERO_COST_MODEL
         self.measure_compute = measure_compute
         self.max_rounds = max_rounds
-        self.timeline = timeline
+        #: cost-model profiling: per-(src,dst) link counters on the
+        #: metrics, busiest-link/receiver identities on each timeline
+        #: record (implies ``timeline``).  Input to
+        #: :mod:`repro.obs.profile`'s binding-term analysis.
+        self.profile = profile
+        self.timeline = timeline or profile
         self.sizing = sizing or SizingPolicy()
         self.network = Network(k, bandwidth_bits=bandwidth_bits, policy=policy)
+        self.network.record_link_detail = profile
         if isinstance(trace, Tracer):
             self.tracer: Tracer | NullTracer = trace
         else:
@@ -406,13 +420,19 @@ class Simulator:
                 # machines may still drain reliability retransmissions)
                 sent_msgs = 0
                 sent_bits = 0
+                profiling = self.profile
                 for rank, ctx in enumerate(self.contexts):
                     if rank in self.crashed_ranks:
                         continue
                     ctx.round = round_idx
                     for msg in ctx.drain_outbox():
                         self.network.submit(msg)
-                        metrics.record_send(msg.tag, msg.bits)
+                        if profiling:
+                            metrics.record_send(
+                                msg.tag, msg.bits, src=msg.src, dst=msg.dst
+                            )
+                        else:
+                            metrics.record_send(msg.tag, msg.bits)
                         sent_msgs += 1
                         sent_bits += msg.bits
                         if self.tracer.enabled:
@@ -452,6 +472,13 @@ class Simulator:
                             compute_seconds=compute_max,
                             comm_seconds=comm_cost,
                             active_machines=alive,
+                            max_dst_messages=self.network.last_step_max_dst_messages,
+                            top_link=(
+                                self.network.last_step_top_link if profiling else None
+                            ),
+                            top_ingress=(
+                                self.network.last_step_top_dst if profiling else None
+                            ),
                         )
                     )
 

@@ -17,7 +17,13 @@ pruning (Lemma 2.3, Theorem 2.4).  This package makes those budgets
   observed runs against the paper's bounds and recording pass/fail
   verdicts with the measured constants;
 * :mod:`repro.obs.observers` — per-round simulator callbacks,
-  including a live console progress reporter.
+  including a live console progress reporter;
+* :mod:`repro.obs.profile` / :mod:`repro.obs.report` — the cost-model
+  profiler: per-round α/β/γ binding-term attribution against
+  :class:`~repro.kmachine.timing.CostModel`, k×k traffic matrices,
+  leader-ingest share, per-phase cost attribution, critical-path
+  segments and a modelled-time flamegraph, rendered as JSON or a
+  self-contained HTML report (needs a ``profile=True`` run).
 
 Inspect or convert trace files from the shell::
 
@@ -25,6 +31,7 @@ Inspect or convert trace files from the shell::
     python -m repro.obs spans trace.jsonl
     python -m repro.obs convert trace.jsonl trace.json
     python -m repro.obs demo --k 8 --l 64 --jsonl run.jsonl --chrome run.json
+    python -m repro.obs profile --k 8 --l 64 --html report.html --json prof.json
 """
 
 from .conformance import (
@@ -41,10 +48,19 @@ from .export import (
     ROUND_TICK_US,
     chrome_trace,
     read_jsonl,
+    read_jsonl_history,
     write_chrome_trace,
     write_jsonl,
 )
 from .observers import MetricsHistory, ProgressReporter, RoundObserver
+from .profile import (
+    CostProfile,
+    CriticalSegment,
+    PhaseCost,
+    RoundCost,
+    attribute_round,
+)
+from .report import render_html, write_report
 from .spans import (
     MachineObs,
     PhaseAttribution,
@@ -56,14 +72,19 @@ from .spans import (
 __all__ = [
     "ConformanceCheck",
     "ConformanceReport",
+    "CostProfile",
+    "CriticalSegment",
     "MachineObs",
     "MetricsHistory",
     "PhaseAttribution",
+    "PhaseCost",
     "ProgressReporter",
     "ROUND_TICK_US",
+    "RoundCost",
     "RoundObserver",
     "Span",
     "SpanRecorder",
+    "attribute_round",
     "check_knn",
     "check_knn_result",
     "check_selection",
@@ -73,6 +94,9 @@ __all__ = [
     "served_message_budget",
     "phase_attribution",
     "read_jsonl",
+    "read_jsonl_history",
+    "render_html",
     "write_chrome_trace",
     "write_jsonl",
+    "write_report",
 ]

@@ -11,6 +11,10 @@ Subcommands:
 * ``demo`` — run a seeded ``distributed_knn`` with spans and tracing
   on, print attribution and theory conformance, and optionally export
   both formats (``--jsonl`` / ``--chrome``).
+* ``profile`` — run a seeded ``distributed_knn`` under the cost-model
+  profiler (:mod:`repro.obs.profile`): per-round binding-term
+  attribution, k×k traffic matrix, leader-ingest share, critical path
+  and phase costs, with ``--html`` / ``--json`` report exports.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ import sys
 from typing import Iterable, Sequence
 
 from .conformance import check_knn_result
-from .export import read_jsonl, write_chrome_trace, write_jsonl
+from .export import read_jsonl, read_jsonl_history, write_chrome_trace, write_jsonl
+from .observers import MetricsHistory
 from .spans import Span, phase_attribution
 
 __all__ = ["main"]
@@ -81,10 +86,16 @@ def _cmd_spans(args: argparse.Namespace) -> int:
 
 def _cmd_convert(args: argparse.Namespace) -> int:
     meta, events, spans, metrics = read_jsonl(args.path)
+    history = read_jsonl_history(args.path)
     timeline = metrics.timeline if metrics is not None else None
     name = str(meta.get("name", "repro")) if meta else "repro"
-    out = write_chrome_trace(args.out, events, spans, timeline, name=name)
-    print(f"wrote {out} ({len(events)} events, {len(spans)} spans)")
+    out = write_chrome_trace(
+        args.out, events, spans, timeline, name=name, history=history
+    )
+    print(
+        f"wrote {out} ({len(events)} events, {len(spans)} spans, "
+        f"{len(history)} history samples)"
+    )
     return 0
 
 
@@ -96,6 +107,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed)
     points = rng.uniform(0.0, 1.0, (args.k * args.points_per_machine, args.dim))
+    history = MetricsHistory()
     result = distributed_knn(
         points,
         query=points[0],
@@ -105,6 +117,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         spans=True,
         trace=True,
         timeline=True,
+        observers=[history],
     )
     print(f"distributed_knn: k={args.k} l={args.l} n={len(points)}")
     print("metrics: " + result.metrics.summary())
@@ -121,6 +134,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             result.metrics,
             meta={"name": "knn-demo", "k": args.k, "l": args.l,
                   "seed": args.seed, "n": len(points)},
+            history=history,
         )
         print(f"wrote {path}")
     if args.chrome:
@@ -130,9 +144,57 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             result.raw.spans,
             result.metrics.timeline,
             name="knn-demo",
+            history=history,
         )
         print(f"wrote {path}")
     return 0 if report.passed and attribution.coverage >= 0.95 else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    # Heavy imports stay local so `info`/`convert` start instantly.
+    import numpy as np
+
+    from ..core.driver import distributed_knn
+    from ..kmachine.timing import DEFAULT_COST_MODEL, CostModel
+    from .profile import CostProfile
+    from .report import write_report
+
+    cost_model = CostModel(
+        alpha_seconds=args.alpha,
+        beta_bits_per_second=args.beta,
+        gamma_seconds_per_message=args.gamma,
+        idle_round_seconds=DEFAULT_COST_MODEL.idle_round_seconds,
+    )
+    rng = np.random.default_rng(args.seed)
+    points = rng.uniform(0.0, 1.0, (args.k * args.points_per_machine, args.dim))
+    result = distributed_knn(
+        points,
+        query=points[0],
+        l=args.l,
+        k=args.k,
+        seed=args.seed,
+        spans=True,
+        timeline=True,
+        profile=True,
+        cost_model=cost_model,
+    )
+    profile = CostProfile(
+        result.metrics, cost_model=cost_model, spans=result.raw.spans, k=args.k
+    )
+    print(f"distributed_knn: k={args.k} l={args.l} n={len(points)}")
+    print(profile.summary())
+    if args.json:
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w") as fh:
+            json.dump(profile.to_dict(), fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {out}")
+    if args.html:
+        print(f"wrote {write_report(profile, args.html)}")
+    return 0 if profile.consistent else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -170,6 +232,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_demo.add_argument("--jsonl", help="also write a JSONL log here")
     p_demo.add_argument("--chrome", help="also write Chrome trace JSON here")
     p_demo.set_defaults(fn=_cmd_demo)
+
+    p_prof = sub.add_parser(
+        "profile", help="run a seeded KNN query under the cost-model profiler"
+    )
+    p_prof.add_argument("--k", type=int, default=8, help="machines (default 8)")
+    p_prof.add_argument("--l", type=int, default=64, help="neighbors (default 64)")
+    p_prof.add_argument(
+        "--points-per-machine", type=int, default=512,
+        help="points per machine (default 512)",
+    )
+    p_prof.add_argument("--dim", type=int, default=4, help="dimensions (default 4)")
+    p_prof.add_argument("--seed", type=int, default=7, help="root seed (default 7)")
+    p_prof.add_argument(
+        "--alpha", type=float, default=50e-6,
+        help="per-round latency, seconds (default 50e-6)",
+    )
+    p_prof.add_argument(
+        "--beta", type=float, default=1e9,
+        help="link bandwidth, bits/second (default 1e9)",
+    )
+    p_prof.add_argument(
+        "--gamma", type=float, default=2e-6,
+        help="per-message receiver overhead, seconds (default 2e-6)",
+    )
+    p_prof.add_argument("--html", help="write the self-contained HTML report here")
+    p_prof.add_argument("--json", help="write the profile JSON document here")
+    p_prof.set_defaults(fn=_cmd_profile)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

@@ -97,6 +97,22 @@ def _log2(x: float) -> float:
     return max(1.0, math.log2(max(2.0, x)))
 
 
+def _ingest_params(metrics: Metrics) -> dict[str, Any]:
+    """Leader-ingest context for a report's params, when measurable.
+
+    Profiled runs (``Simulator(profile=True)``) carry per-link
+    counters; from them the report can name the hot machine and its
+    share of all message arrivals — so a failed message-budget check
+    says *where* the traffic piled up, not just that it did.  Empty on
+    unprofiled runs.
+    """
+    hot = metrics.hot_ingress()
+    share = metrics.ingress_share()
+    if hot is None or share is None:
+        return {}
+    return {"hot_machine": hot[0], "ingest_share": round(share, 4)}
+
+
 @dataclass
 class ConformanceCheck:
     """One observed-vs-bound verdict.
@@ -219,11 +235,16 @@ def check_selection(
     ``iterations`` (the leader's
     :attr:`~repro.core.selection.SelectionStats.iterations`) adds the
     tighter per-iteration check when available.  ``slack`` scales every
-    bound (1.0 = the theory's own constants).
+    bound (1.0 = the theory's own constants).  On profiled runs the
+    report's params also name the hot machine and its measured
+    leader-ingest share (see :func:`_ingest_params`).
     """
     if n < 1 or k < 1:
         raise ValueError("n and k must be >= 1")
-    report = ConformanceReport(algorithm="algorithm1", params={"n": n, "k": k})
+    report = ConformanceReport(
+        algorithm="algorithm1",
+        params={"n": n, "k": k, **_ingest_params(metrics)},
+    )
     log_n = _log2(n)
     report.checks.append(
         _make_check(
@@ -326,10 +347,15 @@ def check_knn(
     ``survivors`` is the leader's measured candidate count entering the
     selection stage (:attr:`~repro.core.knn.KNNOutput.survivors`);
     when given, the Lemma 2.3 check ``survivors ≤ 11ℓ`` is included.
+    On profiled runs the report's params also name the hot machine and
+    its measured leader-ingest share (see :func:`_ingest_params`).
     """
     if l < 1 or k < 1:
         raise ValueError("l and k must be >= 1")
-    report = ConformanceReport(algorithm="algorithm2", params={"l": l, "k": k})
+    report = ConformanceReport(
+        algorithm="algorithm2",
+        params={"l": l, "k": k, **_ingest_params(metrics)},
+    )
     log_l = _log2(l)
     report.checks.append(
         _make_check(

@@ -35,6 +35,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "read_jsonl",
+    "read_jsonl_history",
 ]
 
 #: Trace-time microseconds per simulated round (1 round = 1 ms).
@@ -72,6 +73,18 @@ def _events_of(tracer: Tracer | NullTracer | Iterable[TraceEvent] | None) -> lis
     return list(events)
 
 
+def _history_samples(history: Any) -> list[tuple[int, int, int]]:
+    """Normalise a history input to ``(round, messages, bits)`` triples.
+
+    Accepts a :class:`~repro.obs.observers.MetricsHistory` (or anything
+    with a ``samples`` attribute) or a bare iterable of triples.
+    """
+    if history is None:
+        return []
+    samples = getattr(history, "samples", history)
+    return [(int(r), int(m), int(b)) for r, m, b in samples]
+
+
 def _tid(machine: int | None) -> int:
     """Machine rank → Chrome thread id (tid 0 is the simulator).
 
@@ -90,13 +103,17 @@ def chrome_trace(
     timeline: Iterable[RoundRecord] | None = None,
     *,
     name: str = "repro",
+    history: Any = None,
 ) -> dict[str, Any]:
     """Build a Chrome ``trace_event`` document (the JSON object form).
 
     Any combination of inputs may be given; machines are discovered
-    from whatever is present and named as threads.  The result is a
-    plain dict — pass it to ``json.dump`` or use
-    :func:`write_chrome_trace`.
+    from whatever is present and named as threads.  ``history`` is a
+    :class:`~repro.obs.observers.MetricsHistory` (or bare
+    ``(round, messages, bits)`` triples): its cumulative curves become
+    a ``"cumulative"`` counter track, complementing the per-round
+    ``"traffic"`` deltas from the timeline.  The result is a plain
+    dict — pass it to ``json.dump`` or use :func:`write_chrome_trace`.
     """
     events = _events_of(tracer)
     span_list = list(spans) if spans is not None else []
@@ -188,6 +205,19 @@ def chrome_trace(
             }
         )
 
+    for round_idx, messages, bits in _history_samples(history):
+        trace_events.append(
+            {
+                "name": "cumulative",
+                "cat": "round",
+                "ph": "C",
+                "pid": _PID,
+                "tid": 0,
+                "ts": round_idx * ROUND_TICK_US,
+                "args": {"messages": messages, "bits": bits},
+            }
+        )
+
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -202,11 +232,12 @@ def write_chrome_trace(
     timeline: Iterable[RoundRecord] | None = None,
     *,
     name: str = "repro",
+    history: Any = None,
 ) -> Path:
     """Write :func:`chrome_trace` output to ``path``; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    doc = chrome_trace(tracer, spans, timeline, name=name)
+    doc = chrome_trace(tracer, spans, timeline, name=name, history=history)
     with path.open("w") as fh:
         json.dump(doc, fh)
         fh.write("\n")
@@ -223,17 +254,21 @@ def write_jsonl(
     metrics: Metrics | None = None,
     *,
     meta: Mapping[str, Any] | None = None,
+    history: Any = None,
 ) -> Path | None:
     """Write a structured JSONL event log.
 
     Line types: one ``meta`` header (run parameters plus counts), then
-    ``event`` lines (tracer events in order), ``span`` lines, and an
-    optional trailing ``metrics`` line carrying
-    :meth:`Metrics.to_dict`.  Returns the path (``None`` when writing
-    to an open stream).
+    ``event`` lines (tracer events in order), ``span`` lines, an
+    optional ``history`` line (a
+    :class:`~repro.obs.observers.MetricsHistory`'s per-round cumulative
+    ``(round, messages, bits)`` curve), and an optional trailing
+    ``metrics`` line carrying :meth:`Metrics.to_dict`.  Returns the
+    path (``None`` when writing to an open stream).
     """
     events = _events_of(tracer)
     span_list = list(spans) if spans is not None else []
+    samples = _history_samples(history)
 
     def _emit(fh: IO[str]) -> None:
         header: dict[str, Any] = {
@@ -261,6 +296,17 @@ def write_jsonl(
             )
         for span in span_list:
             fh.write(json.dumps({"type": "span", **span.to_dict()}) + "\n")
+        if samples:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "history",
+                        "columns": ["round", "messages", "bits"],
+                        "samples": [list(s) for s in samples],
+                    }
+                )
+                + "\n"
+            )
         if metrics is not None:
             fh.write(
                 json.dumps({"type": "metrics", **_json_safe(metrics.to_dict())})
@@ -315,3 +361,26 @@ def read_jsonl(
         elif kind == "metrics":
             metrics = Metrics.from_dict(record)
     return meta, events, spans, metrics
+
+
+def read_jsonl_history(path: str | Path | IO[str]) -> list[tuple[int, int, int]]:
+    """Load the ``history`` line of a JSONL log as sample triples.
+
+    Returns ``[]`` for logs without one (all pre-profiler logs).  Kept
+    separate from :func:`read_jsonl` so its widely-unpacked 4-tuple
+    return stays stable.
+    """
+    if hasattr(path, "read"):
+        lines = path.read().splitlines()  # type: ignore[union-attr]
+    else:
+        lines = Path(path).read_text().splitlines()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") == "history":
+            return [
+                (int(r), int(m), int(b)) for r, m, b in record.get("samples", [])
+            ]
+    return []

@@ -118,6 +118,7 @@ class KNNService:
         spans: bool = False,
         trace: bool = False,
         timeline: bool = False,
+        profile: bool = False,
         balance_threshold: float = 2.0,
         auto_rebalance: bool = True,
         byzantine=None,
@@ -140,6 +141,7 @@ class KNNService:
             spans=spans,
             trace=trace,
             timeline=timeline,
+            profile=profile,
             balance_threshold=balance_threshold,
             auto_rebalance=auto_rebalance,
             byzantine=byzantine,
@@ -318,10 +320,35 @@ class KNNService:
         return self.session.metrics
 
     def stats_report(self) -> dict:
-        """JSON-ready aggregate report (syncs queue/batch counters)."""
+        """JSON-ready aggregate report (syncs queue/batch counters).
+
+        On a ``profile=True`` service the report additionally carries
+        ``leader_ingest`` (hot machine, its share of all message
+        arrivals, the full per-machine ingress map) and
+        ``critical_path`` (the top modelled-time segments from
+        :meth:`~repro.serve.session.ClusterSession.cost_profile`) —
+        the two session-level signals the hierarchical-aggregation
+        work is gated on.
+        """
         self.stats.queue_high_water = self.queue.high_water
         self.stats.batches = self.session.batches
-        return self.stats.to_dict(total_rounds=self.session.rounds)
+        report = self.stats.to_dict(total_rounds=self.session.rounds)
+        if self.session.profile:
+            prof = self.session.cost_profile()
+            hot = self.session.metrics.hot_ingress()
+            report["leader_ingest"] = {
+                "machine": None if hot is None else hot[0],
+                "messages": None if hot is None else hot[1],
+                "share": prof.leader_ingest_share(),
+                "ingress": {
+                    str(r): n
+                    for r, n in sorted(prof.ingress_by_machine().items())
+                },
+            }
+            report["critical_path"] = [
+                seg.to_dict() for seg in prof.top_segments()
+            ]
+        return report
 
     def summary(self) -> str:
         """Human-readable stats summary."""

@@ -28,7 +28,7 @@ admission decisions on their own track next to the protocol phases.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Generator, Sequence
+from typing import TYPE_CHECKING, Generator, Sequence
 
 import numpy as np
 
@@ -54,6 +54,9 @@ from ..points.dataset import Dataset, make_dataset
 from ..points.ids import Keyed, draw_unique_ids
 from ..points.metrics import Metric, get_metric
 from ..points.partition import shard_dataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import CostProfile
 
 __all__ = [
     "QUERY_NAMESPACE",
@@ -236,8 +239,10 @@ class ClusterSession:
     :meth:`run_batch` calls until :meth:`close`.
 
     Parameters mirror :func:`repro.core.batch.distributed_knn_batch`;
-    ``spans``/``trace``/``timeline`` plumb through to the simulator so
-    a whole session can be exported as one Chrome trace.
+    ``spans``/``trace``/``timeline``/``profile`` plumb through to the
+    simulator so a whole session can be exported as one Chrome trace —
+    and, with ``profile=True``, analysed by the cost-model profiler
+    (:meth:`cost_profile`).
     """
 
     def __init__(
@@ -258,6 +263,7 @@ class ClusterSession:
         spans: bool = False,
         trace: bool = False,
         timeline: bool = False,
+        profile: bool = False,
         balance_threshold: float = 2.0,
         auto_rebalance: bool = True,
         byzantine: ByzantinePlan | None = None,
@@ -313,8 +319,11 @@ class ClusterSession:
             spans=spans,
             trace=trace,
             timeline=timeline,
+            profile=profile,
             byzantine=self._byz_plan,
         )
+        #: whether per-link counters + round detail are being recorded
+        self.profile = profile
         init = self._sim.run()
         self.leader = int(init.outputs[0])
         #: rounds spent before the first query (election episode)
@@ -366,6 +375,22 @@ class ClusterSession:
         """Recorded spans (empty unless ``spans=True``)."""
         rec = self._sim.span_recorder
         return [] if rec is None else rec.spans
+
+    def cost_profile(self, cost_model=None) -> "CostProfile":
+        """Cost-model profile of the whole session (needs ``profile=True``).
+
+        Sessions charge communication with the simulator's default
+        zero-cost model, so the profile's *modelled* times re-derive
+        what the session traffic would cost under ``cost_model``
+        (:data:`~repro.kmachine.timing.DEFAULT_COST_MODEL` when
+        omitted) — hypothetical but exact arithmetic, covering every
+        episode the session has run so far.
+        """
+        from ..obs.profile import CostProfile
+
+        return CostProfile(
+            self.metrics, cost_model=cost_model, spans=self.spans, k=self.k
+        )
 
     def mark(self, name: str) -> None:
         """Record an instantaneous scheduler-side span (cache hit etc.)."""

@@ -102,3 +102,70 @@ class TestArgs:
     def test_unknown_command_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestHistoryExport:
+    def test_demo_jsonl_carries_history_and_convert_emits_counters(
+        self, demo_log, tmp_path
+    ):
+        jsonl, _ = demo_log
+        from repro.obs.export import read_jsonl_history
+
+        samples = read_jsonl_history(jsonl)
+        assert samples, "demo must export MetricsHistory samples"
+        rounds = [r for r, _, _ in samples]
+        assert rounds == sorted(rounds)
+        messages = [m for _, m, _ in samples]
+        assert messages == sorted(messages)  # cumulative, monotone
+
+        out_path = tmp_path / "with_history.json"
+        assert main(["convert", str(jsonl), str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        counters = [
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "C" and e.get("name") == "cumulative"
+        ]
+        assert len(counters) == len(samples)
+        assert counters[-1]["args"]["messages"] == messages[-1]
+
+    def test_history_absent_reads_as_empty(self, tmp_path):
+        from repro.obs.export import read_jsonl_history
+
+        path = write_jsonl(tmp_path / "bare.jsonl", metrics=Metrics(rounds=1))
+        assert read_jsonl_history(path) == []
+
+
+class TestProfile:
+    def test_profile_writes_html_and_json(self, tmp_path, capsys):
+        html = tmp_path / "report.html"
+        json_path = tmp_path / "profile.json"
+        code = main(
+            ["profile", "--k", "4", "--l", "16", "--points-per-machine", "64",
+             "--dim", "2", "--seed", "7",
+             "--html", str(html), "--json", str(json_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # consistent against its own cost model
+        assert "cost profile: k=4" in out
+        assert "binding terms" in out
+        assert "leader ingest: machine" in out
+        doc = json.loads(json_path.read_text())
+        assert doc["format"] == "repro.obs/profile"
+        assert doc["consistent"] is True
+        assert len(doc["traffic_matrix"]["messages"]) == 4
+        text = html.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert '"repro.obs/profile"' in text
+
+    def test_profile_custom_constants_change_the_binding_mix(self, capsys):
+        # A huge gamma makes every traffic round receiver-bound, so the
+        # binding table has no alpha- or beta-bound rounds at all.
+        code = main(
+            ["profile", "--k", "4", "--l", "8", "--points-per-machine", "32",
+             "--dim", "2", "--seed", "3", "--gamma", "1.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        binding_table = out.split("binding terms")[1].split("leader ingest")[0]
+        assert "gamma" in binding_table
+        assert "alpha" not in binding_table and "beta" not in binding_table

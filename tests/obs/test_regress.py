@@ -1,0 +1,173 @@
+"""Perf-regression gate: flattening, constraint evaluation, CI behavior.
+
+``benchmarks/regress.py`` is a standalone script (CI runs it without
+``PYTHONPATH=src``), so the tests load it by path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "regress", REPO_ROOT / "benchmarks" / "regress.py"
+)
+assert _spec is not None and _spec.loader is not None
+regress = importlib.util.module_from_spec(_spec)
+# Registered before exec: dataclasses resolves string annotations
+# through sys.modules[cls.__module__].
+sys.modules["regress"] = regress
+_spec.loader.exec_module(regress)
+
+
+class TestFlatten:
+    def test_nested_dicts_join_with_dots(self):
+        assert regress.flatten({"a": {"b": {"c": 3}}}) == {"a.b.c": 3.0}
+
+    def test_booleans_become_zero_one(self):
+        assert regress.flatten({"ok": True, "bad": False}) == {
+            "ok": 1.0,
+            "bad": 0.0,
+        }
+
+    def test_lists_index_with_brackets(self):
+        assert regress.flatten({"xs": [1, {"y": 2}]}) == {
+            "xs[0]": 1.0,
+            "xs[1].y": 2.0,
+        }
+
+    def test_strings_and_nulls_are_dropped(self):
+        assert regress.flatten({"note": "hi", "none": None, "n": 1}) == {"n": 1.0}
+
+    def test_namespace_prefix(self):
+        assert regress.flatten({"n": 1}, "profile") == {"profile.n": 1.0}
+
+
+class TestLoadResults:
+    def test_strips_bench_prefix_into_namespace(self, tmp_path):
+        (tmp_path / "BENCH_demo.json").write_text(json.dumps({"n": 2}))
+        (tmp_path / "ignored.json").write_text(json.dumps({"n": 9}))
+        assert regress.load_results(tmp_path) == {"demo.n": 2.0}
+
+
+class TestEvaluate:
+    def test_absolute_bounds(self):
+        metrics = {"m": 5.0}
+        assert regress.evaluate(metrics, {"m": {"max": 5}}) == []
+        assert regress.evaluate(metrics, {"m": {"min": 5}}) == []
+        [v] = regress.evaluate(metrics, {"m": {"max": 4}})
+        assert v.kind == "max" and v.observed == 5.0
+        [v] = regress.evaluate(metrics, {"m": {"min": 6}})
+        assert v.kind == "min"
+
+    def test_ratio_bounds_against_committed_baseline(self):
+        spec = {"m": {"baseline": 100, "max_ratio": 1.5}}
+        assert regress.evaluate({"m": 150.0}, spec) == []
+        [v] = regress.evaluate({"m": 151.0}, spec)
+        assert v.kind == "max_ratio"
+        assert "1.510x baseline" in v.detail
+        spec = {"m": {"baseline": 100, "min_ratio": 0.5}}
+        [v] = regress.evaluate({"m": 49.0}, spec)
+        assert v.kind == "min_ratio"
+
+    def test_missing_metric_fails_closed(self):
+        [v] = regress.evaluate({}, {"gone.metric": {"max": 1}})
+        assert v.kind == "missing" and v.observed is None
+        assert "fails closed" in v.detail
+
+    def test_unknown_constraint_key_raises(self):
+        with pytest.raises(ValueError, match="max_ration"):
+            regress.evaluate({"m": 1.0}, {"m": {"max_ration": 2}})
+
+    def test_ratio_without_baseline_raises(self):
+        with pytest.raises(ValueError, match="without a baseline"):
+            regress.evaluate({"m": 1.0}, {"m": {"max_ratio": 2}})
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError, match="zero baseline"):
+            regress.evaluate({"m": 1.0}, {"m": {"baseline": 0, "max_ratio": 2}})
+
+
+def _seeded_results(tmp_path: Path) -> Path:
+    """Copy the committed BENCH_*.json snapshots into a scratch dir."""
+    results = tmp_path / "results"
+    results.mkdir()
+    for path in (REPO_ROOT / "benchmarks" / "results").glob("BENCH_*.json"):
+        shutil.copy(path, results / path.name)
+    return results
+
+
+class TestInjectedRegressionAcceptance:
+    def test_committed_snapshots_pass_the_committed_gate(self, tmp_path, capsys):
+        results = _seeded_results(tmp_path)
+        code = regress.main(["--results-dir", str(results), "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS profile.totals.messages" in out
+        assert "all" in out and "tolerances hold" in out
+
+    def test_doubled_message_count_fails_the_gate(self, tmp_path, capsys):
+        """ISSUE acceptance: a 2x message-count regression must fail CI."""
+        results = _seeded_results(tmp_path)
+        bench = results / "BENCH_profile.json"
+        doc = json.loads(bench.read_text())
+        doc["totals"]["messages"] *= 2
+        bench.write_text(json.dumps(doc))
+        code = regress.main(["--results-dir", str(results), "--check"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL profile.totals.messages" in captured.err
+        assert "2.000x baseline" in captured.err
+
+    def test_deleted_benchmark_cannot_exempt_itself(self, tmp_path, capsys):
+        results = _seeded_results(tmp_path)
+        (results / "BENCH_profile.json").unlink()
+        code = regress.main(["--results-dir", str(results), "--check"])
+        assert code == 1
+        assert "fails closed" in capsys.readouterr().err
+
+
+class TestMain:
+    def test_missing_tolerance_file_fails(self, tmp_path, capsys):
+        results = _seeded_results(tmp_path)
+        code = regress.main(
+            [
+                "--results-dir", str(results),
+                "--tolerances", str(tmp_path / "absent.json"),
+                "--check",
+            ]
+        )
+        assert code == 1
+        assert "tolerance file missing" in capsys.readouterr().err
+
+    def test_list_prints_flattened_metrics(self, tmp_path, capsys):
+        results = tmp_path / "r"
+        results.mkdir()
+        (results / "BENCH_x.json").write_text(json.dumps({"a": 1, "ok": True}))
+        code = regress.main(["--results-dir", str(results), "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "x.a = 1" in out and "x.ok = 1" in out
+
+    def test_record_appends_a_trajectory_snapshot(self, tmp_path):
+        results = tmp_path / "r"
+        results.mkdir()
+        (results / "BENCH_x.json").write_text(json.dumps({"a": 1}))
+        trajectory = tmp_path / "deep" / "trajectory.jsonl"
+        code = regress.main(
+            [
+                "--results-dir", str(results),
+                "--record", "--trajectory", str(trajectory),
+            ]
+        )
+        assert code == 0
+        [line] = trajectory.read_text().splitlines()
+        entry = json.loads(line)
+        assert entry["metrics"] == {"x.a": 1.0}
+        assert "timestamp" in entry and "rev" in entry

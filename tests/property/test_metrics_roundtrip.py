@@ -1,0 +1,140 @@
+"""Property tests: Metrics serialization is lossless and merge is
+associative, with the per-link counters the cost profiler depends on.
+
+Hypothesis builds adversarial snapshots — sparse link maps, timelines
+with and without the profiler's top-link/top-ingress fields, crash
+lists, reliable-layer counters — and checks the two algebraic
+contracts every consumer assumes:
+
+* ``Metrics.from_dict(to_dict(m)) == m`` even through a JSON
+  round-trip (tuple keys survive the ``"src->dst"`` encoding);
+* ``merge`` is associative, so multi-episode drivers can fold
+  snapshots in any grouping.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kmachine.metrics import Metrics, RoundRecord
+
+counts = st.integers(min_value=0, max_value=1_000_000)
+ranks = st.integers(min_value=0, max_value=7)
+seconds = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+links = st.tuples(ranks, ranks)
+tags = st.sampled_from(["pivot", "report", "count", "ack", "élect"])
+
+
+@st.composite
+def round_records(draw, round_index: int) -> RoundRecord:
+    profiled = draw(st.booleans())
+    return RoundRecord(
+        round=round_index,
+        messages_sent=draw(counts),
+        bits_sent=draw(counts),
+        messages_delivered=draw(counts),
+        max_link_bits=draw(counts),
+        compute_seconds=draw(seconds),
+        comm_seconds=draw(seconds),
+        active_machines=draw(ranks),
+        max_dst_messages=draw(counts),
+        top_link=draw(links) if profiled else None,
+        top_ingress=draw(ranks) if profiled else None,
+    )
+
+
+@st.composite
+def metrics_snapshots(draw) -> Metrics:
+    m = Metrics(
+        rounds=draw(counts),
+        messages=draw(counts),
+        bits=draw(counts),
+        per_tag_messages=draw(st.dictionaries(tags, counts, max_size=4)),
+        per_tag_bits=draw(st.dictionaries(tags, counts, max_size=4)),
+        per_link_messages=draw(st.dictionaries(links, counts, max_size=8)),
+        per_link_bits=draw(st.dictionaries(links, counts, max_size=8)),
+        compute_seconds=draw(seconds),
+        comm_seconds=draw(seconds),
+        max_link_queue_bits=draw(counts),
+        dropped_messages=draw(counts),
+        fault_drops=draw(counts),
+        crash_drops=draw(counts),
+        crashed=draw(st.lists(st.tuples(ranks, counts), max_size=3)),
+        retransmissions=draw(counts),
+        byz_tampered=draw(counts),
+        acks_sent=draw(counts),
+        duplicates_suppressed=draw(counts),
+        checksum_failures=draw(counts),
+    )
+    n_rounds = draw(st.integers(min_value=0, max_value=5))
+    m.timeline = [draw(round_records(i)) for i in range(n_rounds)]
+    return m
+
+
+@settings(max_examples=60, deadline=None)
+@given(metrics_snapshots())
+def test_to_dict_from_dict_is_lossless(m: Metrics) -> None:
+    assert Metrics.from_dict(m.to_dict()) == m
+
+
+@settings(max_examples=60, deadline=None)
+@given(metrics_snapshots())
+def test_round_trip_survives_json(m: Metrics) -> None:
+    """The exact path a JSONL log takes: dict -> text -> dict -> Metrics."""
+    restored = Metrics.from_dict(json.loads(json.dumps(m.to_dict())))
+    assert restored == m
+    assert restored.per_link_messages == m.per_link_messages
+    assert restored.per_link_bits == m.per_link_bits
+    assert [rec.top_link for rec in restored.timeline] == [
+        rec.top_link for rec in m.timeline
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(metrics_snapshots(), metrics_snapshots(), metrics_snapshots())
+def test_merge_is_associative(a: Metrics, b: Metrics, c: Metrics) -> None:
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    # The two summed float fields are associative only up to rounding;
+    # every discrete counter, map and timeline must agree exactly.
+    assert math.isclose(left.comm_seconds, right.comm_seconds, rel_tol=1e-12)
+    assert math.isclose(
+        left.compute_seconds, right.compute_seconds, rel_tol=1e-12
+    )
+    assert replace(left, comm_seconds=0.0, compute_seconds=0.0) == replace(
+        right, comm_seconds=0.0, compute_seconds=0.0
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(metrics_snapshots(), metrics_snapshots())
+def test_merge_sums_counters_and_link_maps(a: Metrics, b: Metrics) -> None:
+    merged = a.merge(b)
+    assert merged.messages == a.messages + b.messages
+    assert merged.bits == a.bits + b.bits
+    assert merged.rounds == a.rounds + b.rounds
+    for link in set(a.per_link_messages) | set(b.per_link_messages):
+        assert merged.per_link_messages[link] == a.per_link_messages.get(
+            link, 0
+        ) + b.per_link_messages.get(link, 0)
+    # Timeline concatenates with b's rounds shifted past a's clock.
+    assert len(merged.timeline) == len(a.timeline) + len(b.timeline)
+    for rec_merged, rec_b in zip(merged.timeline[len(a.timeline):], b.timeline):
+        assert rec_merged.round == rec_b.round + a.rounds
+        assert rec_merged.top_link == rec_b.top_link
+
+
+@settings(max_examples=40, deadline=None)
+@given(metrics_snapshots(), metrics_snapshots())
+def test_merge_preserves_ingress_accounting(a: Metrics, b: Metrics) -> None:
+    merged = a.merge(b)
+    ingress_a, ingress_b = a.ingress_messages(), b.ingress_messages()
+    for rank in set(ingress_a) | set(ingress_b):
+        assert merged.ingress_messages()[rank] == ingress_a.get(
+            rank, 0
+        ) + ingress_b.get(rank, 0)

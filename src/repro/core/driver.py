@@ -95,6 +95,31 @@ def _attempt_seed(seed: int | None, attempt: int) -> int | None:
     )
 
 
+#: Execution backends for the drivers' ``backend=`` switch.
+BACKENDS = ("sim", "net")
+
+
+def _build_simulator(backend: str, net_options: Any, **kwargs) -> Any:
+    """Construct the attempt's executor for ``backend``.
+
+    ``"sim"`` is the in-process :class:`Simulator`; ``"net"`` the TCP
+    backend (:class:`repro.runtime.net.NetSimulator`), which shares
+    the constructor surface and raises ``ValueError`` for the features
+    it cannot host (Byzantine plans, the unreliable layer, tracing,
+    observers) rather than silently diverging.  Imported lazily so the
+    common path never touches the runtime package.
+    """
+    if backend == "net":
+        from ..runtime.net import NetSimulator
+
+        return NetSimulator(options=net_options, **kwargs)
+    if backend != "sim":
+        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    if net_options is not None:
+        raise ValueError('net_options only applies to backend="net"')
+    return Simulator(**kwargs)
+
+
 def _byz_answer_check(
     boundaries: list[Keyed],
     sizes: list[int],
@@ -367,6 +392,8 @@ def distributed_select(
     spans: bool = False,
     observers: Iterable[Any] | None = None,
     profile: bool = False,
+    backend: str = "sim",
+    net_options: Any = None,
 ) -> SelectResult:
     """Find the ℓ smallest of ``values`` with Algorithm 1 on k machines.
 
@@ -405,6 +432,17 @@ def distributed_select(
     its docs and :mod:`repro.obs`); the recorded spans and tracer ride
     on ``result.raw``, and a profiled run's per-link counters feed
     :mod:`repro.obs.profile`.
+
+    Backends: ``backend="net"`` executes every attempt on the TCP
+    runtime (:class:`repro.runtime.net.NetSimulator`, one OS process
+    per machine, peers exchanging outboxes over a clique of sockets)
+    with transport knobs from ``net_options`` (a
+    :class:`repro.runtime.net.NetOptions` or kwargs dict).  Protocol
+    randomness matches the simulator seed-for-seed, so the answer is
+    identical; crash-stop fault plans still drive the supervised
+    recovery path, while probabilistic faults, Byzantine plans, the
+    reliable layer, tracing and observers require the default
+    ``backend="sim"``.
     """
     arr = np.asarray(values, dtype=np.float64).ravel()
     if not 0 <= l <= arr.size:
@@ -444,7 +482,9 @@ def distributed_select(
                 f=f_eff,
                 timeout_rounds=timeout_rounds if timeout_rounds is not None else 32,
             )
-        sim = Simulator(
+        sim = _build_simulator(
+            backend,
+            net_options,
             k=sup.k_eff,
             program=SelectionProgram(
                 l, election=election_mode, slack=slack,
@@ -582,6 +622,8 @@ def distributed_knn(
     spans: bool = False,
     observers: Iterable[Any] | None = None,
     profile: bool = False,
+    backend: str = "sim",
+    net_options: Any = None,
     **knobs,
 ) -> KNNResult:
     """Answer one ℓ-NN query over ``points`` sharded onto k machines.
@@ -617,6 +659,13 @@ def distributed_knn(
     its docs and :mod:`repro.obs`); the recorded spans and tracer ride
     on ``result.raw``, and a profiled run's per-link counters feed
     :mod:`repro.obs.profile`.
+
+    Backends: ``backend="net"`` runs every attempt on the TCP runtime
+    exactly as described for :func:`distributed_select` — identical
+    answers (same seed ⇒ same protocol randomness), crash-stop fault
+    plans supported, everything needing payload visibility
+    (probabilistic faults, Byzantine, reliable layer, trace,
+    observers) restricted to ``backend="sim"``.
     """
     rng = np.random.default_rng(seed)
     dataset = (
@@ -684,7 +733,9 @@ def distributed_knn(
             current_algorithm, query_arr, l, metric_obj, election_mode,
             **attempt_knobs,
         )
-        sim = Simulator(
+        sim = _build_simulator(
+            backend,
+            net_options,
             k=sup.k_eff,
             program=program,
             inputs=shards,

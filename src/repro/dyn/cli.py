@@ -46,6 +46,7 @@ def _build_service(args: argparse.Namespace, *, spans: bool, trace: bool):
         trace=trace,
         timeline=trace or args.profile,
         profile=args.profile,
+        backend=args.backend,
     )
 
 
@@ -191,6 +192,14 @@ def _add_common_args(sub: argparse.ArgumentParser) -> None:
         "--no-verify",
         action="store_true",
         help="skip the brute-force verification pass",
+    )
+    sub.add_argument(
+        "--backend",
+        choices=("sim", "net"),
+        default="sim",
+        help="cluster executor: in-process simulator (default) or the "
+        "TCP runtime (one OS process per machine; incompatible with "
+        "--chrome/--jsonl tracing)",
     )
     sub.add_argument("--chrome", help="export Chrome trace JSON to this path")
     sub.add_argument("--jsonl", help="export structured JSONL log to this path")

@@ -127,18 +127,29 @@ def wire_bits(obj: Any, policy: SizingPolicy | None = None) -> int:
     return payload_bits(obj, policy)
 
 
-def check_roundtrip(instance: Any) -> bool:
+def check_roundtrip(instance: Any, serializer: str = "pickle") -> bool:
     """True when ``instance`` survives the serializer unchanged.
 
-    The multiprocess transport pickles payloads; a registered type
-    must come back field-for-field equal.  Array-valued fields
-    (migration envelopes carry whole coordinate blocks) compare with
-    :func:`numpy.array_equal`; everything else with ``==``, so NumPy
-    scalars compare by value.  Used by the registry-wide test.
+    The multiprocess transport pickles payloads and the TCP backend
+    speaks the binary codec (:mod:`repro.runtime.codec`); a registered
+    type must come back field-for-field equal through whichever
+    ``serializer`` (``"pickle"`` or ``"binary"``) it will travel on.
+    Array-valued fields (migration envelopes carry whole coordinate
+    blocks) compare with :func:`numpy.array_equal`; everything else
+    with ``==``, so NumPy scalars compare by value.  Used by the
+    registry-wide test.
     """
     if not dataclasses.is_dataclass(instance) or isinstance(instance, type):
         raise TypeError("check_roundtrip expects a dataclass instance")
-    clone = pickle.loads(pickle.dumps(instance))
+    if serializer == "pickle":
+        clone = pickle.loads(pickle.dumps(instance))
+    elif serializer == "binary":
+        # Imported lazily: schema is a leaf module the codec depends on.
+        from ..runtime import codec
+
+        clone = codec.decode(codec.encode(instance, strict=True), strict=True)
+    else:
+        raise ValueError(f"unknown serializer {serializer!r}")
     if type(clone) is not type(instance):
         return False
     for field in dataclasses.fields(instance):

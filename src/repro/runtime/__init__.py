@@ -1,20 +1,44 @@
-"""Real-parallelism execution backend (one OS process per machine).
+"""Real-process execution backends for k-machine programs.
 
-Use :class:`MultiprocessSimulator` to run any k-machine
-:class:`~repro.kmachine.machine.Program` with genuine concurrency and
-real IPC; use the in-process :class:`~repro.kmachine.Simulator` for
-the paper's round/message metrics and bandwidth enforcement.
+Two executors beyond the in-process simulator:
+
+* :class:`MultiprocessSimulator` — one forked OS process per machine,
+  pipes for links; genuine concurrency on one box.
+* :class:`NetSimulator` — one subprocess (or cross-host ``join``) per
+  machine, a clique of TCP links speaking the binary codec
+  (:mod:`repro.runtime.codec`); real network transport, measured
+  compute, and :class:`~repro.kmachine.metrics.Metrics` fidelity good
+  enough for :class:`repro.obs.profile.CostProfile`.
+
+Use the in-process :class:`~repro.kmachine.Simulator` for the paper's
+round/message metrics and bandwidth enforcement; use these to validate
+wall-clock shape and (via :mod:`repro.runtime.calibrate`) to measure
+the α–β–γ cost-model constants from live transport.
 """
 
 from .multiprocess import MultiprocessResult, MultiprocessSimulator, WorkerCrashedError
-from .transport import RoundDown, RoundUp, WorkerDone, WorkerFailed
+from .net import DEFAULT_PORT, NetOptions, NetSimulator, peer_main
+from .transport import (
+    CtxMeter,
+    RoundDown,
+    RoundUp,
+    RoundWorker,
+    WorkerDone,
+    WorkerFailed,
+)
 
 __all__ = [
+    "CtxMeter",
+    "DEFAULT_PORT",
     "MultiprocessResult",
     "MultiprocessSimulator",
+    "NetOptions",
+    "NetSimulator",
     "RoundDown",
     "RoundUp",
+    "RoundWorker",
     "WorkerCrashedError",
     "WorkerDone",
     "WorkerFailed",
+    "peer_main",
 ]

@@ -27,14 +27,13 @@ import multiprocessing as mp
 import time
 import traceback as traceback_module
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Sequence
+from typing import Any, Callable, Sequence
 
 from ..kmachine.errors import DeadlockError, ProtocolError
-from ..kmachine.machine import MachineContext, Program
-from ..kmachine.message import Message
+from ..kmachine.machine import Program
 from ..kmachine.rng import spawn_streams
 from ..kmachine.simulator import _draw_unique_ids
-from .transport import RoundDown, RoundUp, WorkerFailed
+from .transport import RoundDown, RoundUp, RoundWorker, WorkerDone, WorkerFailed
 
 __all__ = ["MultiprocessResult", "MultiprocessSimulator", "WorkerCrashedError"]
 
@@ -91,33 +90,6 @@ class MultiprocessResult:
     spans: list[Any] = field(default_factory=list)
 
 
-class _CtxMeter:
-    """Metrics-shaped adapter over one worker's context counters.
-
-    A worker process only knows its *own* traffic, so span snapshots
-    here read ``ctx.sent_messages``/``ctx.sent_bits`` — per-machine
-    deltas, not the global ones the in-process simulator records.  The
-    modelled time components are not available process-side and stay
-    zero.
-    """
-
-    __slots__ = ("_ctx",)
-
-    compute_seconds = 0.0
-    comm_seconds = 0.0
-
-    def __init__(self, ctx: MachineContext) -> None:
-        self._ctx = ctx
-
-    @property
-    def messages(self) -> int:
-        return self._ctx.sent_messages
-
-    @property
-    def bits(self) -> int:
-        return self._ctx.sent_bits
-
-
 def _worker_main(
     rank: int,
     k: int,
@@ -130,47 +102,19 @@ def _worker_main(
 ) -> None:
     """Entry point of one machine process."""
     try:
-        rngs = spawn_streams(seed, k + 1)
-        ctx = MachineContext(rank=rank, k=k, rng=rngs[rank], local=local,
-                             machine_id=machine_id)
-        recorder = None
-        if spans:
-            from ..obs.spans import SpanRecorder
-
-            recorder = SpanRecorder(_CtxMeter(ctx))
-            ctx.obs = recorder.for_machine(rank)
-        gen: Generator = program.instantiate(ctx)
+        worker = RoundWorker(rank, k, seed, machine_id, local=local, spans=spans)
+        worker.start(program)
         round_idx = 0
         while True:
-            ctx.round = round_idx
-            if recorder is not None:
-                recorder.round = round_idx
-            halted = False
-            result = None
-            try:
-                next(gen)
-            except StopIteration as stop:
-                halted = True
-                result = stop.value
-            outbox = [
-                (m.dst, m.tag, m.payload) for m in ctx.drain_outbox()
-            ]
-            span_dicts = None
-            if halted and recorder is not None:
-                recorder.close_all()
-                span_dicts = [s.to_dict() for s in recorder.spans]
-            conn.send(RoundUp(rank=rank, messages=outbox, halted=halted,
-                              result=result, spans=span_dicts))
-            if halted:
+            up = worker.step(round_idx)
+            conn.send(up)
+            if up.halted:
                 return
             down: RoundDown = conn.recv()
             if down.stop:
+                conn.send(WorkerDone(rank=rank))
                 return
-            ctx.deliver(
-                Message(src=src, dst=rank, tag=tag, payload=payload, bits=0,
-                        sent_round=round_idx)
-                for src, tag, payload in down.messages
-            )
+            worker.deliver(down.messages, round_idx, crashed=down.crashed)
             round_idx += 1
     except Exception as exc:  # pragma: no cover - forwarded to coordinator
         try:
@@ -342,10 +286,23 @@ class MultiprocessSimulator:
                 rounds += 1
             wall = time.perf_counter() - started
         finally:
+            stopped = []
             for rank in alive:
                 try:
                     conns[rank].send(RoundDown(messages=[], stop=True))
+                    stopped.append(rank)
                 except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+            # Workers acknowledge the stop with WorkerDone before
+            # exiting; draining the ack separates orderly shutdown from
+            # a worker that died mid-stop (which would otherwise only
+            # show up as a slow join below).
+            for rank in stopped:
+                try:
+                    while conns[rank].poll(1.0):
+                        if isinstance(conns[rank].recv(), WorkerDone):
+                            break  # anything earlier is a late round report
+                except (EOFError, OSError):  # pragma: no cover
                     pass
             for proc in procs:
                 proc.join(timeout=5)

@@ -1,25 +1,48 @@
-"""Pipe-based transport between the coordinator and machine processes.
+"""Round protocol shared by the pipe and TCP execution backends.
 
-The multiprocessing backend keeps the same synchronous-round contract
-as the in-process simulator: a worker steps its program generator once
-per round, ships its outbox to the coordinator over an OS pipe, and
-blocks until the coordinator returns its inbox for the next round.
-This module defines the small wire protocol those pipes speak.
+Both real-process backends keep the same synchronous-round contract as
+the in-process simulator: a worker steps its program generator once
+per round, reports its outbox, and blocks until it holds the inbox for
+the next round.  This module owns the pieces common to both:
 
-Everything sent is a plain picklable tuple; the heavyweight payloads
-(shards) travel once at startup, while per-round traffic is the same
-O(log n)-bit material the model allows, so IPC costs stay
+* the control dataclasses the coordinator link speaks
+  (:class:`RoundUp`, :class:`RoundDown`, :class:`WorkerDone`,
+  :class:`WorkerFailed`);
+* :class:`RoundWorker`, the worker-side round engine — context setup,
+  generator stepping, outbox draining, span recording, and the
+  per-round traffic accounting the TCP coordinator turns into real
+  :class:`~repro.kmachine.metrics.Metrics`.
+
+On the pipe backend everything sent is a plain picklable tuple; the
+TCP backend frames the same dataclasses through
+:mod:`repro.runtime.codec` instead.  The heavyweight payloads (shards)
+travel once at startup, while per-round traffic is the same
+O(log n)-bit material the model allows, so transport costs stay
 proportional to the protocol's real communication.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Generator
 
-__all__ = ["RoundUp", "RoundDown", "WorkerDone", "WorkerFailed"]
+from ..kmachine.machine import MachineContext, Program
+from ..kmachine.message import Message
+from ..kmachine.rng import spawn_streams
+from ..kmachine.schema import wire_schema
+
+__all__ = [
+    "CtxMeter",
+    "RoundDown",
+    "RoundUp",
+    "RoundWorker",
+    "WorkerDone",
+    "WorkerFailed",
+]
 
 
+@wire_schema(description="round protocol: worker round report")
 @dataclass
 class RoundUp:
     """Worker → coordinator: one round's outbox (and whether we halted).
@@ -30,6 +53,22 @@ class RoundUp:
     recorded phase spans as plain dicts (see
     :meth:`repro.obs.spans.Span.to_dict`; ``None`` when span recording
     was off).
+
+    The accounting fields exist for backends whose data plane bypasses
+    the coordinator (TCP peers exchange outboxes directly, so the
+    coordinator never sees the payloads it must meter):
+
+    ``links``
+        ``{dst: (messages, bits)}`` for this round's sends, sized by
+        the worker's own :class:`~repro.kmachine.machine.MachineContext`
+        counters.
+    ``tags``
+        ``{tag: (messages, bits)}`` for the same sends.
+    ``compute_seconds``
+        Wall seconds this worker spent inside the generator step.
+
+    The pipe backend routes payloads through the coordinator and
+    leaves all three at their empty defaults.
     """
 
     rank: int
@@ -37,28 +76,50 @@ class RoundUp:
     halted: bool = False
     result: Any = None
     spans: list[dict[str, Any]] | None = None
+    links: dict[int, tuple[int, int]] | None = None
+    tags: dict[str, tuple[int, int]] | None = None
+    compute_seconds: float = 0.0
 
 
+@wire_schema(description="round protocol: coordinator round release")
 @dataclass
 class RoundDown:
     """Coordinator → worker: the messages arriving at round start.
 
     ``messages`` is a list of ``(src, tag, payload)`` triples.  ``stop``
     tells a still-running worker to abort (used on coordinator errors
-    so processes never linger).
+    so processes never linger); the worker acknowledges with
+    :class:`WorkerDone` before exiting.  ``crashed`` lists ranks newly
+    declared dead this round — the worker feeds them to
+    ``ctx.notice_crash`` so blocked receives surface
+    :class:`~repro.kmachine.errors.PeerCrashedError` exactly as under
+    the in-process simulator's fault plans.  ``expect`` is the TCP
+    backend's delivery manifest: the ranks whose data-plane frames the
+    worker must collect before stepping the next round (payloads never
+    pass through the coordinator there, so ``messages`` stays empty).
     """
 
     messages: list[tuple[int, str, Any]]
     stop: bool = False
+    crashed: list[int] | None = None
+    expect: list[int] | None = None
 
 
+@wire_schema(bits=64, description="round protocol: stop acknowledgement")
 @dataclass
 class WorkerDone:
-    """Terminal acknowledgement (reserved for future use)."""
+    """Worker → coordinator: terminal acknowledgement of a ``stop``.
+
+    Lets the coordinator distinguish an orderly shutdown (worker saw
+    the stop and exited) from a worker that died with the stop still
+    in flight — the difference between ``join()`` returning quickly
+    and waiting out the kill timeout.
+    """
 
     rank: int
 
 
+@wire_schema(description="round protocol: worker failure report")
 @dataclass
 class WorkerFailed:
     """Worker → coordinator: the program raised.
@@ -72,3 +133,136 @@ class WorkerFailed:
     rank: int
     error: str
     traceback: str = ""
+
+
+class CtxMeter:
+    """Metrics-shaped adapter over one worker's context counters.
+
+    A worker process only knows its *own* traffic, so span snapshots
+    here read ``ctx.sent_messages``/``ctx.sent_bits`` — per-machine
+    deltas, not the global ones the in-process simulator records.  The
+    modelled time components are not available process-side and stay
+    zero.
+    """
+
+    __slots__ = ("_ctx",)
+
+    compute_seconds = 0.0
+    comm_seconds = 0.0
+
+    def __init__(self, ctx: MachineContext) -> None:
+        self._ctx = ctx
+
+    @property
+    def messages(self) -> int:
+        return self._ctx.sent_messages
+
+    @property
+    def bits(self) -> int:
+        return self._ctx.sent_bits
+
+
+class RoundWorker:
+    """Worker-side round engine shared by the pipe and TCP backends.
+
+    Owns the machine context (RNG stream spawned exactly as the
+    in-process simulator spawns it, so protocol randomness matches the
+    simulator run with the same seed), the live program generator, and
+    the optional span recorder.  A backend drives it with
+    :meth:`step` / :meth:`deliver` and ships the returned
+    :class:`RoundUp` however it likes.
+
+    One instance survives across episodes on session-style backends:
+    :meth:`start` swaps in a fresh generator while the context (and
+    its accumulated local state) is retained, mirroring
+    ``Simulator.run_episode``.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        k: int,
+        seed: int | None,
+        machine_id: int,
+        local: Any = None,
+        spans: bool = False,
+        account: bool = False,
+    ) -> None:
+        rngs = spawn_streams(seed, k + 1)
+        self.rank = rank
+        self.ctx = MachineContext(
+            rank=rank, k=k, rng=rngs[rank], local=local, machine_id=machine_id
+        )
+        self.recorder = None
+        if spans:
+            from ..obs.spans import SpanRecorder
+
+            self.recorder = SpanRecorder(CtxMeter(self.ctx))
+            self.ctx.obs = self.recorder.for_machine(rank)
+        #: aggregate per-dst / per-tag traffic into RoundUp (TCP mode)
+        self.account = account
+        self.gen: Generator | None = None
+
+    def start(self, program: Program) -> None:
+        """Instantiate ``program`` over the retained context."""
+        self.gen = program.instantiate(self.ctx)
+
+    def step(self, round_idx: int) -> RoundUp:
+        """Advance the generator one round and package the outbox."""
+        if self.gen is None:
+            raise RuntimeError("RoundWorker.step before start()")
+        ctx = self.ctx
+        ctx.round = round_idx
+        if self.recorder is not None:
+            self.recorder.round = round_idx
+        halted = False
+        result = None
+        started = time.perf_counter()
+        try:
+            next(self.gen)
+        except StopIteration as stop:
+            halted = True
+            result = stop.value
+            self.gen = None
+        elapsed = time.perf_counter() - started
+        outbox = ctx.drain_outbox()
+        links: dict[int, tuple[int, int]] | None = None
+        tags: dict[str, tuple[int, int]] | None = None
+        if self.account:
+            links = {}
+            tags = {}
+            for message in outbox:
+                lm, lb = links.get(message.dst, (0, 0))
+                links[message.dst] = (lm + 1, lb + message.bits)
+                tm, tb = tags.get(message.tag, (0, 0))
+                tags[message.tag] = (tm + 1, tb + message.bits)
+        span_dicts = None
+        if halted and self.recorder is not None:
+            self.recorder.close_all()
+            span_dicts = [s.to_dict() for s in self.recorder.spans]
+        return RoundUp(
+            rank=self.rank,
+            messages=[(m.dst, m.tag, m.payload) for m in outbox],
+            halted=halted,
+            result=result,
+            spans=span_dicts,
+            links=links,
+            tags=tags,
+            compute_seconds=elapsed if self.account else 0.0,
+        )
+
+    def deliver(
+        self,
+        triples: list[tuple[int, str, Any]],
+        round_idx: int,
+        crashed: list[int] | None = None,
+    ) -> None:
+        """Feed next-round inbox triples (and crash notices) to the ctx."""
+        if crashed:
+            for rank in crashed:
+                self.ctx.notice_crash(rank)
+        self.ctx.deliver(
+            Message(src=src, dst=self.rank, tag=tag, payload=payload, bits=0,
+                    sent_round=round_idx)
+            for src, tag, payload in triples
+        )

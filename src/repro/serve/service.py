@@ -124,6 +124,8 @@ class KNNService:
         byzantine=None,
         byzantine_f: int | None = None,
         byzantine_timeout_rounds: int = 32,
+        backend: str = "sim",
+        net_options=None,
     ) -> None:
         if on_full not in ("reject", "flush"):
             raise ValueError("on_full must be 'reject' or 'flush'")
@@ -147,6 +149,8 @@ class KNNService:
             byzantine=byzantine,
             byzantine_f=byzantine_f,
             byzantine_timeout_rounds=byzantine_timeout_rounds,
+            backend=backend,
+            net_options=net_options,
         )
         self.queue = AdmissionQueue(max_depth=max_depth)
         self.batcher = MicroBatcher(

@@ -28,7 +28,7 @@ admission decisions on their own track next to the protocol phases.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Generator, Sequence
+from typing import TYPE_CHECKING, Any, Generator, Sequence
 
 import numpy as np
 
@@ -269,6 +269,8 @@ class ClusterSession:
         byzantine: ByzantinePlan | None = None,
         byzantine_f: int | None = None,
         byzantine_timeout_rounds: int = 32,
+        backend: str = "sim",
+        net_options: Any = None,
     ) -> None:
         if k < 2:
             raise ValueError("serving needs k >= 2 machines")
@@ -310,7 +312,7 @@ class ClusterSession:
         self._election_term = 0
         self._last_fail_leader: int | None = None
         shards = shard_dataset(self.dataset, k, rng, partitioner)
-        self._sim = Simulator(
+        sim_kwargs = dict(
             k=k,
             program=SessionInitProgram(election),
             inputs=shards,
@@ -322,6 +324,22 @@ class ClusterSession:
             profile=profile,
             byzantine=self._byz_plan,
         )
+        if backend == "net":
+            # The TCP runtime keeps the cluster resident across
+            # episodes exactly like the simulator's retained contexts;
+            # it rejects the features it cannot host (Byzantine plans,
+            # tracing) with a ValueError at construction.
+            from ..runtime.net import NetSimulator
+
+            self._sim = NetSimulator(
+                persistent=True, options=net_options, **sim_kwargs
+            )
+        elif backend == "sim":
+            if net_options is not None:
+                raise ValueError('net_options only applies to backend="net"')
+            self._sim = Simulator(**sim_kwargs)
+        else:
+            raise ValueError(f"unknown backend {backend!r}; known: ('sim', 'net')")
         #: whether per-link counters + round detail are being recorded
         self.profile = profile
         init = self._sim.run()
@@ -1015,8 +1033,16 @@ class ClusterSession:
         return record
 
     def close(self) -> None:
-        """Mark the session closed; further :meth:`run_batch` calls raise."""
+        """Mark the session closed; further :meth:`run_batch` calls raise.
+
+        On the TCP backend this also tears the cluster down (peer
+        processes, sockets, coordinator loop); the in-process simulator
+        has nothing to release.
+        """
         self.closed = True
+        closer = getattr(self._sim, "close", None)
+        if closer is not None:
+            closer()
 
     def __enter__(self) -> "ClusterSession":
         return self

@@ -1,0 +1,67 @@
+"""The runtime package's transport code is KM-rule clean, no baseline.
+
+``repro/runtime`` hosts the real-process backends: the shared round
+protocol (``transport``), the pipe backend (``multiprocess``), the TCP
+backend (``net``), the binary codec and the α–β–γ calibration probes.
+The calibration probes are genuine ``ctx`` protocol code and the
+transport dataclasses are registered wire schemas, so the package is
+in scope for every k-machine lint rule.  This test pins both facts:
+the directory is *scanned* (a rule-scope regression would silently
+exempt it) and it is *clean* with no baseline entries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintEngine, get_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RUNTIME_DIR = REPO_ROOT / "src" / "repro" / "runtime"
+
+
+def test_runtime_package_exists_and_is_scanned() -> None:
+    assert RUNTIME_DIR.is_dir()
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([RUNTIME_DIR])
+    assert report.files >= 6  # all runtime modules were scanned
+
+
+def test_runtime_is_km_rule_clean_without_baseline() -> None:
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([RUNTIME_DIR])
+    assert not report.parse_errors, report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_runtime_is_in_every_rule_scope() -> None:
+    """The in_dir gates of every directory-gated rule include 'runtime'."""
+    import inspect
+
+    from repro.lint.rules import (
+        bandwidth,
+        deadlock,
+        determinism,
+        isolation,
+        pairing,
+        phase,
+        rngtaint,
+        schema,
+        wire,
+    )
+
+    for module in (
+        bandwidth,
+        deadlock,
+        determinism,
+        isolation,
+        pairing,
+        phase,
+        rngtaint,
+        schema,
+        wire,
+    ):
+        source = inspect.getsource(module)
+        assert '"runtime"' in source, f"{module.__name__} does not scan runtime"

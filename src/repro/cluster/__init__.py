@@ -1,0 +1,64 @@
+"""Distributed clustering subsystem for the k-machine model.
+
+Coreset construction (:mod:`~repro.cluster.coreset`), weighted
+k-center/k-median solvers with a distributed farthest-point variant
+(:mod:`~repro.cluster.solvers`), certified end-to-end episodes
+(:mod:`~repro.cluster.driver`), and locality-aware shard placement
+(:mod:`~repro.cluster.sharding`).  See DESIGN.md §14.
+"""
+
+from .coreset import (
+    DEFAULT_CORESET_SIZE,
+    CoresetProgram,
+    compress,
+    coreset_subroutine,
+    local_coreset,
+    merge_coresets,
+)
+from .driver import (
+    OBJECTIVES,
+    ClusteringOutput,
+    ClusteringProgram,
+    ClusteringResult,
+    certificate_bound,
+    distributed_cluster,
+    local_assign_stats,
+    sequential_baseline,
+    solve_weighted,
+)
+from .sharding import locality_assignment
+from .solvers import (
+    FarthestPointProgram,
+    assign_points,
+    center_distances,
+    greedy_kcenter,
+    kcenter_cost,
+    kmedian_cost,
+    local_search_kmedian,
+)
+
+__all__ = [
+    "DEFAULT_CORESET_SIZE",
+    "OBJECTIVES",
+    "ClusteringOutput",
+    "ClusteringProgram",
+    "ClusteringResult",
+    "CoresetProgram",
+    "FarthestPointProgram",
+    "assign_points",
+    "center_distances",
+    "certificate_bound",
+    "compress",
+    "coreset_subroutine",
+    "distributed_cluster",
+    "greedy_kcenter",
+    "kcenter_cost",
+    "kmedian_cost",
+    "local_assign_stats",
+    "local_coreset",
+    "local_search_kmedian",
+    "locality_assignment",
+    "merge_coresets",
+    "sequential_baseline",
+    "solve_weighted",
+]

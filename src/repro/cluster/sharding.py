@@ -1,0 +1,64 @@
+"""Locality-aware shard assignment: place points near their cluster.
+
+The id-space partitioners in :mod:`repro.points.partition` give every
+machine a uniform random slice — the right shape for the *exact*
+protocols (balanced, adversary-free), but the worst shape for query
+locality: a query's true neighbors are sprayed across all k machines,
+so every machine must participate in every query and the
+triangle-inequality warm-start index rarely fires.
+
+:func:`locality_assignment` computes the alternative: solve a small
+k-median instance on (a sample of) the dataset, label every point with
+its nearest center, and hand :func:`repro.points.partition.
+partition_locality` those labels so points from the same cluster land
+on the same machine.  The serving layer
+(:class:`repro.serve.session.ClusterSession` with
+``partitioner="locality"``) uses this for its initial placement, and
+:class:`repro.dyn.balance.LocalityRebalanceProgram` migrates a live
+cluster onto it; ``benchmarks/bench_cluster.py`` measures the
+warm-start payoff on drifting clustered workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..points.dataset import Dataset
+from ..points.metrics import Metric
+from .solvers import assign_points, local_search_kmedian
+
+__all__ = ["locality_assignment"]
+
+#: Points beyond this count are subsampled before solving the
+#: placement instance — the labels still come from exact
+#: nearest-center assignment over all points.
+MAX_SOLVE_POINTS = 512
+
+
+def locality_assignment(
+    dataset: "Dataset | np.ndarray",
+    n_centers: int,
+    *,
+    metric: "Metric | str" = "euclidean",
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(labels, centers)``: nearest-center label for every point.
+
+    Solves k-median on an evenly strided sample (deterministic given
+    ``seed`` only through the solver's own determinism — the stride
+    needs no randomness), then labels all points exactly.  ``labels``
+    is what :func:`repro.points.partition.partition_locality` consumes;
+    ``centers`` seed the serving layer's routing table.
+    """
+    coords = np.asarray(getattr(dataset, "points", dataset), dtype=np.float64)
+    if coords.ndim == 1:
+        coords = coords.reshape(-1, 1)
+    if len(coords) == 0:
+        raise ValueError("cannot place an empty dataset")
+    if n_centers < 1:
+        raise ValueError("n_centers must be >= 1")
+    stride = max(1, len(coords) // MAX_SOLVE_POINTS)
+    sample = coords[::stride]
+    idx, _ = local_search_kmedian(sample, n_centers, metric=metric)
+    centers = sample[idx]
+    return assign_points(coords, centers, metric), centers

@@ -70,6 +70,7 @@ from ..points.ids import MINUS_INF_KEY, Keyed, keyed_array
 __all__ = [
     "ImbalanceMonitor",
     "LoadReport",
+    "LocalityRebalanceProgram",
     "RebalanceOutput",
     "RebalanceProgram",
     "balance_ratio",
@@ -418,3 +419,116 @@ class RebalanceProgram(Program):
             coords=shard.points[mask],
             labels=None if shard.labels is None else shard.labels[mask],
         )
+
+
+class LocalityRebalanceProgram(Program):
+    """Migrate a live cluster onto a locality-aware placement.
+
+    Where :class:`RebalanceProgram` re-partitions by *id* (a fresh
+    random balanced placement), this program re-partitions by
+    *geometry*: every machine routes each of its points to the machine
+    owning the point's nearest cluster center.  The center set and the
+    center→machine ownership map arrive via program config — they were
+    computed control-plane-side (:func:`repro.cluster.sharding.
+    locality_assignment` plus the session's routing table), are
+    identical on every machine, and cost zero messages; nearest-center
+    assignment is then a pure local computation, so the whole episode
+    is one all-to-all:
+
+    1. every machine sends every other machine exactly one
+       :class:`~repro.kmachine.schema.PointBatch` with the points whose
+       nearest center lives there (``k(k−1)`` messages, empty
+       envelopes keeping receive counts deterministic);
+    2. workers ack their new loads to the leader (``k−1`` messages),
+       which reports the resulting (possibly *unbalanced* — locality
+       trades balance for warm-start hits) load vector.
+
+    Declared message class ``k^2``
+    (:func:`repro.obs.conformance.check_locality_rebalance`).  The
+    crash/Byzantine path is not wired: sessions under a fault plan
+    fall back to the id-space rebalancer, whose defenses are already
+    paid for.
+    """
+
+    name = "dyn-locality-rebalance"
+
+    def __init__(
+        self,
+        leader: int,
+        centers: np.ndarray,
+        owner_of_center: np.ndarray,
+        metric: str = "euclidean",
+    ) -> None:
+        self.leader = leader
+        self.centers = np.asarray(centers, dtype=np.float64)
+        self.owner_of_center = np.asarray(owner_of_center, dtype=np.int64)
+        self.metric = metric
+        if len(self.centers) != len(self.owner_of_center):
+            raise ValueError("one owner per center required")
+
+    def run(self, ctx: MachineContext) -> Generator[None, None, RebalanceOutput]:
+        """Per-machine body: route by nearest center, migrate, confirm."""
+        from ..cluster.solvers import assign_points
+
+        shard: Shard = ctx.local
+        k = ctx.k
+        t_mig = tag("dyn", "lrb", "mig")
+        t_done = tag("dyn", "lrb", "done")
+        with ctx.obs.span(tag("dyn", "locality-rebalance")):
+            with ctx.obs.span(tag("dyn", "migrate")):
+                if len(shard):
+                    nearest = assign_points(
+                        shard.points, self.centers, self.metric
+                    )
+                    targets = self.owner_of_center[nearest] % k
+                else:
+                    targets = np.empty(0, dtype=np.int64)
+                moved_out = 0
+                # lint: bound[k] — one migration envelope per machine
+                for dst in range(k):
+                    if dst == ctx.rank:
+                        continue
+                    mask = targets == dst
+                    ctx.send(dst, t_mig, self._envelope(shard, mask))
+                    moved_out += int(mask.sum())
+                batches: list[PointBatch] = []
+                if k > 1:
+                    incoming = yield from ctx.recv(t_mig, k - 1)
+                    incoming.sort(key=lambda msg: msg.src)
+                    batches = [msg.payload for msg in incoming]
+                depart = targets != ctx.rank
+                if depart.any():
+                    shard.remove_ids(shard.ids[depart])
+                moved_in = 0
+                for batch in batches:
+                    if len(batch):
+                        shard.add_points(batch.coords, batch.ids, batch.labels)
+                        moved_in += len(batch)
+            if ctx.rank == self.leader:
+                new_loads = np.zeros(k, dtype=np.int64)
+                new_loads[ctx.rank] = len(shard)
+                moved_total = moved_out
+                if k > 1:
+                    acks = yield from ctx.recv(t_done, k - 1)
+                    for msg in acks:
+                        n_i, out_i = msg.payload
+                        new_loads[msg.src] = int(n_i)
+                        moved_total += int(out_i)
+                return RebalanceOutput(
+                    new_load=len(shard),
+                    moved_in=moved_in,
+                    moved_out=moved_out,
+                    is_leader=True,
+                    loads=tuple(int(x) for x in new_loads),
+                    moved_total=moved_total,
+                )
+            ctx.send(self.leader, t_done, (len(shard), moved_out))
+            yield  # the ack's round
+            return RebalanceOutput(
+                new_load=len(shard),
+                moved_in=moved_in,
+                moved_out=moved_out,
+                is_leader=False,
+            )
+
+    _envelope = staticmethod(RebalanceProgram._envelope)

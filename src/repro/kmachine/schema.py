@@ -52,6 +52,9 @@ __all__ = [
     "Echo",
     "VoteEnvelope",
     "SuspicionNotice",
+    "Coreset",
+    "CenterSet",
+    "AssignStats",
 ]
 
 T = TypeVar("T", bound=type)
@@ -241,6 +244,69 @@ class VoteEnvelope:
     voter: int
     choice: int
     term: int
+
+
+@wire_schema(description="cluster-layer weighted coreset block (merge-and-compress)")
+@dataclasses.dataclass
+class Coreset:
+    """A weighted point summary travelling up the merge tree.
+
+    ``weights[i]`` counts how many original points (by weight) the
+    representative ``points[i]`` stands in for, so total weight is
+    conserved through every compress step.  ``movement`` accumulates
+    the weighted displacement ``Σ w·d(p, rep)`` and ``radius`` the
+    worst single displacement along the whole representative chain —
+    the two measured quantities the clustering cost certificates are
+    stated in (k-median error ≤ movement, k-center error ≤ radius).
+    Sized structurally: the honest cost is the ``t·(d+1)`` words the
+    arrays carry.
+    """
+
+    points: np.ndarray  # (t, d) float64
+    weights: np.ndarray  # (t,) float64
+    movement: float = 0.0
+    radius: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+
+@wire_schema(description="cluster-layer solved centers (leader broadcast)")
+@dataclasses.dataclass
+class CenterSet:
+    """The leader's solved centers for one clustering episode.
+
+    ``objective`` names the solved problem (``"kcenter"`` or
+    ``"kmedian"``); ``cost`` is the weighted objective value measured
+    *on the merged coreset* — the quantity the certificate combines
+    with the coreset's movement/radius to bound the true cost.
+    """
+
+    centers: np.ndarray  # (c, d) float64
+    objective: str = "kmedian"
+    cost: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.centers)
+
+
+@wire_schema(description="cluster-layer per-machine assignment summary (gather)")
+@dataclasses.dataclass
+class AssignStats:
+    """One machine's local view of a broadcast center set.
+
+    ``counts[c]`` is how many local points fall nearest to center
+    ``c``; ``radii[c]`` the farthest such point's distance (0.0 where
+    the count is 0); ``cost`` the local sum of nearest-center
+    distances.  Together the k gathers give the leader the global
+    assignment histogram, the exact global k-median cost, and the
+    per-machine enclosing balls the approximate serving mode uses as
+    triangle-inequality exactness certificates.
+    """
+
+    counts: np.ndarray  # (c,) int64
+    radii: np.ndarray  # (c,) float64
+    cost: float = 0.0
 
 
 @wire_schema(description="byz-layer suspicion notice: accuser flags a suspect")

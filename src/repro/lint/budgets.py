@@ -248,6 +248,11 @@ ENTRY_POINTS: dict[str, tuple[str, str]] = {
     "algorithm2": ("repro/core/knn.py", "knn_subroutine"),
     "update": ("repro/dyn/updates.py", "UpdateProgram.run"),
     "rebalance": ("repro/dyn/balance.py", "RebalanceProgram.run"),
+    "coreset": ("repro/cluster/coreset.py", "CoresetProgram.run"),
+    "clustering": ("repro/cluster/driver.py", "ClusteringProgram.run"),
+    "locality_rebalance": (
+        "repro/dyn/balance.py", "LocalityRebalanceProgram.run"
+    ),
 }
 
 #: entry name -> {f=0 class, f>0 class}, mirroring the runtime budgets
@@ -264,6 +269,14 @@ DECLARED_ENTRY_CLASSES: dict[str, dict[str, str]] = {
     # k−1 splitter selections, each quorum-scaled to k²·log under byz
     # (rebalance_message_budget charges `runs × selection bound`).
     "rebalance": {"f0": "k^2 log", "byz": "k^3 log"},
+    # Binomial merge: a send inside a ⌈log₂k⌉ loop on every worker
+    # infers k·log (exact count k−1).  No byz path is wired —
+    # clustering is advisory — so both regimes share a class.
+    "coreset": {"f0": "k log", "byz": "k log"},
+    # coreset + CenterSet broadcast + AssignStats gather = 3(k−1).
+    "clustering": {"f0": "k log", "byz": "k log"},
+    # One all-to-all migration (k(k−1) envelopes) + (k−1) acks.
+    "locality_rebalance": {"f0": "k^2", "byz": "k^2"},
 }
 
 

@@ -78,7 +78,7 @@ class BandwidthRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime", "cluster"):
             return
         assignments = module.assignments()
         for site in module.send_sites():

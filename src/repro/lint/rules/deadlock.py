@@ -41,7 +41,7 @@ class DeadlockRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime", "cluster"):
             return
         graph = index.graph
         if graph is None:

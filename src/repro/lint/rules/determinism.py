@@ -78,7 +78,7 @@ class DeterminismRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "experiments", "serve", "dyn", "runtime"):
+        if not module.in_dir("core", "kmachine", "experiments", "serve", "dyn", "runtime", "cluster"):
             return
         aliases = module.import_alias_map()
         for node in walk_nodes(module.tree):

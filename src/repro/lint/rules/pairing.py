@@ -37,7 +37,7 @@ class PairingRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime", "cluster"):
             return
         env = module.local_tag_env(index.global_str_constants)
         for site in module.recv_sites():

@@ -39,7 +39,7 @@ class PhaseAttributionRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "dyn", "serve", "runtime"):
+        if not module.in_dir("core", "dyn", "serve", "runtime", "cluster"):
             return
         graph = index.graph
         if graph is None:

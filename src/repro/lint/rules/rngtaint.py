@@ -71,7 +71,7 @@ class RngTaintRule(Rule):
     )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime", "cluster"):
             return
         analyzer = index.analyzer
         if analyzer is None:

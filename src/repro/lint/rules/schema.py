@@ -50,7 +50,7 @@ class SchemaRule(Rule):
         return None
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Violation]:
-        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime"):
+        if not module.in_dir("core", "kmachine", "serve", "dyn", "runtime", "cluster"):
             return
         assignments = module.assignments()
         for site in module.send_sites():

@@ -50,11 +50,17 @@ __all__ = [
     "check_knn",
     "check_knn_result",
     "check_byzantine",
+    "check_clustering",
+    "check_coreset",
+    "check_locality_rebalance",
     "check_rebalance",
     "check_served_query",
     "check_update",
     "byzantine_gather_overhead",
     "byzantine_message_budget",
+    "clustering_message_budget",
+    "coreset_message_budget",
+    "locality_rebalance_message_budget",
     "rebalance_message_budget",
     "served_message_budget",
     "update_message_budget",
@@ -75,6 +81,17 @@ DECLARED_MESSAGE_CLASSES: dict[str, dict[str, str]] = {
     # k−1 splitter selections, each quorum-scaled under byz
     # (rebalance_message_budget charges `runs × selection bound`).
     "rebalance": {"f0": "k^2 log", "byz": "k^3 log"},
+    # Binomial merge: one block per machine over ⌈log₂k⌉ steps.  The
+    # static analyzer sees a send inside a log-length loop on every
+    # worker (k·log); the exact count is k−1.  No byz path is wired —
+    # clustering is advisory (it steers placement/routing, never
+    # answers), so its class is identical in both regimes.
+    "coreset": {"f0": "k log", "byz": "k log"},
+    # coreset + CenterSet broadcast + AssignStats gather = 3(k−1).
+    "clustering": {"f0": "k log", "byz": "k log"},
+    # One all-to-all migration (k(k−1) envelopes) + (k−1) acks; a
+    # fault-plan session falls back to the id-space rebalancer.
+    "locality_rebalance": {"f0": "k^2", "byz": "k^2"},
 }
 
 #: Rounds one Algorithm-1 iteration can cost: pivot round-trip (2) +
@@ -545,6 +562,125 @@ def check_rebalance(
             slack * rebalance_message_budget(n, k, splitters_run=splitters_run),
             float(max(1, k)) * _log2(n),
             "k*log2(n)",
+        )
+    )
+    return report
+
+
+def coreset_message_budget(k: int) -> float:
+    """Message budget for one coreset construction episode.
+
+    The binomial merge tree of
+    :func:`repro.cluster.coreset.coreset_subroutine` delivers exactly
+    one :class:`~repro.kmachine.schema.Coreset` block per non-leader
+    machine — ``k − 1`` messages over ``⌈log₂ k⌉`` rounds, independent
+    of n, d, and the coreset size (structural sizing charges the block
+    *bits* separately).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return float(k - 1)
+
+
+def clustering_message_budget(k: int) -> float:
+    """Message budget for one full clustering episode.
+
+    Three converge/diverge phases of
+    :class:`repro.cluster.driver.ClusteringProgram`, each exactly
+    ``k − 1`` messages: the coreset merge, the
+    :class:`~repro.kmachine.schema.CenterSet` broadcast, and the
+    :class:`~repro.kmachine.schema.AssignStats` gather.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 3.0 * (k - 1)
+
+
+def locality_rebalance_message_budget(k: int) -> float:
+    """Message budget for one locality migration episode.
+
+    :class:`repro.dyn.balance.LocalityRebalanceProgram` is one
+    all-to-all (``k(k−1)`` :class:`~repro.kmachine.schema.PointBatch`
+    envelopes — the count is fixed, moved *bits* are what scale) plus
+    ``k − 1`` load acks.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return float(k * (k - 1)) + float(k - 1)
+
+
+def check_coreset(
+    messages: int, *, k: int, slack: float = 1.0
+) -> ConformanceReport:
+    """Check one coreset episode's traffic against its ``k − 1`` budget.
+
+    ``messages`` is the episode's metrics delta (a
+    :func:`repro.cluster.driver.distributed_cluster` result reports the
+    whole-episode count; subtract the other phases or run
+    :class:`~repro.cluster.coreset.CoresetProgram` standalone).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    report = ConformanceReport(algorithm="cluster-coreset", params={"k": k})
+    report.checks.append(
+        _make_check(
+            "messages",
+            "coreset merge tree (k - 1)",
+            messages,
+            slack * coreset_message_budget(k),
+            float(max(1, k)),
+            "k",
+        )
+    )
+    return report
+
+
+def check_clustering(
+    messages: int, *, k: int, slack: float = 1.0
+) -> ConformanceReport:
+    """Check one clustering episode's traffic against its ``3(k−1)`` budget."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    report = ConformanceReport(algorithm="cluster-solve", params={"k": k})
+    report.checks.append(
+        _make_check(
+            "messages",
+            "clustering episode (3(k - 1))",
+            messages,
+            slack * clustering_message_budget(k),
+            float(max(1, k)),
+            "k",
+        )
+    )
+    return report
+
+
+def check_locality_rebalance(
+    messages: int,
+    *,
+    k: int,
+    moved_points: int | None = None,
+    slack: float = 1.0,
+) -> ConformanceReport:
+    """Check one locality migration against its ``k²``-class budget.
+
+    ``moved_points`` is recorded for context only — migration *bits*
+    scale with it, the envelope count never does.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    params: dict[str, Any] = {"k": k}
+    if moved_points is not None:
+        params["moved_points"] = moved_points
+    report = ConformanceReport(algorithm="dyn-locality-rebalance", params=params)
+    report.checks.append(
+        _make_check(
+            "messages",
+            "locality migration (k(k-1) + (k-1))",
+            messages,
+            slack * locality_rebalance_message_budget(k),
+            float(max(1, k * k)),
+            "k^2",
         )
     )
     return report

@@ -15,6 +15,12 @@ placements:
   uniformity (Lemma 2.1) and for the simple method's merge step.
 * :func:`partition_skewed` — unbalanced loads drawn from a Zipf-like
   profile, exercising the ``n_i``-weighted machine sampling.
+* :func:`partition_locality` — cluster-label-aware placement: points
+  carrying the same label (nearest cluster center, computed by
+  :func:`repro.cluster.sharding.locality_assignment`) land on the same
+  machine where possible, while shard sizes stay within one point of
+  each other.  The serving layer's warm-start index and approximate
+  routing mode both feed on this locality.
 
 All partitioners return a list of ``k`` index arrays into the dataset;
 :func:`shard_dataset` applies one to a :class:`~repro.points.dataset.
@@ -35,6 +41,7 @@ __all__ = [
     "partition_contiguous",
     "partition_sorted_adversarial",
     "partition_skewed",
+    "partition_locality",
     "shard_dataset",
     "get_partitioner",
 ]
@@ -120,16 +127,44 @@ def partition_skewed(
     return out
 
 
+def partition_locality(
+    n: int,
+    k: int,
+    rng: np.random.Generator | None = None,
+    *,
+    labels: np.ndarray,
+) -> list[np.ndarray]:
+    """Balanced placement that keeps same-labelled points together.
+
+    ``labels[i]`` is point ``i``'s cluster id (any integer array; see
+    :func:`repro.cluster.sharding.locality_assignment`).  Points are
+    stably ordered by label and cut into ``k`` equal blocks, so every
+    machine gets ``⌊n/k⌋``/``⌈n/k⌉`` points (the model's balance
+    precondition survives even adversarially skewed cluster sizes) and
+    each cluster spans the minimum possible number of machines.  A
+    cluster larger than ``n/k`` overflows into the next machine; a
+    machine may host several small clusters — locality is best-effort,
+    balance is exact.
+    """
+    _check(n, k)
+    labels = np.asarray(labels)
+    if len(labels) != n:
+        raise ValueError(f"{len(labels)} labels for {n} points")
+    order = np.argsort(labels, kind="stable")
+    return [np.sort(chunk) for chunk in np.array_split(order, k)]
+
+
 _PARTITIONERS: dict[str, Callable[..., list[np.ndarray]]] = {
     "random": partition_random,
     "contiguous": partition_contiguous,
     "sorted": partition_sorted_adversarial,
     "skewed": partition_skewed,
+    "locality": partition_locality,
 }
 
 
 def get_partitioner(name: str) -> Callable[..., list[np.ndarray]]:
-    """Resolve a partitioner by name (``random``/``contiguous``/``sorted``/``skewed``)."""
+    """Resolve a partitioner by name (``random``/``contiguous``/``sorted``/``skewed``/``locality``)."""
     try:
         return _PARTITIONERS[name]
     except KeyError:

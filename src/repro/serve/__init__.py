@@ -23,7 +23,13 @@ out of the pieces the paper already provides:
 * :mod:`repro.serve.stats` — per-query latency/throughput/queue/cache
   accounting;
 * :mod:`repro.serve.workload` — seeded arrival processes (uniform,
-  bursty, drift) shared by tests, benchmarks and the CLI.
+  bursty, drift, cluster-drift) shared by tests, benchmarks and the
+  CLI;
+* :mod:`repro.serve.approx` — opt-in approximate serving: a
+  :class:`~repro.serve.approx.RoutingTable` built from one
+  :mod:`repro.cluster` episode routes each query to the few machines
+  whose triangle-inequality lower bounds can matter, with a per-query
+  exactness certificate.  The default path stays exact.
 
 Quickstart::
 
@@ -41,6 +47,7 @@ Or from the shell::
     python -m repro.serve demo --queries 64 --workload bursty
 """
 
+from .approx import ApproxServeProgram, RoutingTable, routing_from_shards
 from .cache import CachedAnswer, ExactResultCache, ResultCache, WarmStartIndex
 from .scheduler import (
     AdmissionQueue,
@@ -65,6 +72,7 @@ from .workload import (
     WORKLOAD_KINDS,
     Workload,
     bursty_workload,
+    cluster_drift_workload,
     drift_workload,
     make_workload,
     uniform_workload,
@@ -73,6 +81,7 @@ from .workload import (
 __all__ = [
     "Answer",
     "AdmissionQueue",
+    "ApproxServeProgram",
     "AsyncKNNService",
     "CachedAnswer",
     "ClusterSession",
@@ -85,6 +94,7 @@ __all__ = [
     "QueryRecord",
     "QueueFullError",
     "ResultCache",
+    "RoutingTable",
     "SCHEDULER_POLICIES",
     "SCHEDULER_RANK",
     "ServeBatchProgram",
@@ -96,7 +106,9 @@ __all__ = [
     "WarmStartIndex",
     "Workload",
     "bursty_workload",
+    "cluster_drift_workload",
     "drift_workload",
     "make_workload",
+    "routing_from_shards",
     "uniform_workload",
 ]

@@ -71,9 +71,12 @@ class Answer:
     distances: np.ndarray
     labels: np.ndarray | None
     boundary: Keyed
-    #: how the query was satisfied: "cold" | "warm" | "cache"
+    #: how the query was satisfied: "cold" | "warm" | "cache" | "approx"
     source: str
     record: QueryRecord
+    #: approximate-path answers only: provably exact? (``None`` on the
+    #: exact path; see :meth:`repro.serve.approx.RoutingTable.certify`)
+    certified: bool | None = None
 
 
 class KNNService:
@@ -126,9 +129,21 @@ class KNNService:
         byzantine_timeout_rounds: int = 32,
         backend: str = "sim",
         net_options=None,
+        approx: bool = False,
+        approx_fanout: int = 2,
+        approx_centers: int | None = None,
     ) -> None:
         if on_full not in ("reject", "flush"):
             raise ValueError("on_full must be 'reject' or 'flush'")
+        if approx and approx_fanout < 1:
+            raise ValueError("approx_fanout must be >= 1")
+        if approx and partitioner == "random":
+            # Approximate routing only prunes machines when each cluster
+            # lives on few of them; under the default random placement
+            # every machine holds every cluster and a small fan-out
+            # caps recall at roughly fanout/k.  Name a partitioner
+            # explicitly to override.
+            partitioner = "locality"
         self.session = ClusterSession(
             points,
             l,
@@ -170,6 +185,14 @@ class KNNService:
             if (exact_cache or warm_start)
             else None
         )
+        # Opt-in approximate serving (see DESIGN.md §14): one clustering
+        # episode builds the routing table up front, and every dispatch
+        # goes through the routed path.  ``approx=False`` (the default)
+        # leaves the exact path byte-identical.
+        self.approx = bool(approx)
+        self.approx_fanout = approx_fanout
+        if self.approx:
+            self.session.cluster_corpus(approx_centers)
         self.stats = ServiceStats()
         self.on_full = on_full
         self.clock = 0.0
@@ -406,9 +429,12 @@ class KNNService:
         started = perf_counter()
         jobs = []
         for ticket in batch:
+            # Warm-start thresholds are an exact-path device (they prune
+            # while preserving exactness); the approximate path has its
+            # own pruning — the routing table.
             threshold = (
                 self.cache.warm_suggest(ticket.qid, ticket.query)
-                if self.cache is not None
+                if self.cache is not None and not self.approx
                 else None
             )
             jobs.append(
@@ -417,10 +443,18 @@ class KNNService:
         batch_index = self.session.batches
         dispatch_round = self.session.rounds
         epoch = self.session.data_epoch
-        answers = self.session.run_batch(jobs)
+        if self.approx:
+            answers = self.session.run_approx_batch(
+                jobs, fanout=self.approx_fanout
+            )
+        else:
+            answers = self.session.run_batch(jobs)
         wall = perf_counter() - started
         for ticket, served in zip(batch, answers):
-            source = "warm" if served.warm_started else "cold"
+            if self.approx:
+                source = "approx"
+            else:
+                source = "warm" if served.warm_started else "cold"
             record = QueryRecord(
                 qid=ticket.qid,
                 source=source,
@@ -446,8 +480,12 @@ class KNNService:
                 boundary=served.boundary,
                 source=source,
                 record=record,
+                certified=served.certified,
             )
-            if self.cache is not None:
+            if self.cache is not None and not self.approx:
+                # Approximate answers never enter the cache tiers: an
+                # uncertified answer stored as "exact" would silently
+                # upgrade later repeats to a wrong exact hit.
                 self.cache.store(
                     ticket.qid,
                     CachedAnswer(

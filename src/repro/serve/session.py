@@ -36,7 +36,12 @@ from ..core.driver import DEFAULT_BANDWIDTH_BITS
 from ..core.knn import KNNOutput, knn_subroutine
 from ..core.leader import elect
 from ..core.messages import tag
-from ..dyn.balance import ImbalanceMonitor, RebalanceProgram, balance_ratio
+from ..dyn.balance import (
+    ImbalanceMonitor,
+    LocalityRebalanceProgram,
+    RebalanceProgram,
+    balance_ratio,
+)
 from ..dyn.epochs import EpochLog
 from ..dyn.updates import MutationRecord, UpdateProgram
 from ..kmachine.byz import (
@@ -54,6 +59,7 @@ from ..points.dataset import Dataset, make_dataset
 from ..points.ids import Keyed, draw_unique_ids
 from ..points.metrics import Metric, get_metric
 from ..points.partition import shard_dataset
+from .approx import ApproxServeProgram, RoutingTable, routing_from_shards
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.profile import CostProfile
@@ -107,6 +113,10 @@ class SessionAnswer:
     survivors: int | None = None
     fallback: bool = False
     warm_started: bool = False
+    #: exact-path answers leave this ``None``; approximate-path answers
+    #: carry the certification verdict (``True`` = provably exact, see
+    #: :meth:`repro.serve.approx.RoutingTable.certify`)
+    certified: bool | None = None
 
 
 class SessionInitProgram(Program):
@@ -311,7 +321,25 @@ class ClusterSession:
         self.quarantined: set[int] = set()
         self._election_term = 0
         self._last_fail_leader: int | None = None
-        shards = shard_dataset(self.dataset, k, rng, partitioner)
+        #: built by :meth:`cluster_corpus`; required by the approximate
+        #: serving path and refreshed by :meth:`rebalance_locality`
+        self.routing: RoutingTable | None = None
+        #: placement centers when the ``locality`` partitioner was used
+        self.placement_centers: np.ndarray | None = None
+        if partitioner == "locality":
+            # Cluster-aware initial placement: label every point with
+            # its nearest center (one hot region per machine) and let
+            # the partitioner keep same-cluster points together.
+            from ..cluster.sharding import locality_assignment
+
+            placement_labels, self.placement_centers = locality_assignment(
+                self.dataset, k, metric=self.metric, seed=seed
+            )
+            shards = shard_dataset(
+                self.dataset, k, rng, partitioner, labels=placement_labels
+            )
+        else:
+            shards = shard_dataset(self.dataset, k, rng, partitioner)
         sim_kwargs = dict(
             k=k,
             program=SessionInitProgram(election),
@@ -452,6 +480,119 @@ class ClusterSession:
             rec.close(dispatch_span)
         self.batches += 1
         return self._assemble(jobs, result.outputs)
+
+    # -- approximate serving (see DESIGN.md §14) -----------------------
+    def cluster_corpus(
+        self,
+        n_centers: int | None = None,
+        *,
+        objective: str = "kmedian",
+        size: int | None = None,
+    ):
+        """Run one distributed clustering episode and build the routing table.
+
+        The episode (:class:`repro.cluster.driver.ClusteringProgram`)
+        costs ``3(k − 1)`` messages; its leader output carries the
+        per-machine assignment matrices the
+        :class:`~repro.serve.approx.RoutingTable` needs.  Defaults to
+        ``k`` centers — one hot region per machine.  Returns the
+        leader's :class:`~repro.cluster.driver.ClusteringOutput`.
+        """
+        from ..cluster.coreset import DEFAULT_CORESET_SIZE
+        from ..cluster.driver import ClusteringProgram
+
+        if self.closed:
+            raise RuntimeError("session is closed")
+        if self._byz_cfg is not None:
+            raise ValueError(
+                "approximate serving requires a fault-free session"
+            )
+        program = ClusteringProgram(
+            self.leader,
+            self.k if n_centers is None else n_centers,
+            objective=objective,
+            size=DEFAULT_CORESET_SIZE if size is None else size,
+            metric=self.metric,
+        )
+        result = self._sim.run_episode(program)
+        out = result.outputs[self.leader]
+        self.routing = RoutingTable.from_clustering(out, self.metric)
+        return out
+
+    def run_approx_batch(
+        self, jobs: Sequence[QueryJob], *, fanout: int = 2
+    ) -> list[SessionAnswer]:
+        """Answer a micro-batch approximately via the routing table.
+
+        Each query consults only the ``fanout`` machines with the
+        smallest triangle-inequality lower bounds (≤ ``fanout``
+        messages per query, two rounds per batch).  Every answer's
+        ``certified`` flag reports whether it is provably exact; the
+        exact path (:meth:`run_batch`) is untouched.  Requires
+        :meth:`cluster_corpus` to have built ``self.routing``.
+        """
+        if self.closed:
+            raise RuntimeError("session is closed")
+        if self.routing is None:
+            raise RuntimeError(
+                "no routing table: call cluster_corpus() before "
+                "run_approx_batch()"
+            )
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        targets = [self.routing.route(job.query, fanout) for job in jobs]
+        rec = self._sim.span_recorder
+        dispatch_span = (
+            rec.open(tag("serve", "dispatch", self.batches), SCHEDULER_RANK)
+            if rec is not None
+            else None
+        )
+        program = ApproxServeProgram(
+            jobs,
+            targets,
+            self.l,
+            self.metric,
+            self.leader,
+            batch_index=self.batches,
+        )
+        result = self._sim.run_episode(program)
+        if dispatch_span is not None:
+            rec.close(dispatch_span)
+        self.batches += 1
+        per_tag = self._sim.metrics.per_tag_messages
+        message_counts = _messages_for(per_tag, [job.qid for job in jobs])
+        merged = result.outputs[self.leader]
+        live = [r for r in range(self.k) if r not in self.quarantined]
+        answers: list[SessionAnswer] = []
+        for job, routed, approx, messages in zip(
+            jobs, targets, merged, message_counts
+        ):
+            full = len(approx.ids) == self.l
+            certified = full and self.routing.certify(
+                job.query,
+                routed,
+                float(approx.distances[-1]),
+                live=live,
+            )
+            boundary = (
+                Keyed(float(approx.distances[-1]), int(approx.ids[-1]))
+                if len(approx.ids)
+                else Keyed(float("inf"), -1)
+            )
+            answers.append(
+                SessionAnswer(
+                    qid=job.qid,
+                    ids=approx.ids,
+                    distances=approx.distances,
+                    labels=approx.labels,
+                    boundary=boundary,
+                    complete_round=approx.complete_round,
+                    messages=messages,
+                    certified=certified,
+                )
+            )
+        return answers
 
     def _assemble(
         self, jobs: Sequence[QueryJob], outputs: list
@@ -914,6 +1055,58 @@ class ClusterSession:
         )
         self.mutations.append(record)
         self.monitor.observe(self._live_loads(), epoch=self.data_epoch)
+        return record
+
+    def rebalance_locality(self) -> MutationRecord:
+        """Migrate the live cluster onto the routing table's placement.
+
+        One :class:`~repro.dyn.balance.LocalityRebalanceProgram`
+        episode: every point moves to the machine owning its nearest
+        cluster center, so subsequent approximate queries find whole
+        clusters co-located (fanout 1 often suffices).  Placement moves,
+        the point set does not — no epoch change, caches stay valid.
+        The routing table's ``counts``/``radii`` are refreshed from
+        shard truth afterwards.  Fault-plan sessions fall back to the
+        id-space :meth:`rebalance` (its defenses are already wired).
+        """
+        if self.closed:
+            raise RuntimeError("session is closed")
+        if self._byz_cfg is not None:
+            return self.rebalance()
+        if self.routing is None:
+            raise RuntimeError(
+                "no routing table: call cluster_corpus() before "
+                "rebalance_locality()"
+            )
+        ratio_before = self.imbalance_ratio
+        before_messages = self.metrics.messages
+        before_rounds = self.metrics.rounds
+        program = LocalityRebalanceProgram(
+            self.leader,
+            self.routing.centers,
+            self.routing.owner_of_center,
+            metric=self.metric,
+        )
+        result = self._sim.run_episode(program)
+        leader_out = result.outputs[self.leader]
+        self.loads = list(leader_out.loads)
+        self.routing = routing_from_shards(
+            self._shards, self.routing.centers, self.metric
+        )
+        record = MutationRecord(
+            kind="rebalance",
+            epoch=self.data_epoch,
+            messages=self.metrics.messages - before_messages,
+            rounds=self.metrics.rounds - before_rounds,
+            moved_points=int(leader_out.moved_total or 0),
+            n_after=int(sum(self.loads)),
+            ratio_before=ratio_before,
+            ratio_after=self.imbalance_ratio,
+        )
+        self.mutations.append(record)
+        # Deliberately no monitor.observe: locality trades balance for
+        # warm hits, and the observation would arm the auto id-space
+        # rebalancer to undo the migration on the next update.
         return record
 
     def _draw_insert_ids(self, count: int) -> np.ndarray:

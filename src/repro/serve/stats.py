@@ -31,8 +31,9 @@ import numpy as np
 
 __all__ = ["QueryRecord", "ServiceStats"]
 
-#: how a query was satisfied
-SOURCES = ("cold", "warm", "cache")
+#: how a query was satisfied ("approx" = routed via the clustering
+#: subsystem's routing table instead of the exact all-machines path)
+SOURCES = ("cold", "warm", "cache", "approx")
 
 
 @dataclass
@@ -40,7 +41,7 @@ class QueryRecord:
     """Accounting for one served query."""
 
     qid: int
-    source: str  # "cold" | "warm" | "cache"
+    source: str  # "cold" | "warm" | "cache" | "approx"
     arrival: float
     dispatch_time: float
     batch_index: int | None

@@ -21,6 +21,14 @@ cover the serving-relevant regimes:
     requests — the moving-objects regime of the monitor related work
     ([18, 19]).  Exercises the triangle-inequality warm-start tier.
 
+``cluster-drift``
+    Queries drawn near the members of a small set of cluster centers
+    that themselves random-walk — the embedding-traffic shape the
+    clustering subsystem targets: at any instant traffic is
+    concentrated around a few slowly-moving hot regions.  Exercises
+    locality-aware sharding (:mod:`repro.cluster.sharding`) and the
+    approximate serving mode's routing table.
+
 Everything is a pure function of the seed (``np.random.default_rng``
 streams only), so a workload can be regenerated exactly from its
 ``(kind, seed, params)`` triple — which is also how workloads
@@ -42,12 +50,13 @@ __all__ = [
     "WORKLOAD_KINDS",
     "Workload",
     "bursty_workload",
+    "cluster_drift_workload",
     "drift_workload",
     "make_workload",
     "uniform_workload",
 ]
 
-WORKLOAD_KINDS = ("uniform", "bursty", "drift")
+WORKLOAD_KINDS = ("uniform", "bursty", "drift", "cluster-drift")
 
 
 @dataclass(frozen=True, eq=False)
@@ -262,12 +271,80 @@ def drift_workload(
     )
 
 
+def cluster_drift_workload(
+    n_queries: int,
+    dim: int = 3,
+    *,
+    seed: int | None = None,
+    n_clusters: int = 4,
+    spread: float = 0.05,
+    step: float = 0.01,
+    dt: float = 0.5,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    centers: np.ndarray | None = None,
+    deadline_slack: float | None = None,
+) -> Workload:
+    """Hot clusters that drift: queries land near random-walking centers.
+
+    ``n_clusters`` centers start uniform in the box (or at the given
+    ``centers`` — typically the corpus's own cluster centers from
+    :func:`repro.cluster.sharding.locality_assignment`, so traffic
+    aligns with the data's structure).  Each arrival picks a cluster
+    uniformly and queries ``center + N(0, spread²)`` per axis; after
+    every arrival the chosen center random-walks by ``N(0, step²)``
+    with reflection at the box walls.  Consecutive same-cluster queries
+    are close *and* concentrated — the regime where locality-aware
+    shards keep a query's neighbors on one machine.
+    """
+    rng = np.random.default_rng(seed)
+    if centers is None:
+        positions = rng.uniform(lo, hi, size=(n_clusters, dim))
+    else:
+        positions = np.array(centers, dtype=np.float64, copy=True)
+        if positions.ndim == 1:
+            positions = positions.reshape(-1, 1)
+        n_clusters = len(positions)
+        dim = positions.shape[1]
+    span = hi - lo
+    events = []
+    for i in range(n_queries):
+        cluster = int(rng.integers(n_clusters))
+        t = i * dt
+        q = positions[cluster] + rng.normal(0.0, spread, size=dim)
+        q = lo + span - np.abs((q - lo) % (2 * span) - span)
+        events.append(
+            QueryEvent(
+                time=t,
+                query=q,
+                deadline=None if deadline_slack is None else t + deadline_slack,
+            )
+        )
+        moved = positions[cluster] + rng.normal(0.0, step, size=dim)
+        # Same reflection as drift_workload: centers stay in the corpus box.
+        moved = lo + span - np.abs((moved - lo) % (2 * span) - span)
+        positions[cluster] = moved
+    return Workload(
+        events=_finish(events),
+        kind="cluster-drift",
+        seed=seed,
+        params={
+            "n_queries": n_queries,
+            "dim": dim,
+            "n_clusters": n_clusters,
+            "spread": spread,
+            "step": step,
+        },
+    )
+
+
 def make_workload(kind: str, n_queries: int, dim: int = 3, **kwargs: Any) -> Workload:
     """Build a workload by kind name (the CLI/benchmark entry point)."""
     builders = {
         "uniform": uniform_workload,
         "bursty": bursty_workload,
         "drift": drift_workload,
+        "cluster-drift": cluster_drift_workload,
     }
     if kind not in builders:
         raise ValueError(f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}")

@@ -1,0 +1,130 @@
+"""Coreset compression, merging, and the distributed merge tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.coreset import (
+    DEFAULT_CORESET_SIZE,
+    CoresetProgram,
+    compress,
+    local_coreset,
+    merge_coresets,
+)
+from repro.kmachine.schema import Coreset, check_roundtrip
+from repro.kmachine.simulator import Simulator
+from repro.obs.conformance import check_coreset, coreset_message_budget
+from repro.points.dataset import make_dataset
+from repro.points.generators import gaussian_blobs
+from repro.points.partition import shard_dataset
+
+
+class TestCompress:
+    def test_passthrough_when_small(self):
+        points = np.array([[0.0], [1.0]])
+        weights = np.array([2.0, 3.0])
+        reps, w, movement, radius = compress(points, weights, size=4, metric="euclidean")
+        assert np.array_equal(reps, points)
+        assert np.array_equal(w, weights)
+        assert movement == 0.0 and radius == 0.0
+
+    def test_weight_conservation(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, (100, 2))
+        weights = rng.uniform(0.5, 2.0, 100)
+        _, w, _, _ = compress(points, weights, size=10, metric="euclidean")
+        assert w.sum() == pytest.approx(weights.sum())
+
+    def test_movement_bounded_by_radius_times_weight(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1, (60, 2))
+        weights = np.ones(60)
+        _, _, movement, radius = compress(points, weights, size=8, metric="euclidean")
+        assert 0.0 < movement <= radius * weights.sum() + 1e-9
+
+
+class TestMerge:
+    def _cs(self, seed, n=30, weight=1.0):
+        rng = np.random.default_rng(seed)
+        return local_coreset(rng.uniform(0, 1, (n, 2)), size=64, metric="euclidean")
+
+    def test_merge_conserves_weight(self):
+        a, b = self._cs(0), self._cs(1)
+        merged = merge_coresets(a, b, size=8, metric="euclidean")
+        assert merged.weights.sum() == pytest.approx(
+            a.weights.sum() + b.weights.sum()
+        )
+        assert len(merged) <= 8
+
+    def test_merge_accumulates_certificates(self):
+        a, b = self._cs(0), self._cs(1)
+        merged = merge_coresets(a, b, size=8, metric="euclidean")
+        assert merged.movement >= a.movement + b.movement
+        assert merged.radius >= max(a.radius, b.radius)
+
+    def test_no_recompress_when_union_fits(self):
+        a, b = self._cs(0, n=3), self._cs(1, n=3)
+        merged = merge_coresets(a, b, size=16, metric="euclidean")
+        assert len(merged) == 6
+        assert merged.movement == pytest.approx(0.0)
+
+
+class TestCoresetProgram:
+    def _run(self, n=500, k=7, size=16, seed=3, leader=0):
+        rng = np.random.default_rng(seed)
+        ds = gaussian_blobs(rng, n, 2, n_classes=4, spread=0.05)
+        shards = shard_dataset(ds, k, rng, "random")
+        sim = Simulator(
+            k=k,
+            program=CoresetProgram(leader=leader, size=size),
+            inputs=shards,
+            seed=seed,
+        )
+        return ds, sim.run()
+
+    def test_leader_holds_total_weight(self):
+        ds, res = self._run()
+        block = res.outputs[0]
+        assert isinstance(block, Coreset)
+        assert block.weights.sum() == pytest.approx(float(len(ds)))
+        assert len(block) <= 16
+
+    def test_workers_return_none(self):
+        _, res = self._run()
+        assert all(out is None for out in res.outputs[1:])
+
+    def test_message_budget_exact(self):
+        for k in (2, 3, 5, 8):
+            _, res = self._run(k=k, n=200)
+            assert res.metrics.messages == k - 1 == coreset_message_budget(k)
+            assert check_coreset(res.metrics.messages, k=k).passed
+
+    def test_log_rounds(self):
+        _, res = self._run(k=8)
+        # binomial tree: ceil(log2 8) = 3 merge steps (+ episode close).
+        assert res.metrics.rounds <= 5
+
+    def test_nonzero_leader(self):
+        ds, res = self._run(leader=3)
+        assert res.outputs[3] is not None
+        assert res.outputs[0] is None
+        assert res.outputs[3].weights.sum() == pytest.approx(float(len(ds)))
+
+    def test_block_roundtrips_both_serializers(self):
+        _, res = self._run()
+        block = res.outputs[0]
+        assert check_roundtrip(block, serializer="pickle")
+        assert check_roundtrip(block, serializer="binary")
+
+    def test_k2_single_hop(self):
+        rng = np.random.default_rng(5)
+        ds = make_dataset(rng.uniform(0, 1, (40, 2)), rng=rng)
+        shards = shard_dataset(ds, 2, rng, "contiguous")
+        sim = Simulator(
+            k=2, program=CoresetProgram(leader=0, size=DEFAULT_CORESET_SIZE),
+            inputs=shards, seed=0,
+        )
+        res = sim.run()
+        assert res.metrics.messages == 1
+        assert res.outputs[0].weights.sum() == pytest.approx(40.0)

@@ -1,0 +1,111 @@
+"""Locality-aware placement: labels, balance, and cluster cohesion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.sharding import locality_assignment
+from repro.points.generators import gaussian_blobs
+from repro.points.partition import partition_locality, shard_dataset
+
+
+def _blobs(seed=0, n=400, classes=4):
+    rng = np.random.default_rng(seed)
+    return gaussian_blobs(rng, n, 2, n_classes=classes, spread=0.03)
+
+
+class TestLocalityAssignment:
+    def test_shapes(self):
+        ds = _blobs()
+        labels, centers = locality_assignment(ds, 4)
+        assert labels.shape == (len(ds),)
+        assert centers.shape == (4, 2)
+        assert set(labels.tolist()) <= set(range(4))
+
+    def test_labels_are_nearest_center(self):
+        ds = _blobs(seed=1)
+        labels, centers = locality_assignment(ds, 3)
+        d = np.stack(
+            [np.linalg.norm(ds.points - c, axis=1) for c in centers], axis=1
+        )
+        assert np.array_equal(labels, np.argmin(d, axis=1))
+
+    def test_recovers_separated_blobs(self):
+        ds = _blobs(seed=2, classes=3)
+        labels, _ = locality_assignment(ds, 3)
+        # Each true blob should map (almost) entirely to one label.
+        for blob in range(3):
+            got = labels[ds.labels == blob]
+            majority = np.bincount(got).max() / len(got)
+            assert majority > 0.95
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            locality_assignment(np.zeros((0, 2)), 2)
+        with pytest.raises(ValueError):
+            locality_assignment(np.zeros((5, 2)), 0)
+
+
+class TestPartitionLocality:
+    def test_balance_is_exact(self):
+        labels = np.array([0] * 90 + [1] * 10)  # heavily skewed clusters
+        parts = partition_locality(100, 4, labels=labels)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes == [25, 25, 25, 25]
+
+    def test_same_label_points_stay_together(self):
+        # 4 equal clusters onto 4 machines: perfect cohesion.
+        labels = np.repeat([2, 0, 3, 1], 25)
+        parts = partition_locality(100, 4, labels=labels)
+        for part in parts:
+            assert len(set(labels[part].tolist())) == 1
+
+    def test_label_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            partition_locality(10, 2, labels=np.zeros(9))
+
+    def test_partition_covers_all_points(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, 63)
+        parts = partition_locality(63, 4, labels=labels)
+        seen = np.sort(np.concatenate(parts))
+        assert np.array_equal(seen, np.arange(63))
+
+    def test_shard_dataset_plumbs_labels(self):
+        ds = _blobs(seed=3)
+        labels, _ = locality_assignment(ds, 4)
+        rng = np.random.default_rng(0)
+        shards = shard_dataset(ds, 4, rng, "locality", labels=labels)
+        assert sum(len(s) for s in shards) == len(ds)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_locality_beats_random_cohesion(self):
+        # Fragmentation = number of (machine, cluster) pairs with at
+        # least one point; lower is more cohesive.
+        ds = _blobs(seed=4, classes=4)
+        labels, _ = locality_assignment(ds, 4)
+        rng = np.random.default_rng(1)
+
+        def fragmentation(shards):
+            pairs = 0
+            for shard in shards:
+                owner = labels[np.searchsorted(ds.ids, np.sort(shard.ids))]
+                pairs += len(set(owner.tolist()))
+            return pairs
+
+        loc = shard_dataset(ds, 4, rng, "locality", labels=labels)
+        rand = shard_dataset(ds, 4, rng, "random")
+        # ids are positional here only if dataset ids are sorted; map
+        # through id -> index instead.
+        id_to_idx = {int(i): j for j, i in enumerate(ds.ids)}
+
+        def frag(shards):
+            pairs = 0
+            for shard in shards:
+                idx = [id_to_idx[int(i)] for i in shard.ids]
+                pairs += len(set(labels[idx].tolist()))
+            return pairs
+
+        assert frag(loc) < frag(rand)

@@ -1,0 +1,172 @@
+"""Weighted k-center / k-median solvers and the distributed variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.solvers import (
+    FarthestPointProgram,
+    assign_points,
+    center_distances,
+    greedy_kcenter,
+    kcenter_cost,
+    kmedian_cost,
+    local_search_kmedian,
+)
+from repro.kmachine.simulator import Simulator
+from repro.points.dataset import make_dataset
+from repro.points.generators import gaussian_blobs
+from repro.points.partition import shard_dataset
+
+
+class TestDistances:
+    def test_center_distances_shape_and_values(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        centers = np.array([[0.0, 0.0], [0.0, 4.0]])
+        d = center_distances(points, centers)
+        assert d.shape == (2, 2)
+        assert d[0, 0] == 0.0
+        assert d[1, 0] == pytest.approx(5.0)
+        assert d[1, 1] == pytest.approx(3.0)
+
+    def test_center_distances_rejects_empty_centers(self):
+        with pytest.raises(ValueError):
+            center_distances(np.zeros((3, 2)), np.zeros((0, 2)))
+
+    def test_assign_points_nearest(self):
+        points = np.array([[0.1], [0.9], [0.45]])
+        centers = np.array([[0.0], [1.0]])
+        assert assign_points(points, centers).tolist() == [0, 1, 0]
+
+
+class TestCosts:
+    def test_kcenter_cost_is_max_nearest(self):
+        points = np.array([[0.0], [1.0], [10.0]])
+        centers = np.array([[0.0], [10.0]])
+        assert kcenter_cost(points, centers) == pytest.approx(1.0)
+
+    def test_kmedian_cost_weights(self):
+        points = np.array([[0.0], [2.0]])
+        centers = np.array([[0.0]])
+        assert kmedian_cost(points, centers) == pytest.approx(2.0)
+        w = np.array([1.0, 3.0])
+        assert kmedian_cost(points, centers, weights=w) == pytest.approx(6.0)
+
+    def test_kcenter_cost_ignores_zero_weight(self):
+        points = np.array([[0.0], [100.0]])
+        centers = np.array([[0.0]])
+        w = np.array([1.0, 0.0])
+        assert kcenter_cost(points, centers, weights=w) == pytest.approx(0.0)
+
+
+class TestGreedyKCenter:
+    def test_covers_with_enough_centers(self):
+        points = np.array([[0.0], [1.0], [5.0], [6.0]])
+        idx, radius = greedy_kcenter(points, 2)
+        assert len(idx) == 2
+        assert radius == pytest.approx(1.0)
+
+    def test_radius_nonincreasing_in_centers(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, (200, 3))
+        radii = [greedy_kcenter(points, c)[1] for c in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(radii, radii[1:]))
+
+    def test_two_approximation_on_blobs(self):
+        # Greedy is a 2-approx of the optimal k-center radius; the
+        # optimal radius is itself <= the blob spread scale, so on
+        # well-separated blobs greedy picks one center per blob.
+        rng = np.random.default_rng(1)
+        ds = gaussian_blobs(rng, 300, 2, n_classes=3, spread=0.02)
+        idx, radius = greedy_kcenter(ds.points, 3)
+        assert radius < 0.2  # far below the inter-blob distance
+
+    def test_heaviest_point_seeds(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        w = np.array([1.0, 10.0, 1.0])
+        idx, _ = greedy_kcenter(points, 1, weights=w)
+        assert idx.tolist() == [1]
+
+
+class TestLocalSearchKMedian:
+    def test_no_worse_than_greedy_seed(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 1, (80, 2))
+        seed_idx, _ = greedy_kcenter(points, 4)
+        seed_cost = kmedian_cost(points, points[seed_idx])
+        _, cost = local_search_kmedian(points, 4)
+        assert cost <= seed_cost + 1e-9
+
+    def test_deterministic_and_sorted(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, (50, 2))
+        a, ca = local_search_kmedian(points, 3)
+        b, cb = local_search_kmedian(points, 3)
+        assert a.tolist() == b.tolist()
+        assert ca == cb
+        assert a.tolist() == sorted(a.tolist())
+
+    def test_exact_when_centers_cover_all(self):
+        points = np.array([[0.0], [5.0], [9.0]])
+        idx, cost = local_search_kmedian(points, 3)
+        assert cost == pytest.approx(0.0)
+        assert len(idx) == 3
+
+
+class TestFarthestPointProgram:
+    def _run(self, n=400, k=5, c=3, seed=0):
+        rng = np.random.default_rng(seed)
+        ds = gaussian_blobs(rng, n, 2, n_classes=c, spread=0.03)
+        shards = shard_dataset(ds, k, rng, "random")
+        sim = Simulator(
+            k=k,
+            program=FarthestPointProgram(leader=0, n_centers=c),
+            inputs=shards,
+            seed=seed,
+        )
+        res = sim.run()
+        return ds, res
+
+    def test_radius_matches_recomputation(self):
+        ds, res = self._run()
+        centers, radius = res.outputs[0]
+        assert radius == pytest.approx(kcenter_cost(ds.points, centers))
+
+    def test_two_approximation_vs_sequential(self):
+        ds, res = self._run()
+        centers, radius = res.outputs[0]
+        _, seq_radius = greedy_kcenter(ds.points, len(centers))
+        assert radius <= 2.0 * seq_radius + 1e-9
+
+    def test_message_count(self):
+        # Per center: candidate gather (k-1) + winner broadcast (k-1),
+        # plus one final radius gather (k-1).
+        k, c = 5, 3
+        _, res = self._run(k=k, c=c)
+        assert res.metrics.messages == 2 * c * (k - 1) + (k - 1)
+
+    def test_workers_return_none(self):
+        _, res = self._run()
+        assert res.outputs[0] is not None
+        assert all(out is None for out in res.outputs[1:])
+
+    def test_rejects_bad_center_count(self):
+        with pytest.raises(ValueError):
+            FarthestPointProgram(leader=0, n_centers=0)
+
+    def test_duplicate_points_terminate(self):
+        # All-identical points: every candidate distance is 0 after the
+        # first center; the program must still return c centers.
+        rng = np.random.default_rng(4)
+        ds = make_dataset(np.zeros((40, 2)), rng=rng)
+        shards = shard_dataset(ds, 4, rng, "random")
+        sim = Simulator(
+            k=4,
+            program=FarthestPointProgram(leader=0, n_centers=3),
+            inputs=shards,
+            seed=1,
+        )
+        centers, radius = sim.run().outputs[0]
+        assert centers.shape == (3, 2)
+        assert radius == pytest.approx(0.0)

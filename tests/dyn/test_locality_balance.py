@@ -1,0 +1,97 @@
+"""Direct Simulator tests for the locality-aware rebalance protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.sharding import locality_assignment
+from repro.cluster.solvers import assign_points
+from repro.dyn.balance import LocalityRebalanceProgram
+from repro.kmachine.simulator import Simulator
+from repro.obs.conformance import (
+    check_locality_rebalance,
+    locality_rebalance_message_budget,
+)
+from repro.points.generators import gaussian_blobs
+from repro.points.partition import shard_dataset
+
+
+def _setup(k: int = 4, n: int = 400, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    ds = gaussian_blobs(rng, n, 2, n_classes=k, spread=0.03)
+    shards = shard_dataset(ds, k, rng, "random")
+    _, centers = locality_assignment(ds, k, seed=seed)
+    owners = np.arange(k, dtype=np.int64)
+    return ds, shards, centers, owners
+
+
+def _run(k=4, n=400, seed=0, leader=0):
+    ds, shards, centers, owners = _setup(k, n, seed)
+    sim = Simulator(
+        k=k,
+        program=LocalityRebalanceProgram(leader, centers, owners),
+        inputs=shards,
+        seed=seed,
+    )
+    return ds, shards, centers, owners, sim.run()
+
+
+def test_every_point_lands_on_its_centers_owner() -> None:
+    ds, shards, centers, owners, res = _run()
+    for rank, shard in enumerate(shards):
+        if len(shard) == 0:
+            continue
+        nearest = assign_points(shard.points, centers)
+        assert np.all(owners[nearest] == rank)
+
+
+def test_no_points_lost_and_loads_reported() -> None:
+    ds, shards, _, _, res = _run()
+    leader_out = res.outputs[0]
+    assert leader_out.is_leader
+    assert sum(leader_out.loads) == len(ds)
+    assert sum(len(s) for s in shards) == len(ds)
+    assert leader_out.loads == tuple(len(s) for s in shards)
+
+
+def test_message_budget_exact() -> None:
+    for k in (2, 3, 5):
+        _, _, _, _, res = _run(k=k, n=200, seed=k)
+        expected = k * (k - 1) + (k - 1)
+        assert res.metrics.messages == expected
+        assert res.metrics.messages == locality_rebalance_message_budget(k)
+        assert check_locality_rebalance(res.metrics.messages, k=k).passed
+
+
+def test_moved_total_counts_departures() -> None:
+    ds, shards, centers, owners, res = _run(seed=2)
+    assert res.outputs[0].moved_total is not None
+    assert 0 < res.outputs[0].moved_total <= len(ds)
+    # Already-in-place points (random placement still gets ~1/k right)
+    # are not counted as moves.
+    assert res.outputs[0].moved_total < len(ds)
+
+
+def test_nonzero_leader() -> None:
+    _, _, _, _, res = _run(leader=2, seed=3)
+    assert res.outputs[2].is_leader
+    assert not res.outputs[0].is_leader
+    assert sum(res.outputs[2].loads) == 400
+
+
+def test_owner_length_mismatch_raises() -> None:
+    with pytest.raises(ValueError):
+        LocalityRebalanceProgram(0, np.zeros((3, 2)), np.arange(2))
+
+
+def test_idempotent_second_run_moves_nothing() -> None:
+    ds, shards, centers, owners, res = _run(seed=4)
+    sim = Simulator(
+        k=4,
+        program=LocalityRebalanceProgram(0, centers, owners),
+        inputs=shards,
+        seed=5,
+    )
+    second = sim.run()
+    assert second.outputs[0].moved_total == 0

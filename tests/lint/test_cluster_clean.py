@@ -1,0 +1,101 @@
+"""The clustering subsystem's protocol code is KM-rule clean, no baseline.
+
+``repro/cluster`` contains real protocol code (the coreset merge tree,
+the clustering episode, the distributed farthest-point solver), so it
+is in scope for every k-machine lint rule.  This test pins both facts:
+the directory is *scanned* (a rule-scope regression would silently
+exempt it) and it is *clean* — and that the declared cluster budget
+classes track the numeric conformance budgets' actual growth in k.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine, get_rules
+from repro.lint.budgets import DECLARED_ENTRY_CLASSES, ENTRY_POINTS, parse_class
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CLUSTER_DIR = REPO_ROOT / "src" / "repro" / "cluster"
+
+
+def test_cluster_package_exists_and_is_scanned() -> None:
+    assert CLUSTER_DIR.is_dir()
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([CLUSTER_DIR])
+    assert report.files >= 5  # __init__, coreset, driver, sharding, solvers
+
+
+def test_cluster_is_km_rule_clean_without_baseline() -> None:
+    engine = LintEngine(get_rules(), root=REPO_ROOT)
+    report = engine.run([CLUSTER_DIR])
+    assert not report.parse_errors, report.parse_errors
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_cluster_is_in_every_rule_scope() -> None:
+    """The in_dir gates of all the KM rules include 'cluster'."""
+    import inspect
+
+    from repro.lint.rules import (
+        bandwidth,
+        deadlock,
+        determinism,
+        isolation,
+        pairing,
+        phase,
+        rngtaint,
+        schema,
+        wire,
+    )
+
+    for module in (
+        bandwidth,
+        deadlock,
+        determinism,
+        isolation,
+        pairing,
+        phase,
+        rngtaint,
+        schema,
+        wire,
+    ):
+        source = inspect.getsource(module)
+        assert '"cluster"' in source, f"{module.__name__} does not scan cluster"
+
+
+def test_cluster_entries_are_declared() -> None:
+    """The three clustering protocols are KM007-graded entry points."""
+    for entry in ("coreset", "clustering", "locality_rebalance"):
+        assert entry in ENTRY_POINTS
+        assert entry in DECLARED_ENTRY_CLASSES
+
+
+def test_cluster_declared_classes_match_numeric_budget_growth() -> None:
+    """Numeric cluster budgets grow with the declared k-exponent.
+
+    Same probe as ``test_protocol_graph``'s version for the core
+    entries: doubling k should scale each budget by ~2^k_pow.
+    """
+    conformance = pytest.importorskip("repro.obs.conformance")
+    probes = {
+        "coreset": conformance.coreset_message_budget,
+        "clustering": conformance.clustering_message_budget,
+        "locality_rebalance": conformance.locality_rebalance_message_budget,
+    }
+    for entry, budget_fn in probes.items():
+        declared = parse_class(DECLARED_ENTRY_CLASSES[entry]["f0"])
+        assert declared is not None
+        ratio = budget_fn(128) / budget_fn(64)
+        expected = 2.0 ** declared.k_pow
+        # The exact counts carry no log factor, so a `k log` class
+        # upper-bounds a plain-k count: ratio <= expected with slack
+        # only for additive lower-order terms.
+        assert ratio <= expected * 1.05, (
+            f"{entry}: budget ratio {ratio:.2f} vs 2^{declared.k_pow}"
+        )
+        assert ratio >= 1.9, f"{entry}: budget does not grow with k"

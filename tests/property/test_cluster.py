@@ -1,0 +1,80 @@
+"""Property test: the clustering certificate holds on any placement.
+
+Hypothesis draws a small instance — dimension, corpus size, machine
+count, coreset budget, objective, and placement strategy — over two
+data shapes: gaussian blobs (the friendly case) and an adversarial
+layout that dumps near-duplicate heavy clusters next to isolated
+far-away singletons (worst case for coreset compression, because a
+tiny budget must spend representatives on outliers or eat their full
+movement).  Every draw must satisfy:
+
+* **certificate** — the distributed cost is within the declared bound
+  of the sequential baseline on the pooled raw points
+  (``result.ok``: ``5·seq + 6·movement`` for k-median,
+  ``2·seq + 3·radius`` for k-center);
+* **accounting** — message count equals the exact episode budget and
+  the leader's assignment counts partition the corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.driver import distributed_cluster
+from repro.obs.conformance import check_clustering
+from repro.points.generators import gaussian_blobs
+
+
+def _adversarial(rng: np.random.Generator, n: int, dim: int) -> np.ndarray:
+    """Near-duplicate heavy mass plus isolated far-flung singletons."""
+    n_out = max(2, n // 8)
+    heavy = rng.normal(0.5, 1e-4, (n - n_out, dim))
+    # Outliers on a widely spaced diagonal — each one far from
+    # everything else, so dropping any from a coreset is costly.
+    steps = np.arange(1, n_out + 1, dtype=np.float64)[:, None]
+    outliers = 5.0 * steps * np.ones((1, dim)) + rng.normal(0, 1e-4, (n_out, dim))
+    points = np.concatenate([heavy, outliers])
+    return points[rng.permutation(len(points))]
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(0, 2**16))
+    dim = draw(st.integers(1, 3))
+    n = draw(st.integers(8, 60))
+    k = draw(st.integers(2, 5))
+    n_centers = draw(st.integers(1, 4))
+    size = draw(st.integers(4, 16))
+    objective = draw(st.sampled_from(["kmedian", "kcenter"]))
+    partitioner = draw(st.sampled_from(["random", "contiguous", "sorted"]))
+    shape = draw(st.sampled_from(["blobs", "adversarial"]))
+    return seed, dim, n, k, n_centers, size, objective, partitioner, shape
+
+
+@given(inst=instances())
+@settings(max_examples=40, deadline=None)
+def test_certificate_and_budget_on_any_placement(inst) -> None:
+    seed, dim, n, k, n_centers, size, objective, partitioner, shape = inst
+    rng = np.random.default_rng(seed)
+    if shape == "blobs":
+        data = gaussian_blobs(
+            rng, n, dim, n_classes=min(4, max(2, n_centers)), spread=0.05
+        ).points
+    else:
+        data = _adversarial(rng, n, dim)
+    result = distributed_cluster(
+        data, n_centers, k,
+        objective=objective, size=size,
+        partitioner=partitioner, seed=seed,
+    )
+    assert result.ok, (
+        f"{objective}/{partitioner}/{shape} n={n} k={k} size={size}: "
+        f"cost {result.cost:.4f} exceeds bound {result.bound:.4f} "
+        f"(seq {result.seq_cost:.4f}, movement {result.movement:.4f}, "
+        f"radius {result.radius:.4f})"
+    )
+    assert result.messages == 3 * (k - 1)
+    assert check_clustering(result.messages, k=k).passed
+    assert int(result.counts.sum()) == len(data)

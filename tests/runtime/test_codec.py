@@ -19,6 +19,9 @@ import pytest
 from repro.kmachine.reliable import Envelope
 from repro.kmachine.schema import (
     WIRE_SCHEMAS,
+    AssignStats,
+    CenterSet,
+    Coreset,
     Echo,
     PointBatch,
     SuspicionNotice,
@@ -44,6 +47,22 @@ def _schema_samples() -> dict[str, object]:
         "Echo": Echo(origin=3, value=(0.25, 11)),
         "VoteEnvelope": VoteEnvelope(voter=2, choice=0, term=4),
         "SuspicionNotice": SuspicionNotice(suspect=5, reason="silent echo"),
+        "Coreset": Coreset(
+            points=np.array([[0.1, 0.9], [0.5, 0.5]]),
+            weights=np.array([3.0, 7.0]),
+            movement=0.125,
+            radius=0.25,
+        ),
+        "CenterSet": CenterSet(
+            centers=np.array([[0.2, 0.8]]),
+            objective="kmedian",
+            cost=1.5,
+        ),
+        "AssignStats": AssignStats(
+            counts=np.array([4, 0, 2], dtype=np.int64),
+            radii=np.array([0.3, 0.0, 0.1]),
+            cost=0.75,
+        ),
         "RoundUp": RoundUp(
             rank=1,
             messages=[(0, "sel/report", (1.5, 7)), (2, "sel/query", None)],

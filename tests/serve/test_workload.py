@@ -75,6 +75,29 @@ def test_save_load_roundtrip(tmp_path) -> None:
     assert [e.deadline for e in loaded] == [e.deadline for e in workload]
 
 
+def test_cluster_drift_is_clustered_and_drifts(tmp_path) -> None:
+    from repro.serve import cluster_drift_workload
+
+    workload = cluster_drift_workload(
+        60, 3, seed=6, n_clusters=3, spread=0.02, step=0.005
+    )
+    queries = workload.queries()
+    assert np.all(queries >= 0.0) and np.all(queries <= 1.0)
+    # Clustered: mean distance to the nearest of 3 medoids is far below
+    # what 60 uniform points in the unit cube would show (~0.3).
+    from repro.cluster.solvers import kmedian_cost
+
+    seed_pts = queries[:: len(queries) // 3][:3]
+    assert kmedian_cost(queries, seed_pts) / len(queries) < 0.15
+    # JSON round-trip preserves the event stream bit-for-bit.
+    path = tmp_path / "cluster_drift.json"
+    workload.save(path)
+    loaded = Workload.load(path)
+    assert loaded.kind == "cluster-drift"
+    assert np.array_equal(loaded.queries(), queries)
+    assert [e.time for e in loaded] == [e.time for e in workload]
+
+
 def test_unknown_kind_rejected() -> None:
     with pytest.raises(ValueError, match="unknown workload kind"):
         make_workload("adversarial", 10)
